@@ -1,0 +1,73 @@
+// Ablation (ours, motivated by a paper-internal discrepancy): the paper's
+// abstract/§III-D describe EOS as *convex combinations toward* the nearest
+// enemy, while Algorithm 2's last line reads B + R*(B - N) — a reflection
+// *away* from it. This bench sweeps both modes and the interpolation reach
+// (max_step), reporting accuracy and generalization gap for each, plus the
+// sensitivity to the neighborhood size at fixed mode.
+//
+// The library defaults to kConvex with max_step 0.5 (see eos.h): the convex
+// direction matches the prose, and capping the reach at the base-enemy
+// midpoint keeps synthetic minority labels off genuine majority territory.
+
+#include "bench/bench_common.h"
+#include "sampling/eos.h"
+
+namespace eos {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  bench::CommonFlags common = bench::RegisterCommonFlags(flags);
+  bench::HandleParse(flags.Parse(argc, argv), flags);
+
+  ExperimentConfig config =
+      bench::MakeConfig(DatasetKind::kCifar10Like, common);
+  config.loss.kind = LossKind::kCrossEntropy;
+  ExperimentPipeline pipeline(config);
+  pipeline.Prepare();
+  pipeline.TrainPhase1();
+
+  EvalOutputs baseline = pipeline.EvaluateBaseline();
+  SamplerConfig smote;
+  smote.kind = SamplerKind::kSmote;
+  EvalOutputs smote_out = pipeline.RunSampler(smote);
+
+  std::printf("EOS mode/reach ablation (CIFAR10-like, CE)\n\n");
+  std::printf("  %-22s %6s %6s %6s %8s\n", "variant", "BAC", "GM", "FM",
+              "gap");
+  auto print_line = [](const std::string& label, const EvalOutputs& out) {
+    std::printf("  %-22s %s %8.2f\n", label.c_str(),
+                bench::MetricCells(out.metrics).c_str(), out.gap.mean);
+  };
+  print_line("baseline", baseline);
+  print_line("SMOTE (reference)", smote_out);
+
+  for (EosMode mode : {EosMode::kConvex, EosMode::kReflect}) {
+    for (float max_step : {0.25f, 0.5f, 0.75f, 1.0f}) {
+      ExpansiveOversampler sampler(*common.k_neighbors, mode, max_step);
+      EvalOutputs out = pipeline.RunSampler(sampler);
+      print_line(StrFormat("%s step<=%.2f",
+                           mode == EosMode::kConvex ? "convex" : "reflect",
+                           max_step),
+                 out);
+    }
+  }
+
+  std::printf("\n  neighborhood sensitivity (convex, step<=0.5):\n");
+  for (int64_t k : {3, 5, 10, 20, 50}) {
+    ExpansiveOversampler sampler(k, EosMode::kConvex, 0.5f);
+    EvalOutputs out = pipeline.RunSampler(sampler);
+    const auto& stats = sampler.last_stats();
+    int64_t total_bases = 0;
+    for (int64_t b : stats.borderline_bases) total_bases += b;
+    print_line(StrFormat("k=%lld (bases=%lld)", static_cast<long long>(k),
+                         static_cast<long long>(total_bases)),
+               out);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace eos
+
+int main(int argc, char** argv) { return eos::Run(argc, argv); }

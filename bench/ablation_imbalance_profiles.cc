@@ -1,0 +1,56 @@
+// Ablation (ours): imbalance *profile* sensitivity. §II-A notes that
+// exponential and step imbalance are the common real-world shapes and that
+// the paper studies the exponential kind; this bench runs the same
+// baseline-vs-EOS comparison under both profiles and a ratio sweep, showing
+// that the generalization-gap mechanism (and EOS's fix) is profile-
+// agnostic while absolute difficulty tracks the ratio.
+
+#include "bench/bench_common.h"
+
+namespace eos {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  bench::CommonFlags common = bench::RegisterCommonFlags(flags);
+  bench::HandleParse(flags.Parse(argc, argv), flags);
+
+  std::printf("Imbalance-profile ablation (CIFAR10-like, CE)\n");
+  for (ImbalanceType type :
+       {ImbalanceType::kExponential, ImbalanceType::kStep}) {
+    const char* type_name =
+        type == ImbalanceType::kExponential ? "exponential" : "step";
+    for (double ratio : {10.0, 50.0, 100.0}) {
+      ExperimentConfig config =
+          bench::MakeConfig(DatasetKind::kCifar10Like, common);
+      config.loss.kind = LossKind::kCrossEntropy;
+      config.imbalance_type = type;
+      config.imbalance_ratio = ratio;
+      ExperimentPipeline pipeline(config);
+      pipeline.Prepare();
+      pipeline.TrainPhase1();
+      EvalOutputs baseline = pipeline.EvaluateBaseline();
+      SamplerConfig eos_config;
+      eos_config.kind = SamplerKind::kEos;
+      eos_config.k_neighbors = *common.k_neighbors;
+      EvalOutputs eos_out = pipeline.RunSampler(eos_config);
+      std::printf("  %-12s ratio %5.0f:1 | baseline BAC %s gap %5.2f | "
+                  "EOS BAC %s gap %5.2f | delta %+0.4f\n",
+                  type_name, ratio,
+                  FormatMetric(baseline.metrics.bac).c_str(),
+                  baseline.gap.mean,
+                  FormatMetric(eos_out.metrics.bac).c_str(),
+                  eos_out.gap.mean,
+                  eos_out.metrics.bac - baseline.metrics.bac);
+    }
+  }
+  std::printf("\n(expected shape: baseline BAC falls and the gap grows with "
+              "the ratio under both profiles; EOS recovers a large share "
+              "either way)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace eos
+
+int main(int argc, char** argv) { return eos::Run(argc, argv); }

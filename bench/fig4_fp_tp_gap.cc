@@ -1,0 +1,87 @@
+// Reproduces Figure 4: the generalization gap measured against the test
+// set's true positives vs. its false positives. As in the paper, two
+// architecture depths are used (the CelebA stand-in gets the deeper net,
+// mirroring ResNet-56 vs ResNet-32).
+//
+// Expected shape (paper): the FP gap is 2x-4x the TP gap on every dataset —
+// the model generalizes exactly where the learned feature ranges align.
+
+#include "bench/bench_common.h"
+#include "metrics/generalization_gap.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  bench::CommonFlags common = bench::RegisterCommonFlags(flags);
+  bench::HandleParse(flags.Parse(argc, argv), flags);
+
+  std::printf("Figure 4: generalization gap for test TPs vs FPs "
+              "(CE loss)\n\n");
+  std::printf("%-14s %10s %10s %8s\n", "dataset", "TP gap", "FP gap",
+              "FP/TP");
+
+  int fp_larger = 0;
+  int datasets_run = 0;
+  for (DatasetKind dataset : bench::ParseDatasets(*common.datasets)) {
+    ExperimentConfig config = bench::MakeConfig(dataset, common);
+    config.loss.kind = LossKind::kCrossEntropy;
+    if (dataset == DatasetKind::kCelebALike) {
+      config.blocks_per_stage = 2;  // the deeper ResNet, as in the paper
+    }
+    ExperimentPipeline pipeline(config);
+    pipeline.Prepare();
+    pipeline.TrainPhase1();
+
+    // Split the test embeddings by prediction correctness. A test example
+    // predicted class y-hat != y is a false positive *of class y-hat*, so
+    // the FP subset is labeled by prediction (that is the class whose
+    // footprint it lands in); TPs keep their true label.
+    const FeatureSet& test_fe = pipeline.test_embeddings();
+    Tensor logits =
+        pipeline.net().head->Forward(test_fe.features, /*training=*/false);
+    std::vector<int64_t> preds = ArgMaxRows(logits);
+
+    std::vector<int64_t> tp_rows;
+    std::vector<int64_t> fp_rows;
+    for (int64_t i = 0; i < test_fe.size(); ++i) {
+      if (preds[static_cast<size_t>(i)] ==
+          test_fe.labels[static_cast<size_t>(i)]) {
+        tp_rows.push_back(i);
+      } else {
+        fp_rows.push_back(i);
+      }
+    }
+    if (tp_rows.empty() || fp_rows.empty()) {
+      std::printf("%-14s (degenerate split: %zu TPs, %zu FPs)\n",
+                  DatasetKindName(dataset), tp_rows.size(), fp_rows.size());
+      continue;
+    }
+    FeatureSet tp_set = SelectFeatures(test_fe, tp_rows);
+    FeatureSet fp_set = SelectFeatures(test_fe, fp_rows);
+    // Label FPs by the predicted class.
+    for (size_t i = 0; i < fp_rows.size(); ++i) {
+      fp_set.labels[i] = preds[static_cast<size_t>(fp_rows[i])];
+    }
+
+    double tp_gap =
+        GeneralizationGap(pipeline.train_embeddings(), tp_set).mean;
+    double fp_gap =
+        GeneralizationGap(pipeline.train_embeddings(), fp_set).mean;
+    std::printf("%-14s %10.3f %10.3f %8.2f\n", DatasetKindName(dataset),
+                tp_gap, fp_gap, fp_gap / std::max(tp_gap, 1e-9));
+    ++datasets_run;
+    if (fp_gap > tp_gap) ++fp_larger;
+  }
+  std::printf("\nSummary: FP gap exceeded TP gap on %d/%d datasets "
+              "(paper: all, by 2x-4x)\n",
+              fp_larger, datasets_run);
+  return 0;
+}
+
+}  // namespace
+}  // namespace eos
+
+int main(int argc, char** argv) { return eos::Run(argc, argv); }

@@ -1,0 +1,73 @@
+// Reproduces Figure 5: per-class classifier weight norms before and after
+// over-sampling in embedding space.
+//
+// Expected shape (paper): baseline norms decay toward minority classes;
+// over-sampling partially flattens them; EOS tends to produce the largest
+// and most even norms (while not perfectly flat — the paper argues EOS's
+// benefit is range expansion, not merely norm equalization).
+//
+// Defaults to --datasets=cifar10 to bound runtime.
+
+#include "bench/bench_common.h"
+#include "metrics/weight_norms.h"
+
+namespace eos {
+namespace {
+
+void PrintNorms(const char* label, const std::vector<double>& norms) {
+  std::printf("  %-10s", label);
+  for (double v : norms) std::printf(" %6.3f", v);
+  std::printf("   (max/min %.2f)\n", WeightNormRatio(norms));
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  bench::CommonFlags common = bench::RegisterCommonFlags(flags);
+  *common.datasets = "cifar10";  // bench-local default
+  bench::HandleParse(flags.Parse(argc, argv), flags);
+
+  std::printf("Figure 5: per-class head weight norms (columns = class 0.."
+              "C-1, majority to minority)\n");
+  int eos_evens = 0;
+  int panels = 0;
+  for (DatasetKind dataset : bench::ParseDatasets(*common.datasets)) {
+    for (LossKind loss : bench::ParseLosses(*common.losses)) {
+      ExperimentConfig config = bench::MakeConfig(dataset, common);
+      bench::ApplyLoss(config, loss);
+      ExperimentPipeline pipeline(config);
+      pipeline.Prepare();
+      pipeline.TrainPhase1();
+
+      bench::PrintHeader(StrFormat("%s / %s", DatasetKindName(dataset),
+                                   LossKindName(loss)));
+      EvalOutputs baseline = pipeline.EvaluateBaseline();
+      PrintNorms("baseline", baseline.weight_norms);
+      double base_ratio = WeightNormRatio(baseline.weight_norms);
+      double eos_ratio = base_ratio;
+      for (SamplerKind kind :
+           {SamplerKind::kSmote, SamplerKind::kBorderlineSmote,
+            SamplerKind::kBalancedSvm, SamplerKind::kEos}) {
+        SamplerConfig sampler;
+        sampler.kind = kind;
+        sampler.k_neighbors =
+            kind == SamplerKind::kEos ? *common.k_neighbors : 5;
+        EvalOutputs out = pipeline.RunSampler(sampler);
+        PrintNorms(SamplerKindName(kind), out.weight_norms);
+        if (kind == SamplerKind::kEos) {
+          eos_ratio = WeightNormRatio(out.weight_norms);
+        }
+      }
+      ++panels;
+      if (eos_ratio < base_ratio) ++eos_evens;
+    }
+  }
+  std::printf("\nSummary: EOS evened the norm ratio vs baseline in %d/%d "
+              "panels\n",
+              eos_evens, panels);
+  return 0;
+}
+
+}  // namespace
+}  // namespace eos
+
+int main(int argc, char** argv) { return eos::Run(argc, argv); }

@@ -1,0 +1,193 @@
+// Reproduces Figure 6: t-SNE visualization of the decision boundary between
+// a majority class and its similar minority sibling (the paper's
+// automobile/truck pair at 60:1). Classes 0 and 1 of the CIFAR10-like
+// generator share a shape family; the imbalance profile is overridden so
+// class 1 is a 60:1 minority of class 0.
+//
+// For the baseline and each over-sampler the bench embeds the two classes'
+// (augmented) training features with t-SNE, writes one CSV per method
+// (x, y, label, is_synthetic), and prints two structure statistics:
+//   density  — mean distance of a minority point to its nearest minority
+//              neighbor in the 2-d embedding (lower = denser, more uniform)
+//   margin   — mean distance of a minority point to its nearest majority
+//              point (higher = wider local boundary)
+//
+// Expected shape (paper): EOS yields the densest, most uniform minority
+// structure with the widest local margin.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "common/csv.h"
+#include "tensor/tensor_ops.h"
+#include "tsne/tsne.h"
+
+namespace eos {
+namespace {
+
+struct Structure {
+  double density;
+  double margin;
+};
+
+Structure MeasureStructure(const Tensor& embedding,
+                           const std::vector<int64_t>& labels,
+                           int64_t minority) {
+  int64_t n = embedding.size(0);
+  double density_sum = 0.0;
+  double margin_sum = 0.0;
+  int64_t minority_count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (labels[static_cast<size_t>(i)] != minority) continue;
+    double best_same = 1e300;
+    double best_other = 1e300;
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double dx = embedding.at(i, 0) - embedding.at(j, 0);
+      double dy = embedding.at(i, 1) - embedding.at(j, 1);
+      double dist = std::sqrt(dx * dx + dy * dy);
+      if (labels[static_cast<size_t>(j)] == minority) {
+        best_same = std::min(best_same, dist);
+      } else {
+        best_other = std::min(best_other, dist);
+      }
+    }
+    density_sum += best_same;
+    margin_sum += best_other;
+    ++minority_count;
+  }
+  Structure s;
+  s.density = density_sum / std::max<int64_t>(1, minority_count);
+  s.margin = margin_sum / std::max<int64_t>(1, minority_count);
+  return s;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  bench::CommonFlags common = bench::RegisterCommonFlags(flags);
+  std::string* out_prefix = flags.AddString(
+      "out_prefix", "fig6_tsne", "CSV path prefix (one file per method)");
+  int64_t* tsne_iters = flags.AddInt("tsne_iters", 300, "t-SNE iterations");
+  bench::HandleParse(flags.Parse(argc, argv), flags);
+
+  ExperimentConfig config =
+      bench::MakeConfig(DatasetKind::kCifar10Like, common);
+  config.loss.kind = LossKind::kCrossEntropy;
+  config.max_per_class = 180;
+
+  ExperimentPipeline pipeline(config);
+  pipeline.Prepare();
+  pipeline.TrainPhase1();
+
+  // Classes 0 and 1 share a shape family (the auto/truck analogue) but the
+  // exponential profile keeps them both near the head. To reproduce the
+  // paper's 60:1 similar-pair setting, subsample class 1's embeddings down
+  // to max_per_class / 60 rows before augmentation.
+  FeatureSet train_fe;
+  {
+    const FeatureSet& full = pipeline.train_embeddings();
+    int64_t keep_minority =
+        std::max<int64_t>(3, config.max_per_class / 60);
+    std::vector<int64_t> rows;
+    int64_t kept = 0;
+    for (int64_t i = 0; i < full.size(); ++i) {
+      if (full.labels[static_cast<size_t>(i)] == 1) {
+        if (kept >= keep_minority) continue;
+        ++kept;
+      }
+      rows.push_back(i);
+    }
+    train_fe = SelectFeatures(full, rows);
+  }
+
+  std::printf("Figure 6: t-SNE of the class 0 (majority) vs class 1 "
+              "(minority sibling) boundary\n\n");
+  std::printf("%-10s %8s %10s %9s  %s\n", "method", "points", "density",
+              "margin", "csv");
+
+  struct MethodSpec {
+    const char* label;
+    SamplerKind kind;  // kNone = baseline
+  };
+  const MethodSpec kMethods[] = {
+      {"baseline", SamplerKind::kNone},
+      {"SMOTE", SamplerKind::kSmote},
+      {"B-SMOTE", SamplerKind::kBorderlineSmote},
+      {"Bal-SVM", SamplerKind::kBalancedSvm},
+      {"EOS", SamplerKind::kEos},
+  };
+
+  double baseline_margin = 0.0;
+  double eos_margin = 0.0;
+  double baseline_density = 0.0;
+  double eos_density = 0.0;
+  uint64_t method_index = 0;
+  for (const MethodSpec& method : kMethods) {
+    ++method_index;
+    // Build the (possibly augmented) training embedding set.
+    FeatureSet augmented = train_fe;
+    if (method.kind != SamplerKind::kNone) {
+      SamplerConfig sampler_config;
+      sampler_config.kind = method.kind;
+      sampler_config.k_neighbors =
+          method.kind == SamplerKind::kEos ? *common.k_neighbors : 5;
+      auto sampler = MakeOversampler(sampler_config);
+      Rng rng(config.seed + 77, /*stream=*/method_index);
+      augmented = sampler->Resample(train_fe, rng);
+    }
+    // Select the visualized pair.
+    std::vector<int64_t> rows;
+    std::vector<int64_t> labels;
+    std::vector<int64_t> synthetic;
+    for (int64_t i = 0; i < augmented.size(); ++i) {
+      int64_t y = augmented.labels[static_cast<size_t>(i)];
+      if (y != 0 && y != 1) continue;
+      rows.push_back(i);
+      labels.push_back(y);
+      synthetic.push_back(i >= train_fe.size() ? 1 : 0);
+    }
+    Tensor points = GatherRows(augmented.features, rows);
+
+    TsneOptions tsne_options;
+    tsne_options.iterations = *tsne_iters;
+    tsne_options.perplexity = 20.0;
+    tsne_options.seed = config.seed + 5;
+    Tensor embedding = Tsne(points, tsne_options);
+
+    Structure structure = MeasureStructure(embedding, labels, /*minority=*/1);
+    std::string csv_path =
+        StrFormat("%s_%s.csv", out_prefix->c_str(), method.label);
+    CsvWriter csv;
+    if (csv.Open(csv_path).ok()) {
+      (void)csv.WriteRow({"x", "y", "label", "is_synthetic"});
+      for (int64_t i = 0; i < embedding.size(0); ++i) {
+        (void)csv.WriteRow(
+            {StrFormat("%.4f", embedding.at(i, 0)),
+             StrFormat("%.4f", embedding.at(i, 1)),
+             std::to_string(labels[static_cast<size_t>(i)]),
+             std::to_string(synthetic[static_cast<size_t>(i)])});
+      }
+      (void)csv.Close();
+    }
+    std::printf("%-10s %8lld %10.3f %9.3f  %s\n", method.label,
+                static_cast<long long>(embedding.size(0)), structure.density,
+                structure.margin, csv_path.c_str());
+    if (method.kind == SamplerKind::kNone) {
+      baseline_margin = structure.margin;
+      baseline_density = structure.density;
+    }
+    if (method.kind == SamplerKind::kEos) {
+      eos_margin = structure.margin;
+      eos_density = structure.density;
+    }
+  }
+  std::printf("\nSummary: EOS density %.3f vs baseline %.3f (lower = denser"
+              "/more uniform); EOS margin %.3f vs baseline %.3f\n",
+              eos_density, baseline_density, eos_margin, baseline_margin);
+  return 0;
+}
+
+}  // namespace
+}  // namespace eos
+
+int main(int argc, char** argv) { return eos::Run(argc, argv); }

@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark): throughput of the over-samplers and
+// the kNN substrate at embedding scale. These quantify the "lightweight
+// instance generation" claim — EOS costs one kNN pass plus vector blends,
+// no model induction.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ml/knn.h"
+#include "sampling/adasyn.h"
+#include "sampling/borderline_smote.h"
+#include "sampling/eos.h"
+#include "sampling/smote.h"
+
+namespace eos {
+namespace {
+
+FeatureSet MakeEmbeddings(int64_t n, int64_t dim, int64_t num_classes) {
+  Rng rng(42);
+  FeatureSet out;
+  out.num_classes = num_classes;
+  out.features = Tensor({n, dim});
+  for (int64_t i = 0; i < n; ++i) {
+    // Exponentially imbalanced labels.
+    int64_t c = 0;
+    while (c + 1 < num_classes && rng.Bernoulli(0.45)) ++c;
+    for (int64_t j = 0; j < dim; ++j) {
+      out.features.at(i, j) = rng.Normal(static_cast<float>(c), 1.0f);
+    }
+    out.labels.push_back(c);
+  }
+  // Ensure every class has at least one row.
+  for (int64_t c = 0; c < num_classes; ++c) {
+    out.labels[static_cast<size_t>(c)] = c;
+  }
+  return out;
+}
+
+void BM_KnnQuery(benchmark::State& state) {
+  FeatureSet data = MakeEmbeddings(state.range(0), 64, 10);
+  KnnIndex index(data.features);
+  int64_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.QueryRow(row, 10));
+    row = (row + 1) % index.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnnQuery)->Arg(500)->Arg(2000);
+
+void BM_Smote(benchmark::State& state) {
+  FeatureSet data = MakeEmbeddings(state.range(0), 64, 10);
+  Smote sampler(5);
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(sampler.Resample(data, rng));
+  }
+}
+BENCHMARK(BM_Smote)->Arg(500)->Arg(2000);
+
+void BM_BorderlineSmote(benchmark::State& state) {
+  FeatureSet data = MakeEmbeddings(state.range(0), 64, 10);
+  BorderlineSmote sampler(5);
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(sampler.Resample(data, rng));
+  }
+}
+BENCHMARK(BM_BorderlineSmote)->Arg(500)->Arg(2000);
+
+void BM_Adasyn(benchmark::State& state) {
+  FeatureSet data = MakeEmbeddings(state.range(0), 64, 10);
+  Adasyn sampler(5);
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(sampler.Resample(data, rng));
+  }
+}
+BENCHMARK(BM_Adasyn)->Arg(500)->Arg(2000);
+
+void BM_Eos(benchmark::State& state) {
+  FeatureSet data = MakeEmbeddings(state.range(0), 64, 10);
+  ExpansiveOversampler sampler(10);
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(sampler.Resample(data, rng));
+  }
+}
+BENCHMARK(BM_Eos)->Arg(500)->Arg(2000);
+
+void BM_EosLargeK(benchmark::State& state) {
+  FeatureSet data = MakeEmbeddings(2000, 64, 10);
+  ExpansiveOversampler sampler(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(sampler.Resample(data, rng));
+  }
+}
+BENCHMARK(BM_EosLargeK)->Arg(10)->Arg(100)->Arg(300);
+
+}  // namespace
+}  // namespace eos
+
+BENCHMARK_MAIN();

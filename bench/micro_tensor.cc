@@ -1,0 +1,79 @@
+// Micro-benchmarks (google-benchmark): the GEMM and convolution kernels
+// that dominate phase-1 training time.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "tensor/matmul.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Uniform({n, n}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::Uniform({n, n}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulNT(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::Uniform({n, n}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::Uniform({n, n}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulNT(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulNT)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  int64_t channels = state.range(0);
+  Rng rng(3);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, /*bias=*/false, rng);
+  Tensor x = Tensor::Uniform({16, channels, 16, 16}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, /*training=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  int64_t channels = state.range(0);
+  Rng rng(4);
+  nn::Conv2d conv(channels, channels, 3, 1, 1, /*bias=*/false, rng);
+  Tensor x = Tensor::Uniform({16, channels, 16, 16}, -1.0f, 1.0f, rng);
+  Tensor grad = Tensor::Uniform({16, channels, 16, 16}, -1.0f, 1.0f, rng);
+  conv.Forward(x, /*training=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Backward(grad));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::BatchNorm2d bn(32);
+  Tensor x = Tensor::Uniform({32, 32, 16, 16}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn.Forward(x, /*training=*/true));
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_BatchNormForward);
+
+}  // namespace
+}  // namespace eos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Reproduces Table II: baseline cost-sensitive algorithms (CE/ASL/Focal/
+// LDAM) against SMOTE, Borderline-SMOTE, Balanced-SVM, and EOS applied in
+// feature-embedding space via the three-phase framework.
+//
+// Expected shape (paper): every over-sampler beats its baseline, and EOS is
+// the best (or tied-best) column for most (dataset, loss) cells.
+
+#include "bench/bench_common.h"
+
+namespace eos {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  bench::CommonFlags common = bench::RegisterCommonFlags(flags);
+  bench::HandleParse(flags.Parse(argc, argv), flags);
+
+  std::printf("Table II: Baseline Algorithms & Over-Sampling Accuracy "
+              "(BAC GM FM)\n");
+  struct Cell {
+    std::string dataset;
+    std::string loss;
+    double baseline;
+    double eos;
+    double best_other;
+  };
+  std::vector<Cell> cells;
+
+  for (DatasetKind dataset : bench::ParseDatasets(*common.datasets)) {
+    bench::PrintHeader(DatasetKindName(dataset));
+    for (LossKind loss : bench::ParseLosses(*common.losses)) {
+      ExperimentConfig config = bench::MakeConfig(dataset, common);
+      bench::ApplyLoss(config, loss);
+      ExperimentPipeline pipeline(config);
+      pipeline.Prepare();
+      pipeline.TrainPhase1();
+
+      std::printf(" %s:\n", LossKindName(loss));
+      EvalOutputs baseline = pipeline.EvaluateBaseline();
+      bench::PrintRow("Baseline", baseline.metrics);
+
+      double best_other = 0.0;
+      for (SamplerKind kind :
+           {SamplerKind::kSmote, SamplerKind::kBorderlineSmote,
+            SamplerKind::kBalancedSvm}) {
+        SamplerConfig sampler;
+        sampler.kind = kind;
+        sampler.k_neighbors = 5;
+        EvalOutputs out = pipeline.RunSampler(sampler);
+        bench::PrintRow(SamplerKindName(kind), out.metrics);
+        best_other = std::max(best_other, out.metrics.bac);
+      }
+      SamplerConfig eos_sampler;
+      eos_sampler.kind = SamplerKind::kEos;
+      eos_sampler.k_neighbors = *common.k_neighbors;
+      EvalOutputs eos_out = pipeline.RunSampler(eos_sampler);
+      bench::PrintRow("EOS", eos_out.metrics);
+      cells.push_back({DatasetKindName(dataset), LossKindName(loss),
+                       baseline.metrics.bac, eos_out.metrics.bac,
+                       best_other});
+    }
+  }
+
+  int eos_beats_baseline = 0;
+  int eos_best = 0;
+  for (const Cell& cell : cells) {
+    if (cell.eos > cell.baseline) ++eos_beats_baseline;
+    if (cell.eos >= cell.best_other) ++eos_best;
+  }
+  std::printf("\nSummary: EOS > baseline in %d/%zu cells; "
+              "EOS >= best other sampler in %d/%zu cells\n",
+              eos_beats_baseline, cells.size(), eos_best, cells.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace eos
+
+int main(int argc, char** argv) { return eos::Run(argc, argv); }

@@ -1,0 +1,104 @@
+// Renders a grid of samples from each synthetic dataset simulator to PPM
+// image files, so the substitution for the paper's image benchmarks can be
+// inspected visually (any image viewer or `convert x.ppm x.png` works).
+//
+// Run: ./build/examples/dataset_preview [--out_dir=.] [--per_class=8]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "data/synthetic_images.h"
+
+namespace {
+
+// Writes a [rows*S, cols*S] RGB grid of images as binary PPM (P6).
+eos::Status WritePpmGrid(const std::string& path, const eos::Dataset& data,
+                         int64_t rows, int64_t cols) {
+  int64_t s = data.images.size(2);
+  int64_t width = cols * s;
+  int64_t height = rows * s;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return eos::Status::IoError("cannot open " + path);
+  std::fprintf(f, "P6\n%lld %lld\n255\n", static_cast<long long>(width),
+               static_cast<long long>(height));
+  const float* x = data.images.data();
+  int64_t plane = s * s;
+  for (int64_t y = 0; y < height; ++y) {
+    for (int64_t xx = 0; xx < width; ++xx) {
+      int64_t tile = (y / s) * cols + (xx / s);
+      int64_t py = y % s;
+      int64_t px = xx % s;
+      unsigned char rgb[3];
+      if (tile < data.size()) {
+        for (int c = 0; c < 3; ++c) {
+          float v = x[(tile * 3 + c) * plane + py * s + px];
+          v = std::min(1.0f, std::max(0.0f, v));
+          rgb[c] = static_cast<unsigned char>(v * 255.0f);
+        }
+      } else {
+        rgb[0] = rgb[1] = rgb[2] = 0;
+      }
+      std::fwrite(rgb, 1, 3, f);
+    }
+  }
+  std::fclose(f);
+  return eos::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eos::FlagSet flags;
+  std::string* out_dir = flags.AddString("out_dir", ".", "output directory");
+  int64_t* per_class = flags.AddInt("per_class", 8,
+                                    "samples per class (grid columns)");
+  int64_t* image_size = flags.AddInt("image_size", 16, "image edge size");
+  int64_t* seed = flags.AddInt("seed", 1, "generation seed");
+  eos::Status status = flags.Parse(argc, argv);
+  if (!status.ok() || flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return status.ok() ? 0 : 2;
+  }
+
+  for (eos::DatasetKind kind :
+       {eos::DatasetKind::kCifar10Like, eos::DatasetKind::kSvhnLike,
+        eos::DatasetKind::kCifar100Like, eos::DatasetKind::kCelebALike}) {
+    eos::SyntheticConfig config;
+    config.image_size = *image_size;
+    eos::SyntheticImageGenerator generator(kind, config);
+    // One row per class (CIFAR100-like shows the first 10 classes).
+    int64_t classes_to_show =
+        std::min<int64_t>(generator.num_classes(), 10);
+    std::vector<int64_t> counts(
+        static_cast<size_t>(generator.num_classes()), 0);
+    for (int64_t c = 0; c < classes_to_show; ++c) {
+      counts[static_cast<size_t>(c)] = *per_class;
+    }
+    eos::Rng rng(static_cast<uint64_t>(*seed));
+    eos::Dataset data = generator.Generate(counts, rng);
+    // Re-order row-major by class for the grid.
+    std::vector<int64_t> order;
+    for (int64_t c = 0; c < classes_to_show; ++c) {
+      for (int64_t i : data.ClassIndices(c)) order.push_back(i);
+    }
+    eos::Dataset grid = eos::SelectExamples(data, order);
+
+    std::string name = eos::DatasetKindName(kind);
+    for (char& ch : name) {
+      if (ch == '-' || ch == ' ') ch = '_';
+    }
+    std::string path = *out_dir + "/preview_" + name + ".ppm";
+    eos::Status write_status =
+        WritePpmGrid(path, grid, classes_to_show, *per_class);
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "%s\n", write_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%lld classes x %lld samples)\n", path.c_str(),
+                static_cast<long long>(classes_to_show),
+                static_cast<long long>(*per_class));
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: the whole three-phase EOS framework in one page.
+//
+//   1. synthesize an exponentially imbalanced image dataset (100:1)
+//   2. phase 1 — train a ResNet end-to-end on the imbalanced data
+//   3. phase 2 — extract feature embeddings and balance them with EOS
+//   4. phase 3 — fine-tune only the classifier head on the balanced set
+//   5. compare balanced accuracy and the generalization gap before/after
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "sampling/eos.h"
+
+int main() {
+  // --- Configure a small experiment (see ExperimentConfig for knobs). ---
+  eos::ExperimentConfig config;
+  config.dataset = eos::DatasetKind::kCifar10Like;
+  config.synth.image_size = 16;
+  config.max_per_class = 120;       // largest class
+  config.imbalance_ratio = 100.0;   // exponential profile, 100:1 like CIFAR
+  config.test_per_class = 30;       // balanced test split
+  config.blocks_per_stage = 1;      // ResNet-8
+  config.base_width = 8;
+  config.phase1.epochs = 20;
+  config.phase1.lr = 0.05;
+  config.loss.kind = eos::LossKind::kCrossEntropy;
+  config.head.epochs = 10;          // the paper's cheap head retrain
+  config.seed = 7;
+
+  eos::ExperimentPipeline pipeline(config);
+
+  std::printf("Generating imbalanced training data...\n");
+  pipeline.Prepare();
+  auto counts = pipeline.train_counts();
+  std::printf("  per-class train counts: ");
+  for (int64_t c : counts) std::printf("%lld ", static_cast<long long>(c));
+  std::printf("\n");
+
+  std::printf("Phase 1: training a ResNet-8 end-to-end on %s...\n",
+              eos::DatasetKindName(config.dataset));
+  pipeline.TrainPhase1();
+  std::printf("  network: %s, %lld parameters (%lld in the head)\n",
+              pipeline.net().arch.c_str(),
+              static_cast<long long>(pipeline.net().NumParameters()),
+              static_cast<long long>(pipeline.net().head->NumParameters()));
+  eos::EvalOutputs baseline = pipeline.EvaluateBaseline();
+  std::printf("  baseline:  %s   generalization gap %.2f\n",
+              baseline.metrics.ToString().c_str(), baseline.gap.mean);
+
+  std::printf("Phases 2+3: EOS over-sampling in embedding space + head "
+              "retrain...\n");
+  eos::SamplerConfig sampler;
+  sampler.kind = eos::SamplerKind::kEos;
+  sampler.k_neighbors = 10;  // the paper's default K
+  eos::EvalOutputs with_eos = pipeline.RunSampler(sampler);
+  std::printf("  with EOS:  %s   generalization gap %.2f   (%.2fs)\n",
+              with_eos.metrics.ToString().c_str(), with_eos.gap.mean,
+              with_eos.seconds);
+
+  std::printf("\nMinority-class recall (classes ordered majority -> "
+              "minority):\n  baseline:");
+  for (double r : baseline.per_class_recall) std::printf(" %.2f", r);
+  std::printf("\n  with EOS:");
+  for (double r : with_eos.per_class_recall) std::printf(" %.2f", r);
+  std::printf("\n\nBAC %+.4f, gap %+0.2f after EOS.\n",
+              with_eos.metrics.bac - baseline.metrics.bac,
+              with_eos.gap.mean - baseline.gap.mean);
+  return 0;
+}

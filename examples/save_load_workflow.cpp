@@ -1,0 +1,98 @@
+// Model persistence workflow: train a phase-1 extractor once, save it, then
+// reload it in a "fresh process" and run phases 2+3 with different samplers
+// — the pattern a practitioner would use to amortize the expensive phase
+// across many augmentation studies.
+//
+// Run: ./build/examples/save_load_workflow [--weights=/tmp/eos_model]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/pipeline.h"
+#include "core/three_phase.h"
+#include "metrics/classification_metrics.h"
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+
+int main(int argc, char** argv) {
+  eos::FlagSet flags;
+  std::string* weights =
+      flags.AddString("weights", "/tmp/eos_model", "weights path prefix");
+  int64_t* epochs = flags.AddInt("epochs", 20, "phase-1 epochs");
+  eos::Status status = flags.Parse(argc, argv);
+  if (!status.ok() || flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return status.ok() ? 0 : 2;
+  }
+
+  eos::ExperimentConfig config;
+  config.dataset = eos::DatasetKind::kCifar10Like;
+  config.synth.image_size = 16;
+  config.max_per_class = 150;
+  config.imbalance_ratio = 50.0;
+  config.test_per_class = 40;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.phase1.epochs = *epochs;
+  config.phase1.lr = 0.05;
+  config.seed = 5;
+
+  // --- Session 1: train and persist. ---
+  {
+    eos::ExperimentPipeline pipeline(config);
+    pipeline.Prepare();
+    std::printf("training phase-1 model (%lld epochs)...\n",
+                static_cast<long long>(*epochs));
+    pipeline.TrainPhase1();
+    eos::Status save_status =
+        eos::nn::SaveClassifier(pipeline.net(), *weights);
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n",
+                   save_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved weights to %s.{extractor,head}\n", weights->c_str());
+  }
+
+  // --- Session 2: reload into a fresh network, skip phase 1 entirely. ---
+  {
+    eos::Rng build_rng(99);  // unrelated init; weights are overwritten
+    eos::ExperimentConfig data_config = config;
+    eos::ExperimentPipeline data(data_config);
+    data.Prepare();  // same seed -> identical split
+
+    eos::nn::ImageClassifier net = eos::BuildNetwork(config, build_rng);
+    eos::Status load_status = eos::nn::LoadClassifier(net, *weights);
+    if (!load_status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   load_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("reloaded model; running phases 2+3 without retraining the "
+                "extractor\n\n");
+
+    eos::FeatureSet train_fe = eos::ExtractEmbeddings(net, data.train());
+    eos::FeatureSet test_fe = eos::ExtractEmbeddings(net, data.test());
+
+    for (eos::SamplerKind kind :
+         {eos::SamplerKind::kSmote, eos::SamplerKind::kEos}) {
+      eos::SamplerConfig sampler_config;
+      sampler_config.kind = kind;
+      sampler_config.k_neighbors =
+          kind == eos::SamplerKind::kEos ? 10 : 5;
+      auto sampler = MakeOversampler(sampler_config);
+      eos::Rng rng(7);
+      eos::FeatureSet balanced = sampler->Resample(train_fe, rng);
+      eos::HeadRetrainOptions head_options;
+      eos::Rng head_rng(8);
+      eos::RetrainHead(net, balanced, head_options, head_rng);
+
+      eos::Tensor logits = net.head->Forward(test_fe.features, false);
+      eos::ConfusionMatrix confusion(test_fe.num_classes);
+      confusion.AddAll(test_fe.labels, eos::ArgMaxRows(logits));
+      std::printf("--- %s ---\n%s\n", SamplerKindName(kind),
+                  eos::ClassificationReport(confusion).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#ifndef EOS_COMMON_CHECK_H_
+#define EOS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Internal-invariant checking macros. A failed check indicates a programming
+/// error inside the library (never a recoverable user error — those are
+/// reported through eos::Status), so the process aborts with a diagnostic.
+
+namespace eos::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "EOS_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace eos::internal
+
+/// Aborts the process when `cond` is false.
+#define EOS_CHECK(cond)                                      \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::eos::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                        \
+  } while (0)
+
+#define EOS_CHECK_EQ(a, b) EOS_CHECK((a) == (b))
+#define EOS_CHECK_NE(a, b) EOS_CHECK((a) != (b))
+#define EOS_CHECK_LT(a, b) EOS_CHECK((a) < (b))
+#define EOS_CHECK_LE(a, b) EOS_CHECK((a) <= (b))
+#define EOS_CHECK_GT(a, b) EOS_CHECK((a) > (b))
+#define EOS_CHECK_GE(a, b) EOS_CHECK((a) >= (b))
+
+#endif  // EOS_COMMON_CHECK_H_

@@ -1,0 +1,65 @@
+#include "common/csv.h"
+
+#include "common/string_util.h"
+
+namespace eos {
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CsvWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("CsvWriter already open");
+  }
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeCell(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return Status::FailedPrecondition("CsvWriter not open");
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line += ',';
+    line += EscapeCell(cells[i]);
+  }
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::string& label,
+                           const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(StrFormat("%.6g", v));
+  return WriteRow(cells);
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("fclose failed");
+  return Status::OK();
+}
+
+}  // namespace eos

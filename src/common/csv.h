@@ -1,0 +1,44 @@
+#ifndef EOS_COMMON_CSV_H_
+#define EOS_COMMON_CSV_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eos {
+
+/// Writes rows of mixed string/numeric cells as RFC-4180-ish CSV. Used by the
+/// bench harnesses to dump figure series (e.g., t-SNE coordinates, per-class
+/// gap curves) for external plotting.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Opens `path` for writing, truncating any existing file.
+  Status Open(const std::string& path);
+
+  /// Writes one row; cells containing commas/quotes/newlines are quoted.
+  Status WriteRow(const std::vector<std::string>& cells);
+
+  /// Convenience: label followed by numeric cells.
+  Status WriteRow(const std::string& label, const std::vector<double>& values);
+
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  static std::string EscapeCell(const std::string& cell);
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_CSV_H_

@@ -1,0 +1,150 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace eos {
+
+int64_t* FlagSet::AddInt(const std::string& name, int64_t default_value,
+                         const std::string& help) {
+  int_storage_.push_back(std::make_unique<int64_t>(default_value));
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = help;
+  flag.default_repr = std::to_string(default_value);
+  flag.int_value = int_storage_.back().get();
+  flags_[name] = flag;
+  return flag.int_value;
+}
+
+double* FlagSet::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  double_storage_.push_back(std::make_unique<double>(default_value));
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.default_repr = StrFormat("%g", default_value);
+  flag.double_value = double_storage_.back().get();
+  flags_[name] = flag;
+  return flag.double_value;
+}
+
+bool* FlagSet::AddBool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  bool_storage_.push_back(std::make_unique<bool>(default_value));
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.default_repr = default_value ? "true" : "false";
+  flag.bool_value = bool_storage_.back().get();
+  flags_[name] = flag;
+  return flag.bool_value;
+}
+
+std::string* FlagSet::AddString(const std::string& name,
+                                const std::string& default_value,
+                                const std::string& help) {
+  string_storage_.push_back(std::make_unique<std::string>(default_value));
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.default_repr = default_value;
+  flag.string_value = string_storage_.back().get();
+  flags_[name] = flag;
+  return flag.string_value;
+}
+
+Status FlagSet::SetValue(Flag& flag, const std::string& name,
+                         const std::string& value) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer for --" + name + ": " +
+                                       value);
+      }
+      *flag.int_value = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double for --" + name + ": " +
+                                       value);
+      }
+      *flag.double_value = v;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        *flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " +
+                                       value);
+      }
+      return Status::OK();
+    }
+    case Type::kString:
+      *flag.string_value = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        *flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+      value = argv[++i];
+    }
+    EOS_RETURN_IF_ERROR(SetValue(flag, name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%s (default: %s)\n      %s\n", name.c_str(),
+                     flag.default_repr.c_str(), flag.help.c_str());
+  }
+  return out;
+}
+
+}  // namespace eos

@@ -1,0 +1,75 @@
+#ifndef EOS_COMMON_FLAGS_H_
+#define EOS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eos {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+/// Flags take the form `--name=value` or `--name value`; bools also accept
+/// bare `--name`. Unknown flags are an error so typos fail loudly.
+///
+/// Usage:
+///   FlagSet flags;
+///   int64_t* epochs = flags.AddInt("epochs", 20, "training epochs");
+///   EOS_CHECK(flags.Parse(argc, argv).ok());
+class FlagSet {
+ public:
+  FlagSet() = default;
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+
+  /// Registers a flag; the returned pointer stays valid for the FlagSet's
+  /// lifetime and holds the default until Parse overwrites it.
+  int64_t* AddInt(const std::string& name, int64_t default_value,
+                  const std::string& help);
+  double* AddDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  bool* AddBool(const std::string& name, bool default_value,
+                const std::string& help);
+  std::string* AddString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown flags or bad values.
+  /// `--help` prints usage and the parse reports it via `help_requested()`.
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders the registered flags with defaults and help strings.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string default_repr;
+    int64_t* int_value = nullptr;
+    double* double_value = nullptr;
+    bool* bool_value = nullptr;
+    std::string* string_value = nullptr;
+  };
+
+  Status SetValue(Flag& flag, const std::string& name,
+                  const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  // Owned storage for flag values (stable addresses).
+  std::vector<std::unique_ptr<int64_t>> int_storage_;
+  std::vector<std::unique_ptr<double>> double_storage_;
+  std::vector<std::unique_ptr<bool>> bool_storage_;
+  std::vector<std::unique_ptr<std::string>> string_storage_;
+  bool help_requested_ = false;
+};
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_FLAGS_H_

@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace eos {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint32_t Rng::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+float Rng::Uniform() {
+  // 24 high bits -> float with full mantissa coverage in [0,1).
+  return static_cast<float>(Next() >> 8) * (1.0f / 16777216.0f);
+}
+
+double Rng::UniformDouble() {
+  uint64_t hi = Next();
+  uint64_t lo = Next();
+  uint64_t bits = (hi << 21) ^ lo;  // 53 usable bits
+  return static_cast<double>(bits & ((1ULL << 53) - 1)) / 9007199254740992.0;
+}
+
+float Rng::Uniform(float lo, float hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t n) {
+  EOS_CHECK_GT(n, 0);
+  uint64_t un = static_cast<uint64_t>(n);
+  // Lemire-style rejection over 32-bit draws; for n beyond 32 bits combine two.
+  if (un <= UINT32_MAX) {
+    uint32_t threshold = static_cast<uint32_t>((-un) % un);
+    while (true) {
+      uint32_t r = Next();
+      if (r >= threshold) return static_cast<int64_t>(r % un);
+    }
+  }
+  uint64_t threshold = (-un) % un;
+  while (true) {
+    uint64_t r = (static_cast<uint64_t>(Next()) << 32) | Next();
+    if (r >= threshold) return static_cast<int64_t>(r % un);
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  EOS_CHECK_LT(lo, hi);
+  return lo + UniformInt(hi - lo);
+}
+
+float Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  // Guard against log(0).
+  if (u1 < 1e-300) u1 = 1e-300;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  cached_normal_ = static_cast<float>(r * std::sin(kTwoPi * u2));
+  has_cached_normal_ = true;
+  return static_cast<float>(r * std::cos(kTwoPi * u2));
+}
+
+float Rng::Normal(float mean, float stddev) { return mean + stddev * Normal(); }
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+int64_t Rng::Categorical(const std::vector<float>& weights) {
+  double total = 0.0;
+  for (float w : weights) {
+    EOS_CHECK_GE(w, 0.0f);
+    total += w;
+  }
+  EOS_CHECK_GT(total, 0.0);
+  double u = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+Rng Rng::Fork() {
+  uint64_t child_seed = (static_cast<uint64_t>(Next()) << 32) | Next();
+  uint64_t child_stream = (static_cast<uint64_t>(Next()) << 32) | Next();
+  return Rng(child_seed, child_stream | 1u);
+}
+
+}  // namespace eos

@@ -1,0 +1,131 @@
+#ifndef EOS_COMMON_STATUS_H_
+#define EOS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+/// \file
+/// Exception-free error handling, in the style of Arrow/RocksDB: fallible
+/// public APIs return eos::Status or eos::Result<T>.
+
+namespace eos {
+
+/// Error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Access to the value of a
+/// non-OK Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    EOS_CHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    return ok() ? ok_status : std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    EOS_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    EOS_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    EOS_CHECK(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace eos
+
+/// Propagates a non-OK Status to the caller.
+#define EOS_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::eos::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors, else binds the value.
+#define EOS_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  EOS_ASSIGN_OR_RETURN_IMPL_(                             \
+      EOS_STATUS_CONCAT_(_eos_result, __LINE__), lhs, rexpr)
+
+#define EOS_STATUS_CONCAT_INNER_(a, b) a##b
+#define EOS_STATUS_CONCAT_(a, b) EOS_STATUS_CONCAT_INNER_(a, b)
+#define EOS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // EOS_COMMON_STATUS_H_

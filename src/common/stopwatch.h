@@ -1,0 +1,30 @@
+#ifndef EOS_COMMON_STOPWATCH_H_
+#define EOS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace eos {
+
+/// Wall-clock stopwatch used by the runtime-efficiency bench (§V-E2).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Milliseconds() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_STOPWATCH_H_

@@ -1,0 +1,31 @@
+#ifndef EOS_COMMON_STRING_UTIL_H_
+#define EOS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eos {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string StrTrim(std::string_view s);
+
+/// Formats a float with `digits` places after the decimal point, paper-table
+/// style (e.g., 0.7581 -> ".7581" when leading_zero is false).
+std::string FormatMetric(double value, int digits = 4,
+                         bool leading_zero = false);
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,85 @@
+#include "core/decoupling.h"
+
+#include <cmath>
+
+#include "data/batcher.h"
+#include "losses/cross_entropy.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+void RetrainHeadClassBalanced(nn::ImageClassifier& net,
+                              const FeatureSet& features,
+                              const HeadRetrainOptions& options, Rng& rng) {
+  EOS_CHECK_GT(features.size(), 0);
+  EOS_CHECK_EQ(features.features.size(1), net.feature_dim);
+  if (options.reinit_head) {
+    if (auto* linear = dynamic_cast<nn::Linear*>(net.head.get())) {
+      linear->ResetParameters(rng);
+    } else if (auto* norm = dynamic_cast<nn::NormLinear*>(net.head.get())) {
+      norm->ResetParameters(rng);
+    } else {
+      EOS_CHECK(false);
+    }
+  }
+  std::vector<nn::Parameter*> params = net.head->Parameters();
+  nn::Sgd::Options sgd_options;
+  sgd_options.lr = options.lr;
+  sgd_options.momentum = options.momentum;
+  sgd_options.weight_decay = options.weight_decay;
+  nn::Sgd optimizer(params, sgd_options);
+  CrossEntropyLoss loss;
+  nn::MultiStepLr schedule =
+      nn::MultiStepLr::ForRun(options.lr, options.epochs);
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    optimizer.set_lr(schedule.LrAt(epoch));
+    // The balancing happens in the sampler, not the data: minority rows are
+    // drawn repeatedly so each epoch sees a uniform class distribution.
+    auto batches = MakeBalancedBatches(features.labels, features.num_classes,
+                                       options.batch_size, rng);
+    for (const auto& batch : batches) {
+      Tensor x = GatherRows(features.features, batch);
+      std::vector<int64_t> targets;
+      targets.reserve(batch.size());
+      for (int64_t i : batch) {
+        targets.push_back(features.labels[static_cast<size_t>(i)]);
+      }
+      optimizer.ZeroGrad();
+      Tensor logits = net.head->Forward(x, /*training=*/true);
+      Tensor grad;
+      loss.Compute(logits, targets, &grad);
+      net.head->Backward(grad);
+      optimizer.Step();
+    }
+  }
+}
+
+void TauNormalizeHead(nn::ImageClassifier& net, double tau) {
+  EOS_CHECK_GE(tau, 0.0);
+  Tensor weight;
+  if (auto* linear = dynamic_cast<nn::Linear*>(net.head.get())) {
+    weight = linear->weight().value;
+  } else if (auto* norm = dynamic_cast<nn::NormLinear*>(net.head.get())) {
+    weight = norm->weight().value;
+  } else {
+    EOS_CHECK(false);
+  }
+  int64_t classes = weight.size(0);
+  int64_t dim = weight.size(1);
+  float* w = weight.data();
+  for (int64_t c = 0; c < classes; ++c) {
+    double norm = 0.0;
+    float* row = w + c * dim;
+    for (int64_t j = 0; j < dim; ++j) {
+      norm += static_cast<double>(row[j]) * row[j];
+    }
+    norm = std::sqrt(norm);
+    if (norm <= 0.0) continue;
+    float scale = static_cast<float>(1.0 / std::pow(norm, tau));
+    for (int64_t j = 0; j < dim; ++j) row[j] *= scale;
+  }
+}
+
+}  // namespace eos

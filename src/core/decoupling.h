@@ -1,0 +1,31 @@
+#ifndef EOS_CORE_DECOUPLING_H_
+#define EOS_CORE_DECOUPLING_H_
+
+#include "core/three_phase.h"
+
+namespace eos {
+
+/// Decoupling-style classifier adjustments (Kang et al. 2020), the
+/// representation/classifier-separation line of work the paper's framework
+/// builds on (§II-A). These are alternative phase-3 strategies that do not
+/// synthesize data at all, giving the benches a no-augmentation reference:
+///
+///  * cRT — classifier re-training with class-balanced sampling: the head
+///    is retrained on the *original* embeddings, but every epoch draws the
+///    same number of examples per class (minority rows repeat).
+///  * tau-normalization — no retraining: each head weight row is rescaled
+///    by 1 / ||w_c||^tau, directly evening the per-class norms Figure 5
+///    studies.
+
+/// cRT: retrains the head with class-balanced batches over `features`.
+void RetrainHeadClassBalanced(nn::ImageClassifier& net,
+                              const FeatureSet& features,
+                              const HeadRetrainOptions& options, Rng& rng);
+
+/// tau-normalization: w_c <- w_c / ||w_c||^tau (tau = 1 fully normalizes,
+/// 0 is a no-op). Applies to Linear and NormLinear heads; biases untouched.
+void TauNormalizeHead(nn::ImageClassifier& net, double tau);
+
+}  // namespace eos
+
+#endif  // EOS_CORE_DECOUPLING_H_

@@ -1,0 +1,199 @@
+#include "core/pipeline.h"
+
+#include "common/stopwatch.h"
+#include "data/transforms.h"
+#include "metrics/weight_norms.h"
+#include "nn/linear.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+nn::ImageClassifier BuildNetwork(const ExperimentConfig& config, Rng& rng) {
+  bool norm_head = config.loss.kind == LossKind::kLdam;
+  int64_t num_classes = DatasetKindClasses(config.dataset);
+  switch (config.arch) {
+    case ArchKind::kResNet: {
+      nn::ResNetConfig rc;
+      rc.blocks_per_stage = config.blocks_per_stage;
+      rc.base_width = config.base_width;
+      rc.num_classes = num_classes;
+      rc.norm_head = norm_head;
+      rc.head_scale = static_cast<float>(config.loss.ldam_scale);
+      return nn::BuildResNet(rc, rng);
+    }
+    case ArchKind::kWideResNet: {
+      nn::WideResNetConfig wc;
+      wc.blocks_per_stage = config.blocks_per_stage;
+      wc.base_width = config.base_width;
+      wc.widen_factor = config.wrn_widen_factor;
+      wc.num_classes = num_classes;
+      wc.norm_head = norm_head;
+      wc.head_scale = static_cast<float>(config.loss.ldam_scale);
+      return nn::BuildWideResNet(wc, rng);
+    }
+    case ArchKind::kDenseNet: {
+      nn::DenseNetConfig dc;
+      dc.layers_per_block = config.densenet_layers_per_block;
+      dc.growth_rate = config.densenet_growth;
+      dc.num_classes = num_classes;
+      dc.norm_head = norm_head;
+      dc.head_scale = static_cast<float>(config.loss.ldam_scale);
+      return nn::BuildDenseNet(dc, rng);
+    }
+  }
+  EOS_CHECK(false);
+  return {};
+}
+
+ExperimentPipeline::ExperimentPipeline(const ExperimentConfig& config)
+    : config_(config), rng_(config.seed, /*stream=*/3) {}
+
+void ExperimentPipeline::Prepare() {
+  SyntheticImageGenerator generator(config_.dataset, config_.synth);
+  std::vector<int64_t> counts =
+      ImbalancedCounts(generator.num_classes(), config_.max_per_class,
+                       config_.imbalance_ratio, config_.imbalance_type);
+  Rng train_rng = rng_.Fork();
+  Rng test_rng = rng_.Fork();
+  train_ = generator.Generate(counts, train_rng);
+  test_ = generator.GenerateBalanced(config_.test_per_class, test_rng);
+  // Normalize both splits with training-set statistics, as the paper's
+  // bounded-input assumption requires.
+  ChannelStats stats = ComputeChannelStats(train_.images);
+  NormalizeChannels(train_.images, stats);
+  NormalizeChannels(test_.images, stats);
+  prepared_ = true;
+}
+
+void ExperimentPipeline::TrainPhase1() {
+  EOS_CHECK(prepared_);
+  Rng build_rng = rng_.Fork();
+  net_ = BuildNetwork(config_, build_rng);
+
+  LossConfig loss_config = config_.loss;
+  if (loss_config.kind == LossKind::kLdam && loss_config.drw_start_epoch < 0) {
+    // DRW defers re-weighting to the last fifth of training by default.
+    loss_config.drw_start_epoch = config_.phase1.epochs * 4 / 5;
+  }
+  loss_ = MakeLoss(loss_config, train_.ClassCounts());
+
+  Rng train_rng = rng_.Fork();
+  TrainEndToEnd(net_, *loss_, train_, config_.phase1, train_rng);
+
+  phase1_head_ = SaveHeadState(net_);
+  train_fe_ = ExtractEmbeddings(net_, train_);
+  test_fe_ = ExtractEmbeddings(net_, test_);
+  trained_ = true;
+}
+
+Tensor ExperimentPipeline::HeadWeight() {
+  if (auto* linear = dynamic_cast<nn::Linear*>(net_.head.get())) {
+    return linear->weight().value;
+  }
+  if (auto* norm = dynamic_cast<nn::NormLinear*>(net_.head.get())) {
+    return norm->weight().value;
+  }
+  EOS_CHECK(false);
+  return {};
+}
+
+EvalOutputs ExperimentPipeline::EvaluateCurrentHead(
+    const FeatureSet& train_fe_used) {
+  EvalOutputs out;
+  // The extractor is frozen, so classifying the cached test embeddings is
+  // exactly full-network inference.
+  Tensor logits = net_.head->Forward(test_fe_.features, /*training=*/false);
+  std::vector<int64_t> preds = ArgMaxRows(logits);
+  ConfusionMatrix confusion(test_.num_classes);
+  confusion.AddAll(test_.labels, preds);
+  out.metrics = ComputeSkewMetrics(confusion);
+  out.per_class_recall = confusion.Recalls();
+  out.gap = GeneralizationGap(train_fe_used, test_fe_);
+  out.weight_norms = ClassifierWeightNorms(HeadWeight());
+  return out;
+}
+
+EvalOutputs ExperimentPipeline::EvaluateBaseline() {
+  EOS_CHECK(trained_);
+  RestoreHeadState(net_, phase1_head_);
+  return EvaluateCurrentHead(train_fe_);
+}
+
+EvalOutputs ExperimentPipeline::RunSampler(
+    const SamplerConfig& sampler_config) {
+  std::unique_ptr<Oversampler> sampler = MakeOversampler(sampler_config);
+  return RunSampler(*sampler);
+}
+
+EvalOutputs ExperimentPipeline::RunSampler(Oversampler& sampler) {
+  EOS_CHECK(trained_);
+  RestoreHeadState(net_, phase1_head_);
+  Stopwatch watch;
+  Rng sampler_rng = rng_.Fork();
+  FeatureSet balanced = sampler.Resample(train_fe_, sampler_rng);
+  Rng head_rng = rng_.Fork();
+  RetrainHead(net_, balanced, config_.head, head_rng);
+  double seconds = watch.Seconds();
+  EvalOutputs out = EvaluateCurrentHead(balanced);
+  out.seconds = seconds;
+  RestoreHeadState(net_, phase1_head_);
+  return out;
+}
+
+EvalOutputs ExperimentPipeline::RetrainOn(const FeatureSet& balanced) {
+  EOS_CHECK(trained_);
+  RestoreHeadState(net_, phase1_head_);
+  Stopwatch watch;
+  Rng head_rng = rng_.Fork();
+  RetrainHead(net_, balanced, config_.head, head_rng);
+  double seconds = watch.Seconds();
+  EvalOutputs out = EvaluateCurrentHead(balanced);
+  out.seconds = seconds;
+  RestoreHeadState(net_, phase1_head_);
+  return out;
+}
+
+EvalOutputs RunPixelSpacePipeline(const ExperimentConfig& config,
+                                  Oversampler& sampler) {
+  // Independent data pipeline (same seed -> same split as the FE pipeline).
+  ExperimentPipeline data_only(config);
+  data_only.Prepare();
+
+  Stopwatch watch;
+  Rng rng(config.seed, /*stream=*/91);
+  // Over-sample flattened pixels to balance, then rebuild the image set.
+  FeatureSet flat = FlattenImages(data_only.train());
+  Rng sampler_rng = rng.Fork();
+  FeatureSet balanced_flat = sampler.Resample(flat, sampler_rng);
+  int64_t s = config.synth.image_size;
+  Dataset balanced = UnflattenImages(balanced_flat, 3, s, s);
+
+  // Fresh network, trained end-to-end on the balanced images.
+  Rng build_rng = rng.Fork();
+  nn::ImageClassifier net = BuildNetwork(config, build_rng);
+  LossConfig loss_config = config.loss;
+  if (loss_config.kind == LossKind::kLdam && loss_config.drw_start_epoch < 0) {
+    loss_config.drw_start_epoch = config.phase1.epochs * 4 / 5;
+  }
+  std::unique_ptr<Loss> loss = MakeLoss(loss_config, balanced.ClassCounts());
+  Rng train_rng = rng.Fork();
+  TrainEndToEnd(net, *loss, balanced, config.phase1, train_rng);
+  double seconds = watch.Seconds();
+
+  EvalOutputs out;
+  ConfusionMatrix confusion = EvaluateConfusion(net, data_only.test());
+  out.metrics = ComputeSkewMetrics(confusion);
+  out.per_class_recall = confusion.Recalls();
+  FeatureSet train_fe = ExtractEmbeddings(net, balanced);
+  FeatureSet test_fe = ExtractEmbeddings(net, data_only.test());
+  out.gap = GeneralizationGap(train_fe, test_fe);
+  if (auto* linear = dynamic_cast<nn::Linear*>(net.head.get())) {
+    out.weight_norms = ClassifierWeightNorms(linear->weight().value);
+  } else if (auto* norm = dynamic_cast<nn::NormLinear*>(net.head.get())) {
+    out.weight_norms = ClassifierWeightNorms(norm->weight().value);
+  }
+  out.seconds = seconds;
+  return out;
+}
+
+}  // namespace eos

@@ -1,0 +1,142 @@
+#ifndef EOS_CORE_PIPELINE_H_
+#define EOS_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/three_phase.h"
+#include "data/imbalance.h"
+#include "data/synthetic_images.h"
+#include "metrics/generalization_gap.h"
+#include "nn/densenet.h"
+#include "nn/resnet.h"
+#include "nn/wide_resnet.h"
+
+namespace eos {
+
+/// CNN architecture families the paper evaluates (Table V).
+enum class ArchKind { kResNet, kWideResNet, kDenseNet };
+
+/// Full description of one experiment cell: dataset, imbalance, network,
+/// phase-1 loss, and training regimes. The defaults are the laptop-scale
+/// configuration the benches run (see DESIGN.md's substitution table).
+struct ExperimentConfig {
+  DatasetKind dataset = DatasetKind::kCifar10Like;
+  SyntheticConfig synth;
+  int64_t max_per_class = 150;
+  double imbalance_ratio = 50.0;
+  ImbalanceType imbalance_type = ImbalanceType::kExponential;
+  int64_t test_per_class = 40;
+
+  LossConfig loss;
+
+  ArchKind arch = ArchKind::kResNet;
+  int64_t blocks_per_stage = 1;  // ResNet-8 / WRN-10
+  int64_t base_width = 8;
+  int64_t wrn_widen_factor = 2;
+  int64_t densenet_layers_per_block = 2;
+  int64_t densenet_growth = 8;
+
+  TrainerOptions phase1;
+  HeadRetrainOptions head;
+
+  uint64_t seed = 1;
+};
+
+/// Everything a bench reports about one (method, dataset, loss) cell.
+struct EvalOutputs {
+  SkewMetrics metrics;
+  std::vector<double> per_class_recall;
+  /// Generalization gap between the (possibly augmented) training feature
+  /// embeddings and the test embeddings — Figure 3's quantity.
+  GapResult gap;
+  /// Per-class L2 norms of the classifier head — Figure 5's quantity.
+  std::vector<double> weight_norms;
+  /// Wall-clock of the method-specific work (resample + head retrain, or
+  /// the full end-to-end training for pixel-space pipelines).
+  double seconds = 0.0;
+};
+
+/// Runs the paper's framework end to end while letting many over-sampling
+/// methods share one phase-1 extractor (that sharing *is* the efficiency
+/// claim of the paper, and it is what makes the benches tractable).
+///
+/// Usage:
+///   ExperimentPipeline pipeline(config);
+///   pipeline.Prepare();             // synthesize + normalize data
+///   pipeline.TrainPhase1();         // end-to-end training
+///   auto base = pipeline.EvaluateBaseline();
+///   auto eos  = pipeline.RunSampler({.kind = SamplerKind::kEos,
+///                                    .k_neighbors = 10});
+/// RunSampler calls are independent: the phase-1 head is restored before
+/// each one.
+class ExperimentPipeline {
+ public:
+  explicit ExperimentPipeline(const ExperimentConfig& config);
+
+  /// Generates train/test splits and normalizes with train statistics.
+  void Prepare();
+
+  /// Phase 1: trains the CNN end-to-end under config.loss, then caches the
+  /// train/test feature embeddings and the trained head state.
+  void TrainPhase1();
+
+  /// Metrics of the phase-1 model as-is (no over-sampling).
+  EvalOutputs EvaluateBaseline();
+
+  /// Phases 2+3 for one sampler: balance the cached train embeddings,
+  /// retrain the head, evaluate. Leaves the phase-1 head restored for the
+  /// next call.
+  EvalOutputs RunSampler(const SamplerConfig& sampler_config);
+
+  /// Like RunSampler but with a caller-provided sampler instance (e.g. a
+  /// GAN-based one, or EOS with custom options).
+  EvalOutputs RunSampler(Oversampler& sampler);
+
+  /// Retrains the head on the given feature set (already balanced by the
+  /// caller) and evaluates — the hook for custom phase-2 logic.
+  EvalOutputs RetrainOn(const FeatureSet& balanced);
+
+  const Dataset& train() const { return train_; }
+  const Dataset& test() const { return test_; }
+  const FeatureSet& train_embeddings() const { return train_fe_; }
+  const FeatureSet& test_embeddings() const { return test_fe_; }
+  nn::ImageClassifier& net() { return net_; }
+  const ExperimentConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  /// Per-class training counts of the generated split.
+  std::vector<int64_t> train_counts() const { return train_.ClassCounts(); }
+
+ private:
+  EvalOutputs EvaluateCurrentHead(const FeatureSet& train_fe_used);
+  Tensor HeadWeight();
+
+  ExperimentConfig config_;
+  Rng rng_;
+  Dataset train_;
+  Dataset test_;
+  nn::ImageClassifier net_;
+  std::unique_ptr<Loss> loss_;
+  std::vector<Tensor> phase1_head_;
+  FeatureSet train_fe_;
+  FeatureSet test_fe_;
+  bool prepared_ = false;
+  bool trained_ = false;
+};
+
+/// Builds a network per the config's architecture settings (the head is a
+/// cosine classifier when the loss is LDAM).
+nn::ImageClassifier BuildNetwork(const ExperimentConfig& config, Rng& rng);
+
+/// The pre-processing alternative Table I compares against: over-sample in
+/// *pixel space* with `sampler_config`, then train a fresh network
+/// end-to-end on the balanced images. Much more expensive — that cost
+/// difference is §V-E2's result.
+EvalOutputs RunPixelSpacePipeline(const ExperimentConfig& config,
+                                  Oversampler& sampler);
+
+}  // namespace eos
+
+#endif  // EOS_CORE_PIPELINE_H_

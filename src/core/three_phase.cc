@@ -1,0 +1,95 @@
+#include "core/three_phase.h"
+
+#include "data/batcher.h"
+#include "losses/cross_entropy.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+std::vector<Tensor> SaveHeadState(nn::ImageClassifier& net) {
+  std::vector<Tensor> state;
+  for (nn::Parameter* p : net.head->Parameters()) {
+    state.push_back(p->value.Clone());
+  }
+  return state;
+}
+
+void RestoreHeadState(nn::ImageClassifier& net,
+                      const std::vector<Tensor>& state) {
+  std::vector<nn::Parameter*> params = net.head->Parameters();
+  EOS_CHECK_EQ(params.size(), state.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EOS_CHECK(SameShape(params[i]->value, state[i]));
+    params[i]->value = state[i].Clone();
+    params[i]->grad.Zero();
+  }
+}
+
+namespace {
+
+void MaybeReinitHead(nn::ImageClassifier& net, Rng& rng) {
+  if (auto* linear = dynamic_cast<nn::Linear*>(net.head.get())) {
+    linear->ResetParameters(rng);
+  } else if (auto* norm = dynamic_cast<nn::NormLinear*>(net.head.get())) {
+    norm->ResetParameters(rng);
+  } else {
+    EOS_CHECK(false);  // unknown head type
+  }
+}
+
+}  // namespace
+
+void RetrainHead(nn::ImageClassifier& net, const FeatureSet& features,
+                 const HeadRetrainOptions& options, Rng& rng,
+                 const std::function<void(int64_t)>& epoch_callback) {
+  EOS_CHECK_GT(features.size(), 0);
+  EOS_CHECK_EQ(features.features.size(1), net.feature_dim);
+  if (options.reinit_head) MaybeReinitHead(net, rng);
+
+  std::vector<nn::Parameter*> params = net.head->Parameters();
+  nn::Sgd::Options sgd_options;
+  sgd_options.lr = options.lr;
+  sgd_options.momentum = options.momentum;
+  sgd_options.weight_decay = options.weight_decay;
+  nn::Sgd optimizer(params, sgd_options);
+
+  // The paper fine-tunes the classifier with cross-entropy on the balanced
+  // embeddings regardless of the phase-1 loss.
+  CrossEntropyLoss loss;
+  nn::MultiStepLr schedule = nn::MultiStepLr::ForRun(options.lr,
+                                                     options.epochs);
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    optimizer.set_lr(schedule.LrAt(epoch));
+    auto batches = MakeBatches(features.size(), options.batch_size, &rng);
+    for (const auto& batch : batches) {
+      Tensor x = GatherRows(features.features, batch);
+      std::vector<int64_t> targets;
+      targets.reserve(batch.size());
+      for (int64_t i : batch) {
+        targets.push_back(features.labels[static_cast<size_t>(i)]);
+      }
+      optimizer.ZeroGrad();
+      Tensor logits = net.head->Forward(x, /*training=*/true);
+      Tensor grad;
+      loss.Compute(logits, targets, &grad);
+      net.head->Backward(grad);
+      optimizer.Step();
+    }
+    if (epoch_callback) epoch_callback(epoch);
+  }
+}
+
+FeatureSet ApplySamplerAndRetrain(nn::ImageClassifier& net,
+                                  const Dataset& train, Oversampler* sampler,
+                                  const HeadRetrainOptions& options,
+                                  Rng& rng) {
+  FeatureSet embeddings = ExtractEmbeddings(net, train);
+  FeatureSet balanced =
+      sampler != nullptr ? sampler->Resample(embeddings, rng) : embeddings;
+  RetrainHead(net, balanced, options, rng);
+  return balanced;
+}
+
+}  // namespace eos

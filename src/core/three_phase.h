@@ -1,0 +1,55 @@
+#ifndef EOS_CORE_THREE_PHASE_H_
+#define EOS_CORE_THREE_PHASE_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "core/trainer.h"
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// Options for phase 3 — classifier-head fine-tuning on balanced feature
+/// embeddings. The paper retrains the head with cross-entropy for 10 epochs
+/// regardless of the phase-1 loss.
+struct HeadRetrainOptions {
+  int64_t epochs = 10;
+  int64_t batch_size = 128;
+  double lr = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 2e-4;
+  /// Re-initialize the head before retraining (Decoupling-style). When
+  /// false, fine-tuning continues from the phase-1 head.
+  bool reinit_head = true;
+};
+
+/// Snapshot of the head's parameter values (for restoring the phase-1 head
+/// between independent sampler runs).
+std::vector<Tensor> SaveHeadState(nn::ImageClassifier& net);
+
+/// Restores a snapshot taken by SaveHeadState.
+void RestoreHeadState(nn::ImageClassifier& net,
+                      const std::vector<Tensor>& state);
+
+/// Phase 3: retrains only `net.head` on the given (typically balanced)
+/// feature set with cross-entropy. The extractor is untouched — this is the
+/// efficiency core of the framework: a <1K-parameter head for ~10 epochs
+/// instead of a full CNN for hundreds.
+/// `epoch_callback` (optional) runs after every epoch with the 0-based
+/// epoch index (used by the Figure 7 bench).
+void RetrainHead(nn::ImageClassifier& net, const FeatureSet& features,
+                 const HeadRetrainOptions& options, Rng& rng,
+                 const std::function<void(int64_t)>& epoch_callback = {});
+
+/// The full three-phase flow for one sampler, given a phase-1-trained
+/// network: extract embeddings -> balance with `sampler` (nullptr = keep
+/// imbalanced) -> retrain head. Returns the balanced feature set actually
+/// used for retraining.
+FeatureSet ApplySamplerAndRetrain(nn::ImageClassifier& net,
+                                  const Dataset& train,
+                                  Oversampler* sampler,
+                                  const HeadRetrainOptions& options, Rng& rng);
+
+}  // namespace eos
+
+#endif  // EOS_CORE_THREE_PHASE_H_

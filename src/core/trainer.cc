@@ -1,0 +1,118 @@
+#include "core/trainer.h"
+
+#include <cstdio>
+
+#include "data/batcher.h"
+#include "data/transforms.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+void TrainEndToEnd(nn::ImageClassifier& net, Loss& loss, const Dataset& train,
+                   const TrainerOptions& options, Rng& rng,
+                   const nn::LrSchedule* schedule,
+                   const std::function<void(int64_t)>& epoch_callback) {
+  EOS_CHECK_GT(train.size(), 0);
+  std::vector<nn::Parameter*> params;
+  net.extractor->CollectParameters(params);
+  net.head->CollectParameters(params);
+
+  nn::Sgd::Options sgd_options;
+  sgd_options.lr = options.lr;
+  sgd_options.momentum = options.momentum;
+  sgd_options.weight_decay = options.weight_decay;
+  sgd_options.nesterov = options.nesterov;
+  nn::Sgd optimizer(params, sgd_options);
+
+  nn::MultiStepLr default_schedule =
+      nn::MultiStepLr::ForRun(options.lr, options.epochs);
+  const nn::LrSchedule* lr_schedule =
+      schedule != nullptr ? schedule : &default_schedule;
+
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    loss.OnEpochStart(epoch);
+    optimizer.set_lr(lr_schedule->LrAt(epoch));
+    auto batches = MakeBatches(train.size(), options.batch_size, &rng);
+    double epoch_loss = 0.0;
+    for (const auto& batch : batches) {
+      Tensor images = GatherImages(train.images, batch);
+      if (options.augment) {
+        if (options.crop_pad > 0) RandomCrop(images, options.crop_pad, rng);
+        RandomHorizontalFlip(images, rng);
+      }
+      std::vector<int64_t> targets;
+      targets.reserve(batch.size());
+      for (int64_t i : batch) {
+        targets.push_back(train.labels[static_cast<size_t>(i)]);
+      }
+      optimizer.ZeroGrad();
+      Tensor logits = net.Forward(images, /*training=*/true);
+      Tensor grad;
+      epoch_loss += loss.Compute(logits, targets, &grad) *
+                    static_cast<double>(batch.size());
+      net.Backward(grad);
+      optimizer.Step();
+    }
+    if (options.log_every > 0 && (epoch + 1) % options.log_every == 0) {
+      std::fprintf(stderr, "  epoch %3lld/%lld  loss %.4f  lr %.4f\n",
+                   static_cast<long long>(epoch + 1),
+                   static_cast<long long>(options.epochs),
+                   epoch_loss / static_cast<double>(train.size()),
+                   optimizer.lr());
+    }
+    if (epoch_callback) epoch_callback(epoch);
+  }
+}
+
+std::vector<int64_t> Predict(nn::ImageClassifier& net, const Tensor& images,
+                             int64_t batch_size) {
+  EOS_CHECK_EQ(images.dim(), 4);
+  int64_t n = images.size(0);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  auto batches = MakeBatches(n, batch_size, nullptr);
+  for (const auto& batch : batches) {
+    Tensor x = GatherImages(images, batch);
+    Tensor logits = net.Forward(x, /*training=*/false);
+    std::vector<int64_t> preds = ArgMaxRows(logits);
+    out.insert(out.end(), preds.begin(), preds.end());
+  }
+  return out;
+}
+
+FeatureSet ExtractEmbeddings(nn::ImageClassifier& net, const Dataset& data,
+                             int64_t batch_size) {
+  int64_t n = data.size();
+  FeatureSet out;
+  out.features = Tensor({n, net.feature_dim});
+  out.labels = data.labels;
+  out.num_classes = data.num_classes;
+  auto batches = MakeBatches(n, batch_size, nullptr);
+  int64_t row = 0;
+  for (const auto& batch : batches) {
+    Tensor x = GatherImages(data.images, batch);
+    Tensor fe = net.ExtractFeatures(x, /*training=*/false);
+    EOS_CHECK_EQ(fe.size(1), net.feature_dim);
+    for (int64_t i = 0; i < fe.size(0); ++i) {
+      CopyRow(fe, i, out.features, row++);
+    }
+  }
+  EOS_CHECK_EQ(row, n);
+  return out;
+}
+
+ConfusionMatrix EvaluateConfusion(nn::ImageClassifier& net,
+                                  const Dataset& data, int64_t batch_size) {
+  ConfusionMatrix confusion(data.num_classes);
+  std::vector<int64_t> preds = Predict(net, data.images, batch_size);
+  confusion.AddAll(data.labels, preds);
+  return confusion;
+}
+
+SkewMetrics Evaluate(nn::ImageClassifier& net, const Dataset& data,
+                     int64_t batch_size) {
+  return ComputeSkewMetrics(EvaluateConfusion(net, data, batch_size));
+}
+
+}  // namespace eos

@@ -1,0 +1,60 @@
+#ifndef EOS_CORE_TRAINER_H_
+#define EOS_CORE_TRAINER_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "losses/loss.h"
+#include "metrics/classification_metrics.h"
+#include "nn/lr_schedule.h"
+#include "nn/network.h"
+
+namespace eos {
+
+/// Options for end-to-end (phase 1) CNN training, defaulting to the
+/// Cui-et-al. regime the paper adopts (SGD momentum 0.9, weight decay 2e-4,
+/// step-decayed LR, crop/flip augmentation).
+struct TrainerOptions {
+  int64_t epochs = 20;
+  int64_t batch_size = 64;
+  double lr = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 2e-4;
+  bool nesterov = false;
+  /// Random crop + horizontal flip on each training batch.
+  bool augment = true;
+  int64_t crop_pad = 2;
+  /// Print one progress line every `log_every` epochs (0 = silent).
+  int64_t log_every = 0;
+};
+
+/// Trains `net` end-to-end on (normalized) `train` data under `loss`.
+/// Uses the 60%/80% step-decay schedule unless `schedule` is given.
+/// `epoch_callback`, when set, runs after every epoch (Figure 7 probes).
+void TrainEndToEnd(nn::ImageClassifier& net, Loss& loss, const Dataset& train,
+                   const TrainerOptions& options, Rng& rng,
+                   const nn::LrSchedule* schedule = nullptr,
+                   const std::function<void(int64_t)>& epoch_callback = {});
+
+/// Batched inference: argmax predictions for every image.
+std::vector<int64_t> Predict(nn::ImageClassifier& net, const Tensor& images,
+                             int64_t batch_size = 256);
+
+/// Extracts feature embeddings for a whole dataset (eval mode, batched) —
+/// the phase-2 input.
+FeatureSet ExtractEmbeddings(nn::ImageClassifier& net, const Dataset& data,
+                             int64_t batch_size = 256);
+
+/// Confusion matrix of `net` on `data` (eval mode).
+ConfusionMatrix EvaluateConfusion(nn::ImageClassifier& net,
+                                  const Dataset& data,
+                                  int64_t batch_size = 256);
+
+/// BAC / G-mean / macro-F1 of `net` on `data`.
+SkewMetrics Evaluate(nn::ImageClassifier& net, const Dataset& data,
+                     int64_t batch_size = 256);
+
+}  // namespace eos
+
+#endif  // EOS_CORE_TRAINER_H_

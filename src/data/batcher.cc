@@ -1,0 +1,63 @@
+#include "data/batcher.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace eos {
+
+std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
+                                              Rng* rng) {
+  EOS_CHECK_GE(n, 0);
+  EOS_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  if (rng != nullptr) rng->Shuffle(order);
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    int64_t end = std::min(n, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+std::vector<std::vector<int64_t>> MakeBalancedBatches(
+    const std::vector<int64_t>& labels, int64_t num_classes,
+    int64_t batch_size, Rng& rng) {
+  EOS_CHECK_GT(num_classes, 0);
+  EOS_CHECK_GT(batch_size, 0);
+  std::vector<std::vector<int64_t>> by_class(
+      static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    int64_t y = labels[i];
+    EOS_CHECK(y >= 0 && y < num_classes);
+    by_class[static_cast<size_t>(y)].push_back(static_cast<int64_t>(i));
+  }
+  int64_t per_class = 0;
+  for (const auto& v : by_class) {
+    per_class = std::max<int64_t>(per_class,
+                                  static_cast<int64_t>(v.size()));
+  }
+  std::vector<int64_t> order;
+  order.reserve(static_cast<size_t>(per_class * num_classes));
+  for (int64_t c = 0; c < num_classes; ++c) {
+    const auto& pool = by_class[static_cast<size_t>(c)];
+    if (pool.empty()) continue;
+    for (int64_t k = 0; k < per_class; ++k) {
+      order.push_back(
+          pool[static_cast<size_t>(rng.UniformInt(
+              static_cast<int64_t>(pool.size())))]);
+    }
+  }
+  rng.Shuffle(order);
+  std::vector<std::vector<int64_t>> batches;
+  int64_t n = static_cast<int64_t>(order.size());
+  for (int64_t start = 0; start < n; start += batch_size) {
+    int64_t end = std::min(n, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace eos

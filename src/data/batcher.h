@@ -1,0 +1,25 @@
+#ifndef EOS_DATA_BATCHER_H_
+#define EOS_DATA_BATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eos {
+
+/// Splits [0, n) into mini-batches of size `batch_size` (last batch may be
+/// short). When `rng` is non-null the order is shuffled first.
+std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
+                                              Rng* rng);
+
+/// Class-balanced batching: every epoch draws the same number of examples per
+/// class (with replacement for minority classes). Used by the re-balancing
+/// comparisons.
+std::vector<std::vector<int64_t>> MakeBalancedBatches(
+    const std::vector<int64_t>& labels, int64_t num_classes,
+    int64_t batch_size, Rng& rng);
+
+}  // namespace eos
+
+#endif  // EOS_DATA_BATCHER_H_

@@ -1,0 +1,112 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+namespace {
+
+std::vector<int64_t> CountsOf(const std::vector<int64_t>& labels,
+                              int64_t num_classes) {
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes), 0);
+  for (int64_t y : labels) {
+    EOS_CHECK(y >= 0 && y < num_classes);
+    ++counts[static_cast<size_t>(y)];
+  }
+  return counts;
+}
+
+std::vector<int64_t> IndicesOf(const std::vector<int64_t>& labels, int64_t c) {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == c) out.push_back(static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int64_t> Dataset::ClassCounts() const {
+  return CountsOf(labels, num_classes);
+}
+
+std::vector<int64_t> Dataset::ClassIndices(int64_t c) const {
+  return IndicesOf(labels, c);
+}
+
+std::vector<int64_t> FeatureSet::ClassCounts() const {
+  return CountsOf(labels, num_classes);
+}
+
+std::vector<int64_t> FeatureSet::ClassIndices(int64_t c) const {
+  return IndicesOf(labels, c);
+}
+
+Dataset SelectExamples(const Dataset& dataset,
+                       const std::vector<int64_t>& indices) {
+  Dataset out;
+  out.images = GatherImages(dataset.images, indices);
+  out.labels.reserve(indices.size());
+  for (int64_t i : indices) {
+    out.labels.push_back(dataset.labels[static_cast<size_t>(i)]);
+  }
+  out.num_classes = dataset.num_classes;
+  return out;
+}
+
+FeatureSet SelectFeatures(const FeatureSet& set,
+                          const std::vector<int64_t>& indices) {
+  FeatureSet out;
+  out.features = GatherRows(set.features, indices);
+  out.labels.reserve(indices.size());
+  for (int64_t i : indices) {
+    out.labels.push_back(set.labels[static_cast<size_t>(i)]);
+  }
+  out.num_classes = set.num_classes;
+  return out;
+}
+
+DatasetSplit StratifiedSplit(const Dataset& dataset, double first_fraction,
+                             Rng& rng) {
+  EOS_CHECK_GT(first_fraction, 0.0);
+  EOS_CHECK_LT(first_fraction, 1.0);
+  std::vector<int64_t> first_rows;
+  std::vector<int64_t> second_rows;
+  for (int64_t c = 0; c < dataset.num_classes; ++c) {
+    std::vector<int64_t> rows = dataset.ClassIndices(c);
+    if (rows.empty()) continue;
+    rng.Shuffle(rows);
+    int64_t take = static_cast<int64_t>(
+        std::llround(first_fraction * static_cast<double>(rows.size())));
+    if (rows.size() >= 2) {
+      // Both sides get at least one example.
+      take = std::max<int64_t>(1, std::min<int64_t>(
+                                      take,
+                                      static_cast<int64_t>(rows.size()) - 1));
+    } else {
+      take = 1;  // singleton goes to the first part
+    }
+    first_rows.insert(first_rows.end(), rows.begin(), rows.begin() + take);
+    second_rows.insert(second_rows.end(), rows.begin() + take, rows.end());
+  }
+  std::sort(first_rows.begin(), first_rows.end());
+  std::sort(second_rows.begin(), second_rows.end());
+  DatasetSplit split;
+  split.first = SelectExamples(dataset, first_rows);
+  split.second = SelectExamples(dataset, second_rows);
+  return split;
+}
+
+void ShuffleDataset(Dataset& dataset, Rng& rng) {
+  std::vector<int64_t> perm(static_cast<size_t>(dataset.size()));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Dataset shuffled = SelectExamples(dataset, perm);
+  dataset = std::move(shuffled);
+}
+
+}  // namespace eos

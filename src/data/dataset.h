@@ -1,0 +1,68 @@
+#ifndef EOS_DATA_DATASET_H_
+#define EOS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace eos {
+
+/// A labeled image dataset: images [N, C, H, W] plus integer labels.
+struct Dataset {
+  Tensor images;
+  std::vector<int64_t> labels;
+  int64_t num_classes = 0;
+
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+
+  /// Number of examples per class (length num_classes).
+  std::vector<int64_t> ClassCounts() const;
+
+  /// Indices of the examples of class `c`, in dataset order.
+  std::vector<int64_t> ClassIndices(int64_t c) const;
+};
+
+/// A labeled set of feature embeddings [N, D] — the representation phases 2
+/// and 3 of the training framework operate on.
+struct FeatureSet {
+  Tensor features;
+  std::vector<int64_t> labels;
+  int64_t num_classes = 0;
+
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+  int64_t dim() const { return features.dim() == 2 ? features.size(1) : 0; }
+
+  std::vector<int64_t> ClassCounts() const;
+  std::vector<int64_t> ClassIndices(int64_t c) const;
+};
+
+/// Returns a dataset with the selected examples (deep-copied images).
+Dataset SelectExamples(const Dataset& dataset,
+                       const std::vector<int64_t>& indices);
+
+/// Returns a feature set with the selected rows (deep-copied).
+FeatureSet SelectFeatures(const FeatureSet& set,
+                          const std::vector<int64_t>& indices);
+
+/// Shuffles a dataset in place (images and labels stay aligned).
+void ShuffleDataset(Dataset& dataset, Rng& rng);
+
+/// Result of StratifiedSplit.
+struct DatasetSplit {
+  Dataset first;
+  Dataset second;
+};
+
+/// Splits a dataset into two parts with (approximately) `first_fraction` of
+/// *every class* in the first part — preserving the imbalance profile in
+/// both, which a uniform random split would distort for tiny classes.
+/// Every class with >= 2 examples contributes at least one example to each
+/// side; singleton classes go to the first part.
+DatasetSplit StratifiedSplit(const Dataset& dataset, double first_fraction,
+                             Rng& rng);
+
+}  // namespace eos
+
+#endif  // EOS_DATA_DATASET_H_

@@ -1,0 +1,50 @@
+#include "data/imbalance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eos {
+
+std::vector<int64_t> ImbalancedCounts(int64_t num_classes,
+                                      int64_t max_per_class, double ratio,
+                                      ImbalanceType type) {
+  EOS_CHECK_GT(num_classes, 0);
+  EOS_CHECK_GT(max_per_class, 0);
+  EOS_CHECK_GE(ratio, 1.0);
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes));
+  switch (type) {
+    case ImbalanceType::kExponential: {
+      for (int64_t c = 0; c < num_classes; ++c) {
+        double fraction =
+            num_classes > 1
+                ? std::pow(ratio, -static_cast<double>(c) /
+                                      static_cast<double>(num_classes - 1))
+                : 1.0;
+        counts[static_cast<size_t>(c)] = std::max<int64_t>(
+            1, static_cast<int64_t>(std::llround(max_per_class * fraction)));
+      }
+      break;
+    }
+    case ImbalanceType::kStep: {
+      int64_t minority = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(max_per_class / ratio)));
+      for (int64_t c = 0; c < num_classes; ++c) {
+        counts[static_cast<size_t>(c)] =
+            (c < num_classes / 2) ? max_per_class : minority;
+      }
+      break;
+    }
+  }
+  return counts;
+}
+
+double RealizedImbalanceRatio(const std::vector<int64_t>& counts) {
+  EOS_CHECK(!counts.empty());
+  auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EOS_CHECK_GT(*mn, 0);
+  return static_cast<double>(*mx) / static_cast<double>(*mn);
+}
+
+}  // namespace eos

@@ -1,0 +1,30 @@
+#ifndef EOS_DATA_IMBALANCE_H_
+#define EOS_DATA_IMBALANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace eos {
+
+/// Class-imbalance profile shapes (§II-A). The paper's experiments use
+/// exponential imbalance, the kind most often found in real image data.
+enum class ImbalanceType {
+  /// n_c = n_max * ratio^{-c/(C-1)} (Cui et al. 2019).
+  kExponential,
+  /// First half of the classes keep n_max, second half get n_max / ratio.
+  kStep,
+};
+
+/// Per-class training counts for the given profile; class 0 is the largest.
+/// `ratio` is the max:min imbalance (e.g., 100 for CIFAR-10 in the paper).
+/// Every count is at least 1.
+std::vector<int64_t> ImbalancedCounts(int64_t num_classes,
+                                      int64_t max_per_class, double ratio,
+                                      ImbalanceType type);
+
+/// The max:min ratio realized by `counts`.
+double RealizedImbalanceRatio(const std::vector<int64_t>& counts);
+
+}  // namespace eos
+
+#endif  // EOS_DATA_IMBALANCE_H_

@@ -1,0 +1,440 @@
+#include "data/synthetic_images.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eos {
+
+namespace {
+
+constexpr int kNumShapes = 10;
+constexpr double kPi = 3.14159265358979323846;
+
+// 5x7 bitmap glyphs for digits 0-9 (row-major, '#' = set).
+constexpr const char* kGlyphs[10] = {
+    ".###."
+    "#...#"
+    "#..##"
+    "#.#.#"
+    "##..#"
+    "#...#"
+    ".###.",  // 0
+    "..#.."
+    ".##.."
+    "..#.."
+    "..#.."
+    "..#.."
+    "..#.."
+    ".###.",  // 1
+    ".###."
+    "#...#"
+    "....#"
+    "...#."
+    "..#.."
+    ".#..."
+    "#####",  // 2
+    ".###."
+    "#...#"
+    "....#"
+    "..##."
+    "....#"
+    "#...#"
+    ".###.",  // 3
+    "...#."
+    "..##."
+    ".#.#."
+    "#..#."
+    "#####"
+    "...#."
+    "...#.",  // 4
+    "#####"
+    "#...."
+    "####."
+    "....#"
+    "....#"
+    "#...#"
+    ".###.",  // 5
+    ".###."
+    "#...."
+    "#...."
+    "####."
+    "#...#"
+    "#...#"
+    ".###.",  // 6
+    "#####"
+    "....#"
+    "...#."
+    "..#.."
+    "..#.."
+    ".#..."
+    ".#...",  // 7
+    ".###."
+    "#...#"
+    "#...#"
+    ".###."
+    "#...#"
+    "#...#"
+    ".###.",  // 8
+    ".###."
+    "#...#"
+    "#...#"
+    ".####"
+    "....#"
+    "....#"
+    ".###.",  // 9
+};
+
+struct Rgb {
+  float r, g, b;
+};
+
+// Distinct, saturated palette for class foregrounds.
+constexpr Rgb kPalette[10] = {
+    {0.85f, 0.20f, 0.20f}, {0.20f, 0.65f, 0.25f}, {0.20f, 0.35f, 0.85f},
+    {0.90f, 0.75f, 0.15f}, {0.70f, 0.25f, 0.75f}, {0.15f, 0.70f, 0.70f},
+    {0.90f, 0.50f, 0.15f}, {0.55f, 0.30f, 0.10f}, {0.85f, 0.40f, 0.60f},
+    {0.40f, 0.55f, 0.30f},
+};
+
+// Shape membership in prototype-local coordinates. dx is already divided by
+// the aspect ratio, r is the prototype size, phase randomizes stripe offsets.
+bool InShape(int shape, float dx, float dy, float r, float phase) {
+  float ax = std::fabs(dx);
+  float ay = std::fabs(dy);
+  switch (shape % kNumShapes) {
+    case 0:  // circle
+      return dx * dx + dy * dy < r * r;
+    case 1:  // square
+      return ax < r && ay < r;
+    case 2:  // triangle (apex up)
+      return dy > -r && dy < r && ax < 0.6f * (dy + r);
+    case 3:  // ring
+    {
+      float d2 = dx * dx + dy * dy;
+      return d2 < r * r && d2 > 0.45f * 0.45f * r * r;
+    }
+    case 4:  // horizontal stripes
+      return ax < r && ay < r &&
+             std::sin(3.0f * static_cast<float>(kPi) * dy / r + phase) > 0.0f;
+    case 5:  // vertical stripes
+      return ax < r && ay < r &&
+             std::sin(3.0f * static_cast<float>(kPi) * dx / r + phase) > 0.0f;
+    case 6:  // cross
+      return (ax < 0.35f * r && ay < r) || (ay < 0.35f * r && ax < r);
+    case 7:  // checkerboard
+    {
+      if (ax >= r || ay >= r) return false;
+      float cell = r / 1.5f;
+      int ix = static_cast<int>(std::floor((dx + r) / cell));
+      int iy = static_cast<int>(std::floor((dy + r) / cell));
+      return ((ix + iy) & 1) == 0;
+    }
+    case 8:  // diagonal stripes
+      return ax < r && ay < r &&
+             std::sin(2.2f * static_cast<float>(kPi) * (dx + dy) / r + phase) >
+                 0.0f;
+    case 9:  // dot grid
+    {
+      if (ax >= r || ay >= r) return false;
+      float cell = r / 1.4f;
+      float mx = std::fmod(dx + r, cell) - 0.5f * cell;
+      float my = std::fmod(dy + r, cell) - 0.5f * cell;
+      return mx * mx + my * my < 0.12f * cell * cell;
+    }
+    default:
+      return false;
+  }
+}
+
+float Clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+}  // namespace
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCifar10Like:
+      return "CIFAR10-like";
+    case DatasetKind::kSvhnLike:
+      return "SVHN-like";
+    case DatasetKind::kCifar100Like:
+      return "CIFAR100-like";
+    case DatasetKind::kCelebALike:
+      return "CelebA-like";
+  }
+  return "Unknown";
+}
+
+int64_t DatasetKindClasses(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCifar10Like:
+    case DatasetKind::kSvhnLike:
+      return 10;
+    case DatasetKind::kCifar100Like:
+      return 100;
+    case DatasetKind::kCelebALike:
+      return 5;
+  }
+  return 0;
+}
+
+SyntheticImageGenerator::SyntheticImageGenerator(DatasetKind kind,
+                                                 const SyntheticConfig& config)
+    : kind_(kind), config_(config), num_classes_(DatasetKindClasses(kind)) {
+  EOS_CHECK_GE(config.image_size, 8);
+  Rng proto_rng(config.prototype_seed, /*stream=*/17);
+  prototypes_.resize(static_cast<size_t>(num_classes_));
+  for (int64_t c = 0; c < num_classes_; ++c) {
+    Prototype& p = prototypes_[static_cast<size_t>(c)];
+    switch (kind_) {
+      case DatasetKind::kCifar10Like: {
+        // Adjacent pairs (2k, 2k+1) share a shape family; the odd sibling is
+        // smaller and stretched — the auto/truck-style borderline pair.
+        p.shape = static_cast<int>(c / 2);
+        bool variant = (c % 2) == 1;
+        Rgb base = kPalette[static_cast<size_t>(c / 2)];
+        float shift = variant ? 0.12f : 0.0f;
+        p.fg[0] = Clamp01(base.r - shift);
+        p.fg[1] = Clamp01(base.g + shift * 0.5f);
+        p.fg[2] = Clamp01(base.b + shift);
+        p.bg[0] = 0.25f + 0.1f * proto_rng.Uniform();
+        p.bg[1] = 0.25f + 0.1f * proto_rng.Uniform();
+        p.bg[2] = 0.25f + 0.1f * proto_rng.Uniform();
+        p.size = variant ? 0.22f : 0.30f;
+        p.aspect = variant ? 1.5f : 1.0f;
+        p.tex_freq = proto_rng.Uniform(0.0f, 2.5f);
+        break;
+      }
+      case DatasetKind::kCifar100Like: {
+        // shape = c%10, variant = (c/10)%2, color bucket = c/20: classes c
+        // and c+10 are confusable; 20 classes share each color bucket.
+        p.shape = static_cast<int>(c % 10);
+        bool variant = ((c / 10) % 2) == 1;
+        Rgb base = kPalette[static_cast<size_t>((c / 20) * 2)];
+        float dr = proto_rng.Uniform(-0.06f, 0.06f);
+        p.fg[0] = Clamp01(base.r + dr);
+        p.fg[1] = Clamp01(base.g + proto_rng.Uniform(-0.06f, 0.06f));
+        p.fg[2] = Clamp01(base.b + proto_rng.Uniform(-0.06f, 0.06f));
+        p.bg[0] = 0.2f + 0.15f * proto_rng.Uniform();
+        p.bg[1] = 0.2f + 0.15f * proto_rng.Uniform();
+        p.bg[2] = 0.2f + 0.15f * proto_rng.Uniform();
+        p.size = variant ? 0.22f : 0.30f;
+        p.aspect = variant ? 1.45f : 1.0f;
+        p.tex_freq = proto_rng.Uniform(0.0f, 2.5f);
+        break;
+      }
+      case DatasetKind::kSvhnLike: {
+        p.glyph = static_cast<int>(c);
+        p.size = 0.36f;
+        break;
+      }
+      case DatasetKind::kCelebALike: {
+        p.hair = static_cast<int>(c);
+        break;
+      }
+    }
+  }
+}
+
+void SyntheticImageGenerator::RenderInstance(const Prototype& proto, Rng& rng,
+                                             float* image) const {
+  int64_t s = config_.image_size;
+  int64_t plane = s * s;
+  float inv = 1.0f / static_cast<float>(s);
+
+  auto put = [&](int64_t x, int64_t y, float r, float g, float b) {
+    image[0 * plane + y * s + x] = r;
+    image[1 * plane + y * s + x] = g;
+    image[2 * plane + y * s + x] = b;
+  };
+
+  float cj = config_.color_jitter;
+
+  if (kind_ == DatasetKind::kCelebALike) {
+    // Background: varied scene color.
+    float bg[3] = {rng.Uniform(0.1f, 0.9f), rng.Uniform(0.1f, 0.9f),
+                   rng.Uniform(0.1f, 0.9f)};
+    // Skin with jitter.
+    float skin[3] = {Clamp01(0.88f + rng.Uniform(-cj, cj)),
+                     Clamp01(0.68f + rng.Uniform(-cj, cj)),
+                     Clamp01(0.53f + rng.Uniform(-cj, cj))};
+    static constexpr float kHairColors[4][3] = {
+        {0.06f, 0.05f, 0.05f},   // black
+        {0.38f, 0.22f, 0.10f},   // brown
+        {0.86f, 0.72f, 0.34f},   // blond
+        {0.62f, 0.62f, 0.62f},   // gray
+    };
+    float jx = rng.Uniform(-config_.position_jitter, config_.position_jitter);
+    float jy = rng.Uniform(-config_.position_jitter, config_.position_jitter);
+    float scale = 1.0f + rng.Uniform(-config_.scale_jitter,
+                                     config_.scale_jitter);
+    float fcx = 0.5f + jx;
+    float fcy = 0.58f + jy;
+    float frx = 0.26f * scale;
+    float fry = 0.32f * scale;
+    float hcy = fcy - 0.30f * scale;
+    float hrx = 0.30f * scale;
+    float hry = 0.20f * scale;
+    bool bald = proto.hair == 4;
+    float hair[3] = {0, 0, 0};
+    if (!bald) {
+      for (int k = 0; k < 3; ++k) {
+        hair[k] = Clamp01(kHairColors[proto.hair][k] +
+                          rng.Uniform(-0.5f * cj, 0.5f * cj));
+      }
+    }
+    for (int64_t y = 0; y < s; ++y) {
+      for (int64_t x = 0; x < s; ++x) {
+        float u = (static_cast<float>(x) + 0.5f) * inv;
+        float v = (static_cast<float>(y) + 0.5f) * inv;
+        float r = bg[0];
+        float g = bg[1];
+        float b = bg[2];
+        float hx = (u - fcx) / hrx;
+        float hy = (v - hcy) / hry;
+        if (!bald && hx * hx + hy * hy < 1.0f) {
+          r = hair[0];
+          g = hair[1];
+          b = hair[2];
+        }
+        float fx = (u - fcx) / frx;
+        float fy = (v - fcy) / fry;
+        if (fx * fx + fy * fy < 1.0f) {
+          r = skin[0];
+          g = skin[1];
+          b = skin[2];
+          // Eyes: two dark dots.
+          float e1x = (u - (fcx - 0.10f * scale)) / (0.035f * scale);
+          float e2x = (u - (fcx + 0.10f * scale)) / (0.035f * scale);
+          float ey = (v - (fcy - 0.06f * scale)) / (0.045f * scale);
+          if (e1x * e1x + ey * ey < 1.0f || e2x * e2x + ey * ey < 1.0f) {
+            r = g = b = 0.08f;
+          }
+        }
+        put(x, y, r, g, b);
+      }
+    }
+  } else if (kind_ == DatasetKind::kSvhnLike) {
+    // Per-instance colors with a strong minimum contrast, like street
+    // numbers; the class signal must come from glyph shape alone, so the
+    // geometric jitter is kept milder than for the shape datasets.
+    float bg[3], fg[3];
+    float contrast = 0.0f;
+    do {
+      contrast = 0.0f;
+      for (int k = 0; k < 3; ++k) {
+        bg[k] = rng.Uniform(0.05f, 0.95f);
+        fg[k] = rng.Uniform(0.05f, 0.95f);
+        contrast += std::fabs(bg[k] - fg[k]);
+      }
+    } while (contrast < 1.2f);
+    float jx = rng.Uniform(-0.5f * config_.position_jitter,
+                           0.5f * config_.position_jitter);
+    float jy = rng.Uniform(-0.5f * config_.position_jitter,
+                           0.5f * config_.position_jitter);
+    float scale = 1.0f + rng.Uniform(-0.5f * config_.scale_jitter,
+                                     0.5f * config_.scale_jitter);
+    float cx = 0.5f + jx;
+    float cy = 0.5f + jy;
+    float gw = proto.size * 2.0f * scale;        // glyph box width
+    float gh = gw * 7.0f / 5.0f;                 // 5x7 cells
+    const char* glyph = kGlyphs[proto.glyph];
+    for (int64_t y = 0; y < s; ++y) {
+      for (int64_t x = 0; x < s; ++x) {
+        float u = (static_cast<float>(x) + 0.5f) * inv;
+        float v = (static_cast<float>(y) + 0.5f) * inv;
+        float gu = (u - cx) / gw + 0.5f;
+        float gv = (v - cy) / gh + 0.5f;
+        bool on = false;
+        if (gu >= 0.0f && gu < 1.0f && gv >= 0.0f && gv < 1.0f) {
+          int col = std::min(4, static_cast<int>(gu * 5.0f));
+          int row = std::min(6, static_cast<int>(gv * 7.0f));
+          on = glyph[row * 5 + col] == '#';
+        }
+        if (on) {
+          put(x, y, fg[0], fg[1], fg[2]);
+        } else {
+          put(x, y, bg[0], bg[1], bg[2]);
+        }
+      }
+    }
+  } else {
+    // Shape-on-textured-background families (CIFAR10/100-like).
+    float fg[3], bg[3];
+    for (int k = 0; k < 3; ++k) {
+      fg[k] = Clamp01(proto.fg[k] + rng.Uniform(-cj, cj));
+      bg[k] = Clamp01(proto.bg[k] + rng.Uniform(-cj, cj));
+    }
+    float jx = rng.Uniform(-config_.position_jitter, config_.position_jitter);
+    float jy = rng.Uniform(-config_.position_jitter, config_.position_jitter);
+    float scale = 1.0f + rng.Uniform(-config_.scale_jitter,
+                                     config_.scale_jitter);
+    float cx = proto.cx + jx;
+    float cy = proto.cy + jy;
+    float r = proto.size * scale;
+    float phase = rng.Uniform(0.0f, 2.0f * static_cast<float>(kPi));
+    float tex_phase = rng.Uniform(0.0f, 2.0f * static_cast<float>(kPi));
+    for (int64_t y = 0; y < s; ++y) {
+      for (int64_t x = 0; x < s; ++x) {
+        float u = (static_cast<float>(x) + 0.5f) * inv;
+        float v = (static_cast<float>(y) + 0.5f) * inv;
+        float dx = (u - cx) / proto.aspect;
+        float dy = v - cy;
+        if (InShape(proto.shape, dx, dy, r, phase)) {
+          put(x, y, fg[0], fg[1], fg[2]);
+        } else {
+          float tex =
+              proto.tex_freq > 0.0f
+                  ? 0.06f * std::sin(2.0f * static_cast<float>(kPi) *
+                                         proto.tex_freq * (u + v) +
+                                     tex_phase)
+                  : 0.0f;
+          put(x, y, Clamp01(bg[0] + tex), Clamp01(bg[1] + tex),
+              Clamp01(bg[2] + tex));
+        }
+      }
+    }
+  }
+
+  // Pixel noise, clamped back into [0, 1].
+  for (int64_t i = 0; i < 3 * plane; ++i) {
+    image[i] = Clamp01(image[i] + rng.Normal(0.0f, config_.noise_stddev));
+  }
+}
+
+Dataset SyntheticImageGenerator::Generate(
+    const std::vector<int64_t>& per_class_counts, Rng& rng) const {
+  EOS_CHECK_EQ(static_cast<int64_t>(per_class_counts.size()), num_classes_);
+  int64_t total = 0;
+  for (int64_t n : per_class_counts) {
+    EOS_CHECK_GE(n, 0);
+    total += n;
+  }
+  int64_t s = config_.image_size;
+  Dataset out;
+  out.images = Tensor({total, 3, s, s});
+  out.labels.reserve(static_cast<size_t>(total));
+  out.num_classes = num_classes_;
+  float* data = out.images.data();
+  int64_t stride = 3 * s * s;
+  int64_t i = 0;
+  for (int64_t c = 0; c < num_classes_; ++c) {
+    for (int64_t k = 0; k < per_class_counts[static_cast<size_t>(c)]; ++k) {
+      RenderInstance(prototypes_[static_cast<size_t>(c)], rng,
+                     data + i * stride);
+      out.labels.push_back(c);
+      ++i;
+    }
+  }
+  ShuffleDataset(out, rng);
+  return out;
+}
+
+Dataset SyntheticImageGenerator::GenerateBalanced(int64_t per_class,
+                                                  Rng& rng) const {
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes_), per_class);
+  return Generate(counts, rng);
+}
+
+}  // namespace eos

@@ -1,0 +1,93 @@
+#ifndef EOS_DATA_SYNTHETIC_IMAGES_H_
+#define EOS_DATA_SYNTHETIC_IMAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace eos {
+
+/// Procedural stand-ins for the paper's four image benchmarks (see the
+/// substitution table in DESIGN.md). Each class has a fixed prototype
+/// (shape/texture/colors); instances are i.i.d. draws around it (position,
+/// scale, color jitter, pixel noise), so disjoint train/test splits exhibit
+/// exactly the sampling-induced generalization gap the paper studies.
+enum class DatasetKind {
+  /// 10 classes; adjacent class pairs share a shape family and differ in
+  /// scale/aspect, creating borderline overlap (the auto/truck analogue).
+  kCifar10Like,
+  /// 10 digit classes rendered from a 5x7 glyph font with distortions.
+  kSvhnLike,
+  /// 100 classes = 10 shapes x 2 variants x 5 colors; 20 classes share each
+  /// color, which makes the task markedly harder (as CIFAR-100 is).
+  kCifar100Like,
+  /// 5 face classes distinguished by hair color/style
+  /// (black, brown, blond, gray, bald).
+  kCelebALike,
+};
+
+/// Returns "CIFAR10-like" etc.
+const char* DatasetKindName(DatasetKind kind);
+
+/// Number of classes the kind defines.
+int64_t DatasetKindClasses(DatasetKind kind);
+
+/// Rendering parameters. Image values land in [0, 1] before normalization
+/// (see transforms.h), mirroring pixel data in [0, 255] scaled down.
+struct SyntheticConfig {
+  int64_t image_size = 16;
+  float noise_stddev = 0.10f;
+  float color_jitter = 0.12f;
+  /// Positional jitter as a fraction of the image size.
+  float position_jitter = 0.10f;
+  float scale_jitter = 0.20f;
+  /// Seed for the fixed per-class prototypes (not per-instance noise).
+  uint64_t prototype_seed = 7u;
+};
+
+/// Generator for one DatasetKind. Construction fixes the class prototypes;
+/// Generate draws i.i.d. instances, so calling it twice with independent
+/// Rngs yields proper train/test splits from the same distribution.
+class SyntheticImageGenerator {
+ public:
+  SyntheticImageGenerator(DatasetKind kind, const SyntheticConfig& config);
+
+  DatasetKind kind() const { return kind_; }
+  int64_t num_classes() const { return num_classes_; }
+  int64_t image_size() const { return config_.image_size; }
+
+  /// Generates `per_class_counts[c]` instances of each class c, shuffled.
+  Dataset Generate(const std::vector<int64_t>& per_class_counts,
+                   Rng& rng) const;
+
+  /// Convenience: a balanced set with `per_class` examples of every class.
+  Dataset GenerateBalanced(int64_t per_class, Rng& rng) const;
+
+ private:
+  struct Prototype {
+    int shape = 0;          // shape family id
+    float fg[3] = {0, 0, 0};
+    float bg[3] = {0, 0, 0};
+    float size = 0.3f;      // base radius as fraction of image
+    float aspect = 1.0f;    // horizontal stretch
+    float cx = 0.5f;
+    float cy = 0.5f;
+    float tex_freq = 0.0f;  // background texture frequency (0 = flat)
+    int glyph = -1;         // SVHN-like digit id
+    int hair = -1;          // CelebA-like hair class
+  };
+
+  void RenderInstance(const Prototype& proto, Rng& rng, float* image) const;
+
+  DatasetKind kind_;
+  SyntheticConfig config_;
+  int64_t num_classes_;
+  std::vector<Prototype> prototypes_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_DATA_SYNTHETIC_IMAGES_H_

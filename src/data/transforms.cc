@@ -1,0 +1,119 @@
+#include "data/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace eos {
+
+ChannelStats ComputeChannelStats(const Tensor& images) {
+  EOS_CHECK_EQ(images.dim(), 4);
+  EOS_CHECK_EQ(images.size(1), 3);
+  int64_t n = images.size(0);
+  int64_t plane = images.size(2) * images.size(3);
+  EOS_CHECK_GT(n * plane, 0);
+  ChannelStats stats;
+  const float* x = images.data();
+  for (int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int64_t img = 0; img < n; ++img) {
+      const float* src = x + (img * 3 + c) * plane;
+      for (int64_t i = 0; i < plane; ++i) {
+        sum += src[i];
+        sq += static_cast<double>(src[i]) * src[i];
+      }
+    }
+    double count = static_cast<double>(n * plane);
+    double mean = sum / count;
+    double var = std::max(0.0, sq / count - mean * mean);
+    stats.mean[static_cast<size_t>(c)] = static_cast<float>(mean);
+    stats.stddev[static_cast<size_t>(c)] =
+        static_cast<float>(std::sqrt(var) + 1e-6);
+  }
+  return stats;
+}
+
+void NormalizeChannels(Tensor& images, const ChannelStats& stats) {
+  EOS_CHECK_EQ(images.dim(), 4);
+  EOS_CHECK_EQ(images.size(1), 3);
+  int64_t n = images.size(0);
+  int64_t plane = images.size(2) * images.size(3);
+  float* x = images.data();
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t c = 0; c < 3; ++c) {
+      float m = stats.mean[static_cast<size_t>(c)];
+      float inv = 1.0f / stats.stddev[static_cast<size_t>(c)];
+      float* dst = x + (img * 3 + c) * plane;
+      for (int64_t i = 0; i < plane; ++i) dst[i] = (dst[i] - m) * inv;
+    }
+  }
+}
+
+void RandomCrop(Tensor& batch, int64_t pad, Rng& rng) {
+  EOS_CHECK_EQ(batch.dim(), 4);
+  EOS_CHECK_GT(pad, 0);
+  int64_t n = batch.size(0);
+  int64_t c = batch.size(1);
+  int64_t h = batch.size(2);
+  int64_t w = batch.size(3);
+  int64_t ph = h + 2 * pad;
+  int64_t pw = w + 2 * pad;
+  std::vector<float> padded(static_cast<size_t>(c * ph * pw));
+  float* x = batch.data();
+  for (int64_t img = 0; img < n; ++img) {
+    float* base = x + img * c * h * w;
+    // Reflection-pad each channel into the scratch buffer.
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = base + ch * h * w;
+      float* dst = padded.data() + ch * ph * pw;
+      for (int64_t y = 0; y < ph; ++y) {
+        int64_t sy = y - pad;
+        if (sy < 0) sy = -sy;
+        if (sy >= h) sy = 2 * h - 2 - sy;
+        sy = std::clamp<int64_t>(sy, 0, h - 1);
+        for (int64_t xx = 0; xx < pw; ++xx) {
+          int64_t sx = xx - pad;
+          if (sx < 0) sx = -sx;
+          if (sx >= w) sx = 2 * w - 2 - sx;
+          sx = std::clamp<int64_t>(sx, 0, w - 1);
+          dst[y * pw + xx] = src[sy * w + sx];
+        }
+      }
+    }
+    int64_t oy = rng.UniformInt(2 * pad + 1);
+    int64_t ox = rng.UniformInt(2 * pad + 1);
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = padded.data() + ch * ph * pw;
+      float* dst = base + ch * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        std::memcpy(dst + y * w, src + (y + oy) * pw + ox,
+                    static_cast<size_t>(w) * sizeof(float));
+      }
+    }
+  }
+}
+
+void RandomHorizontalFlip(Tensor& batch, Rng& rng) {
+  EOS_CHECK_EQ(batch.dim(), 4);
+  int64_t n = batch.size(0);
+  int64_t c = batch.size(1);
+  int64_t h = batch.size(2);
+  int64_t w = batch.size(3);
+  float* x = batch.data();
+  for (int64_t img = 0; img < n; ++img) {
+    if (!rng.Bernoulli(0.5)) continue;
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* plane = x + (img * c + ch) * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        float* row = plane + y * w;
+        for (int64_t a = 0, b = w - 1; a < b; ++a, --b) {
+          std::swap(row[a], row[b]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace eos

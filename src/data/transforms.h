@@ -1,0 +1,34 @@
+#ifndef EOS_DATA_TRANSFORMS_H_
+#define EOS_DATA_TRANSFORMS_H_
+
+#include <array>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace eos {
+
+/// Per-channel statistics of an image tensor [N, C, H, W].
+struct ChannelStats {
+  std::array<float, 3> mean{};
+  std::array<float, 3> stddev{};
+};
+
+/// Computes per-channel mean/stddev over the whole tensor (C must be 3).
+ChannelStats ComputeChannelStats(const Tensor& images);
+
+/// In-place per-channel normalization: x = (x - mean) / stddev. The paper's
+/// gap measure assumes normalized, BN-constrained inputs, so every pipeline
+/// normalizes with the training set's statistics.
+void NormalizeChannels(Tensor& images, const ChannelStats& stats);
+
+/// Standard CIFAR-style train-time augmentation, applied per batch:
+/// reflection-pad by `pad` then take a random crop of the original size.
+void RandomCrop(Tensor& batch, int64_t pad, Rng& rng);
+
+/// Random horizontal flip with probability 0.5, per image.
+void RandomHorizontalFlip(Tensor& batch, Rng& rng);
+
+}  // namespace eos
+
+#endif  // EOS_DATA_TRANSFORMS_H_

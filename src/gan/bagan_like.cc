@@ -1,0 +1,141 @@
+#include "gan/bagan_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/batcher.h"
+#include "nn/mlp.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+BaganLikeOversampler::BaganLikeOversampler(const GanOptions& options)
+    : options_(options) {}
+
+FeatureSet BaganLikeOversampler::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t d = data.features.size(1);
+  int64_t n = data.size();
+  int64_t latent = options_.latent_dim;
+
+  // --- Stage 1: autoencoder on all classes (BAGAN initialization). ---
+  Rng net_rng = rng.Fork();
+  auto encoder = nn::BuildMlp({d, options_.hidden_dim, latent},
+                              nn::MlpHidden::kReLU, nn::MlpOutput::kLinear,
+                              net_rng);
+  auto decoder = nn::BuildMlp({latent, options_.hidden_dim, d},
+                              nn::MlpHidden::kReLU, nn::MlpOutput::kLinear,
+                              net_rng);
+  nn::Adam::Options adam;
+  adam.lr = options_.lr;
+  std::vector<nn::Parameter*> ae_params = encoder->Parameters();
+  {
+    std::vector<nn::Parameter*> dec = decoder->Parameters();
+    ae_params.insert(ae_params.end(), dec.begin(), dec.end());
+  }
+  nn::Adam ae_opt(ae_params, adam);
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    auto batches = MakeBatches(n, options_.batch_size, &rng);
+    for (const auto& batch : batches) {
+      Tensor x = GatherRows(data.features, batch);
+      ae_opt.ZeroGrad();
+      Tensor z = encoder->Forward(x, /*training=*/true);
+      Tensor xhat = decoder->Forward(z, /*training=*/true);
+      // MSE gradient 2 (xhat - x) / numel.
+      Tensor grad = Sub(xhat, x);
+      ScaleInPlace(grad, 2.0f / static_cast<float>(grad.numel()));
+      Tensor gz = decoder->Backward(grad);
+      encoder->Backward(gz);
+      ae_opt.Step();
+    }
+  }
+
+  // --- Stage 2: per-class Gaussian fit in latent space. ---
+  Tensor all_latent = encoder->Forward(data.features, /*training=*/false);
+  std::vector<std::vector<float>> mean(
+      static_cast<size_t>(data.num_classes),
+      std::vector<float>(static_cast<size_t>(latent), 0.0f));
+  std::vector<std::vector<float>> stddev = mean;
+  const float* zp = all_latent.data();
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    std::vector<int64_t> rows = data.ClassIndices(c);
+    if (rows.empty()) continue;
+    auto& mu = mean[static_cast<size_t>(c)];
+    auto& sd = stddev[static_cast<size_t>(c)];
+    for (int64_t row : rows) {
+      for (int64_t j = 0; j < latent; ++j) {
+        mu[static_cast<size_t>(j)] += zp[row * latent + j];
+      }
+    }
+    float inv = 1.0f / static_cast<float>(rows.size());
+    for (float& v : mu) v *= inv;
+    for (int64_t row : rows) {
+      for (int64_t j = 0; j < latent; ++j) {
+        float diff = zp[row * latent + j] - mu[static_cast<size_t>(j)];
+        sd[static_cast<size_t>(j)] += diff * diff;
+      }
+    }
+    for (float& v : sd) v = std::sqrt(v * inv) + 1e-3f;
+  }
+
+  // --- Stage 3: short adversarial refinement of the decoder. ---
+  auto discriminator =
+      nn::BuildMlp({d, options_.hidden_dim, 1}, nn::MlpHidden::kLeakyReLU,
+                   nn::MlpOutput::kLinear, net_rng);
+  nn::Adam::Options gan_adam;
+  gan_adam.lr = options_.lr;
+  gan_adam.beta1 = 0.5;
+  nn::Adam gen_opt(decoder->Parameters(), gan_adam);
+  nn::Adam disc_opt(discriminator->Parameters(), gan_adam);
+  int64_t refine_epochs = std::max<int64_t>(1, options_.epochs / 5);
+  for (int64_t epoch = 0; epoch < refine_epochs; ++epoch) {
+    auto batches = MakeBatches(n, options_.batch_size, &rng);
+    for (const auto& batch : batches) {
+      Tensor real = GatherRows(data.features, batch);
+      // Class-conditional latents for the fake batch: reuse the real
+      // batch's class mix.
+      Tensor z({static_cast<int64_t>(batch.size()), latent});
+      float* zd = z.data();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        int64_t c = data.labels[static_cast<size_t>(batch[i])];
+        const auto& mu = mean[static_cast<size_t>(c)];
+        const auto& sd = stddev[static_cast<size_t>(c)];
+        for (int64_t j = 0; j < latent; ++j) {
+          zd[static_cast<int64_t>(i) * latent + j] =
+              rng.Normal(mu[static_cast<size_t>(j)],
+                         sd[static_cast<size_t>(j)]);
+        }
+      }
+      internal::AdversarialStep(*decoder, *discriminator, gen_opt, disc_opt,
+                                real, z);
+    }
+  }
+
+  // --- Generation: decode class-conditional latent draws. ---
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    const auto& mu = mean[static_cast<size_t>(c)];
+    const auto& sd = stddev[static_cast<size_t>(c)];
+    Tensor z({needed, latent});
+    float* zd = z.data();
+    for (int64_t i = 0; i < needed; ++i) {
+      for (int64_t j = 0; j < latent; ++j) {
+        zd[i * latent + j] = rng.Normal(mu[static_cast<size_t>(j)],
+                                        sd[static_cast<size_t>(j)]);
+      }
+    }
+    Tensor generated = decoder->Forward(z, /*training=*/false);
+    const float* g = generated.data();
+    synth.insert(synth.end(), g, g + generated.numel());
+    for (int64_t i = 0; i < needed; ++i) synth_labels.push_back(c);
+  }
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

@@ -1,0 +1,31 @@
+#ifndef EOS_GAN_BAGAN_LIKE_H_
+#define EOS_GAN_BAGAN_LIKE_H_
+
+#include <string>
+
+#include "gan/gan_common.h"
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// BAGAN-style over-sampling (after Mariani et al. 2018): a single
+/// autoencoder is trained on *all* classes; the generator (the decoder) is
+/// autoencoder-initialized, class conditioning comes from per-class Gaussian
+/// fits in the latent space, and a short adversarial phase refines the
+/// decoder. Majority-class structure thus informs minority generation —
+/// BAGAN's selling point — but generation remains boundary-blind, which is
+/// why the paper finds it underwhelming against EOS.
+class BaganLikeOversampler : public Oversampler {
+ public:
+  explicit BaganLikeOversampler(const GanOptions& options = {});
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "BAGAN"; }
+
+ private:
+  GanOptions options_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_GAN_BAGAN_LIKE_H_

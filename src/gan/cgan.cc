@@ -1,0 +1,71 @@
+#include "gan/cgan.h"
+
+#include <algorithm>
+
+#include "data/batcher.h"
+#include "nn/mlp.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+CganOversampler::CganOversampler(const GanOptions& options)
+    : options_(options) {}
+
+FeatureSet CganOversampler::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t d = data.features.size(1);
+  models_trained_ = 0;
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    std::vector<int64_t> class_rows = data.ClassIndices(c);
+    if (class_rows.size() < 4) {
+      // Too few rows to fit a generative model.
+      internal::AppendRandomDuplicates(data, class_rows, needed, c, rng,
+                                       synth, synth_labels);
+      continue;
+    }
+    Tensor class_points = GatherRows(data.features, class_rows);
+
+    // Per-class generator/discriminator pair.
+    Rng net_rng = rng.Fork();
+    auto generator = nn::BuildMlp({options_.latent_dim, options_.hidden_dim, d},
+                                  nn::MlpHidden::kReLU, nn::MlpOutput::kLinear,
+                                  net_rng);
+    auto discriminator =
+        nn::BuildMlp({d, options_.hidden_dim, 1}, nn::MlpHidden::kLeakyReLU,
+                     nn::MlpOutput::kLinear, net_rng);
+    nn::Adam::Options adam;
+    adam.lr = options_.lr;
+    adam.beta1 = 0.5;
+    nn::Adam gen_opt(generator->Parameters(), adam);
+    nn::Adam disc_opt(discriminator->Parameters(), adam);
+
+    int64_t m = class_points.size(0);
+    for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      auto batches = MakeBatches(m, options_.batch_size, &rng);
+      for (const auto& batch : batches) {
+        Tensor real = GatherRows(class_points, batch);
+        Tensor z = SampleLatent(real.size(0), options_.latent_dim, rng);
+        internal::AdversarialStep(*generator, *discriminator, gen_opt,
+                                  disc_opt, real, z);
+      }
+    }
+    ++models_trained_;
+
+    Tensor z = SampleLatent(needed, options_.latent_dim, rng);
+    Tensor generated = generator->Forward(z, /*training=*/false);
+    const float* g = generated.data();
+    synth.insert(synth.end(), g, g + generated.numel());
+    for (int64_t i = 0; i < needed; ++i) synth_labels.push_back(c);
+  }
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

@@ -1,0 +1,33 @@
+#ifndef EOS_GAN_CGAN_H_
+#define EOS_GAN_CGAN_H_
+
+#include <string>
+
+#include "gan/gan_common.h"
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// CGAN-style over-sampling (after Dong et al. 2022): one generative model
+/// is trained *per class*, which is what gives CGAN its strong per-class
+/// fidelity and its prohibitive cost when the class count grows (the
+/// paper's CIFAR-100 argument — cost scales linearly in classes).
+class CganOversampler : public Oversampler {
+ public:
+  explicit CganOversampler(const GanOptions& options = {});
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "CGAN"; }
+
+  /// Number of generative models trained by the last Resample call (the
+  /// cost the paper criticizes).
+  int64_t models_trained() const { return models_trained_; }
+
+ private:
+  GanOptions options_;
+  int64_t models_trained_ = 0;
+};
+
+}  // namespace eos
+
+#endif  // EOS_GAN_CGAN_H_

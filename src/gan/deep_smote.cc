@@ -1,0 +1,105 @@
+#include "gan/deep_smote.h"
+
+#include "data/batcher.h"
+#include "ml/knn.h"
+#include "nn/mlp.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+DeepSmoteOversampler::DeepSmoteOversampler(const GanOptions& options,
+                                           int64_t smote_k)
+    : options_(options), smote_k_(smote_k) {
+  EOS_CHECK_GT(smote_k, 0);
+}
+
+FeatureSet DeepSmoteOversampler::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t n = data.size();
+  int64_t d = data.features.size(1);
+  int64_t latent = options_.latent_dim;
+
+  // --- Stage 1: autoencoder on all classes. ---
+  Rng net_rng = rng.Fork();
+  auto encoder = nn::BuildMlp({d, options_.hidden_dim, latent},
+                              nn::MlpHidden::kReLU, nn::MlpOutput::kLinear,
+                              net_rng);
+  auto decoder = nn::BuildMlp({latent, options_.hidden_dim, d},
+                              nn::MlpHidden::kReLU, nn::MlpOutput::kLinear,
+                              net_rng);
+  nn::Adam::Options adam;
+  adam.lr = options_.lr;
+  std::vector<nn::Parameter*> params = encoder->Parameters();
+  {
+    std::vector<nn::Parameter*> dec = decoder->Parameters();
+    params.insert(params.end(), dec.begin(), dec.end());
+  }
+  nn::Adam optimizer(params, adam);
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    auto batches = MakeBatches(n, options_.batch_size, &rng);
+    for (const auto& batch : batches) {
+      Tensor x = GatherRows(data.features, batch);
+      optimizer.ZeroGrad();
+      Tensor z = encoder->Forward(x, /*training=*/true);
+      Tensor xhat = decoder->Forward(z, /*training=*/true);
+      Tensor grad = Sub(xhat, x);
+      ScaleInPlace(grad, 2.0f / static_cast<float>(grad.numel()));
+      Tensor gz = decoder->Backward(grad);
+      encoder->Backward(gz);
+      optimizer.Step();
+    }
+  }
+
+  // --- Stage 2: SMOTE in latent space, per class. ---
+  Tensor all_latent = encoder->Forward(data.features, /*training=*/false);
+  std::vector<float> synth_latent;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    std::vector<int64_t> class_rows = data.ClassIndices(c);
+    Tensor class_latent = GatherRows(all_latent, class_rows);
+    int64_t m = class_latent.size(0);
+    if (m < 2) {
+      // Duplicate the single latent.
+      for (int64_t s = 0; s < needed; ++s) {
+        const float* row = class_latent.data();
+        synth_latent.insert(synth_latent.end(), row, row + latent);
+        synth_labels.push_back(c);
+      }
+      continue;
+    }
+    int64_t k = std::min<int64_t>(smote_k_, m - 1);
+    std::vector<std::vector<int64_t>> neighbors =
+        AllKNearestNeighbors(class_latent, k);
+    const float* pts = class_latent.data();
+    for (int64_t s = 0; s < needed; ++s) {
+      int64_t base = rng.UniformInt(m);
+      const auto& nbrs = neighbors[static_cast<size_t>(base)];
+      int64_t nb = nbrs[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(nbrs.size())))];
+      float u = rng.Uniform();
+      for (int64_t j = 0; j < latent; ++j) {
+        synth_latent.push_back(pts[base * latent + j] +
+                               u * (pts[nb * latent + j] -
+                                    pts[base * latent + j]));
+      }
+      synth_labels.push_back(c);
+    }
+  }
+  if (synth_labels.empty()) {
+    return internal::FinalizeResample(data, {}, {});
+  }
+
+  // --- Stage 3: decode synthetic latents back to the input space. ---
+  Tensor z = Tensor::FromVector(
+      {static_cast<int64_t>(synth_labels.size()), latent}, synth_latent);
+  Tensor decoded = decoder->Forward(z, /*training=*/false);
+  std::vector<float> synth(decoded.data(), decoded.data() + decoded.numel());
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

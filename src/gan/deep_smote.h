@@ -1,0 +1,33 @@
+#ifndef EOS_GAN_DEEP_SMOTE_H_
+#define EOS_GAN_DEEP_SMOTE_H_
+
+#include <string>
+
+#include "gan/gan_common.h"
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// DeepSMOTE-style over-sampling (Dablain, Krawczyk & Chawla 2022 — the
+/// paper's reference [48] and the EOS authors' preceding system): an
+/// autoencoder is trained on the full set, SMOTE interpolation runs in its
+/// *latent* space, and the decoder maps synthetic latents back to the input
+/// space. Unlike GANs this needs no adversarial game and no per-class
+/// model; unlike EOS it remains intra-class interpolative, just in a
+/// learned space.
+class DeepSmoteOversampler : public Oversampler {
+ public:
+  explicit DeepSmoteOversampler(const GanOptions& options = {},
+                                int64_t smote_k = 5);
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "DeepSMOTE"; }
+
+ private:
+  GanOptions options_;
+  int64_t smote_k_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_GAN_DEEP_SMOTE_H_

@@ -1,0 +1,141 @@
+#include "gan/gamo_like.h"
+
+#include "data/batcher.h"
+#include "nn/mlp.h"
+#include "tensor/matmul.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+namespace {
+
+// softmax(logits) row-wise, then mixture = weights * class_points.
+Tensor MixFromLogits(const Tensor& logits, const Tensor& class_points,
+                     Tensor* weights_out) {
+  Tensor weights = SoftmaxRows(logits);
+  if (weights_out != nullptr) *weights_out = weights;
+  return MatMul(weights, class_points);
+}
+
+// Backward of the softmax-mixture: given d loss / d mixture, returns
+// d loss / d logits.
+Tensor MixBackward(const Tensor& grad_mix, const Tensor& weights,
+                   const Tensor& class_points) {
+  // d loss / d weights = grad_mix * M^T.
+  Tensor grad_w = MatMulNT(grad_mix, class_points);
+  // Softmax Jacobian: dt = w .* (dw - sum(w .* dw)).
+  int64_t b = weights.size(0);
+  int64_t m = weights.size(1);
+  Tensor grad_logits({b, m});
+  const float* w = weights.data();
+  const float* dw = grad_w.data();
+  float* dt = grad_logits.data();
+  for (int64_t i = 0; i < b; ++i) {
+    double dot = 0.0;
+    for (int64_t j = 0; j < m; ++j) {
+      dot += static_cast<double>(w[i * m + j]) * dw[i * m + j];
+    }
+    for (int64_t j = 0; j < m; ++j) {
+      dt[i * m + j] =
+          w[i * m + j] * (dw[i * m + j] - static_cast<float>(dot));
+    }
+  }
+  return grad_logits;
+}
+
+}  // namespace
+
+GamoLikeOversampler::GamoLikeOversampler(const GanOptions& options)
+    : options_(options) {}
+
+FeatureSet GamoLikeOversampler::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    std::vector<int64_t> class_rows = data.ClassIndices(c);
+    if (class_rows.size() < 4) {
+      internal::AppendRandomDuplicates(data, class_rows, needed, c, rng,
+                                       synth, synth_labels);
+      continue;
+    }
+    Tensor class_points = GatherRows(data.features, class_rows);
+    int64_t m = class_points.size(0);
+    int64_t d = class_points.size(1);
+
+    // Generator emits convex-combination logits over the m class instances.
+    Rng net_rng = rng.Fork();
+    auto generator = nn::BuildMlp({options_.latent_dim, options_.hidden_dim, m},
+                                  nn::MlpHidden::kReLU, nn::MlpOutput::kLinear,
+                                  net_rng);
+    auto discriminator =
+        nn::BuildMlp({d, options_.hidden_dim, 1}, nn::MlpHidden::kLeakyReLU,
+                     nn::MlpOutput::kLinear, net_rng);
+    nn::Adam::Options adam;
+    adam.lr = options_.lr;
+    adam.beta1 = 0.5;
+    nn::Adam gen_opt(generator->Parameters(), adam);
+    nn::Adam disc_opt(discriminator->Parameters(), adam);
+
+    for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      auto batches = MakeBatches(m, options_.batch_size, &rng);
+      for (const auto& batch : batches) {
+        Tensor real = GatherRows(class_points, batch);
+        int64_t b = real.size(0);
+
+        // Discriminator step.
+        Tensor z = SampleLatent(b, options_.latent_dim, rng);
+        Tensor logits = generator->Forward(z, /*training=*/false);
+        Tensor fake = MixFromLogits(logits, class_points, nullptr);
+        disc_opt.ZeroGrad();
+        {
+          Tensor rl = discriminator->Forward(real, /*training=*/true);
+          Tensor grad;
+          BceWithLogits(rl, std::vector<float>(static_cast<size_t>(b), 1.0f),
+                        &grad);
+          discriminator->Backward(grad);
+        }
+        {
+          Tensor fl = discriminator->Forward(fake, /*training=*/true);
+          Tensor grad;
+          BceWithLogits(fl, std::vector<float>(static_cast<size_t>(b), 0.0f),
+                        &grad);
+          discriminator->Backward(grad);
+        }
+        disc_opt.Step();
+
+        // Generator step through the mixture.
+        gen_opt.ZeroGrad();
+        Tensor z2 = SampleLatent(b, options_.latent_dim, rng);
+        Tensor logits2 = generator->Forward(z2, /*training=*/true);
+        Tensor weights;
+        Tensor fake2 = MixFromLogits(logits2, class_points, &weights);
+        Tensor fl = discriminator->Forward(fake2, /*training=*/true);
+        Tensor grad;
+        BceWithLogits(fl, std::vector<float>(static_cast<size_t>(b), 1.0f),
+                      &grad);
+        Tensor grad_fake = discriminator->Backward(grad);
+        Tensor grad_logits = MixBackward(grad_fake, weights, class_points);
+        generator->Backward(grad_logits);
+        gen_opt.Step();
+      }
+    }
+
+    // Generate the balancing rows.
+    Tensor z = SampleLatent(needed, options_.latent_dim, rng);
+    Tensor logits = generator->Forward(z, /*training=*/false);
+    Tensor generated = MixFromLogits(logits, class_points, nullptr);
+    const float* g = generated.data();
+    synth.insert(synth.end(), g, g + generated.numel());
+    for (int64_t i = 0; i < needed; ++i) synth_labels.push_back(c);
+  }
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

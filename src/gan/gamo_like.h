@@ -1,0 +1,30 @@
+#ifndef EOS_GAN_GAMO_LIKE_H_
+#define EOS_GAN_GAMO_LIKE_H_
+
+#include <string>
+
+#include "gan/gan_common.h"
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// GAMO-style over-sampling (after Mullick et al. 2019): the generator does
+/// not synthesize rows directly — it emits softmax *convex-combination
+/// weights* over the real instances of the target class, and the sample is
+/// the weighted mixture. Generation therefore stays inside the class's
+/// convex hull by construction (adversarially placed within it), which is
+/// exactly the range limitation EOS escapes.
+class GamoLikeOversampler : public Oversampler {
+ public:
+  explicit GamoLikeOversampler(const GanOptions& options = {});
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "GAMO"; }
+
+ private:
+  GanOptions options_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_GAN_GAMO_LIKE_H_

@@ -1,0 +1,83 @@
+#include "gan/gan_common.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+float BceWithLogits(const Tensor& logits, const std::vector<float>& targets,
+                    Tensor* grad) {
+  EOS_CHECK_EQ(logits.numel(), static_cast<int64_t>(targets.size()));
+  int64_t n = logits.numel();
+  EOS_CHECK_GT(n, 0);
+  const float* z = logits.data();
+  if (grad != nullptr) *grad = Tensor(logits.shape());
+  float* g = grad != nullptr ? grad->data() : nullptr;
+  float inv_n = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    float t = targets[static_cast<size_t>(i)];
+    // softplus(z) - t z, computed stably.
+    float zi = z[i];
+    float softplus = zi > 0.0f ? zi + std::log1p(std::exp(-zi))
+                               : std::log1p(std::exp(zi));
+    loss += softplus - t * zi;
+    if (g != nullptr) {
+      float sigma = 1.0f / (1.0f + std::exp(-zi));
+      g[i] = inv_n * (sigma - t);
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor SampleLatent(int64_t rows, int64_t dim, Rng& rng) {
+  return Tensor::Normal({rows, dim}, 0.0f, 1.0f, rng);
+}
+
+namespace internal {
+
+void AdversarialStep(nn::Sequential& generator, nn::Sequential& discriminator,
+                     nn::Adam& gen_opt, nn::Adam& disc_opt,
+                     const Tensor& real_rows, const Tensor& gen_input) {
+  int64_t batch = real_rows.size(0);
+
+  // --- Discriminator update: real -> 1, fake -> 0 (fake detached). ---
+  Tensor fake = generator.Forward(gen_input, /*training=*/false);
+  disc_opt.ZeroGrad();
+  {
+    Tensor real_logits = discriminator.Forward(real_rows, /*training=*/true);
+    Tensor grad;
+    BceWithLogits(real_logits,
+                  std::vector<float>(static_cast<size_t>(batch), 1.0f),
+                  &grad);
+    discriminator.Backward(grad);
+  }
+  {
+    Tensor fake_logits = discriminator.Forward(fake, /*training=*/true);
+    Tensor grad;
+    BceWithLogits(fake_logits,
+                  std::vector<float>(static_cast<size_t>(fake.size(0)), 0.0f),
+                  &grad);
+    discriminator.Backward(grad);
+  }
+  disc_opt.Step();
+
+  // --- Generator update (non-saturating): D(G(z)) -> 1. ---
+  gen_opt.ZeroGrad();
+  Tensor fake2 = generator.Forward(gen_input, /*training=*/true);
+  Tensor fake_logits = discriminator.Forward(fake2, /*training=*/true);
+  Tensor grad;
+  BceWithLogits(fake_logits,
+                std::vector<float>(static_cast<size_t>(fake2.size(0)), 1.0f),
+                &grad);
+  Tensor grad_fake = discriminator.Backward(grad);
+  // The discriminator accumulated spurious gradients on this pass; they are
+  // discarded at its next ZeroGrad. Only the generator steps here.
+  generator.Backward(grad_fake);
+  gen_opt.Step();
+}
+
+}  // namespace internal
+
+}  // namespace eos

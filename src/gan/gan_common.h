@@ -1,0 +1,50 @@
+#ifndef EOS_GAN_GAN_COMMON_H_
+#define EOS_GAN_GAN_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace eos {
+
+/// Shared hyper-parameters of the GAN-based over-sampling baselines. The
+/// paper's GANs generate in pixel space with convolutional nets; at our
+/// image scale MLP generators/discriminators on flattened pixels exhibit
+/// the same mechanism (placement-blind generation) and the same cost shape
+/// (model induction per run; per-class models for CGAN). See DESIGN.md.
+struct GanOptions {
+  int64_t latent_dim = 24;
+  int64_t hidden_dim = 96;
+  int64_t epochs = 25;
+  int64_t batch_size = 64;
+  double lr = 2e-3;
+};
+
+/// Binary cross-entropy with logits: mean_i [softplus(z_i) - t_i z_i].
+/// Writes d loss / d z (sigmoid(z) - t, averaged) into grad when non-null.
+float BceWithLogits(const Tensor& logits, const std::vector<float>& targets,
+                    Tensor* grad);
+
+/// Draws a [rows, dim] standard-normal latent batch.
+Tensor SampleLatent(int64_t rows, int64_t dim, Rng& rng);
+
+namespace internal {
+
+/// One adversarial step pair on row data: updates the discriminator on a
+/// real batch + a fake batch, then updates the generator through the
+/// discriminator (non-saturating loss). `gen_input` supplies the generator
+/// input batch (latent, or latent+condition).
+void AdversarialStep(nn::Sequential& generator, nn::Sequential& discriminator,
+                     nn::Adam& gen_opt, nn::Adam& disc_opt,
+                     const Tensor& real_rows, const Tensor& gen_input);
+
+}  // namespace internal
+
+}  // namespace eos
+
+#endif  // EOS_GAN_GAN_COMMON_H_

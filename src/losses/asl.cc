@@ -1,0 +1,77 @@
+#include "losses/asl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace eos {
+
+namespace {
+constexpr float kProbEps = 1e-8f;
+}  // namespace
+
+AslLoss::AslLoss(double gamma_pos, double gamma_neg, double clip)
+    : gamma_pos_(gamma_pos), gamma_neg_(gamma_neg), clip_(clip) {
+  EOS_CHECK_GE(gamma_pos, 0.0);
+  EOS_CHECK_GE(gamma_neg, 0.0);
+  EOS_CHECK_GE(clip, 0.0);
+  EOS_CHECK_LT(clip, 1.0);
+}
+
+float AslLoss::Compute(const Tensor& logits,
+                       const std::vector<int64_t>& targets, Tensor* grad) {
+  EOS_CHECK_EQ(logits.dim(), 2);
+  int64_t n = logits.size(0);
+  int64_t c = logits.size(1);
+  EOS_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  EOS_CHECK_GT(n, 0);
+
+  const float* z = logits.data();
+  float gp = static_cast<float>(gamma_pos_);
+  float gn = static_cast<float>(gamma_neg_);
+  float m = static_cast<float>(clip_);
+
+  if (grad != nullptr) *grad = Tensor({n, c});
+  float* g = grad != nullptr ? grad->data() : nullptr;
+  float inv_n = 1.0f / static_cast<float>(n);
+
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t y = targets[static_cast<size_t>(i)];
+    EOS_CHECK(y >= 0 && y < c);
+    for (int64_t j = 0; j < c; ++j) {
+      float p = 1.0f / (1.0f + std::exp(-z[i * c + j]));
+      if (j == y) {
+        float q = std::clamp(p, kProbEps, 1.0f - kProbEps);
+        float w = std::pow(1.0f - q, gp);
+        loss -= w * std::log(q);
+        if (g != nullptr) {
+          // d(-L+)/dz = gp*p*(1-p)^gp*log(p) - (1-p)^(gp+1)
+          float dz = gp * q * w * std::log(q) - w * (1.0f - q);
+          g[i * c + j] = inv_n * dz;
+        }
+      } else {
+        // Asymmetric clipping: shift then floor at 0.
+        float pm = std::max(p - m, 0.0f);
+        float one_minus = std::clamp(1.0f - pm, kProbEps, 1.0f);
+        if (pm <= 0.0f) {
+          // Fully discarded easy negative: zero loss and zero gradient.
+          if (g != nullptr) g[i * c + j] = 0.0f;
+          continue;
+        }
+        float w = std::pow(pm, gn);
+        loss -= w * std::log(one_minus);
+        if (g != nullptr) {
+          // d(-L-)/dz = -[gn*pm^(gn-1)*log(1-pm) - pm^gn/(1-pm)] * p(1-p)
+          float dl_dpm = gn * std::pow(pm, gn - 1.0f) * std::log(one_minus) -
+                         w / one_minus;
+          g[i * c + j] = inv_n * (-dl_dpm) * p * (1.0f - p);
+        }
+      }
+    }
+  }
+  return static_cast<float>(loss * inv_n);
+}
+
+}  // namespace eos

@@ -1,0 +1,31 @@
+#ifndef EOS_LOSSES_ASL_H_
+#define EOS_LOSSES_ASL_H_
+
+#include <string>
+
+#include "losses/loss.h"
+
+namespace eos {
+
+/// Asymmetric Loss (Ben-Baruch et al. 2020), adapted to single-label
+/// multi-class data the way the paper uses it: each class contributes a
+/// one-vs-rest sigmoid term; positives are focused with gamma_pos, negatives
+/// with gamma_neg plus a probability shift (clip) m that fully discards easy
+/// negatives with p < m.
+class AslLoss : public Loss {
+ public:
+  AslLoss(double gamma_pos = 0.0, double gamma_neg = 4.0, double clip = 0.05);
+
+  float Compute(const Tensor& logits, const std::vector<int64_t>& targets,
+                Tensor* grad) override;
+  std::string name() const override { return "ASL"; }
+
+ private:
+  double gamma_pos_;
+  double gamma_neg_;
+  double clip_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_LOSSES_ASL_H_

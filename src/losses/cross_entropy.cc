@@ -1,0 +1,56 @@
+#include "losses/cross_entropy.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+CrossEntropyLoss::CrossEntropyLoss(std::vector<float> class_weights)
+    : class_weights_(std::move(class_weights)) {}
+
+float CrossEntropyLoss::Compute(const Tensor& logits,
+                                const std::vector<int64_t>& targets,
+                                Tensor* grad) {
+  EOS_CHECK_EQ(logits.dim(), 2);
+  int64_t n = logits.size(0);
+  int64_t c = logits.size(1);
+  EOS_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  EOS_CHECK_GT(n, 0);
+
+  Tensor log_probs = LogSoftmaxRows(logits);
+  const float* lp = log_probs.data();
+
+  double weight_sum = 0.0;
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t y = targets[static_cast<size_t>(i)];
+    EOS_CHECK(y >= 0 && y < c);
+    float w = class_weights_.empty()
+                  ? 1.0f
+                  : class_weights_[static_cast<size_t>(y)];
+    loss -= w * lp[i * c + y];
+    weight_sum += w;
+  }
+  EOS_CHECK_GT(weight_sum, 0.0);
+  loss /= weight_sum;
+
+  if (grad != nullptr) {
+    *grad = Tensor({n, c});
+    float* g = grad->data();
+    float inv = static_cast<float>(1.0 / weight_sum);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t y = targets[static_cast<size_t>(i)];
+      float w = class_weights_.empty()
+                    ? 1.0f
+                    : class_weights_[static_cast<size_t>(y)];
+      for (int64_t j = 0; j < c; ++j) {
+        float p = std::exp(lp[i * c + j]);
+        g[i * c + j] = w * inv * (p - (j == y ? 1.0f : 0.0f));
+      }
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+}  // namespace eos

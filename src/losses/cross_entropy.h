@@ -1,0 +1,34 @@
+#ifndef EOS_LOSSES_CROSS_ENTROPY_H_
+#define EOS_LOSSES_CROSS_ENTROPY_H_
+
+#include <string>
+#include <vector>
+
+#include "losses/loss.h"
+
+namespace eos {
+
+/// Softmax cross-entropy with optional fixed per-class weights. With weights
+/// the batch reduction is sum(w_y * l) / sum(w_y), matching torch.
+class CrossEntropyLoss : public Loss {
+ public:
+  CrossEntropyLoss() = default;
+
+  /// `class_weights` may be empty (unweighted).
+  explicit CrossEntropyLoss(std::vector<float> class_weights);
+
+  float Compute(const Tensor& logits, const std::vector<int64_t>& targets,
+                Tensor* grad) override;
+  std::string name() const override { return "CE"; }
+
+  void set_class_weights(std::vector<float> w) {
+    class_weights_ = std::move(w);
+  }
+
+ private:
+  std::vector<float> class_weights_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_LOSSES_CROSS_ENTROPY_H_

@@ -1,0 +1,62 @@
+#include "losses/focal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+namespace {
+// Keeps log(p) and 1/(1-p) finite at the probability extremes.
+constexpr float kProbEps = 1e-8f;
+}  // namespace
+
+FocalLoss::FocalLoss(double gamma) : gamma_(gamma) {
+  EOS_CHECK_GE(gamma, 0.0);
+}
+
+float FocalLoss::Compute(const Tensor& logits,
+                         const std::vector<int64_t>& targets, Tensor* grad) {
+  EOS_CHECK_EQ(logits.dim(), 2);
+  int64_t n = logits.size(0);
+  int64_t c = logits.size(1);
+  EOS_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  EOS_CHECK_GT(n, 0);
+
+  Tensor probs = SoftmaxRows(logits);
+  const float* p = probs.data();
+  float g = static_cast<float>(gamma_);
+
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t y = targets[static_cast<size_t>(i)];
+    EOS_CHECK(y >= 0 && y < c);
+    float q = std::clamp(p[i * c + y], kProbEps, 1.0f - kProbEps);
+    loss -= std::pow(1.0f - q, g) * std::log(q);
+  }
+  loss /= static_cast<double>(n);
+
+  if (grad != nullptr) {
+    *grad = Tensor({n, c});
+    float* gp = grad->data();
+    float inv_n = 1.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t y = targets[static_cast<size_t>(i)];
+      float q = std::clamp(p[i * c + y], kProbEps, 1.0f - kProbEps);
+      // dL/dq with L = -(1-q)^g log q.
+      float one_minus = 1.0f - q;
+      float dl_dq = static_cast<float>(
+          g * std::pow(one_minus, g - 1.0f) * std::log(q) -
+          std::pow(one_minus, g) / q);
+      // Chain through softmax: dq/dz_j = q (delta_{jy} - p_j).
+      for (int64_t j = 0; j < c; ++j) {
+        float delta = (j == y) ? 1.0f : 0.0f;
+        gp[i * c + j] = inv_n * dl_dq * q * (delta - p[i * c + j]);
+      }
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+}  // namespace eos

@@ -1,0 +1,26 @@
+#ifndef EOS_LOSSES_FOCAL_H_
+#define EOS_LOSSES_FOCAL_H_
+
+#include <string>
+
+#include "losses/loss.h"
+
+namespace eos {
+
+/// Multi-class focal loss (Lin et al. 2017): L = -(1 - p_y)^gamma log p_y
+/// over softmax probabilities. gamma = 0 recovers cross-entropy.
+class FocalLoss : public Loss {
+ public:
+  explicit FocalLoss(double gamma = 2.0);
+
+  float Compute(const Tensor& logits, const std::vector<int64_t>& targets,
+                Tensor* grad) override;
+  std::string name() const override { return "Focal"; }
+
+ private:
+  double gamma_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_LOSSES_FOCAL_H_

@@ -1,0 +1,91 @@
+#include "losses/ldam.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+LdamLoss::LdamLoss(const std::vector<int64_t>& class_counts, double max_margin,
+                   double scale, int64_t drw_start_epoch, double cb_beta)
+    : scale_(scale), drw_start_epoch_(drw_start_epoch) {
+  EOS_CHECK(!class_counts.empty());
+  EOS_CHECK_GT(max_margin, 0.0);
+  EOS_CHECK_GT(scale, 0.0);
+  margins_.resize(class_counts.size());
+  float max_raw = 0.0f;
+  for (size_t c = 0; c < class_counts.size(); ++c) {
+    EOS_CHECK_GT(class_counts[c], 0);
+    margins_[c] =
+        1.0f / std::pow(static_cast<float>(class_counts[c]), 0.25f);
+    max_raw = std::max(max_raw, margins_[c]);
+  }
+  float norm = static_cast<float>(max_margin) / max_raw;
+  for (float& m : margins_) m *= norm;
+  if (drw_start_epoch_ >= 0) {
+    drw_weights_ = EffectiveNumberWeights(class_counts, cb_beta);
+  }
+}
+
+void LdamLoss::OnEpochStart(int64_t epoch) {
+  if (drw_start_epoch_ >= 0 && epoch >= drw_start_epoch_) {
+    active_weights_ = drw_weights_;
+    drw_active_ = true;
+  }
+}
+
+float LdamLoss::Compute(const Tensor& logits,
+                        const std::vector<int64_t>& targets, Tensor* grad) {
+  EOS_CHECK_EQ(logits.dim(), 2);
+  int64_t n = logits.size(0);
+  int64_t c = logits.size(1);
+  EOS_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  EOS_CHECK_EQ(static_cast<int64_t>(margins_.size()), c);
+  EOS_CHECK_GT(n, 0);
+
+  // Margin-shifted logits: z'_y = z_y - s * Delta_y (margin is constant, so
+  // the gradient w.r.t. z equals the CE gradient on z').
+  Tensor shifted = logits.Clone();
+  float* zp = shifted.data();
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t y = targets[static_cast<size_t>(i)];
+    EOS_CHECK(y >= 0 && y < c);
+    zp[i * c + y] -= static_cast<float>(scale_) *
+                     margins_[static_cast<size_t>(y)];
+  }
+
+  Tensor log_probs = LogSoftmaxRows(shifted);
+  const float* lp = log_probs.data();
+  double weight_sum = 0.0;
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t y = targets[static_cast<size_t>(i)];
+    float w = active_weights_.empty()
+                  ? 1.0f
+                  : active_weights_[static_cast<size_t>(y)];
+    loss -= w * lp[i * c + y];
+    weight_sum += w;
+  }
+  EOS_CHECK_GT(weight_sum, 0.0);
+  loss /= weight_sum;
+
+  if (grad != nullptr) {
+    *grad = Tensor({n, c});
+    float* g = grad->data();
+    float inv = static_cast<float>(1.0 / weight_sum);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t y = targets[static_cast<size_t>(i)];
+      float w = active_weights_.empty()
+                    ? 1.0f
+                    : active_weights_[static_cast<size_t>(y)];
+      for (int64_t j = 0; j < c; ++j) {
+        float p = std::exp(lp[i * c + j]);
+        g[i * c + j] = w * inv * (p - (j == y ? 1.0f : 0.0f));
+      }
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+}  // namespace eos

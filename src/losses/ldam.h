@@ -1,0 +1,43 @@
+#ifndef EOS_LOSSES_LDAM_H_
+#define EOS_LOSSES_LDAM_H_
+
+#include <string>
+#include <vector>
+
+#include "losses/loss.h"
+
+namespace eos {
+
+/// Label-Distribution-Aware Margin loss (Cao et al. 2019).
+///
+/// Expects logits from a cosine classifier (NormLinear) already scaled by s.
+/// The per-class margin Delta_c = C / n_c^{1/4} (C chosen so the largest
+/// margin equals `max_margin`) is subtracted from the target logit in the
+/// normalized space (i.e., s * Delta_c in logit units) before a — optionally
+/// class-weighted — cross-entropy. The deferred re-weighting (DRW) schedule
+/// switches on effective-number class weights at `drw_start_epoch`.
+class LdamLoss : public Loss {
+ public:
+  LdamLoss(const std::vector<int64_t>& class_counts, double max_margin,
+           double scale, int64_t drw_start_epoch, double cb_beta);
+
+  float Compute(const Tensor& logits, const std::vector<int64_t>& targets,
+                Tensor* grad) override;
+  void OnEpochStart(int64_t epoch) override;
+  std::string name() const override { return "LDAM"; }
+
+  const std::vector<float>& margins() const { return margins_; }
+  bool drw_active() const { return drw_active_; }
+
+ private:
+  std::vector<float> margins_;  // Delta_c, pre-scale
+  double scale_;
+  int64_t drw_start_epoch_;
+  std::vector<float> drw_weights_;
+  std::vector<float> active_weights_;  // empty until DRW kicks in
+  bool drw_active_ = false;
+};
+
+}  // namespace eos
+
+#endif  // EOS_LOSSES_LDAM_H_

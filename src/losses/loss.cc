@@ -1,0 +1,67 @@
+#include "losses/loss.h"
+
+#include <cmath>
+
+#include "losses/asl.h"
+#include "losses/cross_entropy.h"
+#include "losses/focal.h"
+#include "losses/ldam.h"
+
+namespace eos {
+
+const char* LossKindName(LossKind kind) {
+  switch (kind) {
+    case LossKind::kCrossEntropy:
+      return "CE";
+    case LossKind::kAsl:
+      return "ASL";
+    case LossKind::kFocal:
+      return "Focal";
+    case LossKind::kLdam:
+      return "LDAM";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<Loss> MakeLoss(const LossConfig& config,
+                               const std::vector<int64_t>& class_counts) {
+  switch (config.kind) {
+    case LossKind::kCrossEntropy:
+      return std::make_unique<CrossEntropyLoss>();
+    case LossKind::kAsl:
+      return std::make_unique<AslLoss>(config.asl_gamma_pos,
+                                       config.asl_gamma_neg, config.asl_clip);
+    case LossKind::kFocal:
+      return std::make_unique<FocalLoss>(config.focal_gamma);
+    case LossKind::kLdam:
+      return std::make_unique<LdamLoss>(class_counts, config.ldam_max_margin,
+                                        config.ldam_scale,
+                                        config.drw_start_epoch,
+                                        config.cb_beta);
+  }
+  EOS_CHECK(false);
+  return nullptr;
+}
+
+std::vector<float> EffectiveNumberWeights(
+    const std::vector<int64_t>& class_counts, double beta) {
+  EOS_CHECK(!class_counts.empty());
+  EOS_CHECK_GE(beta, 0.0);
+  EOS_CHECK_LT(beta, 1.0);
+  std::vector<float> weights(class_counts.size());
+  double sum = 0.0;
+  for (size_t c = 0; c < class_counts.size(); ++c) {
+    EOS_CHECK_GT(class_counts[c], 0);
+    double effective =
+        (1.0 - std::pow(beta, static_cast<double>(class_counts[c]))) /
+        (1.0 - beta);
+    weights[c] = static_cast<float>(1.0 / effective);
+    sum += weights[c];
+  }
+  // Normalize to mean 1 so the learning rate is comparable across betas.
+  float scale = static_cast<float>(class_counts.size() / sum);
+  for (float& w : weights) w *= scale;
+  return weights;
+}
+
+}  // namespace eos

@@ -1,0 +1,72 @@
+#ifndef EOS_LOSSES_LOSS_H_
+#define EOS_LOSSES_LOSS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace eos {
+
+/// Interface of a classification loss. Implementations compute the scalar
+/// batch loss and d loss / d logits in one pass; the trainer feeds that
+/// gradient straight into ImageClassifier::Backward.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  Loss() = default;
+  Loss(const Loss&) = delete;
+  Loss& operator=(const Loss&) = delete;
+
+  /// Computes the (weighted) mean loss over the batch and, when `grad` is
+  /// non-null, writes d loss / d logits into it (shape [batch, classes]).
+  virtual float Compute(const Tensor& logits,
+                        const std::vector<int64_t>& targets,
+                        Tensor* grad) = 0;
+
+  /// Called by the trainer at the start of each epoch; LDAM's deferred
+  /// re-weighting (DRW) hooks in here.
+  virtual void OnEpochStart(int64_t epoch) { (void)epoch; }
+
+  virtual std::string name() const = 0;
+};
+
+/// The four losses the paper evaluates (Section IV-A).
+enum class LossKind { kCrossEntropy, kAsl, kFocal, kLdam };
+
+/// Returns "CE", "ASL", "Focal", or "LDAM".
+const char* LossKindName(LossKind kind);
+
+/// Hyper-parameters for MakeLoss. Defaults follow the reference
+/// implementations (Focal gamma 2; ASL gamma+/gamma- 0/4 with clip 0.05;
+/// LDAM max margin 0.5, scale 30, class-balanced DRW with beta 0.9999).
+struct LossConfig {
+  LossKind kind = LossKind::kCrossEntropy;
+  double focal_gamma = 2.0;
+  double asl_gamma_pos = 0.0;
+  double asl_gamma_neg = 4.0;
+  double asl_clip = 0.05;
+  double ldam_max_margin = 0.5;
+  double ldam_scale = 30.0;
+  /// Epoch at which LDAM switches on class-balanced re-weighting; negative
+  /// disables DRW.
+  int64_t drw_start_epoch = -1;
+  double cb_beta = 0.9999;
+};
+
+/// Builds a loss. `class_counts` is the per-class training-set cardinality
+/// (needed by LDAM margins and DRW weights; ignored by CE/Focal/ASL).
+std::unique_ptr<Loss> MakeLoss(const LossConfig& config,
+                               const std::vector<int64_t>& class_counts);
+
+/// Class-balanced weights from the effective number of samples
+/// (Cui et al. 2019): w_c = (1 - beta) / (1 - beta^{n_c}), normalized to
+/// mean 1.
+std::vector<float> EffectiveNumberWeights(
+    const std::vector<int64_t>& class_counts, double beta);
+
+}  // namespace eos
+
+#endif  // EOS_LOSSES_LOSS_H_

@@ -1,0 +1,114 @@
+#include "metrics/classification_metrics.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace eos {
+
+std::string SkewMetrics::ToString() const {
+  return StrFormat("BAC=%s GM=%s FM=%s", FormatMetric(bac).c_str(),
+                   FormatMetric(gmean).c_str(), FormatMetric(f1).c_str());
+}
+
+SkewMetrics ComputeSkewMetrics(const ConfusionMatrix& confusion) {
+  int64_t c = confusion.num_classes();
+  std::vector<double> recalls = confusion.Recalls();
+  std::vector<double> precisions = confusion.Precisions();
+
+  SkewMetrics metrics;
+  double log_sum = 0.0;
+  bool zero_recall = false;
+  double f1_sum = 0.0;
+  for (int64_t i = 0; i < c; ++i) {
+    double r = recalls[static_cast<size_t>(i)];
+    double p = precisions[static_cast<size_t>(i)];
+    metrics.bac += r;
+    if (r > 0.0) {
+      log_sum += std::log(r);
+    } else {
+      zero_recall = true;
+    }
+    if (p + r > 0.0) f1_sum += 2.0 * p * r / (p + r);
+  }
+  metrics.bac /= static_cast<double>(c);
+  metrics.gmean =
+      zero_recall ? 0.0 : std::exp(log_sum / static_cast<double>(c));
+  metrics.f1 = f1_sum / static_cast<double>(c);
+  return metrics;
+}
+
+double Accuracy(const ConfusionMatrix& confusion) {
+  if (confusion.total() == 0) return 0.0;
+  int64_t correct = 0;
+  for (int64_t i = 0; i < confusion.num_classes(); ++i) {
+    correct += confusion.TruePositives(i);
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(confusion.total());
+}
+
+double MatthewsCorrelation(const ConfusionMatrix& confusion) {
+  // Gorodkin (2004): R_K = (c*s - sum_k p_k t_k) /
+  //   sqrt((s^2 - sum_k p_k^2)(s^2 - sum_k t_k^2))
+  // with c = correct, s = total, t_k = true count, p_k = predicted count.
+  int64_t k = confusion.num_classes();
+  double s = static_cast<double>(confusion.total());
+  if (s == 0.0) return 0.0;
+  double c = 0.0;
+  double sum_pt = 0.0;
+  double sum_p2 = 0.0;
+  double sum_t2 = 0.0;
+  for (int64_t i = 0; i < k; ++i) {
+    c += confusion.TruePositives(i);
+    double t = static_cast<double>(confusion.Support(i));
+    double p = static_cast<double>(confusion.TruePositives(i) +
+                                   confusion.FalsePositives(i));
+    sum_pt += p * t;
+    sum_p2 += p * p;
+    sum_t2 += t * t;
+  }
+  double numerator = c * s - sum_pt;
+  double denominator = std::sqrt((s * s - sum_p2) * (s * s - sum_t2));
+  if (denominator <= 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+double CohensKappa(const ConfusionMatrix& confusion) {
+  double s = static_cast<double>(confusion.total());
+  if (s == 0.0) return 0.0;
+  double observed = Accuracy(confusion);
+  double expected = 0.0;
+  for (int64_t i = 0; i < confusion.num_classes(); ++i) {
+    double t = static_cast<double>(confusion.Support(i));
+    double p = static_cast<double>(confusion.TruePositives(i) +
+                                   confusion.FalsePositives(i));
+    expected += (t / s) * (p / s);
+  }
+  if (expected >= 1.0) return 0.0;
+  return (observed - expected) / (1.0 - expected);
+}
+
+std::string ClassificationReport(const ConfusionMatrix& confusion) {
+  std::string out =
+      "class  support   recall  precision       f1\n";
+  std::vector<double> recalls = confusion.Recalls();
+  std::vector<double> precisions = confusion.Precisions();
+  for (int64_t c = 0; c < confusion.num_classes(); ++c) {
+    double r = recalls[static_cast<size_t>(c)];
+    double p = precisions[static_cast<size_t>(c)];
+    double f1 = (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+    out += StrFormat("%5lld  %7lld   %6.4f     %6.4f   %6.4f\n",
+                     static_cast<long long>(c),
+                     static_cast<long long>(confusion.Support(c)), r, p, f1);
+  }
+  SkewMetrics metrics = ComputeSkewMetrics(confusion);
+  out += StrFormat(
+      "accuracy %.4f | BAC %.4f | G-mean %.4f | macro-F1 %.4f | "
+      "MCC %.4f | kappa %.4f\n",
+      Accuracy(confusion), metrics.bac, metrics.gmean, metrics.f1,
+      MatthewsCorrelation(confusion), CohensKappa(confusion));
+  return out;
+}
+
+}  // namespace eos

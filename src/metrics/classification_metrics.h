@@ -1,0 +1,43 @@
+#ifndef EOS_METRICS_CLASSIFICATION_METRICS_H_
+#define EOS_METRICS_CLASSIFICATION_METRICS_H_
+
+#include <string>
+
+#include "metrics/confusion.h"
+
+namespace eos {
+
+/// The paper's three skew-insensitive metrics (Section IV-A, Sokolova &
+/// Lapalme 2009 conventions).
+struct SkewMetrics {
+  /// Balanced accuracy: mean per-class recall.
+  double bac = 0.0;
+  /// Geometric mean of per-class recalls.
+  double gmean = 0.0;
+  /// Macro-averaged F1.
+  double f1 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes BAC / G-mean / macro-F1 from a confusion matrix.
+SkewMetrics ComputeSkewMetrics(const ConfusionMatrix& confusion);
+
+/// Plain accuracy (diagonal mass / total).
+double Accuracy(const ConfusionMatrix& confusion);
+
+/// Multi-class Matthews correlation coefficient (Gorodkin's R_K
+/// generalization); 1 = perfect, 0 = chance-level, negative = worse than
+/// chance. Robust to imbalance like BAC/G-mean.
+double MatthewsCorrelation(const ConfusionMatrix& confusion);
+
+/// Cohen's kappa: agreement beyond chance given the marginals.
+double CohensKappa(const ConfusionMatrix& confusion);
+
+/// Human-readable per-class table (support, recall, precision, F1) plus the
+/// skew-insensitive aggregates — the library's "classification report".
+std::string ClassificationReport(const ConfusionMatrix& confusion);
+
+}  // namespace eos
+
+#endif  // EOS_METRICS_CLASSIFICATION_METRICS_H_

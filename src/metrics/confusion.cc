@@ -1,0 +1,91 @@
+#include "metrics/confusion.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace eos {
+
+ConfusionMatrix::ConfusionMatrix(int64_t num_classes)
+    : num_classes_(num_classes),
+      total_(0),
+      cells_(static_cast<size_t>(num_classes * num_classes), 0) {
+  EOS_CHECK_GT(num_classes, 0);
+}
+
+void ConfusionMatrix::Add(int64_t truth, int64_t prediction) {
+  EOS_CHECK(truth >= 0 && truth < num_classes_);
+  EOS_CHECK(prediction >= 0 && prediction < num_classes_);
+  ++cells_[static_cast<size_t>(truth * num_classes_ + prediction)];
+  ++total_;
+}
+
+void ConfusionMatrix::AddAll(const std::vector<int64_t>& truths,
+                             const std::vector<int64_t>& predictions) {
+  EOS_CHECK_EQ(truths.size(), predictions.size());
+  for (size_t i = 0; i < truths.size(); ++i) Add(truths[i], predictions[i]);
+}
+
+int64_t ConfusionMatrix::at(int64_t truth, int64_t prediction) const {
+  EOS_CHECK(truth >= 0 && truth < num_classes_);
+  EOS_CHECK(prediction >= 0 && prediction < num_classes_);
+  return cells_[static_cast<size_t>(truth * num_classes_ + prediction)];
+}
+
+int64_t ConfusionMatrix::Support(int64_t c) const {
+  int64_t sum = 0;
+  for (int64_t j = 0; j < num_classes_; ++j) sum += at(c, j);
+  return sum;
+}
+
+int64_t ConfusionMatrix::TruePositives(int64_t c) const { return at(c, c); }
+
+int64_t ConfusionMatrix::FalsePositives(int64_t c) const {
+  int64_t sum = 0;
+  for (int64_t i = 0; i < num_classes_; ++i) {
+    if (i != c) sum += at(i, c);
+  }
+  return sum;
+}
+
+int64_t ConfusionMatrix::FalseNegatives(int64_t c) const {
+  return Support(c) - TruePositives(c);
+}
+
+std::vector<double> ConfusionMatrix::Recalls() const {
+  std::vector<double> out(static_cast<size_t>(num_classes_), 0.0);
+  for (int64_t c = 0; c < num_classes_; ++c) {
+    int64_t support = Support(c);
+    if (support > 0) {
+      out[static_cast<size_t>(c)] =
+          static_cast<double>(TruePositives(c)) /
+          static_cast<double>(support);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::Precisions() const {
+  std::vector<double> out(static_cast<size_t>(num_classes_), 0.0);
+  for (int64_t c = 0; c < num_classes_; ++c) {
+    int64_t predicted = TruePositives(c) + FalsePositives(c);
+    if (predicted > 0) {
+      out[static_cast<size_t>(c)] =
+          static_cast<double>(TruePositives(c)) /
+          static_cast<double>(predicted);
+    }
+  }
+  return out;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::string out;
+  for (int64_t i = 0; i < num_classes_; ++i) {
+    for (int64_t j = 0; j < num_classes_; ++j) {
+      out += StrFormat("%6lld", static_cast<long long>(at(i, j)));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace eos

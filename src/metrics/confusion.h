@@ -1,0 +1,54 @@
+#ifndef EOS_METRICS_CONFUSION_H_
+#define EOS_METRICS_CONFUSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eos {
+
+/// Multi-class confusion matrix; rows are true classes, columns predictions.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int64_t num_classes);
+
+  /// Counts one (truth, prediction) pair.
+  void Add(int64_t truth, int64_t prediction);
+
+  /// Counts a batch of pairs.
+  void AddAll(const std::vector<int64_t>& truths,
+              const std::vector<int64_t>& predictions);
+
+  int64_t num_classes() const { return num_classes_; }
+  int64_t total() const { return total_; }
+  int64_t at(int64_t truth, int64_t prediction) const;
+
+  /// Row sum: number of examples whose true class is `c`.
+  int64_t Support(int64_t c) const;
+
+  /// True positives of class `c` (diagonal entry).
+  int64_t TruePositives(int64_t c) const;
+
+  /// Examples predicted `c` whose truth differs.
+  int64_t FalsePositives(int64_t c) const;
+
+  /// Examples of class `c` predicted as something else.
+  int64_t FalseNegatives(int64_t c) const;
+
+  /// Per-class recall (TP / support); 0 when the class has no support.
+  std::vector<double> Recalls() const;
+
+  /// Per-class precision (TP / predicted); 0 when nothing was predicted c.
+  std::vector<double> Precisions() const;
+
+  std::string ToString() const;
+
+ private:
+  int64_t num_classes_;
+  int64_t total_;
+  std::vector<int64_t> cells_;  // row-major [num_classes, num_classes]
+};
+
+}  // namespace eos
+
+#endif  // EOS_METRICS_CONFUSION_H_

@@ -1,0 +1,66 @@
+#include "metrics/generalization_gap.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eos {
+
+std::vector<std::vector<std::pair<float, float>>> FeatureRanges(
+    const FeatureSet& set) {
+  EOS_CHECK_EQ(set.features.dim(), 2);
+  int64_t d = set.features.size(1);
+  std::vector<std::vector<std::pair<float, float>>> ranges(
+      static_cast<size_t>(set.num_classes));
+  std::vector<bool> seen(static_cast<size_t>(set.num_classes), false);
+  const float* x = set.features.data();
+  for (int64_t i = 0; i < set.size(); ++i) {
+    int64_t c = set.labels[static_cast<size_t>(i)];
+    EOS_CHECK(c >= 0 && c < set.num_classes);
+    auto& r = ranges[static_cast<size_t>(c)];
+    const float* row = x + i * d;
+    if (!seen[static_cast<size_t>(c)]) {
+      r.resize(static_cast<size_t>(d));
+      for (int64_t j = 0; j < d; ++j) r[static_cast<size_t>(j)] = {row[j], row[j]};
+      seen[static_cast<size_t>(c)] = true;
+    } else {
+      for (int64_t j = 0; j < d; ++j) {
+        auto& [mn, mx] = r[static_cast<size_t>(j)];
+        mn = std::min(mn, row[j]);
+        mx = std::max(mx, row[j]);
+      }
+    }
+  }
+  return ranges;
+}
+
+GapResult GeneralizationGap(const FeatureSet& train, const FeatureSet& test) {
+  EOS_CHECK_EQ(train.num_classes, test.num_classes);
+  EOS_CHECK_EQ(train.features.size(1), test.features.size(1));
+  auto train_ranges = FeatureRanges(train);
+  auto test_ranges = FeatureRanges(test);
+
+  GapResult result;
+  result.per_class.assign(static_cast<size_t>(train.num_classes), 0.0);
+  int64_t counted = 0;
+  double total = 0.0;
+  for (int64_t c = 0; c < train.num_classes; ++c) {
+    const auto& tr = train_ranges[static_cast<size_t>(c)];
+    const auto& te = test_ranges[static_cast<size_t>(c)];
+    if (tr.empty() || te.empty()) continue;
+    double gap = 0.0;
+    for (size_t j = 0; j < tr.size(); ++j) {
+      // Zero-floored Manhattan distance between range endpoints: only test
+      // mass *outside* the training range counts.
+      gap += std::max(0.0f, te[j].second - tr[j].second);
+      gap += std::max(0.0f, tr[j].first - te[j].first);
+    }
+    result.per_class[static_cast<size_t>(c)] = gap;
+    total += gap;
+    ++counted;
+  }
+  result.mean = counted > 0 ? total / static_cast<double>(counted) : 0.0;
+  return result;
+}
+
+}  // namespace eos

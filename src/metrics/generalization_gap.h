@@ -1,0 +1,37 @@
+#ifndef EOS_METRICS_GENERALIZATION_GAP_H_
+#define EOS_METRICS_GENERALIZATION_GAP_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace eos {
+
+/// Result of the paper's generalization-gap measure (Algorithm 1).
+struct GapResult {
+  /// Manhattan gap per class: sum over embedding dimensions of how far the
+  /// test range extends beyond the training range (zero-floored per side).
+  std::vector<double> per_class;
+  /// Net gap: mean of per_class over classes present in both sets.
+  double mean = 0.0;
+};
+
+/// Computes the generalization gap between training and test feature
+/// embeddings (the paper's novel measure, §III-B).
+///
+/// For every class and every embedding dimension the training and test
+/// ranges [min, max] are compared; a dimension contributes
+/// max(0, test_max - train_max) + max(0, train_min - test_min) — the
+/// Manhattan distance between range endpoints with a zero floor, so test
+/// ranges nested inside the training range contribute nothing. Classes
+/// absent from either set are skipped (their per_class entry is 0).
+GapResult GeneralizationGap(const FeatureSet& train, const FeatureSet& test);
+
+/// Per-class, per-dimension feature ranges: min in [c][d].first, max in
+/// [c][d].second. Classes without examples get empty vectors.
+std::vector<std::vector<std::pair<float, float>>> FeatureRanges(
+    const FeatureSet& set);
+
+}  // namespace eos
+
+#endif  // EOS_METRICS_GENERALIZATION_GAP_H_

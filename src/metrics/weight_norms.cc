@@ -1,0 +1,32 @@
+#include "metrics/weight_norms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eos {
+
+std::vector<double> ClassifierWeightNorms(const Tensor& weight) {
+  EOS_CHECK_EQ(weight.dim(), 2);
+  int64_t c = weight.size(0);
+  int64_t d = weight.size(1);
+  std::vector<double> norms(static_cast<size_t>(c), 0.0);
+  const float* w = weight.data();
+  for (int64_t i = 0; i < c; ++i) {
+    double s = 0.0;
+    const float* row = w + i * d;
+    for (int64_t j = 0; j < d; ++j) s += static_cast<double>(row[j]) * row[j];
+    norms[static_cast<size_t>(i)] = std::sqrt(s);
+  }
+  return norms;
+}
+
+double WeightNormRatio(const std::vector<double>& norms) {
+  EOS_CHECK(!norms.empty());
+  auto [mn, mx] = std::minmax_element(norms.begin(), norms.end());
+  if (*mn <= 0.0) return 0.0;
+  return *mx / *mn;
+}
+
+}  // namespace eos

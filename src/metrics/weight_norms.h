@@ -1,0 +1,21 @@
+#ifndef EOS_METRICS_WEIGHT_NORMS_H_
+#define EOS_METRICS_WEIGHT_NORMS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace eos {
+
+/// Per-class L2 norms of a classifier weight matrix [num_classes, dim] —
+/// the quantity Figure 5 plots. Under imbalance, minority rows shrink; the
+/// paper shows EOS keeps them larger and more even.
+std::vector<double> ClassifierWeightNorms(const Tensor& weight);
+
+/// Max/min ratio of the norms — a single-number evenness summary used by
+/// the Figure 5 bench.
+double WeightNormRatio(const std::vector<double>& norms);
+
+}  // namespace eos
+
+#endif  // EOS_METRICS_WEIGHT_NORMS_H_

@@ -1,0 +1,114 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eos {
+
+namespace {
+
+float SquaredDistance(const float* a, const float* b, int64_t d) {
+  float acc = 0.0f;
+  for (int64_t j = 0; j < d; ++j) {
+    float diff = a[j] - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Tensor& points, int64_t k, int64_t max_iterations,
+                    Rng& rng) {
+  EOS_CHECK_EQ(points.dim(), 2);
+  int64_t n = points.size(0);
+  int64_t d = points.size(1);
+  EOS_CHECK_GT(n, 0);
+  EOS_CHECK_GT(k, 0);
+  k = std::min(k, n);
+
+  const float* x = points.data();
+  KMeansResult result;
+  result.centroids = Tensor({k, d});
+  float* c = result.centroids.data();
+
+  // --- k-means++ seeding. ---
+  std::vector<float> min_dist(static_cast<size_t>(n), 0.0f);
+  int64_t first = rng.UniformInt(n);
+  std::copy(x + first * d, x + (first + 1) * d, c);
+  for (int64_t i = 0; i < n; ++i) {
+    min_dist[static_cast<size_t>(i)] = SquaredDistance(x + i * d, c, d);
+  }
+  for (int64_t j = 1; j < k; ++j) {
+    double total = 0.0;
+    for (float v : min_dist) total += v;
+    int64_t pick;
+    if (total <= 0.0) {
+      pick = rng.UniformInt(n);
+    } else {
+      double u = rng.UniformDouble() * total;
+      double acc = 0.0;
+      pick = n - 1;
+      for (int64_t i = 0; i < n; ++i) {
+        acc += min_dist[static_cast<size_t>(i)];
+        if (u < acc) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    std::copy(x + pick * d, x + (pick + 1) * d, c + j * d);
+    for (int64_t i = 0; i < n; ++i) {
+      min_dist[static_cast<size_t>(i)] =
+          std::min(min_dist[static_cast<size_t>(i)],
+                   SquaredDistance(x + i * d, c + j * d, d));
+    }
+  }
+
+  // --- Lloyd iterations. ---
+  result.assignments.assign(static_cast<size_t>(n), -1);
+  result.cluster_sizes.assign(static_cast<size_t>(k), 0);
+  for (int64_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t best = 0;
+      float best_dist = SquaredDistance(x + i * d, c, d);
+      for (int64_t j = 1; j < k; ++j) {
+        float dist = SquaredDistance(x + i * d, c + j * d, d);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = j;
+        }
+      }
+      if (result.assignments[static_cast<size_t>(i)] != best) {
+        changed = true;
+        result.assignments[static_cast<size_t>(i)] = best;
+      }
+      ++result.cluster_sizes[static_cast<size_t>(best)];
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    // Recompute centroids.
+    result.centroids.Zero();
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t a = result.assignments[static_cast<size_t>(i)];
+      for (int64_t j = 0; j < d; ++j) c[a * d + j] += x[i * d + j];
+    }
+    for (int64_t j = 0; j < k; ++j) {
+      int64_t size = result.cluster_sizes[static_cast<size_t>(j)];
+      if (size > 0) {
+        float inv = 1.0f / static_cast<float>(size);
+        for (int64_t q = 0; q < d; ++q) c[j * d + q] *= inv;
+      } else {
+        // Re-seed an empty cluster at a random point.
+        int64_t pick = rng.UniformInt(n);
+        std::copy(x + pick * d, x + (pick + 1) * d, c + j * d);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace eos

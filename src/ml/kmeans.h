@@ -1,0 +1,28 @@
+#ifndef EOS_ML_KMEANS_H_
+#define EOS_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace eos {
+
+/// Result of Lloyd's algorithm.
+struct KMeansResult {
+  Tensor centroids;                  ///< [k, dim]
+  std::vector<int64_t> assignments;  ///< per-point cluster id
+  std::vector<int64_t> cluster_sizes;
+  int64_t iterations = 0;
+};
+
+/// k-means with k-means++ seeding; converges when assignments stop changing
+/// or `max_iterations` is hit. k is clamped to the point count. Empty
+/// clusters are reseeded from the farthest point of the largest cluster.
+KMeansResult KMeans(const Tensor& points, int64_t k, int64_t max_iterations,
+                    Rng& rng);
+
+}  // namespace eos
+
+#endif  // EOS_ML_KMEANS_H_

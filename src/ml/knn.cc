@@ -1,0 +1,68 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace eos {
+
+KnnIndex::KnnIndex(const Tensor& points) : points_(points) {
+  EOS_CHECK_EQ(points.dim(), 2);
+  n_ = points.size(0);
+  d_ = points.size(1);
+  EOS_CHECK_GT(n_, 0);
+  EOS_CHECK_GT(d_, 0);
+}
+
+float KnnIndex::SquaredDistance(int64_t row, const float* query) const {
+  const float* p = points_.data() + row * d_;
+  float acc = 0.0f;
+  for (int64_t k = 0; k < d_; ++k) {
+    float diff = p[k] - query[k];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+std::vector<int64_t> KnnIndex::Query(const float* query, int64_t k,
+                                     int64_t exclude) const {
+  int64_t available = n_ - (exclude >= 0 && exclude < n_ ? 1 : 0);
+  k = std::min(k, available);
+  if (k <= 0) return {};
+  // Max-heap of (distance, index) keeps the k best seen so far.
+  using Entry = std::pair<float, int64_t>;
+  std::priority_queue<Entry> heap;
+  for (int64_t i = 0; i < n_; ++i) {
+    if (i == exclude) continue;
+    float dist = SquaredDistance(i, query);
+    if (static_cast<int64_t>(heap.size()) < k) {
+      heap.emplace(dist, i);
+    } else if (dist < heap.top().first) {
+      heap.pop();
+      heap.emplace(dist, i);
+    }
+  }
+  std::vector<int64_t> out(heap.size());
+  for (int64_t i = static_cast<int64_t>(heap.size()) - 1; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<int64_t> KnnIndex::QueryRow(int64_t row, int64_t k) const {
+  EOS_CHECK(row >= 0 && row < n_);
+  return Query(points_.data() + row * d_, k, row);
+}
+
+std::vector<std::vector<int64_t>> AllKNearestNeighbors(const Tensor& points,
+                                                       int64_t k) {
+  KnnIndex index(points);
+  std::vector<std::vector<int64_t>> out(
+      static_cast<size_t>(index.size()));
+  for (int64_t i = 0; i < index.size(); ++i) {
+    out[static_cast<size_t>(i)] = index.QueryRow(i, k);
+  }
+  return out;
+}
+
+}  // namespace eos

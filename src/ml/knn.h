@@ -1,0 +1,49 @@
+#ifndef EOS_ML_KNN_H_
+#define EOS_ML_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace eos {
+
+/// Exact brute-force k-nearest-neighbor index over [N, D] points (squared
+/// Euclidean metric). This backs SMOTE-family samplers and EOS's nearest-
+/// enemy search; at embedding scale (N in the thousands, D = 64) exact
+/// search is faster and simpler than an approximate structure.
+class KnnIndex {
+ public:
+  /// Keeps a reference to `points` (shared buffer; do not mutate it while
+  /// the index is in use).
+  explicit KnnIndex(const Tensor& points);
+
+  int64_t size() const { return n_; }
+  int64_t dim() const { return d_; }
+
+  /// Indices of the k nearest points to `query` (ascending distance).
+  /// `exclude` (if >= 0) is omitted — pass the query's own index for
+  /// leave-one-out search. k is clamped to the available count.
+  std::vector<int64_t> Query(const float* query, int64_t k,
+                             int64_t exclude = -1) const;
+
+  /// Leave-one-out neighbors of the stored point `row`.
+  std::vector<int64_t> QueryRow(int64_t row, int64_t k) const;
+
+  /// Squared Euclidean distance between stored point `row` and `query`.
+  float SquaredDistance(int64_t row, const float* query) const;
+
+ private:
+  Tensor points_;
+  int64_t n_;
+  int64_t d_;
+};
+
+/// All-pairs leave-one-out kNN: result[i] holds the k nearest neighbors of
+/// point i (ascending distance).
+std::vector<std::vector<int64_t>> AllKNearestNeighbors(const Tensor& points,
+                                                       int64_t k);
+
+}  // namespace eos
+
+#endif  // EOS_ML_KNN_H_

@@ -1,0 +1,85 @@
+#include "ml/linear_svm.h"
+
+#include "data/batcher.h"
+#include "tensor/matmul.h"
+
+namespace eos {
+
+void LinearSvm::Fit(const Tensor& x, const std::vector<int64_t>& y,
+                    int64_t num_classes, const Options& options, Rng& rng) {
+  EOS_CHECK_EQ(x.dim(), 2);
+  EOS_CHECK_EQ(static_cast<int64_t>(y.size()), x.size(0));
+  EOS_CHECK_GT(num_classes, 1);
+  int64_t n = x.size(0);
+  int64_t d = x.size(1);
+  num_classes_ = num_classes;
+  dim_ = d;
+  weights_ = Tensor::Zeros({num_classes, d});
+  bias_ = Tensor::Zeros({num_classes});
+
+  float* w = weights_.data();
+  float* b = bias_.data();
+  const float* xp = x.data();
+
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Simple 1/t learning-rate decay keeps late epochs stable.
+    float lr = static_cast<float>(options.lr /
+                                  (1.0 + 0.1 * static_cast<double>(epoch)));
+    float reg = static_cast<float>(options.reg);
+    auto batches = MakeBatches(n, options.batch_size, &rng);
+    for (const auto& batch : batches) {
+      // L2 shrinkage once per batch.
+      float shrink = 1.0f - lr * reg;
+      for (int64_t i = 0; i < weights_.numel(); ++i) w[i] *= shrink;
+      float step = lr / static_cast<float>(batch.size());
+      for (int64_t idx : batch) {
+        const float* row = xp + idx * d;
+        int64_t target = y[static_cast<size_t>(idx)];
+        EOS_CHECK(target >= 0 && target < num_classes);
+        for (int64_t c = 0; c < num_classes; ++c) {
+          float margin = b[c];
+          const float* wc = w + c * d;
+          for (int64_t k = 0; k < d; ++k) margin += wc[k] * row[k];
+          float sign = (c == target) ? 1.0f : -1.0f;
+          if (sign * margin < 1.0f) {
+            // Hinge subgradient: move toward sign * x.
+            float* wcm = w + c * d;
+            for (int64_t k = 0; k < d; ++k) wcm[k] += step * sign * row[k];
+            b[c] += step * sign;
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor LinearSvm::DecisionFunction(const Tensor& x) const {
+  EOS_CHECK(fitted());
+  EOS_CHECK_EQ(x.dim(), 2);
+  EOS_CHECK_EQ(x.size(1), dim_);
+  Tensor out = MatMulNT(x, weights_);
+  float* o = out.data();
+  const float* b = bias_.data();
+  for (int64_t i = 0; i < x.size(0); ++i) {
+    for (int64_t c = 0; c < num_classes_; ++c) {
+      o[i * num_classes_ + c] += b[c];
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> LinearSvm::Predict(const Tensor& x) const {
+  Tensor scores = DecisionFunction(x);
+  std::vector<int64_t> out(static_cast<size_t>(x.size(0)));
+  const float* s = scores.data();
+  for (int64_t i = 0; i < x.size(0); ++i) {
+    int64_t best = 0;
+    for (int64_t c = 1; c < num_classes_; ++c) {
+      if (s[i * num_classes_ + c] > s[i * num_classes_ + best]) best = c;
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace eos

@@ -1,0 +1,49 @@
+#ifndef EOS_ML_LINEAR_SVM_H_
+#define EOS_ML_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace eos {
+
+/// One-vs-rest linear SVM trained with SGD on the L2-regularized hinge loss.
+/// This is the relabeling model inside the Balanced-SVM over-sampler
+/// (Farquad & Bose 2012): SMOTE generates candidates and the SVM replaces
+/// their labels with its own predictions.
+class LinearSvm {
+ public:
+  struct Options {
+    double lr = 0.05;
+    double reg = 1e-4;
+    int64_t epochs = 40;
+    int64_t batch_size = 32;
+  };
+
+  LinearSvm() = default;
+
+  /// Fits on x [N, D] with labels in [0, num_classes).
+  void Fit(const Tensor& x, const std::vector<int64_t>& y,
+           int64_t num_classes, const Options& options, Rng& rng);
+
+  /// Per-class margins [N, num_classes]. Requires a prior Fit.
+  Tensor DecisionFunction(const Tensor& x) const;
+
+  /// Argmax of the decision function.
+  std::vector<int64_t> Predict(const Tensor& x) const;
+
+  bool fitted() const { return num_classes_ > 0; }
+  int64_t num_classes() const { return num_classes_; }
+
+ private:
+  Tensor weights_;  // [num_classes, D]
+  Tensor bias_;     // [num_classes]
+  int64_t num_classes_ = 0;
+  int64_t dim_ = 0;
+};
+
+}  // namespace eos
+
+#endif  // EOS_ML_LINEAR_SVM_H_

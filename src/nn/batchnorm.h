@@ -1,0 +1,46 @@
+#ifndef EOS_NN_BATCHNORM_H_
+#define EOS_NN_BATCHNORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace eos::nn {
+
+/// Batch normalization over the channel dimension of NCHW inputs, with
+/// affine parameters and running statistics for inference. The paper's
+/// generalization-gap measure relies on BN (plus ReLU) bounding the feature
+/// embeddings, so this layer matches the reference semantics exactly.
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>& out) override;
+  void CollectBuffers(std::vector<Tensor*>& out) override;
+  std::string name() const override { return "BatchNorm2d"; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  int64_t channels_;
+  float momentum_;
+  float eps_;
+
+  Parameter gamma_;  // [C]
+  Parameter beta_;   // [C]
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Cached for Backward (training forward only).
+  Tensor x_hat_;               // normalized input, same shape as input
+  std::vector<float> invstd_;  // per-channel 1/sqrt(var+eps)
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_BATCHNORM_H_

@@ -1,0 +1,203 @@
+#include "nn/blocks.h"
+
+#include <cstring>
+
+#include "tensor/tensor_ops.h"
+
+namespace eos::nn {
+
+BasicBlock::BasicBlock(int64_t in_channels, int64_t out_channels,
+                       int64_t stride, Rng& rng)
+    : has_projection_(stride != 1 || in_channels != out_channels),
+      conv1_(in_channels, out_channels, 3, stride, 1, /*bias=*/false, rng),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, 3, 1, 1, /*bias=*/false, rng),
+      bn2_(out_channels) {
+  if (has_projection_) {
+    proj_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride,
+                                          0, /*bias=*/false, rng);
+    proj_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+Tensor BasicBlock::Forward(const Tensor& input, bool training) {
+  Tensor main = conv1_.Forward(input, training);
+  main = bn1_.Forward(main, training);
+  main = relu1_.Forward(main, training);
+  main = conv2_.Forward(main, training);
+  main = bn2_.Forward(main, training);
+  Tensor shortcut = input;
+  if (has_projection_) {
+    shortcut = proj_conv_->Forward(input, training);
+    shortcut = proj_bn_->Forward(shortcut, training);
+  }
+  AddInPlace(main, shortcut);
+  return relu_out_.Forward(main, training);
+}
+
+Tensor BasicBlock::Backward(const Tensor& grad_output) {
+  Tensor g = relu_out_.Backward(grad_output);
+  // The sum node routes the same gradient to both branches.
+  Tensor g_main = bn2_.Backward(g);
+  g_main = conv2_.Backward(g_main);
+  g_main = relu1_.Backward(g_main);
+  g_main = bn1_.Backward(g_main);
+  g_main = conv1_.Backward(g_main);
+  if (has_projection_) {
+    Tensor g_short = proj_bn_->Backward(g);
+    g_short = proj_conv_->Backward(g_short);
+    AddInPlace(g_main, g_short);
+  } else {
+    AddInPlace(g_main, g);
+  }
+  return g_main;
+}
+
+void BasicBlock::CollectParameters(std::vector<Parameter*>& out) {
+  conv1_.CollectParameters(out);
+  bn1_.CollectParameters(out);
+  conv2_.CollectParameters(out);
+  bn2_.CollectParameters(out);
+  if (has_projection_) {
+    proj_conv_->CollectParameters(out);
+    proj_bn_->CollectParameters(out);
+  }
+}
+
+void BasicBlock::CollectBuffers(std::vector<Tensor*>& out) {
+  bn1_.CollectBuffers(out);
+  bn2_.CollectBuffers(out);
+  if (has_projection_) proj_bn_->CollectBuffers(out);
+}
+
+PreActBlock::PreActBlock(int64_t in_channels, int64_t out_channels,
+                         int64_t stride, Rng& rng, float dropout_p)
+    : equal_shape_(stride == 1 && in_channels == out_channels),
+      bn1_(in_channels),
+      conv1_(in_channels, out_channels, 3, stride, 1, /*bias=*/false, rng),
+      bn2_(out_channels),
+      conv2_(out_channels, out_channels, 3, 1, 1, /*bias=*/false, rng) {
+  if (!equal_shape_) {
+    proj_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride,
+                                          0, /*bias=*/false, rng);
+  }
+  if (dropout_p > 0.0f) {
+    uint64_t seed = (static_cast<uint64_t>(rng.Next()) << 32) | rng.Next();
+    dropout_ = std::make_unique<Dropout>(dropout_p, seed);
+  }
+}
+
+Tensor PreActBlock::Forward(const Tensor& input, bool training) {
+  Tensor o1 = bn1_.Forward(input, training);
+  o1 = relu1_.Forward(o1, training);
+  Tensor main = conv1_.Forward(o1, training);
+  main = bn2_.Forward(main, training);
+  main = relu2_.Forward(main, training);
+  if (dropout_ != nullptr) main = dropout_->Forward(main, training);
+  main = conv2_.Forward(main, training);
+  Tensor shortcut = equal_shape_ ? input : proj_conv_->Forward(o1, training);
+  AddInPlace(main, shortcut);
+  return main;
+}
+
+Tensor PreActBlock::Backward(const Tensor& grad_output) {
+  // Main path back to o1.
+  Tensor g_main = conv2_.Backward(grad_output);
+  if (dropout_ != nullptr) g_main = dropout_->Backward(g_main);
+  g_main = relu2_.Backward(g_main);
+  g_main = bn2_.Backward(g_main);
+  Tensor g_o1 = conv1_.Backward(g_main);
+  if (!equal_shape_) {
+    // Shortcut also consumed o1.
+    Tensor g_short = proj_conv_->Backward(grad_output);
+    AddInPlace(g_o1, g_short);
+  }
+  Tensor g_in = relu1_.Backward(g_o1);
+  g_in = bn1_.Backward(g_in);
+  if (equal_shape_) {
+    // Identity shortcut consumed the raw input.
+    AddInPlace(g_in, grad_output);
+  }
+  return g_in;
+}
+
+void PreActBlock::CollectParameters(std::vector<Parameter*>& out) {
+  bn1_.CollectParameters(out);
+  conv1_.CollectParameters(out);
+  bn2_.CollectParameters(out);
+  conv2_.CollectParameters(out);
+  if (!equal_shape_) proj_conv_->CollectParameters(out);
+}
+
+void PreActBlock::CollectBuffers(std::vector<Tensor*>& out) {
+  bn1_.CollectBuffers(out);
+  bn2_.CollectBuffers(out);
+}
+
+DenseLayer::DenseLayer(int64_t in_channels, int64_t growth, Rng& rng)
+    : in_channels_(in_channels),
+      growth_(growth),
+      bn_(in_channels),
+      conv_(in_channels, growth, 3, 1, 1, /*bias=*/false, rng) {}
+
+Tensor DenseLayer::Forward(const Tensor& input, bool training) {
+  EOS_CHECK_EQ(input.size(1), in_channels_);
+  Tensor f = bn_.Forward(input, training);
+  f = relu_.Forward(f, training);
+  f = conv_.Forward(f, training);
+  // Channel-concat [x, f].
+  int64_t n = input.size(0);
+  int64_t h = input.size(2);
+  int64_t w = input.size(3);
+  int64_t plane = h * w;
+  Tensor out({n, in_channels_ + growth_, h, w});
+  const float* xp = input.data();
+  const float* fp = f.data();
+  float* op = out.data();
+  for (int64_t img = 0; img < n; ++img) {
+    std::memcpy(op + img * (in_channels_ + growth_) * plane,
+                xp + img * in_channels_ * plane,
+                static_cast<size_t>(in_channels_ * plane) * sizeof(float));
+    std::memcpy(op + (img * (in_channels_ + growth_) + in_channels_) * plane,
+                fp + img * growth_ * plane,
+                static_cast<size_t>(growth_ * plane) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor DenseLayer::Backward(const Tensor& grad_output) {
+  EOS_CHECK_EQ(grad_output.size(1), in_channels_ + growth_);
+  int64_t n = grad_output.size(0);
+  int64_t h = grad_output.size(2);
+  int64_t w = grad_output.size(3);
+  int64_t plane = h * w;
+  Tensor g_x({n, in_channels_, h, w});
+  Tensor g_f({n, growth_, h, w});
+  const float* gp = grad_output.data();
+  float* gxp = g_x.data();
+  float* gfp = g_f.data();
+  for (int64_t img = 0; img < n; ++img) {
+    std::memcpy(gxp + img * in_channels_ * plane,
+                gp + img * (in_channels_ + growth_) * plane,
+                static_cast<size_t>(in_channels_ * plane) * sizeof(float));
+    std::memcpy(gfp + img * growth_ * plane,
+                gp + (img * (in_channels_ + growth_) + in_channels_) * plane,
+                static_cast<size_t>(growth_ * plane) * sizeof(float));
+  }
+  Tensor g = conv_.Backward(g_f);
+  g = relu_.Backward(g);
+  g = bn_.Backward(g);
+  AddInPlace(g_x, g);
+  return g_x;
+}
+
+void DenseLayer::CollectParameters(std::vector<Parameter*>& out) {
+  bn_.CollectParameters(out);
+  conv_.CollectParameters(out);
+}
+
+void DenseLayer::CollectBuffers(std::vector<Tensor*>& out) {
+  bn_.CollectBuffers(out);
+}
+
+}  // namespace eos::nn

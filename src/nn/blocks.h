@@ -1,0 +1,93 @@
+#ifndef EOS_NN_BLOCKS_H_
+#define EOS_NN_BLOCKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/batchnorm.h"
+#include "nn/dropout.h"
+#include "nn/conv2d.h"
+#include "nn/module.h"
+#include "nn/relu.h"
+
+namespace eos::nn {
+
+/// Post-activation residual block (He et al. 2016), the unit of the paper's
+/// ResNet-32/56: conv3x3-BN-ReLU-conv3x3-BN plus a projection shortcut when
+/// the shape changes, followed by ReLU.
+class BasicBlock : public Module {
+ public:
+  BasicBlock(int64_t in_channels, int64_t out_channels, int64_t stride,
+             Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>& out) override;
+  void CollectBuffers(std::vector<Tensor*>& out) override;
+  std::string name() const override { return "BasicBlock"; }
+
+ private:
+  bool has_projection_;
+  Conv2d conv1_;
+  BatchNorm2d bn1_;
+  ReLU relu1_;
+  Conv2d conv2_;
+  BatchNorm2d bn2_;
+  ReLU relu_out_;
+  std::unique_ptr<Conv2d> proj_conv_;
+  std::unique_ptr<BatchNorm2d> proj_bn_;
+};
+
+/// Pre-activation block (BN-ReLU-conv twice) used by WideResNet. When the
+/// shape changes, the shortcut is a 1x1 convolution applied to the
+/// pre-activated input, as in Zagoruyko & Komodakis (2016).
+class PreActBlock : public Module {
+ public:
+  /// `dropout_p` > 0 inserts inverted dropout between the two convolutions,
+  /// as in the WRN reference implementation.
+  PreActBlock(int64_t in_channels, int64_t out_channels, int64_t stride,
+              Rng& rng, float dropout_p = 0.0f);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>& out) override;
+  void CollectBuffers(std::vector<Tensor*>& out) override;
+  std::string name() const override { return "PreActBlock"; }
+
+ private:
+  bool equal_shape_;
+  BatchNorm2d bn1_;
+  ReLU relu1_;
+  Conv2d conv1_;
+  BatchNorm2d bn2_;
+  ReLU relu2_;
+  std::unique_ptr<Dropout> dropout_;
+  Conv2d conv2_;
+  std::unique_ptr<Conv2d> proj_conv_;
+};
+
+/// One DenseNet layer: output = concat(input, conv3x3(relu(bn(input)))),
+/// growing the channel count by `growth`.
+class DenseLayer : public Module {
+ public:
+  DenseLayer(int64_t in_channels, int64_t growth, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>& out) override;
+  void CollectBuffers(std::vector<Tensor*>& out) override;
+  std::string name() const override { return "DenseLayer"; }
+
+ private:
+  int64_t in_channels_;
+  int64_t growth_;
+  BatchNorm2d bn_;
+  ReLU relu_;
+  Conv2d conv_;
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_BLOCKS_H_

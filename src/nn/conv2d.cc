@@ -1,0 +1,130 @@
+#include "nn/conv2d.h"
+
+#include "nn/init.h"
+#include "tensor/im2col.h"
+#include "tensor/matmul.h"
+
+namespace eos::nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t pad, bool bias, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias) {
+  EOS_CHECK_GT(in_channels, 0);
+  EOS_CHECK_GT(out_channels, 0);
+  EOS_CHECK_GT(kernel, 0);
+  EOS_CHECK_GT(stride, 0);
+  EOS_CHECK_GE(pad, 0);
+  int64_t fan_out = out_channels * kernel * kernel;
+  weight_ = Parameter(
+      "conv.weight",
+      Tensor::Zeros({out_channels, in_channels * kernel * kernel}));
+  KaimingNormal(weight_.value, fan_out, rng);
+  if (has_bias_) {
+    bias_ = Parameter("conv.bias", Tensor::Zeros({out_channels}),
+                      /*decay=*/false);
+  }
+}
+
+Tensor Conv2d::Forward(const Tensor& input, bool training) {
+  EOS_CHECK_EQ(input.dim(), 4);
+  EOS_CHECK_EQ(input.size(1), in_channels_);
+  int64_t n = input.size(0);
+  int64_t h = input.size(2);
+  int64_t w = input.size(3);
+  int64_t out_h = ConvOutSize(h, kernel_, stride_, pad_);
+  int64_t out_w = ConvOutSize(w, kernel_, stride_, pad_);
+  EOS_CHECK_GT(out_h, 0);
+  EOS_CHECK_GT(out_w, 0);
+  int64_t ckk = in_channels_ * kernel_ * kernel_;
+  int64_t plane = out_h * out_w;
+
+  if (training) cached_input_ = input;
+  col_.resize(static_cast<size_t>(ckk * plane));
+
+  Tensor out({n, out_channels_, out_h, out_w});
+  const float* x = input.data();
+  float* y = out.data();
+  int64_t in_stride = in_channels_ * h * w;
+  int64_t out_stride = out_channels_ * plane;
+  for (int64_t img = 0; img < n; ++img) {
+    Im2Col(x + img * in_stride, in_channels_, h, w, kernel_, kernel_, stride_,
+           pad_, col_.data());
+    // y_img[O, plane] += W[O, ckk] * col[ckk, plane]; y is zero-initialized.
+    GemmNN(weight_.value.data(), col_.data(), y + img * out_stride,
+           out_channels_, ckk, plane);
+  }
+  if (has_bias_) {
+    const float* b = bias_.value.data();
+    for (int64_t img = 0; img < n; ++img) {
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        float* dst = y + img * out_stride + c * plane;
+        for (int64_t i = 0; i < plane; ++i) dst[i] += b[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  EOS_CHECK_EQ(grad_output.dim(), 4);
+  EOS_CHECK(cached_input_.numel() > 0);
+  const Tensor& input = cached_input_;
+  int64_t n = input.size(0);
+  int64_t h = input.size(2);
+  int64_t w = input.size(3);
+  int64_t out_h = grad_output.size(2);
+  int64_t out_w = grad_output.size(3);
+  EOS_CHECK_EQ(grad_output.size(0), n);
+  EOS_CHECK_EQ(grad_output.size(1), out_channels_);
+  int64_t ckk = in_channels_ * kernel_ * kernel_;
+  int64_t plane = out_h * out_w;
+
+  Tensor grad_input(input.shape());  // zero-initialized
+  std::vector<float> grad_col(static_cast<size_t>(ckk * plane));
+
+  const float* x = input.data();
+  const float* dy = grad_output.data();
+  float* dx = grad_input.data();
+  float* dw = weight_.grad.data();
+  int64_t in_stride = in_channels_ * h * w;
+  int64_t out_stride = out_channels_ * plane;
+
+  for (int64_t img = 0; img < n; ++img) {
+    const float* dy_img = dy + img * out_stride;
+    // Recompute the unfolded input for this image.
+    Im2Col(x + img * in_stride, in_channels_, h, w, kernel_, kernel_, stride_,
+           pad_, col_.data());
+    // dW[O, ckk] += dY[O, plane] * col[ckk, plane]^T.
+    GemmNT(dy_img, col_.data(), dw, out_channels_, plane, ckk);
+    // grad_col[ckk, plane] = W[O, ckk]^T * dY[O, plane].
+    std::fill(grad_col.begin(), grad_col.end(), 0.0f);
+    GemmTN(weight_.value.data(), dy_img, grad_col.data(), ckk, out_channels_,
+           plane);
+    Col2Im(grad_col.data(), in_channels_, h, w, kernel_, kernel_, stride_,
+           pad_, dx + img * in_stride);
+  }
+  if (has_bias_) {
+    float* db = bias_.grad.data();
+    for (int64_t img = 0; img < n; ++img) {
+      for (int64_t c = 0; c < out_channels_; ++c) {
+        const float* src = dy + img * out_stride + c * plane;
+        float acc = 0.0f;
+        for (int64_t i = 0; i < plane; ++i) acc += src[i];
+        db[c] += acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv2d::CollectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace eos::nn

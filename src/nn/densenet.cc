@@ -1,0 +1,63 @@
+#include "nn/densenet.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "nn/blocks.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace eos::nn {
+
+ImageClassifier BuildDenseNet(const DenseNetConfig& config, Rng& rng) {
+  EOS_CHECK_GT(config.layers_per_block, 0);
+  EOS_CHECK_GT(config.growth_rate, 0);
+  EOS_CHECK_GT(config.compression, 0.0);
+  EOS_CHECK_LE(config.compression, 1.0);
+
+  auto extractor = std::make_unique<Sequential>();
+  int64_t channels = 2 * config.growth_rate;
+  extractor->Add(std::make_unique<Conv2d>(config.in_channels, channels, 3, 1,
+                                          1, /*bias=*/false, rng));
+
+  for (int block = 0; block < 3; ++block) {
+    for (int64_t l = 0; l < config.layers_per_block; ++l) {
+      extractor->Add(
+          std::make_unique<DenseLayer>(channels, config.growth_rate, rng));
+      channels += config.growth_rate;
+    }
+    if (block < 2) {
+      // Transition: BN-ReLU-conv1x1(compress)-avgpool2.
+      int64_t out_ch = std::max<int64_t>(
+          1, static_cast<int64_t>(channels * config.compression));
+      extractor->Add(std::make_unique<BatchNorm2d>(channels));
+      extractor->Add(std::make_unique<ReLU>());
+      extractor->Add(std::make_unique<Conv2d>(channels, out_ch, 1, 1, 0,
+                                              /*bias=*/false, rng));
+      extractor->Add(std::make_unique<AvgPool2d>());
+      channels = out_ch;
+    }
+  }
+  extractor->Add(std::make_unique<BatchNorm2d>(channels));
+  extractor->Add(std::make_unique<ReLU>());
+  extractor->Add(std::make_unique<GlobalAvgPool2d>());
+
+  ImageClassifier net;
+  net.feature_dim = channels;
+  net.num_classes = config.num_classes;
+  net.arch = StrFormat("DenseNet-L%lld-k%lld",
+                       static_cast<long long>(3 * config.layers_per_block),
+                       static_cast<long long>(config.growth_rate));
+  net.extractor = std::move(extractor);
+  if (config.norm_head) {
+    net.head = std::make_unique<NormLinear>(
+        net.feature_dim, config.num_classes, config.head_scale, rng);
+  } else {
+    net.head = std::make_unique<Linear>(net.feature_dim, config.num_classes,
+                                        /*bias=*/true, rng);
+  }
+  return net;
+}
+
+}  // namespace eos::nn

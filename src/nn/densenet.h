@@ -1,0 +1,28 @@
+#ifndef EOS_NN_DENSENET_H_
+#define EOS_NN_DENSENET_H_
+
+#include "common/rng.h"
+#include "nn/network.h"
+
+namespace eos::nn {
+
+/// Densely Connected CNN (Huang et al. 2017), CIFAR variant: three dense
+/// blocks joined by compressing transition layers (1x1 conv + 2x2 avg-pool).
+struct DenseNetConfig {
+  /// Dense layers per block.
+  int64_t layers_per_block = 4;
+  int64_t growth_rate = 12;
+  /// Channel compression factor at transitions (DenseNet-BC uses 0.5).
+  double compression = 0.5;
+  int64_t in_channels = 3;
+  int64_t num_classes = 10;
+  bool norm_head = false;
+  float head_scale = 30.0f;
+};
+
+/// Builds a DenseNet split into extractor + head.
+ImageClassifier BuildDenseNet(const DenseNetConfig& config, Rng& rng);
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_DENSENET_H_

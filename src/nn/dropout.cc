@@ -1,0 +1,38 @@
+#include "nn/dropout.h"
+
+namespace eos::nn {
+
+Dropout::Dropout(float p, uint64_t seed) : p_(p), rng_(seed, /*stream=*/29) {
+  EOS_CHECK_GE(p, 0.0f);
+  EOS_CHECK_LT(p, 1.0f);
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training) {
+  if (!training || p_ == 0.0f) return input;
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const float* x = input.data();
+  float* m = mask_.data();
+  float* y = out.data();
+  float scale = 1.0f / (1.0f - p_);
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    float keep = rng_.Bernoulli(static_cast<double>(p_)) ? 0.0f : scale;
+    m[i] = keep;
+    y[i] = x[i] * keep;
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (p_ == 0.0f) return grad_output;
+  EOS_CHECK(mask_.numel() > 0);
+  EOS_CHECK(SameShape(grad_output, mask_));
+  Tensor grad_input(grad_output.shape());
+  const float* dy = grad_output.data();
+  const float* m = mask_.data();
+  float* dx = grad_input.data();
+  for (int64_t i = 0; i < grad_output.numel(); ++i) dx[i] = dy[i] * m[i];
+  return grad_input;
+}
+
+}  // namespace eos::nn

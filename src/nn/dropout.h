@@ -1,0 +1,36 @@
+#ifndef EOS_NN_DROPOUT_H_
+#define EOS_NN_DROPOUT_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace eos::nn {
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability p and survivors are scaled by 1/(1-p); inference is the
+/// identity. WideResNet conventionally applies it between the two
+/// convolutions of each block (Zagoruyko & Komodakis 2016).
+///
+/// The layer owns its noise stream (seeded at construction), so a network
+/// built from a fixed seed trains deterministically.
+class Dropout : public Module {
+ public:
+  explicit Dropout(float p, uint64_t seed = 0x5eed);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor mask_;  // scaled keep-mask from the last training forward
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_DROPOUT_H_

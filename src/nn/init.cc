@@ -1,0 +1,28 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace eos::nn {
+
+void KaimingNormal(Tensor& w, int64_t fan, Rng& rng) {
+  EOS_CHECK_GT(fan, 0);
+  float stddev = std::sqrt(2.0f / static_cast<float>(fan));
+  float* p = w.data();
+  for (int64_t i = 0; i < w.numel(); ++i) p[i] = rng.Normal(0.0f, stddev);
+}
+
+void KaimingUniform(Tensor& w, int64_t fan, Rng& rng) {
+  EOS_CHECK_GT(fan, 0);
+  float bound = std::sqrt(6.0f / static_cast<float>(fan));
+  float* p = w.data();
+  for (int64_t i = 0; i < w.numel(); ++i) p[i] = rng.Uniform(-bound, bound);
+}
+
+void XavierUniform(Tensor& w, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  EOS_CHECK_GT(fan_in + fan_out, 0);
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  float* p = w.data();
+  for (int64_t i = 0; i < w.numel(); ++i) p[i] = rng.Uniform(-bound, bound);
+}
+
+}  // namespace eos::nn

@@ -1,0 +1,27 @@
+#ifndef EOS_NN_INIT_H_
+#define EOS_NN_INIT_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+/// \file
+/// Weight initializers. Conventions follow the ResNet reference
+/// implementation: Kaiming-normal (fan-out, ReLU gain) for convolutions,
+/// Kaiming-uniform for linear layers, ones/zeros for BatchNorm affine terms.
+
+namespace eos::nn {
+
+/// He/Kaiming normal with gain sqrt(2), fan computed from `fan`.
+void KaimingNormal(Tensor& w, int64_t fan, Rng& rng);
+
+/// He/Kaiming uniform in [-bound, bound], bound = sqrt(6 / fan).
+void KaimingUniform(Tensor& w, int64_t fan, Rng& rng);
+
+/// Xavier/Glorot uniform using fan_in + fan_out.
+void XavierUniform(Tensor& w, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_INIT_H_

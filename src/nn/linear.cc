@@ -1,0 +1,216 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/matmul.h"
+
+namespace eos::nn {
+
+namespace {
+constexpr float kNormEps = 1e-12f;
+}  // namespace
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  EOS_CHECK_GT(in_features, 0);
+  EOS_CHECK_GT(out_features, 0);
+  weight_ = Parameter("linear.weight",
+                      Tensor::Zeros({out_features, in_features}));
+  if (has_bias_) {
+    bias_ = Parameter("linear.bias", Tensor::Zeros({out_features}),
+                      /*decay=*/false);
+  }
+  ResetParameters(rng);
+}
+
+void Linear::ResetParameters(Rng& rng) {
+  KaimingUniform(weight_.value, in_features_, rng);
+  weight_.grad.Zero();
+  if (has_bias_) {
+    float bound = 1.0f / std::sqrt(static_cast<float>(in_features_));
+    float* b = bias_.value.data();
+    for (int64_t i = 0; i < out_features_; ++i) {
+      b[i] = rng.Uniform(-bound, bound);
+    }
+    bias_.grad.Zero();
+  }
+}
+
+Tensor Linear::Forward(const Tensor& input, bool training) {
+  EOS_CHECK_EQ(input.dim(), 2);
+  EOS_CHECK_EQ(input.size(1), in_features_);
+  if (training) cached_input_ = input;
+  Tensor out = MatMulNT(input, weight_.value);
+  if (has_bias_) {
+    float* y = out.data();
+    const float* b = bias_.value.data();
+    int64_t n = out.size(0);
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = y + i * out_features_;
+      for (int64_t j = 0; j < out_features_; ++j) row[j] += b[j];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  EOS_CHECK(cached_input_.numel() > 0);
+  EOS_CHECK_EQ(grad_output.dim(), 2);
+  EOS_CHECK_EQ(grad_output.size(1), out_features_);
+  EOS_CHECK_EQ(grad_output.size(0), cached_input_.size(0));
+  // dW[out, in] += dY^T X.
+  MatMulTNAccumulate(grad_output, cached_input_, weight_.grad);
+  if (has_bias_) {
+    const float* dy = grad_output.data();
+    float* db = bias_.grad.data();
+    int64_t n = grad_output.size(0);
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = dy + i * out_features_;
+      for (int64_t j = 0; j < out_features_; ++j) db[j] += row[j];
+    }
+  }
+  // dX[n, in] = dY W.
+  return MatMul(grad_output, weight_.value);
+}
+
+void Linear::CollectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+NormLinear::NormLinear(int64_t in_features, int64_t out_features, float scale,
+                       Rng& rng)
+    : in_features_(in_features), out_features_(out_features), scale_(scale) {
+  EOS_CHECK_GT(in_features, 0);
+  EOS_CHECK_GT(out_features, 0);
+  EOS_CHECK_GT(scale, 0.0f);
+  weight_ = Parameter("normlinear.weight",
+                      Tensor::Zeros({out_features, in_features}));
+  ResetParameters(rng);
+}
+
+void NormLinear::ResetParameters(Rng& rng) {
+  XavierUniform(weight_.value, in_features_, out_features_, rng);
+  weight_.grad.Zero();
+}
+
+Tensor NormLinear::Forward(const Tensor& input, bool training) {
+  EOS_CHECK_EQ(input.dim(), 2);
+  EOS_CHECK_EQ(input.size(1), in_features_);
+  int64_t n = input.size(0);
+  if (training) cached_input_ = input;
+
+  x_norms_.assign(static_cast<size_t>(n), 0.0f);
+  w_norms_.assign(static_cast<size_t>(out_features_), 0.0f);
+  const float* x = input.data();
+  const float* w = weight_.value.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    const float* row = x + i * in_features_;
+    for (int64_t k = 0; k < in_features_; ++k) s += double(row[k]) * row[k];
+    x_norms_[static_cast<size_t>(i)] =
+        std::sqrt(static_cast<float>(s)) + kNormEps;
+  }
+  for (int64_t j = 0; j < out_features_; ++j) {
+    double s = 0.0;
+    const float* row = w + j * in_features_;
+    for (int64_t k = 0; k < in_features_; ++k) s += double(row[k]) * row[k];
+    w_norms_[static_cast<size_t>(j)] =
+        std::sqrt(static_cast<float>(s)) + kNormEps;
+  }
+
+  Tensor out = MatMulNT(input, weight_.value);
+  float* y = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < out_features_; ++j) {
+      y[i * out_features_ + j] *=
+          scale_ / (x_norms_[static_cast<size_t>(i)] *
+                    w_norms_[static_cast<size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+Tensor NormLinear::Backward(const Tensor& grad_output) {
+  EOS_CHECK(cached_input_.numel() > 0);
+  int64_t n = cached_input_.size(0);
+  EOS_CHECK_EQ(grad_output.size(0), n);
+  EOS_CHECK_EQ(grad_output.size(1), out_features_);
+
+  const float* x = cached_input_.data();
+  const float* w = weight_.value.data();
+
+  // Normalized copies u_i = x_i/||x_i||, v_j = w_j/||w_j||.
+  Tensor u({n, in_features_});
+  Tensor v({out_features_, in_features_});
+  float* up = u.data();
+  float* vp = v.data();
+  for (int64_t i = 0; i < n; ++i) {
+    float inv = 1.0f / x_norms_[static_cast<size_t>(i)];
+    for (int64_t k = 0; k < in_features_; ++k) {
+      up[i * in_features_ + k] = x[i * in_features_ + k] * inv;
+    }
+  }
+  for (int64_t j = 0; j < out_features_; ++j) {
+    float inv = 1.0f / w_norms_[static_cast<size_t>(j)];
+    for (int64_t k = 0; k < in_features_; ++k) {
+      vp[j * in_features_ + k] = w[j * in_features_ + k] * inv;
+    }
+  }
+
+  // du[i] = scale * sum_j dy_ij v_j ; dv[j] = scale * sum_i dy_ij u_i.
+  Tensor du = MatMul(grad_output, v);
+  {
+    float* p = du.data();
+    for (int64_t i = 0; i < du.numel(); ++i) p[i] *= scale_;
+  }
+  Tensor dv = MatMulTN(grad_output, u);
+  {
+    float* p = dv.data();
+    for (int64_t i = 0; i < dv.numel(); ++i) p[i] *= scale_;
+  }
+
+  // Project through the normalization: dx_i = (du_i - (u_i . du_i) u_i)/||x_i||.
+  Tensor grad_input({n, in_features_});
+  float* dx = grad_input.data();
+  const float* dup = du.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (int64_t k = 0; k < in_features_; ++k) {
+      dot += double(up[i * in_features_ + k]) * dup[i * in_features_ + k];
+    }
+    float inv = 1.0f / x_norms_[static_cast<size_t>(i)];
+    for (int64_t k = 0; k < in_features_; ++k) {
+      dx[i * in_features_ + k] =
+          (dup[i * in_features_ + k] -
+           static_cast<float>(dot) * up[i * in_features_ + k]) *
+          inv;
+    }
+  }
+
+  float* dw = weight_.grad.data();
+  const float* dvp = dv.data();
+  for (int64_t j = 0; j < out_features_; ++j) {
+    double dot = 0.0;
+    for (int64_t k = 0; k < in_features_; ++k) {
+      dot += double(vp[j * in_features_ + k]) * dvp[j * in_features_ + k];
+    }
+    float inv = 1.0f / w_norms_[static_cast<size_t>(j)];
+    for (int64_t k = 0; k < in_features_; ++k) {
+      dw[j * in_features_ + k] +=
+          (dvp[j * in_features_ + k] -
+           static_cast<float>(dot) * vp[j * in_features_ + k]) *
+          inv;
+    }
+  }
+  return grad_input;
+}
+
+void NormLinear::CollectParameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+}
+
+}  // namespace eos::nn

@@ -1,0 +1,78 @@
+#ifndef EOS_NN_LINEAR_H_
+#define EOS_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace eos::nn {
+
+/// Fully-connected layer: y = x W^T + b over [batch, in] inputs.
+/// This is the classifier head that phase 3 of the training framework
+/// fine-tunes on balanced feature embeddings.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool bias, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>& out) override;
+  std::string name() const override { return "Linear"; }
+
+  Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
+  Parameter& bias() { return bias_; }
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  /// Re-initializes the parameters (used when phase 3 retrains the head from
+  /// scratch, per the Decoupling recipe).
+  void ResetParameters(Rng& rng);
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+
+  Tensor cached_input_;
+};
+
+/// Cosine classifier: y = scale * cos(x, w_j). LDAM training conventionally
+/// normalizes both features and class weights so that its per-class margins
+/// act on angles; `scale` is the usual s factor (the LDAM loss multiplies
+/// margins in the same normalized space).
+class NormLinear : public Module {
+ public:
+  NormLinear(int64_t in_features, int64_t out_features, float scale, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>& out) override;
+  std::string name() const override { return "NormLinear"; }
+
+  Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
+  float scale() const { return scale_; }
+
+  void ResetParameters(Rng& rng);
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  float scale_;
+
+  Parameter weight_;  // [out, in]
+
+  Tensor cached_input_;
+  std::vector<float> x_norms_;
+  std::vector<float> w_norms_;
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_LINEAR_H_

@@ -1,0 +1,49 @@
+#include "nn/lr_schedule.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eos::nn {
+
+double ConstantLr::LrAt(int64_t epoch) const {
+  (void)epoch;
+  return lr_;
+}
+
+MultiStepLr::MultiStepLr(double base_lr, std::vector<int64_t> milestones,
+                         double gamma)
+    : base_lr_(base_lr), milestones_(std::move(milestones)), gamma_(gamma) {
+  EOS_CHECK(std::is_sorted(milestones_.begin(), milestones_.end()));
+}
+
+double MultiStepLr::LrAt(int64_t epoch) const {
+  double lr = base_lr_;
+  for (int64_t m : milestones_) {
+    if (epoch >= m) lr *= gamma_;
+  }
+  return lr;
+}
+
+MultiStepLr MultiStepLr::ForRun(double base_lr, int64_t epochs) {
+  int64_t m1 = std::max<int64_t>(1, epochs * 6 / 10);
+  int64_t m2 = std::max<int64_t>(m1 + 1, epochs * 8 / 10);
+  return MultiStepLr(base_lr, {m1, m2}, 0.1);
+}
+
+WarmupLr::WarmupLr(const LrSchedule* inner, int64_t warmup_epochs)
+    : inner_(inner), warmup_epochs_(warmup_epochs) {
+  EOS_CHECK(inner != nullptr);
+  EOS_CHECK_GE(warmup_epochs, 0);
+}
+
+double WarmupLr::LrAt(int64_t epoch) const {
+  if (epoch < warmup_epochs_) {
+    double target = inner_->LrAt(warmup_epochs_);
+    return target * static_cast<double>(epoch + 1) /
+           static_cast<double>(warmup_epochs_ + 1);
+  }
+  return inner_->LrAt(epoch);
+}
+
+}  // namespace eos::nn

@@ -1,0 +1,57 @@
+#ifndef EOS_NN_LR_SCHEDULE_H_
+#define EOS_NN_LR_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace eos::nn {
+
+/// Learning-rate schedules, evaluated per epoch.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use during `epoch` (0-based).
+  virtual double LrAt(int64_t epoch) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double LrAt(int64_t epoch) const override;
+
+ private:
+  double lr_;
+};
+
+/// Step decay: multiply by `gamma` at each milestone epoch — the Cui et al.
+/// regime the paper trains under (decay at 60% and 80% of the run).
+class MultiStepLr : public LrSchedule {
+ public:
+  MultiStepLr(double base_lr, std::vector<int64_t> milestones, double gamma);
+  double LrAt(int64_t epoch) const override;
+
+  /// The conventional imbalanced-CIFAR schedule for a run of `epochs`:
+  /// decay 10x at 60% and 80%.
+  static MultiStepLr ForRun(double base_lr, int64_t epochs);
+
+ private:
+  double base_lr_;
+  std::vector<int64_t> milestones_;
+  double gamma_;
+};
+
+/// Linear warmup for `warmup_epochs`, then delegates to an inner schedule.
+class WarmupLr : public LrSchedule {
+ public:
+  WarmupLr(const LrSchedule* inner, int64_t warmup_epochs);
+  double LrAt(int64_t epoch) const override;
+
+ private:
+  const LrSchedule* inner_;  // not owned
+  int64_t warmup_epochs_;
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_LR_SCHEDULE_H_

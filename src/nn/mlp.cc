@@ -1,0 +1,42 @@
+#include "nn/mlp.h"
+
+#include "nn/linear.h"
+#include "nn/relu.h"
+
+namespace eos::nn {
+
+std::unique_ptr<Sequential> BuildMlp(const std::vector<int64_t>& widths,
+                                     MlpHidden hidden, MlpOutput output,
+                                     Rng& rng) {
+  EOS_CHECK_GE(widths.size(), 2u);
+  auto net = std::make_unique<Sequential>();
+  for (size_t i = 0; i + 1 < widths.size(); ++i) {
+    net->Add(std::make_unique<Linear>(widths[i], widths[i + 1], /*bias=*/true,
+                                      rng));
+    bool last = (i + 2 == widths.size());
+    if (!last) {
+      switch (hidden) {
+        case MlpHidden::kReLU:
+          net->Add(std::make_unique<ReLU>());
+          break;
+        case MlpHidden::kLeakyReLU:
+          net->Add(std::make_unique<LeakyReLU>());
+          break;
+      }
+    } else {
+      switch (output) {
+        case MlpOutput::kLinear:
+          break;
+        case MlpOutput::kTanh:
+          net->Add(std::make_unique<Tanh>());
+          break;
+        case MlpOutput::kSigmoid:
+          net->Add(std::make_unique<Sigmoid>());
+          break;
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace eos::nn

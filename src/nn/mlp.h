@@ -1,0 +1,33 @@
+#ifndef EOS_NN_MLP_H_
+#define EOS_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace eos::nn {
+
+/// Output nonlinearity for BuildMlp.
+enum class MlpOutput {
+  kLinear,   ///< raw logits
+  kTanh,     ///< [-1, 1] (GAN generators)
+  kSigmoid,  ///< [0, 1] (GAN discriminators)
+};
+
+/// Hidden-layer nonlinearity for BuildMlp.
+enum class MlpHidden {
+  kReLU,
+  kLeakyReLU,
+};
+
+/// Builds a fully-connected network with the given layer widths, e.g.
+/// {64, 128, 128, 10}. Used by the GAN baselines and the quickstart example.
+std::unique_ptr<Sequential> BuildMlp(const std::vector<int64_t>& widths,
+                                     MlpHidden hidden, MlpOutput output,
+                                     Rng& rng);
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_MLP_H_

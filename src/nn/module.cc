@@ -1,0 +1,29 @@
+#include "nn/module.h"
+
+namespace eos::nn {
+
+void Module::CollectParameters(std::vector<Parameter*>& out) { (void)out; }
+
+void Module::CollectBuffers(std::vector<Tensor*>& out) { (void)out; }
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  CollectParameters(out);
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->grad.Zero();
+}
+
+void Module::SetTrainable(bool trainable) {
+  for (Parameter* p : Parameters()) p->trainable = trainable;
+}
+
+int64_t Module::NumParameters() {
+  int64_t n = 0;
+  for (Parameter* p : Parameters()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace eos::nn

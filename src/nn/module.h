@@ -1,0 +1,76 @@
+#ifndef EOS_NN_MODULE_H_
+#define EOS_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace eos::nn {
+
+/// A learnable tensor together with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// When false the optimizer skips this parameter (used to freeze the
+  /// extractor during phase-3 classifier fine-tuning).
+  bool trainable = true;
+  /// Weight decay is conventionally not applied to biases / BN affine terms.
+  bool apply_weight_decay = true;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v, bool decay = true)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(Tensor::Zeros(value.shape())),
+        apply_weight_decay(decay) {}
+};
+
+/// Base class of every layer. Modules own their parameters and cache
+/// whatever activations their Backward needs; a Backward call must be paired
+/// with the immediately preceding Forward on the same module.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the layer output. `training` selects train-time behaviour
+  /// (batch statistics in BatchNorm, caching for Backward).
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Propagates `grad_output` (d loss / d output) and returns
+  /// d loss / d input, accumulating parameter gradients.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Appends pointers to this module's parameters (including submodules').
+  virtual void CollectParameters(std::vector<Parameter*>& out);
+
+  /// Appends pointers to non-learnable state tensors that must persist with
+  /// the model (BatchNorm running statistics). Order must be deterministic;
+  /// serialization relies on it.
+  virtual void CollectBuffers(std::vector<Tensor*>& out);
+
+  /// Convenience wrapper over CollectParameters.
+  std::vector<Parameter*> Parameters();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Marks all parameters (recursively) trainable or frozen.
+  void SetTrainable(bool trainable);
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters();
+
+  /// Short human-readable layer name ("Conv2d", "BatchNorm2d", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_MODULE_H_

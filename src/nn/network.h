@@ -1,0 +1,53 @@
+#ifndef EOS_NN_NETWORK_H_
+#define EOS_NN_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "nn/module.h"
+
+namespace eos::nn {
+
+/// A CNN decomposed into the two stages the paper's framework manipulates:
+/// an `extractor` that maps images [N,C,H,W] to feature embeddings (FE)
+/// [N, feature_dim], and a classifier `head` that maps FE to logits.
+///
+/// Phase 1 trains both end-to-end; phase 2 runs over-sampling on extracted
+/// FE; phase 3 freezes the extractor and fine-tunes only the head.
+struct ImageClassifier {
+  std::unique_ptr<Module> extractor;
+  std::unique_ptr<Module> head;
+  int64_t feature_dim = 0;
+  int64_t num_classes = 0;
+  std::string arch;
+
+  /// Runs the extractor only (the FE the paper studies).
+  Tensor ExtractFeatures(const Tensor& images, bool training) {
+    return extractor->Forward(images, training);
+  }
+
+  /// Full forward pass to logits.
+  Tensor Forward(const Tensor& images, bool training) {
+    return head->Forward(extractor->Forward(images, training), training);
+  }
+
+  /// Backward through head then extractor; `grad_logits` is d loss/d logits.
+  void Backward(const Tensor& grad_logits) {
+    Tensor g = head->Backward(grad_logits);
+    extractor->Backward(g);
+  }
+
+  void ZeroGrad() {
+    extractor->ZeroGrad();
+    head->ZeroGrad();
+  }
+
+  int64_t NumParameters() {
+    return extractor->NumParameters() + head->NumParameters();
+  }
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_NETWORK_H_

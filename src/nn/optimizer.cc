@@ -1,0 +1,87 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace eos::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, const Options& options)
+    : params_(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    EOS_CHECK(p != nullptr);
+    velocity_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Sgd::Step() {
+  float lr = static_cast<float>(options_.lr);
+  float mu = static_cast<float>(options_.momentum);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (!p->trainable) continue;
+    float wd = p->apply_weight_decay
+                   ? static_cast<float>(options_.weight_decay)
+                   : 0.0f;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* v = velocity_[i].data();
+    int64_t n = p->value.numel();
+    for (int64_t k = 0; k < n; ++k) {
+      float grad = g[k] + wd * w[k];
+      v[k] = mu * v[k] + grad;
+      float update = options_.nesterov ? grad + mu * v[k] : v[k];
+      w[k] -= lr * update;
+    }
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Parameter* p : params_) p->grad.Zero();
+}
+
+Adam::Adam(std::vector<Parameter*> params, const Options& options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    EOS_CHECK(p != nullptr);
+    m_.push_back(Tensor::Zeros(p->value.shape()));
+    v_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  float lr = static_cast<float>(options_.lr);
+  float b1 = static_cast<float>(options_.beta1);
+  float b2 = static_cast<float>(options_.beta2);
+  float eps = static_cast<float>(options_.eps);
+  float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (!p->trainable) continue;
+    float wd = p->apply_weight_decay
+                   ? static_cast<float>(options_.weight_decay)
+                   : 0.0f;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* mp = m_[i].data();
+    float* vp = v_[i].data();
+    int64_t n = p->value.numel();
+    for (int64_t k = 0; k < n; ++k) {
+      float grad = g[k] + wd * w[k];
+      mp[k] = b1 * mp[k] + (1.0f - b1) * grad;
+      vp[k] = b2 * vp[k] + (1.0f - b2) * grad * grad;
+      float mhat = mp[k] / bias1;
+      float vhat = vp[k] / bias2;
+      w[k] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Parameter* p : params_) p->grad.Zero();
+}
+
+}  // namespace eos::nn

@@ -1,0 +1,70 @@
+#ifndef EOS_NN_OPTIMIZER_H_
+#define EOS_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace eos::nn {
+
+/// SGD with momentum and decoupled-from-bias weight decay — the training
+/// regime of Cui et al. (2019) that the paper adopts.
+class Sgd {
+ public:
+  struct Options {
+    double lr = 0.1;
+    double momentum = 0.9;
+    double weight_decay = 2e-4;
+    bool nesterov = false;
+  };
+
+  Sgd(std::vector<Parameter*> params, const Options& options);
+
+  /// Applies one update using the accumulated gradients; does not zero them.
+  void Step();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  void set_lr(double lr) { options_.lr = lr; }
+  double lr() const { return options_.lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  Options options_;
+};
+
+/// Adam (Kingma & Ba 2015). Used by the GAN-based over-sampling baselines,
+/// which do not train stably under plain SGD.
+class Adam {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Parameter*> params, const Options& options);
+
+  /// Applies one update using the accumulated gradients; does not zero them.
+  void Step();
+
+  void ZeroGrad();
+
+  void set_lr(double lr) { options_.lr = lr; }
+  double lr() const { return options_.lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  Options options_;
+  int64_t t_ = 0;
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_OPTIMIZER_H_

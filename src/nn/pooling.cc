@@ -1,0 +1,104 @@
+#include "nn/pooling.h"
+
+namespace eos::nn {
+
+Tensor GlobalAvgPool2d::Forward(const Tensor& input, bool training) {
+  (void)training;
+  EOS_CHECK_EQ(input.dim(), 4);
+  cached_shape_ = input.shape();
+  int64_t n = input.size(0);
+  int64_t c = input.size(1);
+  int64_t plane = input.size(2) * input.size(3);
+  EOS_CHECK_GT(plane, 0);
+  Tensor out({n, c});
+  const float* x = input.data();
+  float* y = out.data();
+  float inv = 1.0f / static_cast<float>(plane);
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* src = x + i * plane;
+    float acc = 0.0f;
+    for (int64_t k = 0; k < plane; ++k) acc += src[k];
+    y[i] = acc * inv;
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool2d::Backward(const Tensor& grad_output) {
+  EOS_CHECK(!cached_shape_.empty());
+  EOS_CHECK_EQ(grad_output.dim(), 2);
+  int64_t n = cached_shape_[0];
+  int64_t c = cached_shape_[1];
+  int64_t plane = cached_shape_[2] * cached_shape_[3];
+  EOS_CHECK_EQ(grad_output.size(0), n);
+  EOS_CHECK_EQ(grad_output.size(1), c);
+  Tensor grad_input(cached_shape_);
+  const float* dy = grad_output.data();
+  float* dx = grad_input.data();
+  float inv = 1.0f / static_cast<float>(plane);
+  for (int64_t i = 0; i < n * c; ++i) {
+    float g = dy[i] * inv;
+    float* dst = dx + i * plane;
+    for (int64_t k = 0; k < plane; ++k) dst[k] = g;
+  }
+  return grad_input;
+}
+
+Tensor AvgPool2d::Forward(const Tensor& input, bool training) {
+  (void)training;
+  EOS_CHECK_EQ(input.dim(), 4);
+  EOS_CHECK_EQ(input.size(2) % 2, 0);
+  EOS_CHECK_EQ(input.size(3) % 2, 0);
+  cached_shape_ = input.shape();
+  int64_t n = input.size(0);
+  int64_t c = input.size(1);
+  int64_t h = input.size(2);
+  int64_t w = input.size(3);
+  Tensor out({n, c, h / 2, w / 2});
+  const float* x = input.data();
+  float* y = out.data();
+  int64_t oh = h / 2;
+  int64_t ow = w / 2;
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = x + i * h * w;
+    float* oplane = y + i * oh * ow;
+    for (int64_t r = 0; r < oh; ++r) {
+      for (int64_t col = 0; col < ow; ++col) {
+        const float* p = plane + (2 * r) * w + 2 * col;
+        oplane[r * ow + col] = 0.25f * (p[0] + p[1] + p[w] + p[w + 1]);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::Backward(const Tensor& grad_output) {
+  EOS_CHECK(!cached_shape_.empty());
+  int64_t n = cached_shape_[0];
+  int64_t c = cached_shape_[1];
+  int64_t h = cached_shape_[2];
+  int64_t w = cached_shape_[3];
+  int64_t oh = h / 2;
+  int64_t ow = w / 2;
+  EOS_CHECK_EQ(grad_output.size(2), oh);
+  EOS_CHECK_EQ(grad_output.size(3), ow);
+  Tensor grad_input(cached_shape_);
+  const float* dy = grad_output.data();
+  float* dx = grad_input.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* oplane = dy + i * oh * ow;
+    float* plane = dx + i * h * w;
+    for (int64_t r = 0; r < oh; ++r) {
+      for (int64_t col = 0; col < ow; ++col) {
+        float g = 0.25f * oplane[r * ow + col];
+        float* p = plane + (2 * r) * w + 2 * col;
+        p[0] = g;
+        p[1] = g;
+        p[w] = g;
+        p[w + 1] = g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace eos::nn

@@ -1,0 +1,40 @@
+#ifndef EOS_NN_POOLING_H_
+#define EOS_NN_POOLING_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace eos::nn {
+
+/// Global average pooling: [N, C, H, W] -> [N, C]. The output of this layer
+/// is exactly the "feature embedding" (FE) the paper studies — the
+/// penultimate-layer representation the generalization gap and EOS operate on.
+class GlobalAvgPool2d : public Module {
+ public:
+  GlobalAvgPool2d() = default;
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool2d"; }
+
+ private:
+  std::vector<int64_t> cached_shape_;
+};
+
+/// Non-overlapping 2x2 average pooling (used by DenseNet transitions).
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d() = default;
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  std::vector<int64_t> cached_shape_;
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_POOLING_H_

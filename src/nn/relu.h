@@ -1,0 +1,65 @@
+#ifndef EOS_NN_RELU_H_
+#define EOS_NN_RELU_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace eos::nn {
+
+/// Elementwise rectified linear unit.
+class ReLU : public Module {
+ public:
+  ReLU() = default;
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0 (training forward only)
+};
+
+/// Leaky rectifier, y = x > 0 ? x : slope*x (GAN discriminators).
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float slope = 0.2f) : slope_(slope) {}
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "LeakyReLU"; }
+
+ private:
+  float slope_;
+  Tensor grad_mask_;  // 1 or slope per element
+};
+
+/// Hyperbolic tangent (GAN generator outputs).
+class Tanh : public Module {
+ public:
+  Tanh() = default;
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor output_;
+};
+
+/// Logistic sigmoid (GAN discriminator outputs).
+class Sigmoid : public Module {
+ public:
+  Sigmoid() = default;
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_;
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_RELU_H_

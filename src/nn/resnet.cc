@@ -1,0 +1,51 @@
+#include "nn/resnet.h"
+
+#include "common/string_util.h"
+#include "nn/blocks.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace eos::nn {
+
+ImageClassifier BuildResNet(const ResNetConfig& config, Rng& rng) {
+  EOS_CHECK_GT(config.blocks_per_stage, 0);
+  EOS_CHECK_GT(config.base_width, 0);
+  int64_t w = config.base_width;
+
+  auto extractor = std::make_unique<Sequential>();
+  extractor->Add(std::make_unique<Conv2d>(config.in_channels, w, 3, 1, 1,
+                                          /*bias=*/false, rng));
+  extractor->Add(std::make_unique<BatchNorm2d>(w));
+  extractor->Add(std::make_unique<ReLU>());
+
+  int64_t widths[3] = {w, 2 * w, 4 * w};
+  int64_t in_ch = w;
+  for (int stage = 0; stage < 3; ++stage) {
+    int64_t out_ch = widths[stage];
+    for (int64_t b = 0; b < config.blocks_per_stage; ++b) {
+      int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      extractor->Add(std::make_unique<BasicBlock>(in_ch, out_ch, stride, rng));
+      in_ch = out_ch;
+    }
+  }
+  extractor->Add(std::make_unique<GlobalAvgPool2d>());
+
+  ImageClassifier net;
+  net.feature_dim = 4 * w;
+  net.num_classes = config.num_classes;
+  net.arch = StrFormat("ResNet-%lld",
+                       static_cast<long long>(6 * config.blocks_per_stage + 2));
+  net.extractor = std::move(extractor);
+  if (config.norm_head) {
+    net.head = std::make_unique<NormLinear>(net.feature_dim,
+                                            config.num_classes,
+                                            config.head_scale, rng);
+  } else {
+    net.head = std::make_unique<Linear>(net.feature_dim, config.num_classes,
+                                        /*bias=*/true, rng);
+  }
+  return net;
+}
+
+}  // namespace eos::nn

@@ -1,0 +1,30 @@
+#ifndef EOS_NN_RESNET_H_
+#define EOS_NN_RESNET_H_
+
+#include "common/rng.h"
+#include "nn/network.h"
+
+namespace eos::nn {
+
+/// Configuration of a CIFAR-style ResNet-(6n+2) (He et al. 2016), the
+/// architecture family the paper trains (ResNet-32: n=5; ResNet-56: n=9).
+/// `base_width` scales all three stages {w, 2w, 4w}; the feature embedding
+/// dimension is 4*base_width (64 for the paper's configuration).
+struct ResNetConfig {
+  /// Residual blocks per stage (the "n" in ResNet-(6n+2)).
+  int64_t blocks_per_stage = 5;
+  int64_t base_width = 16;
+  int64_t in_channels = 3;
+  int64_t num_classes = 10;
+  /// Use a cosine (normalized) classifier head — required by LDAM.
+  bool norm_head = false;
+  /// Logit scale for the cosine head.
+  float head_scale = 30.0f;
+};
+
+/// Builds a ResNet-(6n+2) split into extractor + head.
+ImageClassifier BuildResNet(const ResNetConfig& config, Rng& rng);
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_RESNET_H_

@@ -1,0 +1,33 @@
+#include "nn/sequential.h"
+
+namespace eos::nn {
+
+Sequential* Sequential::Add(std::unique_ptr<Module> module) {
+  EOS_CHECK(module != nullptr);
+  children_.push_back(std::move(module));
+  return this;
+}
+
+Tensor Sequential::Forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& child : children_) x = child->Forward(x, training);
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+void Sequential::CollectParameters(std::vector<Parameter*>& out) {
+  for (auto& child : children_) child->CollectParameters(out);
+}
+
+void Sequential::CollectBuffers(std::vector<Tensor*>& out) {
+  for (auto& child : children_) child->CollectBuffers(out);
+}
+
+}  // namespace eos::nn

@@ -1,0 +1,35 @@
+#ifndef EOS_NN_SEQUENTIAL_H_
+#define EOS_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace eos::nn {
+
+/// Runs child modules in order; Backward replays them in reverse.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a child (ownership transfers). Returns `this` for chaining.
+  Sequential* Add(std::unique_ptr<Module> module);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>& out) override;
+  void CollectBuffers(std::vector<Tensor*>& out) override;
+  std::string name() const override { return "Sequential"; }
+
+  int64_t size() const { return static_cast<int64_t>(children_.size()); }
+  Module* child(int64_t i) { return children_[static_cast<size_t>(i)].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_SEQUENTIAL_H_

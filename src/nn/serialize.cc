@@ -1,0 +1,171 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace eos::nn {
+
+namespace {
+
+// File layout (little-endian):
+//   magic "EOSW" | version u32 | param_count u64
+//   per parameter: name_len u32 | name bytes | ndims u32 | dims i64[] |
+//                  data f32[]
+//   buffer_count u64
+//   per buffer:    ndims u32 | dims i64[] | data f32[]
+constexpr char kMagic[4] = {'E', 'O', 'S', 'W'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t size) {
+  if (std::fread(data, 1, size, f) != size) {
+    return Status::IoError("short read (truncated or corrupt file)");
+  }
+  return Status::OK();
+}
+
+Status WriteTensor(std::FILE* f, const Tensor& t) {
+  uint32_t ndims = static_cast<uint32_t>(t.dim());
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &ndims, sizeof(ndims)));
+  for (int64_t d : t.shape()) {
+    EOS_RETURN_IF_ERROR(WriteBytes(f, &d, sizeof(d)));
+  }
+  return WriteBytes(f, t.data(),
+                    static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+Status ReadTensorInto(std::FILE* f, Tensor& t, const std::string& what) {
+  uint32_t ndims = 0;
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &ndims, sizeof(ndims)));
+  if (ndims != static_cast<uint32_t>(t.dim())) {
+    return Status::InvalidArgument(
+        StrFormat("%s: rank mismatch (file %u vs model %lld)", what.c_str(),
+                  ndims, static_cast<long long>(t.dim())));
+  }
+  for (int64_t expected : t.shape()) {
+    int64_t d = 0;
+    EOS_RETURN_IF_ERROR(ReadBytes(f, &d, sizeof(d)));
+    if (d != expected) {
+      return Status::InvalidArgument(
+          StrFormat("%s: shape mismatch (file %lld vs model %lld)",
+                    what.c_str(), static_cast<long long>(d),
+                    static_cast<long long>(expected)));
+    }
+  }
+  return ReadBytes(f, t.data(),
+                   static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+}  // namespace
+
+Status SaveParameters(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+
+  EOS_RETURN_IF_ERROR(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
+  EOS_RETURN_IF_ERROR(WriteBytes(f.get(), &kVersion, sizeof(kVersion)));
+
+  std::vector<Parameter*> params = module.Parameters();
+  uint64_t count = params.size();
+  EOS_RETURN_IF_ERROR(WriteBytes(f.get(), &count, sizeof(count)));
+  for (Parameter* p : params) {
+    uint32_t name_len = static_cast<uint32_t>(p->name.size());
+    EOS_RETURN_IF_ERROR(WriteBytes(f.get(), &name_len, sizeof(name_len)));
+    EOS_RETURN_IF_ERROR(WriteBytes(f.get(), p->name.data(), name_len));
+    EOS_RETURN_IF_ERROR(WriteTensor(f.get(), p->value));
+  }
+
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(buffers);
+  uint64_t buffer_count = buffers.size();
+  EOS_RETURN_IF_ERROR(WriteBytes(f.get(), &buffer_count,
+                                 sizeof(buffer_count)));
+  for (Tensor* buffer : buffers) {
+    EOS_RETURN_IF_ERROR(WriteTensor(f.get(), *buffer));
+  }
+  return Status::OK();
+}
+
+Status LoadParameters(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+
+  char magic[4];
+  EOS_RETURN_IF_ERROR(ReadBytes(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an EOS weights file: " + path);
+  }
+  uint32_t version = 0;
+  EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &version, sizeof(version)));
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported weights version %u", version));
+  }
+
+  std::vector<Parameter*> params = module.Parameters();
+  uint64_t count = 0;
+  EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &count, sizeof(count)));
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("parameter count mismatch (file %llu vs model %zu)",
+                  static_cast<unsigned long long>(count), params.size()));
+  }
+  for (Parameter* p : params) {
+    uint32_t name_len = 0;
+    EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &name_len, sizeof(name_len)));
+    std::string name(name_len, '\0');
+    EOS_RETURN_IF_ERROR(ReadBytes(f.get(), name.data(), name_len));
+    if (name != p->name) {
+      return Status::InvalidArgument(
+          StrFormat("parameter name mismatch (file '%s' vs model '%s')",
+                    name.c_str(), p->name.c_str()));
+    }
+    EOS_RETURN_IF_ERROR(ReadTensorInto(f.get(), p->value, name));
+    p->grad.Zero();
+  }
+
+  std::vector<Tensor*> buffers;
+  module.CollectBuffers(buffers);
+  uint64_t buffer_count = 0;
+  EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &buffer_count,
+                                sizeof(buffer_count)));
+  if (buffer_count != buffers.size()) {
+    return Status::InvalidArgument(
+        StrFormat("buffer count mismatch (file %llu vs model %zu)",
+                  static_cast<unsigned long long>(buffer_count),
+                  buffers.size()));
+  }
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    EOS_RETURN_IF_ERROR(
+        ReadTensorInto(f.get(), *buffers[i], StrFormat("buffer %zu", i)));
+  }
+  return Status::OK();
+}
+
+Status SaveClassifier(ImageClassifier& net, const std::string& path) {
+  EOS_RETURN_IF_ERROR(SaveParameters(*net.extractor, path + ".extractor"));
+  return SaveParameters(*net.head, path + ".head");
+}
+
+Status LoadClassifier(ImageClassifier& net, const std::string& path) {
+  EOS_RETURN_IF_ERROR(LoadParameters(*net.extractor, path + ".extractor"));
+  return LoadParameters(*net.head, path + ".head");
+}
+
+}  // namespace eos::nn

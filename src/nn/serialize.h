@@ -1,0 +1,33 @@
+#ifndef EOS_NN_SERIALIZE_H_
+#define EOS_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/network.h"
+
+namespace eos::nn {
+
+/// Saves a module's parameters (names, shapes, float32 data) to a binary
+/// file. The format is a simple tagged stream; see serialize.cc.
+Status SaveParameters(Module& module, const std::string& path);
+
+/// Loads parameters saved by SaveParameters into `module`. Parameter
+/// names, order, and shapes must match exactly (the module must have been
+/// built with the same configuration).
+Status LoadParameters(Module& module, const std::string& path);
+
+/// Saves both stages of a classifier (extractor to `<path>.extractor`,
+/// head to `<path>.head`), so a phase-1 model can be trained once and
+/// reused across sampler studies. BatchNorm running statistics are
+/// persisted alongside the parameters (via Module::CollectBuffers), so a
+/// reloaded model produces bit-identical eval-mode outputs.
+Status SaveClassifier(ImageClassifier& net, const std::string& path);
+
+/// Restores a classifier saved by SaveClassifier into an identically
+/// configured network.
+Status LoadClassifier(ImageClassifier& net, const std::string& path);
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_SERIALIZE_H_

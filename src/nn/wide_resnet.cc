@@ -1,0 +1,55 @@
+#include "nn/wide_resnet.h"
+
+#include "common/string_util.h"
+#include "nn/blocks.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace eos::nn {
+
+ImageClassifier BuildWideResNet(const WideResNetConfig& config, Rng& rng) {
+  EOS_CHECK_GT(config.blocks_per_stage, 0);
+  EOS_CHECK_GT(config.widen_factor, 0);
+  int64_t w = config.base_width;
+  int64_t k = config.widen_factor;
+
+  auto extractor = std::make_unique<Sequential>();
+  extractor->Add(std::make_unique<Conv2d>(config.in_channels, w, 3, 1, 1,
+                                          /*bias=*/false, rng));
+
+  int64_t widths[3] = {w * k, 2 * w * k, 4 * w * k};
+  int64_t in_ch = w;
+  for (int stage = 0; stage < 3; ++stage) {
+    int64_t out_ch = widths[stage];
+    for (int64_t b = 0; b < config.blocks_per_stage; ++b) {
+      int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      extractor->Add(std::make_unique<PreActBlock>(in_ch, out_ch, stride, rng,
+                                                   config.dropout));
+      in_ch = out_ch;
+    }
+  }
+  // Pre-activation nets need a final BN-ReLU before pooling.
+  extractor->Add(std::make_unique<BatchNorm2d>(in_ch));
+  extractor->Add(std::make_unique<ReLU>());
+  extractor->Add(std::make_unique<GlobalAvgPool2d>());
+
+  ImageClassifier net;
+  net.feature_dim = in_ch;
+  net.num_classes = config.num_classes;
+  net.arch = StrFormat(
+      "WRN-%lld-%lld",
+      static_cast<long long>(6 * config.blocks_per_stage + 4),
+      static_cast<long long>(k));
+  net.extractor = std::move(extractor);
+  if (config.norm_head) {
+    net.head = std::make_unique<NormLinear>(
+        net.feature_dim, config.num_classes, config.head_scale, rng);
+  } else {
+    net.head = std::make_unique<Linear>(net.feature_dim, config.num_classes,
+                                        /*bias=*/true, rng);
+  }
+  return net;
+}
+
+}  // namespace eos::nn

@@ -1,0 +1,31 @@
+#ifndef EOS_NN_WIDE_RESNET_H_
+#define EOS_NN_WIDE_RESNET_H_
+
+#include "common/rng.h"
+#include "nn/network.h"
+
+namespace eos::nn {
+
+/// WideResNet WRN-(6n+4)-k (Zagoruyko & Komodakis 2016) with pre-activation
+/// blocks. The paper's Table V uses a WideResNet with roughly 5x the
+/// parameters of ResNet-32; widen_factor controls that ratio here.
+struct WideResNetConfig {
+  /// Pre-activation blocks per stage (the "n" in WRN depth 6n+4).
+  int64_t blocks_per_stage = 2;
+  int64_t widen_factor = 2;
+  int64_t base_width = 16;
+  int64_t in_channels = 3;
+  int64_t num_classes = 10;
+  /// Dropout rate between the convolutions of each block (0 disables).
+  float dropout = 0.0f;
+  bool norm_head = false;
+  float head_scale = 30.0f;
+};
+
+/// Builds a WideResNet split into extractor + head. The feature dimension is
+/// 4 * base_width * widen_factor.
+ImageClassifier BuildWideResNet(const WideResNetConfig& config, Rng& rng);
+
+}  // namespace eos::nn
+
+#endif  // EOS_NN_WIDE_RESNET_H_

@@ -1,0 +1,82 @@
+#include "sampling/adasyn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/knn.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+Adasyn::Adasyn(int64_t k_neighbors) : k_neighbors_(k_neighbors) {
+  EOS_CHECK_GT(k_neighbors, 0);
+}
+
+FeatureSet Adasyn::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t d = data.features.size(1);
+  int64_t n = data.size();
+  int64_t m = std::min<int64_t>(k_neighbors_, n - 1);
+  KnnIndex full_index(data.features);
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    std::vector<int64_t> class_rows = data.ClassIndices(c);
+    if (class_rows.size() < 2 || m <= 0) {
+      internal::AppendRandomDuplicates(data, class_rows, needed, c, rng,
+                                       synth, synth_labels);
+      continue;
+    }
+
+    // Difficulty r_i = enemy fraction of the full-set neighborhood.
+    std::vector<float> difficulty(class_rows.size(), 0.0f);
+    double total = 0.0;
+    for (size_t i = 0; i < class_rows.size(); ++i) {
+      std::vector<int64_t> nbrs = full_index.QueryRow(class_rows[i], m);
+      int64_t enemies = 0;
+      for (int64_t nb : nbrs) {
+        if (data.labels[static_cast<size_t>(nb)] != c) ++enemies;
+      }
+      difficulty[i] =
+          static_cast<float>(enemies) / static_cast<float>(m);
+      total += difficulty[i];
+    }
+    if (total <= 0.0) {
+      // Every row is "safe": fall back to a uniform allocation.
+      std::fill(difficulty.begin(), difficulty.end(), 1.0f);
+    }
+
+    // Same-class interpolation structure.
+    Tensor class_points = GatherRows(data.features, class_rows);
+    int64_t k = std::min<int64_t>(
+        k_neighbors_, static_cast<int64_t>(class_rows.size()) - 1);
+    std::vector<std::vector<int64_t>> neighbors =
+        AllKNearestNeighbors(class_points, k);
+
+    const float* pts = class_points.data();
+    for (int64_t s = 0; s < needed; ++s) {
+      // Sample a base row proportionally to difficulty.
+      int64_t base = rng.Categorical(difficulty);
+      const auto& nbrs = neighbors[static_cast<size_t>(base)];
+      EOS_CHECK(!nbrs.empty());
+      int64_t nb = nbrs[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(nbrs.size())))];
+      float u = rng.Uniform();
+      const float* b = pts + base * d;
+      const float* q = pts + nb * d;
+      for (int64_t j = 0; j < d; ++j) {
+        synth.push_back(b[j] + u * (q[j] - b[j]));
+      }
+      synth_labels.push_back(c);
+    }
+  }
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

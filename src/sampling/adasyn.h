@@ -1,0 +1,29 @@
+#ifndef EOS_SAMPLING_ADASYN_H_
+#define EOS_SAMPLING_ADASYN_H_
+
+#include <string>
+
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// ADASYN (He et al. 2008): the synthetic budget of each class is allocated
+/// across its rows proportionally to learning difficulty, measured as the
+/// fraction of adversary-class examples among each row's k neighbors in the
+/// full set. Synthesis itself interpolates toward same-class neighbors, as
+/// in SMOTE. Extended here to multi-class by treating every other class as
+/// the adversary set.
+class Adasyn : public Oversampler {
+ public:
+  explicit Adasyn(int64_t k_neighbors = 5);
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "ADASYN"; }
+
+ private:
+  int64_t k_neighbors_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_ADASYN_H_

@@ -1,0 +1,54 @@
+#include "sampling/balanced_svm_os.h"
+
+#include "ml/linear_svm.h"
+#include "sampling/smote.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+BalancedSvmOversampler::BalancedSvmOversampler(int64_t k_neighbors)
+    : k_neighbors_(k_neighbors) {
+  EOS_CHECK_GT(k_neighbors, 0);
+}
+
+FeatureSet BalancedSvmOversampler::Resample(const FeatureSet& data,
+                                            Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  EOS_CHECK_GT(data.num_classes, 1);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t d = data.features.size(1);
+
+  // Stage 1: SMOTE candidates.
+  Smote smote(k_neighbors_);
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    smote.GenerateForClass(data, data.ClassIndices(c), needed, c, rng, synth,
+                           synth_labels);
+  }
+  if (synth_labels.empty()) {
+    return internal::FinalizeResample(data, synth, synth_labels);
+  }
+
+  // Stage 2: fit the SVM on the tentatively balanced set (original rows +
+  // SMOTE candidates with their tentative labels); a fit on the raw
+  // imbalanced data would be majority-biased and relabel everything to the
+  // largest class. Then replace each candidate's label with the SVM's
+  // prediction.
+  Tensor candidates = Tensor::FromVector(
+      {static_cast<int64_t>(synth_labels.size()), d}, synth);
+  Tensor fit_x = ConcatRows({data.features, candidates});
+  std::vector<int64_t> fit_y = data.labels;
+  fit_y.insert(fit_y.end(), synth_labels.begin(), synth_labels.end());
+  LinearSvm svm;
+  LinearSvm::Options options;
+  svm.Fit(fit_x, fit_y, data.num_classes, options, rng);
+  std::vector<int64_t> predicted = svm.Predict(candidates);
+  return internal::FinalizeResample(data, synth, predicted);
+}
+
+}  // namespace eos

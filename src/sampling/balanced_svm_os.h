@@ -1,0 +1,29 @@
+#ifndef EOS_SAMPLING_BALANCED_SVM_OS_H_
+#define EOS_SAMPLING_BALANCED_SVM_OS_H_
+
+#include <string>
+
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// Balanced SVM over-sampling (Farquad & Bose 2012): SMOTE generates the
+/// balancing candidates, then a linear SVM — fit on the tentatively
+/// balanced set so it is not majority-biased — replaces each synthetic
+/// row's label with its own prediction. Rows the SVM pushes across the
+/// boundary therefore change class, cleaning inconsistent synthetic points
+/// at the cost of slightly uneven final counts.
+class BalancedSvmOversampler : public Oversampler {
+ public:
+  explicit BalancedSvmOversampler(int64_t k_neighbors = 5);
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "Bal-SVM"; }
+
+ private:
+  int64_t k_neighbors_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_BALANCED_SVM_OS_H_

@@ -1,0 +1,86 @@
+#include "sampling/borderline_smote.h"
+
+#include <algorithm>
+
+#include "ml/knn.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+BorderlineSmote::BorderlineSmote(int64_t k_neighbors)
+    : k_neighbors_(k_neighbors) {
+  EOS_CHECK_GT(k_neighbors, 0);
+}
+
+FeatureSet BorderlineSmote::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t d = data.features.size(1);
+  int64_t n = data.size();
+
+  // Full-set neighborhoods decide which rows are borderline.
+  int64_t m = std::min<int64_t>(k_neighbors_, n - 1);
+  KnnIndex full_index(data.features);
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    std::vector<int64_t> class_rows = data.ClassIndices(c);
+    if (class_rows.size() < 2 || m <= 0) {
+      internal::AppendRandomDuplicates(data, class_rows, needed, c, rng,
+                                       synth, synth_labels);
+      continue;
+    }
+
+    // DANGER = minority rows with m/2 <= enemy-count < m.
+    std::vector<int64_t> danger;
+    for (int64_t row : class_rows) {
+      std::vector<int64_t> nbrs = full_index.QueryRow(row, m);
+      int64_t enemies = 0;
+      for (int64_t nb : nbrs) {
+        if (data.labels[static_cast<size_t>(nb)] != c) ++enemies;
+      }
+      if (2 * enemies >= m && enemies < m) danger.push_back(row);
+    }
+    // Bases: danger rows if any exist, otherwise the whole class (plain
+    // SMOTE fallback so the class still balances).
+    const std::vector<int64_t>& bases = danger.empty() ? class_rows : danger;
+
+    // Same-class neighbor structure for interpolation partners.
+    Tensor class_points = GatherRows(data.features, class_rows);
+    KnnIndex class_index(class_points);
+    int64_t k = std::min<int64_t>(
+        k_neighbors_, static_cast<int64_t>(class_rows.size()) - 1);
+    // Map dataset row -> position within class_points.
+    std::vector<int64_t> pos_of_row(static_cast<size_t>(n), -1);
+    for (size_t i = 0; i < class_rows.size(); ++i) {
+      pos_of_row[static_cast<size_t>(class_rows[i])] =
+          static_cast<int64_t>(i);
+    }
+
+    const float* pts = class_points.data();
+    for (int64_t s = 0; s < needed; ++s) {
+      int64_t base_row = bases[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(bases.size())))];
+      int64_t base_pos = pos_of_row[static_cast<size_t>(base_row)];
+      std::vector<int64_t> nbrs = class_index.QueryRow(base_pos, k);
+      EOS_CHECK(!nbrs.empty());
+      int64_t nb = nbrs[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(nbrs.size())))];
+      float u = rng.Uniform();
+      const float* b = pts + base_pos * d;
+      const float* q = pts + nb * d;
+      for (int64_t j = 0; j < d; ++j) {
+        synth.push_back(b[j] + u * (q[j] - b[j]));
+      }
+      synth_labels.push_back(c);
+    }
+  }
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

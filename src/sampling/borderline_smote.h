@@ -1,0 +1,28 @@
+#ifndef EOS_SAMPLING_BORDERLINE_SMOTE_H_
+#define EOS_SAMPLING_BORDERLINE_SMOTE_H_
+
+#include <string>
+
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// Borderline-SMOTE (Han et al. 2005): interpolation bases are restricted to
+/// "danger" minority rows — those whose m-neighborhood in the *full* set is
+/// majority-dominated (m/2 <= enemies < m). Safe rows are skipped, noise
+/// rows (all enemies) excluded. Falls back to plain SMOTE behaviour when a
+/// class has no danger rows.
+class BorderlineSmote : public Oversampler {
+ public:
+  explicit BorderlineSmote(int64_t k_neighbors = 5);
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "B-SMOTE"; }
+
+ private:
+  int64_t k_neighbors_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_BORDERLINE_SMOTE_H_

@@ -1,0 +1,117 @@
+#include "sampling/eos.h"
+
+#include <algorithm>
+
+#include "ml/knn.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+ExpansiveOversampler::ExpansiveOversampler(int64_t k_neighbors, EosMode mode,
+                                           float max_step)
+    : k_neighbors_(k_neighbors), mode_(mode), max_step_(max_step) {
+  EOS_CHECK_GT(k_neighbors, 0);
+  EOS_CHECK_GT(max_step, 0.0f);
+  EOS_CHECK_LE(max_step, 1.0f);
+}
+
+FeatureSet ExpansiveOversampler::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t d = data.features.size(1);
+  int64_t n = data.size();
+  int64_t k = std::min<int64_t>(k_neighbors_, n - 1);
+  KnnIndex full_index(data.features);
+  const float* x = data.features.data();
+
+  stats_ = Stats{};
+  stats_.borderline_bases.assign(static_cast<size_t>(data.num_classes), 0);
+  stats_.expanded.assign(static_cast<size_t>(data.num_classes), 0);
+  stats_.fallback.assign(static_cast<size_t>(data.num_classes), 0);
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    std::vector<int64_t> class_rows = data.ClassIndices(c);
+
+    // Select enemy examples: bases are class members whose K-neighborhood
+    // contains at least one adversary-class instance (Algorithm 2).
+    std::vector<int64_t> bases;
+    std::vector<std::vector<int64_t>> enemy_lists;
+    if (k > 0) {
+      for (int64_t row : class_rows) {
+        std::vector<int64_t> nbrs = full_index.QueryRow(row, k);
+        std::vector<int64_t> enemies;
+        for (int64_t nb : nbrs) {
+          if (data.labels[static_cast<size_t>(nb)] != c) {
+            enemies.push_back(nb);
+          }
+        }
+        if (!enemies.empty()) {
+          bases.push_back(row);
+          enemy_lists.push_back(std::move(enemies));
+        }
+      }
+    }
+    stats_.borderline_bases[static_cast<size_t>(c)] =
+        static_cast<int64_t>(bases.size());
+
+    if (bases.empty()) {
+      // No borderline members: intra-class interpolation fallback.
+      if (class_rows.size() < 2) {
+        internal::AppendRandomDuplicates(data, class_rows, needed, c, rng,
+                                         synth, synth_labels);
+      } else {
+        Tensor class_points = GatherRows(data.features, class_rows);
+        int64_t kk = std::min<int64_t>(
+            k_neighbors_, static_cast<int64_t>(class_rows.size()) - 1);
+        std::vector<std::vector<int64_t>> neighbors =
+            AllKNearestNeighbors(class_points, kk);
+        const float* pts = class_points.data();
+        for (int64_t s = 0; s < needed; ++s) {
+          int64_t base =
+              rng.UniformInt(static_cast<int64_t>(class_rows.size()));
+          const auto& nbrs = neighbors[static_cast<size_t>(base)];
+          int64_t nb = nbrs[static_cast<size_t>(
+              rng.UniformInt(static_cast<int64_t>(nbrs.size())))];
+          float u = rng.Uniform();
+          const float* b = pts + base * d;
+          const float* q = pts + nb * d;
+          for (int64_t j = 0; j < d; ++j) {
+            synth.push_back(b[j] + u * (q[j] - b[j]));
+          }
+          synth_labels.push_back(c);
+        }
+      }
+      stats_.fallback[static_cast<size_t>(c)] += needed;
+      continue;
+    }
+
+    // Expansion: base + r * direction, with the enemy drawn uniformly from
+    // the base's enemy neighbors (uniform probability per Algorithm 2).
+    for (int64_t s = 0; s < needed; ++s) {
+      int64_t pick = rng.UniformInt(static_cast<int64_t>(bases.size()));
+      int64_t base_row = bases[static_cast<size_t>(pick)];
+      const auto& enemies = enemy_lists[static_cast<size_t>(pick)];
+      int64_t enemy_row = enemies[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(enemies.size())))];
+      float r = rng.Uniform() * max_step_;
+      const float* b = x + base_row * d;
+      const float* e = x + enemy_row * d;
+      for (int64_t j = 0; j < d; ++j) {
+        float direction = (mode_ == EosMode::kConvex) ? (e[j] - b[j])
+                                                      : (b[j] - e[j]);
+        synth.push_back(b[j] + r * direction);
+      }
+      synth_labels.push_back(c);
+    }
+    stats_.expanded[static_cast<size_t>(c)] += needed;
+  }
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

@@ -1,0 +1,72 @@
+#ifndef EOS_SAMPLING_EOS_H_
+#define EOS_SAMPLING_EOS_H_
+
+#include <string>
+#include <vector>
+
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// Expansive Over-Sampling (Algorithm 2) — the paper's contribution.
+///
+/// For every class to be over-sampled, EOS finds the K nearest neighbors of
+/// each class member in the *full* embedding set. Members with at least one
+/// adversary-class neighbor ("nearest enemies") become base examples; their
+/// enemy neighbors get uniform sampling probability (same-class neighbors
+/// get zero). A synthetic row combines a random base b with one of its
+/// enemies e and r ~ U[0,1):
+///
+///   kConvex  : s = b + r (e - b)   — toward the enemy (abstract / §III-D
+///                                    prose: "convex combinations ... with
+///                                    their nearest adversaries")
+///   kReflect : s = b + r (b - e)   — away from the enemy (Algorithm 2's
+///                                    literal last line)
+///
+/// r is drawn uniformly from [0, max_step). The paper's text implies
+/// max_step = 1; empirically (see bench/ablation_eos_modes) synthetic
+/// minority points placed *past* the base-enemy midpoint flip the head's
+/// decision on genuine majority territory, so the default caps the reach at
+/// the midpoint (max_step = 0.5), which preserves the paper's Table II
+/// ordering (EOS >= SMOTE) while still expanding ranges and closing the
+/// generalization gap.
+///
+/// Either way the minority footprint *expands* beyond what intra-class
+/// interpolation can reach, which is what closes the paper's
+/// generalization gap. Classes whose members have no enemy neighbors fall
+/// back to SMOTE-style intra-class interpolation so balancing always
+/// succeeds.
+class ExpansiveOversampler : public Oversampler {
+ public:
+  /// Diagnostics from the most recent Resample call.
+  struct Stats {
+    /// Per class: members having >= 1 enemy among their K neighbors.
+    std::vector<int64_t> borderline_bases;
+    /// Per class: synthetic rows produced by enemy-based expansion.
+    std::vector<int64_t> expanded;
+    /// Per class: synthetic rows produced by the intra-class fallback.
+    std::vector<int64_t> fallback;
+  };
+
+  explicit ExpansiveOversampler(int64_t k_neighbors = 10,
+                                EosMode mode = EosMode::kConvex,
+                                float max_step = 0.5f);
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "EOS"; }
+
+  const Stats& last_stats() const { return stats_; }
+  int64_t k_neighbors() const { return k_neighbors_; }
+  EosMode mode() const { return mode_; }
+  float max_step() const { return max_step_; }
+
+ private:
+  int64_t k_neighbors_;
+  EosMode mode_;
+  float max_step_;
+  Stats stats_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_EOS_H_

@@ -1,0 +1,104 @@
+#include "sampling/kmeans_smote.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+KMeansSmote::KMeansSmote(int64_t k_neighbors, int64_t clusters)
+    : k_neighbors_(k_neighbors), clusters_(clusters) {
+  EOS_CHECK_GT(k_neighbors, 0);
+  EOS_CHECK_GT(clusters, 0);
+}
+
+FeatureSet KMeansSmote::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t d = data.features.size(1);
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    std::vector<int64_t> class_rows = data.ClassIndices(c);
+    if (class_rows.size() < 4) {
+      internal::AppendRandomDuplicates(data, class_rows, needed, c, rng,
+                                       synth, synth_labels);
+      continue;
+    }
+    Tensor class_points = GatherRows(data.features, class_rows);
+    int64_t m = class_points.size(0);
+    int64_t k = std::min(clusters_, m / 2);
+    k = std::max<int64_t>(k, 1);
+    KMeansResult clustering = KMeans(class_points, k, 30, rng);
+
+    // Per-cluster sparsity: mean distance to the cluster centroid. Sparse
+    // clusters get proportionally more of the synthesis budget.
+    std::vector<std::vector<int64_t>> members(static_cast<size_t>(k));
+    for (int64_t i = 0; i < m; ++i) {
+      members[static_cast<size_t>(clustering.assignments[static_cast<size_t>(
+                  i)])]
+          .push_back(i);
+    }
+    std::vector<float> weight(static_cast<size_t>(k), 0.0f);
+    const float* pts = class_points.data();
+    const float* cen = clustering.centroids.data();
+    for (int64_t j = 0; j < k; ++j) {
+      const auto& rows = members[static_cast<size_t>(j)];
+      if (rows.size() < 2) {
+        weight[static_cast<size_t>(j)] = 0.0f;  // can't interpolate
+        continue;
+      }
+      double mean_dist = 0.0;
+      for (int64_t row : rows) {
+        double acc = 0.0;
+        for (int64_t q = 0; q < d; ++q) {
+          double diff = pts[row * d + q] - cen[j * d + q];
+          acc += diff * diff;
+        }
+        mean_dist += std::sqrt(acc);
+      }
+      weight[static_cast<size_t>(j)] =
+          static_cast<float>(mean_dist / static_cast<double>(rows.size())) +
+          1e-6f;
+    }
+    float total_weight = 0.0f;
+    for (float w : weight) total_weight += w;
+    if (total_weight <= 0.0f) {
+      // All clusters degenerate: fall back to plain duplicates.
+      internal::AppendRandomDuplicates(data, class_rows, needed, c, rng,
+                                       synth, synth_labels);
+      continue;
+    }
+
+    for (int64_t s = 0; s < needed; ++s) {
+      int64_t cluster = rng.Categorical(weight);
+      const auto& rows = members[static_cast<size_t>(cluster)];
+      EOS_CHECK_GE(rows.size(), 2u);
+      int64_t base = rows[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(rows.size())))];
+      // Interpolate toward a random same-cluster partner.
+      int64_t partner = base;
+      while (partner == base) {
+        partner = rows[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(rows.size())))];
+      }
+      float u = rng.Uniform();
+      for (int64_t q = 0; q < d; ++q) {
+        synth.push_back(pts[base * d + q] +
+                        u * (pts[partner * d + q] - pts[base * d + q]));
+      }
+      synth_labels.push_back(c);
+    }
+  }
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

@@ -1,0 +1,30 @@
+#ifndef EOS_SAMPLING_KMEANS_SMOTE_H_
+#define EOS_SAMPLING_KMEANS_SMOTE_H_
+
+#include <string>
+
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// k-means SMOTE (Douzas et al. 2018): each minority class is clustered
+/// first, and the synthesis budget is allocated across clusters inversely
+/// to their density (sparse clusters — poorly covered regions — get more
+/// synthetic mass). Interpolation then runs *within* each cluster, avoiding
+/// the between-subconcept bridges plain SMOTE builds across intra-class
+/// gaps (the sub-concept problem §II-B discusses).
+class KMeansSmote : public Oversampler {
+ public:
+  explicit KMeansSmote(int64_t k_neighbors = 5, int64_t clusters = 3);
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "KM-SMOTE"; }
+
+ private:
+  int64_t k_neighbors_;
+  int64_t clusters_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_KMEANS_SMOTE_H_

@@ -1,0 +1,151 @@
+#include "sampling/oversampler.h"
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sampling/adasyn.h"
+#include "sampling/balanced_svm_os.h"
+#include "sampling/borderline_smote.h"
+#include "sampling/eos.h"
+#include "sampling/kmeans_smote.h"
+#include "sampling/random_os.h"
+#include "sampling/rbo.h"
+#include "sampling/remix.h"
+#include "sampling/smote.h"
+
+namespace eos {
+
+const char* SamplerKindName(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kNone:
+      return "None";
+    case SamplerKind::kRandom:
+      return "Random";
+    case SamplerKind::kSmote:
+      return "SMOTE";
+    case SamplerKind::kBorderlineSmote:
+      return "B-SMOTE";
+    case SamplerKind::kAdasyn:
+      return "ADASYN";
+    case SamplerKind::kBalancedSvm:
+      return "Bal-SVM";
+    case SamplerKind::kRemix:
+      return "Remix";
+    case SamplerKind::kEos:
+      return "EOS";
+    case SamplerKind::kKMeansSmote:
+      return "KM-SMOTE";
+    case SamplerKind::kRbo:
+      return "RBO";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<Oversampler> MakeOversampler(const SamplerConfig& config) {
+  switch (config.kind) {
+    case SamplerKind::kNone:
+      EOS_CHECK(false);  // caller must handle "no sampling"
+      return nullptr;
+    case SamplerKind::kRandom:
+      return std::make_unique<RandomOversampler>();
+    case SamplerKind::kSmote:
+      return std::make_unique<Smote>(config.k_neighbors);
+    case SamplerKind::kBorderlineSmote:
+      return std::make_unique<BorderlineSmote>(config.k_neighbors);
+    case SamplerKind::kAdasyn:
+      return std::make_unique<Adasyn>(config.k_neighbors);
+    case SamplerKind::kBalancedSvm:
+      return std::make_unique<BalancedSvmOversampler>(config.k_neighbors);
+    case SamplerKind::kRemix:
+      return std::make_unique<RemixOversampler>(config.remix_min_lambda,
+                                                config.remix_kappa);
+    case SamplerKind::kEos:
+      return std::make_unique<ExpansiveOversampler>(
+          config.k_neighbors, config.eos_mode,
+          static_cast<float>(config.eos_max_step));
+    case SamplerKind::kKMeansSmote:
+      return std::make_unique<KMeansSmote>(config.k_neighbors,
+                                           config.kmeans_clusters);
+    case SamplerKind::kRbo:
+      return std::make_unique<RadialBasedOversampler>(config.rbo_gamma, 15,
+                                                      config.rbo_step_size);
+  }
+  EOS_CHECK(false);
+  return nullptr;
+}
+
+std::vector<int64_t> BalancedTargetCounts(
+    const std::vector<int64_t>& counts) {
+  EOS_CHECK(!counts.empty());
+  int64_t mx = *std::max_element(counts.begin(), counts.end());
+  return std::vector<int64_t>(counts.size(), mx);
+}
+
+FeatureSet FlattenImages(const Dataset& dataset) {
+  EOS_CHECK_EQ(dataset.images.dim(), 4);
+  int64_t n = dataset.images.size(0);
+  int64_t d = dataset.images.numel() / std::max<int64_t>(1, n);
+  FeatureSet out;
+  out.features = dataset.images.Reshape({n, d});
+  out.labels = dataset.labels;
+  out.num_classes = dataset.num_classes;
+  return out;
+}
+
+Dataset UnflattenImages(const FeatureSet& set, int64_t channels,
+                        int64_t height, int64_t width) {
+  EOS_CHECK_EQ(set.features.dim(), 2);
+  EOS_CHECK_EQ(set.features.size(1), channels * height * width);
+  Dataset out;
+  out.images = set.features.Reshape(
+      {set.features.size(0), channels, height, width});
+  out.labels = set.labels;
+  out.num_classes = set.num_classes;
+  return out;
+}
+
+namespace internal {
+
+FeatureSet FinalizeResample(const FeatureSet& data,
+                            const std::vector<float>& synth_rows,
+                            const std::vector<int64_t>& synth_labels) {
+  int64_t d = data.features.size(1);
+  EOS_CHECK_EQ(static_cast<int64_t>(synth_rows.size()),
+               static_cast<int64_t>(synth_labels.size()) * d);
+  FeatureSet out;
+  if (synth_labels.empty()) {
+    out.features = data.features.Clone();
+    out.labels = data.labels;
+  } else {
+    Tensor synth_tensor = Tensor::FromVector(
+        {static_cast<int64_t>(synth_labels.size()), d}, synth_rows);
+    out.features = ConcatRows({data.features, synth_tensor});
+    out.labels = data.labels;
+    out.labels.insert(out.labels.end(), synth_labels.begin(),
+                      synth_labels.end());
+  }
+  out.num_classes = data.num_classes;
+  return out;
+}
+
+void AppendRandomDuplicates(const FeatureSet& data,
+                            const std::vector<int64_t>& class_rows,
+                            int64_t needed, int64_t label, Rng& rng,
+                            std::vector<float>& out_rows,
+                            std::vector<int64_t>& out_labels) {
+  EOS_CHECK(!class_rows.empty());
+  int64_t d = data.features.size(1);
+  const float* x = data.features.data();
+  for (int64_t i = 0; i < needed; ++i) {
+    int64_t pick = class_rows[static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(class_rows.size())))];
+    const float* row = x + pick * d;
+    out_rows.insert(out_rows.end(), row, row + d);
+    out_labels.push_back(label);
+  }
+}
+
+}  // namespace internal
+
+}  // namespace eos

@@ -1,0 +1,120 @@
+#ifndef EOS_SAMPLING_OVERSAMPLER_H_
+#define EOS_SAMPLING_OVERSAMPLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace eos {
+
+/// Interface of an over-sampling algorithm. Samplers operate on a labeled
+/// row matrix (FeatureSet) and return the original rows plus synthetic rows
+/// so that every class reaches the size of the largest class.
+///
+/// The same implementations serve both spaces the paper compares: pass CNN
+/// feature embeddings for phase-2 (post) augmentation, or flattened pixels
+/// (see FlattenImages / UnflattenImages) for pre-processing augmentation.
+class Oversampler {
+ public:
+  virtual ~Oversampler() = default;
+
+  Oversampler() = default;
+  Oversampler(const Oversampler&) = delete;
+  Oversampler& operator=(const Oversampler&) = delete;
+
+  /// Balances `data`; the result contains the original rows (first, in
+  /// order) followed by synthetic rows.
+  virtual FeatureSet Resample(const FeatureSet& data, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The over-sampling algorithms the paper evaluates, plus extensions.
+enum class SamplerKind {
+  kNone,
+  kRandom,
+  kSmote,
+  kBorderlineSmote,
+  kAdasyn,
+  kBalancedSvm,
+  kRemix,
+  kEos,
+  kKMeansSmote,
+  kRbo,
+};
+
+/// Returns "SMOTE", "B-SMOTE", "EOS", ...
+const char* SamplerKindName(SamplerKind kind);
+
+/// EOS synthesis rule (see DESIGN.md: the paper's prose and Algorithm 2
+/// disagree; kConvex matches the prose/abstract and is the default).
+enum class EosMode {
+  /// s = b + r (e - b): convex combination toward the nearest enemy.
+  kConvex,
+  /// s = b + r (b - e): reflection away from the nearest enemy
+  /// (Algorithm 2's literal last line).
+  kReflect,
+};
+
+/// Options shared by MakeOversampler.
+struct SamplerConfig {
+  SamplerKind kind = SamplerKind::kSmote;
+  /// Neighborhood size. SMOTE-family uses it for same-class interpolation
+  /// neighbors; EOS for the nearest-enemy search (paper default 10).
+  int64_t k_neighbors = 5;
+  EosMode eos_mode = EosMode::kConvex;
+  /// EOS interpolation reach: r ~ U[0, eos_max_step). See eos.h.
+  double eos_max_step = 0.5;
+  /// Remix: minimum mixing weight kept on the minority base image.
+  double remix_min_lambda = 0.65;
+  /// Remix: count ratio above which the minority label is kept (kappa).
+  double remix_kappa = 3.0;
+  /// k-means SMOTE: clusters per minority class.
+  int64_t kmeans_clusters = 3;
+  /// RBO: Gaussian kernel width / random-walk step (relative to scale).
+  double rbo_gamma = 0.25;
+  double rbo_step_size = 0.15;
+};
+
+/// Builds a sampler; kNone is invalid here (handle it at the call site).
+std::unique_ptr<Oversampler> MakeOversampler(const SamplerConfig& config);
+
+/// Per-class target counts used by all balancing samplers: every class is
+/// raised to the maximum class count.
+std::vector<int64_t> BalancedTargetCounts(const std::vector<int64_t>& counts);
+
+/// Flattens [N, C, H, W] images into FeatureSet rows [N, C*H*W] (shares the
+/// underlying buffer).
+FeatureSet FlattenImages(const Dataset& dataset);
+
+/// Reshapes FeatureSet rows back into an image dataset with the given
+/// geometry (shares the underlying buffer).
+Dataset UnflattenImages(const FeatureSet& set, int64_t channels,
+                        int64_t height, int64_t width);
+
+namespace internal {
+
+/// Assembles the standard sampler result: the original rows followed by the
+/// synthetic rows accumulated in `synth_rows` (row-major) / `synth_labels`.
+FeatureSet FinalizeResample(const FeatureSet& data,
+                            const std::vector<float>& synth_rows,
+                            const std::vector<int64_t>& synth_labels);
+
+/// Duplicates random rows of class `c` until `needed` synthetic rows exist —
+/// the degenerate fallback every sampler uses when a class is too small for
+/// neighborhood-based synthesis.
+void AppendRandomDuplicates(const FeatureSet& data,
+                            const std::vector<int64_t>& class_rows,
+                            int64_t needed, int64_t label, Rng& rng,
+                            std::vector<float>& out_rows,
+                            std::vector<int64_t>& out_labels);
+
+}  // namespace internal
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_OVERSAMPLER_H_

@@ -1,0 +1,26 @@
+#include "sampling/random_os.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+FeatureSet RandomOversampler::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    std::vector<int64_t> rows = data.ClassIndices(c);
+    internal::AppendRandomDuplicates(data, rows, needed, c, rng, synth,
+                                     synth_labels);
+  }
+
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

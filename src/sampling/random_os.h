@@ -1,0 +1,22 @@
+#ifndef EOS_SAMPLING_RANDOM_OS_H_
+#define EOS_SAMPLING_RANDOM_OS_H_
+
+#include <string>
+
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// Random over-sampling: duplicates uniformly chosen minority rows until
+/// classes balance. The weakest baseline — no new information is added.
+class RandomOversampler : public Oversampler {
+ public:
+  RandomOversampler() = default;
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "Random"; }
+};
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_RANDOM_OS_H_

@@ -1,0 +1,106 @@
+#include "sampling/rbo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+namespace {
+
+// Mean per-dimension standard deviation — scales the kernel width and walk
+// step so the sampler is invariant to the embedding's overall scale.
+float FeatureScale(const Tensor& features) {
+  int64_t n = features.size(0);
+  int64_t d = features.size(1);
+  const float* x = features.data();
+  double total = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < n; ++i) mean += x[i * d + j];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double diff = x[i * d + j] - mean;
+      var += diff * diff;
+    }
+    total += std::sqrt(var / static_cast<double>(n));
+  }
+  return static_cast<float>(total / static_cast<double>(d)) + 1e-6f;
+}
+
+}  // namespace
+
+RadialBasedOversampler::RadialBasedOversampler(double gamma, int64_t steps,
+                                               double step_size)
+    : gamma_(gamma), steps_(steps), step_size_(step_size) {
+  EOS_CHECK_GT(gamma, 0.0);
+  EOS_CHECK_GT(steps, 0);
+  EOS_CHECK_GT(step_size, 0.0);
+}
+
+FeatureSet RadialBasedOversampler::Resample(const FeatureSet& data,
+                                            Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t n = data.size();
+  int64_t d = data.features.size(1);
+  const float* x = data.features.data();
+
+  float scale = FeatureScale(data.features);
+  float kernel_width = static_cast<float>(gamma_) * scale;
+  float inv_two_width2 = 1.0f / (2.0f * kernel_width * kernel_width);
+  float walk_step = static_cast<float>(step_size_) * scale;
+
+  // phi(p) for class c: sum over non-c rows of K - sum over c rows of K.
+  auto potential = [&](const float* p, int64_t c) {
+    double phi = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      float dist2 = 0.0f;
+      const float* row = x + i * d;
+      for (int64_t j = 0; j < d; ++j) {
+        float diff = p[j] - row[j];
+        dist2 += diff * diff;
+      }
+      double kernel = std::exp(-dist2 * inv_two_width2);
+      phi += data.labels[static_cast<size_t>(i)] == c ? -kernel : kernel;
+    }
+    return phi;
+  };
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  std::vector<float> candidate(static_cast<size_t>(d));
+  std::vector<float> proposal(static_cast<size_t>(d));
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    std::vector<int64_t> class_rows = data.ClassIndices(c);
+    for (int64_t s = 0; s < needed; ++s) {
+      int64_t start = class_rows[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(class_rows.size())))];
+      std::copy(x + start * d, x + (start + 1) * d, candidate.begin());
+      double phi = potential(candidate.data(), c);
+      for (int64_t step = 0; step < steps_; ++step) {
+        for (int64_t j = 0; j < d; ++j) {
+          proposal[static_cast<size_t>(j)] =
+              candidate[static_cast<size_t>(j)] +
+              rng.Normal(0.0f, walk_step);
+        }
+        double phi_new = potential(proposal.data(), c);
+        if (phi_new < phi) {
+          candidate = proposal;
+          phi = phi_new;
+        }
+      }
+      synth.insert(synth.end(), candidate.begin(), candidate.end());
+      synth_labels.push_back(c);
+    }
+  }
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

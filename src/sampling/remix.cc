@@ -1,0 +1,58 @@
+#include "sampling/remix.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+RemixOversampler::RemixOversampler(double min_lambda, double kappa)
+    : min_lambda_(min_lambda), kappa_(kappa) {
+  EOS_CHECK_GE(min_lambda, 0.0);
+  EOS_CHECK_LE(min_lambda, 1.0);
+  EOS_CHECK_GE(kappa, 1.0);
+}
+
+FeatureSet RemixOversampler::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+  int64_t d = data.features.size(1);
+  int64_t n = data.size();
+  const float* x = data.features.data();
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t count_c = counts[static_cast<size_t>(c)];
+    int64_t needed = targets[static_cast<size_t>(c)] - count_c;
+    if (needed <= 0 || count_c == 0) continue;
+    std::vector<int64_t> class_rows = data.ClassIndices(c);
+    for (int64_t s = 0; s < needed; ++s) {
+      int64_t base = class_rows[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(class_rows.size())))];
+      int64_t other = rng.UniformInt(n);
+      int64_t other_class = data.labels[static_cast<size_t>(other)];
+      // Remix label rule: the minority label survives the mix only when the
+      // partner's class is at least kappa times larger (or is the same
+      // class). Otherwise fall back to an intra-class partner.
+      bool dominated =
+          other_class == c ||
+          static_cast<double>(counts[static_cast<size_t>(other_class)]) >=
+              kappa_ * static_cast<double>(count_c);
+      if (!dominated) {
+        other = class_rows[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(class_rows.size())))];
+      }
+      float lambda = static_cast<float>(
+          min_lambda_ + (1.0 - min_lambda_) * rng.UniformDouble());
+      const float* b = x + base * d;
+      const float* o = x + other * d;
+      for (int64_t j = 0; j < d; ++j) {
+        synth.push_back(lambda * b[j] + (1.0f - lambda) * o[j]);
+      }
+      synth_labels.push_back(c);
+    }
+  }
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

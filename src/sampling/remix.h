@@ -1,0 +1,33 @@
+#ifndef EOS_SAMPLING_REMIX_H_
+#define EOS_SAMPLING_REMIX_H_
+
+#include <string>
+
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// Remix-style pixel-space augmentation (Bellinger et al. 2021 / Chou et
+/// al.), adapted to hard labels so it composes with the paper's framework:
+/// a synthetic minority example mixes a minority base image with a random
+/// image from the whole set, x = lambda*b + (1-lambda)*o. Remix's label rule
+/// keeps the minority label whenever the partner class outnumbers the
+/// minority by at least `kappa`; with hard labels we guarantee that by also
+/// floor-bounding lambda at `min_lambda` so the base dominates the mix.
+/// Intended for pixel space — applying it to embeddings works but the paper
+/// only evaluates it as pre-processing (Table I footnote).
+class RemixOversampler : public Oversampler {
+ public:
+  RemixOversampler(double min_lambda = 0.65, double kappa = 3.0);
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "Remix"; }
+
+ private:
+  double min_lambda_;
+  double kappa_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_REMIX_H_

@@ -1,0 +1,70 @@
+#include "sampling/smote.h"
+
+#include <algorithm>
+
+#include "ml/knn.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+Smote::Smote(int64_t k_neighbors) : k_neighbors_(k_neighbors) {
+  EOS_CHECK_GT(k_neighbors, 0);
+}
+
+void Smote::GenerateForClass(const FeatureSet& data,
+                             const std::vector<int64_t>& class_rows,
+                             int64_t needed, int64_t label, Rng& rng,
+                             std::vector<float>& out_rows,
+                             std::vector<int64_t>& out_labels) const {
+  if (needed <= 0) return;
+  EOS_CHECK(!class_rows.empty());
+  int64_t d = data.features.size(1);
+  if (class_rows.size() < 2) {
+    // No neighbors to interpolate with: duplicate.
+    internal::AppendRandomDuplicates(data, class_rows, needed, label, rng,
+                                     out_rows, out_labels);
+    return;
+  }
+  // Neighbor search restricted to the class's own rows.
+  Tensor class_points = GatherRows(data.features, class_rows);
+  int64_t k = std::min<int64_t>(k_neighbors_,
+                                static_cast<int64_t>(class_rows.size()) - 1);
+  std::vector<std::vector<int64_t>> neighbors =
+      AllKNearestNeighbors(class_points, k);
+
+  const float* pts = class_points.data();
+  for (int64_t s = 0; s < needed; ++s) {
+    int64_t base = rng.UniformInt(static_cast<int64_t>(class_rows.size()));
+    const auto& nbrs = neighbors[static_cast<size_t>(base)];
+    EOS_CHECK(!nbrs.empty());
+    int64_t nb = nbrs[static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(nbrs.size())))];
+    float u = rng.Uniform();
+    const float* b = pts + base * d;
+    const float* q = pts + nb * d;
+    for (int64_t j = 0; j < d; ++j) {
+      out_rows.push_back(b[j] + u * (q[j] - b[j]));
+    }
+    out_labels.push_back(label);
+  }
+}
+
+FeatureSet Smote::Resample(const FeatureSet& data, Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<int64_t> targets = BalancedTargetCounts(counts);
+
+  std::vector<float> synth;
+  std::vector<int64_t> synth_labels;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    int64_t needed = targets[static_cast<size_t>(c)] -
+                     counts[static_cast<size_t>(c)];
+    if (needed <= 0 || counts[static_cast<size_t>(c)] == 0) continue;
+    GenerateForClass(data, data.ClassIndices(c), needed, c, rng, synth,
+                     synth_labels);
+  }
+
+  return internal::FinalizeResample(data, synth, synth_labels);
+}
+
+}  // namespace eos

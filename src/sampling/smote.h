@@ -1,0 +1,36 @@
+#ifndef EOS_SAMPLING_SMOTE_H_
+#define EOS_SAMPLING_SMOTE_H_
+
+#include <string>
+
+#include "sampling/oversampler.h"
+
+namespace eos {
+
+/// Synthetic Minority Over-sampling TEchnique (Chawla et al. 2002):
+/// synthetic rows are convex combinations s = b + u (nb - b), u ~ U[0,1),
+/// between a minority base row and one of its k nearest *same-class*
+/// neighbors. Being intra-class interpolative, SMOTE never leaves the
+/// minority class's convex hull — the limitation EOS targets.
+class Smote : public Oversampler {
+ public:
+  explicit Smote(int64_t k_neighbors = 5);
+
+  FeatureSet Resample(const FeatureSet& data, Rng& rng) override;
+  std::string name() const override { return "SMOTE"; }
+
+  /// Generates `needed` synthetic rows of class `label` into `out_rows` /
+  /// `out_labels` (exposed so Balanced-SVM can reuse the generator).
+  void GenerateForClass(const FeatureSet& data,
+                        const std::vector<int64_t>& class_rows,
+                        int64_t needed, int64_t label, Rng& rng,
+                        std::vector<float>& out_rows,
+                        std::vector<int64_t>& out_labels) const;
+
+ private:
+  int64_t k_neighbors_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_SMOTE_H_

@@ -1,0 +1,153 @@
+#include "sampling/undersampling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/knn.h"
+#include "sampling/smote.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+
+namespace {
+
+// Majority classes for cleaning purposes: any class with more rows than the
+// smallest class. (With a fully balanced set nothing is "majority", so the
+// cleaners become pure noise filters on every class except the smallest.)
+std::vector<bool> MajorityMask(const std::vector<int64_t>& counts) {
+  int64_t mn = *std::min_element(counts.begin(), counts.end());
+  std::vector<bool> majority(counts.size());
+  for (size_t c = 0; c < counts.size(); ++c) majority[c] = counts[c] > mn;
+  return majority;
+}
+
+}  // namespace
+
+FeatureSet RandomUndersample(const FeatureSet& data, int64_t target_per_class,
+                             Rng& rng) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  std::vector<int64_t> counts = data.ClassCounts();
+  int64_t target = target_per_class;
+  if (target < 0) {
+    target = *std::min_element(counts.begin(), counts.end());
+  }
+  EOS_CHECK_GT(target, 0);
+  std::vector<int64_t> keep;
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    std::vector<int64_t> rows = data.ClassIndices(c);
+    if (static_cast<int64_t>(rows.size()) > target) {
+      rng.Shuffle(rows);
+      rows.resize(static_cast<size_t>(target));
+    }
+    keep.insert(keep.end(), rows.begin(), rows.end());
+  }
+  std::sort(keep.begin(), keep.end());
+  return SelectFeatures(data, keep);
+}
+
+std::vector<int64_t> FindTomekLinks(const FeatureSet& data) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  int64_t n = data.size();
+  if (n < 2) return {};
+  KnnIndex index(data.features);
+  // 1-NN of every row.
+  std::vector<int64_t> nn1(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    nn1[static_cast<size_t>(i)] = index.QueryRow(i, 1)[0];
+  }
+  std::vector<int64_t> out;
+  for (int64_t a = 0; a < n; ++a) {
+    int64_t b = nn1[static_cast<size_t>(a)];
+    if (b < a) continue;  // count each pair once
+    if (nn1[static_cast<size_t>(b)] != a) continue;
+    if (data.labels[static_cast<size_t>(a)] ==
+        data.labels[static_cast<size_t>(b)]) {
+      continue;
+    }
+    out.push_back(a);
+    out.push_back(b);
+  }
+  return out;
+}
+
+FeatureSet RemoveTomekLinks(const FeatureSet& data) {
+  std::vector<int64_t> links = FindTomekLinks(data);
+  if (links.empty()) return SelectFeatures(data, [&] {
+    std::vector<int64_t> all(static_cast<size_t>(data.size()));
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }());
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<bool> majority = MajorityMask(counts);
+  std::vector<bool> drop(static_cast<size_t>(data.size()), false);
+  for (int64_t row : links) {
+    int64_t y = data.labels[static_cast<size_t>(row)];
+    if (majority[static_cast<size_t>(y)]) drop[static_cast<size_t>(row)] = true;
+  }
+  std::vector<int64_t> keep;
+  for (int64_t i = 0; i < data.size(); ++i) {
+    if (!drop[static_cast<size_t>(i)]) keep.push_back(i);
+  }
+  return SelectFeatures(data, keep);
+}
+
+FeatureSet EditedNearestNeighbours(const FeatureSet& data,
+                                   int64_t k_neighbors) {
+  EOS_CHECK_EQ(data.features.dim(), 2);
+  EOS_CHECK_GT(k_neighbors, 0);
+  int64_t n = data.size();
+  if (n < 2) {
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    return SelectFeatures(data, all);
+  }
+  std::vector<int64_t> counts = data.ClassCounts();
+  std::vector<bool> majority = MajorityMask(counts);
+  KnnIndex index(data.features);
+  int64_t k = std::min<int64_t>(k_neighbors, n - 1);
+  std::vector<int64_t> keep;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t y = data.labels[static_cast<size_t>(i)];
+    if (!majority[static_cast<size_t>(y)]) {
+      keep.push_back(i);
+      continue;
+    }
+    std::vector<int64_t> nbrs = index.QueryRow(i, k);
+    // Majority vote among neighbors.
+    std::vector<int64_t> votes(static_cast<size_t>(data.num_classes), 0);
+    for (int64_t nb : nbrs) {
+      ++votes[static_cast<size_t>(data.labels[static_cast<size_t>(nb)])];
+    }
+    int64_t winner = static_cast<int64_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+    if (winner == y) keep.push_back(i);
+  }
+  // Never delete a whole class.
+  std::vector<int64_t> kept_counts(static_cast<size_t>(data.num_classes), 0);
+  for (int64_t i : keep) {
+    ++kept_counts[static_cast<size_t>(data.labels[static_cast<size_t>(i)])];
+  }
+  for (int64_t c = 0; c < data.num_classes; ++c) {
+    if (kept_counts[static_cast<size_t>(c)] == 0 &&
+        counts[static_cast<size_t>(c)] > 0) {
+      keep.push_back(data.ClassIndices(c)[0]);
+    }
+  }
+  std::sort(keep.begin(), keep.end());
+  return SelectFeatures(data, keep);
+}
+
+FeatureSet SmoteEnn(const FeatureSet& data, int64_t smote_k, int64_t enn_k,
+                    Rng& rng) {
+  Smote smote(smote_k);
+  FeatureSet balanced = smote.Resample(data, rng);
+  return EditedNearestNeighbours(balanced, enn_k);
+}
+
+FeatureSet SmoteTomek(const FeatureSet& data, int64_t smote_k, Rng& rng) {
+  Smote smote(smote_k);
+  FeatureSet balanced = smote.Resample(data, rng);
+  return RemoveTomekLinks(balanced);
+}
+
+}  // namespace eos

@@ -1,0 +1,47 @@
+#ifndef EOS_SAMPLING_UNDERSAMPLING_H_
+#define EOS_SAMPLING_UNDERSAMPLING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace eos {
+
+/// Under-sampling and cleaning methods — the other half of the resampling
+/// toolbox (§II-A cites combined cleaning-and-resampling algorithms such as
+/// RB-CCR). These run on the same labeled row matrices the over-samplers
+/// use; the SMOTE-combo helpers below chain them after synthesis.
+
+/// Randomly drops majority rows until every class has at most
+/// `target_per_class` rows (pass -1 to use the smallest class's count).
+FeatureSet RandomUndersample(const FeatureSet& data, int64_t target_per_class,
+                             Rng& rng);
+
+/// Indices of rows participating in Tomek links: pairs (a, b) of different
+/// classes that are each other's 1-nearest neighbor — the classic marker of
+/// borderline noise/overlap.
+std::vector<int64_t> FindTomekLinks(const FeatureSet& data);
+
+/// Removes the majority-class member of every Tomek link (minority members
+/// are kept, the standard cleaning rule).
+FeatureSet RemoveTomekLinks(const FeatureSet& data);
+
+/// Edited Nearest Neighbours (Wilson 1972): removes every *majority-class*
+/// row whose k-neighborhood majority-vote disagrees with its own label.
+/// Minority rows are never removed.
+FeatureSet EditedNearestNeighbours(const FeatureSet& data,
+                                   int64_t k_neighbors = 3);
+
+/// SMOTE followed by ENN cleaning (Batista et al. 2004's SMOTE-ENN).
+FeatureSet SmoteEnn(const FeatureSet& data, int64_t smote_k, int64_t enn_k,
+                    Rng& rng);
+
+/// SMOTE followed by Tomek-link removal (SMOTE-Tomek).
+FeatureSet SmoteTomek(const FeatureSet& data, int64_t smote_k, Rng& rng);
+
+}  // namespace eos
+
+#endif  // EOS_SAMPLING_UNDERSAMPLING_H_

@@ -1,0 +1,61 @@
+#include "tensor/im2col.h"
+
+namespace eos {
+
+void Im2Col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            float* col) {
+  int64_t out_h = ConvOutSize(height, kh, stride, pad);
+  int64_t out_w = ConvOutSize(width, kw, stride, pad);
+  int64_t out_plane = out_h * out_w;
+  // Row r of the column matrix corresponds to (c, i, j) within the kernel.
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* plane = image + c * height * width;
+    for (int64_t i = 0; i < kh; ++i) {
+      for (int64_t j = 0; j < kw; ++j) {
+        float* row = col + ((c * kh + i) * kw + j) * out_plane;
+        for (int64_t oy = 0; oy < out_h; ++oy) {
+          int64_t iy = oy * stride - pad + i;
+          if (iy < 0 || iy >= height) {
+            for (int64_t ox = 0; ox < out_w; ++ox) row[oy * out_w + ox] = 0.0f;
+            continue;
+          }
+          const float* src = plane + iy * width;
+          float* dst = row + oy * out_w;
+          for (int64_t ox = 0; ox < out_w; ++ox) {
+            int64_t ix = ox * stride - pad + j;
+            dst[ox] = (ix >= 0 && ix < width) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            float* image_grad) {
+  int64_t out_h = ConvOutSize(height, kh, stride, pad);
+  int64_t out_w = ConvOutSize(width, kw, stride, pad);
+  int64_t out_plane = out_h * out_w;
+  for (int64_t c = 0; c < channels; ++c) {
+    float* plane = image_grad + c * height * width;
+    for (int64_t i = 0; i < kh; ++i) {
+      for (int64_t j = 0; j < kw; ++j) {
+        const float* row = col + ((c * kh + i) * kw + j) * out_plane;
+        for (int64_t oy = 0; oy < out_h; ++oy) {
+          int64_t iy = oy * stride - pad + i;
+          if (iy < 0 || iy >= height) continue;
+          float* dst = plane + iy * width;
+          const float* src = row + oy * out_w;
+          for (int64_t ox = 0; ox < out_w; ++ox) {
+            int64_t ix = ox * stride - pad + j;
+            if (ix >= 0 && ix < width) dst[ix] += src[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace eos

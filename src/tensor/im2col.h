@@ -1,0 +1,33 @@
+#ifndef EOS_TENSOR_IM2COL_H_
+#define EOS_TENSOR_IM2COL_H_
+
+#include <cstdint>
+
+/// \file
+/// im2col / col2im lowering used by Conv2d. A single image [C, H, W] is
+/// unfolded into a column matrix [C*kh*kw, out_h*out_w] so that convolution
+/// becomes one GEMM with the [out_channels, C*kh*kw] weight matrix.
+
+namespace eos {
+
+/// Computes the output spatial extent of a convolution dimension.
+inline int64_t ConvOutSize(int64_t in, int64_t kernel, int64_t stride,
+                           int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/// Unfolds one image. `col` must hold channels*kh*kw*out_h*out_w floats and is
+/// fully overwritten (zero padding included).
+void Im2Col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            float* col);
+
+/// Folds a column-gradient matrix back onto an image gradient, accumulating
+/// into `image_grad` (which must be pre-zeroed by the caller across images).
+void Col2Im(const float* col, int64_t channels, int64_t height, int64_t width,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            float* image_grad);
+
+}  // namespace eos
+
+#endif  // EOS_TENSOR_IM2COL_H_

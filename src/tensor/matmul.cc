@@ -1,0 +1,108 @@
+#include "tensor/matmul.h"
+
+namespace eos {
+
+// Plain ikj kernel: streams rows of b while accumulating a row of out.
+// The inner loop vectorizes under -O3 without intrinsics.
+void GemmNN(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// out[m,n] += a[k,m]^T b[k,n]: rank-1 updates per p keep both reads streaming.
+void GemmTN(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// out[m,n] += a[m,k] b[n,k]^T: pure dot products, both operands row-major.
+void GemmNT(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  EOS_CHECK_EQ(a.dim(), 2);
+  EOS_CHECK_EQ(b.dim(), 2);
+  EOS_CHECK_EQ(out.dim(), 2);
+  int64_t m = a.size(0);
+  int64_t k = a.size(1);
+  EOS_CHECK_EQ(b.size(0), k);
+  int64_t n = b.size(1);
+  EOS_CHECK_EQ(out.size(0), m);
+  EOS_CHECK_EQ(out.size(1), n);
+  GemmNN(a.data(), b.data(), out.data(), m, k, n);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor out({a.size(0), b.size(1)});
+  MatMulAccumulate(a, b, out);
+  return out;
+}
+
+void MatMulTNAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  EOS_CHECK_EQ(a.dim(), 2);
+  EOS_CHECK_EQ(b.dim(), 2);
+  EOS_CHECK_EQ(out.dim(), 2);
+  int64_t k = a.size(0);
+  int64_t m = a.size(1);
+  EOS_CHECK_EQ(b.size(0), k);
+  int64_t n = b.size(1);
+  EOS_CHECK_EQ(out.size(0), m);
+  EOS_CHECK_EQ(out.size(1), n);
+  GemmTN(a.data(), b.data(), out.data(), m, k, n);
+}
+
+Tensor MatMulTN(const Tensor& a, const Tensor& b) {
+  Tensor out({a.size(1), b.size(1)});
+  MatMulTNAccumulate(a, b, out);
+  return out;
+}
+
+void MatMulNTAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  EOS_CHECK_EQ(a.dim(), 2);
+  EOS_CHECK_EQ(b.dim(), 2);
+  EOS_CHECK_EQ(out.dim(), 2);
+  int64_t m = a.size(0);
+  int64_t k = a.size(1);
+  EOS_CHECK_EQ(b.size(1), k);
+  int64_t n = b.size(0);
+  EOS_CHECK_EQ(out.size(0), m);
+  EOS_CHECK_EQ(out.size(1), n);
+  GemmNT(a.data(), b.data(), out.data(), m, k, n);
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  Tensor out({a.size(0), b.size(0)});
+  MatMulNTAccumulate(a, b, out);
+  return out;
+}
+
+}  // namespace eos

@@ -1,0 +1,43 @@
+#ifndef EOS_TENSOR_MATMUL_H_
+#define EOS_TENSOR_MATMUL_H_
+
+#include "tensor/tensor.h"
+
+/// \file
+/// Cache-blocked single-precision GEMM kernels. These back every Linear and
+/// (via im2col) every Conv2d in the network, so they dominate training time.
+/// The layouts are all row-major; the *_accumulate variants add into `out`.
+
+namespace eos {
+
+/// Raw accumulating kernels (out += ...) over row-major buffers. The Tensor
+/// wrappers below shape-check and should be preferred; Conv2d uses the raw
+/// forms to operate on per-image slices without materializing sub-tensors.
+void GemmNN(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n);
+void GemmTN(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n);
+void GemmNT(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n);
+
+/// out[m,n] = a[m,k] * b[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// out[m,n] += a[m,k] * b[k,n] (out must be preallocated [m,n]).
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out[m,n] = a[k,m]^T * b[k,n].
+Tensor MatMulTN(const Tensor& a, const Tensor& b);
+
+/// out[m,n] += a[k,m]^T * b[k,n].
+void MatMulTNAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out[m,n] = a[m,k] * b[n,k]^T.
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+
+/// out[m,n] += a[m,k] * b[n,k]^T.
+void MatMulNTAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+}  // namespace eos
+
+#endif  // EOS_TENSOR_MATMUL_H_

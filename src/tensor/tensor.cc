@@ -1,0 +1,159 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace eos {
+
+namespace {
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t s : shape) {
+    EOS_CHECK_GE(s, 0);
+    n *= s;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor() : numel_(0), data_(std::make_shared<std::vector<float>>()) {}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      numel_(ShapeNumel(shape_)),
+      data_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          const std::vector<float>& values) {
+  Tensor t(std::move(shape));
+  EOS_CHECK_EQ(t.numel(), static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
+                       Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::Normal(std::vector<int64_t> shape, float mean, float stddev,
+                      Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.Normal(mean, stddev);
+  return t;
+}
+
+int64_t Tensor::size(int64_t i) const {
+  int64_t d = dim();
+  if (i < 0) i += d;
+  EOS_CHECK(i >= 0 && i < d);
+  return shape_[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t i) {
+  EOS_CHECK_EQ(dim(), 1);
+  EOS_CHECK(i >= 0 && i < shape_[0]);
+  return (*data_)[static_cast<size_t>(i)];
+}
+float Tensor::at(int64_t i) const { return const_cast<Tensor*>(this)->at(i); }
+
+float& Tensor::at(int64_t i, int64_t j) {
+  EOS_CHECK_EQ(dim(), 2);
+  EOS_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+  return (*data_)[static_cast<size_t>(i * shape_[1] + j)];
+}
+float Tensor::at(int64_t i, int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  EOS_CHECK_EQ(dim(), 3);
+  EOS_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+            k < shape_[2]);
+  return (*data_)[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) {
+  EOS_CHECK_EQ(dim(), 4);
+  EOS_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+            k < shape_[2] && l >= 0 && l < shape_[3]);
+  return (*data_)[static_cast<size_t>(
+      ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  return const_cast<Tensor*>(this)->at(i, j, k, l);
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  int64_t known = 1;
+  int infer_index = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      EOS_CHECK_EQ(infer_index, -1);
+      infer_index = static_cast<int>(i);
+    } else {
+      EOS_CHECK_GE(new_shape[i], 0);
+      known *= new_shape[i];
+    }
+  }
+  if (infer_index >= 0) {
+    EOS_CHECK_GT(known, 0);
+    EOS_CHECK_EQ(numel_ % known, 0);
+    new_shape[static_cast<size_t>(infer_index)] = numel_ / known;
+  }
+  EOS_CHECK_EQ(ShapeNumel(new_shape), numel_);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.numel_ = numel_;
+  out.data_ = data_;
+  return out;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out;
+  out.shape_ = shape_;
+  out.numel_ = numel_;
+  out.data_ = std::make_shared<std::vector<float>>(*data_);
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace eos

@@ -1,0 +1,106 @@
+#ifndef EOS_TENSOR_TENSOR_H_
+#define EOS_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace eos {
+
+/// A dense, contiguous, row-major float32 tensor.
+///
+/// Copying a Tensor is cheap: copies share the underlying buffer (like a
+/// NumPy view of the whole array). Use Clone() for a deep copy. Shapes use
+/// the NCHW convention for image data throughout the library.
+class Tensor {
+ public:
+  /// An empty (rank-0, zero-element) tensor.
+  Tensor();
+
+  /// A zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// Factory: zero-filled tensor.
+  static Tensor Zeros(std::vector<int64_t> shape);
+
+  /// Factory: tensor filled with `value`.
+  static Tensor Full(std::vector<int64_t> shape, float value);
+
+  /// Factory: copies `values` (size must match the shape's element count).
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           const std::vector<float>& values);
+
+  /// Factory: i.i.d. uniform draws in [lo, hi).
+  static Tensor Uniform(std::vector<int64_t> shape, float lo, float hi,
+                        Rng& rng);
+
+  /// Factory: i.i.d. normal draws.
+  static Tensor Normal(std::vector<int64_t> shape, float mean, float stddev,
+                       Rng& rng);
+
+  /// Number of elements.
+  int64_t numel() const { return numel_; }
+
+  /// Number of dimensions.
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+
+  /// Extent of dimension `i` (supports negative indices, Python-style).
+  int64_t size(int64_t i) const;
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  /// Element access for up to 4-d tensors (checked).
+  float& at(int64_t i);
+  float at(int64_t i) const;
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i, int64_t j, int64_t k) const;
+  float& at(int64_t i, int64_t j, int64_t k, int64_t l);
+  float at(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  /// Returns a tensor sharing this buffer with a new shape of equal element
+  /// count. One extent may be -1 to be inferred.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// True if both tensors share the same underlying buffer.
+  bool SharesBufferWith(const Tensor& other) const {
+    return data_ == other.data_;
+  }
+
+  /// Human-readable shape like "[64, 3, 32, 32]".
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  int64_t numel_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+/// True when shapes match exactly.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace eos
+
+#endif  // EOS_TENSOR_TENSOR_H_

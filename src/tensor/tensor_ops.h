@@ -1,0 +1,75 @@
+#ifndef EOS_TENSOR_TENSOR_OPS_H_
+#define EOS_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+/// \file
+/// Elementwise, reduction, and shape utilities on Tensor. All functions are
+/// shape-checked; out-of-place variants allocate their result.
+
+namespace eos {
+
+/// out = a + b (elementwise, same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// a += b in place.
+void AddInPlace(Tensor& a, const Tensor& b);
+
+/// a += alpha * b in place (axpy).
+void Axpy(float alpha, const Tensor& b, Tensor& a);
+
+/// out = a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// out = a * b (elementwise).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// out = a * scalar.
+Tensor Scale(const Tensor& a, float scalar);
+
+/// a *= scalar in place.
+void ScaleInPlace(Tensor& a, float scalar);
+
+/// Sum of all elements.
+double Sum(const Tensor& a);
+
+/// Mean of all elements (0 for empty tensors).
+double Mean(const Tensor& a);
+
+/// Largest |x| over all elements.
+float MaxAbs(const Tensor& a);
+
+/// L2 norm of all elements.
+double Norm2(const Tensor& a);
+
+/// Transpose of a 2-d tensor.
+Tensor Transpose2D(const Tensor& a);
+
+/// Row-wise argmax of a 2-d tensor [n, d] -> vector of n indices.
+std::vector<int64_t> ArgMaxRows(const Tensor& logits);
+
+/// Numerically stable row-wise softmax of a 2-d tensor.
+Tensor SoftmaxRows(const Tensor& logits);
+
+/// Numerically stable row-wise log-softmax of a 2-d tensor.
+Tensor LogSoftmaxRows(const Tensor& logits);
+
+/// Copies row `src_row` of `src` (2-d) into row `dst_row` of `dst` (2-d with
+/// the same width).
+void CopyRow(const Tensor& src, int64_t src_row, Tensor& dst, int64_t dst_row);
+
+/// Returns the rows of `a` (2-d) selected by `indices`, in order.
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices);
+
+/// Vertically concatenates 2-d tensors with equal widths.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Selects a batch of images [indices.size(), C, H, W] from a 4-d tensor.
+Tensor GatherImages(const Tensor& a, const std::vector<int64_t>& indices);
+
+}  // namespace eos
+
+#endif  // EOS_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,230 @@
+#include "tsne/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace eos {
+
+namespace {
+
+// Pairwise squared Euclidean distances, row-major [N, N].
+std::vector<double> PairwiseSquaredDistances(const Tensor& points) {
+  int64_t n = points.size(0);
+  int64_t d = points.size(1);
+  const float* x = points.data();
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const float* a = x + i * d;
+      const float* b = x + j * d;
+      double acc = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        double diff = static_cast<double>(a[k]) - b[k];
+        acc += diff * diff;
+      }
+      dist[static_cast<size_t>(i * n + j)] = acc;
+      dist[static_cast<size_t>(j * n + i)] = acc;
+    }
+  }
+  return dist;
+}
+
+// Binary-searches the Gaussian bandwidth of row i so the conditional
+// distribution's perplexity matches the target; writes P(j|i) into prow.
+void RowConditional(const std::vector<double>& dist, int64_t n, int64_t i,
+                    double perplexity, double* prow) {
+  double lo = 1e-20;
+  double hi = 1e20;
+  double beta = 1.0;  // 1 / (2 sigma^2)
+  double target_entropy = std::log(perplexity);
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) {
+        prow[j] = 0.0;
+        continue;
+      }
+      prow[j] = std::exp(-beta * dist[static_cast<size_t>(i * n + j)]);
+      sum += prow[j];
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    double entropy = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double p = prow[j] / sum;
+      prow[j] = p;
+      if (p > 1e-12) entropy -= p * std::log(p);
+    }
+    double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      lo = beta;
+      beta = (hi >= 1e20) ? beta * 2.0 : 0.5 * (beta + hi);
+    } else {
+      hi = beta;
+      beta = (lo <= 1e-20) ? beta * 0.5 : 0.5 * (beta + lo);
+    }
+  }
+}
+
+}  // namespace
+
+Tensor PcaProject(const Tensor& points, int64_t k, Rng& rng) {
+  EOS_CHECK_EQ(points.dim(), 2);
+  int64_t n = points.size(0);
+  int64_t d = points.size(1);
+  EOS_CHECK_GT(k, 0);
+  EOS_CHECK_LE(k, d);
+
+  // Center the data.
+  std::vector<double> mean(static_cast<size_t>(d), 0.0);
+  const float* x = points.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) mean[static_cast<size_t>(j)] += x[i * d + j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  std::vector<std::vector<double>> components;
+  Tensor out({n, k});
+  float* o = out.data();
+  for (int64_t comp = 0; comp < k; ++comp) {
+    // Power iteration on the covariance, deflating previous components.
+    std::vector<double> v(static_cast<size_t>(d));
+    for (int64_t j = 0; j < d; ++j) v[static_cast<size_t>(j)] = rng.Normal();
+    for (int iter = 0; iter < 60; ++iter) {
+      // w = Cov * v, computed as X_c^T (X_c v) / n without forming Cov.
+      std::vector<double> proj(static_cast<size_t>(n), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < d; ++j) {
+          acc += (x[i * d + j] - mean[static_cast<size_t>(j)]) *
+                 v[static_cast<size_t>(j)];
+        }
+        proj[static_cast<size_t>(i)] = acc;
+      }
+      std::vector<double> w(static_cast<size_t>(d), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        double p = proj[static_cast<size_t>(i)];
+        for (int64_t j = 0; j < d; ++j) {
+          w[static_cast<size_t>(j)] +=
+              (x[i * d + j] - mean[static_cast<size_t>(j)]) * p;
+        }
+      }
+      // Deflate.
+      for (const auto& u : components) {
+        double dot = 0.0;
+        for (int64_t j = 0; j < d; ++j) dot += w[static_cast<size_t>(j)] * u[static_cast<size_t>(j)];
+        for (int64_t j = 0; j < d; ++j) w[static_cast<size_t>(j)] -= dot * u[static_cast<size_t>(j)];
+      }
+      double norm = 0.0;
+      for (double wi : w) norm += wi * wi;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (int64_t j = 0; j < d; ++j) v[static_cast<size_t>(j)] = w[static_cast<size_t>(j)] / norm;
+    }
+    components.push_back(v);
+    for (int64_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        acc += (x[i * d + j] - mean[static_cast<size_t>(j)]) *
+               v[static_cast<size_t>(j)];
+      }
+      o[i * k + comp] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor Tsne(const Tensor& points, const TsneOptions& options) {
+  EOS_CHECK_EQ(points.dim(), 2);
+  int64_t n = points.size(0);
+  EOS_CHECK_GT(n, 1);
+  double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+  perplexity = std::max(perplexity, 2.0);
+
+  std::vector<double> dist = PairwiseSquaredDistances(points);
+
+  // Symmetrized joint probabilities.
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  {
+    std::vector<double> prow(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      RowConditional(dist, n, i, perplexity, prow.data());
+      for (int64_t j = 0; j < n; ++j) {
+        p[static_cast<size_t>(i * n + j)] = prow[static_cast<size_t>(j)];
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double sym = (p[static_cast<size_t>(i * n + j)] +
+                      p[static_cast<size_t>(j * n + i)]) /
+                     (2.0 * static_cast<double>(n));
+        sym = std::max(sym, 1e-12);
+        p[static_cast<size_t>(i * n + j)] = sym;
+        p[static_cast<size_t>(j * n + i)] = sym;
+      }
+    }
+  }
+
+  // PCA initialization, scaled small as in the reference implementation.
+  Rng rng(options.seed);
+  Tensor y = PcaProject(points, 2, rng);
+  {
+    float* yp = y.data();
+    double norm = 0.0;
+    for (int64_t i = 0; i < 2 * n; ++i) norm += static_cast<double>(yp[i]) * yp[i];
+    double scale = norm > 0.0 ? 1e-2 / std::sqrt(norm / (2.0 * n)) : 1.0;
+    for (int64_t i = 0; i < 2 * n; ++i) {
+      yp[i] = static_cast<float>(yp[i] * scale) + 1e-3f * rng.Normal();
+    }
+  }
+
+  std::vector<double> grad(static_cast<size_t>(2 * n), 0.0);
+  std::vector<double> velocity(static_cast<size_t>(2 * n), 0.0);
+  std::vector<double> q(static_cast<size_t>(n * n), 0.0);
+  float* yp = y.data();
+
+  for (int64_t iter = 0; iter < options.iterations; ++iter) {
+    double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    // Student-t affinities.
+    double qsum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double dx = static_cast<double>(yp[2 * i]) - yp[2 * j];
+        double dy = static_cast<double>(yp[2 * i + 1]) - yp[2 * j + 1];
+        double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[static_cast<size_t>(i * n + j)] = w;
+        q[static_cast<size_t>(j * n + i)] = w;
+        qsum += 2.0 * w;
+      }
+    }
+    qsum = std::max(qsum, 1e-12);
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double w = q[static_cast<size_t>(i * n + j)];
+        double coeff =
+            (exaggeration * p[static_cast<size_t>(i * n + j)] - w / qsum) * w;
+        double dx = static_cast<double>(yp[2 * i]) - yp[2 * j];
+        double dy = static_cast<double>(yp[2 * i + 1]) - yp[2 * j + 1];
+        grad[static_cast<size_t>(2 * i)] += 4.0 * coeff * dx;
+        grad[static_cast<size_t>(2 * i + 1)] += 4.0 * coeff * dy;
+      }
+    }
+    double momentum = iter < 250 ? 0.5 : options.momentum;
+    for (int64_t i = 0; i < 2 * n; ++i) {
+      velocity[static_cast<size_t>(i)] =
+          momentum * velocity[static_cast<size_t>(i)] -
+          options.learning_rate * grad[static_cast<size_t>(i)];
+      yp[i] += static_cast<float>(velocity[static_cast<size_t>(i)]);
+    }
+  }
+  return y;
+}
+
+}  // namespace eos

@@ -1,0 +1,35 @@
+#ifndef EOS_TSNE_TSNE_H_
+#define EOS_TSNE_TSNE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace eos {
+
+/// Options for the exact t-SNE solver.
+struct TsneOptions {
+  double perplexity = 30.0;
+  int64_t iterations = 400;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  /// Early-exaggeration factor applied for the first `exaggeration_iters`.
+  double early_exaggeration = 4.0;
+  int64_t exaggeration_iters = 100;
+  uint64_t seed = 42;
+};
+
+/// Exact (O(N^2)) t-SNE (van der Maaten & Hinton 2008) to 2 dimensions,
+/// used to reproduce the paper's Figure 6 decision-boundary visualization.
+/// Suitable for N up to a few thousand points. Initialization is the top-2
+/// PCA projection (power iteration), which keeps runs stable across seeds.
+Tensor Tsne(const Tensor& points, const TsneOptions& options);
+
+/// Top-`k` PCA projection of [N, D] points (power iteration with
+/// deflation). Returned shape is [N, k].
+Tensor PcaProject(const Tensor& points, int64_t k, Rng& rng);
+
+}  // namespace eos
+
+#endif  // EOS_TSNE_TSNE_H_

@@ -1,0 +1,67 @@
+// Contract tests: EOS_CHECK violations must abort with a diagnostic. These
+// run as gtest death tests so the aborts happen in forked children.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+namespace {
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ EOS_CHECK(1 == 2); }, "EOS_CHECK failed");
+}
+
+TEST(CheckDeathTest, ComparisonMacros) {
+  EXPECT_DEATH({ EOS_CHECK_EQ(1, 2); }, "EOS_CHECK failed");
+  EXPECT_DEATH({ EOS_CHECK_LT(2, 1); }, "EOS_CHECK failed");
+  EXPECT_DEATH({ EOS_CHECK_GE(0, 1); }, "EOS_CHECK failed");
+}
+
+TEST(CheckDeathTest, PassingChecksAreSilent) {
+  EOS_CHECK(true);
+  EOS_CHECK_EQ(2, 2);
+  EOS_CHECK_LE(1, 1);
+  SUCCEED();
+}
+
+TEST(TensorDeathTest, OutOfBoundsAtAborts) {
+  Tensor t({2, 2});
+  EXPECT_DEATH({ t.at(2, 0); }, "EOS_CHECK failed");
+  EXPECT_DEATH({ t.at(0, -1); }, "EOS_CHECK failed");
+}
+
+TEST(TensorDeathTest, RankMismatchAtAborts) {
+  Tensor t({4});
+  EXPECT_DEATH({ t.at(0, 0); }, "EOS_CHECK failed");
+}
+
+TEST(TensorDeathTest, BadReshapeAborts) {
+  Tensor t({2, 3});
+  EXPECT_DEATH({ t.Reshape({4, 2}); }, "EOS_CHECK failed");
+  EXPECT_DEATH({ t.Reshape({-1, -1}); }, "EOS_CHECK failed");
+}
+
+TEST(TensorDeathTest, ShapeMismatchOpsAbort) {
+  Tensor a({2, 2});
+  Tensor b({2, 3});
+  EXPECT_DEATH({ Add(a, b); }, "EOS_CHECK failed");
+  EXPECT_DEATH({ AddInPlace(a, b); }, "EOS_CHECK failed");
+}
+
+TEST(RngDeathTest, NonPositiveUniformIntAborts) {
+  Rng rng(1);
+  EXPECT_DEATH({ rng.UniformInt(0); }, "EOS_CHECK failed");
+  EXPECT_DEATH({ rng.UniformInt(-3); }, "EOS_CHECK failed");
+}
+
+TEST(RngDeathTest, EmptyCategoricalAborts) {
+  Rng rng(2);
+  EXPECT_DEATH({ rng.Categorical({0.0f, 0.0f}); }, "EOS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace eos

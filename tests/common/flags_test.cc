@@ -1,0 +1,106 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace eos {
+namespace {
+
+std::vector<char*> Argv(std::vector<std::string>& args) {
+  std::vector<char*> out;
+  out.push_back(nullptr);  // argv[0]
+  for (auto& a : args) out.push_back(a.data());
+  return out;
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  FlagSet flags;
+  int64_t* epochs = flags.AddInt("epochs", 20, "epochs");
+  double* lr = flags.AddDouble("lr", 0.1, "rate");
+  bool* verbose = flags.AddBool("verbose", false, "talk");
+  std::string* name = flags.AddString("name", "eos", "name");
+  std::vector<std::string> args;
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(*epochs, 20);
+  EXPECT_DOUBLE_EQ(*lr, 0.1);
+  EXPECT_FALSE(*verbose);
+  EXPECT_EQ(*name, "eos");
+}
+
+TEST(FlagsTest, EqualsAndSpaceForms) {
+  FlagSet flags;
+  int64_t* a = flags.AddInt("a", 0, "");
+  int64_t* b = flags.AddInt("b", 0, "");
+  std::vector<std::string> args = {"--a=3", "--b", "7"};
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(*a, 3);
+  EXPECT_EQ(*b, 7);
+}
+
+TEST(FlagsTest, BareBoolSetsTrue) {
+  FlagSet flags;
+  bool* v = flags.AddBool("verbose", false, "");
+  std::vector<std::string> args = {"--verbose"};
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(*v);
+}
+
+TEST(FlagsTest, BoolExplicitValues) {
+  FlagSet flags;
+  bool* v = flags.AddBool("x", true, "");
+  std::vector<std::string> args = {"--x=false"};
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_FALSE(*v);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags;
+  flags.AddInt("a", 0, "");
+  std::vector<std::string> args = {"--nope=1"};
+  auto argv = Argv(args);
+  Status s = flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BadIntegerFails) {
+  FlagSet flags;
+  flags.AddInt("a", 0, "");
+  std::vector<std::string> args = {"--a=xyz"};
+  auto argv = Argv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagSet flags;
+  flags.AddInt("a", 0, "");
+  std::vector<std::string> args = {"--a"};
+  auto argv = Argv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagSet flags;
+  flags.AddInt("a", 0, "doc for a");
+  std::vector<std::string> args = {"--help"};
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.Usage().find("doc for a"), std::string::npos);
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagSet flags;
+  int64_t* a = flags.AddInt("a", 0, "");
+  double* b = flags.AddDouble("b", 0.0, "");
+  std::vector<std::string> args = {"--a=-5", "--b=-2.5"};
+  auto argv = Argv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(*a, -5);
+  EXPECT_DOUBLE_EQ(*b, -2.5);
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,141 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace eos {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(7, 1);
+  Rng b(7, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+class RngSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedTest, UniformInUnitInterval) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    float u = rng.Uniform();
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST_P(RngSeedTest, UniformIntCoversRangeUniformly) {
+  Rng rng(GetParam());
+  constexpr int64_t kBuckets = 7;
+  std::vector<int64_t> counts(kBuckets, 0);
+  constexpr int kDraws = 14000;
+  for (int i = 0; i < kDraws; ++i) {
+    int64_t v = rng.UniformInt(kBuckets);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kBuckets);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / double(kBuckets),
+                kDraws / double(kBuckets) * 0.2);
+  }
+}
+
+TEST_P(RngSeedTest, NormalMomentsMatch) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    float x = rng.Normal();
+    sum += x;
+    sq += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+                         ::testing::Values(1u, 42u, 12345u, 999999u));
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LT(v, 9);
+  }
+  // n = 1 always yields 0.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(1), 0);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, CategoricalRespectsZeroWeights) {
+  Rng rng(11);
+  std::vector<float> w = {0.0f, 1.0f, 0.0f, 2.0f};
+  std::vector<int64_t> counts(4, 0);
+  for (int i = 0; i < 3000; ++i) {
+    int64_t c = rng.Categorical(w);
+    ASSERT_TRUE(c == 1 || c == 3);
+    ++counts[static_cast<size_t>(c)];
+  }
+  // Weight-2 bucket should get about twice the draws of weight-1.
+  EXPECT_NEAR(static_cast<double>(counts[3]) / counts[1], 2.0, 0.4);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentContinuation) {
+  Rng parent(77);
+  Rng child = parent.Fork();
+  uint32_t c0 = child.Next();
+  // A fresh parent forked identically yields the same child sequence.
+  Rng parent2(77);
+  Rng child2 = parent2.Fork();
+  EXPECT_EQ(child2.Next(), c0);
+}
+
+}  // namespace
+}  // namespace eos

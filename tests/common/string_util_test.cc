@@ -1,0 +1,92 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace eos {
+namespace {
+
+TEST(StrSplitTest, Basic) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  auto parts = StrSplit(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrSplitTest, NoSeparator) {
+  auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrJoinTest, RoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, "-"), "x-y-z");
+  EXPECT_EQ(StrJoin({}, "-"), "");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "ok", 1.5), "7-ok-1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StrTrimTest, TrimsWhitespace) {
+  EXPECT_EQ(StrTrim("  hi \n"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("inner space kept"), "inner space kept");
+}
+
+TEST(FormatMetricTest, PaperStyle) {
+  EXPECT_EQ(FormatMetric(0.7581), ".7581");
+  EXPECT_EQ(FormatMetric(0.7581, 2), ".76");
+  EXPECT_EQ(FormatMetric(0.7581, 4, /*leading_zero=*/true), "0.7581");
+  EXPECT_EQ(FormatMetric(1.25), "1.2500");
+  EXPECT_EQ(FormatMetric(-0.5), "-.5000");
+}
+
+TEST(CsvWriterTest, WritesAndEscapes) {
+  std::string path = ::testing::TempDir() + "/eos_csv_test.csv";
+  {
+    CsvWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.WriteRow({"a", "with,comma", "with\"quote"}).ok());
+    ASSERT_TRUE(writer.WriteRow("row", {1.0, 2.5}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+  EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(content.find("row,1,2.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, OpenFailsOnBadPath) {
+  CsvWriter writer;
+  EXPECT_EQ(writer.Open("/nonexistent-dir/x.csv").code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvWriterTest, WriteBeforeOpenFails) {
+  CsvWriter writer;
+  EXPECT_EQ(writer.WriteRow({"x"}).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,134 @@
+#include "core/decoupling.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/weight_norms.h"
+#include "nn/linear.h"
+#include "nn/resnet.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+namespace {
+
+FeatureSet ImbalancedBlobs(int64_t majority, int64_t minority, int64_t dim,
+                           uint64_t seed) {
+  Rng rng(seed);
+  FeatureSet out;
+  out.num_classes = 2;
+  out.features = Tensor({majority + minority, dim});
+  for (int64_t i = 0; i < majority + minority; ++i) {
+    bool is_minority = i >= majority;
+    for (int64_t j = 0; j < dim; ++j) {
+      float center = is_minority ? 2.5f : 0.0f;
+      out.features.at(i, j) = rng.Normal(center, 0.7f);
+    }
+    out.labels.push_back(is_minority ? 1 : 0);
+  }
+  return out;
+}
+
+nn::ImageClassifier HeadOnlyNet(int64_t dim, int64_t classes, uint64_t seed) {
+  Rng rng(seed);
+  nn::ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = classes;
+  nn::ImageClassifier net = nn::BuildResNet(config, rng);
+  net.feature_dim = dim;
+  net.head = std::make_unique<nn::Linear>(dim, classes, true, rng);
+  return net;
+}
+
+double MinorityRecall(nn::ImageClassifier& net, const FeatureSet& test) {
+  Tensor logits = net.head->Forward(test.features, false);
+  auto preds = ArgMaxRows(logits);
+  int64_t hit = 0;
+  int64_t total = 0;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    if (test.labels[static_cast<size_t>(i)] != 1) continue;
+    ++total;
+    if (preds[static_cast<size_t>(i)] == 1) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(total);
+}
+
+TEST(CrtTest, BalancedBatchesLiftMinorityRecall) {
+  FeatureSet train = ImbalancedBlobs(200, 8, 6, 1);
+  FeatureSet test = ImbalancedBlobs(40, 40, 6, 2);
+
+  HeadRetrainOptions options;
+  options.epochs = 10;
+
+  nn::ImageClassifier plain = HeadOnlyNet(6, 2, 3);
+  Rng rng1(4);
+  RetrainHead(plain, train, options, rng1);
+  double plain_recall = MinorityRecall(plain, test);
+
+  nn::ImageClassifier crt = HeadOnlyNet(6, 2, 3);
+  Rng rng2(4);
+  RetrainHeadClassBalanced(crt, train, options, rng2);
+  double crt_recall = MinorityRecall(crt, test);
+
+  EXPECT_GE(crt_recall, plain_recall);
+  EXPECT_GT(crt_recall, 0.7);
+}
+
+TEST(CrtTest, LearnsBalancedDataAsWellAsPlain) {
+  FeatureSet train = ImbalancedBlobs(60, 60, 6, 5);
+  nn::ImageClassifier net = HeadOnlyNet(6, 2, 6);
+  HeadRetrainOptions options;
+  options.epochs = 10;
+  Rng rng(7);
+  RetrainHeadClassBalanced(net, train, options, rng);
+  Tensor logits = net.head->Forward(train.features, false);
+  auto preds = ArgMaxRows(logits);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < train.size(); ++i) {
+    if (preds[static_cast<size_t>(i)] ==
+        train.labels[static_cast<size_t>(i)]) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / train.size(), 0.85);
+}
+
+TEST(TauNormTest, FullyEqualizesNormsAtTauOne) {
+  nn::ImageClassifier net = HeadOnlyNet(8, 3, 8);
+  // Skew the rows.
+  auto* linear = dynamic_cast<nn::Linear*>(net.head.get());
+  ASSERT_NE(linear, nullptr);
+  ScaleInPlace(linear->weight().value, 1.0f);
+  float* w = linear->weight().value.data();
+  for (int64_t j = 0; j < 8; ++j) w[j] *= 10.0f;  // class 0 row huge
+
+  TauNormalizeHead(net, 1.0);
+  auto norms = ClassifierWeightNorms(linear->weight().value);
+  for (double n : norms) EXPECT_NEAR(n, 1.0, 1e-4);
+}
+
+TEST(TauNormTest, TauZeroIsIdentity) {
+  nn::ImageClassifier net = HeadOnlyNet(8, 3, 9);
+  auto* linear = dynamic_cast<nn::Linear*>(net.head.get());
+  Tensor before = linear->weight().value.Clone();
+  TauNormalizeHead(net, 0.0);
+  for (int64_t i = 0; i < before.numel(); ++i) {
+    ASSERT_FLOAT_EQ(linear->weight().value.data()[i], before.data()[i]);
+  }
+}
+
+TEST(TauNormTest, PartialTauReducesRatio) {
+  nn::ImageClassifier net = HeadOnlyNet(8, 3, 10);
+  auto* linear = dynamic_cast<nn::Linear*>(net.head.get());
+  float* w = linear->weight().value.data();
+  for (int64_t j = 0; j < 8; ++j) w[j] *= 5.0f;
+  double before = WeightNormRatio(
+      ClassifierWeightNorms(linear->weight().value));
+  TauNormalizeHead(net, 0.5);
+  double after = WeightNormRatio(
+      ClassifierWeightNorms(linear->weight().value));
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 1.0);
+}
+
+}  // namespace
+}  // namespace eos

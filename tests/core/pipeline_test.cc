@@ -1,0 +1,157 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "sampling/eos.h"
+
+namespace eos {
+namespace {
+
+ExperimentConfig TinyConfig(uint64_t seed = 1) {
+  ExperimentConfig config;
+  config.dataset = DatasetKind::kCifar10Like;
+  config.synth.image_size = 10;
+  config.synth.noise_stddev = 0.06f;
+  config.max_per_class = 30;
+  config.imbalance_ratio = 10.0;
+  config.test_per_class = 8;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.phase1.epochs = 5;
+  config.phase1.batch_size = 32;
+  config.phase1.lr = 0.05;
+  config.phase1.augment = false;
+  config.head.epochs = 8;
+  config.seed = seed;
+  return config;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new ExperimentPipeline(TinyConfig());
+    pipeline_->Prepare();
+    pipeline_->TrainPhase1();
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static ExperimentPipeline* pipeline_;
+};
+
+ExperimentPipeline* PipelineTest::pipeline_ = nullptr;
+
+TEST_F(PipelineTest, PrepareProducesImbalancedTrainBalancedTest) {
+  auto counts = pipeline_->train_counts();
+  EXPECT_EQ(counts[0], 30);
+  EXPECT_EQ(counts[9], 3);
+  auto test_counts = pipeline_->test().ClassCounts();
+  for (int64_t c : test_counts) EXPECT_EQ(c, 8);
+}
+
+TEST_F(PipelineTest, EmbeddingsCachedWithRightShapes) {
+  EXPECT_EQ(pipeline_->train_embeddings().size(), pipeline_->train().size());
+  EXPECT_EQ(pipeline_->test_embeddings().size(), pipeline_->test().size());
+  EXPECT_EQ(pipeline_->train_embeddings().dim(), 32);  // 4 * base_width
+}
+
+TEST_F(PipelineTest, BaselineBeatsChance) {
+  EvalOutputs baseline = pipeline_->EvaluateBaseline();
+  EXPECT_GT(baseline.metrics.bac, 0.2);  // chance = 0.1
+  EXPECT_EQ(baseline.per_class_recall.size(), 10u);
+  EXPECT_EQ(baseline.weight_norms.size(), 10u);
+}
+
+TEST_F(PipelineTest, RunSamplerIsRepeatable) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kSmote;
+  EvalOutputs a = pipeline_->RunSampler(config);
+  EvalOutputs b = pipeline_->RunSampler(config);
+  // Different sampler RNG forks -> results may differ slightly, but the
+  // phase-1 head restoration must keep the baseline unchanged.
+  EvalOutputs baseline1 = pipeline_->EvaluateBaseline();
+  EvalOutputs baseline2 = pipeline_->EvaluateBaseline();
+  EXPECT_DOUBLE_EQ(baseline1.metrics.bac, baseline2.metrics.bac);
+  EXPECT_GT(a.metrics.bac, 0.1);
+  EXPECT_GT(b.metrics.bac, 0.1);
+}
+
+TEST_F(PipelineTest, EosReducesGapVersusSmote) {
+  // Figure 3's claim at test scale: EOS expands minority FE ranges, so its
+  // augmented-train-vs-test gap must be below SMOTE's (which cannot expand
+  // ranges at all). SMOTE's gap equals the baseline's by construction.
+  EvalOutputs baseline = pipeline_->EvaluateBaseline();
+  SamplerConfig smote;
+  smote.kind = SamplerKind::kSmote;
+  EvalOutputs smote_out = pipeline_->RunSampler(smote);
+  SamplerConfig eos_config;
+  eos_config.kind = SamplerKind::kEos;
+  eos_config.k_neighbors = 10;
+  EvalOutputs eos_out = pipeline_->RunSampler(eos_config);
+
+  EXPECT_NEAR(smote_out.gap.mean, baseline.gap.mean, 1e-9);
+  EXPECT_LT(eos_out.gap.mean, smote_out.gap.mean);
+}
+
+TEST_F(PipelineTest, SamplersImproveMinorityRecall) {
+  EvalOutputs baseline = pipeline_->EvaluateBaseline();
+  SamplerConfig eos_config;
+  eos_config.kind = SamplerKind::kEos;
+  eos_config.k_neighbors = 10;
+  EvalOutputs eos_out = pipeline_->RunSampler(eos_config);
+  // Mean recall over the three most minority classes.
+  auto tail_recall = [](const EvalOutputs& out) {
+    return (out.per_class_recall[7] + out.per_class_recall[8] +
+            out.per_class_recall[9]) /
+           3.0;
+  };
+  EXPECT_GE(tail_recall(eos_out), tail_recall(baseline) - 1e-9);
+}
+
+TEST(PipelineStandaloneTest, CustomSamplerOverloadMatchesConfig) {
+  ExperimentConfig config = TinyConfig(21);
+  config.max_per_class = 20;
+  config.phase1.epochs = 3;
+  ExperimentPipeline pipeline(config);
+  pipeline.Prepare();
+  pipeline.TrainPhase1();
+  ExpansiveOversampler eos_sampler(10, EosMode::kConvex);
+  EvalOutputs out = pipeline.RunSampler(eos_sampler);
+  EXPECT_GT(out.metrics.bac, 0.1);
+  EXPECT_GT(out.seconds, 0.0);
+}
+
+TEST(PipelineStandaloneTest, PixelSpacePipelineRuns) {
+  ExperimentConfig config = TinyConfig(31);
+  config.max_per_class = 16;
+  config.test_per_class = 4;
+  config.phase1.epochs = 2;
+  SamplerConfig sampler_config;
+  sampler_config.kind = SamplerKind::kSmote;
+  auto sampler = MakeOversampler(sampler_config);
+  EvalOutputs out = RunPixelSpacePipeline(config, *sampler);
+  EXPECT_GT(out.metrics.bac, 0.05);
+  EXPECT_EQ(out.per_class_recall.size(), 10u);
+  EXPECT_GT(out.seconds, 0.0);
+}
+
+TEST(PipelineStandaloneTest, LdamConfigUsesNormHeadAndTrains) {
+  ExperimentConfig config = TinyConfig(41);
+  config.test_per_class = 4;
+  config.phase1.epochs = 5;
+  config.phase1.lr = 0.02;
+  config.loss.kind = LossKind::kLdam;
+  ExperimentPipeline pipeline(config);
+  pipeline.Prepare();
+  pipeline.TrainPhase1();
+  EvalOutputs baseline = pipeline.EvaluateBaseline();
+  EXPECT_GT(baseline.metrics.bac, 0.1);
+  SamplerConfig eos_config;
+  eos_config.kind = SamplerKind::kEos;
+  EvalOutputs eos_out = pipeline.RunSampler(eos_config);
+  EXPECT_GT(eos_out.metrics.bac, 0.1);
+}
+
+}  // namespace
+}  // namespace eos

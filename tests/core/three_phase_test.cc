@@ -1,0 +1,161 @@
+#include "core/three_phase.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/resnet.h"
+#include "sampling/eos.h"
+#include "sampling/smote.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+namespace {
+
+// A classifier-head task that skips CNN training entirely: hand-made
+// embeddings with an imbalanced, linearly separable structure.
+FeatureSet BlobEmbeddings(int64_t majority, int64_t minority, int64_t dim,
+                          uint64_t seed) {
+  Rng rng(seed);
+  FeatureSet out;
+  out.num_classes = 2;
+  out.features = Tensor({majority + minority, dim});
+  for (int64_t i = 0; i < majority + minority; ++i) {
+    bool is_minority = i >= majority;
+    for (int64_t j = 0; j < dim; ++j) {
+      float center = is_minority ? (j == 0 ? 3.0f : 0.8f) : 0.0f;
+      out.features.at(i, j) = rng.Normal(center, 0.6f);
+    }
+    out.labels.push_back(is_minority ? 1 : 0);
+  }
+  return out;
+}
+
+nn::ImageClassifier HeadOnlyNet(int64_t dim, int64_t classes, uint64_t seed) {
+  Rng rng(seed);
+  nn::ImageClassifier net;
+  net.feature_dim = dim;
+  net.num_classes = classes;
+  // The extractor is unused by head-retraining tests but must exist.
+  nn::ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = classes;
+  nn::ImageClassifier built = nn::BuildResNet(config, rng);
+  net.extractor = std::move(built.extractor);
+  net.head = std::make_unique<nn::Linear>(dim, classes, true, rng);
+  return net;
+}
+
+TEST(HeadStateTest, SaveRestoreRoundTrip) {
+  nn::ImageClassifier net = HeadOnlyNet(4, 2, 1);
+  auto state = SaveHeadState(net);
+  // Mutate, then restore.
+  for (nn::Parameter* p : net.head->Parameters()) p->value.Fill(99.0f);
+  RestoreHeadState(net, state);
+  auto params = net.head->Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (int64_t j = 0; j < params[i]->value.numel(); ++j) {
+      ASSERT_EQ(params[i]->value.data()[j], state[i].data()[j]);
+    }
+  }
+}
+
+TEST(HeadStateTest, SnapshotIsIndependentCopy) {
+  nn::ImageClassifier net = HeadOnlyNet(4, 2, 2);
+  auto state = SaveHeadState(net);
+  float before = state[0].data()[0];
+  net.head->Parameters()[0]->value.Fill(5.0f);
+  EXPECT_EQ(state[0].data()[0], before);
+}
+
+TEST(RetrainHeadTest, LearnsSeparableEmbeddings) {
+  FeatureSet data = BlobEmbeddings(60, 60, 8, 3);
+  nn::ImageClassifier net = HeadOnlyNet(8, 2, 4);
+  HeadRetrainOptions options;
+  options.epochs = 30;
+  options.batch_size = 16;
+  options.lr = 0.1;
+  Rng rng(5);
+  RetrainHead(net, data, options, rng);
+  Tensor logits = net.head->Forward(data.features, false);
+  auto preds = ArgMaxRows(logits);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < data.size(); ++i) {
+    if (preds[static_cast<size_t>(i)] == data.labels[static_cast<size_t>(i)]) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.9);
+}
+
+TEST(RetrainHeadTest, BalancedRetrainLiftsMinorityRecall) {
+  // Imbalanced embeddings: head trained raw vs head trained on an
+  // EOS-balanced set. Minority recall should improve (the paper's claim at
+  // the heart of Table II).
+  FeatureSet train = BlobEmbeddings(150, 10, 8, 7);
+  FeatureSet test = BlobEmbeddings(50, 50, 8, 8);
+
+  auto minority_recall = [&](nn::ImageClassifier& net) {
+    Tensor logits = net.head->Forward(test.features, false);
+    auto preds = ArgMaxRows(logits);
+    int64_t hit = 0;
+    int64_t total = 0;
+    for (int64_t i = 0; i < test.size(); ++i) {
+      if (test.labels[static_cast<size_t>(i)] != 1) continue;
+      ++total;
+      if (preds[static_cast<size_t>(i)] == 1) ++hit;
+    }
+    return static_cast<double>(hit) / static_cast<double>(total);
+  };
+
+  HeadRetrainOptions options;
+  options.epochs = 15;
+
+  nn::ImageClassifier raw_net = HeadOnlyNet(8, 2, 9);
+  Rng rng1(10);
+  RetrainHead(raw_net, train, options, rng1);
+  double raw_recall = minority_recall(raw_net);
+
+  nn::ImageClassifier balanced_net = HeadOnlyNet(8, 2, 9);
+  ExpansiveOversampler eos_sampler(10);
+  Rng rng2(10);
+  FeatureSet balanced = eos_sampler.Resample(train, rng2);
+  RetrainHead(balanced_net, balanced, options, rng2);
+  double balanced_recall = minority_recall(balanced_net);
+
+  EXPECT_GE(balanced_recall, raw_recall);
+  EXPECT_GT(balanced_recall, 0.6);
+}
+
+TEST(RetrainHeadTest, ReinitChangesWeightsFromPhase1) {
+  FeatureSet data = BlobEmbeddings(20, 20, 4, 11);
+  nn::ImageClassifier net = HeadOnlyNet(4, 2, 12);
+  auto phase1 = SaveHeadState(net);
+  HeadRetrainOptions options;
+  options.epochs = 1;
+  options.reinit_head = true;
+  Rng rng(13);
+  RetrainHead(net, data, options, rng);
+  // Weights must differ from the phase-1 snapshot.
+  auto params = net.head->Parameters();
+  double diff = 0.0;
+  for (size_t i = 0; i < params.size(); ++i) {
+    diff += Sum(Mul(Sub(params[i]->value, phase1[i]),
+                    Sub(params[i]->value, phase1[i])));
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(RetrainHeadTest, EpochCallbackCounts) {
+  FeatureSet data = BlobEmbeddings(10, 10, 4, 14);
+  nn::ImageClassifier net = HeadOnlyNet(4, 2, 15);
+  HeadRetrainOptions options;
+  options.epochs = 4;
+  Rng rng(16);
+  int64_t calls = 0;
+  RetrainHead(net, data, options, rng, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 4);
+}
+
+}  // namespace
+}  // namespace eos

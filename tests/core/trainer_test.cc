@@ -1,0 +1,134 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_images.h"
+#include "data/transforms.h"
+#include "losses/cross_entropy.h"
+#include "nn/resnet.h"
+
+namespace eos {
+namespace {
+
+// Small shared fixture: a 2-class-ish easy task via CIFAR10-like data
+// restricted to few classes would complicate labels, so use a tiny balanced
+// CIFAR10-like set at low noise — learnable by a ResNet-8 in a few epochs.
+struct TinyTask {
+  Dataset train;
+  Dataset test;
+  nn::ImageClassifier net;
+
+  explicit TinyTask(uint64_t seed = 1, int64_t per_class = 12,
+                    int64_t image_size = 10) {
+    SyntheticConfig config;
+    config.image_size = image_size;
+    config.noise_stddev = 0.05f;
+    SyntheticImageGenerator generator(DatasetKind::kCifar10Like, config);
+    Rng train_rng(seed);
+    Rng test_rng(seed + 1000);
+    train = generator.GenerateBalanced(per_class, train_rng);
+    test = generator.GenerateBalanced(4, test_rng);
+    ChannelStats stats = ComputeChannelStats(train.images);
+    NormalizeChannels(train.images, stats);
+    NormalizeChannels(test.images, stats);
+
+    Rng net_rng(seed + 2000);
+    nn::ResNetConfig rc;
+    rc.blocks_per_stage = 1;
+    rc.base_width = 8;
+    rc.num_classes = 10;
+    net = nn::BuildResNet(rc, net_rng);
+  }
+};
+
+TEST(TrainerTest, LossDecreasesAndAccuracyBeatsChance) {
+  TinyTask task;
+  CrossEntropyLoss loss;
+  Tensor logits0 = task.net.Forward(task.train.images, false);
+  float initial = loss.Compute(logits0, task.train.labels, nullptr);
+
+  TrainerOptions options;
+  options.epochs = 8;
+  options.batch_size = 32;
+  options.lr = 0.05;
+  options.augment = false;
+  Rng rng(3);
+  TrainEndToEnd(task.net, loss, task.train, options, rng);
+
+  Tensor logits1 = task.net.Forward(task.train.images, false);
+  float trained = loss.Compute(logits1, task.train.labels, nullptr);
+  EXPECT_LT(trained, initial * 0.7f);
+
+  SkewMetrics metrics = Evaluate(task.net, task.test);
+  EXPECT_GT(metrics.bac, 0.3);  // chance = 0.1
+}
+
+TEST(TrainerTest, AugmentationPathRuns) {
+  TinyTask task(7);
+  CrossEntropyLoss loss;
+  TrainerOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  options.augment = true;
+  options.crop_pad = 1;
+  Rng rng(5);
+  TrainEndToEnd(task.net, loss, task.train, options, rng);
+  SkewMetrics metrics = Evaluate(task.net, task.test);
+  EXPECT_GE(metrics.bac, 0.0);
+}
+
+TEST(TrainerTest, EpochCallbackFiresEveryEpoch) {
+  TinyTask task(9, /*per_class=*/4, /*image_size=*/8);
+  CrossEntropyLoss loss;
+  TrainerOptions options;
+  options.epochs = 3;
+  options.batch_size = 16;
+  options.augment = false;
+  Rng rng(7);
+  std::vector<int64_t> epochs;
+  TrainEndToEnd(task.net, loss, task.train, options, rng, nullptr,
+                [&](int64_t e) { epochs.push_back(e); });
+  EXPECT_EQ(epochs, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(TrainerTest, PredictMatchesEvaluateConfusion) {
+  TinyTask task(11, 4, 8);
+  auto preds = Predict(task.net, task.test.images);
+  ConfusionMatrix confusion = EvaluateConfusion(task.net, task.test);
+  ASSERT_EQ(static_cast<int64_t>(preds.size()), task.test.size());
+  int64_t diag = 0;
+  for (int64_t i = 0; i < task.test.size(); ++i) {
+    if (preds[static_cast<size_t>(i)] ==
+        task.test.labels[static_cast<size_t>(i)]) {
+      ++diag;
+    }
+  }
+  int64_t diag_confusion = 0;
+  for (int64_t c = 0; c < 10; ++c) diag_confusion += confusion.TruePositives(c);
+  EXPECT_EQ(diag, diag_confusion);
+}
+
+TEST(TrainerTest, ExtractEmbeddingsShapeAndLabels) {
+  TinyTask task(13, 4, 8);
+  FeatureSet fe = ExtractEmbeddings(task.net, task.test);
+  EXPECT_EQ(fe.size(), task.test.size());
+  EXPECT_EQ(fe.dim(), task.net.feature_dim);
+  EXPECT_EQ(fe.labels, task.test.labels);
+  EXPECT_EQ(fe.num_classes, 10);
+  // Post-GAP-of-ReLU embeddings are non-negative for this architecture.
+  for (int64_t i = 0; i < fe.features.numel(); ++i) {
+    ASSERT_GE(fe.features.data()[i], 0.0f);
+  }
+}
+
+TEST(TrainerTest, EmbeddingsDeterministicInEvalMode) {
+  TinyTask task(15, 4, 8);
+  FeatureSet a = ExtractEmbeddings(task.net, task.test);
+  FeatureSet b = ExtractEmbeddings(task.net, task.test);
+  for (int64_t i = 0; i < a.features.numel(); ++i) {
+    ASSERT_EQ(a.features.data()[i], b.features.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace eos

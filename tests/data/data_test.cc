@@ -1,0 +1,261 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "data/imbalance.h"
+#include "data/transforms.h"
+
+namespace eos {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.images = Tensor({6, 1, 2, 2});
+  for (int64_t i = 0; i < d.images.numel(); ++i) {
+    d.images.data()[i] = static_cast<float>(i);
+  }
+  d.labels = {0, 1, 0, 2, 1, 0};
+  d.num_classes = 3;
+  return d;
+}
+
+TEST(DatasetTest, ClassCountsAndIndices) {
+  Dataset d = TinyDataset();
+  auto counts = d.ClassCounts();
+  EXPECT_EQ(counts, (std::vector<int64_t>{3, 2, 1}));
+  EXPECT_EQ(d.ClassIndices(0), (std::vector<int64_t>{0, 2, 5}));
+  EXPECT_EQ(d.ClassIndices(2), (std::vector<int64_t>{3}));
+}
+
+TEST(DatasetTest, SelectExamplesKeepsAlignment) {
+  Dataset d = TinyDataset();
+  Dataset s = SelectExamples(d, {3, 0});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.labels[0], 2);
+  EXPECT_EQ(s.labels[1], 0);
+  // Image 3 starts at flat offset 12.
+  EXPECT_EQ(s.images.at(0, 0, 0, 0), 12.0f);
+}
+
+TEST(DatasetTest, ShuffleKeepsImageLabelPairs) {
+  Dataset d = TinyDataset();
+  // Tag: image's first pixel equals 4 * original index; remember pairing.
+  Rng rng(3);
+  ShuffleDataset(d, rng);
+  EXPECT_EQ(d.size(), 6);
+  std::vector<int64_t> original_labels = {0, 1, 0, 2, 1, 0};
+  for (int64_t i = 0; i < d.size(); ++i) {
+    int64_t orig = static_cast<int64_t>(d.images.at(i, 0, 0, 0)) / 4;
+    EXPECT_EQ(d.labels[static_cast<size_t>(i)],
+              original_labels[static_cast<size_t>(orig)]);
+  }
+}
+
+TEST(FeatureSetTest, CountsAndSelect) {
+  FeatureSet f;
+  f.features = Tensor::FromVector({4, 2}, {0, 0, 1, 1, 2, 2, 3, 3});
+  f.labels = {1, 0, 1, 1};
+  f.num_classes = 2;
+  EXPECT_EQ(f.ClassCounts(), (std::vector<int64_t>{1, 3}));
+  FeatureSet s = SelectFeatures(f, {2, 1});
+  EXPECT_EQ(s.labels, (std::vector<int64_t>{1, 0}));
+  EXPECT_EQ(s.features.at(0, 0), 2.0f);
+}
+
+TEST(ImbalanceTest, ExponentialProfile) {
+  auto counts = ImbalancedCounts(10, 1000, 100.0, ImbalanceType::kExponential);
+  EXPECT_EQ(counts[0], 1000);
+  EXPECT_EQ(counts[9], 10);
+  // Monotone decreasing.
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LE(counts[i], counts[i - 1]);
+  }
+  EXPECT_NEAR(RealizedImbalanceRatio(counts), 100.0, 1.0);
+}
+
+TEST(ImbalanceTest, ExponentialIntermediateFollowsPowerLaw) {
+  auto counts = ImbalancedCounts(11, 10000, 100.0,
+                                 ImbalanceType::kExponential);
+  // Halfway class should be at sqrt(1/100) = 1/10 of max.
+  EXPECT_NEAR(static_cast<double>(counts[5]), 1000.0, 10.0);
+}
+
+TEST(ImbalanceTest, StepProfile) {
+  auto counts = ImbalancedCounts(6, 100, 10.0, ImbalanceType::kStep);
+  EXPECT_EQ(counts, (std::vector<int64_t>{100, 100, 100, 10, 10, 10}));
+}
+
+TEST(ImbalanceTest, CountsNeverBelowOne) {
+  auto counts = ImbalancedCounts(10, 5, 100.0, ImbalanceType::kExponential);
+  for (int64_t c : counts) EXPECT_GE(c, 1);
+}
+
+TEST(ImbalanceTest, RatioOneIsBalanced) {
+  auto counts = ImbalancedCounts(4, 50, 1.0, ImbalanceType::kExponential);
+  for (int64_t c : counts) EXPECT_EQ(c, 50);
+}
+
+TEST(BatcherTest, CoversAllIndicesOnce) {
+  Rng rng(1);
+  auto batches = MakeBatches(10, 3, &rng);
+  EXPECT_EQ(batches.size(), 4u);
+  std::set<int64_t> seen;
+  for (const auto& b : batches) {
+    for (int64_t i : b) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(batches.back().size(), 1u);
+}
+
+TEST(BatcherTest, NoRngPreservesOrder) {
+  auto batches = MakeBatches(5, 2, nullptr);
+  EXPECT_EQ(batches[0], (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(batches[2], (std::vector<int64_t>{4}));
+}
+
+TEST(BatcherTest, BalancedBatchesEqualizeClassMass) {
+  Rng rng(2);
+  std::vector<int64_t> labels;
+  for (int i = 0; i < 90; ++i) labels.push_back(0);
+  for (int i = 0; i < 10; ++i) labels.push_back(1);
+  auto batches = MakeBalancedBatches(labels, 2, 16, rng);
+  int64_t count0 = 0;
+  int64_t count1 = 0;
+  for (const auto& b : batches) {
+    for (int64_t i : b) {
+      if (labels[static_cast<size_t>(i)] == 0) {
+        ++count0;
+      } else {
+        ++count1;
+      }
+    }
+  }
+  EXPECT_EQ(count0, count1);
+  EXPECT_EQ(count0, 90);  // minority upsampled to majority size
+}
+
+TEST(StratifiedSplitTest, PreservesPerClassFractions) {
+  Dataset d;
+  d.num_classes = 3;
+  d.images = Tensor({100, 1, 2, 2});
+  for (int i = 0; i < 60; ++i) d.labels.push_back(0);
+  for (int i = 0; i < 30; ++i) d.labels.push_back(1);
+  for (int i = 0; i < 10; ++i) d.labels.push_back(2);
+  Rng rng(5);
+  DatasetSplit split = StratifiedSplit(d, 0.8, rng);
+  auto first = split.first.ClassCounts();
+  auto second = split.second.ClassCounts();
+  EXPECT_EQ(first[0], 48);
+  EXPECT_EQ(second[0], 12);
+  EXPECT_EQ(first[1], 24);
+  EXPECT_EQ(second[1], 6);
+  EXPECT_EQ(first[2], 8);
+  EXPECT_EQ(second[2], 2);
+  EXPECT_EQ(split.first.size() + split.second.size(), d.size());
+}
+
+TEST(StratifiedSplitTest, TinyClassesOnBothSides) {
+  Dataset d;
+  d.num_classes = 2;
+  d.images = Tensor({22, 1, 1, 1});
+  for (int i = 0; i < 20; ++i) d.labels.push_back(0);
+  d.labels.push_back(1);
+  d.labels.push_back(1);
+  Rng rng(6);
+  DatasetSplit split = StratifiedSplit(d, 0.9, rng);
+  // Class 1 has 2 members: one must land on each side despite 0.9.
+  EXPECT_EQ(split.first.ClassCounts()[1], 1);
+  EXPECT_EQ(split.second.ClassCounts()[1], 1);
+}
+
+TEST(StratifiedSplitTest, NoRowDuplicatedOrLost) {
+  Dataset d;
+  d.num_classes = 2;
+  d.images = Tensor({10, 1, 1, 1});
+  for (int64_t i = 0; i < 10; ++i) {
+    d.images.data()[i] = static_cast<float>(i);
+    d.labels.push_back(i % 2);
+  }
+  Rng rng(7);
+  DatasetSplit split = StratifiedSplit(d, 0.5, rng);
+  std::multiset<float> seen;
+  for (int64_t i = 0; i < split.first.size(); ++i) {
+    seen.insert(split.first.images.data()[i]);
+  }
+  for (int64_t i = 0; i < split.second.size(); ++i) {
+    seen.insert(split.second.images.data()[i]);
+  }
+  ASSERT_EQ(seen.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen.count(static_cast<float>(i)), 1u);
+  }
+}
+
+TEST(TransformsTest, NormalizeProducesZeroMeanUnitStd) {
+  Rng rng(3);
+  Tensor images = Tensor::Uniform({20, 3, 8, 8}, 0.0f, 1.0f, rng);
+  ChannelStats stats = ComputeChannelStats(images);
+  NormalizeChannels(images, stats);
+  ChannelStats after = ComputeChannelStats(images);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(after.mean[static_cast<size_t>(c)], 0.0f, 1e-4f);
+    EXPECT_NEAR(after.stddev[static_cast<size_t>(c)], 1.0f, 1e-3f);
+  }
+}
+
+TEST(TransformsTest, RandomCropPreservesShapeAndValues) {
+  Rng rng(4);
+  Tensor batch = Tensor::Uniform({4, 3, 8, 8}, 0.0f, 1.0f, rng);
+  auto shape = batch.shape();
+  Tensor before = batch.Clone();
+  RandomCrop(batch, 1, rng);
+  EXPECT_EQ(batch.shape(), shape);
+  // Reflection padding only rearranges values from the original image:
+  // every value in the crop must appear in the original image.
+  std::multiset<float> pool(before.data(), before.data() + before.numel());
+  for (int64_t i = 0; i < batch.numel(); ++i) {
+    ASSERT_TRUE(pool.count(batch.data()[i]) > 0);
+  }
+}
+
+TEST(TransformsTest, FlipReversesRows) {
+  // With a seed that flips the single image, rows must reverse.
+  Tensor batch({1, 1, 1, 4});
+  batch.data()[0] = 1;
+  batch.data()[1] = 2;
+  batch.data()[2] = 3;
+  batch.data()[3] = 4;
+  // Find a seed whose first Bernoulli(0.5) is true.
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    Rng probe(seed);
+    if (probe.Bernoulli(0.5)) {
+      Rng rng(seed);
+      RandomHorizontalFlip(batch, rng);
+      EXPECT_EQ(batch.data()[0], 4.0f);
+      EXPECT_EQ(batch.data()[3], 1.0f);
+      return;
+    }
+  }
+  FAIL() << "no flipping seed found";
+}
+
+TEST(TransformsTest, FlipTwiceIsIdentity) {
+  Rng rng1(7);
+  Rng rng2(7);
+  Tensor batch = Tensor::Uniform({3, 2, 4, 4}, 0.0f, 1.0f, rng1);
+  Tensor before = batch.Clone();
+  Rng flip_rng(11);
+  RandomHorizontalFlip(batch, flip_rng);
+  Rng flip_rng2(11);
+  RandomHorizontalFlip(batch, flip_rng2);
+  for (int64_t i = 0; i < batch.numel(); ++i) {
+    ASSERT_EQ(batch.data()[i], before.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace eos

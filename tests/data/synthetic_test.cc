@@ -1,0 +1,184 @@
+#include "data/synthetic_images.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/imbalance.h"
+
+namespace eos {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig config;
+  config.image_size = 12;
+  return config;
+}
+
+class AllKindsTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(AllKindsTest, GeneratesCorrectShapesAndRange) {
+  SyntheticImageGenerator generator(GetParam(), SmallConfig());
+  Rng rng(1);
+  Dataset d = generator.GenerateBalanced(3, rng);
+  EXPECT_EQ(d.size(), 3 * generator.num_classes());
+  EXPECT_EQ(d.images.size(1), 3);
+  EXPECT_EQ(d.images.size(2), 12);
+  EXPECT_EQ(d.num_classes, generator.num_classes());
+  for (int64_t i = 0; i < d.images.numel(); ++i) {
+    ASSERT_GE(d.images.data()[i], 0.0f);
+    ASSERT_LE(d.images.data()[i], 1.0f);
+  }
+  auto counts = d.ClassCounts();
+  for (int64_t c : counts) EXPECT_EQ(c, 3);
+}
+
+TEST_P(AllKindsTest, DeterministicGivenSeeds) {
+  SyntheticImageGenerator g1(GetParam(), SmallConfig());
+  SyntheticImageGenerator g2(GetParam(), SmallConfig());
+  Rng r1(5);
+  Rng r2(5);
+  Dataset a = g1.GenerateBalanced(2, r1);
+  Dataset b = g2.GenerateBalanced(2, r2);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.labels, b.labels);
+  for (int64_t i = 0; i < a.images.numel(); ++i) {
+    ASSERT_EQ(a.images.data()[i], b.images.data()[i]);
+  }
+}
+
+TEST_P(AllKindsTest, InstancesVaryWithinClass) {
+  SyntheticImageGenerator generator(GetParam(), SmallConfig());
+  Rng rng(2);
+  Dataset d = generator.GenerateBalanced(2, rng);
+  auto rows = d.ClassIndices(0);
+  ASSERT_EQ(rows.size(), 2u);
+  int64_t stride = d.images.numel() / d.size();
+  const float* a = d.images.data() + rows[0] * stride;
+  const float* b = d.images.data() + rows[1] * stride;
+  double diff = 0.0;
+  for (int64_t i = 0; i < stride; ++i) {
+    diff += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  EXPECT_GT(diff / static_cast<double>(stride), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllKindsTest,
+                         ::testing::Values(DatasetKind::kCifar10Like,
+                                           DatasetKind::kSvhnLike,
+                                           DatasetKind::kCifar100Like,
+                                           DatasetKind::kCelebALike));
+
+TEST(SyntheticTest, KindMetadata) {
+  EXPECT_EQ(DatasetKindClasses(DatasetKind::kCifar10Like), 10);
+  EXPECT_EQ(DatasetKindClasses(DatasetKind::kSvhnLike), 10);
+  EXPECT_EQ(DatasetKindClasses(DatasetKind::kCifar100Like), 100);
+  EXPECT_EQ(DatasetKindClasses(DatasetKind::kCelebALike), 5);
+  EXPECT_STREQ(DatasetKindName(DatasetKind::kCifar10Like), "CIFAR10-like");
+}
+
+TEST(SyntheticTest, ImbalancedGenerationMatchesRequestedCounts) {
+  SyntheticImageGenerator generator(DatasetKind::kCifar10Like, SmallConfig());
+  auto requested =
+      ImbalancedCounts(10, 20, 10.0, ImbalanceType::kExponential);
+  Rng rng(3);
+  Dataset d = generator.Generate(requested, rng);
+  EXPECT_EQ(d.ClassCounts(), requested);
+}
+
+// Classes must be learnable: a nearest-class-mean classifier in raw pixel
+// space, fit on one sample and evaluated on a disjoint one, should beat
+// chance by a wide margin (i.i.d. train/test draws).
+TEST(SyntheticTest, ClassesAreSeparableByCentroids) {
+  SyntheticConfig config = SmallConfig();
+  config.noise_stddev = 0.08f;
+  SyntheticImageGenerator generator(DatasetKind::kCifar10Like, config);
+  Rng train_rng(10);
+  Rng test_rng(20);
+  Dataset train = generator.GenerateBalanced(30, train_rng);
+  Dataset test = generator.GenerateBalanced(10, test_rng);
+  int64_t dim = train.images.numel() / train.size();
+
+  // Per-class pixel centroids.
+  std::vector<std::vector<double>> centroid(
+      10, std::vector<double>(static_cast<size_t>(dim), 0.0));
+  for (int64_t i = 0; i < train.size(); ++i) {
+    int64_t c = train.labels[static_cast<size_t>(i)];
+    const float* img = train.images.data() + i * dim;
+    for (int64_t j = 0; j < dim; ++j) {
+      centroid[static_cast<size_t>(c)][static_cast<size_t>(j)] += img[j];
+    }
+  }
+  for (auto& c : centroid) {
+    for (double& v : c) v /= 30.0;
+  }
+
+  int64_t correct = 0;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    const float* img = test.images.data() + i * dim;
+    int64_t best = -1;
+    double best_dist = 1e300;
+    for (int64_t c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (int64_t j = 0; j < dim; ++j) {
+        double diff = img[j] - centroid[static_cast<size_t>(c)]
+                                       [static_cast<size_t>(j)];
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    if (best == test.labels[static_cast<size_t>(i)]) ++correct;
+  }
+  double accuracy = static_cast<double>(correct) / test.size();
+  EXPECT_GT(accuracy, 0.4);  // chance is 0.1
+}
+
+// The designed confusability: a class's nearest other-centroid should often
+// be its shape-family sibling (the auto/truck analogue pairs 2k / 2k+1).
+TEST(SyntheticTest, SiblingClassesAreClosest) {
+  SyntheticConfig config = SmallConfig();
+  config.noise_stddev = 0.02f;
+  SyntheticImageGenerator generator(DatasetKind::kCifar10Like, config);
+  Rng rng(30);
+  Dataset d = generator.GenerateBalanced(40, rng);
+  int64_t dim = d.images.numel() / d.size();
+  std::vector<std::vector<double>> centroid(
+      10, std::vector<double>(static_cast<size_t>(dim), 0.0));
+  for (int64_t i = 0; i < d.size(); ++i) {
+    int64_t c = d.labels[static_cast<size_t>(i)];
+    const float* img = d.images.data() + i * dim;
+    for (int64_t j = 0; j < dim; ++j) {
+      centroid[static_cast<size_t>(c)][static_cast<size_t>(j)] += img[j];
+    }
+  }
+  for (auto& c : centroid) {
+    for (double& v : c) v /= 40.0;
+  }
+  int sibling_closest = 0;
+  for (int64_t c = 0; c < 10; ++c) {
+    int64_t best = -1;
+    double best_dist = 1e300;
+    for (int64_t o = 0; o < 10; ++o) {
+      if (o == c) continue;
+      double dist = 0.0;
+      for (int64_t j = 0; j < dim; ++j) {
+        double diff = centroid[static_cast<size_t>(c)][static_cast<size_t>(j)] -
+                      centroid[static_cast<size_t>(o)][static_cast<size_t>(j)];
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = o;
+      }
+    }
+    int64_t sibling = (c % 2 == 0) ? c + 1 : c - 1;
+    if (best == sibling) ++sibling_closest;
+  }
+  EXPECT_GE(sibling_closest, 5);  // majority of classes pair up
+}
+
+}  // namespace
+}  // namespace eos

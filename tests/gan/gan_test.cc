@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gan/bagan_like.h"
+#include "gan/cgan.h"
+#include "gan/deep_smote.h"
+#include "gan/gamo_like.h"
+#include "gan/gan_common.h"
+
+namespace eos {
+namespace {
+
+FeatureSet ImbalancedBlobs(int64_t majority = 40, int64_t minority = 8,
+                           uint64_t seed = 1) {
+  Rng rng(seed);
+  FeatureSet out;
+  out.num_classes = 2;
+  out.features = Tensor({majority + minority, 4});
+  for (int64_t i = 0; i < majority; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      out.features.at(i, j) = rng.Normal(0.0f, 0.5f);
+    }
+    out.labels.push_back(0);
+  }
+  for (int64_t i = 0; i < minority; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      out.features.at(majority + i, j) = rng.Normal(3.0f, 0.5f);
+    }
+    out.labels.push_back(1);
+  }
+  return out;
+}
+
+GanOptions FastOptions() {
+  GanOptions options;
+  options.epochs = 60;
+  options.hidden_dim = 32;
+  options.latent_dim = 8;
+  options.lr = 4e-3;
+  return options;
+}
+
+TEST(BceTest, MatchesManualValues) {
+  Tensor logits = Tensor::FromVector({2}, {0.0f, 2.0f});
+  Tensor grad;
+  float loss = BceWithLogits(logits, {1.0f, 0.0f}, &grad);
+  // -log sigmoid(0) = log 2; -log(1 - sigmoid(2)) = softplus(2).
+  float expected =
+      (std::log(2.0f) + std::log1p(std::exp(2.0f))) / 2.0f;
+  EXPECT_NEAR(loss, expected, 1e-5f);
+  // Gradient: (sigma - t) / n.
+  EXPECT_NEAR(grad.at(0), (0.5f - 1.0f) / 2.0f, 1e-5f);
+  float sigma2 = 1.0f / (1.0f + std::exp(-2.0f));
+  EXPECT_NEAR(grad.at(1), sigma2 / 2.0f, 1e-5f);
+}
+
+TEST(BceTest, StableAtExtremeLogits) {
+  Tensor logits = Tensor::FromVector({2}, {100.0f, -100.0f});
+  Tensor grad;
+  float loss = BceWithLogits(logits, {1.0f, 0.0f}, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0f, 1e-5f);
+}
+
+class GanSamplerTest : public ::testing::TestWithParam<int> {};
+
+std::unique_ptr<Oversampler> MakeGan(int which) {
+  switch (which) {
+    case 0:
+      return std::make_unique<CganOversampler>(FastOptions());
+    case 1:
+      return std::make_unique<BaganLikeOversampler>(FastOptions());
+    default:
+      return std::make_unique<GamoLikeOversampler>(FastOptions());
+  }
+}
+
+TEST_P(GanSamplerTest, BalancesAndStaysFinite) {
+  FeatureSet data = ImbalancedBlobs();
+  auto sampler = MakeGan(GetParam());
+  Rng rng(3);
+  FeatureSet result = sampler->Resample(data, rng);
+  auto counts = result.ClassCounts();
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(result.size(), 80);
+  for (int64_t i = 0; i < result.features.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(result.features.data()[i]));
+  }
+}
+
+TEST_P(GanSamplerTest, SyntheticRowsResembleMinorityClass) {
+  // Generated minority rows should land nearer the minority centroid (3,..)
+  // than the majority centroid (0,..) on average.
+  FeatureSet data = ImbalancedBlobs(/*majority=*/50, /*minority=*/16);
+  auto sampler = MakeGan(GetParam());
+  Rng rng(5);
+  FeatureSet result = sampler->Resample(data, rng);
+  double mean = 0.0;
+  int64_t count = 0;
+  for (int64_t i = data.size(); i < result.size(); ++i) {
+    if (result.labels[static_cast<size_t>(i)] != 1) continue;
+    for (int64_t j = 0; j < 4; ++j) mean += result.features.at(i, j);
+    count += 4;
+  }
+  ASSERT_GT(count, 0);
+  mean /= static_cast<double>(count);
+  EXPECT_GT(mean, 1.0);  // much closer to 3 than to 0
+}
+
+INSTANTIATE_TEST_SUITE_P(Gans, GanSamplerTest, ::testing::Values(0, 1, 2));
+
+TEST(DeepSmoteTest, BalancesAndResemblesMinority) {
+  FeatureSet data = ImbalancedBlobs(/*majority=*/50, /*minority=*/16);
+  DeepSmoteOversampler sampler(FastOptions(), 5);
+  Rng rng(21);
+  FeatureSet result = sampler.Resample(data, rng);
+  auto counts = result.ClassCounts();
+  EXPECT_EQ(counts[0], counts[1]);
+  double mean = 0.0;
+  int64_t count = 0;
+  for (int64_t i = data.size(); i < result.size(); ++i) {
+    if (result.labels[static_cast<size_t>(i)] != 1) continue;
+    for (int64_t j = 0; j < 4; ++j) mean += result.features.at(i, j);
+    count += 4;
+  }
+  ASSERT_GT(count, 0);
+  mean /= static_cast<double>(count);
+  // Decoded latent interpolations should reconstruct near the minority
+  // centroid (3, 3, 3, 3).
+  EXPECT_GT(mean, 1.5);
+  for (int64_t i = 0; i < result.features.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(result.features.data()[i]));
+  }
+}
+
+TEST(DeepSmoteTest, AlreadyBalancedIsNoOp) {
+  FeatureSet data = ImbalancedBlobs(/*majority=*/12, /*minority=*/12);
+  DeepSmoteOversampler sampler(FastOptions(), 3);
+  Rng rng(23);
+  FeatureSet result = sampler.Resample(data, rng);
+  EXPECT_EQ(result.size(), data.size());
+}
+
+TEST(CganTest, TrainsOneModelPerDeficientClass) {
+  FeatureSet data = ImbalancedBlobs();
+  CganOversampler sampler(FastOptions());
+  Rng rng(7);
+  sampler.Resample(data, rng);
+  EXPECT_EQ(sampler.models_trained(), 1);  // only the minority class
+}
+
+TEST(GamoTest, SamplesInsideClassConvexHull) {
+  // GAMO generates convex combinations of real minority rows, so every
+  // synthetic coordinate stays inside the minority bounding box — the
+  // structural contrast with EOS.
+  FeatureSet data = ImbalancedBlobs();
+  float lo[4];
+  float hi[4];
+  for (int j = 0; j < 4; ++j) {
+    lo[j] = 1e30f;
+    hi[j] = -1e30f;
+  }
+  for (int64_t i = 0; i < data.size(); ++i) {
+    if (data.labels[static_cast<size_t>(i)] != 1) continue;
+    for (int64_t j = 0; j < 4; ++j) {
+      lo[j] = std::min(lo[j], data.features.at(i, j));
+      hi[j] = std::max(hi[j], data.features.at(i, j));
+    }
+  }
+  GamoLikeOversampler sampler(FastOptions());
+  Rng rng(9);
+  FeatureSet result = sampler.Resample(data, rng);
+  for (int64_t i = data.size(); i < result.size(); ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      ASSERT_GE(result.features.at(i, j), lo[j] - 1e-4f);
+      ASSERT_LE(result.features.at(i, j), hi[j] + 1e-4f);
+    }
+  }
+}
+
+TEST(GanTest, SampleLatentIsStandardNormal) {
+  Rng rng(11);
+  Tensor z = SampleLatent(500, 8, rng);
+  double mean = 0.0;
+  double sq = 0.0;
+  for (int64_t i = 0; i < z.numel(); ++i) {
+    mean += z.data()[i];
+    sq += static_cast<double>(z.data()[i]) * z.data()[i];
+  }
+  mean /= static_cast<double>(z.numel());
+  sq /= static_cast<double>(z.numel());
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(sq, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace eos

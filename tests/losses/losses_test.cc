@@ -1,0 +1,304 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/matmul.h"
+#include "losses/asl.h"
+#include "losses/cross_entropy.h"
+#include "losses/focal.h"
+#include "losses/ldam.h"
+#include "losses/loss.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+namespace {
+
+// Finite-difference check of d loss / d logits for any Loss.
+void GradCheckLoss(Loss& loss, const Tensor& logits,
+                   const std::vector<int64_t>& targets, double tol = 2e-3) {
+  Tensor grad;
+  Tensor work = logits.Clone();
+  loss.Compute(work, targets, &grad);
+  constexpr float kEps = 1e-3f;
+  for (int64_t i = 0; i < work.numel(); ++i) {
+    float original = work.data()[i];
+    work.data()[i] = original + kEps;
+    double up = loss.Compute(work, targets, nullptr);
+    work.data()[i] = original - kEps;
+    double down = loss.Compute(work, targets, nullptr);
+    work.data()[i] = original;
+    double numeric = (up - down) / (2.0 * kEps);
+    ASSERT_NEAR(grad.data()[i], numeric, tol) << "logit " << i;
+  }
+}
+
+Tensor TestLogits() {
+  return Tensor::FromVector(
+      {3, 4}, {2.0f, -1.0f, 0.5f, 0.0f, -0.5f, 1.5f, 0.2f, -2.0f, 0.0f, 0.1f,
+               -0.3f, 1.0f});
+}
+
+TEST(CrossEntropyTest, MatchesManualComputation) {
+  CrossEntropyLoss ce;
+  Tensor logits = Tensor::FromVector({1, 2}, {1.0f, 0.0f});
+  float loss = ce.Compute(logits, {0}, nullptr);
+  // -log(e^1 / (e^1 + e^0)).
+  float expected = -std::log(std::exp(1.0f) / (std::exp(1.0f) + 1.0f));
+  EXPECT_NEAR(loss, expected, 1e-5f);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusOneHot) {
+  CrossEntropyLoss ce;
+  Tensor logits = TestLogits();
+  Tensor grad;
+  ce.Compute(logits, {0, 1, 3}, &grad);
+  Tensor probs = SoftmaxRows(logits);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      float expected = probs.at(i, j);
+      if ((i == 0 && j == 0) || (i == 1 && j == 1) || (i == 2 && j == 3)) {
+        expected -= 1.0f;
+      }
+      EXPECT_NEAR(grad.at(i, j), expected / 3.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(CrossEntropyTest, GradCheck) {
+  CrossEntropyLoss ce;
+  GradCheckLoss(ce, TestLogits(), {0, 1, 3});
+}
+
+TEST(CrossEntropyTest, WeightedReduction) {
+  CrossEntropyLoss weighted({2.0f, 1.0f});
+  CrossEntropyLoss plain;
+  Tensor logits = Tensor::FromVector({2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+  // Weighted mean with both classes present: (2*l0 + 1*l1) / 3.
+  Tensor lp = LogSoftmaxRows(logits);
+  float l0 = -lp.at(0, 0);
+  float l1 = -lp.at(1, 1);
+  EXPECT_NEAR(weighted.Compute(logits, {0, 1}, nullptr),
+              (2.0f * l0 + l1) / 3.0f, 1e-5f);
+  EXPECT_NEAR(plain.Compute(logits, {0, 1}, nullptr), (l0 + l1) / 2.0f,
+              1e-5f);
+}
+
+TEST(CrossEntropyTest, WeightedGradCheck) {
+  CrossEntropyLoss ce({2.0f, 0.5f, 1.0f, 3.0f});
+  GradCheckLoss(ce, TestLogits(), {3, 0, 2});
+}
+
+TEST(FocalTest, GammaZeroEqualsCrossEntropy) {
+  FocalLoss focal(0.0);
+  CrossEntropyLoss ce;
+  Tensor logits = TestLogits();
+  std::vector<int64_t> targets = {1, 2, 0};
+  EXPECT_NEAR(focal.Compute(logits, targets, nullptr),
+              ce.Compute(logits, targets, nullptr), 1e-5f);
+}
+
+TEST(FocalTest, DownWeightsEasyExamples) {
+  FocalLoss focal(2.0);
+  CrossEntropyLoss ce;
+  // Very confident correct prediction -> focal loss much smaller than CE.
+  Tensor easy = Tensor::FromVector({1, 2}, {8.0f, -8.0f});
+  float f = focal.Compute(easy, {0}, nullptr);
+  float c = ce.Compute(easy, {0}, nullptr);
+  EXPECT_LT(f, 0.01f * c + 1e-9f);
+}
+
+TEST(FocalTest, GradCheck) {
+  FocalLoss focal(2.0);
+  GradCheckLoss(focal, TestLogits(), {2, 0, 1});
+}
+
+TEST(FocalTest, GradCheckGammaHalf) {
+  FocalLoss focal(0.5);
+  GradCheckLoss(focal, TestLogits(), {1, 3, 2});
+}
+
+TEST(LdamTest, MarginsScaleInverseQuarterPower) {
+  LdamLoss ldam({10000, 625, 16}, /*max_margin=*/0.5, /*scale=*/30.0,
+                /*drw_start_epoch=*/-1, /*cb_beta=*/0.9999);
+  const auto& m = ldam.margins();
+  // Smallest class gets the max margin.
+  EXPECT_NEAR(m[2], 0.5f, 1e-5f);
+  // n^(1/4) ratios: 16^-0.25 / 625^-0.25 = 5/2 = 2.5 -> m2 / m1 = 2.5.
+  EXPECT_NEAR(m[2] / m[1], 2.5f, 1e-4f);
+  // 625^-0.25 / 10000^-0.25 = 0.2 / 0.1 = 2.
+  EXPECT_NEAR(m[1] / m[0], 2.0f, 1e-4f);
+  EXPECT_GT(m[2], m[1]);
+  EXPECT_GT(m[1], m[0]);
+}
+
+TEST(LdamTest, MarginLowersTargetLogitLoss) {
+  LdamLoss ldam({100, 10}, 0.5, 30.0, -1, 0.9999);
+  CrossEntropyLoss ce;
+  Tensor logits = Tensor::FromVector({1, 2}, {5.0f, 3.0f});
+  // Margin on the target makes the example look harder -> larger loss.
+  EXPECT_GT(ldam.Compute(logits, {1}, nullptr),
+            ce.Compute(logits, {1}, nullptr));
+}
+
+TEST(LdamTest, DrwActivatesAtEpoch) {
+  LdamLoss ldam({100, 10}, 0.5, 30.0, /*drw_start_epoch=*/5, 0.9999);
+  EXPECT_FALSE(ldam.drw_active());
+  ldam.OnEpochStart(4);
+  EXPECT_FALSE(ldam.drw_active());
+  ldam.OnEpochStart(5);
+  EXPECT_TRUE(ldam.drw_active());
+}
+
+TEST(LdamTest, DrwWeightsChangeLoss) {
+  Tensor logits = Tensor::FromVector({2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+  LdamLoss before({100, 10}, 0.5, 30.0, 5, 0.9999);
+  float loss_before = before.Compute(logits, {0, 1}, nullptr);
+  LdamLoss after({100, 10}, 0.5, 30.0, 5, 0.9999);
+  after.OnEpochStart(5);
+  float loss_after = after.Compute(logits, {0, 1}, nullptr);
+  EXPECT_NE(loss_before, loss_after);
+}
+
+TEST(LdamTest, GradCheck) {
+  LdamLoss ldam({1000, 100, 50, 10}, 0.5, 10.0, -1, 0.9999);
+  GradCheckLoss(ldam, TestLogits(), {3, 1, 0});
+}
+
+TEST(LdamTest, GradCheckWithDrw) {
+  LdamLoss ldam({1000, 100, 50, 10}, 0.5, 10.0, 0, 0.9999);
+  ldam.OnEpochStart(0);
+  GradCheckLoss(ldam, TestLogits(), {3, 1, 0});
+}
+
+TEST(AslTest, ReducesToBceAtZeroGammasNoClip) {
+  AslLoss asl(0.0, 0.0, 0.0);
+  Tensor logits = Tensor::FromVector({1, 2}, {0.5f, -0.5f});
+  // Manual one-vs-rest BCE: summed over classes, averaged over rows.
+  auto sigmoid = [](float z) { return 1.0f / (1.0f + std::exp(-z)); };
+  float expected =
+      -(std::log(sigmoid(0.5f)) + std::log(1.0f - sigmoid(-0.5f)));
+  EXPECT_NEAR(asl.Compute(logits, {0}, nullptr), expected, 1e-5f);
+}
+
+TEST(AslTest, ClipDiscardsEasyNegatives) {
+  AslLoss asl(0.0, 4.0, 0.05);
+  // Very negative logit on a negative class: p < clip -> no contribution.
+  Tensor logits = Tensor::FromVector({1, 2}, {10.0f, -10.0f});
+  Tensor grad;
+  float loss = asl.Compute(logits, {0}, &grad);
+  EXPECT_NEAR(grad.at(0, 1), 0.0f, 1e-7f);
+  EXPECT_LT(loss, 0.01f);
+}
+
+TEST(AslTest, GradCheck) {
+  AslLoss asl(1.0, 4.0, 0.05);
+  GradCheckLoss(asl, TestLogits(), {0, 2, 3}, 5e-3);
+}
+
+TEST(AslTest, GradCheckNoClip) {
+  AslLoss asl(0.5, 2.0, 0.0);
+  GradCheckLoss(asl, TestLogits(), {1, 1, 2}, 5e-3);
+}
+
+TEST(EffectiveNumberTest, MinorityGetsLargerWeight) {
+  auto w = EffectiveNumberWeights({1000, 100, 10}, 0.999);
+  EXPECT_LT(w[0], w[1]);
+  EXPECT_LT(w[1], w[2]);
+  // Normalized to mean 1.
+  EXPECT_NEAR((w[0] + w[1] + w[2]) / 3.0f, 1.0f, 1e-5f);
+}
+
+TEST(EffectiveNumberTest, BetaZeroIsInverseFrequency) {
+  auto w = EffectiveNumberWeights({100, 50}, 0.0);
+  // beta=0 -> effective number = 1 for every class -> equal weights.
+  EXPECT_NEAR(w[0], w[1], 1e-6f);
+}
+
+// Property: every loss, fed through a linear model and plain gradient
+// descent on a separable problem, must decrease over training.
+class LossDescentTest : public ::testing::TestWithParam<LossKind> {};
+
+TEST_P(LossDescentTest, GradientDescentReducesLoss) {
+  Rng rng(99);
+  constexpr int64_t kN = 60;
+  constexpr int64_t kD = 5;
+  constexpr int64_t kC = 3;
+  Tensor x({kN, kD});
+  std::vector<int64_t> y;
+  for (int64_t i = 0; i < kN; ++i) {
+    int64_t c = i % kC;
+    for (int64_t j = 0; j < kD; ++j) {
+      x.at(i, j) = rng.Normal(j == c ? 2.0f : 0.0f, 0.7f);
+    }
+    y.push_back(c);
+  }
+  std::vector<int64_t> counts = {20, 20, 20};
+  LossConfig config;
+  config.kind = GetParam();
+  config.ldam_scale = 8.0;  // raw linear logits, not cosine: keep s modest
+  auto loss = MakeLoss(config, counts);
+
+  Tensor w = Tensor::Zeros({kD, kC});
+  auto forward = [&]() { return MatMul(x, w); };
+  Tensor logits = forward();
+  float initial = loss->Compute(logits, y, nullptr);
+  for (int step = 0; step < 200; ++step) {
+    logits = forward();
+    Tensor grad_logits;
+    loss->Compute(logits, y, &grad_logits);
+    // dW = X^T dL.
+    Tensor grad_w = MatMulTN(x, grad_logits);
+    Axpy(-0.5f, grad_w, w);
+  }
+  logits = forward();
+  float final_loss = loss->Compute(logits, y, nullptr);
+  EXPECT_LT(final_loss, initial * 0.5f) << LossKindName(GetParam());
+  // And the trained model should classify the training set well.
+  auto preds = ArgMaxRows(logits);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < kN; ++i) {
+    if (preds[static_cast<size_t>(i)] == y[static_cast<size_t>(i)]) ++correct;
+  }
+  EXPECT_GT(correct, kN * 8 / 10) << LossKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossDescentTest,
+                         ::testing::Values(LossKind::kCrossEntropy,
+                                           LossKind::kAsl, LossKind::kFocal,
+                                           LossKind::kLdam));
+
+TEST(MakeLossTest, FactoryProducesAllKinds) {
+  std::vector<int64_t> counts = {100, 10};
+  for (LossKind kind : {LossKind::kCrossEntropy, LossKind::kAsl,
+                        LossKind::kFocal, LossKind::kLdam}) {
+    LossConfig config;
+    config.kind = kind;
+    auto loss = MakeLoss(config, counts);
+    ASSERT_NE(loss, nullptr);
+    EXPECT_EQ(loss->name(), LossKindName(kind));
+  }
+}
+
+TEST(MakeLossTest, AllLossesFiniteOnRandomLogits) {
+  Rng rng(4);
+  Tensor logits = Tensor::Uniform({8, 5}, -3.0f, 3.0f, rng);
+  std::vector<int64_t> targets;
+  for (int i = 0; i < 8; ++i) targets.push_back(rng.UniformInt(5));
+  std::vector<int64_t> counts = {500, 200, 80, 30, 10};
+  for (LossKind kind : {LossKind::kCrossEntropy, LossKind::kAsl,
+                        LossKind::kFocal, LossKind::kLdam}) {
+    LossConfig config;
+    config.kind = kind;
+    auto loss = MakeLoss(config, counts);
+    Tensor grad;
+    float value = loss->Compute(logits, targets, &grad);
+    EXPECT_TRUE(std::isfinite(value)) << LossKindName(kind);
+    for (int64_t i = 0; i < grad.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(grad.data()[i])) << LossKindName(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,102 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/classification_metrics.h"
+
+namespace eos {
+namespace {
+
+TEST(MccTest, PerfectIsOne) {
+  ConfusionMatrix m(3);
+  m.AddAll({0, 1, 2, 0}, {0, 1, 2, 0});
+  EXPECT_NEAR(MatthewsCorrelation(m), 1.0, 1e-12);
+}
+
+TEST(MccTest, BinaryMatchesClassicFormula) {
+  ConfusionMatrix m(2);
+  // TP=40 (1,1), TN=30 (0,0), FP=10 (0->1), FN=20 (1->0).
+  for (int i = 0; i < 30; ++i) m.Add(0, 0);
+  for (int i = 0; i < 10; ++i) m.Add(0, 1);
+  for (int i = 0; i < 20; ++i) m.Add(1, 0);
+  for (int i = 0; i < 40; ++i) m.Add(1, 1);
+  double tp = 40, tn = 30, fp = 10, fn = 20;
+  double expected = (tp * tn - fp * fn) /
+                    std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  EXPECT_NEAR(MatthewsCorrelation(m), expected, 1e-12);
+}
+
+TEST(MccTest, MajorityOnlyPredictorIsZero) {
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 90; ++i) m.Add(0, 0);
+  for (int i = 0; i < 10; ++i) m.Add(1, 0);
+  // Constant predictor: denominator degenerates -> defined as 0.
+  EXPECT_DOUBLE_EQ(MatthewsCorrelation(m), 0.0);
+}
+
+TEST(MccTest, AntiPredictorIsNegative) {
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 50; ++i) m.Add(0, 1);
+  for (int i = 0; i < 50; ++i) m.Add(1, 0);
+  EXPECT_NEAR(MatthewsCorrelation(m), -1.0, 1e-12);
+}
+
+TEST(KappaTest, PerfectIsOne) {
+  ConfusionMatrix m(2);
+  m.AddAll({0, 1, 0, 1}, {0, 1, 0, 1});
+  EXPECT_NEAR(CohensKappa(m), 1.0, 1e-12);
+}
+
+TEST(KappaTest, ChanceLevelIsZero) {
+  // Predictions independent of truth with matching marginals: kappa = 0.
+  ConfusionMatrix m(2);
+  // truth 0: 50; truth 1: 50; predictor says 0 half the time regardless.
+  for (int i = 0; i < 25; ++i) m.Add(0, 0);
+  for (int i = 0; i < 25; ++i) m.Add(0, 1);
+  for (int i = 0; i < 25; ++i) m.Add(1, 0);
+  for (int i = 0; i < 25; ++i) m.Add(1, 1);
+  EXPECT_NEAR(CohensKappa(m), 0.0, 1e-12);
+}
+
+TEST(KappaTest, HandComputedCase) {
+  // Classic example: po = 0.7, pe = 0.5 -> kappa = 0.4.
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 35; ++i) m.Add(0, 0);
+  for (int i = 0; i < 15; ++i) m.Add(0, 1);
+  for (int i = 0; i < 15; ++i) m.Add(1, 0);
+  for (int i = 0; i < 35; ++i) m.Add(1, 1);
+  EXPECT_NEAR(CohensKappa(m), 0.4, 1e-12);
+}
+
+TEST(ReportTest, ContainsPerClassRowsAndAggregates) {
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 8; ++i) m.Add(0, 0);
+  for (int i = 0; i < 2; ++i) m.Add(0, 1);
+  for (int i = 0; i < 3; ++i) m.Add(1, 1);
+  for (int i = 0; i < 2; ++i) m.Add(1, 0);
+  std::string report = ClassificationReport(m);
+  EXPECT_NE(report.find("support"), std::string::npos);
+  EXPECT_NE(report.find("BAC"), std::string::npos);
+  EXPECT_NE(report.find("MCC"), std::string::npos);
+  EXPECT_NE(report.find("kappa"), std::string::npos);
+  // Class 0 support is 10.
+  EXPECT_NE(report.find("10"), std::string::npos);
+}
+
+TEST(MccKappaTest, AgreeOnSymmetricConfusions) {
+  // For symmetric confusion matrices with uniform marginals, MCC and kappa
+  // coincide. Spot-check the property on a 3-class case.
+  ConfusionMatrix m(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int p = 0; p < 3; ++p) {
+      int count = (c == p) ? 20 : 5;
+      for (int i = 0; i < count; ++i) {
+        m.Add(c, p);
+      }
+    }
+  }
+  EXPECT_NEAR(MatthewsCorrelation(m), CohensKappa(m), 1e-9);
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,177 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/classification_metrics.h"
+#include "metrics/confusion.h"
+#include "metrics/generalization_gap.h"
+#include "metrics/weight_norms.h"
+
+namespace eos {
+namespace {
+
+TEST(ConfusionTest, CountsAndDerivedQuantities) {
+  ConfusionMatrix m(3);
+  // truth 0: 3 correct, 1 predicted as 2.
+  m.AddAll({0, 0, 0, 0, 1, 1, 2}, {0, 0, 0, 2, 1, 0, 2});
+  EXPECT_EQ(m.total(), 7);
+  EXPECT_EQ(m.at(0, 0), 3);
+  EXPECT_EQ(m.at(0, 2), 1);
+  EXPECT_EQ(m.Support(0), 4);
+  EXPECT_EQ(m.TruePositives(1), 1);
+  EXPECT_EQ(m.FalseNegatives(1), 1);
+  EXPECT_EQ(m.FalsePositives(0), 1);  // the (1 -> 0) error
+  auto recalls = m.Recalls();
+  EXPECT_DOUBLE_EQ(recalls[0], 0.75);
+  EXPECT_DOUBLE_EQ(recalls[1], 0.5);
+  EXPECT_DOUBLE_EQ(recalls[2], 1.0);
+}
+
+TEST(ConfusionTest, EmptyClassHasZeroRecall) {
+  ConfusionMatrix m(2);
+  m.Add(0, 0);
+  EXPECT_DOUBLE_EQ(m.Recalls()[1], 0.0);
+  EXPECT_DOUBLE_EQ(m.Precisions()[1], 0.0);
+}
+
+TEST(SkewMetricsTest, PerfectClassifier) {
+  ConfusionMatrix m(3);
+  m.AddAll({0, 1, 2}, {0, 1, 2});
+  SkewMetrics s = ComputeSkewMetrics(m);
+  EXPECT_DOUBLE_EQ(s.bac, 1.0);
+  EXPECT_DOUBLE_EQ(s.gmean, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(m), 1.0);
+}
+
+TEST(SkewMetricsTest, BacIsMeanRecallNotAccuracy) {
+  ConfusionMatrix m(2);
+  // Majority: 90 correct of 90. Minority: 0 correct of 10.
+  for (int i = 0; i < 90; ++i) m.Add(0, 0);
+  for (int i = 0; i < 10; ++i) m.Add(1, 0);
+  SkewMetrics s = ComputeSkewMetrics(m);
+  EXPECT_DOUBLE_EQ(Accuracy(m), 0.9);
+  EXPECT_DOUBLE_EQ(s.bac, 0.5);
+  EXPECT_DOUBLE_EQ(s.gmean, 0.0);  // one zero recall kills the G-mean
+}
+
+TEST(SkewMetricsTest, KnownHandComputedCase) {
+  ConfusionMatrix m(2);
+  // Class 0: 8/10 correct. Class 1: 3/5 correct.
+  for (int i = 0; i < 8; ++i) m.Add(0, 0);
+  for (int i = 0; i < 2; ++i) m.Add(0, 1);
+  for (int i = 0; i < 3; ++i) m.Add(1, 1);
+  for (int i = 0; i < 2; ++i) m.Add(1, 0);
+  SkewMetrics s = ComputeSkewMetrics(m);
+  EXPECT_NEAR(s.bac, (0.8 + 0.6) / 2.0, 1e-12);
+  EXPECT_NEAR(s.gmean, std::sqrt(0.8 * 0.6), 1e-12);
+  // F1: precision0 = 8/10, recall0 = 0.8 -> f1_0 = 0.8.
+  //     precision1 = 3/5, recall1 = 0.6 -> f1_1 = 0.6.
+  EXPECT_NEAR(s.f1, (0.8 + 0.6) / 2.0, 1e-12);
+}
+
+FeatureSet MakeSet(std::vector<float> values, std::vector<int64_t> labels,
+                   int64_t num_classes, int64_t dim) {
+  FeatureSet s;
+  s.features = Tensor::FromVector(
+      {static_cast<int64_t>(labels.size()), dim}, values);
+  s.labels = std::move(labels);
+  s.num_classes = num_classes;
+  return s;
+}
+
+TEST(GapTest, ZeroWhenTestInsideTrainRange) {
+  // Train rows (0,2) and (10,8): ranges d0 [0,10], d1 [2,8].
+  FeatureSet train = MakeSet({0.0f, 2.0f, 10.0f, 8.0f}, {0, 0}, 1, 2);
+  // Test rows (1,3) and (9.5,7.5): strictly inside both ranges.
+  FeatureSet test = MakeSet({1.0f, 3.0f, 9.5f, 7.5f}, {0, 0}, 1, 2);
+  GapResult gap = GeneralizationGap(train, test);
+  EXPECT_DOUBLE_EQ(gap.mean, 0.0);
+  EXPECT_DOUBLE_EQ(gap.per_class[0], 0.0);
+}
+
+TEST(GapTest, HandComputedOverflow) {
+  // Train class 0 range per-dim: d0 [0, 10], d1 [2, 8].
+  FeatureSet train = MakeSet({0.0f, 2.0f, 10.0f, 8.0f}, {0, 0}, 1, 2);
+  // Test range: d0 [-1, 12] -> overflow 1 + 2 = 3; d1 [3, 9] -> overflow 1.
+  FeatureSet test = MakeSet({-1.0f, 3.0f, 12.0f, 9.0f}, {0, 0}, 1, 2);
+  GapResult gap = GeneralizationGap(train, test);
+  EXPECT_DOUBLE_EQ(gap.per_class[0], 4.0);
+  EXPECT_DOUBLE_EQ(gap.mean, 4.0);
+}
+
+TEST(GapTest, FloorOnlyCountsOutwardExcess) {
+  // Test range strictly inside on one side, outside on the other: only the
+  // outside part counts (the zero floor).
+  FeatureSet train = MakeSet({0.0f, 10.0f}, {0, 0}, 1, 1);
+  FeatureSet test = MakeSet({5.0f, 11.0f}, {0, 0}, 1, 1);
+  GapResult gap = GeneralizationGap(train, test);
+  EXPECT_DOUBLE_EQ(gap.per_class[0], 1.0);
+}
+
+TEST(GapTest, MeanOverClassesPresentInBoth) {
+  // One row per class; class 2 absent from both sets.
+  FeatureSet train = MakeSet({0.0f, 1.0f, 0.0f, 1.0f}, {0, 1}, 3, 2);
+  // Class 0 test identical to train; class 1 exceeds by 3 on dim 0.
+  FeatureSet test = MakeSet({0.0f, 1.0f, 3.0f, 1.0f}, {0, 1}, 3, 2);
+  GapResult gap = GeneralizationGap(train, test);
+  EXPECT_DOUBLE_EQ(gap.per_class[0], 0.0);
+  EXPECT_DOUBLE_EQ(gap.per_class[1], 3.0);
+  EXPECT_DOUBLE_EQ(gap.per_class[2], 0.0);
+  EXPECT_DOUBLE_EQ(gap.mean, 1.5);  // averaged over the 2 present classes
+}
+
+TEST(GapTest, WiderTrainingCoverageShrinksGap) {
+  // The core intuition: more training coverage -> smaller gap.
+  Rng rng(5);
+  auto make = [&](int64_t n, float spread, uint64_t seed) {
+    Rng local(seed);
+    FeatureSet s;
+    s.num_classes = 1;
+    s.features = Tensor({n, 4});
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < 4; ++j) {
+        s.features.at(i, j) = local.Normal(0.0f, spread);
+      }
+      s.labels.push_back(0);
+    }
+    return s;
+  };
+  FeatureSet small_train = make(5, 1.0f, 1);
+  FeatureSet big_train = make(500, 1.0f, 2);
+  FeatureSet test = make(200, 1.0f, 3);
+  double small_gap = GeneralizationGap(small_train, test).mean;
+  double big_gap = GeneralizationGap(big_train, test).mean;
+  EXPECT_GT(small_gap, big_gap);
+}
+
+TEST(FeatureRangesTest, PerClassPerDim) {
+  FeatureSet s = MakeSet({1.0f, 5.0f, 3.0f, 2.0f, -1.0f, 0.0f},
+                         {0, 0, 1}, 2, 2);
+  auto ranges = FeatureRanges(s);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0][0].first, 1.0f);
+  EXPECT_EQ(ranges[0][0].second, 3.0f);
+  EXPECT_EQ(ranges[0][1].first, 2.0f);
+  EXPECT_EQ(ranges[0][1].second, 5.0f);
+  EXPECT_EQ(ranges[1][0].first, -1.0f);
+  EXPECT_EQ(ranges[1][0].second, -1.0f);
+}
+
+TEST(WeightNormsTest, PerClassL2) {
+  Tensor w = Tensor::FromVector({2, 3}, {3.0f, 4.0f, 0.0f, 1.0f, 0.0f, 0.0f});
+  auto norms = ClassifierWeightNorms(w);
+  EXPECT_NEAR(norms[0], 5.0, 1e-9);
+  EXPECT_NEAR(norms[1], 1.0, 1e-9);
+  EXPECT_NEAR(WeightNormRatio(norms), 5.0, 1e-9);
+}
+
+TEST(WeightNormsTest, RatioZeroWhenDegenerateRow) {
+  Tensor w = Tensor::Zeros({2, 2});
+  w.at(0, 0) = 1.0f;
+  auto norms = ClassifierWeightNorms(w);
+  EXPECT_EQ(WeightNormRatio(norms), 0.0);
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,156 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/knn.h"
+#include "ml/linear_svm.h"
+
+namespace eos {
+namespace {
+
+TEST(KnnTest, FindsExactNeighborsOnALine) {
+  // Points at x = 0, 1, 2, ..., 9 on a line.
+  Tensor points({10, 1});
+  for (int64_t i = 0; i < 10; ++i) points.at(i, 0) = static_cast<float>(i);
+  KnnIndex index(points);
+  auto nbrs = index.QueryRow(5, 2);
+  ASSERT_EQ(nbrs.size(), 2u);
+  // 4 and 6 are equidistant; both must be the two nearest.
+  EXPECT_TRUE((nbrs[0] == 4 && nbrs[1] == 6) ||
+              (nbrs[0] == 6 && nbrs[1] == 4));
+  auto edge = index.QueryRow(0, 3);
+  EXPECT_EQ(edge, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(KnnTest, ExcludesSelf) {
+  Tensor points = Tensor::FromVector({3, 2}, {0, 0, 0, 0, 5, 5});
+  KnnIndex index(points);
+  auto nbrs = index.QueryRow(0, 2);
+  for (int64_t nb : nbrs) EXPECT_NE(nb, 0);
+}
+
+TEST(KnnTest, KClampedToAvailable) {
+  Tensor points = Tensor::FromVector({3, 1}, {0, 1, 2});
+  KnnIndex index(points);
+  EXPECT_EQ(index.QueryRow(0, 100).size(), 2u);
+  float q = 0.5f;
+  EXPECT_EQ(index.Query(&q, 100).size(), 3u);
+}
+
+TEST(KnnTest, SortedAscendingByDistance) {
+  Rng rng(1);
+  Tensor points = Tensor::Uniform({50, 4}, -1.0f, 1.0f, rng);
+  KnnIndex index(points);
+  for (int64_t row = 0; row < 50; row += 7) {
+    auto nbrs = index.QueryRow(row, 10);
+    const float* q = points.data() + row * 4;
+    float prev = -1.0f;
+    for (int64_t nb : nbrs) {
+      float dist = index.SquaredDistance(nb, q);
+      EXPECT_GE(dist, prev);
+      prev = dist;
+    }
+  }
+}
+
+TEST(KnnTest, MatchesBruteForce) {
+  Rng rng(2);
+  Tensor points = Tensor::Uniform({40, 3}, -1.0f, 1.0f, rng);
+  KnnIndex index(points);
+  for (int64_t row = 0; row < 40; row += 5) {
+    auto fast = index.QueryRow(row, 5);
+    // Brute force.
+    std::vector<std::pair<float, int64_t>> all;
+    const float* q = points.data() + row * 3;
+    for (int64_t i = 0; i < 40; ++i) {
+      if (i == row) continue;
+      all.emplace_back(index.SquaredDistance(i, q), i);
+    }
+    std::sort(all.begin(), all.end());
+    for (size_t k = 0; k < 5; ++k) {
+      EXPECT_EQ(fast[k], all[k].second);
+    }
+  }
+}
+
+TEST(KnnTest, AllKNearestNeighborsShape) {
+  Rng rng(3);
+  Tensor points = Tensor::Uniform({12, 2}, -1.0f, 1.0f, rng);
+  auto all = AllKNearestNeighbors(points, 4);
+  ASSERT_EQ(all.size(), 12u);
+  for (const auto& nbrs : all) EXPECT_EQ(nbrs.size(), 4u);
+}
+
+Tensor GaussianBlobs(const std::vector<std::pair<float, float>>& centers,
+                     int64_t per_class, float stddev,
+                     std::vector<int64_t>* labels, Rng& rng) {
+  int64_t n = per_class * static_cast<int64_t>(centers.size());
+  Tensor points({n, 2});
+  labels->clear();
+  int64_t row = 0;
+  for (size_t c = 0; c < centers.size(); ++c) {
+    for (int64_t i = 0; i < per_class; ++i) {
+      points.at(row, 0) = rng.Normal(centers[c].first, stddev);
+      points.at(row, 1) = rng.Normal(centers[c].second, stddev);
+      labels->push_back(static_cast<int64_t>(c));
+      ++row;
+    }
+  }
+  return points;
+}
+
+TEST(LinearSvmTest, SeparatesGaussianBlobs) {
+  Rng rng(4);
+  std::vector<int64_t> labels;
+  Tensor x = GaussianBlobs({{-2, -2}, {2, 2}, {-2, 2}}, 50, 0.4f, &labels,
+                           rng);
+  LinearSvm svm;
+  svm.Fit(x, labels, 3, {}, rng);
+  ASSERT_TRUE(svm.fitted());
+
+  std::vector<int64_t> test_labels;
+  Tensor test = GaussianBlobs({{-2, -2}, {2, 2}, {-2, 2}}, 20, 0.4f,
+                              &test_labels, rng);
+  auto preds = svm.Predict(test);
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == test_labels[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.9);
+}
+
+TEST(LinearSvmTest, DecisionFunctionShape) {
+  Rng rng(5);
+  std::vector<int64_t> labels;
+  Tensor x = GaussianBlobs({{-1, 0}, {1, 0}}, 30, 0.3f, &labels, rng);
+  LinearSvm svm;
+  svm.Fit(x, labels, 2, {}, rng);
+  Tensor scores = svm.DecisionFunction(x);
+  EXPECT_EQ(scores.size(0), x.size(0));
+  EXPECT_EQ(scores.size(1), 2);
+  // The target class score should exceed the other on most training rows.
+  int64_t correct = 0;
+  for (int64_t i = 0; i < x.size(0); ++i) {
+    int64_t y = labels[static_cast<size_t>(i)];
+    if (scores.at(i, y) > scores.at(i, 1 - y)) ++correct;
+  }
+  EXPECT_GT(correct, x.size(0) * 9 / 10);
+}
+
+TEST(LinearSvmTest, PredictsMajorityUnderOverlap) {
+  // Fully overlapped classes with skewed counts: the learner should still
+  // produce valid labels.
+  Rng rng(6);
+  Tensor x = Tensor::Uniform({60, 2}, -1.0f, 1.0f, rng);
+  std::vector<int64_t> labels(60, 0);
+  for (int i = 0; i < 10; ++i) labels[static_cast<size_t>(i)] = 1;
+  LinearSvm svm;
+  svm.Fit(x, labels, 2, {}, rng);
+  auto preds = svm.Predict(x);
+  for (int64_t p : preds) EXPECT_TRUE(p == 0 || p == 1);
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,248 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/densenet.h"
+#include "nn/linear.h"
+#include "nn/lr_schedule.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/resnet.h"
+#include "nn/wide_resnet.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos::nn {
+namespace {
+
+TEST(ResNetTest, PaperParameterCount) {
+  // The paper quotes "a Resnet-32 with approx. 464K parameters".
+  Rng rng(1);
+  ResNetConfig config;
+  config.blocks_per_stage = 5;  // ResNet-32
+  config.base_width = 16;
+  config.num_classes = 10;
+  ImageClassifier net = BuildResNet(config, rng);
+  int64_t params = net.NumParameters();
+  EXPECT_GT(params, 440000);
+  EXPECT_LT(params, 490000);
+  EXPECT_EQ(net.feature_dim, 64);
+  EXPECT_EQ(net.arch, "ResNet-32");
+}
+
+TEST(ResNetTest, ForwardShapes) {
+  Rng rng(2);
+  ResNetConfig config;
+  config.blocks_per_stage = 1;  // ResNet-8
+  config.base_width = 8;
+  config.num_classes = 5;
+  ImageClassifier net = BuildResNet(config, rng);
+  Tensor x = Tensor::Uniform({3, 3, 16, 16}, -1.0f, 1.0f, rng);
+  Tensor fe = net.ExtractFeatures(x, /*training=*/false);
+  EXPECT_EQ(fe.size(0), 3);
+  EXPECT_EQ(fe.size(1), 32);
+  Tensor logits = net.Forward(x, /*training=*/false);
+  EXPECT_EQ(logits.size(0), 3);
+  EXPECT_EQ(logits.size(1), 5);
+}
+
+TEST(ResNetTest, NormHeadForLdam) {
+  Rng rng(3);
+  ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.norm_head = true;
+  config.head_scale = 30.0f;
+  ImageClassifier net = BuildResNet(config, rng);
+  EXPECT_NE(dynamic_cast<NormLinear*>(net.head.get()), nullptr);
+  // Cosine logits are bounded by the scale.
+  Tensor x = Tensor::Uniform({2, 3, 8, 8}, -1.0f, 1.0f, rng);
+  Tensor logits = net.Forward(x, /*training=*/false);
+  EXPECT_LE(MaxAbs(logits), 30.0f + 1e-3f);
+}
+
+TEST(WideResNetTest, WiderThanResNet) {
+  Rng rng(4);
+  WideResNetConfig wc;
+  wc.blocks_per_stage = 1;
+  wc.base_width = 8;
+  wc.widen_factor = 2;
+  ImageClassifier wrn = BuildWideResNet(wc, rng);
+  ResNetConfig rc;
+  rc.blocks_per_stage = 1;
+  rc.base_width = 8;
+  ImageClassifier resnet = BuildResNet(rc, rng);
+  EXPECT_GT(wrn.NumParameters(), 2 * resnet.NumParameters());
+  Tensor x = Tensor::Uniform({2, 3, 12, 12}, -1.0f, 1.0f, rng);
+  Tensor fe = wrn.ExtractFeatures(x, false);
+  EXPECT_EQ(fe.size(1), wrn.feature_dim);
+}
+
+TEST(DenseNetTest, ChannelGrowthAndShapes) {
+  Rng rng(5);
+  DenseNetConfig config;
+  config.layers_per_block = 2;
+  config.growth_rate = 4;
+  ImageClassifier net = BuildDenseNet(config, rng);
+  Tensor x = Tensor::Uniform({2, 3, 16, 16}, -1.0f, 1.0f, rng);
+  Tensor fe = net.ExtractFeatures(x, false);
+  EXPECT_EQ(fe.size(0), 2);
+  EXPECT_EQ(fe.size(1), net.feature_dim);
+  Tensor logits = net.Forward(x, false);
+  EXPECT_EQ(logits.size(1), 10);
+}
+
+TEST(MlpTest, BuildsRequestedShape) {
+  Rng rng(6);
+  auto mlp = BuildMlp({8, 16, 4}, MlpHidden::kReLU, MlpOutput::kLinear, rng);
+  Tensor x = Tensor::Uniform({5, 8}, -1.0f, 1.0f, rng);
+  Tensor y = mlp->Forward(x, false);
+  EXPECT_EQ(y.size(0), 5);
+  EXPECT_EQ(y.size(1), 4);
+}
+
+TEST(MlpTest, OutputActivationsBound) {
+  Rng rng(7);
+  auto tanh_mlp = BuildMlp({4, 8, 3}, MlpHidden::kReLU, MlpOutput::kTanh, rng);
+  auto sig_mlp =
+      BuildMlp({4, 8, 3}, MlpHidden::kLeakyReLU, MlpOutput::kSigmoid, rng);
+  Tensor x = Tensor::Uniform({10, 4}, -5.0f, 5.0f, rng);
+  Tensor ty = tanh_mlp->Forward(x, false);
+  Tensor sy = sig_mlp->Forward(x, false);
+  for (int64_t i = 0; i < ty.numel(); ++i) {
+    EXPECT_LE(std::fabs(ty.data()[i]), 1.0f);
+    EXPECT_GE(sy.data()[i], 0.0f);
+    EXPECT_LE(sy.data()[i], 1.0f);
+  }
+}
+
+TEST(ModuleTest, ZeroGradAndFreeze) {
+  Rng rng(8);
+  Linear linear(4, 2, true, rng);
+  linear.weight().grad.Fill(3.0f);
+  linear.ZeroGrad();
+  EXPECT_EQ(Sum(linear.weight().grad), 0.0);
+  linear.SetTrainable(false);
+  for (Parameter* p : linear.Parameters()) EXPECT_FALSE(p->trainable);
+}
+
+TEST(SgdTest, MatchesManualMomentumUpdate) {
+  Rng rng(9);
+  Linear linear(1, 1, /*bias=*/false, rng);
+  Parameter& w = linear.weight();
+  w.value.data()[0] = 1.0f;
+  w.apply_weight_decay = false;
+
+  Sgd::Options options;
+  options.lr = 0.1;
+  options.momentum = 0.9;
+  options.weight_decay = 0.0;
+  Sgd sgd({&w}, options);
+
+  // Step 1: g=1 -> v=1, w = 1 - 0.1*1 = 0.9.
+  w.grad.data()[0] = 1.0f;
+  sgd.Step();
+  EXPECT_NEAR(w.value.data()[0], 0.9f, 1e-6f);
+  // Step 2: g=1 -> v=1.9, w = 0.9 - 0.19 = 0.71.
+  sgd.Step();
+  EXPECT_NEAR(w.value.data()[0], 0.71f, 1e-6f);
+}
+
+TEST(SgdTest, WeightDecayActsOnValue) {
+  Rng rng(10);
+  Linear linear(1, 1, /*bias=*/false, rng);
+  Parameter& w = linear.weight();
+  w.value.data()[0] = 2.0f;
+  Sgd::Options options;
+  options.lr = 0.5;
+  options.momentum = 0.0;
+  options.weight_decay = 0.1;
+  Sgd sgd({&w}, options);
+  w.grad.data()[0] = 0.0f;
+  sgd.Step();
+  // w -= lr * wd * w = 2 - 0.5*0.1*2 = 1.9.
+  EXPECT_NEAR(w.value.data()[0], 1.9f, 1e-6f);
+}
+
+TEST(SgdTest, FrozenParameterUntouched) {
+  Rng rng(11);
+  Linear linear(1, 1, false, rng);
+  Parameter& w = linear.weight();
+  w.value.data()[0] = 5.0f;
+  w.trainable = false;
+  Sgd sgd({&w}, {});
+  w.grad.data()[0] = 100.0f;
+  sgd.Step();
+  EXPECT_EQ(w.value.data()[0], 5.0f);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  Rng rng(12);
+  Linear linear(1, 1, false, rng);
+  Parameter& w = linear.weight();
+  w.value.data()[0] = 0.0f;
+  w.apply_weight_decay = false;
+  Adam::Options options;
+  options.lr = 0.01;
+  Adam adam({&w}, options);
+  w.grad.data()[0] = 3.0f;  // any positive gradient
+  adam.Step();
+  // Bias-corrected first Adam step is ~ -lr * sign(g).
+  EXPECT_NEAR(w.value.data()[0], -0.01f, 1e-4f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Rng rng(13);
+  Linear linear(1, 1, false, rng);
+  Parameter& w = linear.weight();
+  w.value.data()[0] = 4.0f;
+  w.apply_weight_decay = false;
+  Adam::Options options;
+  options.lr = 0.1;
+  Adam adam({&w}, options);
+  for (int i = 0; i < 400; ++i) {
+    w.grad.data()[0] = 2.0f * (w.value.data()[0] - 1.0f);  // d/dw (w-1)^2
+    adam.Step();
+  }
+  EXPECT_NEAR(w.value.data()[0], 1.0f, 0.05f);
+}
+
+TEST(LrScheduleTest, MultiStepDecaysAtMilestones) {
+  MultiStepLr schedule(0.1, {10, 20}, 0.1);
+  EXPECT_DOUBLE_EQ(schedule.LrAt(0), 0.1);
+  EXPECT_DOUBLE_EQ(schedule.LrAt(9), 0.1);
+  EXPECT_NEAR(schedule.LrAt(10), 0.01, 1e-12);
+  EXPECT_NEAR(schedule.LrAt(25), 0.001, 1e-12);
+}
+
+TEST(LrScheduleTest, ForRunUses60And80Percent) {
+  MultiStepLr schedule = MultiStepLr::ForRun(1.0, 100);
+  EXPECT_DOUBLE_EQ(schedule.LrAt(59), 1.0);
+  EXPECT_NEAR(schedule.LrAt(60), 0.1, 1e-12);
+  EXPECT_NEAR(schedule.LrAt(80), 0.01, 1e-12);
+}
+
+TEST(LrScheduleTest, WarmupRampsUp) {
+  ConstantLr inner(1.0);
+  WarmupLr warmup(&inner, 4);
+  EXPECT_LT(warmup.LrAt(0), warmup.LrAt(3));
+  EXPECT_DOUBLE_EQ(warmup.LrAt(4), 1.0);
+  EXPECT_DOUBLE_EQ(warmup.LrAt(10), 1.0);
+}
+
+TEST(NetworkTest, HeadAndExtractorParamsDisjoint) {
+  Rng rng(14);
+  ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  ImageClassifier net = BuildResNet(config, rng);
+  auto ext = net.extractor->Parameters();
+  auto head = net.head->Parameters();
+  for (auto* e : ext) {
+    for (auto* h : head) EXPECT_NE(e, h);
+  }
+  EXPECT_EQ(net.NumParameters(),
+            net.extractor->NumParameters() + net.head->NumParameters());
+}
+
+}  // namespace
+}  // namespace eos::nn

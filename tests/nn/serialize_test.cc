@@ -1,0 +1,125 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "nn/resnet.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos::nn {
+namespace {
+
+ImageClassifier SmallNet(uint64_t seed) {
+  Rng rng(seed);
+  ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = 4;
+  return BuildResNet(config, rng);
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesOutputs) {
+  ImageClassifier original = SmallNet(1);
+  // Run one training-mode forward so BN running stats become non-trivial.
+  Rng rng(2);
+  Tensor x = Tensor::Uniform({4, 3, 8, 8}, -1.0f, 1.0f, rng);
+  original.Forward(x, /*training=*/true);
+  Tensor expected = original.Forward(x, /*training=*/false);
+
+  std::string path = TempPath("roundtrip.eosw");
+  ASSERT_TRUE(SaveClassifier(original, path).ok());
+
+  ImageClassifier restored = SmallNet(999);  // different random init
+  ASSERT_TRUE(LoadClassifier(restored, path).ok());
+  Tensor actual = restored.Forward(x, /*training=*/false);
+  ASSERT_TRUE(SameShape(expected, actual));
+  for (int64_t i = 0; i < expected.numel(); ++i) {
+    ASSERT_FLOAT_EQ(expected.data()[i], actual.data()[i]);
+  }
+  std::remove((path + ".extractor").c_str());
+  std::remove((path + ".head").c_str());
+}
+
+TEST(SerializeTest, RunningStatsArePersisted) {
+  ImageClassifier original = SmallNet(3);
+  Rng rng(4);
+  // Several training passes move the running stats away from (0, 1).
+  for (int i = 0; i < 5; ++i) {
+    Tensor x = Tensor::Uniform({8, 3, 8, 8}, 2.0f, 3.0f, rng);
+    original.Forward(x, /*training=*/true);
+  }
+  std::string path = TempPath("stats.eosw");
+  ASSERT_TRUE(SaveParameters(*original.extractor, path).ok());
+
+  ImageClassifier restored = SmallNet(5);
+  ASSERT_TRUE(LoadParameters(*restored.extractor, path).ok());
+  std::vector<Tensor*> original_buffers;
+  std::vector<Tensor*> restored_buffers;
+  original.extractor->CollectBuffers(original_buffers);
+  restored.extractor->CollectBuffers(restored_buffers);
+  ASSERT_EQ(original_buffers.size(), restored_buffers.size());
+  ASSERT_FALSE(original_buffers.empty());
+  for (size_t i = 0; i < original_buffers.size(); ++i) {
+    for (int64_t j = 0; j < original_buffers[i]->numel(); ++j) {
+      ASSERT_FLOAT_EQ(original_buffers[i]->data()[j],
+                      restored_buffers[i]->data()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  ImageClassifier small = SmallNet(6);
+  std::string path = TempPath("mismatch.eosw");
+  ASSERT_TRUE(SaveParameters(*small.head, path).ok());
+
+  Rng rng(7);
+  ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = 7;  // different head width
+  ImageClassifier other = BuildResNet(config, rng);
+  Status status = LoadParameters(*other.head, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  std::string path = TempPath("garbage.eosw");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a weights file", f);
+  std::fclose(f);
+  ImageClassifier net = SmallNet(8);
+  Status status = LoadParameters(*net.head, path);
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  ImageClassifier net = SmallNet(9);
+  Status status = LoadParameters(*net.head, "/nonexistent/file.eosw");
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, BuffersCollectedInDeterministicOrder) {
+  ImageClassifier a = SmallNet(10);
+  ImageClassifier b = SmallNet(10);
+  std::vector<Tensor*> buffers_a;
+  std::vector<Tensor*> buffers_b;
+  a.extractor->CollectBuffers(buffers_a);
+  b.extractor->CollectBuffers(buffers_b);
+  ASSERT_EQ(buffers_a.size(), buffers_b.size());
+  for (size_t i = 0; i < buffers_a.size(); ++i) {
+    EXPECT_EQ(buffers_a[i]->shape(), buffers_b[i]->shape());
+  }
+}
+
+}  // namespace
+}  // namespace eos::nn

@@ -1,0 +1,365 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sampling/adasyn.h"
+#include "sampling/balanced_svm_os.h"
+#include "sampling/borderline_smote.h"
+#include "sampling/eos.h"
+#include "sampling/oversampler.h"
+#include "sampling/random_os.h"
+#include "sampling/remix.h"
+#include "sampling/smote.h"
+
+namespace eos {
+namespace {
+
+// Two Gaussian blobs with a 10:2 imbalance; minority sits next to the
+// majority so borderline structure exists.
+FeatureSet ImbalancedBlobs(int64_t majority = 40, int64_t minority = 8,
+                           float separation = 2.0f, uint64_t seed = 1) {
+  Rng rng(seed);
+  FeatureSet out;
+  out.num_classes = 2;
+  out.features = Tensor({majority + minority, 2});
+  for (int64_t i = 0; i < majority; ++i) {
+    out.features.at(i, 0) = rng.Normal(0.0f, 0.5f);
+    out.features.at(i, 1) = rng.Normal(0.0f, 0.5f);
+    out.labels.push_back(0);
+  }
+  for (int64_t i = 0; i < minority; ++i) {
+    out.features.at(majority + i, 0) = rng.Normal(separation, 0.4f);
+    out.features.at(majority + i, 1) = rng.Normal(0.0f, 0.4f);
+    out.labels.push_back(1);
+  }
+  return out;
+}
+
+// Per-dimension [min, max] of the rows of `set` with the given label.
+std::pair<std::vector<float>, std::vector<float>> ClassBox(
+    const FeatureSet& set, int64_t label) {
+  int64_t d = set.features.size(1);
+  std::vector<float> lo(static_cast<size_t>(d), 1e30f);
+  std::vector<float> hi(static_cast<size_t>(d), -1e30f);
+  for (int64_t i = 0; i < set.size(); ++i) {
+    if (set.labels[static_cast<size_t>(i)] != label) continue;
+    for (int64_t j = 0; j < d; ++j) {
+      lo[static_cast<size_t>(j)] =
+          std::min(lo[static_cast<size_t>(j)], set.features.at(i, j));
+      hi[static_cast<size_t>(j)] =
+          std::max(hi[static_cast<size_t>(j)], set.features.at(i, j));
+    }
+  }
+  return {lo, hi};
+}
+
+void ExpectBalanced(const FeatureSet& result) {
+  auto counts = result.ClassCounts();
+  int64_t mx = *std::max_element(counts.begin(), counts.end());
+  for (size_t c = 0; c < counts.size(); ++c) {
+    EXPECT_EQ(counts[c], mx) << "class " << c;
+  }
+}
+
+void ExpectOriginalRowsPreserved(const FeatureSet& original,
+                                 const FeatureSet& result) {
+  ASSERT_GE(result.size(), original.size());
+  for (int64_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(result.labels[static_cast<size_t>(i)],
+              original.labels[static_cast<size_t>(i)]);
+    for (int64_t j = 0; j < original.features.size(1); ++j) {
+      ASSERT_EQ(result.features.at(i, j), original.features.at(i, j));
+    }
+  }
+}
+
+class BalancingSamplerTest : public ::testing::TestWithParam<SamplerKind> {};
+
+TEST_P(BalancingSamplerTest, BalancesAllClasses) {
+  FeatureSet data = ImbalancedBlobs();
+  SamplerConfig config;
+  config.kind = GetParam();
+  config.k_neighbors = 5;
+  auto sampler = MakeOversampler(config);
+  Rng rng(7);
+  FeatureSet result = sampler->Resample(data, rng);
+  if (GetParam() != SamplerKind::kBalancedSvm) {
+    // Balanced-SVM relabels candidates, so exact balance is not guaranteed.
+    ExpectBalanced(result);
+  }
+  EXPECT_EQ(result.size(), 80);  // 40 + 40 rows total either way
+  ExpectOriginalRowsPreserved(data, result);
+}
+
+TEST_P(BalancingSamplerTest, DeterministicGivenSeed) {
+  FeatureSet data = ImbalancedBlobs();
+  SamplerConfig config;
+  config.kind = GetParam();
+  auto s1 = MakeOversampler(config);
+  auto s2 = MakeOversampler(config);
+  Rng r1(9);
+  Rng r2(9);
+  FeatureSet a = s1->Resample(data, r1);
+  FeatureSet b = s2->Resample(data, r2);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.labels, b.labels);
+  for (int64_t i = 0; i < a.features.numel(); ++i) {
+    ASSERT_EQ(a.features.data()[i], b.features.data()[i]);
+  }
+}
+
+TEST_P(BalancingSamplerTest, AllValuesFinite) {
+  FeatureSet data = ImbalancedBlobs();
+  SamplerConfig config;
+  config.kind = GetParam();
+  auto sampler = MakeOversampler(config);
+  Rng rng(11);
+  FeatureSet result = sampler->Resample(data, rng);
+  for (int64_t i = 0; i < result.features.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(result.features.data()[i]));
+  }
+}
+
+TEST_P(BalancingSamplerTest, SingletonClassHandled) {
+  FeatureSet data = ImbalancedBlobs(/*majority=*/20, /*minority=*/1);
+  SamplerConfig config;
+  config.kind = GetParam();
+  auto sampler = MakeOversampler(config);
+  Rng rng(13);
+  FeatureSet result = sampler->Resample(data, rng);
+  EXPECT_EQ(result.size(), 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, BalancingSamplerTest,
+    ::testing::Values(SamplerKind::kRandom, SamplerKind::kSmote,
+                      SamplerKind::kBorderlineSmote, SamplerKind::kAdasyn,
+                      SamplerKind::kBalancedSvm, SamplerKind::kRemix,
+                      SamplerKind::kEos));
+
+TEST(SmoteTest, StaysInsideClassBoundingBox) {
+  // SMOTE interpolates within the class, so no synthetic coordinate can
+  // leave the class's per-dimension range — the limitation §II-A describes.
+  FeatureSet data = ImbalancedBlobs();
+  auto [lo, hi] = ClassBox(data, 1);
+  Smote smote(3);
+  Rng rng(15);
+  FeatureSet result = smote.Resample(data, rng);
+  for (int64_t i = data.size(); i < result.size(); ++i) {
+    ASSERT_EQ(result.labels[static_cast<size_t>(i)], 1);
+    for (int64_t j = 0; j < 2; ++j) {
+      ASSERT_GE(result.features.at(i, j), lo[static_cast<size_t>(j)] - 1e-5f);
+      ASSERT_LE(result.features.at(i, j), hi[static_cast<size_t>(j)] + 1e-5f);
+    }
+  }
+}
+
+TEST(EosTest, ConvexModeExpandsTowardEnemies) {
+  FeatureSet data = ImbalancedBlobs(/*majority=*/40, /*minority=*/8,
+                                    /*separation=*/1.2f);
+  auto [lo, hi] = ClassBox(data, 1);
+  ExpansiveOversampler eos_sampler(/*k_neighbors=*/10, EosMode::kConvex);
+  Rng rng(17);
+  FeatureSet result = eos_sampler.Resample(data, rng);
+  // Expect at least one synthetic minority point outside the original
+  // minority box, pulled toward the majority blob (smaller x).
+  auto [rlo, rhi] = ClassBox(result, 1);
+  EXPECT_LT(rlo[0], lo[0] - 1e-4f);
+  // Stats recorded expansion, not fallback.
+  const auto& stats = eos_sampler.last_stats();
+  EXPECT_GT(stats.borderline_bases[1], 0);
+  EXPECT_GT(stats.expanded[1], 0);
+  EXPECT_EQ(stats.fallback[1], 0);
+}
+
+TEST(EosTest, ConvexSamplesLieOnBaseEnemySegments) {
+  // Every convex sample must stay inside the union bounding box of the
+  // minority class and the whole dataset (it is on a segment between a
+  // minority point and a dataset point).
+  FeatureSet data = ImbalancedBlobs();
+  auto [glo, ghi] = ClassBox(data, 0);
+  auto [mlo, mhi] = ClassBox(data, 1);
+  std::vector<float> lo(2), hi(2);
+  for (int j = 0; j < 2; ++j) {
+    lo[static_cast<size_t>(j)] = std::min(glo[static_cast<size_t>(j)],
+                                          mlo[static_cast<size_t>(j)]);
+    hi[static_cast<size_t>(j)] = std::max(ghi[static_cast<size_t>(j)],
+                                          mhi[static_cast<size_t>(j)]);
+  }
+  ExpansiveOversampler eos_sampler(10, EosMode::kConvex);
+  Rng rng(19);
+  FeatureSet result = eos_sampler.Resample(data, rng);
+  for (int64_t i = data.size(); i < result.size(); ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      ASSERT_GE(result.features.at(i, j), lo[static_cast<size_t>(j)] - 1e-5f);
+      ASSERT_LE(result.features.at(i, j), hi[static_cast<size_t>(j)] + 1e-5f);
+    }
+  }
+}
+
+TEST(EosTest, ReflectModeExpandsAwayFromEnemies) {
+  FeatureSet data = ImbalancedBlobs(/*majority=*/40, /*minority=*/8,
+                                    /*separation=*/1.2f);
+  auto [lo, hi] = ClassBox(data, 1);
+  ExpansiveOversampler eos_sampler(10, EosMode::kReflect);
+  Rng rng(21);
+  FeatureSet result = eos_sampler.Resample(data, rng);
+  // Reflection pushes away from the majority (larger x than the box edge).
+  auto [rlo, rhi] = ClassBox(result, 1);
+  EXPECT_GT(rhi[0], hi[0] + 1e-4f);
+}
+
+TEST(EosTest, FallsBackWhenNoEnemiesInNeighborhood) {
+  // Separation so large that no minority K-neighborhood reaches the
+  // majority class: EOS must fall back to intra-class interpolation.
+  FeatureSet data = ImbalancedBlobs(/*majority=*/30, /*minority=*/10,
+                                    /*separation=*/500.0f);
+  ExpansiveOversampler eos_sampler(/*k_neighbors=*/3, EosMode::kConvex);
+  Rng rng(23);
+  FeatureSet result = eos_sampler.Resample(data, rng);
+  ExpectBalanced(result);
+  const auto& stats = eos_sampler.last_stats();
+  EXPECT_EQ(stats.expanded[1], 0);
+  EXPECT_GT(stats.fallback[1], 0);
+}
+
+TEST(EosTest, LargerKFindsMoreBorderlineBases) {
+  // Table IV's mechanism: a larger neighborhood admits more enemy
+  // neighbors, hence more (or equal) borderline bases.
+  FeatureSet data = ImbalancedBlobs(/*majority=*/60, /*minority=*/12,
+                                    /*separation=*/2.5f);
+  Rng rng(25);
+  ExpansiveOversampler small_k(3, EosMode::kConvex);
+  small_k.Resample(data, rng);
+  int64_t bases_small = small_k.last_stats().borderline_bases[1];
+  ExpansiveOversampler large_k(30, EosMode::kConvex);
+  large_k.Resample(data, rng);
+  int64_t bases_large = large_k.last_stats().borderline_bases[1];
+  EXPECT_GE(bases_large, bases_small);
+  EXPECT_GT(bases_large, 0);
+}
+
+TEST(BorderlineSmoteTest, UsesDangerPointsWhenPresent) {
+  FeatureSet data = ImbalancedBlobs(/*majority=*/40, /*minority=*/8,
+                                    /*separation=*/1.0f);
+  BorderlineSmote sampler(5);
+  Rng rng(27);
+  FeatureSet result = sampler.Resample(data, rng);
+  ExpectBalanced(result);
+  // Synthetic rows still within the minority bounding box (interpolative).
+  auto [lo, hi] = ClassBox(data, 1);
+  for (int64_t i = data.size(); i < result.size(); ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      ASSERT_GE(result.features.at(i, j), lo[static_cast<size_t>(j)] - 1e-5f);
+      ASSERT_LE(result.features.at(i, j), hi[static_cast<size_t>(j)] + 1e-5f);
+    }
+  }
+}
+
+TEST(AdasynTest, AllocatesTowardHardExamples) {
+  // One minority point adjacent to the majority blob, others far away:
+  // most synthesis should interpolate near the hard point's side.
+  FeatureSet data;
+  data.num_classes = 2;
+  data.features = Tensor({13, 2});
+  data.labels.assign(13, 0);
+  Rng rng(29);
+  for (int64_t i = 0; i < 10; ++i) {
+    data.features.at(i, 0) = rng.Normal(0.0f, 0.2f);
+    data.features.at(i, 1) = rng.Normal(0.0f, 0.2f);
+  }
+  // Minority: one borderline point at x=0.5, two safe points at x=5.
+  data.features.at(10, 0) = 0.5f;
+  data.features.at(10, 1) = 0.0f;
+  data.features.at(11, 0) = 5.0f;
+  data.features.at(11, 1) = 0.0f;
+  data.features.at(12, 0) = 5.2f;
+  data.features.at(12, 1) = 0.1f;
+  data.labels[10] = data.labels[11] = data.labels[12] = 1;
+
+  Adasyn sampler(5);
+  FeatureSet result = sampler.Resample(data, rng);
+  ExpectBalanced(result);
+  // Count synthetic rows closer to the borderline point than to the safe
+  // cluster; difficulty weighting should favor the borderline side.
+  int64_t near_border = 0;
+  int64_t total = 0;
+  for (int64_t i = data.size(); i < result.size(); ++i) {
+    float x = result.features.at(i, 0);
+    ++total;
+    if (std::fabs(x - 0.5f) < std::fabs(x - 5.0f)) ++near_border;
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_GT(near_border, total / 4);
+}
+
+TEST(BalancedSvmTest, RelabelsWithValidClasses) {
+  FeatureSet data = ImbalancedBlobs();
+  BalancedSvmOversampler sampler(5);
+  Rng rng(31);
+  FeatureSet result = sampler.Resample(data, rng);
+  EXPECT_EQ(result.size(), 80);
+  for (int64_t y : result.labels) {
+    EXPECT_TRUE(y == 0 || y == 1);
+  }
+  // With well-separated blobs the SVM should keep nearly all minority
+  // candidates minority.
+  auto counts = result.ClassCounts();
+  EXPECT_GT(counts[1], 30);
+}
+
+TEST(RemixTest, SyntheticDominatedByBase) {
+  FeatureSet data = ImbalancedBlobs(/*majority=*/40, /*minority=*/8,
+                                    /*separation=*/3.0f);
+  RemixOversampler sampler(/*min_lambda=*/0.8, /*kappa=*/2.0);
+  Rng rng(33);
+  FeatureSet result = sampler.Resample(data, rng);
+  ExpectBalanced(result);
+  // With lambda >= 0.8 toward a minority base at x ~ 3 and partner at
+  // x ~ 0, synthetic x stays above ~0.8 * min_minority_x + 0.2 * min_all.
+  for (int64_t i = data.size(); i < result.size(); ++i) {
+    EXPECT_GT(result.features.at(i, 0), 1.0f);
+  }
+}
+
+TEST(OversamplerTest, FlattenUnflattenRoundTrip) {
+  Dataset d;
+  d.images = Tensor({3, 3, 4, 4});
+  Rng rng(35);
+  for (int64_t i = 0; i < d.images.numel(); ++i) {
+    d.images.data()[i] = rng.Uniform();
+  }
+  d.labels = {0, 1, 0};
+  d.num_classes = 2;
+  FeatureSet flat = FlattenImages(d);
+  EXPECT_EQ(flat.features.size(1), 48);
+  Dataset back = UnflattenImages(flat, 3, 4, 4);
+  EXPECT_EQ(back.images.shape(), d.images.shape());
+  EXPECT_TRUE(back.images.SharesBufferWith(d.images));
+  EXPECT_EQ(back.labels, d.labels);
+}
+
+TEST(OversamplerTest, TargetCountsAreMax) {
+  EXPECT_EQ(BalancedTargetCounts({10, 3, 7}),
+            (std::vector<int64_t>{10, 10, 10}));
+}
+
+TEST(OversamplerTest, AlreadyBalancedIsNoOp) {
+  FeatureSet data = ImbalancedBlobs(/*majority=*/10, /*minority=*/10);
+  Smote smote(3);
+  Rng rng(37);
+  FeatureSet result = smote.Resample(data, rng);
+  EXPECT_EQ(result.size(), data.size());
+}
+
+TEST(OversamplerTest, KindNamesStable) {
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kEos), "EOS");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kSmote), "SMOTE");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kBorderlineSmote), "B-SMOTE");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kBalancedSvm), "Bal-SVM");
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,99 @@
+#include "tensor/matmul.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+namespace {
+
+// Reference O(mnk) triple loop in double precision.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  int64_t m = a.size(0);
+  int64_t k = a.size(1);
+  int64_t n = b.size(1);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+      }
+      out.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+void ExpectClose(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_TRUE(SameShape(a, b));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, MatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  Tensor a = Tensor::Uniform({m, k}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::Uniform({k, n}, -1.0f, 1.0f, rng);
+  ExpectClose(MatMul(a, b), NaiveMatMul(a, b));
+}
+
+TEST_P(MatMulShapeTest, TransposedVariantsConsistent) {
+  auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  Tensor a = Tensor::Uniform({m, k}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::Uniform({k, n}, -1.0f, 1.0f, rng);
+  Tensor expected = MatMul(a, b);
+  // TN: a stored transposed.
+  ExpectClose(MatMulTN(Transpose2D(a), b), expected);
+  // NT: b stored transposed.
+  ExpectClose(MatMulNT(a, Transpose2D(b)), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 32, 8), std::make_tuple(33, 17, 9),
+                      std::make_tuple(64, 27, 49)));
+
+TEST(MatMulTest, AccumulateAddsToExisting) {
+  Rng rng(1);
+  Tensor a = Tensor::Uniform({3, 4}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::Uniform({4, 2}, -1.0f, 1.0f, rng);
+  Tensor out = Tensor::Full({3, 2}, 10.0f);
+  MatMulAccumulate(a, b, out);
+  Tensor expected = Add(MatMul(a, b), Tensor::Full({3, 2}, 10.0f));
+  ExpectClose(out, expected);
+}
+
+TEST(MatMulTest, IdentityIsNoOp) {
+  Rng rng(2);
+  Tensor a = Tensor::Uniform({5, 5}, -1.0f, 1.0f, rng);
+  Tensor eye({5, 5});
+  for (int64_t i = 0; i < 5; ++i) eye.at(i, i) = 1.0f;
+  ExpectClose(MatMul(a, eye), a);
+  ExpectClose(MatMul(eye, a), a);
+}
+
+TEST(MatMulTest, ZeroSkipPathCorrect) {
+  // GemmNN / GemmTN skip zero multipliers; a sparse operand must still give
+  // exact results.
+  Rng rng(3);
+  Tensor a({4, 6});
+  a.at(0, 0) = 2.0f;
+  a.at(3, 5) = -1.0f;
+  Tensor b = Tensor::Uniform({6, 3}, -1.0f, 1.0f, rng);
+  ExpectClose(MatMul(a, b), NaiveMatMul(a, b));
+}
+
+}  // namespace
+}  // namespace eos

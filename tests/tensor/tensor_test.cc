@@ -1,0 +1,169 @@
+#include "tensor/tensor.h"
+
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(), 2);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndFromVector) {
+  Tensor f = Tensor::Full({2, 2}, 3.5f);
+  EXPECT_EQ(f.at(1, 1), 3.5f);
+  Tensor v = Tensor::FromVector({3}, {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(v.at(2), 3.0f);
+}
+
+TEST(TensorTest, NegativeSizeIndex) {
+  Tensor t({4, 5, 6});
+  EXPECT_EQ(t.size(-1), 6);
+  EXPECT_EQ(t.size(-3), 4);
+}
+
+TEST(TensorTest, AtRowMajorLayout) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t.data()[5], 9.0f);
+  Tensor u({2, 2, 2});
+  u.at(1, 0, 1) = 4.0f;
+  EXPECT_EQ(u.data()[5], 4.0f);
+  Tensor w({2, 2, 2, 2});
+  w.at(1, 1, 1, 1) = 8.0f;
+  EXPECT_EQ(w.data()[15], 8.0f);
+}
+
+TEST(TensorTest, CopySharesBuffer) {
+  Tensor a({2, 2});
+  Tensor b = a;
+  b.at(0, 0) = 5.0f;
+  EXPECT_EQ(a.at(0, 0), 5.0f);
+  EXPECT_TRUE(a.SharesBufferWith(b));
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Full({2, 2}, 1.0f);
+  Tensor b = a.Clone();
+  b.at(0, 0) = 7.0f;
+  EXPECT_EQ(a.at(0, 0), 1.0f);
+  EXPECT_FALSE(a.SharesBufferWith(b));
+}
+
+TEST(TensorTest, ReshapeSharesAndInfers) {
+  Tensor a = Tensor::FromVector({2, 6}, std::vector<float>(12, 1.0f));
+  Tensor b = a.Reshape({3, -1});
+  EXPECT_EQ(b.size(0), 3);
+  EXPECT_EQ(b.size(1), 4);
+  EXPECT_TRUE(a.SharesBufferWith(b));
+}
+
+TEST(TensorTest, RandomFactoriesDeterministic) {
+  Rng r1(3), r2(3);
+  Tensor a = Tensor::Uniform({10}, -1.0f, 1.0f, r1);
+  Tensor b = Tensor::Uniform({10}, -1.0f, 1.0f, r2);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.at(i), b.at(i));
+    EXPECT_GE(a.at(i), -1.0f);
+    EXPECT_LT(a.at(i), 1.0f);
+  }
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({4, 3, 2, 1}).ShapeString(), "[4, 3, 2, 1]");
+}
+
+TEST(TensorOpsTest, AddSubMulScale) {
+  Tensor a = Tensor::FromVector({3}, {1.0f, 2.0f, 3.0f});
+  Tensor b = Tensor::FromVector({3}, {4.0f, 5.0f, 6.0f});
+  EXPECT_EQ(Add(a, b).at(0), 5.0f);
+  EXPECT_EQ(Sub(b, a).at(2), 3.0f);
+  EXPECT_EQ(Mul(a, b).at(1), 10.0f);
+  EXPECT_EQ(Scale(a, 2.0f).at(2), 6.0f);
+  Tensor c = a.Clone();
+  AddInPlace(c, b);
+  EXPECT_EQ(c.at(0), 5.0f);
+  Axpy(0.5f, b, c);
+  EXPECT_EQ(c.at(0), 7.0f);
+  ScaleInPlace(c, 0.0f);
+  EXPECT_EQ(Sum(c), 0.0);
+}
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({4}, {1.0f, -2.0f, 3.0f, -4.0f});
+  EXPECT_DOUBLE_EQ(Sum(a), -2.0);
+  EXPECT_DOUBLE_EQ(Mean(a), -0.5);
+  EXPECT_EQ(MaxAbs(a), 4.0f);
+  EXPECT_NEAR(Norm2(a), std::sqrt(30.0), 1e-6);
+}
+
+TEST(TensorOpsTest, Transpose2D) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2D(a);
+  EXPECT_EQ(t.size(0), 3);
+  EXPECT_EQ(t.size(1), 2);
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+}
+
+TEST(TensorOpsTest, ArgMaxRows) {
+  Tensor a = Tensor::FromVector({2, 3}, {0.1f, 0.9f, 0.2f, 5.0f, 1.0f, 2.0f});
+  auto idx = ArgMaxRows(a);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 3},
+                                {1.0f, 2.0f, 3.0f, -100.0f, 0.0f, 100.0f});
+  Tensor p = SoftmaxRows(a);
+  for (int64_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_GE(p.at(i, j), 0.0f);
+      sum += p.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  // Extreme logits stay finite.
+  EXPECT_NEAR(p.at(1, 2), 1.0f, 1e-5);
+}
+
+TEST(TensorOpsTest, LogSoftmaxMatchesSoftmax) {
+  Tensor a = Tensor::FromVector({1, 4}, {0.5f, -1.0f, 2.0f, 0.0f});
+  Tensor p = SoftmaxRows(a);
+  Tensor lp = LogSoftmaxRows(a);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(std::exp(lp.at(0, j)), p.at(0, j), 1e-5);
+  }
+}
+
+TEST(TensorOpsTest, GatherConcatRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {2, 0});
+  EXPECT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_EQ(g.at(1, 1), 2.0f);
+  Tensor c = ConcatRows({a, g});
+  EXPECT_EQ(c.size(0), 5);
+  EXPECT_EQ(c.at(3, 0), 5.0f);
+}
+
+TEST(TensorOpsTest, GatherImages) {
+  Tensor imgs({3, 1, 2, 2});
+  for (int64_t i = 0; i < imgs.numel(); ++i) {
+    imgs.data()[i] = static_cast<float>(i);
+  }
+  Tensor g = GatherImages(imgs, {2});
+  EXPECT_EQ(g.size(0), 1);
+  EXPECT_EQ(g.at(0, 0, 0, 0), 8.0f);
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,152 @@
+#include "tsne/tsne.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace eos {
+namespace {
+
+// Three well-separated Gaussian clusters in 10-d.
+Tensor Clusters(std::vector<int64_t>* labels, int64_t per_cluster = 30,
+                uint64_t seed = 1) {
+  Rng rng(seed);
+  Tensor points({3 * per_cluster, 10});
+  labels->clear();
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t i = 0; i < per_cluster; ++i) {
+      int64_t row = c * per_cluster + i;
+      for (int64_t j = 0; j < 10; ++j) {
+        float center = (j == c) ? 8.0f : 0.0f;
+        points.at(row, j) = rng.Normal(center, 0.5f);
+      }
+      labels->push_back(c);
+    }
+  }
+  return points;
+}
+
+double NeighborPurity(const Tensor& embedding,
+                      const std::vector<int64_t>& labels, int64_t k) {
+  int64_t n = embedding.size(0);
+  int64_t pure = 0;
+  int64_t total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    // k nearest in 2-d by brute force.
+    std::vector<std::pair<float, int64_t>> dist;
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      float dx = embedding.at(i, 0) - embedding.at(j, 0);
+      float dy = embedding.at(i, 1) - embedding.at(j, 1);
+      dist.emplace_back(dx * dx + dy * dy, j);
+    }
+    std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+    for (int64_t q = 0; q < k; ++q) {
+      ++total;
+      if (labels[static_cast<size_t>(dist[static_cast<size_t>(q)].second)] ==
+          labels[static_cast<size_t>(i)]) {
+        ++pure;
+      }
+    }
+  }
+  return static_cast<double>(pure) / static_cast<double>(total);
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along (1, 1, 0, ...) with small noise: first PC explains most
+  // variance, so 1-d projection spread must far exceed the noise scale.
+  Rng rng(2);
+  Tensor points({100, 5});
+  for (int64_t i = 0; i < 100; ++i) {
+    float t = rng.Normal(0.0f, 3.0f);
+    for (int64_t j = 0; j < 5; ++j) {
+      float base = (j < 2) ? t : 0.0f;
+      points.at(i, j) = base + rng.Normal(0.0f, 0.05f);
+    }
+  }
+  Rng pca_rng(3);
+  Tensor proj = PcaProject(points, 1, pca_rng);
+  ASSERT_EQ(proj.size(0), 100);
+  ASSERT_EQ(proj.size(1), 1);
+  double var = 0.0;
+  double mean = 0.0;
+  for (int64_t i = 0; i < 100; ++i) mean += proj.at(i, 0);
+  mean /= 100.0;
+  for (int64_t i = 0; i < 100; ++i) {
+    var += (proj.at(i, 0) - mean) * (proj.at(i, 0) - mean);
+  }
+  var /= 100.0;
+  // Variance along PC1 should be ~ 2 * 9 = 18 (direction norm sqrt(2)).
+  EXPECT_GT(var, 10.0);
+}
+
+TEST(PcaTest, ComponentsAreOrthogonalProjections) {
+  Rng rng(4);
+  Tensor points = Tensor::Uniform({60, 6}, -1.0f, 1.0f, rng);
+  Rng pca_rng(5);
+  Tensor proj = PcaProject(points, 2, pca_rng);
+  // Projections onto orthogonal components are uncorrelated.
+  double mean0 = 0.0;
+  double mean1 = 0.0;
+  for (int64_t i = 0; i < 60; ++i) {
+    mean0 += proj.at(i, 0);
+    mean1 += proj.at(i, 1);
+  }
+  mean0 /= 60.0;
+  mean1 /= 60.0;
+  double cov = 0.0;
+  double var0 = 0.0;
+  double var1 = 0.0;
+  for (int64_t i = 0; i < 60; ++i) {
+    double a = proj.at(i, 0) - mean0;
+    double b = proj.at(i, 1) - mean1;
+    cov += a * b;
+    var0 += a * a;
+    var1 += b * b;
+  }
+  double corr = cov / (std::sqrt(var0 * var1) + 1e-12);
+  EXPECT_LT(std::fabs(corr), 0.15);
+}
+
+TEST(TsneTest, PreservesClusterStructure) {
+  std::vector<int64_t> labels;
+  Tensor points = Clusters(&labels);
+  TsneOptions options;
+  options.iterations = 250;
+  options.perplexity = 15.0;
+  Tensor embedding = Tsne(points, options);
+  ASSERT_EQ(embedding.size(0), points.size(0));
+  ASSERT_EQ(embedding.size(1), 2);
+  for (int64_t i = 0; i < embedding.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(embedding.data()[i]));
+  }
+  // Well-separated clusters should stay >90% pure in the embedding.
+  EXPECT_GT(NeighborPurity(embedding, labels, 5), 0.9);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  std::vector<int64_t> labels;
+  Tensor points = Clusters(&labels, /*per_cluster=*/10);
+  TsneOptions options;
+  options.iterations = 60;
+  Tensor a = Tsne(points, options);
+  Tensor b = Tsne(points, options);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(TsneTest, PerplexityClampedForTinyInputs) {
+  Rng rng(6);
+  Tensor points = Tensor::Uniform({5, 3}, -1.0f, 1.0f, rng);
+  TsneOptions options;
+  options.perplexity = 50.0;  // far above (n-1)/3
+  options.iterations = 40;
+  Tensor embedding = Tsne(points, options);
+  for (int64_t i = 0; i < embedding.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(embedding.data()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace eos
