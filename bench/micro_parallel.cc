@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the src/runtime/ parallel
+// subsystem: GEMM, conv forward/backward, and batched kNN throughput as a
+// function of thread count (1/2/4/8), so the runtime's speedup is measured,
+// not asserted. Each benchmark pins the lane count via SetThreadCount; the
+// reported Gemm/256/threads:4 vs threads:1 ratio is the headline number.
+//
+// Run: ./micro_parallel [--benchmark_filter=...]. EOS_THREADS does not
+// apply here (the benchmarks override it); it does apply to every other
+// binary in the repo.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ml/knn.h"
+#include "nn/conv2d.h"
+#include "runtime/thread_pool.h"
+#include "tensor/matmul.h"
+
+namespace eos {
+namespace {
+
+void BM_GemmThreads(benchmark::State& state) {
+  runtime::SetThreadCount(static_cast<int>(state.range(1)));
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Uniform({n, n}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::Uniform({n, n}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmThreads)
+    ->UseRealTime()
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({512, 1})
+    ->Args({512, 4});
+
+void BM_GemmTNDeepK(benchmark::State& state) {
+  // Classifier-head weight-gradient shape: small m, deep k — exercises the
+  // k-partitioned tile path.
+  runtime::SetThreadCount(static_cast<int>(state.range(0)));
+  Rng rng(2);
+  int64_t k = 4096, m = 10, n = 64;
+  Tensor a = Tensor::Uniform({k, m}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::Uniform({k, n}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTN(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_GemmTNDeepK)
+    ->UseRealTime()
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+void BM_ConvForwardThreads(benchmark::State& state) {
+  runtime::SetThreadCount(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  nn::Conv2d conv(/*in=*/16, /*out=*/32, /*kernel=*/3, /*stride=*/1,
+                  /*pad=*/1, /*bias=*/false, rng);
+  Tensor x = Tensor::Uniform({16, 16, 32, 32}, -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, /*training=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() * x.size(0));
+}
+BENCHMARK(BM_ConvForwardThreads)
+    ->UseRealTime()
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+void BM_ConvBackwardThreads(benchmark::State& state) {
+  runtime::SetThreadCount(static_cast<int>(state.range(0)));
+  Rng rng(4);
+  nn::Conv2d conv(/*in=*/16, /*out=*/32, /*kernel=*/3, /*stride=*/1,
+                  /*pad=*/1, /*bias=*/true, rng);
+  Tensor x = Tensor::Uniform({16, 16, 32, 32}, -1.0f, 1.0f, rng);
+  Tensor y = conv.Forward(x, /*training=*/true);
+  Tensor dy = Tensor::Uniform(y.shape(), -1.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Backward(dy));
+  }
+  state.SetItemsProcessed(state.iterations() * x.size(0));
+}
+BENCHMARK(BM_ConvBackwardThreads)
+    ->UseRealTime()
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+void BM_KnnQueryRowsThreads(benchmark::State& state) {
+  // The EOS/SMOTE/ADASYN neighborhood scan: leave-one-out queries for every
+  // point of a minority class against the full embedding set.
+  runtime::SetThreadCount(static_cast<int>(state.range(0)));
+  Rng rng(5);
+  Tensor points = Tensor::Uniform({4000, 64}, -1.0f, 1.0f, rng);
+  KnnIndex index(points);
+  std::vector<int64_t> rows(500);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = static_cast<int64_t>(i) * 7 % 4000;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.QueryRows(rows, 10));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_KnnQueryRowsThreads)
+    ->UseRealTime()
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+}  // namespace
+}  // namespace eos
+
+BENCHMARK_MAIN();

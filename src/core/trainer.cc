@@ -5,6 +5,7 @@
 #include "data/batcher.h"
 #include "data/transforms.h"
 #include "nn/optimizer.h"
+#include "runtime/parallel_for.h"
 #include "tensor/tensor_ops.h"
 
 namespace eos {
@@ -41,10 +42,9 @@ void TrainEndToEnd(nn::ImageClassifier& net, Loss& loss, const Dataset& train,
         if (options.crop_pad > 0) RandomCrop(images, options.crop_pad, rng);
         RandomHorizontalFlip(images, rng);
       }
-      std::vector<int64_t> targets;
-      targets.reserve(batch.size());
-      for (int64_t i : batch) {
-        targets.push_back(train.labels[static_cast<size_t>(i)]);
+      std::vector<int64_t> targets(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        targets[i] = train.labels[static_cast<size_t>(batch[i])];
       }
       optimizer.ZeroGrad();
       Tensor logits = net.Forward(images, /*training=*/true);
@@ -90,13 +90,20 @@ FeatureSet ExtractEmbeddings(nn::ImageClassifier& net, const Dataset& data,
   out.num_classes = data.num_classes;
   auto batches = MakeBatches(n, batch_size, nullptr);
   int64_t row = 0;
+  // Batches stay sequential (module caches are not thread-safe); the
+  // per-sample embedding copy-out fans out over the runtime pool.
   for (const auto& batch : batches) {
     Tensor x = GatherImages(data.images, batch);
     Tensor fe = net.ExtractFeatures(x, /*training=*/false);
     EOS_CHECK_EQ(fe.size(1), net.feature_dim);
-    for (int64_t i = 0; i < fe.size(0); ++i) {
-      CopyRow(fe, i, out.features, row++);
-    }
+    int64_t base = row;
+    runtime::ParallelFor(0, fe.size(0), /*grain=*/16,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             CopyRow(fe, i, out.features, base + i);
+                           }
+                         });
+    row += fe.size(0);
   }
   EOS_CHECK_EQ(row, n);
   return out;

@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <queue>
 
+#include "runtime/parallel_for.h"
+
 namespace eos {
+namespace {
+
+// Queries per ParallelFor chunk: one brute-force scan is O(N * D) work, so a
+// few queries already amortize the chunk claim.
+constexpr int64_t kQueryGrain = 4;
+
+}  // namespace
 
 KnnIndex::KnnIndex(const Tensor& points) : points_(points) {
   EOS_CHECK_EQ(points.dim(), 2);
@@ -28,17 +37,21 @@ std::vector<int64_t> KnnIndex::Query(const float* query, int64_t k,
   int64_t available = n_ - (exclude >= 0 && exclude < n_ ? 1 : 0);
   k = std::min(k, available);
   if (k <= 0) return {};
-  // Max-heap of (distance, index) keeps the k best seen so far.
+  // Max-heap of (distance, index) keeps the k best seen so far. Pair
+  // ordering makes the tie-break explicit: among equal distances the larger
+  // index is the worse entry, so the selected set and its output order are
+  // ascending (distance, index) — deterministic regardless of how the scan
+  // is batched or parallelized.
   using Entry = std::pair<float, int64_t>;
   std::priority_queue<Entry> heap;
   for (int64_t i = 0; i < n_; ++i) {
     if (i == exclude) continue;
-    float dist = SquaredDistance(i, query);
+    Entry candidate(SquaredDistance(i, query), i);
     if (static_cast<int64_t>(heap.size()) < k) {
-      heap.emplace(dist, i);
-    } else if (dist < heap.top().first) {
+      heap.push(candidate);
+    } else if (candidate < heap.top()) {
       heap.pop();
-      heap.emplace(dist, i);
+      heap.push(candidate);
     }
   }
   std::vector<int64_t> out(heap.size());
@@ -54,14 +67,45 @@ std::vector<int64_t> KnnIndex::QueryRow(int64_t row, int64_t k) const {
   return Query(points_.data() + row * d_, k, row);
 }
 
+std::vector<std::vector<int64_t>> KnnIndex::QueryBatch(
+    const float* queries, int64_t num_queries, int64_t k,
+    const int64_t* excludes) const {
+  EOS_CHECK_GE(num_queries, 0);
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(num_queries));
+  runtime::ParallelFor(0, num_queries, kQueryGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t q = lo; q < hi; ++q) {
+                           out[static_cast<size_t>(q)] =
+                               Query(queries + q * d_, k,
+                                     excludes != nullptr ? excludes[q] : -1);
+                         }
+                       });
+  return out;
+}
+
+std::vector<std::vector<int64_t>> KnnIndex::QueryRows(
+    const std::vector<int64_t>& rows, int64_t k) const {
+  std::vector<std::vector<int64_t>> out(rows.size());
+  runtime::ParallelFor(0, static_cast<int64_t>(rows.size()), kQueryGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) {
+                           out[static_cast<size_t>(i)] =
+                               QueryRow(rows[static_cast<size_t>(i)], k);
+                         }
+                       });
+  return out;
+}
+
 std::vector<std::vector<int64_t>> AllKNearestNeighbors(const Tensor& points,
                                                        int64_t k) {
   KnnIndex index(points);
-  std::vector<std::vector<int64_t>> out(
-      static_cast<size_t>(index.size()));
-  for (int64_t i = 0; i < index.size(); ++i) {
-    out[static_cast<size_t>(i)] = index.QueryRow(i, k);
-  }
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(index.size()));
+  runtime::ParallelFor(0, index.size(), kQueryGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) {
+                           out[static_cast<size_t>(i)] = index.QueryRow(i, k);
+                         }
+                       });
   return out;
 }
 

@@ -12,6 +12,13 @@ namespace eos {
 /// Euclidean metric). This backs SMOTE-family samplers and EOS's nearest-
 /// enemy search; at embedding scale (N in the thousands, D = 64) exact
 /// search is faster and simpler than an approximate structure.
+///
+/// Determinism contract: results are a pure function of the stored points
+/// and the query. Equal distances tie-break by ascending point index, so
+/// neighbor lists — and everything the samplers derive from them — are
+/// stable across refactors, platforms, and thread counts. The batched
+/// entry points fan individual queries out over the src/runtime/ pool;
+/// each query writes its own output slot, so batching never changes results.
 class KnnIndex {
  public:
   /// Keeps a reference to `points` (shared buffer; do not mutate it while
@@ -21,7 +28,8 @@ class KnnIndex {
   int64_t size() const { return n_; }
   int64_t dim() const { return d_; }
 
-  /// Indices of the k nearest points to `query` (ascending distance).
+  /// Indices of the k nearest points to `query`, ordered by ascending
+  /// (distance, index) — equal distances resolve to the smaller index.
   /// `exclude` (if >= 0) is omitted — pass the query's own index for
   /// leave-one-out search. k is clamped to the available count.
   std::vector<int64_t> Query(const float* query, int64_t k,
@@ -29,6 +37,20 @@ class KnnIndex {
 
   /// Leave-one-out neighbors of the stored point `row`.
   std::vector<int64_t> QueryRow(int64_t row, int64_t k) const;
+
+  /// Batched Query over `num_queries` contiguous rows of `queries`
+  /// ([num_queries, dim()] row-major), parallelized over the runtime pool.
+  /// `excludes` (optional) gives a per-query exclude index, as in Query.
+  std::vector<std::vector<int64_t>> QueryBatch(
+      const float* queries, int64_t num_queries, int64_t k,
+      const int64_t* excludes = nullptr) const;
+
+  /// Batched leave-one-out QueryRow for a set of stored rows: result[i]
+  /// holds the neighbors of rows[i]. The samplers' neighborhood scans
+  /// (EOS enemy search, ADASYN difficulty, Borderline-SMOTE danger) all go
+  /// through this.
+  std::vector<std::vector<int64_t>> QueryRows(
+      const std::vector<int64_t>& rows, int64_t k) const;
 
   /// Squared Euclidean distance between stored point `row` and `query`.
   float SquaredDistance(int64_t row, const float* query) const;
@@ -40,7 +62,7 @@ class KnnIndex {
 };
 
 /// All-pairs leave-one-out kNN: result[i] holds the k nearest neighbors of
-/// point i (ascending distance).
+/// point i (ascending (distance, index)). Parallelized per query point.
 std::vector<std::vector<int64_t>> AllKNearestNeighbors(const Tensor& points,
                                                        int64_t k);
 

@@ -1,10 +1,23 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "nn/init.h"
+#include "runtime/parallel_for.h"
 #include "tensor/im2col.h"
 #include "tensor/matmul.h"
 
 namespace eos::nn {
+namespace {
+
+// Backward partitions the batch into at most this many chunks, each with its
+// own dW/db accumulation tile. The cap bounds tile memory and — because it
+// is a constant, not the thread count — keeps the chunk-ordered tile
+// reduction identical at every thread count.
+constexpr int64_t kMaxBatchChunks = 8;
+
+}  // namespace
 
 Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
                int64_t stride, int64_t pad, bool bias, Rng& rng)
@@ -44,29 +57,32 @@ Tensor Conv2d::Forward(const Tensor& input, bool training) {
   int64_t plane = out_h * out_w;
 
   if (training) cached_input_ = input;
-  col_.resize(static_cast<size_t>(ckk * plane));
 
   Tensor out({n, out_channels_, out_h, out_w});
   const float* x = input.data();
   float* y = out.data();
   int64_t in_stride = in_channels_ * h * w;
   int64_t out_stride = out_channels_ * plane;
-  for (int64_t img = 0; img < n; ++img) {
-    Im2Col(x + img * in_stride, in_channels_, h, w, kernel_, kernel_, stride_,
-           pad_, col_.data());
-    // y_img[O, plane] += W[O, ckk] * col[ckk, plane]; y is zero-initialized.
-    GemmNN(weight_.value.data(), col_.data(), y + img * out_stride,
-           out_channels_, ckk, plane);
-  }
-  if (has_bias_) {
-    const float* b = bias_.value.data();
-    for (int64_t img = 0; img < n; ++img) {
-      for (int64_t c = 0; c < out_channels_; ++c) {
-        float* dst = y + img * out_stride + c * plane;
-        for (int64_t i = 0; i < plane; ++i) dst[i] += b[c];
+  // Batch-parallel: every image owns a disjoint output slice, so the result
+  // is bitwise-identical at any thread count. The im2col scratch is chunk-
+  // local; the GEMM inside detects the enclosing region and runs serially.
+  runtime::ParallelFor(0, n, /*grain=*/1, [&](int64_t img0, int64_t img1) {
+    std::vector<float> col(static_cast<size_t>(ckk * plane));
+    const float* b = has_bias_ ? bias_.value.data() : nullptr;
+    for (int64_t img = img0; img < img1; ++img) {
+      Im2Col(x + img * in_stride, in_channels_, h, w, kernel_, kernel_,
+             stride_, pad_, col.data());
+      // y_img[O, plane] += W[O, ckk] * col[ckk, plane]; y is zero-initialized.
+      GemmNN(weight_.value.data(), col.data(), y + img * out_stride,
+             out_channels_, ckk, plane);
+      if (b != nullptr) {
+        for (int64_t c = 0; c < out_channels_; ++c) {
+          float* dst = y + img * out_stride + c * plane;
+          for (int64_t i = 0; i < plane; ++i) dst[i] += b[c];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -85,38 +101,65 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   int64_t plane = out_h * out_w;
 
   Tensor grad_input(input.shape());  // zero-initialized
-  std::vector<float> grad_col(static_cast<size_t>(ckk * plane));
 
   const float* x = input.data();
   const float* dy = grad_output.data();
   float* dx = grad_input.data();
-  float* dw = weight_.grad.data();
   int64_t in_stride = in_channels_ * h * w;
   int64_t out_stride = out_channels_ * plane;
 
-  for (int64_t img = 0; img < n; ++img) {
-    const float* dy_img = dy + img * out_stride;
-    // Recompute the unfolded input for this image.
-    Im2Col(x + img * in_stride, in_channels_, h, w, kernel_, kernel_, stride_,
-           pad_, col_.data());
-    // dW[O, ckk] += dY[O, plane] * col[ckk, plane]^T.
-    GemmNT(dy_img, col_.data(), dw, out_channels_, plane, ckk);
-    // grad_col[ckk, plane] = W[O, ckk]^T * dY[O, plane].
-    std::fill(grad_col.begin(), grad_col.end(), 0.0f);
-    GemmTN(weight_.value.data(), dy_img, grad_col.data(), ckk, out_channels_,
-           plane);
-    Col2Im(grad_col.data(), in_channels_, h, w, kernel_, kernel_, stride_,
-           pad_, dx + img * in_stride);
+  // Batch-parallel with deterministic weight-gradient accumulation: dX
+  // slices are disjoint per image, but dW/db sum over the whole batch, so
+  // each chunk fills its own zero-initialized tile and the tiles are reduced
+  // in ascending chunk order after the join (no atomics on float paths).
+  int64_t grain = std::max<int64_t>(1, (n + kMaxBatchChunks - 1) /
+                                           kMaxBatchChunks);
+  int64_t chunks = runtime::NumChunks(n, grain);
+  int64_t wsize = out_channels_ * ckk;
+  std::vector<float> dw_tiles(static_cast<size_t>(chunks * wsize), 0.0f);
+  std::vector<float> db_tiles(
+      has_bias_ ? static_cast<size_t>(chunks * out_channels_) : 0, 0.0f);
+  runtime::ParallelForChunks(chunks, [&](int64_t chunk) {
+    int64_t img0 = chunk * grain;
+    int64_t img1 = std::min(n, img0 + grain);
+    std::vector<float> col(static_cast<size_t>(ckk * plane));
+    std::vector<float> grad_col(static_cast<size_t>(ckk * plane));
+    float* dw_tile = dw_tiles.data() + chunk * wsize;
+    float* db_tile =
+        has_bias_ ? db_tiles.data() + chunk * out_channels_ : nullptr;
+    for (int64_t img = img0; img < img1; ++img) {
+      const float* dy_img = dy + img * out_stride;
+      // Recompute the unfolded input for this image.
+      Im2Col(x + img * in_stride, in_channels_, h, w, kernel_, kernel_,
+             stride_, pad_, col.data());
+      // dW_tile[O, ckk] += dY[O, plane] * col[ckk, plane]^T.
+      GemmNT(dy_img, col.data(), dw_tile, out_channels_, plane, ckk);
+      // grad_col[ckk, plane] = W[O, ckk]^T * dY[O, plane].
+      std::fill(grad_col.begin(), grad_col.end(), 0.0f);
+      GemmTN(weight_.value.data(), dy_img, grad_col.data(), ckk,
+             out_channels_, plane);
+      Col2Im(grad_col.data(), in_channels_, h, w, kernel_, kernel_, stride_,
+             pad_, dx + img * in_stride);
+      if (db_tile != nullptr) {
+        for (int64_t c = 0; c < out_channels_; ++c) {
+          const float* src = dy_img + c * plane;
+          float acc = 0.0f;
+          for (int64_t i = 0; i < plane; ++i) acc += src[i];
+          db_tile[c] += acc;
+        }
+      }
+    }
+  });
+  float* dw = weight_.grad.data();
+  for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+    const float* tile = dw_tiles.data() + chunk * wsize;
+    for (int64_t i = 0; i < wsize; ++i) dw[i] += tile[i];
   }
   if (has_bias_) {
     float* db = bias_.grad.data();
-    for (int64_t img = 0; img < n; ++img) {
-      for (int64_t c = 0; c < out_channels_; ++c) {
-        const float* src = dy + img * out_stride + c * plane;
-        float acc = 0.0f;
-        for (int64_t i = 0; i < plane; ++i) acc += src[i];
-        db[c] += acc;
-      }
+    for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+      const float* tile = db_tiles.data() + chunk * out_channels_;
+      for (int64_t c = 0; c < out_channels_; ++c) db[c] += tile[c];
     }
   }
   return grad_input;

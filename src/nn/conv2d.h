@@ -14,6 +14,9 @@ namespace eos::nn {
 /// The weight is stored GEMM-ready as [out_channels, in_channels*kh*kw].
 /// Backward recomputes the im2col buffer from the cached input instead of
 /// caching it, trading a little compute for a large activation-memory saving.
+/// Forward and backward are batch-parallel over the src/runtime/ pool with
+/// deterministic (chunk-ordered) weight-gradient reduction, so results are
+/// bitwise-identical at any EOS_THREADS.
 class Conv2d : public Module {
  public:
   /// Creates a convolution with square `kernel`, the given `stride` and
@@ -42,8 +45,7 @@ class Conv2d : public Module {
   Parameter weight_;  // [out_channels, in_channels*k*k]
   Parameter bias_;    // [out_channels] (unused when !has_bias_)
 
-  Tensor cached_input_;          // shared buffer, not a copy
-  std::vector<float> col_;       // im2col scratch, one image
+  Tensor cached_input_;  // shared buffer, not a copy
 };
 
 }  // namespace eos::nn

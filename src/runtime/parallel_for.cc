@@ -1,0 +1,110 @@
+#include "runtime/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "common/check.h"
+#include "runtime/thread_pool.h"
+
+namespace eos::runtime {
+namespace {
+
+thread_local bool t_in_parallel = false;
+
+struct ScopedRegionFlag {
+  bool saved;
+  ScopedRegionFlag() : saved(t_in_parallel) { t_in_parallel = true; }
+  ~ScopedRegionFlag() { t_in_parallel = saved; }
+};
+
+// Shared state of one ParallelForChunks call. Helper jobs hold it via
+// shared_ptr: a job dequeued after the caller already retired every chunk
+// just observes an exhausted counter and drops its reference.
+struct Region {
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t)>* fn = nullptr;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> retired{0};
+  std::atomic<bool> abort{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // guarded by mu
+
+  // Claims chunks until the counter is exhausted. Every claimed chunk is
+  // retired exactly once — including chunks skipped after an abort — so
+  // `retired` always reaches num_chunks and the caller cannot deadlock.
+  void Drain() {
+    ScopedRegionFlag flag;
+    for (;;) {
+      int64_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      if (!abort.load(std::memory_order_relaxed)) {
+        try {
+          (*fn)(chunk);
+        } catch (...) {
+          abort.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+      if (retired.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool InParallelRegion() { return t_in_parallel; }
+
+int64_t NumChunks(int64_t total, int64_t grain) {
+  EOS_CHECK_GT(grain, 0);
+  if (total <= 0) return 0;
+  return (total + grain - 1) / grain;
+}
+
+void ParallelForChunks(int64_t num_chunks,
+                       const std::function<void(int64_t)>& fn) {
+  if (num_chunks <= 0) return;
+  // Serial paths: a single chunk, a single-lane configuration, or a nested
+  // call (a worker blocking on a sub-region its own pool must drain would
+  // deadlock). Chunks still run in ascending order, so results are the same.
+  if (num_chunks == 1 || t_in_parallel || ThreadCount() == 1) {
+    ScopedRegionFlag flag;
+    for (int64_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  ThreadPool& pool = GlobalPool();
+  auto region = std::make_shared<Region>();
+  region->num_chunks = num_chunks;
+  region->fn = &fn;
+  int64_t helpers = pool.num_workers();
+  if (helpers > num_chunks - 1) helpers = num_chunks - 1;
+  for (int64_t i = 0; i < helpers; ++i) {
+    pool.Submit([region] { region->Drain(); });
+  }
+  region->Drain();
+  std::unique_lock<std::mutex> lock(region->mu);
+  region->done_cv.wait(lock, [&] {
+    return region->retired.load(std::memory_order_acquire) ==
+           region->num_chunks;
+  });
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  int64_t chunks = NumChunks(end - begin, grain);
+  ParallelForChunks(chunks, [&](int64_t c) {
+    int64_t lo = begin + c * grain;
+    int64_t hi = lo + grain < end ? lo + grain : end;
+    fn(lo, hi);
+  });
+}
+
+}  // namespace eos::runtime

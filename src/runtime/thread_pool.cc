@@ -1,0 +1,86 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace eos::runtime {
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 0) num_workers = 0;
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: queued jobs may hold the last
+      // reference to a ParallelFor region another thread is retiring.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+namespace {
+
+std::mutex g_mu;
+int g_threads = 0;  // 0 = not yet resolved; guarded by g_mu
+std::unique_ptr<ThreadPool> g_pool;  // guarded by g_mu
+
+}  // namespace
+
+int ResolveDefaultThreadCount() {
+  if (const char* env = std::getenv("EOS_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<int>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int ThreadCount() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_threads == 0) g_threads = ResolveDefaultThreadCount();
+  return g_threads;
+}
+
+void SetThreadCount(int n) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_threads = n < 1 ? 1 : n;
+  g_pool.reset();  // next GlobalPool() rebuilds at the new size
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_threads == 0) g_threads = ResolveDefaultThreadCount();
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_threads - 1);
+  return *g_pool;
+}
+
+}  // namespace eos::runtime

@@ -1,0 +1,74 @@
+#ifndef EOS_RUNTIME_THREAD_POOL_H_
+#define EOS_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// Fixed-size worker thread pool backing ParallelFor. The pool itself is a
+/// dumb job queue; all structure (chunking, determinism, reductions) lives in
+/// parallel_for.{h,cc}. See DESIGN.md "Runtime & parallelism" for the
+/// concurrency contract every caller inherits.
+
+namespace eos::runtime {
+
+/// A fixed set of worker threads draining a FIFO job queue. Jobs must be
+/// self-contained: a job must never block waiting for another job to run
+/// (the pool has no work-stealing or priority escape hatch), which is why
+/// ParallelFor's caller thread always participates in its own region instead
+/// of sleeping on the queue.
+class ThreadPool {
+ public:
+  /// Starts `num_workers` threads (0 is valid: every Submit must then be
+  /// drained by someone else — the global pool uses ThreadCount()-1 workers
+  /// because the calling thread counts as the remaining lane).
+  explicit ThreadPool(int num_workers);
+
+  /// Drains outstanding jobs, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a job for any worker. Never blocks (unbounded queue).
+  void Submit(std::function<void()> job);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool stop_ = false;                        // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// Total execution lanes (caller + pool workers) used by ParallelFor.
+/// Resolved once on first use: the EOS_THREADS environment variable if it
+/// parses to a positive integer, otherwise std::thread::hardware_concurrency
+/// (minimum 1). SetThreadCount overrides it at any time.
+int ThreadCount();
+
+/// Overrides the lane count and tears down the current global pool so the
+/// next parallel call rebuilds it at the new size. Clamps to >= 1. Must not
+/// be called while parallel work is in flight (callers of ParallelFor block
+/// until their region retires, so "between top-level calls" is safe — this
+/// is what tests and embedders use to compare thread counts in-process).
+void SetThreadCount(int n);
+
+/// Re-reads EOS_THREADS / hardware_concurrency without touching the latched
+/// global count. Exposed so tests can cover the resolution rules.
+int ResolveDefaultThreadCount();
+
+/// The process-wide pool (ThreadCount() - 1 workers), created lazily.
+ThreadPool& GlobalPool();
+
+}  // namespace eos::runtime
+
+#endif  // EOS_RUNTIME_THREAD_POOL_H_

@@ -34,13 +34,15 @@ FeatureSet Adasyn::Resample(const FeatureSet& data, Rng& rng) {
       continue;
     }
 
-    // Difficulty r_i = enemy fraction of the full-set neighborhood.
+    // Difficulty r_i = enemy fraction of the full-set neighborhood,
+    // computed over the batched (runtime-parallel) index.
+    std::vector<std::vector<int64_t>> nbr_lists =
+        full_index.QueryRows(class_rows, m);
     std::vector<float> difficulty(class_rows.size(), 0.0f);
     double total = 0.0;
     for (size_t i = 0; i < class_rows.size(); ++i) {
-      std::vector<int64_t> nbrs = full_index.QueryRow(class_rows[i], m);
       int64_t enemies = 0;
-      for (int64_t nb : nbrs) {
+      for (int64_t nb : nbr_lists[i]) {
         if (data.labels[static_cast<size_t>(nb)] != c) ++enemies;
       }
       difficulty[i] =

@@ -36,25 +36,29 @@ FeatureSet BorderlineSmote::Resample(const FeatureSet& data, Rng& rng) {
       continue;
     }
 
-    // DANGER = minority rows with m/2 <= enemy-count < m.
+    // DANGER = minority rows with m/2 <= enemy-count < m. The neighborhood
+    // scan goes through the batched (runtime-parallel) index.
+    std::vector<std::vector<int64_t>> nbr_lists =
+        full_index.QueryRows(class_rows, m);
     std::vector<int64_t> danger;
-    for (int64_t row : class_rows) {
-      std::vector<int64_t> nbrs = full_index.QueryRow(row, m);
+    for (size_t i = 0; i < class_rows.size(); ++i) {
       int64_t enemies = 0;
-      for (int64_t nb : nbrs) {
+      for (int64_t nb : nbr_lists[i]) {
         if (data.labels[static_cast<size_t>(nb)] != c) ++enemies;
       }
-      if (2 * enemies >= m && enemies < m) danger.push_back(row);
+      if (2 * enemies >= m && enemies < m) danger.push_back(class_rows[i]);
     }
     // Bases: danger rows if any exist, otherwise the whole class (plain
     // SMOTE fallback so the class still balances).
     const std::vector<int64_t>& bases = danger.empty() ? class_rows : danger;
 
-    // Same-class neighbor structure for interpolation partners.
+    // Same-class neighbor structure for interpolation partners, precomputed
+    // once per class (batched) instead of one query per synthetic sample.
     Tensor class_points = GatherRows(data.features, class_rows);
-    KnnIndex class_index(class_points);
     int64_t k = std::min<int64_t>(
         k_neighbors_, static_cast<int64_t>(class_rows.size()) - 1);
+    std::vector<std::vector<int64_t>> class_nbrs =
+        AllKNearestNeighbors(class_points, k);
     // Map dataset row -> position within class_points.
     std::vector<int64_t> pos_of_row(static_cast<size_t>(n), -1);
     for (size_t i = 0; i < class_rows.size(); ++i) {
@@ -67,7 +71,8 @@ FeatureSet BorderlineSmote::Resample(const FeatureSet& data, Rng& rng) {
       int64_t base_row = bases[static_cast<size_t>(
           rng.UniformInt(static_cast<int64_t>(bases.size())))];
       int64_t base_pos = pos_of_row[static_cast<size_t>(base_row)];
-      std::vector<int64_t> nbrs = class_index.QueryRow(base_pos, k);
+      const std::vector<int64_t>& nbrs =
+          class_nbrs[static_cast<size_t>(base_pos)];
       EOS_CHECK(!nbrs.empty());
       int64_t nb = nbrs[static_cast<size_t>(
           rng.UniformInt(static_cast<int64_t>(nbrs.size())))];

@@ -39,20 +39,24 @@ FeatureSet ExpansiveOversampler::Resample(const FeatureSet& data, Rng& rng) {
     std::vector<int64_t> class_rows = data.ClassIndices(c);
 
     // Select enemy examples: bases are class members whose K-neighborhood
-    // contains at least one adversary-class instance (Algorithm 2).
+    // contains at least one adversary-class instance (Algorithm 2). The
+    // neighborhood scan is the sampler's hot loop, so it runs through the
+    // batched (runtime-parallel) index; the filtering below stays in
+    // class_rows order, keeping base selection deterministic.
     std::vector<int64_t> bases;
     std::vector<std::vector<int64_t>> enemy_lists;
     if (k > 0) {
-      for (int64_t row : class_rows) {
-        std::vector<int64_t> nbrs = full_index.QueryRow(row, k);
+      std::vector<std::vector<int64_t>> nbr_lists =
+          full_index.QueryRows(class_rows, k);
+      for (size_t ci = 0; ci < class_rows.size(); ++ci) {
         std::vector<int64_t> enemies;
-        for (int64_t nb : nbrs) {
+        for (int64_t nb : nbr_lists[ci]) {
           if (data.labels[static_cast<size_t>(nb)] != c) {
             enemies.push_back(nb);
           }
         }
         if (!enemies.empty()) {
-          bases.push_back(row);
+          bases.push_back(class_rows[ci]);
           enemy_lists.push_back(std::move(enemies));
         }
       }

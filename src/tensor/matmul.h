@@ -4,9 +4,16 @@
 #include "tensor/tensor.h"
 
 /// \file
-/// Cache-blocked single-precision GEMM kernels. These back every Linear and
-/// (via im2col) every Conv2d in the network, so they dominate training time.
-/// The layouts are all row-major; the *_accumulate variants add into `out`.
+/// Single-precision GEMM kernels, parallelized over the src/runtime/ pool.
+/// These back every Linear and (via im2col) every Conv2d in the network, so
+/// they dominate training time. The layouts are all row-major; the
+/// *_accumulate variants add into `out`.
+///
+/// Determinism: all decompositions (row bands for NN/NT, row bands or a
+/// fixed k-partition with chunk-ordered tile reduction for TN) depend only
+/// on the operand shapes, never on the thread count, so every kernel is
+/// bitwise-reproducible at EOS_THREADS=1 vs N. There is deliberately no
+/// zero-operand skip: 0 * Inf must propagate NaN per IEEE 754.
 
 namespace eos {
 

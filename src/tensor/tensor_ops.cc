@@ -4,7 +4,22 @@
 #include <cmath>
 #include <cstring>
 
+#include "runtime/parallel_for.h"
+
 namespace eos {
+namespace {
+
+// Element-wise loops are memory-bound; a chunk must amortize the runtime's
+// per-chunk claim, so the grain is large. Writes are disjoint per chunk,
+// making every element-wise op bitwise-deterministic at any thread count.
+constexpr int64_t kElemGrain = 1 << 14;
+// Row-wise ops (softmax, argmax) do real work per row; smaller grain.
+constexpr int64_t kRowGrain = 16;
+// Reductions accumulate per-chunk partials (fixed chunking from the element
+// count alone) and combine them in ascending chunk order.
+constexpr int64_t kReduceGrain = 1 << 15;
+
+}  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   EOS_CHECK(SameShape(a, b));
@@ -12,7 +27,9 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+  runtime::ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+  });
   return out;
 }
 
@@ -20,14 +37,18 @@ void AddInPlace(Tensor& a, const Tensor& b) {
   EOS_CHECK(SameShape(a, b));
   float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+  runtime::ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] += pb[i];
+  });
 }
 
 void Axpy(float alpha, const Tensor& b, Tensor& a) {
   EOS_CHECK(SameShape(a, b));
   float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < a.numel(); ++i) pa[i] += alpha * pb[i];
+  runtime::ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] += alpha * pb[i];
+  });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
@@ -36,7 +57,9 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] - pb[i];
+  runtime::ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+  });
   return out;
 }
 
@@ -46,7 +69,9 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * pb[i];
+  runtime::ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+  });
   return out;
 }
 
@@ -54,19 +79,38 @@ Tensor Scale(const Tensor& a, float scalar) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * scalar;
+  runtime::ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * scalar;
+  });
   return out;
 }
 
 void ScaleInPlace(Tensor& a, float scalar) {
   float* pa = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) pa[i] *= scalar;
+  runtime::ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] *= scalar;
+  });
 }
 
 double Sum(const Tensor& a) {
-  double s = 0.0;
   const float* pa = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) s += pa[i];
+  int64_t total = a.numel();
+  int64_t chunks = runtime::NumChunks(total, kReduceGrain);
+  if (chunks <= 1) {
+    double s = 0.0;
+    for (int64_t i = 0; i < total; ++i) s += pa[i];
+    return s;
+  }
+  std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
+  runtime::ParallelForChunks(chunks, [&](int64_t c) {
+    int64_t lo = c * kReduceGrain;
+    int64_t hi = std::min(total, lo + kReduceGrain);
+    double s = 0.0;
+    for (int64_t i = lo; i < hi; ++i) s += pa[i];
+    partial[static_cast<size_t>(c)] = s;
+  });
+  double s = 0.0;
+  for (double p : partial) s += p;
   return s;
 }
 
@@ -83,11 +127,28 @@ float MaxAbs(const Tensor& a) {
 }
 
 double Norm2(const Tensor& a) {
-  double s = 0.0;
   const float* pa = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    s += static_cast<double>(pa[i]) * pa[i];
+  int64_t total = a.numel();
+  int64_t chunks = runtime::NumChunks(total, kReduceGrain);
+  if (chunks <= 1) {
+    double s = 0.0;
+    for (int64_t i = 0; i < total; ++i) {
+      s += static_cast<double>(pa[i]) * pa[i];
+    }
+    return std::sqrt(s);
   }
+  std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
+  runtime::ParallelForChunks(chunks, [&](int64_t c) {
+    int64_t lo = c * kReduceGrain;
+    int64_t hi = std::min(total, lo + kReduceGrain);
+    double s = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      s += static_cast<double>(pa[i]) * pa[i];
+    }
+    partial[static_cast<size_t>(c)] = s;
+  });
+  double s = 0.0;
+  for (double p : partial) s += p;
   return std::sqrt(s);
 }
 
@@ -113,14 +174,16 @@ std::vector<int64_t> ArgMaxRows(const Tensor& logits) {
   EOS_CHECK_GT(d, 0);
   std::vector<int64_t> out(static_cast<size_t>(n));
   const float* p = logits.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = p + i * d;
-    int64_t best = 0;
-    for (int64_t j = 1; j < d; ++j) {
-      if (row[j] > row[best]) best = j;
+  runtime::ParallelFor(0, n, kRowGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = p + i * d;
+      int64_t best = 0;
+      for (int64_t j = 1; j < d; ++j) {
+        if (row[j] > row[best]) best = j;
+      }
+      out[static_cast<size_t>(i)] = best;
     }
-    out[static_cast<size_t>(i)] = best;
-  }
+  });
   return out;
 }
 
@@ -131,19 +194,21 @@ Tensor SoftmaxRows(const Tensor& logits) {
   Tensor out({n, d});
   const float* p = logits.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = p + i * d;
-    float* orow = po + i * d;
-    float mx = row[0];
-    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < d; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      denom += orow[j];
+  runtime::ParallelFor(0, n, kRowGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = p + i * d;
+      float* orow = po + i * d;
+      float mx = row[0];
+      for (int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        denom += orow[j];
+      }
+      float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < d; ++j) orow[j] *= inv;
     }
-    float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < d; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -154,16 +219,18 @@ Tensor LogSoftmaxRows(const Tensor& logits) {
   Tensor out({n, d});
   const float* p = logits.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = p + i * d;
-    float* orow = po + i * d;
-    float mx = row[0];
-    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < d; ++j) denom += std::exp(row[j] - mx);
-    float log_denom = static_cast<float>(std::log(denom)) + mx;
-    for (int64_t j = 0; j < d; ++j) orow[j] = row[j] - log_denom;
-  }
+  runtime::ParallelFor(0, n, kRowGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = p + i * d;
+      float* orow = po + i * d;
+      float mx = row[0];
+      for (int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < d; ++j) denom += std::exp(row[j] - mx);
+      float log_denom = static_cast<float>(std::log(denom)) + mx;
+      for (int64_t j = 0; j < d; ++j) orow[j] = row[j] - log_denom;
+    }
+  });
   return out;
 }
 
@@ -183,9 +250,13 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
   EOS_CHECK_EQ(a.dim(), 2);
   int64_t d = a.size(1);
   Tensor out({static_cast<int64_t>(indices.size()), d});
-  for (size_t i = 0; i < indices.size(); ++i) {
-    CopyRow(a, indices[i], out, static_cast<int64_t>(i));
-  }
+  runtime::ParallelFor(
+      0, static_cast<int64_t>(indices.size()), kRowGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          CopyRow(a, indices[static_cast<size_t>(i)], out, i);
+        }
+      });
   return out;
 }
 
@@ -215,13 +286,18 @@ Tensor GatherImages(const Tensor& a, const std::vector<int64_t>& indices) {
   int64_t w = a.size(3);
   int64_t stride = c * h * w;
   Tensor out({static_cast<int64_t>(indices.size()), c, h, w});
-  for (size_t i = 0; i < indices.size(); ++i) {
-    int64_t idx = indices[i];
-    EOS_CHECK(idx >= 0 && idx < a.size(0));
-    std::memcpy(out.data() + static_cast<int64_t>(i) * stride,
-                a.data() + idx * stride,
-                static_cast<size_t>(stride) * sizeof(float));
-  }
+  // Per-sample image copies are disjoint; this is the trainer's batch-gather
+  // hot path.
+  runtime::ParallelFor(
+      0, static_cast<int64_t>(indices.size()), /*grain=*/4,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          int64_t idx = indices[static_cast<size_t>(i)];
+          EOS_CHECK(idx >= 0 && idx < a.size(0));
+          std::memcpy(out.data() + i * stride, a.data() + idx * stride,
+                      static_cast<size_t>(stride) * sizeof(float));
+        }
+      });
   return out;
 }
 

@@ -24,6 +24,42 @@ TEST(KnnTest, FindsExactNeighborsOnALine) {
   EXPECT_EQ(edge, (std::vector<int64_t>{1, 2, 3}));
 }
 
+TEST(KnnTest, EqualDistancesTieBreakByAscendingIndex) {
+  // Three points all at distance 1 from the query, plus a farther one. The
+  // documented contract (EOS neighbor selection depends on it): equal
+  // distances order by ascending index, both in which points are selected
+  // and in the output order.
+  Tensor points = Tensor::FromVector({4, 1}, {1.0f, -1.0f, 1.0f, 3.0f});
+  KnnIndex index(points);
+  float q = 0.0f;
+  EXPECT_EQ(index.Query(&q, 3), (std::vector<int64_t>{0, 1, 2}));
+  // With k=2 the smaller-index members of the tie win selection.
+  EXPECT_EQ(index.Query(&q, 2), (std::vector<int64_t>{0, 1}));
+  // Exact duplicate points (distance 0 ties) behave the same way.
+  Tensor dup = Tensor::FromVector({3, 1}, {5.0f, 5.0f, 5.0f});
+  KnnIndex dup_index(dup);
+  EXPECT_EQ(dup_index.QueryRow(1, 2), (std::vector<int64_t>{0, 2}));
+}
+
+TEST(KnnTest, BatchedQueriesMatchSingleQueries) {
+  Rng rng(7);
+  Tensor points = Tensor::Uniform({60, 3}, -1.0f, 1.0f, rng);
+  KnnIndex index(points);
+  Tensor queries = Tensor::Uniform({9, 3}, -1.0f, 1.0f, rng);
+  auto batched = index.QueryBatch(queries.data(), 9, 4);
+  ASSERT_EQ(batched.size(), 9u);
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(batched[static_cast<size_t>(i)],
+              index.Query(queries.data() + i * 3, 4));
+  }
+  std::vector<int64_t> rows = {0, 7, 13, 59};
+  auto row_batched = index.QueryRows(rows, 5);
+  ASSERT_EQ(row_batched.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(row_batched[i], index.QueryRow(rows[i], 5));
+  }
+}
+
 TEST(KnnTest, ExcludesSelf) {
   Tensor points = Tensor::FromVector({3, 2}, {0, 0, 0, 0, 5, 5});
   KnnIndex index(points);

@@ -1,0 +1,172 @@
+// Bitwise-reproducibility of the parallelized hot paths: every kernel wired
+// onto src/runtime/ must produce identical bytes at EOS_THREADS=1 and 8.
+// This is the enforcement point of the determinism contract in DESIGN.md.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "ml/knn.h"
+#include "nn/conv2d.h"
+#include "runtime/thread_pool.h"
+#include "sampling/eos.h"
+#include "sampling/smote.h"
+#include "tensor/matmul.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos {
+namespace {
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(SameShape(a, b));
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.numel()) * sizeof(float)),
+            0);
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { runtime::SetThreadCount(4); }
+
+  // Runs `compute` at 1 thread and at 8 threads and hands both results to
+  // the caller for a bitwise comparison.
+  template <typename Fn>
+  static auto AtOneAndEight(Fn compute) {
+    runtime::SetThreadCount(1);
+    auto serial = compute();
+    runtime::SetThreadCount(8);
+    auto parallel = compute();
+    return std::make_pair(std::move(serial), std::move(parallel));
+  }
+};
+
+TEST_F(DeterminismTest, GemmRowBandedPaths) {
+  Rng rng(11);
+  Tensor a = Tensor::Uniform({65, 33}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::Uniform({33, 41}, -1.0f, 1.0f, rng);
+  auto [s_nn, p_nn] = AtOneAndEight([&] { return MatMul(a, b); });
+  ExpectBitwiseEqual(s_nn, p_nn);
+  Tensor at = Transpose2D(a);
+  auto [s_tn, p_tn] = AtOneAndEight([&] { return MatMulTN(at, b); });
+  ExpectBitwiseEqual(s_tn, p_tn);
+  Tensor bt = Transpose2D(b);
+  auto [s_nt, p_nt] = AtOneAndEight([&] { return MatMulNT(a, bt); });
+  ExpectBitwiseEqual(s_nt, p_nt);
+}
+
+TEST_F(DeterminismTest, GemmTNKPartitionedPath) {
+  // Small m, deep k selects the k-partitioned tile path in GemmTN.
+  Rng rng(12);
+  Tensor a = Tensor::Uniform({700, 4}, -1.0f, 1.0f, rng);  // [k, m]
+  Tensor b = Tensor::Uniform({700, 6}, -1.0f, 1.0f, rng);  // [k, n]
+  auto [serial, parallel] = AtOneAndEight([&] { return MatMulTN(a, b); });
+  ExpectBitwiseEqual(serial, parallel);
+}
+
+TEST_F(DeterminismTest, ConvForwardAndBackward) {
+  auto run = [] {
+    Rng rng(21);  // recreated per run: identical weights at both settings
+    nn::Conv2d conv(/*in=*/3, /*out=*/8, /*kernel=*/3, /*stride=*/1,
+                    /*pad=*/1, /*bias=*/true, rng);
+    Tensor x = Tensor::Uniform({6, 3, 10, 10}, -1.0f, 1.0f, rng);
+    Tensor y = conv.Forward(x, /*training=*/true);
+    Tensor dy = Tensor::Uniform(y.shape(), -1.0f, 1.0f, rng);
+    Tensor dx = conv.Backward(dy);
+    std::vector<nn::Parameter*> params;
+    conv.CollectParameters(params);
+    std::vector<Tensor> result = {y, dx};
+    for (nn::Parameter* p : params) result.push_back(p->grad);
+    return result;
+  };
+  auto [serial, parallel] = AtOneAndEight(run);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ExpectBitwiseEqual(serial[i], parallel[i]);
+  }
+}
+
+TEST_F(DeterminismTest, ElementwiseAndReductions) {
+  Rng rng(31);
+  Tensor a = Tensor::Uniform({100000}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::Uniform({100000}, -1.0f, 1.0f, rng);
+  auto [s_add, p_add] = AtOneAndEight([&] { return Add(a, b); });
+  ExpectBitwiseEqual(s_add, p_add);
+  auto [s_sum, p_sum] = AtOneAndEight([&] { return Sum(a); });
+  EXPECT_EQ(s_sum, p_sum);
+  auto [s_n2, p_n2] = AtOneAndEight([&] { return Norm2(a); });
+  EXPECT_EQ(s_n2, p_n2);
+  auto [s_sm, p_sm] = AtOneAndEight([&] {
+    Tensor logits({500, 200});
+    std::memcpy(logits.data(), a.data(),
+                static_cast<size_t>(logits.numel()) * sizeof(float));
+    return SoftmaxRows(logits);
+  });
+  ExpectBitwiseEqual(s_sm, p_sm);
+}
+
+TEST_F(DeterminismTest, KnnBatchedQueries) {
+  Rng rng(41);
+  Tensor points = Tensor::Uniform({300, 16}, -1.0f, 1.0f, rng);
+  auto [serial, parallel] =
+      AtOneAndEight([&] { return AllKNearestNeighbors(points, 7); });
+  EXPECT_EQ(serial, parallel);
+  KnnIndex index(points);
+  std::vector<int64_t> rows = {0, 5, 17, 120, 299};
+  auto [s_rows, p_rows] =
+      AtOneAndEight([&] { return index.QueryRows(rows, 5); });
+  EXPECT_EQ(s_rows, p_rows);
+}
+
+// Builds a 3-class imbalanced embedding set with overlapping class clouds so
+// EOS finds borderline bases.
+FeatureSet MakeImbalancedSet() {
+  Rng rng(51);
+  FeatureSet set;
+  set.num_classes = 3;
+  std::vector<int64_t> counts = {120, 40, 15};
+  int64_t total = 175;
+  set.features = Tensor({total, 8});
+  int64_t row = 0;
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t i = 0; i < counts[static_cast<size_t>(c)]; ++i) {
+      for (int64_t j = 0; j < 8; ++j) {
+        set.features.at(row, j) =
+            static_cast<float>(c) * 0.5f + rng.Normal(0.0f, 1.0f);
+      }
+      set.labels.push_back(c);
+      ++row;
+    }
+  }
+  return set;
+}
+
+TEST_F(DeterminismTest, EosOversamplingBitwise) {
+  FeatureSet data = MakeImbalancedSet();
+  auto run = [&] {
+    Rng rng(61);  // recreated per run: same random draws at both settings
+    ExpansiveOversampler eos_sampler(/*k_neighbors=*/5, EosMode::kConvex,
+                                     /*max_step=*/0.5f);
+    return eos_sampler.Resample(data, rng);
+  };
+  auto [serial, parallel] = AtOneAndEight(run);
+  ExpectBitwiseEqual(serial.features, parallel.features);
+  EXPECT_EQ(serial.labels, parallel.labels);
+}
+
+TEST_F(DeterminismTest, SmoteOversamplingBitwise) {
+  FeatureSet data = MakeImbalancedSet();
+  auto run = [&] {
+    Rng rng(62);
+    Smote smote(/*k_neighbors=*/5);
+    return smote.Resample(data, rng);
+  };
+  auto [serial, parallel] = AtOneAndEight(run);
+  ExpectBitwiseEqual(serial.features, parallel.features);
+  EXPECT_EQ(serial.labels, parallel.labels);
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,134 @@
+#include "runtime/parallel_for.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+
+namespace eos::runtime {
+namespace {
+
+// Each test pins the lane count it needs; reset to a parallel config so test
+// order never matters.
+class ParallelForTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetThreadCount(4); }
+};
+
+TEST_F(ParallelForTest, NumChunksIsCeilDiv) {
+  EXPECT_EQ(NumChunks(0, 4), 0);
+  EXPECT_EQ(NumChunks(-5, 4), 0);
+  EXPECT_EQ(NumChunks(1, 4), 1);
+  EXPECT_EQ(NumChunks(4, 4), 1);
+  EXPECT_EQ(NumChunks(5, 4), 2);
+  EXPECT_EQ(NumChunks(100, 7), 15);
+}
+
+TEST_F(ParallelForTest, EmptyRangeNeverInvokes) {
+  SetThreadCount(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 8, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  ParallelFor(5, 5, 8, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  ParallelFor(7, 3, 8, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  ParallelForChunks(0, [&](int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ParallelForTest, SingleChunkRunsInlineOnce) {
+  SetThreadCount(4);
+  int calls = 0;
+  int64_t lo = -1;
+  int64_t hi = -1;
+  ParallelFor(2, 7, 8, [&](int64_t b, int64_t e) {
+    ++calls;
+    lo = b;
+    hi = e;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(lo, 2);
+  EXPECT_EQ(hi, 7);
+}
+
+TEST_F(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 4}) {
+    SetThreadCount(threads);
+    constexpr int64_t kTotal = 1000;
+    std::vector<std::atomic<int>> hits(kTotal);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(0, kTotal, 7, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+    });
+    for (int64_t i = 0; i < kTotal; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST_F(ParallelForTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto bounds_at = [](int threads) {
+    SetThreadCount(threads);
+    std::vector<std::pair<int64_t, int64_t>> bounds(NumChunks(103, 9));
+    ParallelFor(0, 103, 9, [&](int64_t b, int64_t e) {
+      bounds[static_cast<size_t>(b / 9)] = {b, e};
+    });
+    return bounds;
+  };
+  EXPECT_EQ(bounds_at(1), bounds_at(8));
+}
+
+TEST_F(ParallelForTest, ExceptionPropagatesToCaller) {
+  for (int threads : {1, 8}) {
+    SetThreadCount(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 100, 1,
+                    [&](int64_t b, int64_t) {
+                      if (b == 37) throw std::runtime_error("chunk 37");
+                    }),
+        std::runtime_error);
+  }
+}
+
+TEST_F(ParallelForTest, ExceptionAbortsRemainingChunks) {
+  SetThreadCount(1);  // serial order makes "remaining" well-defined
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelForChunks(10,
+                                 [&](int64_t c) {
+                                   ran.fetch_add(1);
+                                   if (c == 2) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 3);  // chunks 0..2 ran, 3..9 were aborted
+}
+
+TEST_F(ParallelForTest, NestedCallRunsSeriallyInside) {
+  SetThreadCount(4);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<int> inner_total{0};
+  ParallelFor(0, 8, 1, [&](int64_t, int64_t) {
+    EXPECT_TRUE(InParallelRegion());
+    // The nested loop must still cover its range (serially).
+    ParallelFor(0, 10, 3,
+                [&](int64_t b, int64_t e) {
+                  inner_total.fetch_add(static_cast<int>(e - b));
+                });
+  });
+  EXPECT_FALSE(InParallelRegion());
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST_F(ParallelForTest, ManyMoreChunksThanThreadsCompletes) {
+  SetThreadCount(8);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 10000, 3, [&](int64_t b, int64_t e) {
+    int64_t local = 0;
+    for (int64_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace eos::runtime

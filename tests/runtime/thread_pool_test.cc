@@ -1,0 +1,83 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+namespace eos::runtime {
+namespace {
+
+TEST(ThreadPoolTest, StartAndShutdownAtVariousSizes) {
+  for (int workers : {0, 1, 2, 4}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.num_workers(), workers);
+  }  // destructor joins cleanly with an empty queue
+}
+
+TEST(ThreadPoolTest, NegativeWorkerCountClampsToZero) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.num_workers(), 0);
+}
+
+TEST(ThreadPoolTest, SubmittedJobsAllRun) {
+  constexpr int kJobs = 100;
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < kJobs; ++i) {
+      pool.Submit([&] {
+        if (count.fetch_add(1) + 1 == kJobs) {
+          std::lock_guard<std::mutex> lock(mu);
+          cv.notify_all();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return count.load() == kJobs; });
+  }
+  EXPECT_EQ(count.load(), kJobs);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingJobs) {
+  // Jobs queued but not yet started must still run before join: ParallelFor
+  // regions rely on late-dequeued helpers observing their shared state.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+  }  // ~ThreadPool drains, then joins
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, SetThreadCountReconfiguresGlobalPool) {
+  SetThreadCount(3);
+  EXPECT_EQ(ThreadCount(), 3);
+  EXPECT_EQ(GlobalPool().num_workers(), 2);
+  SetThreadCount(1);
+  EXPECT_EQ(ThreadCount(), 1);
+  EXPECT_EQ(GlobalPool().num_workers(), 0);
+  SetThreadCount(0);  // clamps
+  EXPECT_EQ(ThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, ResolveDefaultHonorsEnvVar) {
+  ASSERT_EQ(setenv("EOS_THREADS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveDefaultThreadCount(), 5);
+  // Garbage and non-positive values fall back to hardware concurrency.
+  ASSERT_EQ(setenv("EOS_THREADS", "zero", 1), 0);
+  EXPECT_GE(ResolveDefaultThreadCount(), 1);
+  ASSERT_EQ(setenv("EOS_THREADS", "-2", 1), 0);
+  EXPECT_GE(ResolveDefaultThreadCount(), 1);
+  ASSERT_EQ(unsetenv("EOS_THREADS"), 0);
+  EXPECT_GE(ResolveDefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace eos::runtime

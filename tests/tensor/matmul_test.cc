@@ -1,5 +1,7 @@
 #include "tensor/matmul.h"
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -84,15 +86,39 @@ TEST(MatMulTest, IdentityIsNoOp) {
   ExpectClose(MatMul(eye, a), a);
 }
 
-TEST(MatMulTest, ZeroSkipPathCorrect) {
-  // GemmNN / GemmTN skip zero multipliers; a sparse operand must still give
-  // exact results.
+TEST(MatMulTest, SparseOperandExact) {
+  // A mostly-zero operand must still give exact results (the kernels have no
+  // special sparse path).
   Rng rng(3);
   Tensor a({4, 6});
   a.at(0, 0) = 2.0f;
   a.at(3, 5) = -1.0f;
   Tensor b = Tensor::Uniform({6, 3}, -1.0f, 1.0f, rng);
   ExpectClose(MatMul(a, b), NaiveMatMul(a, b));
+}
+
+TEST(MatMulTest, ZeroTimesInfPropagatesNaN) {
+  // IEEE 754: 0 * Inf = NaN, and NaN must reach the output even when the
+  // other operand's entry is zero. A zero-multiplier skip (which the kernels
+  // used to have) silently suppresses this; the kernels must not short-cut.
+  float inf = std::numeric_limits<float>::infinity();
+  float qnan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a({1, 2});  // a = [0, 1]
+  a.at(0, 1) = 1.0f;
+  Tensor b({2, 2});  // b row 0 carries Inf and NaN, row 1 is finite
+  b.at(0, 0) = inf;
+  b.at(0, 1) = qnan;
+  b.at(1, 0) = 3.0f;
+  b.at(1, 1) = 4.0f;
+  Tensor nn = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(nn.at(0, 0)));  // 0*Inf + 1*3
+  EXPECT_TRUE(std::isnan(nn.at(0, 1)));  // 0*NaN + 1*4
+  Tensor tn = MatMulTN(Transpose2D(a), b);
+  EXPECT_TRUE(std::isnan(tn.at(0, 0)));
+  EXPECT_TRUE(std::isnan(tn.at(0, 1)));
+  Tensor nt = MatMulNT(a, Transpose2D(b));
+  EXPECT_TRUE(std::isnan(nt.at(0, 0)));
+  EXPECT_TRUE(std::isnan(nt.at(0, 1)));
 }
 
 }  // namespace
