@@ -1,0 +1,207 @@
+// Serving performance: latency and throughput of serve::Server as a
+// function of micro-batch size and worker/replica count. Uses an untrained
+// (warmed-up) snapshot — serving cost does not depend on the weight values —
+// and closed-loop clients. Each cell reports wall-clock throughput and the
+// latency percentiles from serve::ServeStats, and the whole sweep lands in
+// a JSON file (default BENCH_serve.json) for the perf trajectory.
+//
+// Run: ./build/bench/serve_throughput
+//      ./build/bench/serve_throughput --batch_sizes=1,8,64 --workers_list=1,4
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "nn/resnet.h"
+#include "nn/serialize.h"
+#include "serve/server.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+std::vector<int64_t> ParseIntList(const std::string& spec) {
+  std::vector<int64_t> out;
+  for (const std::string& raw : eos::StrSplit(spec, ',')) {
+    std::string name = eos::StrTrim(raw);
+    if (!name.empty()) out.push_back(std::stoll(name));
+  }
+  return out;
+}
+
+eos::nn::ImageClassifier BuildNet(uint64_t seed, int64_t num_classes) {
+  eos::Rng rng(seed);
+  eos::nn::ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = num_classes;
+  return eos::nn::BuildResNet(config, rng);
+}
+
+struct Cell {
+  int64_t workers = 0;
+  int64_t batch_size = 0;
+  int64_t requests = 0;
+  double seconds = 0;
+  eos::serve::StatsSnapshot stats;
+};
+
+std::string CellJson(const Cell& c) {
+  return eos::StrFormat(
+      "{\"workers\": %lld, \"max_batch_size\": %lld, \"requests\": %lld, "
+      "\"seconds\": %.4f, \"rps\": %.1f, \"mean_batch_size\": %.3f, "
+      "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+      "\"max_queue_depth\": %lld}",
+      static_cast<long long>(c.workers), static_cast<long long>(c.batch_size),
+      static_cast<long long>(c.requests), c.seconds,
+      static_cast<double>(c.requests) / c.seconds, c.stats.mean_batch_size,
+      c.stats.p50_us, c.stats.p95_us, c.stats.p99_us,
+      static_cast<long long>(c.stats.max_queue_depth));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eos::FlagSet flags;
+  int64_t* image_size = flags.AddInt("image_size", 10, "image edge size");
+  int64_t* classes = flags.AddInt("classes", 10, "number of classes");
+  int64_t* requests = flags.AddInt("requests", 512, "requests per cell");
+  int64_t* clients = flags.AddInt("clients", 8, "closed-loop client threads");
+  int64_t* delay_us =
+      flags.AddInt("delay_us", 1000, "max queue delay per request (us)");
+  int64_t* depth = flags.AddInt("depth", 1024, "queue depth (backpressure)");
+  int64_t* seed = flags.AddInt("seed", 1, "rng seed");
+  std::string* batch_sizes =
+      flags.AddString("batch_sizes", "1,4,16,32", "micro-batch size sweep");
+  std::string* workers_list =
+      flags.AddString("workers_list", "1,2,4", "worker/replica count sweep");
+  std::string* weights = flags.AddString(
+      "weights", "/tmp/eos_serve_bench_model", "scratch snapshot prefix");
+  std::string* out =
+      flags.AddString("out", "BENCH_serve.json", "JSON output path");
+  eos::Status status = flags.Parse(argc, argv);
+  if (!status.ok() || flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return status.ok() ? 0 : 2;
+  }
+
+  // A warmed-up snapshot (training-mode forward moves the BN statistics so
+  // eval mode exercises the realistic code path).
+  {
+    eos::nn::ImageClassifier net =
+        BuildNet(static_cast<uint64_t>(*seed), *classes);
+    eos::Rng rng(static_cast<uint64_t>(*seed) + 1);
+    eos::Tensor warmup = eos::Tensor::Uniform(
+        {16, 3, *image_size, *image_size}, -1.0f, 1.0f, rng);
+    net.Forward(warmup, /*training=*/true);
+    eos::Status save_status = eos::nn::SaveClassifier(net, *weights);
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n",
+                   save_status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  eos::Rng image_rng(static_cast<uint64_t>(*seed) + 2);
+  std::vector<eos::Tensor> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(eos::Tensor::Uniform({3, *image_size, *image_size}, -1.0f,
+                                        1.0f, image_rng));
+  }
+
+  std::printf("serve_throughput: %lld requests/cell, %lld clients, "
+              "delay %lld us\n\n",
+              static_cast<long long>(*requests),
+              static_cast<long long>(*clients),
+              static_cast<long long>(*delay_us));
+  std::printf("  %-8s %-10s %-10s %-12s %-10s %-10s %-10s\n", "workers",
+              "max_batch", "req/s", "mean_batch", "p50_us", "p95_us",
+              "p99_us");
+
+  std::vector<Cell> cells;
+  for (int64_t workers : ParseIntList(*workers_list)) {
+    // One session replica per worker: forwards run concurrently.
+    std::vector<std::shared_ptr<eos::serve::ModelSession>> replicas;
+    for (int64_t r = 0; r < workers; ++r) {
+      auto session = eos::serve::ModelSession::Load(
+          BuildNet(static_cast<uint64_t>(*seed) + 50 + static_cast<uint64_t>(r),
+                   *classes),
+          *weights);
+      if (!session.ok()) {
+        std::fprintf(stderr, "load failed: %s\n",
+                     session.status().ToString().c_str());
+        return 1;
+      }
+      replicas.push_back(std::move(session).value());
+    }
+    for (int64_t batch_size : ParseIntList(*batch_sizes)) {
+      eos::serve::ServerOptions options;
+      options.num_workers = static_cast<int>(workers);
+      options.batcher.max_batch_size = batch_size;
+      options.batcher.max_queue_delay_us = *delay_us;
+      options.batcher.max_queue_depth = *depth;
+      eos::serve::Server server(replicas, options);
+
+      eos::Stopwatch watch;
+      std::vector<std::thread> client_threads;
+      for (int64_t c = 0; c < *clients; ++c) {
+        client_threads.emplace_back([&, c] {
+          for (int64_t i = c; i < *requests; i += *clients) {
+            const eos::Tensor& image =
+                pool[static_cast<size_t>(i) % pool.size()];
+            for (;;) {
+              auto f = server.Submit(image);
+              if (f.ok()) {
+                std::move(f).value().get();
+                break;
+              }
+              std::this_thread::yield();  // backpressure: retry
+            }
+          }
+        });
+      }
+      for (auto& t : client_threads) t.join();
+      server.Shutdown();
+
+      Cell cell;
+      cell.workers = workers;
+      cell.batch_size = batch_size;
+      cell.requests = *requests;
+      cell.seconds = watch.Seconds();
+      cell.stats = server.Stats();
+      cells.push_back(cell);
+      std::printf("  %-8lld %-10lld %-10.0f %-12.2f %-10.0f %-10.0f %-10.0f\n",
+                  static_cast<long long>(workers),
+                  static_cast<long long>(batch_size),
+                  static_cast<double>(cell.requests) / cell.seconds,
+                  cell.stats.mean_batch_size, cell.stats.p50_us,
+                  cell.stats.p95_us, cell.stats.p99_us);
+    }
+  }
+
+  std::FILE* f = std::fopen(out->c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out->c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"serve_throughput\", \"image_size\": %lld, "
+               "\"classes\": %lld, \"clients\": %lld, \"delay_us\": %lld, "
+               "\"results\": [\n",
+               static_cast<long long>(*image_size),
+               static_cast<long long>(*classes),
+               static_cast<long long>(*clients),
+               static_cast<long long>(*delay_us));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", CellJson(cells[i]).c_str(),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu cells)\n", out->c_str(), cells.size());
+  return 0;
+}

@@ -65,20 +65,32 @@ void TrainEndToEnd(nn::ImageClassifier& net, Loss& loss, const Dataset& train,
   }
 }
 
-std::vector<int64_t> Predict(nn::ImageClassifier& net, const Tensor& images,
-                             int64_t batch_size) {
+Tensor EvalLogits(nn::ImageClassifier& net, const Tensor& images,
+                  int64_t batch_size) {
   EOS_CHECK_EQ(images.dim(), 4);
+  EOS_CHECK_GT(batch_size, 0);
   int64_t n = images.size(0);
-  std::vector<int64_t> out;
-  out.reserve(static_cast<size_t>(n));
+  if (n == 0) return Tensor({0, net.num_classes});
+  Tensor out;
   auto batches = MakeBatches(n, batch_size, nullptr);
+  int64_t row = 0;
   for (const auto& batch : batches) {
     Tensor x = GatherImages(images, batch);
     Tensor logits = net.Forward(x, /*training=*/false);
-    std::vector<int64_t> preds = ArgMaxRows(logits);
-    out.insert(out.end(), preds.begin(), preds.end());
+    EOS_CHECK_EQ(logits.dim(), 2);
+    if (out.numel() == 0) out = Tensor({n, logits.size(1)});
+    for (int64_t i = 0; i < logits.size(0); ++i) {
+      CopyRow(logits, i, out, row + i);
+    }
+    row += logits.size(0);
   }
+  EOS_CHECK_EQ(row, n);
   return out;
+}
+
+std::vector<int64_t> Predict(nn::ImageClassifier& net, const Tensor& images,
+                             int64_t batch_size) {
+  return ArgMaxRows(EvalLogits(net, images, batch_size));
 }
 
 FeatureSet ExtractEmbeddings(nn::ImageClassifier& net, const Dataset& data,

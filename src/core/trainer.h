@@ -37,7 +37,17 @@ void TrainEndToEnd(nn::ImageClassifier& net, Loss& loss, const Dataset& train,
                    const nn::LrSchedule* schedule = nullptr,
                    const std::function<void(int64_t)>& epoch_callback = {});
 
-/// Batched inference: argmax predictions for every image.
+/// Batched eval-mode forward pass: logits for every image, [N, num_classes].
+/// This is the single inference path shared by the offline `Predict` and the
+/// serving layer (`serve::ModelSession`), so the two can never drift. In
+/// eval mode every sample's logits depend only on that sample (BatchNorm
+/// uses running statistics), so the result is bitwise-identical for any
+/// `batch_size` >= 1.
+Tensor EvalLogits(nn::ImageClassifier& net, const Tensor& images,
+                  int64_t batch_size = 256);
+
+/// Batched inference: argmax predictions for every image. Thin wrapper over
+/// `EvalLogits` + `ArgMaxRows`.
 std::vector<int64_t> Predict(nn::ImageClassifier& net, const Tensor& images,
                              int64_t batch_size = 256);
 

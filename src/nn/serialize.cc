@@ -109,13 +109,17 @@ Status LoadParameters(Module& module, const std::string& path) {
   char magic[4];
   EOS_RETURN_IF_ERROR(ReadBytes(f.get(), magic, sizeof(magic)));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not an EOS weights file: " + path);
+    return Status::InvalidArgument(
+        StrFormat("not an EOS weights file (bad magic, expected \"EOSW\"): %s",
+                  path.c_str()));
   }
   uint32_t version = 0;
   EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &version, sizeof(version)));
   if (version != kVersion) {
     return Status::InvalidArgument(
-        StrFormat("unsupported weights version %u", version));
+        StrFormat("unsupported weights version %u (this build reads version "
+                  "%u): %s",
+                  version, kVersion, path.c_str()));
   }
 
   std::vector<Parameter*> params = module.Parameters();
@@ -154,6 +158,14 @@ Status LoadParameters(Module& module, const std::string& path) {
   for (size_t i = 0; i < buffers.size(); ++i) {
     EOS_RETURN_IF_ERROR(
         ReadTensorInto(f.get(), *buffers[i], StrFormat("buffer %zu", i)));
+  }
+  // The last buffer must end the file: trailing bytes mean a corrupt or
+  // concatenated stream, which must not load silently.
+  unsigned char extra = 0;
+  if (std::fread(&extra, 1, 1, f.get()) == 1) {
+    return Status::InvalidArgument(
+        "trailing bytes after last buffer (corrupt or concatenated file): " +
+        path);
   }
   return Status::OK();
 }

@@ -14,7 +14,9 @@ Status SaveParameters(Module& module, const std::string& path);
 
 /// Loads parameters saved by SaveParameters into `module`. Parameter
 /// names, order, and shapes must match exactly (the module must have been
-/// built with the same configuration).
+/// built with the same configuration). The stream must end exactly at the
+/// last buffer: truncated files and files with trailing bytes are rejected,
+/// so a corrupt or concatenated snapshot can never load silently.
 Status LoadParameters(Module& module, const std::string& path);
 
 /// Saves both stages of a classifier (extractor to `<path>.extractor`,

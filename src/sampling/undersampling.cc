@@ -97,8 +97,8 @@ FeatureSet EditedNearestNeighbours(const FeatureSet& data,
   EOS_CHECK_GT(k_neighbors, 0);
   int64_t n = data.size();
   if (n < 2) {
-    std::vector<int64_t> all(static_cast<size_t>(n));
-    std::iota(all.begin(), all.end(), 0);
+    std::vector<int64_t> all;
+    for (int64_t i = 0; i < n; ++i) all.push_back(i);
     return SelectFeatures(data, all);
   }
   std::vector<int64_t> counts = data.ClassCounts();

@@ -1,0 +1,101 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace eos::serve {
+
+MicroBatcher::MicroBatcher(const MicroBatcherOptions& options,
+                           ServeStats* stats)
+    : options_(options), stats_(stats) {
+  EOS_CHECK_GT(options_.max_batch_size, 0);
+  EOS_CHECK_GE(options_.max_queue_delay_us, 0);
+  EOS_CHECK_GT(options_.max_queue_depth, 0);
+}
+
+Result<std::future<Prediction>> MicroBatcher::Submit(Tensor image) {
+  EOS_CHECK_EQ(image.dim(), 3);
+  std::future<Prediction> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition(
+          "micro-batcher is shut down; no new requests accepted");
+    }
+    if (static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+      if (stats_ != nullptr) stats_->RecordRejected();
+      return Status::ResourceExhausted(
+          StrFormat("serve queue full (%lld queued, max_queue_depth %lld)",
+                    static_cast<long long>(queue_.size()),
+                    static_cast<long long>(options_.max_queue_depth)));
+    }
+    Request request;
+    request.image = std::move(image);
+    request.enqueue_time = std::chrono::steady_clock::now();
+    future = request.promise.get_future();
+    queue_.push_back(std::move(request));
+    if (stats_ != nullptr) {
+      stats_->SetQueueDepth(static_cast<int64_t>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool MicroBatcher::NextBatch(std::vector<Request>& out) {
+  out.clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!queue_.empty()) {
+      // Hold the dispatch until the batch fills, the oldest request's delay
+      // budget runs out, or shutdown flushes partial batches.
+      auto deadline = queue_.front().enqueue_time +
+                      std::chrono::microseconds(options_.max_queue_delay_us);
+      while (static_cast<int64_t>(queue_.size()) < options_.max_batch_size &&
+             !shutdown_) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+      int64_t take = std::min<int64_t>(static_cast<int64_t>(queue_.size()),
+                                       options_.max_batch_size);
+      // A sibling consumer may have drained the queue while we waited for
+      // the batch to fill; go back to waiting rather than emit an empty batch.
+      if (take == 0) continue;
+      out.reserve(static_cast<size_t>(take));
+      for (int64_t i = 0; i < take; ++i) {
+        out.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (stats_ != nullptr) {
+        stats_->SetQueueDepth(static_cast<int64_t>(queue_.size()));
+      }
+      // Wake sibling consumers: more work may remain, and on shutdown every
+      // consumer must observe the drained queue to exit.
+      if (!queue_.empty() || shutdown_) cv_.notify_all();
+      return true;
+    }
+    if (shutdown_) return false;
+    cv_.wait(lock);
+  }
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MicroBatcher::shut_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+int64_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+}  // namespace eos::serve

@@ -1,0 +1,90 @@
+#ifndef EOS_SERVE_MICRO_BATCHER_H_
+#define EOS_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/model_session.h"
+#include "serve/stats.h"
+
+/// \file
+/// Bounded request queue that coalesces single-sample requests into
+/// micro-batches. Producers call Submit; consumers (server workers) call
+/// NextBatch. See DESIGN.md "Serving" for the queue policy.
+
+namespace eos::serve {
+
+/// Batching policy knobs.
+struct MicroBatcherOptions {
+  /// Upper bound on requests per dispatched micro-batch.
+  int64_t max_batch_size = 32;
+  /// How long a dispatch may hold the *oldest* queued request waiting for
+  /// the batch to fill. 0 dispatches whatever is queued immediately.
+  int64_t max_queue_delay_us = 2000;
+  /// Queue bound: Submit beyond this depth is rejected with
+  /// ResourceExhausted (backpressure) instead of queueing unboundedly.
+  int64_t max_queue_depth = 1024;
+};
+
+/// A bounded MPMC queue of single-image requests with batch-coalescing pops.
+///
+/// Lifecycle: Submit() enqueues until Shutdown(); after Shutdown, NextBatch
+/// keeps returning queued work until the queue is empty (graceful drain)
+/// and only then returns false. Every accepted request is therefore either
+/// completed by a consumer or still owned by one — accepted futures never
+/// dangle as long as consumers drain to false.
+class MicroBatcher {
+ public:
+  /// One queued request: the image, its completion promise, and the enqueue
+  /// timestamp latency stats are measured from.
+  struct Request {
+    Tensor image;  // [C, H, W]
+    std::promise<Prediction> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  /// `stats` (optional) receives queue-depth and rejection telemetry.
+  explicit MicroBatcher(const MicroBatcherOptions& options,
+                        ServeStats* stats = nullptr);
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one image [C, H, W] and returns the future its prediction
+  /// will arrive on. Fails with ResourceExhausted when the queue is at
+  /// max_queue_depth (backpressure — never blocks) and FailedPrecondition
+  /// after Shutdown. All images in flight must share one shape.
+  Result<std::future<Prediction>> Submit(Tensor image);
+
+  /// Blocks until it can fill `out` with 1..max_batch_size requests, then
+  /// returns true. A dispatch happens when the batch is full, the oldest
+  /// request has waited max_queue_delay_us, or shutdown begins (partial
+  /// batches flush on drain). Returns false only when shut down AND empty.
+  bool NextBatch(std::vector<Request>& out);
+
+  /// Stops accepting new requests; queued ones remain poppable (drain).
+  void Shutdown();
+
+  bool shut_down() const;
+  int64_t queue_depth() const;
+  const MicroBatcherOptions& options() const { return options_; }
+
+ private:
+  const MicroBatcherOptions options_;
+  ServeStats* const stats_;  // may be null
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;  // guarded by mu_
+  bool shutdown_ = false;      // guarded by mu_
+};
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,55 @@
+#include "serve/model_session.h"
+
+#include <utility>
+
+#include "core/trainer.h"
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos::serve {
+
+ModelSession::ModelSession(nn::ImageClassifier net) : net_(std::move(net)) {}
+
+Result<std::shared_ptr<ModelSession>> ModelSession::Load(
+    nn::ImageClassifier net, const std::string& snapshot_path) {
+  EOS_RETURN_IF_ERROR(nn::LoadClassifier(net, snapshot_path));
+  return std::make_shared<ModelSession>(std::move(net));
+}
+
+std::vector<Prediction> ModelSession::PredictBatch(const Tensor& images) {
+  EOS_CHECK_EQ(images.dim(), 4);
+  int64_t n = images.size(0);
+  std::vector<Prediction> out(static_cast<size_t>(n));
+  if (n == 0) return out;
+
+  Tensor logits;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // One shot through the shared offline/online inference path; the whole
+    // micro-batch is a single forward, so the runtime pool parallelizes
+    // across its samples.
+    logits = EvalLogits(net_, images, /*batch_size=*/n);
+  }
+  std::vector<int64_t> labels = ArgMaxRows(logits);
+  Tensor probs = SoftmaxRows(logits);
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)].label = labels[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)].confidence =
+        probs.at(i, labels[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Prediction ModelSession::PredictOne(const Tensor& image) {
+  Tensor batch;
+  if (image.dim() == 3) {
+    batch = image.Reshape({1, image.size(0), image.size(1), image.size(2)});
+  } else {
+    EOS_CHECK_EQ(image.dim(), 4);
+    EOS_CHECK_EQ(image.size(0), 1);
+    batch = image;
+  }
+  return PredictBatch(batch)[0];
+}
+
+}  // namespace eos::serve

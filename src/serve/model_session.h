@@ -1,0 +1,68 @@
+#ifndef EOS_SERVE_MODEL_SESSION_H_
+#define EOS_SERVE_MODEL_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/network.h"
+
+/// \file
+/// The model half of the serving subsystem: an immutable, thread-safe
+/// session over a trained classifier snapshot. See DESIGN.md "Serving".
+
+namespace eos::serve {
+
+/// One served answer: the argmax class and its softmax probability.
+struct Prediction {
+  int64_t label = -1;
+  float confidence = 0.0f;
+};
+
+/// An inference session over a trained `nn::ImageClassifier`. The weights
+/// are fixed at construction (forward passes always run in eval mode, so
+/// BatchNorm running statistics never move) and predictions are
+/// bitwise-identical to `core::Predict` on the same snapshot: both run the
+/// single shared `core::EvalLogits` path, and eval-mode logits for a sample
+/// do not depend on which batch the sample rides in.
+///
+/// Thread safety: any number of threads may call PredictBatch / PredictOne
+/// concurrently. Forward passes serialize on an internal mutex (module
+/// activation caches are not shareable); within one forward the runtime
+/// pool parallelizes across the batch, which is why the micro-batcher
+/// coalesces requests before they reach the session. For concurrent forward
+/// passes, load one session per server worker (replicas of the same
+/// snapshot stay bitwise-consistent).
+class ModelSession {
+ public:
+  /// Wraps an already-initialized network (takes ownership). Used by tests
+  /// and callers that just trained in-process.
+  explicit ModelSession(nn::ImageClassifier net);
+
+  /// Builds a session by loading a `nn::SaveClassifier` snapshot into
+  /// `net`, which must be configured identically to the saved model.
+  static Result<std::shared_ptr<ModelSession>> Load(
+      nn::ImageClassifier net, const std::string& snapshot_path);
+
+  ModelSession(const ModelSession&) = delete;
+  ModelSession& operator=(const ModelSession&) = delete;
+
+  /// Eval-mode predictions for a batch of images [N, C, H, W].
+  std::vector<Prediction> PredictBatch(const Tensor& images);
+
+  /// Eval-mode prediction for one image [C, H, W] (or [1, C, H, W]).
+  Prediction PredictOne(const Tensor& image);
+
+  int64_t num_classes() const { return net_.num_classes; }
+  const std::string& arch() const { return net_.arch; }
+
+ private:
+  mutable std::mutex mu_;  // serializes forward passes
+  nn::ImageClassifier net_;
+};
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_MODEL_SESSION_H_

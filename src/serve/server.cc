@@ -1,0 +1,109 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace eos::serve {
+
+namespace {
+
+/// Stacks the per-request images [C, H, W] into one batch [N, C, H, W].
+Tensor StackRequests(const std::vector<MicroBatcher::Request>& batch) {
+  EOS_CHECK(!batch.empty());
+  const Tensor& first = batch[0].image;
+  EOS_CHECK_EQ(first.dim(), 3);
+  int64_t sample_numel = first.numel();
+  Tensor images({static_cast<int64_t>(batch.size()), first.size(0),
+                 first.size(1), first.size(2)});
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EOS_CHECK(SameShape(batch[i].image, first));
+    std::memcpy(images.data() + static_cast<int64_t>(i) * sample_numel,
+                batch[i].image.data(),
+                static_cast<size_t>(sample_numel) * sizeof(float));
+  }
+  return images;
+}
+
+}  // namespace
+
+Server::Server(std::shared_ptr<ModelSession> session,
+               const ServerOptions& options)
+    : Server(std::vector<std::shared_ptr<ModelSession>>{std::move(session)},
+             options) {}
+
+Server::Server(std::vector<std::shared_ptr<ModelSession>> replicas,
+               const ServerOptions& options)
+    : options_(options),
+      replicas_(std::move(replicas)),
+      batcher_(options.batcher, &stats_) {
+  EOS_CHECK(!replicas_.empty());
+  for (const auto& replica : replicas_) EOS_CHECK(replica != nullptr);
+  EOS_CHECK_GE(options_.num_workers, 0);
+  if (options_.num_workers > 0) {
+    workers_ = std::make_unique<runtime::ThreadPool>(options_.num_workers);
+    for (int w = 0; w < options_.num_workers; ++w) {
+      workers_->Submit(
+          [this, w] { WorkerLoop(static_cast<size_t>(w)); });
+    }
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+Result<std::future<Prediction>> Server::Submit(Tensor image) {
+  return batcher_.Submit(std::move(image));
+}
+
+Result<Prediction> Server::Predict(Tensor image) {
+  EOS_ASSIGN_OR_RETURN(std::future<Prediction> future,
+                       Submit(std::move(image)));
+  return future.get();
+}
+
+bool Server::ServeOnce() {
+  std::vector<MicroBatcher::Request> batch;
+  if (!batcher_.NextBatch(batch)) return false;
+  RunBatch(*replicas_[0], batch);
+  return true;
+}
+
+void Server::WorkerLoop(size_t worker_index) {
+  ModelSession& session = *replicas_[worker_index % replicas_.size()];
+  std::vector<MicroBatcher::Request> batch;
+  while (batcher_.NextBatch(batch)) {
+    RunBatch(session, batch);
+  }
+}
+
+void Server::RunBatch(ModelSession& session,
+                      std::vector<MicroBatcher::Request>& batch) {
+  Tensor images = StackRequests(batch);
+  std::vector<Prediction> predictions = session.PredictBatch(images);
+  EOS_CHECK_EQ(predictions.size(), batch.size());
+  auto done = std::chrono::steady_clock::now();
+  stats_.RecordBatch(static_cast<int64_t>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    stats_.RecordLatencyUs(std::chrono::duration<double, std::micro>(
+                               done - batch[i].enqueue_time)
+                               .count());
+    batch[i].promise.set_value(predictions[i]);
+  }
+}
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shutdown_done_) return;
+  batcher_.Shutdown();
+  if (workers_ != nullptr) {
+    // The pool destructor joins the worker loops; they exit once NextBatch
+    // reports the shut-down queue fully drained.
+    workers_.reset();
+  } else {
+    while (ServeOnce()) {
+    }
+  }
+  shutdown_done_ = true;
+}
+
+}  // namespace eos::serve

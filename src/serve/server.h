@@ -1,0 +1,98 @@
+#ifndef EOS_SERVE_SERVER_H_
+#define EOS_SERVE_SERVER_H_
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_session.h"
+#include "serve/stats.h"
+
+/// \file
+/// The serving front door: a dynamic micro-batching inference server that
+/// turns a saved EOS-trained classifier into a concurrently-queryable
+/// service. Clients Submit single images and receive futures; worker loops
+/// on a dedicated runtime::ThreadPool coalesce requests through the
+/// MicroBatcher, run batched eval-mode forwards on a ModelSession, and
+/// complete each future with label + softmax confidence. See DESIGN.md
+/// "Serving" for guarantees.
+
+namespace eos::serve {
+
+struct ServerOptions {
+  /// Worker loops draining the micro-batcher. Each worker uses the session
+  /// replica with its index (modulo the replica count); with fewer replicas
+  /// than workers the shared sessions serialize their forward passes
+  /// internally. 0 = no worker threads: the caller drives via ServeOnce()
+  /// (deterministic mode for tests and single-threaded embedders).
+  int num_workers = 1;
+  MicroBatcherOptions batcher;
+};
+
+/// A micro-batching inference server over one or more ModelSession
+/// replicas of the same snapshot. Served predictions are bitwise-identical
+/// to `core::Predict` on that snapshot regardless of worker count, replica
+/// count, or batching policy, because eval-mode per-sample outputs are
+/// batch-composition-independent (see ModelSession).
+///
+/// Shutdown is graceful: new Submits are refused, every queued request is
+/// still executed and its future completed, then workers exit. The
+/// destructor calls Shutdown(), so accepted futures never dangle.
+class Server {
+ public:
+  /// Single-replica convenience constructor.
+  Server(std::shared_ptr<ModelSession> session, const ServerOptions& options);
+
+  /// Multi-replica constructor: worker i serves on replicas[i % size].
+  /// All replicas must be loaded from the same snapshot (unchecked).
+  Server(std::vector<std::shared_ptr<ModelSession>> replicas,
+         const ServerOptions& options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues one image [C, H, W]. Fails with ResourceExhausted when the
+  /// queue is full (backpressure) and FailedPrecondition after Shutdown.
+  Result<std::future<Prediction>> Submit(Tensor image);
+
+  /// Blocking convenience: Submit then wait for the prediction.
+  Result<Prediction> Predict(Tensor image);
+
+  /// Executes at most one micro-batch on the calling thread. Blocks until
+  /// work arrives (or shutdown); returns false when shut down and drained.
+  /// This is the drive loop for num_workers == 0.
+  bool ServeOnce();
+
+  /// Stops accepting requests, drains every queued request (completing its
+  /// future), and joins the workers. Idempotent.
+  void Shutdown();
+
+  /// Telemetry snapshot (latency percentiles, throughput, queue depth).
+  StatsSnapshot Stats() const { return stats_.Snapshot(); }
+
+  int64_t queue_depth() const { return batcher_.queue_depth(); }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop(size_t worker_index);
+  void RunBatch(ModelSession& session,
+                std::vector<MicroBatcher::Request>& batch);
+
+  const ServerOptions options_;
+  std::vector<std::shared_ptr<ModelSession>> replicas_;
+  ServeStats stats_;
+  MicroBatcher batcher_;
+  // Declared last so it is destroyed first: the pool dtor joins the worker
+  // loops, which exit once the (already shut down) batcher drains.
+  std::unique_ptr<runtime::ThreadPool> workers_;
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;  // guarded by shutdown_mu_
+};
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_SERVER_H_

@@ -1,0 +1,114 @@
+#include "serve/stats.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace eos::serve {
+
+LatencyHistogram::LatencyHistogram() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+int LatencyHistogram::BucketIndex(double micros) {
+  if (!(micros > 1.0)) return 0;
+  int b = static_cast<int>(kBucketsPerOctave * std::log2(micros));
+  if (b < 0) b = 0;
+  if (b >= kNumBuckets) b = kNumBuckets - 1;
+  return b;
+}
+
+double LatencyHistogram::BucketUpperEdgeUs(int b) {
+  return std::exp2(static_cast<double>(b + 1) / kBucketsPerOctave);
+}
+
+void LatencyHistogram::Record(double micros) {
+  counts_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::PercentileUs(double p) const {
+  int64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested percentile, 1-based (nearest-rank definition).
+  int64_t rank = static_cast<int64_t>(std::ceil(p / 100.0 *
+                                                static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += counts_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperEdgeUs(b);
+  }
+  return BucketUpperEdgeUs(kNumBuckets - 1);
+}
+
+ServeStats::ServeStats() : start_(std::chrono::steady_clock::now()) {}
+
+void ServeStats::RecordLatencyUs(double micros) {
+  latency_.Record(micros);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordBatch(int64_t size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(size, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordRejected() {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::SetQueueDepth(int64_t depth) {
+  queue_depth_.store(depth, std::memory_order_relaxed);
+  int64_t prev = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > prev &&
+         !max_queue_depth_.compare_exchange_weak(prev, depth,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+StatsSnapshot ServeStats::Snapshot() const {
+  StatsSnapshot s;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  int64_t batched = batched_requests_.load(std::memory_order_relaxed);
+  s.mean_batch_size =
+      s.batches > 0
+          ? static_cast<double>(batched) / static_cast<double>(s.batches)
+          : 0.0;
+  s.p50_us = latency_.PercentileUs(50.0);
+  s.p95_us = latency_.PercentileUs(95.0);
+  s.p99_us = latency_.PercentileUs(99.0);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.elapsed_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  s.throughput_rps = s.elapsed_seconds > 0.0
+                         ? static_cast<double>(s.completed) / s.elapsed_seconds
+                         : 0.0;
+  return s;
+}
+
+std::string StatsSnapshot::ToJson() const {
+  return StrFormat(
+      "{\"completed\": %lld, \"rejected\": %lld, \"batches\": %lld, "
+      "\"mean_batch_size\": %.3f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+      "\"p99_us\": %.1f, \"queue_depth\": %lld, \"max_queue_depth\": %lld, "
+      "\"elapsed_seconds\": %.4f, \"throughput_rps\": %.1f}",
+      static_cast<long long>(completed), static_cast<long long>(rejected),
+      static_cast<long long>(batches), mean_batch_size, p50_us, p95_us,
+      p99_us, static_cast<long long>(queue_depth),
+      static_cast<long long>(max_queue_depth), elapsed_seconds,
+      throughput_rps);
+}
+
+}  // namespace eos::serve

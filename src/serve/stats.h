@@ -1,0 +1,102 @@
+#ifndef EOS_SERVE_STATS_H_
+#define EOS_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+/// \file
+/// Lock-cheap serving telemetry: a geometric latency histogram plus
+/// throughput / batching / queue-depth counters. Every mutator is a handful
+/// of relaxed-or-acq_rel atomic operations, so workers and clients can
+/// record from any thread without contending on a mutex; `Snapshot()` reads
+/// a consistent-enough view for reporting (counters may lag each other by a
+/// few in-flight requests, which is fine for monitoring output).
+
+namespace eos::serve {
+
+/// Fixed-bucket latency histogram over microseconds. Buckets are geometric
+/// with 4 sub-buckets per octave (ratio 2^(1/4) ≈ 1.19), spanning 1 us to
+/// ~4.7 minutes; out-of-range samples clamp to the edge buckets. Percentile
+/// queries return the upper edge of the bucket holding the requested rank,
+/// so the reported value is an upper bound within ~19% of the true sample.
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketsPerOctave = 4;
+  static constexpr int kNumBuckets = 28 * kBucketsPerOctave;
+
+  LatencyHistogram();
+
+  /// Records one latency sample (negative values clamp to the first bucket).
+  void Record(double micros);
+
+  /// Total samples recorded.
+  int64_t TotalCount() const;
+
+  /// Latency (us) at percentile `p` in [0, 100]; 0 when empty.
+  double PercentileUs(double p) const;
+
+  /// Upper edge (us) of bucket `b` — exposed for tests.
+  static double BucketUpperEdgeUs(int b);
+
+  /// Bucket index a sample of `micros` lands in — exposed for tests.
+  static int BucketIndex(double micros);
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> counts_;
+};
+
+/// One consistent-enough view of a ServeStats, ready for printing.
+struct StatsSnapshot {
+  int64_t completed = 0;       ///< requests whose future was fulfilled
+  int64_t rejected = 0;        ///< requests refused with ResourceExhausted
+  int64_t batches = 0;         ///< micro-batches executed
+  double mean_batch_size = 0;  ///< batched requests / batches
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  int64_t queue_depth = 0;      ///< gauge at snapshot time
+  int64_t max_queue_depth = 0;  ///< high-water mark of the gauge
+  double elapsed_seconds = 0;   ///< since stats construction / Reset
+  double throughput_rps = 0;    ///< completed / elapsed_seconds
+
+  /// Single-line JSON object with every field above.
+  std::string ToJson() const;
+};
+
+/// Aggregates serving telemetry. One instance is shared by a Server, its
+/// MicroBatcher, and its workers; all methods are thread-safe.
+class ServeStats {
+ public:
+  ServeStats();
+
+  /// Records a completed request and its submit-to-completion latency.
+  void RecordLatencyUs(double micros);
+
+  /// Records one executed micro-batch of `size` requests.
+  void RecordBatch(int64_t size);
+
+  /// Records a request rejected for backpressure.
+  void RecordRejected();
+
+  /// Updates the queue-depth gauge (and its high-water mark).
+  void SetQueueDepth(int64_t depth);
+
+  StatsSnapshot Snapshot() const;
+
+ private:
+  LatencyHistogram latency_;
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> batched_requests_{0};
+  std::atomic<int64_t> queue_depth_{0};
+  std::atomic<int64_t> max_queue_depth_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_STATS_H_

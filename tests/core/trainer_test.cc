@@ -6,6 +6,7 @@
 #include "data/transforms.h"
 #include "losses/cross_entropy.h"
 #include "nn/resnet.h"
+#include "tensor/tensor_ops.h"
 
 namespace eos {
 namespace {
@@ -106,6 +107,32 @@ TEST(TrainerTest, PredictMatchesEvaluateConfusion) {
   int64_t diag_confusion = 0;
   for (int64_t c = 0; c < 10; ++c) diag_confusion += confusion.TruePositives(c);
   EXPECT_EQ(diag, diag_confusion);
+}
+
+TEST(TrainerTest, EvalLogitsIsBatchSizeInvariantBitwise) {
+  // The serving layer relies on this: in eval mode a sample's logits do not
+  // depend on which micro-batch it rides in, so any batch_size policy
+  // reproduces the offline result bitwise.
+  TinyTask task(21, 5, 8);
+  Tensor reference = EvalLogits(task.net, task.test.images, /*batch_size=*/256);
+  ASSERT_EQ(reference.size(0), task.test.size());
+  ASSERT_EQ(reference.size(1), 10);
+  for (int64_t batch_size : {1, 3, 7, 64}) {
+    Tensor logits = EvalLogits(task.net, task.test.images, batch_size);
+    ASSERT_TRUE(SameShape(reference, logits));
+    for (int64_t i = 0; i < reference.numel(); ++i) {
+      ASSERT_EQ(reference.data()[i], logits.data()[i])
+          << "batch_size " << batch_size;
+    }
+  }
+}
+
+TEST(TrainerTest, PredictIsArgmaxOfEvalLogits) {
+  TinyTask task(23, 4, 8);
+  std::vector<int64_t> preds = Predict(task.net, task.test.images, 5);
+  std::vector<int64_t> expected =
+      ArgMaxRows(EvalLogits(task.net, task.test.images, 256));
+  EXPECT_EQ(preds, expected);
 }
 
 TEST(TrainerTest, ExtractEmbeddingsShapeAndLabels) {

@@ -1,6 +1,8 @@
 #include "nn/serialize.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -99,6 +101,152 @@ TEST(SerializeTest, GarbageFileRejected) {
   ImageClassifier net = SmallNet(8);
   Status status = LoadParameters(*net.head, path);
   EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ClassifierRoundTripPreservesBatchNormBuffers) {
+  ImageClassifier original = SmallNet(20);
+  Rng rng(21);
+  // Training-mode passes move the BN running statistics off (0, 1); the
+  // full-classifier round trip must restore them bitwise.
+  for (int i = 0; i < 3; ++i) {
+    Tensor x = Tensor::Uniform({8, 3, 8, 8}, 1.0f, 2.0f, rng);
+    original.Forward(x, /*training=*/true);
+  }
+  std::string path = TempPath("classifier_buffers.eosw");
+  ASSERT_TRUE(SaveClassifier(original, path).ok());
+
+  ImageClassifier restored = SmallNet(22);
+  ASSERT_TRUE(LoadClassifier(restored, path).ok());
+  std::vector<Tensor*> want;
+  std::vector<Tensor*> got;
+  original.extractor->CollectBuffers(want);
+  restored.extractor->CollectBuffers(got);
+  ASSERT_EQ(want.size(), got.size());
+  ASSERT_FALSE(want.empty());
+  for (size_t i = 0; i < want.size(); ++i) {
+    for (int64_t j = 0; j < want[i]->numel(); ++j) {
+      ASSERT_EQ(want[i]->data()[j], got[i]->data()[j]);
+    }
+  }
+  std::remove((path + ".extractor").c_str());
+  std::remove((path + ".head").c_str());
+}
+
+// Returns the size in bytes of the file at `path`.
+long FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+// Copies the first `bytes` bytes of `src` to `dst`.
+void CopyPrefix(const std::string& src, const std::string& dst, long bytes) {
+  std::FILE* in = std::fopen(src.c_str(), "rb");
+  std::FILE* out = std::fopen(dst.c_str(), "wb");
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  std::vector<char> buffer(static_cast<size_t>(bytes));
+  ASSERT_EQ(std::fread(buffer.data(), 1, buffer.size(), in), buffer.size());
+  ASSERT_EQ(std::fwrite(buffer.data(), 1, buffer.size(), out), buffer.size());
+  std::fclose(in);
+  std::fclose(out);
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  ImageClassifier net = SmallNet(23);
+  std::string path = TempPath("whole.eosw");
+  ASSERT_TRUE(SaveParameters(*net.extractor, path).ok());
+  long size = FileSize(path);
+  ASSERT_GT(size, 64);
+
+  // Cut in the middle of the tensor payload and near the very end (inside
+  // the last BN buffer): both must fail as truncated, not load partially.
+  for (long keep : {size / 2, size - 3}) {
+    std::string cut = TempPath("truncated.eosw");
+    CopyPrefix(path, cut, keep);
+    ImageClassifier fresh = SmallNet(24);
+    Status status = LoadParameters(*fresh.extractor, cut);
+    EXPECT_FALSE(status.ok()) << "kept " << keep << " of " << size;
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+    std::remove(cut.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TrailingGarbageRejected) {
+  ImageClassifier net = SmallNet(25);
+  std::string path = TempPath("trailing.eosw");
+  ASSERT_TRUE(SaveParameters(*net.extractor, path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc(0x7f, f);  // a single stray byte must already be fatal
+    std::fclose(f);
+  }
+  ImageClassifier fresh = SmallNet(26);
+  Status status = LoadParameters(*fresh.extractor, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trailing"), std::string::npos)
+      << status.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ConcatenatedFilesRejected) {
+  // Two valid streams back to back (e.g. a botched `cat a b > c`) must not
+  // load as the first stream.
+  ImageClassifier net = SmallNet(27);
+  std::string path = TempPath("one.eosw");
+  ASSERT_TRUE(SaveParameters(*net.head, path).ok());
+  long size = FileSize(path);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::vector<char> bytes(static_cast<size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  ImageClassifier fresh = SmallNet(28);
+  Status status = LoadParameters(*fresh.head, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BadMagicAndVersionErrorsAreDescriptive) {
+  std::string path = TempPath("badmagic.eosw");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("XXXX garbage beyond the magic", f);
+    std::fclose(f);
+  }
+  ImageClassifier net = SmallNet(29);
+  Status status = LoadParameters(*net.head, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("magic"), std::string::npos)
+      << status.ToString();
+  {
+    // Valid magic, future version: the message names both versions.
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("EOSW", 1, 4, f);
+    uint32_t version = 42;
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fclose(f);
+  }
+  status = LoadParameters(*net.head, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version 42"), std::string::npos)
+      << status.ToString();
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,173 @@
+#include "serve/micro_batcher.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace eos::serve {
+namespace {
+
+Tensor Image(float fill = 0.0f) {
+  Tensor t({3, 4, 4});
+  t.Fill(fill);
+  return t;
+}
+
+MicroBatcherOptions Opts(int64_t max_batch, int64_t delay_us,
+                         int64_t depth) {
+  MicroBatcherOptions o;
+  o.max_batch_size = max_batch;
+  o.max_queue_delay_us = delay_us;
+  o.max_queue_depth = depth;
+  return o;
+}
+
+TEST(MicroBatcherTest, CoalescesUpToMaxBatchSize) {
+  MicroBatcher batcher(Opts(4, /*delay_us=*/0, 64));
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < 7; ++i) {
+    auto f = batcher.Submit(Image(static_cast<float>(i)));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(f).value());
+  }
+  EXPECT_EQ(batcher.queue_depth(), 7);
+
+  std::vector<MicroBatcher::Request> batch;
+  ASSERT_TRUE(batcher.NextBatch(batch));
+  EXPECT_EQ(batch.size(), 4u);
+  // FIFO order: the first batch carries the first four submissions.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].image.at(0, 0, 0), static_cast<float>(i));
+  }
+  ASSERT_TRUE(batcher.NextBatch(batch));
+  EXPECT_EQ(batch.size(), 3u);  // odd remainder dispatches as-is
+  EXPECT_EQ(batcher.queue_depth(), 0);
+}
+
+TEST(MicroBatcherTest, BackpressureReturnsResourceExhausted) {
+  MicroBatcher batcher(Opts(8, 0, /*depth=*/2));
+  ASSERT_TRUE(batcher.Submit(Image()).ok());
+  ASSERT_TRUE(batcher.Submit(Image()).ok());
+  auto rejected = batcher.Submit(Image());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(batcher.queue_depth(), 2);
+
+  // Draining frees capacity again.
+  std::vector<MicroBatcher::Request> batch;
+  ASSERT_TRUE(batcher.NextBatch(batch));
+  EXPECT_TRUE(batcher.Submit(Image()).ok());
+}
+
+TEST(MicroBatcherTest, RejectionsAreCountedInStats) {
+  ServeStats stats;
+  MicroBatcher batcher(Opts(8, 0, 1), &stats);
+  ASSERT_TRUE(batcher.Submit(Image()).ok());
+  ASSERT_FALSE(batcher.Submit(Image()).ok());
+  ASSERT_FALSE(batcher.Submit(Image()).ok());
+  EXPECT_EQ(stats.Snapshot().rejected, 2);
+  EXPECT_EQ(stats.Snapshot().max_queue_depth, 1);
+}
+
+TEST(MicroBatcherTest, SubmitAfterShutdownFailsPrecondition) {
+  MicroBatcher batcher(Opts(4, 0, 8));
+  batcher.Shutdown();
+  EXPECT_TRUE(batcher.shut_down());
+  auto f = batcher.Submit(Image());
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MicroBatcherTest, ShutdownDrainsQueuedRequestsThenEnds) {
+  MicroBatcher batcher(Opts(2, /*delay_us=*/60'000'000, 16));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(batcher.Submit(Image(static_cast<float>(i))).ok());
+  }
+  batcher.Shutdown();
+  // Despite the huge delay budget, shutdown flushes partial batches
+  // immediately: 2 + 2 + 1, then false.
+  std::vector<MicroBatcher::Request> batch;
+  ASSERT_TRUE(batcher.NextBatch(batch));
+  EXPECT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(batcher.NextBatch(batch));
+  EXPECT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(batcher.NextBatch(batch));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(batcher.NextBatch(batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(MicroBatcherTest, DelayBudgetDispatchesPartialBatch) {
+  // max_batch_size never fills; the oldest request's 1 ms budget must
+  // release the dispatch instead of blocking forever.
+  MicroBatcher batcher(Opts(1024, /*delay_us=*/1000, 2048));
+  ASSERT_TRUE(batcher.Submit(Image()).ok());
+  std::vector<MicroBatcher::Request> batch;
+  ASSERT_TRUE(batcher.NextBatch(batch));
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(MicroBatcherTest, PromisePlumbingDeliversPrediction) {
+  MicroBatcher batcher(Opts(1, 0, 4));
+  auto f = batcher.Submit(Image());
+  ASSERT_TRUE(f.ok());
+  std::vector<MicroBatcher::Request> batch;
+  ASSERT_TRUE(batcher.NextBatch(batch));
+  ASSERT_EQ(batch.size(), 1u);
+  batch[0].promise.set_value(Prediction{2, 0.75f});
+  Prediction p = std::move(f).value().get();
+  EXPECT_EQ(p.label, 2);
+  EXPECT_FLOAT_EQ(p.confidence, 0.75f);
+}
+
+TEST(MicroBatcherTest, ConsumerBlockedOnEmptyQueueWakesOnSubmit) {
+  MicroBatcher batcher(Opts(4, 0, 8));
+  std::vector<MicroBatcher::Request> batch;
+  std::thread consumer([&] { ASSERT_TRUE(batcher.NextBatch(batch)); });
+  // The consumer parks on the empty queue until this submit arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(batcher.Submit(Image(3.0f)).ok());
+  consumer.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].image.at(0, 0, 0), 3.0f);
+}
+
+TEST(MicroBatcherTest, ConcurrentProducersAndConsumersDrainExactly) {
+  MicroBatcher batcher(Opts(8, 200, 4096));
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  std::atomic<int> accepted{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (batcher.Submit(Image()).ok()) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::atomic<int> popped{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<MicroBatcher::Request> batch;
+      while (batcher.NextBatch(batch)) {
+        popped.fetch_add(static_cast<int>(batch.size()));
+        for (auto& r : batch) r.promise.set_value(Prediction{});
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  batcher.Shutdown();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(batcher.queue_depth(), 0);
+}
+
+}  // namespace
+}  // namespace eos::serve

@@ -1,0 +1,125 @@
+#include "serve/model_session.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "nn/resnet.h"
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos::serve {
+namespace {
+
+nn::ImageClassifier SmallNet(uint64_t seed) {
+  Rng rng(seed);
+  nn::ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = 4;
+  return nn::BuildResNet(config, rng);
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void RemoveSnapshot(const std::string& path) {
+  std::remove((path + ".extractor").c_str());
+  std::remove((path + ".head").c_str());
+}
+
+/// A trained-ish net (one training-mode forward so BN running stats move),
+/// saved to `path`.
+nn::ImageClassifier MakeSnapshot(const std::string& path, uint64_t seed) {
+  nn::ImageClassifier net = SmallNet(seed);
+  Rng rng(seed + 100);
+  Tensor warmup = Tensor::Uniform({8, 3, 8, 8}, -1.0f, 1.0f, rng);
+  net.Forward(warmup, /*training=*/true);
+  EOS_CHECK(nn::SaveClassifier(net, path).ok());
+  return net;
+}
+
+TEST(ModelSessionTest, LoadedSessionMatchesOfflinePredictBitwise) {
+  std::string path = TempPath("session_equiv.eosw");
+  nn::ImageClassifier original = MakeSnapshot(path, 1);
+  Rng rng(7);
+  Tensor images = Tensor::Uniform({13, 3, 8, 8}, -1.0f, 1.0f, rng);
+  // Offline reference at an odd batch size exercising ragged last batches.
+  std::vector<int64_t> expected = Predict(original, images, /*batch_size=*/5);
+
+  auto session = ModelSession::Load(SmallNet(999), path);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  std::vector<Prediction> served = (*session)->PredictBatch(images);
+  ASSERT_EQ(served.size(), expected.size());
+  for (size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].label, expected[i]) << "sample " << i;
+  }
+  RemoveSnapshot(path);
+}
+
+TEST(ModelSessionTest, ConfidenceIsMaxSoftmaxBitwise) {
+  std::string path = TempPath("session_conf.eosw");
+  nn::ImageClassifier original = MakeSnapshot(path, 2);
+  Rng rng(8);
+  Tensor images = Tensor::Uniform({5, 3, 8, 8}, -1.0f, 1.0f, rng);
+  Tensor probs = SoftmaxRows(EvalLogits(original, images));
+
+  auto session = ModelSession::Load(SmallNet(998), path);
+  ASSERT_TRUE(session.ok());
+  std::vector<Prediction> served = (*session)->PredictBatch(images);
+  for (size_t i = 0; i < served.size(); ++i) {
+    int64_t row = static_cast<int64_t>(i);
+    float max_prob = 0.0f;
+    for (int64_t c = 0; c < probs.size(1); ++c) {
+      max_prob = std::max(max_prob, probs.at(row, c));
+    }
+    EXPECT_EQ(served[i].confidence, max_prob) << "sample " << i;
+    EXPECT_GT(served[i].confidence, 0.0f);
+    EXPECT_LE(served[i].confidence, 1.0f);
+  }
+  RemoveSnapshot(path);
+}
+
+TEST(ModelSessionTest, SingleSampleMatchesBatchBitwise) {
+  // Eval-mode logits must not depend on batch composition: serving one
+  // sample at a time (micro-batch size 1) must reproduce the full batch.
+  nn::ImageClassifier net = SmallNet(3);
+  Rng rng(9);
+  Tensor warmup = Tensor::Uniform({8, 3, 8, 8}, -1.0f, 1.0f, rng);
+  net.Forward(warmup, /*training=*/true);
+  ModelSession session(std::move(net));
+
+  Tensor images = Tensor::Uniform({7, 3, 8, 8}, -1.0f, 1.0f, rng);
+  std::vector<Prediction> batched = session.PredictBatch(images);
+  for (int64_t i = 0; i < images.size(0); ++i) {
+    Tensor one = GatherImages(images, {i});
+    Prediction single = session.PredictOne(
+        one.Reshape({images.size(1), images.size(2), images.size(3)}));
+    EXPECT_EQ(single.label, batched[static_cast<size_t>(i)].label);
+    EXPECT_EQ(single.confidence, batched[static_cast<size_t>(i)].confidence);
+  }
+}
+
+TEST(ModelSessionTest, EmptyBatchYieldsNoPredictions) {
+  ModelSession session(SmallNet(4));
+  Tensor empty({0, 3, 8, 8});
+  EXPECT_TRUE(session.PredictBatch(empty).empty());
+}
+
+TEST(ModelSessionTest, LoadRejectsMissingSnapshot) {
+  auto session = ModelSession::Load(SmallNet(5), "/nonexistent/snapshot");
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelSessionTest, ReportsModelMetadata) {
+  ModelSession session(SmallNet(6));
+  EXPECT_EQ(session.num_classes(), 4);
+  EXPECT_FALSE(session.arch().empty());
+}
+
+}  // namespace
+}  // namespace eos::serve
