@@ -19,6 +19,11 @@ namespace {
 constexpr char kMagic[4] = {'E', 'O', 'S', 'W'};
 constexpr uint32_t kVersion = 1;
 
+// Upper bound on a stored parameter name. The length field is untrusted
+// input: without a cap, a corrupt file could demand a ~4 GiB string
+// allocation before the name comparison gets a chance to reject it.
+constexpr uint32_t kMaxNameLen = 4096;
+
 struct FileCloser {
   void operator()(std::FILE* f) const {
     if (f != nullptr) std::fclose(f);
@@ -133,6 +138,12 @@ Status LoadParameters(Module& module, const std::string& path) {
   for (Parameter* p : params) {
     uint32_t name_len = 0;
     EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &name_len, sizeof(name_len)));
+    if (name_len > kMaxNameLen) {
+      return Status::InvalidArgument(
+          StrFormat("parameter name length %u exceeds limit %u (corrupt "
+                    "file): %s",
+                    name_len, kMaxNameLen, path.c_str()));
+    }
     std::string name(name_len, '\0');
     EOS_RETURN_IF_ERROR(ReadBytes(f.get(), name.data(), name_len));
     if (name != p->name) {

@@ -7,6 +7,22 @@
 
 namespace eos {
 
+void EosSynthesize(const float* base, const float* enemy, int64_t dim,
+                   float r, EosMode mode, float* out) {
+  if (mode == EosMode::kConvex) {
+    // (1-r) b + r e: exact at both endpoints (r=0 -> b, r=1 -> e), unlike
+    // b + r (e - b) whose r=1 result rounds through fl(e - b).
+    for (int64_t j = 0; j < dim; ++j) {
+      out[j] = (1.0f - r) * base[j] + r * enemy[j];
+    }
+  } else {
+    // (1+r) b - r e: exact at r=0 (-> b) and r=1 (-> 2b - e).
+    for (int64_t j = 0; j < dim; ++j) {
+      out[j] = (1.0f + r) * base[j] - r * enemy[j];
+    }
+  }
+}
+
 ExpansiveOversampler::ExpansiveOversampler(int64_t k_neighbors, EosMode mode,
                                            float max_step)
     : k_neighbors_(k_neighbors), mode_(mode), max_step_(max_step) {
@@ -106,11 +122,9 @@ FeatureSet ExpansiveOversampler::Resample(const FeatureSet& data, Rng& rng) {
       float r = rng.Uniform() * max_step_;
       const float* b = x + base_row * d;
       const float* e = x + enemy_row * d;
-      for (int64_t j = 0; j < d; ++j) {
-        float direction = (mode_ == EosMode::kConvex) ? (e[j] - b[j])
-                                                      : (b[j] - e[j]);
-        synth.push_back(b[j] + r * direction);
-      }
+      size_t offset = synth.size();
+      synth.resize(offset + static_cast<size_t>(d));
+      EosSynthesize(b, e, d, r, mode_, synth.data() + offset);
       synth_labels.push_back(c);
     }
     stats_.expanded[static_cast<size_t>(c)] += needed;

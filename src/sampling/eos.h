@@ -36,6 +36,20 @@ namespace eos {
 /// generalization gap. Classes whose members have no enemy neighbors fall
 /// back to SMOTE-style intra-class interpolation so balancing always
 /// succeeds.
+/// The EOS synthesis rule for one row: writes the synthetic point for base
+/// `b`, enemy `e`, and step `r` into `out` (all length `dim`).
+///
+///   kConvex  : out = (1-r) b + r e      (== b + r (e - b))
+///   kReflect : out = (1+r) b - r e      (== b + r (b - e))
+///
+/// The factored forms make the endpoints exact in floating point, which the
+/// boundary tests rely on: r=0 reproduces the borderline base bitwise in
+/// both modes, r=1 reproduces the enemy (kConvex) / the full reflection
+/// 2b - e (kReflect). A zero-distance pair (e == b) yields a finite point
+/// on the base for any r — never NaN.
+void EosSynthesize(const float* base, const float* enemy, int64_t dim,
+                   float r, EosMode mode, float* out);
+
 class ExpansiveOversampler : public Oversampler {
  public:
   /// Diagnostics from the most recent Resample call.

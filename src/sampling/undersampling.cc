@@ -11,12 +11,25 @@ namespace eos {
 
 namespace {
 
+// Smallest count among classes that actually have rows. 0 when every class
+// is empty (or there are no classes): callers treat that as "nothing to
+// drop" rather than feeding a zero target into the drop loop.
+int64_t MinPresentCount(const std::vector<int64_t>& counts) {
+  int64_t mn = 0;
+  for (int64_t c : counts) {
+    if (c > 0 && (mn == 0 || c < mn)) mn = c;
+  }
+  return mn;
+}
+
 // Majority classes for cleaning purposes: any class with more rows than the
-// smallest class. (With a fully balanced set nothing is "majority", so the
-// cleaners become pure noise filters on every class except the smallest.)
+// smallest *present* class. (With a fully balanced set nothing is
+// "majority", so the cleaners become pure noise filters on every class
+// except the smallest. Empty classes are ignored: a dataset containing an
+// unused label must not turn every populated class into a drop target.)
 std::vector<bool> MajorityMask(const std::vector<int64_t>& counts) {
-  int64_t mn = *std::min_element(counts.begin(), counts.end());
-  std::vector<bool> majority(counts.size());
+  int64_t mn = MinPresentCount(counts);
+  std::vector<bool> majority(counts.size(), false);
   for (size_t c = 0; c < counts.size(); ++c) majority[c] = counts[c] > mn;
   return majority;
 }
@@ -29,9 +42,14 @@ FeatureSet RandomUndersample(const FeatureSet& data, int64_t target_per_class,
   std::vector<int64_t> counts = data.ClassCounts();
   int64_t target = target_per_class;
   if (target < 0) {
-    target = *std::min_element(counts.begin(), counts.end());
+    // Smallest *present* class: an empty class (or an empty dataset) must
+    // make this a no-op, not a request to drop every row.
+    target = MinPresentCount(counts);
+    if (target == 0) return SelectFeatures(data, {});
   }
-  EOS_CHECK_GT(target, 0);
+  // target == 0 is a valid explicit request (drop everything); anything the
+  // resolution above produced is >= 0 by construction.
+  EOS_CHECK_GE(target, 0);
   std::vector<int64_t> keep;
   for (int64_t c = 0; c < data.num_classes; ++c) {
     std::vector<int64_t> rows = data.ClassIndices(c);

@@ -16,7 +16,11 @@ namespace eos {
 /// use; the SMOTE-combo helpers below chain them after synthesis.
 
 /// Randomly drops majority rows until every class has at most
-/// `target_per_class` rows (pass -1 to use the smallest class's count).
+/// `target_per_class` rows (pass -1 to use the smallest *non-empty*
+/// class's count). Edge cases are total: an already-balanced set (and any
+/// class at or under the target) passes through untouched, a singleton
+/// minority pins the -1 target at 1, and an empty dataset yields an empty
+/// result.
 FeatureSet RandomUndersample(const FeatureSet& data, int64_t target_per_class,
                              Rng& rng);
 
@@ -31,7 +35,9 @@ FeatureSet RemoveTomekLinks(const FeatureSet& data);
 
 /// Edited Nearest Neighbours (Wilson 1972): removes every *majority-class*
 /// row whose k-neighborhood majority-vote disagrees with its own label.
-/// Minority rows are never removed.
+/// Minority rows are never removed, no class is ever fully deleted, and
+/// `k_neighbors` is clamped to the available n-1 rows (so k >= class size
+/// or k >= n is well-defined, not an error).
 FeatureSet EditedNearestNeighbours(const FeatureSet& data,
                                    int64_t k_neighbors = 3);
 

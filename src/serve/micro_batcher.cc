@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "testing/fault_injection.h"
 
 namespace eos::serve {
 
@@ -24,7 +25,10 @@ Result<std::future<Prediction>> MicroBatcher::Submit(Tensor image) {
       return Status::FailedPrecondition(
           "micro-batcher is shut down; no new requests accepted");
     }
-    if (static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+    // The fault hook shares the real rejection path (stats, status code),
+    // so an armed test observes exactly what a saturated queue produces.
+    if (static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth ||
+        testing::FaultInjector::ShouldFail(kQueueFullFault)) {
       if (stats_ != nullptr) stats_->RecordRejected();
       return Status::ResourceExhausted(
           StrFormat("serve queue full (%lld queued, max_queue_depth %lld)",

@@ -20,6 +20,12 @@
 
 namespace eos::serve {
 
+/// Fault point (see testing/fault_injection.h): while armed, Submit
+/// rejects with ResourceExhausted exactly as if the queue were at
+/// max_queue_depth — the only way to test backpressure handling without
+/// racing real consumers against real producers.
+inline constexpr char kQueueFullFault[] = "serve.queue_full";
+
 /// Batching policy knobs.
 struct MicroBatcherOptions {
   /// Upper bound on requests per dispatched micro-batch.

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "testing/fault_injection.h"
+
 namespace eos::serve {
 
 namespace {
@@ -78,6 +80,7 @@ void Server::WorkerLoop(size_t worker_index) {
 
 void Server::RunBatch(ModelSession& session,
                       std::vector<MicroBatcher::Request>& batch) {
+  testing::FaultInjector::MaybeStall(kWorkerStallFault);
   Tensor images = StackRequests(batch);
   std::vector<Prediction> predictions = session.PredictBatch(images);
   EOS_CHECK_EQ(predictions.size(), batch.size());

@@ -21,6 +21,11 @@
 
 namespace eos::serve {
 
+/// Fault point (see testing/fault_injection.h): while armed, a worker (or
+/// the ServeOnce caller) sleeps the armed duration before executing its
+/// micro-batch — a deterministic "slow worker" for drain/shutdown tests.
+inline constexpr char kWorkerStallFault[] = "serve.worker_stall";
+
 struct ServerOptions {
   /// Worker loops draining the micro-batcher. Each worker uses the session
   /// replica with its index (modulo the replica count); with fewer replicas

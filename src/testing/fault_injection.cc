@@ -1,0 +1,112 @@
+#include "testing/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+
+namespace eos::testing {
+
+namespace {
+
+// A point counts toward the fast-path gate while either behavior is armed.
+bool Armed(int64_t fail_budget, int64_t stall_budget) {
+  return fail_budget != 0 || stall_budget != 0;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::ArmFailure(const std::string& point, int64_t count) {
+  EOS_CHECK(count != 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  bool was_armed = Armed(p.fail_budget, p.stall_budget);
+  p.fail_budget = count;
+  p.fires = 0;
+  if (!was_armed) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmStall(const std::string& point, int64_t stall_us,
+                             int64_t count) {
+  EOS_CHECK(count != 0);
+  EOS_CHECK_GE(stall_us, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  bool was_armed = Armed(p.fail_budget, p.stall_budget);
+  p.stall_budget = count;
+  p.stall_us = stall_us;
+  p.fires = 0;
+  if (!was_armed) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return;
+  if (Armed(it->second.fail_budget, it->second.stall_budget)) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  points_.erase(it);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::fire_count(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+bool FaultInjector::ConsumeFailure(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || it->second.fail_budget == 0) return false;
+  Point& p = it->second;
+  if (p.fail_budget > 0) {
+    --p.fail_budget;
+    if (!Armed(p.fail_budget, p.stall_budget)) {
+      armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  ++p.fires;
+  return true;
+}
+
+int64_t FaultInjector::ConsumeStallUs(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || it->second.stall_budget == 0) return 0;
+  Point& p = it->second;
+  if (p.stall_budget > 0) {
+    --p.stall_budget;
+    if (!Armed(p.fail_budget, p.stall_budget)) {
+      armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  ++p.fires;
+  return p.stall_us;
+}
+
+bool FaultInjector::ShouldFail(const std::string& point) {
+  FaultInjector& g = Global();
+  if (g.armed_points_.load(std::memory_order_relaxed) == 0) return false;
+  return g.ConsumeFailure(point);
+}
+
+void FaultInjector::MaybeStall(const std::string& point) {
+  FaultInjector& g = Global();
+  if (g.armed_points_.load(std::memory_order_relaxed) == 0) return;
+  int64_t us = g.ConsumeStallUs(point);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace eos::testing

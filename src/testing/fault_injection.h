@@ -1,0 +1,88 @@
+#ifndef EOS_TESTING_FAULT_INJECTION_H_
+#define EOS_TESTING_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+/// \file
+/// Deterministic fault injection for concurrency and failure-path tests.
+/// Production code declares *fault points* — named places where a failure
+/// or stall can be forced — by calling the static hooks below. Tests arm a
+/// point on the global injector, run the scenario, and disarm. When nothing
+/// is armed the hooks cost one relaxed atomic load, so the points stay
+/// compiled into release builds (they guard error paths that are otherwise
+/// unreachable under test).
+///
+/// Serve-layer points (see serve/micro_batcher.h, serve/server.h):
+///   "serve.queue_full"    Submit behaves as if the queue were at capacity
+///   "serve.worker_stall"  a worker sleeps before executing its batch
+
+namespace eos::testing {
+
+/// Process-wide registry of armed fault points. Thread-safe: hooks may be
+/// queried from any number of threads while a test arms/disarms from
+/// another (TSAN-clean by construction — every mutation is under a mutex,
+/// the fast path reads a single atomic).
+class FaultInjector {
+ public:
+  /// The process-wide injector the static hooks consult.
+  static FaultInjector& Global();
+
+  /// Arms `point` so the next `count` ShouldFail queries return true
+  /// (count < 0 means every query until Disarm). Re-arming replaces the
+  /// previous spec for the point.
+  void ArmFailure(const std::string& point, int64_t count = -1);
+
+  /// Arms `point` so the next `count` MaybeStall queries sleep for
+  /// `stall_us` microseconds (count < 0 = every query until Disarm).
+  void ArmStall(const std::string& point, int64_t stall_us,
+                int64_t count = -1);
+
+  /// Disarms one point / every point. Fire counters for the point(s) reset.
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// How many times `point` actually fired (failed or stalled) since it was
+  /// last armed. 0 for unknown points.
+  int64_t fire_count(const std::string& point) const;
+
+  // --- production-side hooks -------------------------------------------
+
+  /// True when `point` is armed for failure (consumes one count). Near-zero
+  /// cost when nothing is armed anywhere.
+  static bool ShouldFail(const std::string& point);
+
+  /// Sleeps the armed stall duration when `point` is armed (consumes one
+  /// count); returns immediately otherwise.
+  static void MaybeStall(const std::string& point);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  FaultInjector() = default;
+
+  struct Point {
+    // Remaining fires for each behavior; 0 = not armed, < 0 = unlimited.
+    int64_t fail_budget = 0;
+    int64_t stall_budget = 0;
+    int64_t stall_us = 0;
+    int64_t fires = 0;
+  };
+
+  bool ConsumeFailure(const std::string& point);
+  int64_t ConsumeStallUs(const std::string& point);
+
+  // Fast-path gate: number of points with any armed behavior. Hooks bail
+  // out on 0 without touching the mutex.
+  std::atomic<int64_t> armed_points_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;  // guarded by mu_
+};
+
+}  // namespace eos::testing
+
+#endif  // EOS_TESTING_FAULT_INJECTION_H_

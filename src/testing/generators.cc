@@ -1,0 +1,87 @@
+#include "testing/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace eos::testing {
+
+FeatureSet RandomImbalancedSet(Rng& rng, const DatasetGenOptions& options) {
+  EOS_CHECK_GE(options.min_classes, 1);
+  EOS_CHECK_GE(options.max_classes, options.min_classes);
+  EOS_CHECK_GE(options.min_dim, 1);
+  EOS_CHECK_GE(options.max_dim, options.min_dim);
+  EOS_CHECK_GE(options.min_class_count, 1);
+  EOS_CHECK_GE(options.max_class_count, options.min_class_count);
+  EOS_CHECK_GT(options.coordinate_range, 0.0f);
+
+  int64_t num_classes =
+      rng.UniformInt(options.min_classes, options.max_classes + 1);
+  int64_t d = rng.UniformInt(options.min_dim, options.max_dim + 1);
+
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes));
+  for (auto& c : counts) {
+    c = rng.UniformInt(options.min_class_count, options.max_class_count + 1);
+  }
+  // Pin one class to the maximum so the imbalance ratio is realized
+  // whenever any other class drew fewer rows.
+  counts[static_cast<size_t>(rng.UniformInt(num_classes))] =
+      options.max_class_count;
+
+  int64_t n = std::accumulate(counts.begin(), counts.end(), int64_t{0});
+  FeatureSet out;
+  out.num_classes = num_classes;
+  out.features = Tensor({n, d});
+  out.labels.resize(static_cast<size_t>(n));
+
+  float* x = out.features.data();
+  int64_t row = 0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    // Random blob geometry; occasionally collapsed to a single point.
+    bool collapsed = rng.Bernoulli(options.collapsed_cluster_probability);
+    std::vector<float> center(static_cast<size_t>(d));
+    float spread =
+        collapsed ? 0.0f
+                  : rng.Uniform(1e-3f, options.coordinate_range / 4.0f);
+    for (auto& v : center) {
+      v = rng.Uniform(-options.coordinate_range, options.coordinate_range);
+    }
+    int64_t class_start = row;
+    for (int64_t i = 0; i < counts[static_cast<size_t>(c)]; ++i, ++row) {
+      float* dst = x + row * d;
+      if (i > 0 && rng.Bernoulli(options.duplicate_probability)) {
+        // Exact duplicate of an earlier same-class row.
+        int64_t src = class_start + rng.UniformInt(i);
+        const float* s = x + src * d;
+        std::copy(s, s + d, dst);
+      } else {
+        for (int64_t j = 0; j < d; ++j) {
+          dst[j] = center[static_cast<size_t>(j)] +
+                   (collapsed ? 0.0f : rng.Normal(0.0f, spread));
+        }
+      }
+      out.labels[static_cast<size_t>(row)] = c;
+    }
+  }
+  EOS_CHECK_EQ(row, n);
+
+  if (options.shuffle_rows && n > 1) {
+    std::vector<int64_t> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(perm);
+    Tensor shuffled({n, d});
+    std::vector<int64_t> labels(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t src = perm[static_cast<size_t>(i)];
+      std::copy(x + src * d, x + (src + 1) * d, shuffled.data() + i * d);
+      labels[static_cast<size_t>(i)] = out.labels[static_cast<size_t>(src)];
+    }
+    out.features = std::move(shuffled);
+    out.labels = std::move(labels);
+  }
+  return out;
+}
+
+}  // namespace eos::testing

@@ -1,0 +1,56 @@
+#ifndef EOS_TESTING_GENERATORS_H_
+#define EOS_TESTING_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+/// \file
+/// Random-input generators for property-based tests: labeled feature sets
+/// with randomized class counts, dimensionality, and cluster geometry,
+/// deliberately including the degenerate shapes (singleton classes,
+/// duplicated rows, collapsed zero-spread clusters) that fixed fixtures
+/// never exercise. All values are finite (NaN/Inf-free) and every draw
+/// flows through the caller's Rng, so a case is reproducible from its seed.
+
+namespace eos::testing {
+
+/// Knobs for RandomImbalancedSet. The defaults generate small, fast sets
+/// (tens of rows) that still cover 2-5 classes, 1-8 dimensions, singleton
+/// classes, duplicate points, and collapsed clusters.
+struct DatasetGenOptions {
+  int64_t min_classes = 2;
+  int64_t max_classes = 5;
+  int64_t min_dim = 1;
+  int64_t max_dim = 8;
+  /// Per-class row count is drawn from [min_class_count, max_class_count];
+  /// the largest class is forced to max_class_count so the set is
+  /// imbalanced whenever any class drew fewer rows.
+  int64_t min_class_count = 1;
+  int64_t max_class_count = 20;
+  /// Probability that a generated row duplicates an earlier row of its own
+  /// class exactly (stresses zero-distance neighbor pairs).
+  double duplicate_probability = 0.15;
+  /// Probability that a class's cluster collapses to zero spread (every
+  /// member identical — the hardest degenerate geometry for KNN samplers).
+  double collapsed_cluster_probability = 0.1;
+  /// Cluster centers are drawn from [-coordinate_range, coordinate_range]
+  /// per dimension; spreads from (0, coordinate_range / 4].
+  float coordinate_range = 8.0f;
+  /// Shuffle rows so class members are interleaved (samplers must not rely
+  /// on class-contiguous input). Disable for tests that index by position.
+  bool shuffle_rows = true;
+};
+
+/// Generates a random labeled FeatureSet per `options`. Guarantees: at
+/// least `min_classes` classes each with >= min_class_count rows, all
+/// coordinates finite, labels in [0, num_classes). The geometry is
+/// Gaussian blobs with random centers/spreads, plus the degenerate cases
+/// described on DatasetGenOptions.
+FeatureSet RandomImbalancedSet(Rng& rng,
+                               const DatasetGenOptions& options = {});
+
+}  // namespace eos::testing
+
+#endif  // EOS_TESTING_GENERATORS_H_

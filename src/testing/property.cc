@@ -1,0 +1,109 @@
+#include "testing/property.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace eos::testing {
+
+namespace {
+
+// Parses a positive integer environment variable; returns `fallback` when
+// unset or unparsable (a malformed override must not silently disable the
+// suite, so garbage falls back to the configured count).
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || v <= 0) return fallback;
+  return static_cast<int64_t>(v);
+}
+
+// Returns true and sets `out` when the EOS_PROP_SEED replay override is set
+// (any parsable u64, including 0, is a valid seed).
+bool EnvReplaySeed(uint64_t* out) {
+  const char* raw = std::getenv("EOS_PROP_SEED");
+  if (raw == nullptr || *raw == '\0') return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+uint64_t DeriveCaseSeed(uint64_t base_seed, int64_t index) {
+  // SplitMix64 (Steele, Lea & Flood 2014): full-avalanche mix of the base
+  // seed and case index, so adjacent cases share no low-bit structure.
+  uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+PropertyRunner::PropertyRunner(PropertyOptions options)
+    : options_(options) {
+  EOS_CHECK_GE(options_.cases, 1);
+}
+
+int64_t PropertyRunner::effective_cases() const {
+  uint64_t replay = 0;
+  if (EnvReplaySeed(&replay)) return 1;
+  return EnvInt64("EOS_PROP_CASES", options_.cases);
+}
+
+Status PropertyRunner::Run(const std::string& name,
+                           const Property& property) const {
+  uint64_t replay_seed = 0;
+  const bool replay = EnvReplaySeed(&replay_seed);
+  const int64_t cases = replay ? 1 : EnvInt64("EOS_PROP_CASES",
+                                              options_.cases);
+  for (int64_t i = 0; i < cases; ++i) {
+    PropertyCase prop_case;
+    prop_case.index = i;
+    prop_case.seed = replay ? replay_seed
+                            : DeriveCaseSeed(options_.base_seed, i);
+    Rng rng(prop_case.seed);
+    Status st = property(rng, prop_case);
+    if (!st.ok()) {
+      std::string msg = StrFormat(
+          "property '%s' failed at case %lld/%lld (seed %llu): %s\n"
+          "  reproduce with: EOS_PROP_SEED=%llu <test binary>",
+          name.c_str(), static_cast<long long>(i),
+          static_cast<long long>(cases),
+          static_cast<unsigned long long>(prop_case.seed),
+          st.message().c_str(),
+          static_cast<unsigned long long>(prop_case.seed));
+      // Also print: ctest truncates assertion text less readily than logs,
+      // and the seed is the one thing that must never be lost.
+      std::fprintf(stderr, "%s\n", msg.c_str());
+      std::fflush(stderr);
+      return Status(st.code(), std::move(msg));
+    }
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+std::string PropCheckMsg(const char* file, int line, const char* expr,
+                         const std::string& msg) {
+  // Keep only the basename: full build paths bloat the failure line.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  if (msg.empty()) {
+    return StrFormat("%s:%d: check `%s` failed", base, line, expr);
+  }
+  return StrFormat("%s:%d: check `%s` failed (%s)", base, line, expr,
+                   msg.c_str());
+}
+
+}  // namespace internal
+
+}  // namespace eos::testing

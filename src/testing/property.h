@@ -1,0 +1,108 @@
+#ifndef EOS_TESTING_PROPERTY_H_
+#define EOS_TESTING_PROPERTY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+/// \file
+/// Deterministic property-based testing: a PropertyRunner executes a
+/// predicate over N independently-seeded random cases and reports the first
+/// counterexample with the exact seed that reproduces it. Unlike fixed
+/// fixtures, a property run sweeps hundreds of randomized class geometries
+/// (imbalance ratios, dimensions, degenerate shapes) per invariant — see
+/// DESIGN.md "Testing & fault injection".
+///
+/// Environment knobs (read at Run() time, so tests can setenv):
+///   EOS_PROP_CASES=<n>   override the case count for every runner
+///   EOS_PROP_SEED=<s>    run exactly ONE case whose Rng is seeded with s —
+///                        paste the seed printed by a failure to replay it
+
+namespace eos::testing {
+
+/// Identifies one generated case within a property run.
+struct PropertyCase {
+  /// 0-based case number within the run.
+  int64_t index = 0;
+  /// The case's own seed. The property's Rng is constructed from exactly
+  /// this value, so re-running with EOS_PROP_SEED=<seed> replays the case
+  /// bit-for-bit regardless of the base seed or case count.
+  uint64_t seed = 0;
+};
+
+/// Configuration of a PropertyRunner.
+struct PropertyOptions {
+  /// Base seed the per-case seeds are derived from (SplitMix64 stream).
+  uint64_t base_seed = 0xE05D0C5ULL;
+  /// Number of generated cases per property (>= 1). The acceptance floor
+  /// for sampler invariants is 100; EOS_PROP_CASES overrides this.
+  int64_t cases = 100;
+};
+
+/// A property body: given a deterministically seeded Rng, generate inputs,
+/// exercise the code under test, and return OK when the invariant holds.
+/// Use EOS_PROP_CHECK / EOS_PROP_CHECK_MSG for the invariant checks so
+/// failures carry file:line and the violated expression.
+using Property =
+    std::function<Status(Rng& rng, const PropertyCase& prop_case)>;
+
+/// Derives the seed of case `index` from `base_seed` (SplitMix64 mix). Two
+/// distinct indices give statistically independent streams; the mapping is
+/// stable across platforms so printed seeds stay meaningful.
+uint64_t DeriveCaseSeed(uint64_t base_seed, int64_t index);
+
+/// Runs properties over freshly generated cases. gtest-free by design (it
+/// lives in the library, not the test binaries): the caller asserts on the
+/// returned Status, e.g. `EXPECT_TRUE(st.ok()) << st.ToString();`.
+class PropertyRunner {
+ public:
+  explicit PropertyRunner(PropertyOptions options = {});
+
+  /// Executes `property` over the configured number of cases. Stops at the
+  /// first failure and returns (and prints to stderr) a Status naming the
+  /// property, the case index, the reproducing seed, and the inner failure
+  /// message. Returns OK when every case passes.
+  Status Run(const std::string& name, const Property& property) const;
+
+  /// Effective case count after the EOS_PROP_CASES override (1 when a
+  /// single-case EOS_PROP_SEED replay is active).
+  int64_t effective_cases() const;
+
+  const PropertyOptions& options() const { return options_; }
+
+ private:
+  PropertyOptions options_;
+};
+
+}  // namespace eos::testing
+
+/// Fails the enclosing property with the violated expression and location.
+#define EOS_PROP_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      return ::eos::Status::Internal(::eos::testing::internal::PropCheckMsg( \
+          __FILE__, __LINE__, #cond, ""));                                \
+    }                                                                     \
+  } while (0)
+
+/// EOS_PROP_CHECK with an extra context message (a std::string expression).
+#define EOS_PROP_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      return ::eos::Status::Internal(::eos::testing::internal::PropCheckMsg( \
+          __FILE__, __LINE__, #cond, (msg)));                             \
+    }                                                                     \
+  } while (0)
+
+namespace eos::testing::internal {
+
+/// Formats "file:line: check `expr` failed (msg)" for EOS_PROP_CHECK.
+std::string PropCheckMsg(const char* file, int line, const char* expr,
+                         const std::string& msg);
+
+}  // namespace eos::testing::internal
+
+#endif  // EOS_TESTING_PROPERTY_H_

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "metrics/generalization_gap.h"
+
+namespace eos {
+namespace {
+
+/// Golden regression fixture for the paper's generalization-gap measure
+/// (Algorithm 1), computed by hand on a 2-class, 2-dimensional set. Every
+/// coordinate is exactly representable in binary floating point, so the
+/// expectations below are EXPECT_EQ — any change to the gap arithmetic
+/// (range tracking, zero floor, class averaging) shows up as a hard diff,
+/// not a tolerance drift.
+
+FeatureSet MakeSet(std::vector<std::pair<float, float>> rows,
+                   std::vector<int64_t> labels) {
+  FeatureSet set;
+  set.num_classes = 2;
+  set.features = Tensor({static_cast<int64_t>(rows.size()), 2});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    set.features.at(static_cast<int64_t>(i), 0) = rows[i].first;
+    set.features.at(static_cast<int64_t>(i), 1) = rows[i].second;
+  }
+  set.labels = std::move(labels);
+  return set;
+}
+
+TEST(GapGoldenTest, HandComputedTwoClassFixture) {
+  // Class 0 train range: dim0 [0, 2], dim1 [0, 1].
+  // Class 1 train range: dim0 [-1, 1], dim1 [0, 2].
+  FeatureSet train = MakeSet({{0.0f, 0.0f}, {2.0f, 1.0f},    // class 0
+                              {-1.0f, 0.0f}, {1.0f, 2.0f}},  // class 1
+                             {0, 0, 1, 1});
+  // Class 0 test point (3, 1.5): exceeds the max by 1 on dim0 and by 0.5 on
+  // dim1 -> gap 1.5. Class 1 test range dim0 [-2, 0], dim1 [0, 3]:
+  // undershoots the min by 1 on dim0, exceeds the max by 1 on dim1 -> gap 2.
+  FeatureSet test = MakeSet({{3.0f, 1.5f},                   // class 0
+                             {-2.0f, 0.0f}, {0.0f, 3.0f}},   // class 1
+                            {0, 1, 1});
+
+  GapResult gap = GeneralizationGap(train, test);
+  ASSERT_EQ(gap.per_class.size(), 2u);
+  EXPECT_EQ(gap.per_class[0], 1.5);
+  EXPECT_EQ(gap.per_class[1], 2.0);
+  EXPECT_EQ(gap.mean, 1.75);
+}
+
+TEST(GapGoldenTest, NestedTestRangeContributesExactlyZero) {
+  // Test ranges strictly inside the training ranges: the zero floor must
+  // suppress every per-dimension term, including the negative ones.
+  FeatureSet train = MakeSet({{-4.0f, -2.0f}, {4.0f, 2.0f},
+                              {-8.0f, 0.0f}, {8.0f, 1.0f}},
+                             {0, 0, 1, 1});
+  FeatureSet test = MakeSet({{-1.0f, -1.0f}, {1.0f, 1.0f},
+                             {-2.0f, 0.25f}, {2.0f, 0.75f}},
+                            {0, 0, 1, 1});
+  GapResult gap = GeneralizationGap(train, test);
+  EXPECT_EQ(gap.per_class[0], 0.0);
+  EXPECT_EQ(gap.per_class[1], 0.0);
+  EXPECT_EQ(gap.mean, 0.0);
+}
+
+TEST(GapGoldenTest, ClassAbsentFromTestIsSkippedNotZeroAveraged) {
+  // Class 1 has no test rows: its per_class entry stays 0 and the mean
+  // averages over the one class present in both sets (not over both).
+  FeatureSet train = MakeSet({{0.0f, 0.0f}, {2.0f, 1.0f},
+                              {-1.0f, 0.0f}, {1.0f, 2.0f}},
+                             {0, 0, 1, 1});
+  FeatureSet test = MakeSet({{3.0f, 1.5f}}, {0});
+  GapResult gap = GeneralizationGap(train, test);
+  EXPECT_EQ(gap.per_class[0], 1.5);
+  EXPECT_EQ(gap.per_class[1], 0.0);
+  EXPECT_EQ(gap.mean, 1.5);
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,125 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sampling/eos.h"
+#include "testing/property.h"
+
+namespace eos {
+namespace {
+
+/// Boundary behaviour of the EOS synthesis rule (satellite of the
+/// property-harness issue): the step extremes must reproduce the defining
+/// points of Algorithm 2 *exactly*, and degenerate zero-distance
+/// base/enemy pairs must never produce NaN.
+
+TEST(EosSynthesizeTest, StepZeroReturnsTheBorderlinePointExactly) {
+  std::vector<float> b = {1.5f, -2.25f, 0.0f, 1e-8f};
+  std::vector<float> e = {-3.0f, 7.5f, 2.0f, -1e8f};
+  std::vector<float> out(b.size());
+  for (EosMode mode : {EosMode::kConvex, EosMode::kReflect}) {
+    EosSynthesize(b.data(), e.data(), static_cast<int64_t>(b.size()), 0.0f,
+                  mode, out.data());
+    for (size_t j = 0; j < b.size(); ++j) {
+      EXPECT_EQ(out[j], b[j]) << "dim " << j;
+    }
+  }
+}
+
+TEST(EosSynthesizeTest, StepOneConvexReturnsTheEnemyExactly) {
+  // Includes magnitudes where the naive b + 1*(e-b) form loses the enemy
+  // to rounding (1e8 vs 1): the factored form must hit e bitwise.
+  std::vector<float> b = {1e8f, 1.0f, -0.5f, 3.25f};
+  std::vector<float> e = {1.0f, 1e8f, 0.25f, -7.75f};
+  std::vector<float> out(b.size());
+  EosSynthesize(b.data(), e.data(), static_cast<int64_t>(b.size()), 1.0f,
+                EosMode::kConvex, out.data());
+  for (size_t j = 0; j < b.size(); ++j) {
+    EXPECT_EQ(out[j], e[j]) << "dim " << j;
+  }
+}
+
+TEST(EosSynthesizeTest, StepOneReflectReturnsTheFullReflection) {
+  // Values chosen exactly representable so 2b - e is exact: the full
+  // reflection of the enemy through the base.
+  std::vector<float> b = {2.0f, -1.5f, 0.25f};
+  std::vector<float> e = {0.5f, 4.0f, -0.75f};
+  std::vector<float> out(b.size());
+  EosSynthesize(b.data(), e.data(), static_cast<int64_t>(b.size()), 1.0f,
+                EosMode::kReflect, out.data());
+  for (size_t j = 0; j < b.size(); ++j) {
+    EXPECT_EQ(out[j], 2.0f * b[j] - e[j]) << "dim " << j;
+  }
+}
+
+TEST(EosSynthesizeTest, ZeroDistancePairsNeverProduceNaN) {
+  // A duplicated point can be its own nearest enemy's coordinates; the
+  // synthesis must degrade to (a point on) the base, never NaN/Inf.
+  ::eos::testing::PropertyRunner runner;
+  Status st = runner.Run(
+      "eos-zero-distance",
+      [](Rng& rng, const ::eos::testing::PropertyCase&) -> Status {
+        int64_t d = rng.UniformInt(1, 9);
+        std::vector<float> b(static_cast<size_t>(d));
+        for (auto& v : b) v = rng.Uniform(-100.0f, 100.0f);
+        std::vector<float> out(static_cast<size_t>(d));
+        float r = rng.Uniform();
+        for (EosMode mode : {EosMode::kConvex, EosMode::kReflect}) {
+          EosSynthesize(b.data(), b.data(), d, r, mode, out.data());
+          for (int64_t j = 0; j < d; ++j) {
+            EOS_PROP_CHECK_MSG(std::isfinite(out[static_cast<size_t>(j)]),
+                               "zero-distance pair produced non-finite");
+            // Collapsed pair: the synthetic must stay (numerically) on b.
+            EOS_PROP_CHECK(std::fabs(out[static_cast<size_t>(j)] -
+                                     b[static_cast<size_t>(j)]) <=
+                           1e-4f * (1.0f + std::fabs(b[static_cast<size_t>(j)])));
+          }
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(EosSynthesizeTest, InteriorStepsInterpolateAndReflect) {
+  // r = 0.5 lands exactly mid-segment (kConvex) / half a segment past the
+  // base on the far side (kReflect) for exactly-representable inputs.
+  float b = 3.0f;
+  float e = 1.0f;
+  float out = 0.0f;
+  EosSynthesize(&b, &e, 1, 0.5f, EosMode::kConvex, &out);
+  EXPECT_EQ(out, 2.0f);
+  EosSynthesize(&b, &e, 1, 0.5f, EosMode::kReflect, &out);
+  EXPECT_EQ(out, 4.0f);
+}
+
+TEST(EosSamplerTest, ResampleNeverEmitsNaNOnDuplicateHeavyData) {
+  // A dataset stacked with exact duplicates across classes: enemy pairs at
+  // zero distance are guaranteed, and every synthetic must stay finite.
+  FeatureSet data;
+  data.num_classes = 2;
+  data.features = Tensor({12, 2});
+  for (int64_t i = 0; i < 12; ++i) {
+    // Two piles: rows 0..7 at (0,0) class 0; rows 8..11 at (0,0) and (1,1)
+    // class 1 — class-1 members sit exactly on majority points.
+    float v = (i >= 10) ? 1.0f : 0.0f;
+    data.features.at(i, 0) = v;
+    data.features.at(i, 1) = v;
+    data.labels.push_back(i >= 8 ? 1 : 0);
+  }
+  ExpansiveOversampler sampler(/*k_neighbors=*/5, EosMode::kConvex);
+  Rng rng(41);
+  FeatureSet result = sampler.Resample(data, rng);
+  for (int64_t i = 0; i < result.features.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(result.features.data()[i])) << "index " << i;
+  }
+  ExpansiveOversampler reflect(/*k_neighbors=*/5, EosMode::kReflect);
+  Rng rng2(42);
+  FeatureSet result2 = reflect.Resample(data, rng2);
+  for (int64_t i = 0; i < result2.features.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(result2.features.data()[i])) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace eos

@@ -1,0 +1,475 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+#include "sampling/eos.h"
+#include "sampling/oversampler.h"
+#include "sampling/undersampling.h"
+#include "testing/generators.h"
+#include "testing/property.h"
+
+/// \file
+/// Property-based invariant suites for every sampler in src/sampling/:
+/// each invariant runs over >= 100 randomized imbalanced geometries
+/// (see testing/generators.h) instead of a handful of fixtures. On failure
+/// the harness prints the reproducing seed (EOS_PROP_SEED replays it).
+
+namespace eos {
+namespace {
+
+using ::eos::testing::DatasetGenOptions;
+using ::eos::testing::PropertyCase;
+using ::eos::testing::PropertyRunner;
+using ::eos::testing::RandomImbalancedSet;
+
+// Small, fast geometries: wide enough (2-4 classes, 1-6 dims, singleton
+// classes, duplicates, collapsed clusters) to hit every degenerate branch,
+// small enough that the O(pairs) segment checks stay cheap.
+DatasetGenOptions SmallSetOptions() {
+  DatasetGenOptions options;
+  options.max_classes = 4;
+  options.max_dim = 6;
+  options.max_class_count = 15;
+  return options;
+}
+
+std::unique_ptr<Oversampler> MakeKind(SamplerKind kind) {
+  SamplerConfig config;
+  config.kind = kind;
+  config.k_neighbors = 5;
+  return MakeOversampler(config);
+}
+
+bool RowEquals(const float* a, const float* b, int64_t d) {
+  for (int64_t j = 0; j < d; ++j) {
+    if (a[j] != b[j]) return false;
+  }
+  return true;
+}
+
+// True when `s` lies within `tol` of b + t (q - b) for some t in
+// [t_lo - eps, t_hi + eps] — i.e. on the (extended) segment between b and
+// q. A zero-length segment accepts only points within tol of b itself.
+bool OnSegment(const float* s, const float* b, const float* q, int64_t d,
+               double t_lo, double t_hi, double tol) {
+  double bq2 = 0.0;
+  double sb_dot_bq = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    double v = static_cast<double>(q[j]) - b[j];
+    bq2 += v * v;
+    sb_dot_bq += (static_cast<double>(s[j]) - b[j]) * v;
+  }
+  double t = bq2 == 0.0 ? 0.0 : sb_dot_bq / bq2;
+  constexpr double kTEps = 1e-3;
+  if (t < t_lo - kTEps || t > t_hi + kTEps) return false;
+  for (int64_t j = 0; j < d; ++j) {
+    double pred = b[j] + t * (static_cast<double>(q[j]) - b[j]);
+    if (std::fabs(s[j] - pred) > tol) return false;
+  }
+  return true;
+}
+
+// Rows (as pointers) of `set` belonging / not belonging to class `c`.
+void SplitByClass(const FeatureSet& set, int64_t n_original, int64_t c,
+                  std::vector<const float*>* members,
+                  std::vector<const float*>* others) {
+  int64_t d = set.features.size(1);
+  const float* x = set.features.data();
+  for (int64_t i = 0; i < n_original; ++i) {
+    if (set.labels[static_cast<size_t>(i)] == c) {
+      members->push_back(x + i * d);
+    } else {
+      others->push_back(x + i * d);
+    }
+  }
+}
+
+Status CheckBalanced(const FeatureSet& result, int64_t expected_max) {
+  std::vector<int64_t> counts = result.ClassCounts();
+  for (size_t c = 0; c < counts.size(); ++c) {
+    EOS_PROP_CHECK_MSG(counts[c] == expected_max,
+                       "class " + std::to_string(c) + " has " +
+                           std::to_string(counts[c]) + " rows, want " +
+                           std::to_string(expected_max));
+  }
+  return Status::OK();
+}
+
+Status CheckPrefixPreservedAndFinite(const FeatureSet& data,
+                                     const FeatureSet& result) {
+  EOS_PROP_CHECK(result.size() >= data.size());
+  int64_t d = data.features.size(1);
+  for (int64_t i = 0; i < data.size(); ++i) {
+    EOS_PROP_CHECK_MSG(result.labels[static_cast<size_t>(i)] ==
+                           data.labels[static_cast<size_t>(i)],
+                       "original label " + std::to_string(i) + " changed");
+    EOS_PROP_CHECK_MSG(
+        RowEquals(result.features.data() + i * d,
+                  data.features.data() + i * d, d),
+        "original row " + std::to_string(i) + " not preserved bitwise");
+  }
+  for (int64_t i = 0; i < result.features.numel(); ++i) {
+    EOS_PROP_CHECK_MSG(std::isfinite(result.features.data()[i]),
+                       "non-finite value at flat index " + std::to_string(i));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Invariants shared by every balancing oversampler.
+// ---------------------------------------------------------------------
+
+class OversamplerPropertyTest : public ::testing::TestWithParam<SamplerKind> {
+};
+
+TEST_P(OversamplerPropertyTest, BalancesEveryClassOnRandomGeometries) {
+  PropertyRunner runner;
+  SamplerKind kind = GetParam();
+  Status st = runner.Run(
+      std::string("balance-") + SamplerKindName(kind),
+      [kind](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        auto sampler = MakeKind(kind);
+        FeatureSet result = sampler->Resample(data, rng);
+        std::vector<int64_t> counts = data.ClassCounts();
+        int64_t mx = *std::max_element(counts.begin(), counts.end());
+        // Balanced-SVM relabels synthetic rows with SVM predictions, so
+        // only the total (every class raised to mx, then relabeled) is
+        // guaranteed; all other kinds must balance exactly.
+        EOS_PROP_CHECK(result.size() == mx * data.num_classes);
+        if (kind != SamplerKind::kBalancedSvm) {
+          EOS_RETURN_IF_ERROR(CheckBalanced(result, mx));
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(OversamplerPropertyTest, PreservesOriginalRowsAndStaysFinite) {
+  PropertyRunner runner;
+  SamplerKind kind = GetParam();
+  Status st = runner.Run(
+      std::string("prefix-finite-") + SamplerKindName(kind),
+      [kind](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        auto sampler = MakeKind(kind);
+        FeatureSet result = sampler->Resample(data, rng);
+        return CheckPrefixPreservedAndFinite(data, result);
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(OversamplerPropertyTest, BitwiseDeterministicAcrossThreadCounts) {
+  // The paper-level reproducibility claim: EOS_THREADS must never change a
+  // sampled byte. Run every case at 1 lane and 8 lanes from the same seed.
+  int restore = runtime::ThreadCount();
+  PropertyRunner runner;
+  SamplerKind kind = GetParam();
+  Status st = runner.Run(
+      std::string("thread-determinism-") + SamplerKindName(kind),
+      [kind](Rng& rng, const PropertyCase& prop_case) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        runtime::SetThreadCount(1);
+        Rng r1(prop_case.seed ^ 0xABCDULL);
+        FeatureSet a = MakeKind(kind)->Resample(data, r1);
+        runtime::SetThreadCount(8);
+        Rng r2(prop_case.seed ^ 0xABCDULL);
+        FeatureSet b = MakeKind(kind)->Resample(data, r2);
+        EOS_PROP_CHECK(a.size() == b.size());
+        EOS_PROP_CHECK_MSG(a.labels == b.labels,
+                           "labels differ between 1 and 8 threads");
+        for (int64_t i = 0; i < a.features.numel(); ++i) {
+          EOS_PROP_CHECK_MSG(
+              a.features.data()[i] == b.features.data()[i],
+              "feature bytes differ between 1 and 8 threads at flat index " +
+                  std::to_string(i));
+        }
+        return Status::OK();
+      });
+  runtime::SetThreadCount(restore);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, OversamplerPropertyTest,
+    ::testing::Values(SamplerKind::kRandom, SamplerKind::kSmote,
+                      SamplerKind::kBorderlineSmote, SamplerKind::kAdasyn,
+                      SamplerKind::kBalancedSvm, SamplerKind::kRemix,
+                      SamplerKind::kEos, SamplerKind::kKMeansSmote,
+                      SamplerKind::kRbo),
+    [](const ::testing::TestParamInfo<SamplerKind>& info) {
+      std::string name = SamplerKindName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Parent-segment invariants: interpolative samplers may only place
+// synthetics on segments between real parents.
+// ---------------------------------------------------------------------
+
+class SegmentPropertyTest : public ::testing::TestWithParam<SamplerKind> {};
+
+TEST_P(SegmentPropertyTest, SyntheticsLieOnSameClassParentSegments) {
+  PropertyRunner runner;
+  SamplerKind kind = GetParam();
+  Status st = runner.Run(
+      std::string("segments-") + SamplerKindName(kind),
+      [kind](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        auto sampler = MakeKind(kind);
+        FeatureSet result = sampler->Resample(data, rng);
+        int64_t d = data.features.size(1);
+        for (int64_t i = data.size(); i < result.size(); ++i) {
+          int64_t c = result.labels[static_cast<size_t>(i)];
+          const float* s = result.features.data() + i * d;
+          std::vector<const float*> members;
+          std::vector<const float*> others;
+          SplitByClass(data, data.size(), c, &members, &others);
+          bool ok = false;
+          // Duplicate fallback: the synthetic IS a real class member.
+          for (const float* m : members) {
+            if (RowEquals(s, m, d)) {
+              ok = true;
+              break;
+            }
+          }
+          // Interpolation: on a segment between two same-class parents.
+          for (size_t a = 0; a < members.size() && !ok; ++a) {
+            for (size_t b = 0; b < members.size() && !ok; ++b) {
+              if (a == b) continue;
+              ok = OnSegment(s, members[a], members[b], d, 0.0, 1.0, 1e-3);
+            }
+          }
+          EOS_PROP_CHECK_MSG(
+              ok, "synthetic row " + std::to_string(i) + " of class " +
+                      std::to_string(c) +
+                      " is not on any same-class parent segment");
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InterpolativeKinds, SegmentPropertyTest,
+    ::testing::Values(SamplerKind::kRandom, SamplerKind::kSmote,
+                      SamplerKind::kBorderlineSmote, SamplerKind::kAdasyn,
+                      SamplerKind::kKMeansSmote),
+    [](const ::testing::TestParamInfo<SamplerKind>& info) {
+      std::string name = SamplerKindName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(RemixPropertyTest, SyntheticsStayDominatedByAMinorityBase) {
+  // Remix mixes a class-c base with ANY row, with the base's weight
+  // floor-bounded at min_lambda: s = lambda b + (1-lambda) o, so s sits on
+  // the segment [b, o] within 1 - min_lambda of b.
+  PropertyRunner runner;
+  Status st = runner.Run(
+      "segments-Remix", [](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        SamplerConfig config;
+        config.kind = SamplerKind::kRemix;
+        auto sampler = MakeOversampler(config);
+        FeatureSet result = sampler->Resample(data, rng);
+        int64_t d = data.features.size(1);
+        const float* x = data.features.data();
+        double t_hi = 1.0 - config.remix_min_lambda;
+        for (int64_t i = data.size(); i < result.size(); ++i) {
+          int64_t c = result.labels[static_cast<size_t>(i)];
+          const float* s = result.features.data() + i * d;
+          std::vector<const float*> members;
+          std::vector<const float*> others;
+          SplitByClass(data, data.size(), c, &members, &others);
+          bool ok = false;
+          for (const float* b : members) {
+            if (RowEquals(s, b, d)) {
+              ok = true;
+              break;
+            }
+            for (int64_t o = 0; o < data.size() && !ok; ++o) {
+              ok = OnSegment(s, b, x + o * d, d, 0.0, t_hi, 1e-3);
+            }
+            if (ok) break;
+          }
+          EOS_PROP_CHECK_MSG(ok, "Remix synthetic " + std::to_string(i) +
+                                     " strays beyond min_lambda dominance");
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+// ---------------------------------------------------------------------
+// EOS-specific geometry: Algorithm 2's defining invariant.
+// ---------------------------------------------------------------------
+
+class EosSegmentPropertyTest : public ::testing::TestWithParam<EosMode> {};
+
+TEST_P(EosSegmentPropertyTest, SyntheticsRespectTheMinorityEnemyGeometry) {
+  // kConvex must stay INSIDE the borderline-minority -> enemy segment
+  // (t in [0, max_step]); kReflect must LEAVE it on the far side of the
+  // base (t in [-max_step, 0]). Classes that fell back to intra-class
+  // interpolation (per last_stats) satisfy the same-class segment rule.
+  PropertyRunner runner;
+  EosMode mode = GetParam();
+  Status st = runner.Run(
+      mode == EosMode::kConvex ? "eos-geometry-convex"
+                               : "eos-geometry-reflect",
+      [mode](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        const float max_step = 0.5f;
+        ExpansiveOversampler sampler(/*k_neighbors=*/5, mode, max_step);
+        FeatureSet result = sampler.Resample(data, rng);
+        const auto& stats = sampler.last_stats();
+        int64_t d = data.features.size(1);
+        for (int64_t i = data.size(); i < result.size(); ++i) {
+          int64_t c = result.labels[static_cast<size_t>(i)];
+          const float* s = result.features.data() + i * d;
+          std::vector<const float*> members;
+          std::vector<const float*> enemies;
+          SplitByClass(data, data.size(), c, &members, &enemies);
+          bool ok = false;
+          bool expanded = stats.expanded[static_cast<size_t>(c)] > 0;
+          if (expanded) {
+            // Expansion path: on the base->enemy line, inside the segment
+            // for kConvex, beyond the base (away from the enemy) for
+            // kReflect — never past the midpoint (max_step = 0.5).
+            double t_lo = mode == EosMode::kConvex ? 0.0 : -max_step;
+            double t_hi = mode == EosMode::kConvex ? max_step : 0.0;
+            for (const float* b : members) {
+              for (const float* e : enemies) {
+                if (OnSegment(s, b, e, d, t_lo, t_hi, 1e-3)) {
+                  ok = true;
+                  break;
+                }
+              }
+              if (ok) break;
+            }
+          } else {
+            // Fallback path: duplicate or same-class interpolation.
+            for (const float* m : members) {
+              if (RowEquals(s, m, d)) {
+                ok = true;
+                break;
+              }
+            }
+            for (size_t a = 0; a < members.size() && !ok; ++a) {
+              for (size_t b = 0; b < members.size() && !ok; ++b) {
+                if (a == b) continue;
+                ok = OnSegment(s, members[a], members[b], d, 0.0, 1.0, 1e-3);
+              }
+            }
+          }
+          EOS_PROP_CHECK_MSG(
+              ok, "EOS synthetic " + std::to_string(i) + " of class " +
+                      std::to_string(c) + " violates the " +
+                      (expanded ? "minority-enemy" : "fallback") +
+                      " geometry");
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EosSegmentPropertyTest,
+                         ::testing::Values(EosMode::kConvex,
+                                           EosMode::kReflect),
+                         [](const ::testing::TestParamInfo<EosMode>& info) {
+                           return info.param == EosMode::kConvex
+                                      ? "Convex"
+                                      : "Reflect";
+                         });
+
+// ---------------------------------------------------------------------
+// Undersampling / cleaning invariants (the tenth sampler module).
+// ---------------------------------------------------------------------
+
+// Every row of `subset` must appear in `original` with the same label
+// (bitwise), i.e. cleaners may drop rows but never invent or mutate them.
+Status CheckRowsAreASubset(const FeatureSet& original,
+                           const FeatureSet& subset) {
+  int64_t d = original.features.size(1);
+  for (int64_t i = 0; i < subset.size(); ++i) {
+    const float* s = subset.features.data() + i * d;
+    bool found = false;
+    for (int64_t j = 0; j < original.size() && !found; ++j) {
+      found = original.labels[static_cast<size_t>(j)] ==
+                  subset.labels[static_cast<size_t>(i)] &&
+              RowEquals(s, original.features.data() + j * d, d);
+    }
+    EOS_PROP_CHECK_MSG(found, "cleaned row " + std::to_string(i) +
+                                  " does not exist in the input");
+  }
+  return Status::OK();
+}
+
+TEST(UndersamplingPropertyTest, RandomUndersampleMeetsTargetExactly) {
+  PropertyRunner runner;
+  Status st = runner.Run(
+      "undersample-target", [](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        std::vector<int64_t> counts = data.ClassCounts();
+        // Random target: -1 (smallest class) or an explicit 0..max+2.
+        int64_t mx = *std::max_element(counts.begin(), counts.end());
+        int64_t target = rng.UniformInt(-1, mx + 3);
+        FeatureSet out = RandomUndersample(data, target, rng);
+        int64_t resolved =
+            target < 0 ? *std::min_element(counts.begin(), counts.end())
+                       : target;
+        std::vector<int64_t> got = out.ClassCounts();
+        for (size_t c = 0; c < got.size(); ++c) {
+          int64_t want = std::min(counts[c], resolved);
+          EOS_PROP_CHECK_MSG(got[c] == want,
+                             "class " + std::to_string(c) + " kept " +
+                                 std::to_string(got[c]) + " rows, want " +
+                                 std::to_string(want));
+        }
+        return CheckRowsAreASubset(data, out);
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(UndersamplingPropertyTest, CleanersNeverTouchMinorityOrInventRows) {
+  PropertyRunner runner;
+  Status st = runner.Run(
+      "cleaners-minority-safe", [](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        std::vector<int64_t> counts = data.ClassCounts();
+        int64_t mn = *std::min_element(counts.begin(), counts.end());
+
+        FeatureSet enn = EditedNearestNeighbours(data, 3);
+        std::vector<int64_t> enn_counts = enn.ClassCounts();
+        for (size_t c = 0; c < counts.size(); ++c) {
+          if (counts[c] == mn) {
+            EOS_PROP_CHECK_MSG(enn_counts[c] == counts[c],
+                               "ENN touched smallest class " +
+                                   std::to_string(c));
+          }
+          EOS_PROP_CHECK_MSG(enn_counts[c] >= 1,
+                             "ENN emptied class " + std::to_string(c));
+        }
+        EOS_RETURN_IF_ERROR(CheckRowsAreASubset(data, enn));
+
+        FeatureSet tomek = RemoveTomekLinks(data);
+        std::vector<int64_t> tomek_counts = tomek.ClassCounts();
+        for (size_t c = 0; c < counts.size(); ++c) {
+          if (counts[c] == mn) {
+            EOS_PROP_CHECK_MSG(tomek_counts[c] == counts[c],
+                               "Tomek removal touched smallest class " +
+                                   std::to_string(c));
+          }
+        }
+        return CheckRowsAreASubset(data, tomek);
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace eos

@@ -59,6 +59,57 @@ TEST(RandomUndersampleTest, NeverGrowsClasses) {
   EXPECT_EQ(out.size(), data.size());
 }
 
+TEST(RandomUndersampleTest, AlreadyBalancedInputIsANoOp) {
+  FeatureSet data = NoisyBlobs(12, 12, 0, 4.0f, 17);
+  Rng rng(18);
+  FeatureSet out = RandomUndersample(data, -1, rng);
+  ASSERT_EQ(out.size(), data.size());
+  // Identity, not just equal counts: no row may be dropped or reordered.
+  EXPECT_EQ(out.labels, data.labels);
+  for (int64_t i = 0; i < data.features.numel(); ++i) {
+    ASSERT_EQ(out.features.data()[i], data.features.data()[i]);
+  }
+}
+
+TEST(RandomUndersampleTest, SingletonMinorityPinsDefaultTarget) {
+  FeatureSet data = NoisyBlobs(20, 1, 0, 4.0f, 19);
+  Rng rng(20);
+  FeatureSet out = RandomUndersample(data, -1, rng);
+  auto counts = out.ClassCounts();
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+}
+
+TEST(RandomUndersampleTest, EmptyClassDoesNotZeroTheDefaultTarget) {
+  // Three declared classes, one unused: -1 must resolve to the smallest
+  // *present* class (5), not to the empty class's 0.
+  FeatureSet data = NoisyBlobs(20, 5, 0, 4.0f, 21);
+  data.num_classes = 3;
+  Rng rng(22);
+  FeatureSet out = RandomUndersample(data, -1, rng);
+  auto counts = out.ClassCounts();
+  EXPECT_EQ(counts[0], 5);
+  EXPECT_EQ(counts[1], 5);
+  EXPECT_EQ(counts[2], 0);
+}
+
+TEST(RandomUndersampleTest, ExplicitZeroTargetDropsEverythingCleanly) {
+  FeatureSet data = NoisyBlobs(10, 4, 0, 4.0f, 23);
+  Rng rng(24);
+  FeatureSet out = RandomUndersample(data, 0, rng);
+  EXPECT_EQ(out.size(), 0);
+  EXPECT_EQ(out.num_classes, 2);
+}
+
+TEST(RandomUndersampleTest, EmptyDatasetIsANoOp) {
+  FeatureSet data;
+  data.num_classes = 2;
+  data.features = Tensor({0, 3});
+  Rng rng(25);
+  FeatureSet out = RandomUndersample(data, -1, rng);
+  EXPECT_EQ(out.size(), 0);
+}
+
 TEST(TomekTest, FindsPlantedLink) {
   // Two points of different classes placed adjacent, far from everything.
   FeatureSet data = NoisyBlobs(15, 15, 0, 50.0f, 7);
@@ -142,6 +193,55 @@ TEST(EnnTest, NeverDeletesAWholeClass) {
   auto counts = cleaned.ClassCounts();
   EXPECT_GE(counts[0], 1);
   EXPECT_GE(counts[1], 1);
+}
+
+TEST(EnnTest, KLargerThanClassAndDatasetIsClamped) {
+  // k = 50 with n = 18 rows: the neighborhood clamps to n-1 = 17 and the
+  // cleaner still behaves (no out-of-range query, minority intact).
+  FeatureSet data = NoisyBlobs(12, 6, 0, 4.0f, 26);
+  FeatureSet cleaned = EditedNearestNeighbours(data, 50);
+  auto counts = cleaned.ClassCounts();
+  EXPECT_EQ(counts[1], 6);
+  EXPECT_GE(counts[0], 1);
+}
+
+TEST(EnnTest, SingletonMinorityIsNeverTouched) {
+  FeatureSet data = NoisyBlobs(15, 1, 0, 2.0f, 27);
+  FeatureSet cleaned = EditedNearestNeighbours(data, 3);
+  auto counts = cleaned.ClassCounts();
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_GE(counts[0], 1);
+}
+
+TEST(EnnTest, AlreadyBalancedInputIsANoOp) {
+  // With equal counts no class is "majority", so nothing may be removed.
+  FeatureSet data = NoisyBlobs(10, 10, 0, 1.0f, 28);
+  FeatureSet cleaned = EditedNearestNeighbours(data, 3);
+  EXPECT_EQ(cleaned.size(), data.size());
+}
+
+TEST(TomekTest, SingleRowAndEmptyInputsAreNoOps) {
+  FeatureSet one;
+  one.num_classes = 2;
+  one.features = Tensor({1, 2});
+  one.labels = {1};
+  EXPECT_TRUE(FindTomekLinks(one).empty());
+  EXPECT_EQ(RemoveTomekLinks(one).size(), 1);
+
+  FeatureSet empty;
+  empty.num_classes = 2;
+  empty.features = Tensor({0, 2});
+  EXPECT_TRUE(FindTomekLinks(empty).empty());
+  EXPECT_EQ(RemoveTomekLinks(empty).size(), 0);
+}
+
+TEST(SmoteEnnTest, SingletonMinoritySurvivesTheCombo) {
+  FeatureSet data = NoisyBlobs(14, 1, 0, 4.0f, 29);
+  Rng rng(30);
+  FeatureSet out = SmoteEnn(data, 5, 3, rng);
+  auto counts = out.ClassCounts();
+  EXPECT_EQ(counts[1], 14);  // duplicated up to balance, ENN keeps minority
+  EXPECT_GE(counts[0], 1);
 }
 
 TEST(SmoteEnnTest, BalancesThenCleans) {

@@ -1,0 +1,149 @@
+#include "testing/fault_injection.h"
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/resnet.h"
+#include "serve/server.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos::serve {
+namespace {
+
+using ::eos::testing::FaultInjector;
+
+nn::ImageClassifier SmallNet(uint64_t seed) {
+  Rng rng(seed);
+  nn::ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = 4;
+  return nn::BuildResNet(config, rng);
+}
+
+Tensor RandomImage(Rng& rng) {
+  return Tensor::Uniform({3, 8, 8}, -1.0f, 1.0f, rng);
+}
+
+// Every test disarms on entry and exit so a failing sibling can't leak an
+// armed point into the next scenario.
+class ServeFaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(ServeFaultInjectionTest, ForcedQueueFullRejectsThenRecovers) {
+  ServerOptions options;
+  options.num_workers = 0;  // nothing drains; fully deterministic
+  options.batcher.max_queue_depth = 64;
+  Server server(std::make_shared<ModelSession>(SmallNet(1)), options);
+  Rng rng(2);
+
+  // Queue empty, yet the armed point forces the backpressure path twice.
+  FaultInjector::Global().ArmFailure(kQueueFullFault, 2);
+  for (int i = 0; i < 2; ++i) {
+    auto f = server.Submit(RandomImage(rng));
+    ASSERT_FALSE(f.ok());
+    EXPECT_EQ(f.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(FaultInjector::Global().fire_count(kQueueFullFault), 2);
+  // Rejections hit the same telemetry as real saturation.
+  EXPECT_EQ(server.Stats().rejected, 2);
+  EXPECT_EQ(server.queue_depth(), 0);
+
+  // Budget exhausted: the very next Submit is accepted and servable.
+  auto f = server.Submit(RandomImage(rng));
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_TRUE(server.ServeOnce());
+  Prediction p = std::move(f).value().get();
+  EXPECT_GE(p.label, 0);
+  EXPECT_LT(p.label, 4);
+}
+
+TEST_F(ServeFaultInjectionTest, StalledWorkersStillCompleteEveryRequest) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.batcher.max_batch_size = 4;
+  options.batcher.max_queue_delay_us = 500;
+  options.batcher.max_queue_depth = 256;
+  Server server(std::make_shared<ModelSession>(SmallNet(3)), options);
+
+  // Every batch execution sleeps 2ms: queues back up, latency climbs, but
+  // nothing may be lost or reordered into failure.
+  FaultInjector::Global().ArmStall(kWorkerStallFault, 2000);
+  Rng rng(4);
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < 24; ++i) {
+    auto f = server.Submit(RandomImage(rng));
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    futures.push_back(std::move(f).value());
+  }
+  for (auto& f : futures) {
+    Prediction p = f.get();
+    EXPECT_GE(p.label, 0);
+    EXPECT_LT(p.label, 4);
+  }
+  EXPECT_EQ(server.Stats().completed, 24);
+  EXPECT_GT(FaultInjector::Global().fire_count(kWorkerStallFault), 0);
+}
+
+TEST_F(ServeFaultInjectionTest, ShutdownMidStallDrainsAcceptedFutures) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.batcher.max_batch_size = 2;
+  options.batcher.max_queue_delay_us = 0;
+  options.batcher.max_queue_depth = 64;
+  Server server(std::make_shared<ModelSession>(SmallNet(5)), options);
+
+  FaultInjector::Global().ArmStall(kWorkerStallFault, 3000);
+  Rng rng(6);
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < 10; ++i) {
+    auto f = server.Submit(RandomImage(rng));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(f).value());
+  }
+  // Shut down while the single worker is (very likely) inside a stall:
+  // graceful drain must still complete every accepted future.
+  server.Shutdown();
+  for (auto& f : futures) {
+    Prediction p = f.get();
+    EXPECT_GE(p.label, 0);
+    EXPECT_LT(p.label, 4);
+  }
+  EXPECT_EQ(server.Stats().completed, 10);
+  EXPECT_EQ(server.queue_depth(), 0);
+  EXPECT_FALSE(server.Submit(RandomImage(rng)).ok());
+}
+
+TEST_F(ServeFaultInjectionTest, MicroBatcherHookSharesRealRejectionPath) {
+  ServeStats stats;
+  MicroBatcherOptions options;
+  options.max_queue_depth = 8;
+  MicroBatcher batcher(options, &stats);
+
+  FaultInjector::Global().ArmFailure(kQueueFullFault, 1);
+  Rng rng(7);
+  auto rejected = batcher.Submit(RandomImage(rng));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stats.Snapshot().rejected, 1);
+  EXPECT_EQ(batcher.queue_depth(), 0);  // the forced reject never enqueued
+
+  auto accepted = batcher.Submit(RandomImage(rng));
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(batcher.queue_depth(), 1);
+  batcher.Shutdown();
+  std::vector<MicroBatcher::Request> batch;
+  ASSERT_TRUE(batcher.NextBatch(batch));
+  ASSERT_EQ(batch.size(), 1u);
+  batch[0].promise.set_value(Prediction{});
+  EXPECT_FALSE(batcher.NextBatch(batch));
+}
+
+}  // namespace
+}  // namespace eos::serve

@@ -1,0 +1,106 @@
+#include "testing/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace eos::testing {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedPointsNeverFire) {
+  EXPECT_FALSE(FaultInjector::ShouldFail("nope"));
+  FaultInjector::MaybeStall("nope");  // returns immediately
+  EXPECT_EQ(FaultInjector::Global().fire_count("nope"), 0);
+}
+
+TEST_F(FaultInjectorTest, CountedFailureBudgetIsConsumedExactly) {
+  FaultInjector::Global().ArmFailure("p", 3);
+  EXPECT_TRUE(FaultInjector::ShouldFail("p"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("p"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("p"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("p"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("p"));
+  EXPECT_EQ(FaultInjector::Global().fire_count("p"), 3);
+}
+
+TEST_F(FaultInjectorTest, UnlimitedFailureFiresUntilDisarm) {
+  FaultInjector::Global().ArmFailure("p");
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(FaultInjector::ShouldFail("p"));
+  FaultInjector::Global().Disarm("p");
+  EXPECT_FALSE(FaultInjector::ShouldFail("p"));
+  EXPECT_EQ(FaultInjector::Global().fire_count("p"), 0);  // reset on disarm
+}
+
+TEST_F(FaultInjectorTest, PointsAreIndependent) {
+  FaultInjector::Global().ArmFailure("a", 1);
+  EXPECT_FALSE(FaultInjector::ShouldFail("b"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("a"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("a"));
+}
+
+TEST_F(FaultInjectorTest, RearmReplacesBudgetAndResetsFires) {
+  FaultInjector::Global().ArmFailure("p", 1);
+  EXPECT_TRUE(FaultInjector::ShouldFail("p"));
+  FaultInjector::Global().ArmFailure("p", 2);
+  EXPECT_EQ(FaultInjector::Global().fire_count("p"), 0);
+  EXPECT_TRUE(FaultInjector::ShouldFail("p"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("p"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("p"));
+}
+
+TEST_F(FaultInjectorTest, StallActuallySleepsArmedDuration) {
+  FaultInjector::Global().ArmStall("slow", /*stall_us=*/20000, /*count=*/1);
+  auto start = std::chrono::steady_clock::now();
+  FaultInjector::MaybeStall("slow");
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 15000);  // sleep_for may round, never shortens much
+  EXPECT_EQ(FaultInjector::Global().fire_count("slow"), 1);
+  // Budget spent: the next query is instant.
+  FaultInjector::MaybeStall("slow");
+  EXPECT_EQ(FaultInjector::Global().fire_count("slow"), 1);
+}
+
+TEST_F(FaultInjectorTest, FailureAndStallCoexistOnOnePoint) {
+  FaultInjector::Global().ArmFailure("p", 1);
+  FaultInjector::Global().ArmStall("p", 1, 1);
+  EXPECT_TRUE(FaultInjector::ShouldFail("p"));
+  FaultInjector::MaybeStall("p");
+  EXPECT_FALSE(FaultInjector::ShouldFail("p"));
+  EXPECT_EQ(FaultInjector::Global().fire_count("p"), 2);
+}
+
+TEST_F(FaultInjectorTest, ConcurrentQueriesConsumeBudgetExactlyOnce) {
+  // N threads hammer one point with budget K < N queries each: exactly K
+  // total fires must be observed (TSAN also validates the locking here).
+  constexpr int kThreads = 8;
+  constexpr int kBudget = 100;
+  FaultInjector::Global().ArmFailure("contended", kBudget);
+  std::vector<std::thread> threads;
+  std::atomic<int> fired{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (FaultInjector::ShouldFail("contended")) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fired.load(), kBudget);
+  EXPECT_EQ(FaultInjector::Global().fire_count("contended"), kBudget);
+}
+
+}  // namespace
+}  // namespace eos::testing

@@ -1,0 +1,102 @@
+#include "testing/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "testing/property.h"
+
+namespace eos::testing {
+namespace {
+
+TEST(RandomImbalancedSetTest, AlwaysStructurallyValid) {
+  PropertyRunner runner;
+  Status st = runner.Run(
+      "generator-validity", [](Rng& rng, const PropertyCase&) -> Status {
+        DatasetGenOptions options;
+        FeatureSet set = RandomImbalancedSet(rng, options);
+        EOS_PROP_CHECK(set.num_classes >= options.min_classes);
+        EOS_PROP_CHECK(set.num_classes <= options.max_classes);
+        EOS_PROP_CHECK(set.features.dim() == 2);
+        EOS_PROP_CHECK(set.features.size(1) >= options.min_dim);
+        EOS_PROP_CHECK(set.features.size(1) <= options.max_dim);
+        EOS_PROP_CHECK(set.features.size(0) == set.size());
+        for (int64_t y : set.labels) {
+          EOS_PROP_CHECK(y >= 0 && y < set.num_classes);
+        }
+        std::vector<int64_t> counts = set.ClassCounts();
+        int64_t mx = *std::max_element(counts.begin(), counts.end());
+        EOS_PROP_CHECK_MSG(mx == options.max_class_count,
+                           "largest class must realize max_class_count");
+        for (int64_t c : counts) {
+          EOS_PROP_CHECK(c >= options.min_class_count);
+        }
+        for (int64_t i = 0; i < set.features.numel(); ++i) {
+          EOS_PROP_CHECK_MSG(std::isfinite(set.features.data()[i]),
+                             "coordinates must be NaN/Inf-free");
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(RandomImbalancedSetTest, DeterministicFromSeed) {
+  DatasetGenOptions options;
+  Rng a(123), b(123);
+  FeatureSet sa = RandomImbalancedSet(a, options);
+  FeatureSet sb = RandomImbalancedSet(b, options);
+  ASSERT_EQ(sa.size(), sb.size());
+  EXPECT_EQ(sa.labels, sb.labels);
+  for (int64_t i = 0; i < sa.features.numel(); ++i) {
+    ASSERT_EQ(sa.features.data()[i], sb.features.data()[i]);
+  }
+}
+
+TEST(RandomImbalancedSetTest, DegenerateShapesActuallyOccur) {
+  // The generator's value is the tail: over many cases it must produce
+  // singleton classes, exact duplicate rows, and genuine imbalance — if
+  // these never appear the "degenerate geometry" knobs are dead code.
+  DatasetGenOptions options;
+  Rng rng(2024);
+  bool saw_singleton = false;
+  bool saw_duplicate = false;
+  bool saw_imbalance = false;
+  for (int i = 0; i < 200; ++i) {
+    FeatureSet set = RandomImbalancedSet(rng, options);
+    std::vector<int64_t> counts = set.ClassCounts();
+    int64_t mn = *std::min_element(counts.begin(), counts.end());
+    int64_t mx = *std::max_element(counts.begin(), counts.end());
+    if (mn == 1) saw_singleton = true;
+    if (mx > mn) saw_imbalance = true;
+    int64_t d = set.features.size(1);
+    for (int64_t a = 0; a < set.size() && !saw_duplicate; ++a) {
+      for (int64_t b = a + 1; b < set.size(); ++b) {
+        if (std::equal(set.features.data() + a * d,
+                       set.features.data() + (a + 1) * d,
+                       set.features.data() + b * d)) {
+          saw_duplicate = true;
+          break;
+        }
+      }
+    }
+    if (saw_singleton && saw_duplicate && saw_imbalance) break;
+  }
+  EXPECT_TRUE(saw_singleton);
+  EXPECT_TRUE(saw_duplicate);
+  EXPECT_TRUE(saw_imbalance);
+}
+
+TEST(RandomImbalancedSetTest, UnshuffledKeepsClassesContiguous) {
+  DatasetGenOptions options;
+  options.shuffle_rows = false;
+  Rng rng(7);
+  FeatureSet set = RandomImbalancedSet(rng, options);
+  for (size_t i = 1; i < set.labels.size(); ++i) {
+    EXPECT_GE(set.labels[i], set.labels[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace eos::testing
