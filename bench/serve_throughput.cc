@@ -55,12 +55,17 @@ std::string CellJson(const Cell& c) {
       "{\"workers\": %lld, \"max_batch_size\": %lld, \"requests\": %lld, "
       "\"seconds\": %.4f, \"rps\": %.1f, \"mean_batch_size\": %.3f, "
       "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
-      "\"max_queue_depth\": %lld}",
+      "\"max_queue_depth\": %lld, \"shed\": %lld, \"deadline_expired\": %lld, "
+      "\"replica_failures\": %lld, \"retries\": %lld}",
       static_cast<long long>(c.workers), static_cast<long long>(c.batch_size),
       static_cast<long long>(c.requests), c.seconds,
       static_cast<double>(c.requests) / c.seconds, c.stats.mean_batch_size,
       c.stats.p50_us, c.stats.p95_us, c.stats.p99_us,
-      static_cast<long long>(c.stats.max_queue_depth));
+      static_cast<long long>(c.stats.max_queue_depth),
+      static_cast<long long>(c.stats.shed),
+      static_cast<long long>(c.stats.deadline_expired),
+      static_cast<long long>(c.stats.replica_failures),
+      static_cast<long long>(c.stats.retries));
 }
 
 }  // namespace
@@ -74,6 +79,8 @@ int main(int argc, char** argv) {
   int64_t* delay_us =
       flags.AddInt("delay_us", 1000, "max queue delay per request (us)");
   int64_t* depth = flags.AddInt("depth", 1024, "queue depth (backpressure)");
+  int64_t* timeout_us = flags.AddInt(
+      "timeout_us", 0, "per-request deadline budget (us, 0 = none)");
   int64_t* seed = flags.AddInt("seed", 1, "rng seed");
   std::string* batch_sizes =
       flags.AddString("batch_sizes", "1,4,16,32", "micro-batch size sweep");
@@ -146,6 +153,9 @@ int main(int argc, char** argv) {
       options.batcher.max_queue_depth = *depth;
       eos::serve::Server server(replicas, options);
 
+      eos::serve::SubmitOptions submit_options;
+      submit_options.timeout_us = *timeout_us;
+
       eos::Stopwatch watch;
       std::vector<std::thread> client_threads;
       for (int64_t c = 0; c < *clients; ++c) {
@@ -154,8 +164,10 @@ int main(int argc, char** argv) {
             const eos::Tensor& image =
                 pool[static_cast<size_t>(i) % pool.size()];
             for (;;) {
-              auto f = server.Submit(image);
+              auto f = server.Submit(image, submit_options);
               if (f.ok()) {
+                // Terminal status (DeadlineExceeded under --timeout_us) is
+                // reflected in the stats counters reported per cell.
                 std::move(f).value().get();
                 break;
               }

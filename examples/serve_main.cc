@@ -138,7 +138,17 @@ int main(int argc, char** argv) {
         for (;;) {
           auto f = server.Submit(image);
           if (f.ok()) {
-            served[static_cast<size_t>(i)] = std::move(f).value().get().label;
+            // The future carries the request's terminal status; with no
+            // faults armed and no deadline set it is always OK here.
+            eos::Result<eos::serve::Prediction> r =
+                std::move(f).value().get();
+            if (r.ok()) {
+              served[static_cast<size_t>(i)] = r->label;
+              break;
+            }
+            std::fprintf(stderr, "request %lld failed: %s\n",
+                         static_cast<long long>(i),
+                         r.status().ToString().c_str());
             break;
           }
           ++retries[static_cast<size_t>(c)];

@@ -1,0 +1,21 @@
+#ifndef EOS_COMMON_CRC32_H_
+#define EOS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+/// footer of crash-safe checkpoints (core/checkpoint.h). A checksum, not a
+/// MAC: it catches torn writes and bit rot, not an adversary.
+
+namespace eos {
+
+/// Returns the CRC-32 of `size` bytes at `data`. Pass a previous result as
+/// `seed` to checksum a stream incrementally:
+///   crc = Crc32(a, na); crc = Crc32(b, nb, crc);  // == Crc32(a+b)
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_CRC32_H_

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace eos {
 
@@ -92,6 +93,27 @@ int64_t Rng::Categorical(const std::vector<float>& weights) {
     if (u < acc) return static_cast<int64_t>(i);
   }
   return static_cast<int64_t>(weights.size()) - 1;
+}
+
+Rng::State Rng::SaveState() const {
+  State s;
+  s.state = state_;
+  s.inc = inc_;
+  s.has_cached_normal = has_cached_normal_ ? 1 : 0;
+  static_assert(sizeof(s.cached_normal_bits) == sizeof(cached_normal_));
+  std::memcpy(&s.cached_normal_bits, &cached_normal_,
+              sizeof(cached_normal_));
+  return s;
+}
+
+Rng Rng::FromState(const State& s) {
+  Rng rng;
+  rng.state_ = s.state;
+  rng.inc_ = s.inc;
+  rng.has_cached_normal_ = s.has_cached_normal != 0;
+  std::memcpy(&rng.cached_normal_, &s.cached_normal_bits,
+              sizeof(rng.cached_normal_));
+  return rng;
 }
 
 Rng Rng::Fork() {

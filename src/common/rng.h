@@ -64,6 +64,23 @@ class Rng {
   /// child's sequence is independent of subsequent draws from the parent.
   Rng Fork();
 
+  /// Serializable snapshot of the generator — the whole state, including
+  /// the cached Box–Muller variate (as raw bits, for an exact round trip).
+  /// Used by crash-safe checkpointing (core/checkpoint.h).
+  struct State {
+    uint64_t state = 0;
+    uint64_t inc = 0;
+    uint32_t cached_normal_bits = 0;
+    uint8_t has_cached_normal = 0;
+  };
+
+  /// Captures the current state; FromState(SaveState()) continues the
+  /// sequence bitwise-identically.
+  State SaveState() const;
+
+  /// Reconstructs a generator from a saved state.
+  static Rng FromState(const State& s);
+
  private:
   uint64_t state_;
   uint64_t inc_;

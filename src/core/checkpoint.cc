@@ -1,0 +1,428 @@
+#include "core/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/string_util.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "testing/fault_injection.h"
+
+namespace eos {
+
+namespace {
+
+// Container layout (little-endian):
+//   magic "EOSC" | version u32
+//   stage u8 | phase1_epochs_done i64 | phase3_epochs_done i64
+//   rng_state (u64 state | u64 inc | u32 cached_bits | u8 has_cached)
+//   phase2_rng_state (same)
+//   velocity_count u64 | per tensor: ndims u32 | dims i64[] | data f32[]
+//   extractor parameter stream (nn::SaveParametersToStream)
+//   head parameter stream
+//   crc u32  — CRC-32 of every byte above
+constexpr char kMagic[4] = {'E', 'O', 'S', 'C'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMaxTensorDims = 8;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t size) {
+  if (std::fread(data, 1, size, f) != size) {
+    return Status::IoError("short read (truncated or corrupt checkpoint)");
+  }
+  return Status::OK();
+}
+
+Status WriteRngState(std::FILE* f, const Rng::State& s) {
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &s.state, sizeof(s.state)));
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &s.inc, sizeof(s.inc)));
+  EOS_RETURN_IF_ERROR(
+      WriteBytes(f, &s.cached_normal_bits, sizeof(s.cached_normal_bits)));
+  return WriteBytes(f, &s.has_cached_normal, sizeof(s.has_cached_normal));
+}
+
+Status ReadRngState(std::FILE* f, Rng::State& s) {
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &s.state, sizeof(s.state)));
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &s.inc, sizeof(s.inc)));
+  EOS_RETURN_IF_ERROR(
+      ReadBytes(f, &s.cached_normal_bits, sizeof(s.cached_normal_bits)));
+  return ReadBytes(f, &s.has_cached_normal, sizeof(s.has_cached_normal));
+}
+
+Status WriteTensorRaw(std::FILE* f, const Tensor& t) {
+  uint32_t ndims = static_cast<uint32_t>(t.dim());
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &ndims, sizeof(ndims)));
+  for (int64_t d : t.shape()) {
+    EOS_RETURN_IF_ERROR(WriteBytes(f, &d, sizeof(d)));
+  }
+  return WriteBytes(f, t.data(),
+                    static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+Status ReadTensorRaw(std::FILE* f, Tensor& out) {
+  uint32_t ndims = 0;
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &ndims, sizeof(ndims)));
+  if (ndims > kMaxTensorDims) {
+    return Status::InvalidArgument(
+        StrFormat("tensor rank %u exceeds limit %u (corrupt checkpoint)",
+                  ndims, kMaxTensorDims));
+  }
+  std::vector<int64_t> shape(ndims);
+  for (uint32_t i = 0; i < ndims; ++i) {
+    int64_t d = 0;
+    EOS_RETURN_IF_ERROR(ReadBytes(f, &d, sizeof(d)));
+    if (d < 0) {
+      return Status::InvalidArgument("negative tensor dim (corrupt "
+                                     "checkpoint)");
+    }
+    shape[i] = d;
+  }
+  out = Tensor(std::move(shape));
+  return ReadBytes(f, out.data(),
+                   static_cast<size_t>(out.numel()) * sizeof(float));
+}
+
+/// CRC-32 of bytes [0, limit) of `f`, streamed in chunks. Leaves the file
+/// position at `limit`.
+Result<uint32_t> CrcOfPrefix(std::FILE* f, long limit) {
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  uint32_t crc = 0;
+  char buf[4096];
+  long remaining = limit;
+  while (remaining > 0) {
+    size_t want = remaining < static_cast<long>(sizeof(buf))
+                      ? static_cast<size_t>(remaining)
+                      : sizeof(buf);
+    if (std::fread(buf, 1, want, f) != want) {
+      return Status::IoError("short read while checksumming");
+    }
+    crc = Crc32(buf, want, crc);
+    remaining -= static_cast<long>(want);
+  }
+  return crc;
+}
+
+Result<long> FileSize(std::FILE* f) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed");
+  }
+  long size = std::ftell(f);
+  if (size < 0) return Status::IoError("ftell failed");
+  return size;
+}
+
+Status WritePayload(const TrainCheckpoint& ckpt, nn::ImageClassifier& net,
+                    std::FILE* f) {
+  EOS_RETURN_IF_ERROR(WriteBytes(f, kMagic, sizeof(kMagic)));
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &kVersion, sizeof(kVersion)));
+  uint8_t stage = static_cast<uint8_t>(ckpt.stage);
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &stage, sizeof(stage)));
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &ckpt.phase1_epochs_done,
+                                 sizeof(ckpt.phase1_epochs_done)));
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &ckpt.phase3_epochs_done,
+                                 sizeof(ckpt.phase3_epochs_done)));
+  EOS_RETURN_IF_ERROR(WriteRngState(f, ckpt.rng_state));
+  EOS_RETURN_IF_ERROR(WriteRngState(f, ckpt.phase2_rng_state));
+  uint64_t velocity_count = ckpt.velocity.size();
+  EOS_RETURN_IF_ERROR(
+      WriteBytes(f, &velocity_count, sizeof(velocity_count)));
+  for (const Tensor& v : ckpt.velocity) {
+    EOS_RETURN_IF_ERROR(WriteTensorRaw(f, v));
+  }
+  EOS_RETURN_IF_ERROR(nn::SaveParametersToStream(*net.extractor, f));
+  return nn::SaveParametersToStream(*net.head, f);
+}
+
+/// Parses the payload (after the caller validated the CRC), restoring
+/// `net`. Leaves the position just past the head stream.
+Result<TrainCheckpoint> ReadPayload(nn::ImageClassifier& net, std::FILE* f) {
+  char magic[4];
+  EOS_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "not an EOS checkpoint (bad magic, expected \"EOSC\")");
+  }
+  uint32_t version = 0;
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &version, sizeof(version)));
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported checkpoint version %u (this build reads "
+                  "version %u)",
+                  version, kVersion));
+  }
+  TrainCheckpoint ckpt;
+  uint8_t stage = 0;
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &stage, sizeof(stage)));
+  if (stage < static_cast<uint8_t>(ThreePhaseStage::kPhase1) ||
+      stage > static_cast<uint8_t>(ThreePhaseStage::kPhase3)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid checkpoint stage %u", stage));
+  }
+  ckpt.stage = static_cast<ThreePhaseStage>(stage);
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &ckpt.phase1_epochs_done,
+                                sizeof(ckpt.phase1_epochs_done)));
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &ckpt.phase3_epochs_done,
+                                sizeof(ckpt.phase3_epochs_done)));
+  EOS_RETURN_IF_ERROR(ReadRngState(f, ckpt.rng_state));
+  EOS_RETURN_IF_ERROR(ReadRngState(f, ckpt.phase2_rng_state));
+  uint64_t velocity_count = 0;
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &velocity_count, sizeof(velocity_count)));
+  ckpt.velocity.resize(velocity_count);
+  for (uint64_t i = 0; i < velocity_count; ++i) {
+    EOS_RETURN_IF_ERROR(ReadTensorRaw(f, ckpt.velocity[i]));
+  }
+  EOS_RETURN_IF_ERROR(nn::LoadParametersFromStream(*net.extractor, f));
+  EOS_RETURN_IF_ERROR(nn::LoadParametersFromStream(*net.head, f));
+  return ckpt;
+}
+
+bool FileExists(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  return f != nullptr;
+}
+
+/// Validates size / CRC footer and returns the payload length. `f` must be
+/// open for reading; leaves the position unspecified.
+Result<long> ValidateCrc(std::FILE* f, const std::string& path) {
+  EOS_ASSIGN_OR_RETURN(long size, FileSize(f));
+  if (size < static_cast<long>(sizeof(kMagic) + sizeof(kVersion) +
+                               sizeof(uint32_t))) {
+    return Status::InvalidArgument("checkpoint too small to be valid: " +
+                                   path);
+  }
+  long payload_size = size - static_cast<long>(sizeof(uint32_t));
+  EOS_ASSIGN_OR_RETURN(uint32_t computed, CrcOfPrefix(f, payload_size));
+  uint32_t stored = 0;
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &stored, sizeof(stored)));
+  if (computed != stored) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint CRC mismatch (stored %08x, computed %08x — "
+                  "torn or corrupt file): %s",
+                  stored, computed, path.c_str()));
+  }
+  return payload_size;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const TrainCheckpoint& ckpt, nn::ImageClassifier& net,
+                      const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  FilePtr f(std::fopen(tmp.c_str(), "wb+"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open checkpoint temp for write: " + tmp);
+  }
+  Status written = WritePayload(ckpt, net, f.get());
+  if (!written.ok()) return written;
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError("flush failed: " + tmp);
+  }
+
+  // Simulated crash mid-save: tear the temp file in half and fail. The
+  // rename below never runs, so `path` keeps the previous checkpoint —
+  // the durability property the torn-write drill asserts.
+  if (testing::FaultInjector::ShouldFail(kTornWriteFault)) {
+    EOS_ASSIGN_OR_RETURN(long size, FileSize(f.get()));
+    f.reset();
+    if (::truncate(tmp.c_str(), size / 2) != 0) {
+      return Status::IoError("truncate failed: " + tmp);
+    }
+    return Status::IoError(
+        "simulated torn write (checkpoint.torn_write fault): " + tmp);
+  }
+
+  EOS_ASSIGN_OR_RETURN(long payload_size, FileSize(f.get()));
+  EOS_ASSIGN_OR_RETURN(uint32_t crc, CrcOfPrefix(f.get(), payload_size));
+  // Update streams require a reposition between a read and the next write.
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed: " + tmp);
+  }
+  EOS_RETURN_IF_ERROR(WriteBytes(f.get(), &crc, sizeof(crc)));
+  if (std::fflush(f.get()) != 0) {
+    return Status::IoError("flush failed: " + tmp);
+  }
+  // Push the bytes to stable storage before the rename publishes them:
+  // rename-then-crash must never expose a checkpoint the disk doesn't
+  // actually hold.
+  if (::fsync(::fileno(f.get())) != 0) {
+    return Status::IoError("fsync failed: " + tmp);
+  }
+  f.reset();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<TrainCheckpoint> LoadCheckpoint(nn::ImageClassifier& net,
+                                       const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("checkpoint not found: " + path);
+  }
+  EOS_ASSIGN_OR_RETURN(long payload_size, ValidateCrc(f.get(), path));
+  if (std::fseek(f.get(), 0, SEEK_SET) != 0) {
+    return Status::IoError("seek failed: " + path);
+  }
+  Result<TrainCheckpoint> parsed = ReadPayload(net, f.get());
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  parsed.status().message() + ": " + path);
+  }
+  long pos = std::ftell(f.get());
+  if (pos != payload_size) {
+    return Status::InvalidArgument(
+        "trailing bytes inside checkpoint payload (corrupt file): " + path);
+  }
+  return parsed;
+}
+
+bool CheckpointIsValid(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return false;
+  return ValidateCrc(f.get(), path).ok();
+}
+
+Status RunThreePhaseCheckpointed(nn::ImageClassifier& net, Loss& loss,
+                                 const Dataset& train, Oversampler* sampler,
+                                 const TrainerOptions& phase1,
+                                 const HeadRetrainOptions& phase3, Rng& rng,
+                                 const CheckpointedRunOptions& ckpt_options) {
+  EOS_CHECK(!ckpt_options.path.empty());
+  EOS_CHECK_GE(ckpt_options.save_every_epochs, 1);
+  const std::string& path = ckpt_options.path;
+
+  TrainCheckpoint ckpt;  // default: fresh run at phase 1, epoch 0
+  bool resumed = false;
+  if (FileExists(path)) {
+    EOS_ASSIGN_OR_RETURN(ckpt, LoadCheckpoint(net, path));
+    resumed = true;
+    if (ckpt.phase1_epochs_done > phase1.epochs ||
+        ckpt.phase3_epochs_done > phase3.epochs) {
+      return Status::FailedPrecondition(
+          "checkpoint is ahead of the requested run (epochs reduced?): " +
+          path);
+    }
+  }
+
+  // --- Phase 1: end-to-end CNN training -------------------------------
+  if (ckpt.stage == ThreePhaseStage::kPhase1) {
+    std::vector<nn::Parameter*> params;
+    net.extractor->CollectParameters(params);
+    net.head->CollectParameters(params);
+    nn::Sgd::Options sgd_options;
+    sgd_options.lr = phase1.lr;
+    sgd_options.momentum = phase1.momentum;
+    sgd_options.weight_decay = phase1.weight_decay;
+    sgd_options.nesterov = phase1.nesterov;
+    nn::Sgd optimizer(params, sgd_options);
+    if (resumed) {
+      optimizer.RestoreVelocity(ckpt.velocity);
+      rng = Rng::FromState(ckpt.rng_state);
+    }
+    // The schedule depends on the TOTAL epoch count, so a resume must run
+    // with the same phase1.epochs or the LR at each epoch would differ.
+    nn::MultiStepLr schedule =
+        nn::MultiStepLr::ForRun(phase1.lr, phase1.epochs);
+    for (int64_t epoch = ckpt.phase1_epochs_done; epoch < phase1.epochs;
+         ++epoch) {
+      RunTrainEpoch(net, loss, train, phase1, optimizer, schedule, epoch,
+                    rng);
+      // The boundary save below covers the final epoch.
+      if ((epoch + 1) % ckpt_options.save_every_epochs == 0 &&
+          epoch + 1 < phase1.epochs) {
+        TrainCheckpoint c;
+        c.stage = ThreePhaseStage::kPhase1;
+        c.phase1_epochs_done = epoch + 1;
+        c.rng_state = rng.SaveState();
+        c.velocity = optimizer.SaveVelocity();
+        EOS_RETURN_IF_ERROR(SaveCheckpoint(c, net, path));
+      }
+    }
+    // Phase-1 boundary: record the Rng at phase-2 entry. Phase 2 itself is
+    // never checkpointed — it is recomputed deterministically from this
+    // state on every resume, which is far cheaper than persisting the
+    // balanced feature set.
+    ckpt = TrainCheckpoint{};
+    ckpt.stage = ThreePhaseStage::kPhase2Done;
+    ckpt.phase1_epochs_done = phase1.epochs;
+    ckpt.rng_state = rng.SaveState();
+    ckpt.phase2_rng_state = ckpt.rng_state;
+    EOS_RETURN_IF_ERROR(SaveCheckpoint(ckpt, net, path));
+  }
+
+  // --- Phase 2: embeddings + resampling (recomputed, deterministic) ----
+  Rng run_rng = Rng::FromState(ckpt.phase2_rng_state);
+  FeatureSet embeddings = ExtractEmbeddings(net, train);
+  FeatureSet balanced = sampler != nullptr
+                            ? sampler->Resample(embeddings, run_rng)
+                            : std::move(embeddings);
+
+  // --- Phase 3: head retraining on balanced embeddings -----------------
+  nn::Sgd::Options head_options;
+  head_options.lr = phase3.lr;
+  head_options.momentum = phase3.momentum;
+  head_options.weight_decay = phase3.weight_decay;
+  nn::Sgd head_optimizer(net.head->Parameters(), head_options);
+  if (ckpt.stage != ThreePhaseStage::kPhase3) {
+    // Boundary: the (optional) head re-init consumes rng draws, so it must
+    // happen exactly once — before this checkpoint, never on a resume.
+    if (phase3.reinit_head) ReinitHead(net, run_rng);
+    ckpt.stage = ThreePhaseStage::kPhase3;
+    ckpt.phase3_epochs_done = 0;
+    ckpt.rng_state = run_rng.SaveState();
+    ckpt.velocity = head_optimizer.SaveVelocity();
+    EOS_RETURN_IF_ERROR(SaveCheckpoint(ckpt, net, path));
+  } else {
+    // Resuming mid-phase-3: `run_rng` was only used to rebuild the
+    // balanced features; the training sequence continues from the saved
+    // state.
+    run_rng = Rng::FromState(ckpt.rng_state);
+    head_optimizer.RestoreVelocity(ckpt.velocity);
+  }
+  nn::MultiStepLr head_schedule =
+      nn::MultiStepLr::ForRun(phase3.lr, phase3.epochs);
+  for (int64_t epoch = ckpt.phase3_epochs_done; epoch < phase3.epochs;
+       ++epoch) {
+    RunHeadEpoch(net, balanced, phase3, head_optimizer, head_schedule, epoch,
+                 run_rng);
+    // The final epoch always saves, so a completed run is durable.
+    if ((epoch + 1) % ckpt_options.save_every_epochs == 0 ||
+        epoch + 1 == phase3.epochs) {
+      TrainCheckpoint c;
+      c.stage = ThreePhaseStage::kPhase3;
+      c.phase1_epochs_done = phase1.epochs;
+      c.phase3_epochs_done = epoch + 1;
+      c.rng_state = run_rng.SaveState();
+      c.phase2_rng_state = ckpt.phase2_rng_state;
+      c.velocity = head_optimizer.SaveVelocity();
+      EOS_RETURN_IF_ERROR(SaveCheckpoint(c, net, path));
+    }
+  }
+
+  // Leave the caller's rng where an uninterrupted run would.
+  rng = run_rng;
+  return Status::OK();
+}
+
+}  // namespace eos

@@ -1,0 +1,109 @@
+#ifndef EOS_CORE_CHECKPOINT_H_
+#define EOS_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/three_phase.h"
+#include "core/trainer.h"
+#include "sampling/oversampler.h"
+
+/// \file
+/// Crash-safe checkpointing for the three-phase training flow. A checkpoint
+/// captures everything a bitwise-identical resume needs: network parameters
+/// and BatchNorm buffers, SGD momentum velocity, the exact Rng state
+/// (including the cached Box–Muller variate), and the phase/epoch cursor.
+///
+/// Durability protocol: write to `<path>.tmp`, fsync, rename over `path`.
+/// A crash mid-save leaves at worst a torn temp file; the previous
+/// checkpoint at `path` stays intact. Every file carries a CRC-32 footer
+/// over its whole payload, so a corrupt file is rejected at load instead of
+/// silently resuming from garbage. See DESIGN.md "Resilience &
+/// checkpointing" for the file format.
+
+namespace eos {
+
+/// Fault point (see testing/fault_injection.h): while armed, a checkpoint
+/// save tears mid-file (the temp file is truncated, as if the process died
+/// with the page cache half-flushed) and Save fails with IoError. The
+/// rename never happens, so `path` keeps the previous intact checkpoint —
+/// which is exactly the property the torn-write drill proves.
+inline constexpr char kTornWriteFault[] = "checkpoint.torn_write";
+
+/// Where a checkpointed three-phase run was when the checkpoint was taken.
+enum class ThreePhaseStage : uint8_t {
+  /// Phase-1 (end-to-end CNN training) in progress.
+  kPhase1 = 1,
+  /// Phase 1 complete; phase 2 (embeddings + resampling) is recomputed
+  /// deterministically on resume from phase2_rng_state.
+  kPhase2Done = 2,
+  /// Phase-3 (head retraining) in progress; the head was already
+  /// re-initialized (when requested) before this checkpoint was taken.
+  kPhase3 = 3,
+};
+
+/// Checkpoint metadata + optimizer state. Network parameters and buffers
+/// are serialized directly from / into the live net by Save/Load.
+struct TrainCheckpoint {
+  ThreePhaseStage stage = ThreePhaseStage::kPhase1;
+  int64_t phase1_epochs_done = 0;
+  int64_t phase3_epochs_done = 0;
+  /// The run's Rng at checkpoint time — resuming continues the exact
+  /// random sequence (batch shuffles, augmentation, head init).
+  Rng::State rng_state;
+  /// The Rng as it stood entering phase 2 (valid for stage >= kPhase2Done):
+  /// resampling is recomputed from a copy of this on every resume, so the
+  /// balanced feature set is identical without ever storing it.
+  Rng::State phase2_rng_state;
+  /// Momentum velocity of the active optimizer (phase-1 SGD over all
+  /// parameters, or phase-3 SGD over head parameters).
+  std::vector<Tensor> velocity;
+};
+
+/// Atomically writes `ckpt` plus `net`'s parameters and buffers to `path`
+/// (write-to-temp + fsync + rename, CRC-32 footer). On failure `path` is
+/// untouched.
+Status SaveCheckpoint(const TrainCheckpoint& ckpt, nn::ImageClassifier& net,
+                      const std::string& path);
+
+/// Loads a checkpoint written by SaveCheckpoint, restoring `net`'s
+/// parameters and buffers. Validates magic, version, and the CRC-32 footer
+/// before touching `net`; a truncated or corrupt file fails without side
+/// effects. `net` must be configured identically to the saved model.
+Result<TrainCheckpoint> LoadCheckpoint(nn::ImageClassifier& net,
+                                       const std::string& path);
+
+/// True when `path` exists and carries a structurally valid checkpoint
+/// (magic/version/CRC all pass). Never modifies any model.
+bool CheckpointIsValid(const std::string& path);
+
+struct CheckpointedRunOptions {
+  /// Checkpoint file. Its directory must exist.
+  std::string path;
+  /// Save cadence in epochs (phase 1 and phase 3 alike). Phase boundaries
+  /// always checkpoint regardless of cadence.
+  int64_t save_every_epochs = 1;
+};
+
+/// The full three-phase flow (phase-1 end-to-end training -> embedding
+/// extraction + resampling -> head retraining) with crash-safe
+/// checkpointing. If `ckpt_options.path` holds a valid checkpoint for this
+/// run, resumes from it — any phase, any epoch boundary — and the final
+/// weights are bitwise-identical to an uninterrupted run with the same
+/// seed. A fresh run starts from `net` and `rng` as given; `rng` is left
+/// at the position an uninterrupted run would leave it.
+///
+/// A failed checkpoint save aborts the run with that error (continuing
+/// past a failed save would silently widen the re-do window).
+Status RunThreePhaseCheckpointed(nn::ImageClassifier& net, Loss& loss,
+                                 const Dataset& train, Oversampler* sampler,
+                                 const TrainerOptions& phase1,
+                                 const HeadRetrainOptions& phase3, Rng& rng,
+                                 const CheckpointedRunOptions& ckpt_options);
+
+}  // namespace eos
+
+#endif  // EOS_CORE_CHECKPOINT_H_

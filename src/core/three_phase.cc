@@ -27,9 +27,7 @@ void RestoreHeadState(nn::ImageClassifier& net,
   }
 }
 
-namespace {
-
-void MaybeReinitHead(nn::ImageClassifier& net, Rng& rng) {
+void ReinitHead(nn::ImageClassifier& net, Rng& rng) {
   if (auto* linear = dynamic_cast<nn::Linear*>(net.head.get())) {
     linear->ResetParameters(rng);
   } else if (auto* norm = dynamic_cast<nn::NormLinear*>(net.head.get())) {
@@ -39,14 +37,36 @@ void MaybeReinitHead(nn::ImageClassifier& net, Rng& rng) {
   }
 }
 
-}  // namespace
+void RunHeadEpoch(nn::ImageClassifier& net, const FeatureSet& features,
+                  const HeadRetrainOptions& options, nn::Sgd& optimizer,
+                  const nn::LrSchedule& schedule, int64_t epoch, Rng& rng) {
+  // The paper fine-tunes the classifier with cross-entropy on the balanced
+  // embeddings regardless of the phase-1 loss.
+  CrossEntropyLoss loss;
+  optimizer.set_lr(schedule.LrAt(epoch));
+  auto batches = MakeBatches(features.size(), options.batch_size, &rng);
+  for (const auto& batch : batches) {
+    Tensor x = GatherRows(features.features, batch);
+    std::vector<int64_t> targets;
+    targets.reserve(batch.size());
+    for (int64_t i : batch) {
+      targets.push_back(features.labels[static_cast<size_t>(i)]);
+    }
+    optimizer.ZeroGrad();
+    Tensor logits = net.head->Forward(x, /*training=*/true);
+    Tensor grad;
+    loss.Compute(logits, targets, &grad);
+    net.head->Backward(grad);
+    optimizer.Step();
+  }
+}
 
 void RetrainHead(nn::ImageClassifier& net, const FeatureSet& features,
                  const HeadRetrainOptions& options, Rng& rng,
                  const std::function<void(int64_t)>& epoch_callback) {
   EOS_CHECK_GT(features.size(), 0);
   EOS_CHECK_EQ(features.features.size(1), net.feature_dim);
-  if (options.reinit_head) MaybeReinitHead(net, rng);
+  if (options.reinit_head) ReinitHead(net, rng);
 
   std::vector<nn::Parameter*> params = net.head->Parameters();
   nn::Sgd::Options sgd_options;
@@ -55,28 +75,10 @@ void RetrainHead(nn::ImageClassifier& net, const FeatureSet& features,
   sgd_options.weight_decay = options.weight_decay;
   nn::Sgd optimizer(params, sgd_options);
 
-  // The paper fine-tunes the classifier with cross-entropy on the balanced
-  // embeddings regardless of the phase-1 loss.
-  CrossEntropyLoss loss;
   nn::MultiStepLr schedule = nn::MultiStepLr::ForRun(options.lr,
                                                      options.epochs);
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
-    optimizer.set_lr(schedule.LrAt(epoch));
-    auto batches = MakeBatches(features.size(), options.batch_size, &rng);
-    for (const auto& batch : batches) {
-      Tensor x = GatherRows(features.features, batch);
-      std::vector<int64_t> targets;
-      targets.reserve(batch.size());
-      for (int64_t i : batch) {
-        targets.push_back(features.labels[static_cast<size_t>(i)]);
-      }
-      optimizer.ZeroGrad();
-      Tensor logits = net.head->Forward(x, /*training=*/true);
-      Tensor grad;
-      loss.Compute(logits, targets, &grad);
-      net.head->Backward(grad);
-      optimizer.Step();
-    }
+    RunHeadEpoch(net, features, options, optimizer, schedule, epoch, rng);
     if (epoch_callback) epoch_callback(epoch);
   }
 }

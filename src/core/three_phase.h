@@ -41,6 +41,20 @@ void RetrainHead(nn::ImageClassifier& net, const FeatureSet& features,
                  const HeadRetrainOptions& options, Rng& rng,
                  const std::function<void(int64_t)>& epoch_callback = {});
 
+/// Re-initializes the head's parameters (Decoupling-style), consuming
+/// draws from `rng`. RetrainHead calls this when options.reinit_head; the
+/// checkpointed runner (core/checkpoint.h) calls it once at the phase-3
+/// boundary so a resume never re-draws the initialization.
+void ReinitHead(nn::ImageClassifier& net, Rng& rng);
+
+/// One epoch of head retraining (LR update, shuffled batches,
+/// forward/backward/step on the head only) — the exact body RetrainHead
+/// runs per epoch, exposed for the checkpointed runner. The caller owns
+/// the optimizer so its momentum state survives a save/restore.
+void RunHeadEpoch(nn::ImageClassifier& net, const FeatureSet& features,
+                  const HeadRetrainOptions& options, nn::Sgd& optimizer,
+                  const nn::LrSchedule& schedule, int64_t epoch, Rng& rng);
+
 /// The full three-phase flow for one sampler, given a phase-1-trained
 /// network: extract embeddings -> balance with `sampler` (nullptr = keep
 /// imbalanced) -> retrain head. Returns the balanced feature set actually

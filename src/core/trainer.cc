@@ -32,28 +32,8 @@ void TrainEndToEnd(nn::ImageClassifier& net, Loss& loss, const Dataset& train,
       schedule != nullptr ? schedule : &default_schedule;
 
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
-    loss.OnEpochStart(epoch);
-    optimizer.set_lr(lr_schedule->LrAt(epoch));
-    auto batches = MakeBatches(train.size(), options.batch_size, &rng);
-    double epoch_loss = 0.0;
-    for (const auto& batch : batches) {
-      Tensor images = GatherImages(train.images, batch);
-      if (options.augment) {
-        if (options.crop_pad > 0) RandomCrop(images, options.crop_pad, rng);
-        RandomHorizontalFlip(images, rng);
-      }
-      std::vector<int64_t> targets(batch.size());
-      for (size_t i = 0; i < batch.size(); ++i) {
-        targets[i] = train.labels[static_cast<size_t>(batch[i])];
-      }
-      optimizer.ZeroGrad();
-      Tensor logits = net.Forward(images, /*training=*/true);
-      Tensor grad;
-      epoch_loss += loss.Compute(logits, targets, &grad) *
-                    static_cast<double>(batch.size());
-      net.Backward(grad);
-      optimizer.Step();
-    }
+    double epoch_loss = RunTrainEpoch(net, loss, train, options, optimizer,
+                                      *lr_schedule, epoch, rng);
     if (options.log_every > 0 && (epoch + 1) % options.log_every == 0) {
       std::fprintf(stderr, "  epoch %3lld/%lld  loss %.4f  lr %.4f\n",
                    static_cast<long long>(epoch + 1),
@@ -63,6 +43,35 @@ void TrainEndToEnd(nn::ImageClassifier& net, Loss& loss, const Dataset& train,
     }
     if (epoch_callback) epoch_callback(epoch);
   }
+}
+
+double RunTrainEpoch(nn::ImageClassifier& net, Loss& loss,
+                     const Dataset& train, const TrainerOptions& options,
+                     nn::Sgd& optimizer, const nn::LrSchedule& schedule,
+                     int64_t epoch, Rng& rng) {
+  loss.OnEpochStart(epoch);
+  optimizer.set_lr(schedule.LrAt(epoch));
+  auto batches = MakeBatches(train.size(), options.batch_size, &rng);
+  double epoch_loss = 0.0;
+  for (const auto& batch : batches) {
+    Tensor images = GatherImages(train.images, batch);
+    if (options.augment) {
+      if (options.crop_pad > 0) RandomCrop(images, options.crop_pad, rng);
+      RandomHorizontalFlip(images, rng);
+    }
+    std::vector<int64_t> targets(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      targets[i] = train.labels[static_cast<size_t>(batch[i])];
+    }
+    optimizer.ZeroGrad();
+    Tensor logits = net.Forward(images, /*training=*/true);
+    Tensor grad;
+    epoch_loss += loss.Compute(logits, targets, &grad) *
+                  static_cast<double>(batch.size());
+    net.Backward(grad);
+    optimizer.Step();
+  }
+  return epoch_loss;
 }
 
 Tensor EvalLogits(nn::ImageClassifier& net, const Tensor& images,

@@ -9,6 +9,7 @@
 #include "metrics/classification_metrics.h"
 #include "nn/lr_schedule.h"
 #include "nn/network.h"
+#include "nn/optimizer.h"
 
 namespace eos {
 
@@ -36,6 +37,17 @@ void TrainEndToEnd(nn::ImageClassifier& net, Loss& loss, const Dataset& train,
                    const TrainerOptions& options, Rng& rng,
                    const nn::LrSchedule* schedule = nullptr,
                    const std::function<void(int64_t)>& epoch_callback = {});
+
+/// One epoch of the end-to-end loop (LR update, shuffled batches,
+/// augmentation, forward/backward/step); returns the summed batch loss.
+/// This is the exact body TrainEndToEnd runs per epoch — exposed so the
+/// crash-safe checkpointed runner (core/checkpoint.h) replays bitwise-
+/// identical work when resuming at an epoch boundary. The caller owns the
+/// optimizer so its momentum state can be saved/restored across epochs.
+double RunTrainEpoch(nn::ImageClassifier& net, Loss& loss,
+                     const Dataset& train, const TrainerOptions& options,
+                     nn::Sgd& optimizer, const nn::LrSchedule& schedule,
+                     int64_t epoch, Rng& rng);
 
 /// Batched eval-mode forward pass: logits for every image, [N, num_classes].
 /// This is the single inference path shared by the offline `Predict` and the

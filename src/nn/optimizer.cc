@@ -39,6 +39,21 @@ void Sgd::ZeroGrad() {
   for (Parameter* p : params_) p->grad.Zero();
 }
 
+std::vector<Tensor> Sgd::SaveVelocity() const {
+  std::vector<Tensor> out;
+  out.reserve(velocity_.size());
+  for (const Tensor& v : velocity_) out.push_back(v.Clone());
+  return out;
+}
+
+void Sgd::RestoreVelocity(const std::vector<Tensor>& velocity) {
+  EOS_CHECK_EQ(velocity.size(), velocity_.size());
+  for (size_t i = 0; i < velocity.size(); ++i) {
+    EOS_CHECK(SameShape(velocity[i], velocity_[i]));
+    velocity_[i] = velocity[i].Clone();
+  }
+}
+
 Adam::Adam(std::vector<Parameter*> params, const Options& options)
     : params_(std::move(params)), options_(options) {
   m_.reserve(params_.size());

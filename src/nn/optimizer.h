@@ -29,6 +29,16 @@ class Sgd {
   void set_lr(double lr) { options_.lr = lr; }
   double lr() const { return options_.lr; }
 
+  /// Deep-copies the momentum buffers. Together with the parameter values
+  /// and the Rng state this is the whole SGD training state, so a run
+  /// restored from a checkpoint (core/checkpoint.h) continues
+  /// bitwise-identically.
+  std::vector<Tensor> SaveVelocity() const;
+
+  /// Restores buffers captured by SaveVelocity. Count and shapes must match
+  /// the parameters this optimizer was built over.
+  void RestoreVelocity(const std::vector<Tensor>& velocity);
+
  private:
   std::vector<Parameter*> params_;
   std::vector<Tensor> velocity_;

@@ -79,57 +79,49 @@ Status ReadTensorInto(std::FILE* f, Tensor& t, const std::string& what) {
 
 }  // namespace
 
-Status SaveParameters(Module& module, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
-
-  EOS_RETURN_IF_ERROR(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
-  EOS_RETURN_IF_ERROR(WriteBytes(f.get(), &kVersion, sizeof(kVersion)));
+Status SaveParametersToStream(Module& module, std::FILE* f) {
+  EOS_RETURN_IF_ERROR(WriteBytes(f, kMagic, sizeof(kMagic)));
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &kVersion, sizeof(kVersion)));
 
   std::vector<Parameter*> params = module.Parameters();
   uint64_t count = params.size();
-  EOS_RETURN_IF_ERROR(WriteBytes(f.get(), &count, sizeof(count)));
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &count, sizeof(count)));
   for (Parameter* p : params) {
     uint32_t name_len = static_cast<uint32_t>(p->name.size());
-    EOS_RETURN_IF_ERROR(WriteBytes(f.get(), &name_len, sizeof(name_len)));
-    EOS_RETURN_IF_ERROR(WriteBytes(f.get(), p->name.data(), name_len));
-    EOS_RETURN_IF_ERROR(WriteTensor(f.get(), p->value));
+    EOS_RETURN_IF_ERROR(WriteBytes(f, &name_len, sizeof(name_len)));
+    EOS_RETURN_IF_ERROR(WriteBytes(f, p->name.data(), name_len));
+    EOS_RETURN_IF_ERROR(WriteTensor(f, p->value));
   }
 
   std::vector<Tensor*> buffers;
   module.CollectBuffers(buffers);
   uint64_t buffer_count = buffers.size();
-  EOS_RETURN_IF_ERROR(WriteBytes(f.get(), &buffer_count,
-                                 sizeof(buffer_count)));
+  EOS_RETURN_IF_ERROR(WriteBytes(f, &buffer_count, sizeof(buffer_count)));
   for (Tensor* buffer : buffers) {
-    EOS_RETURN_IF_ERROR(WriteTensor(f.get(), *buffer));
+    EOS_RETURN_IF_ERROR(WriteTensor(f, *buffer));
   }
   return Status::OK();
 }
 
-Status LoadParameters(Module& module, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
-
+Status LoadParametersFromStream(Module& module, std::FILE* f) {
   char magic[4];
-  EOS_RETURN_IF_ERROR(ReadBytes(f.get(), magic, sizeof(magic)));
+  EOS_RETURN_IF_ERROR(ReadBytes(f, magic, sizeof(magic)));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument(
-        StrFormat("not an EOS weights file (bad magic, expected \"EOSW\"): %s",
-                  path.c_str()));
+        "not an EOS weights stream (bad magic, expected \"EOSW\")");
   }
   uint32_t version = 0;
-  EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &version, sizeof(version)));
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &version, sizeof(version)));
   if (version != kVersion) {
     return Status::InvalidArgument(
         StrFormat("unsupported weights version %u (this build reads version "
-                  "%u): %s",
-                  version, kVersion, path.c_str()));
+                  "%u)",
+                  version, kVersion));
   }
 
   std::vector<Parameter*> params = module.Parameters();
   uint64_t count = 0;
-  EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &count, sizeof(count)));
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &count, sizeof(count)));
   if (count != params.size()) {
     return Status::InvalidArgument(
         StrFormat("parameter count mismatch (file %llu vs model %zu)",
@@ -137,29 +129,28 @@ Status LoadParameters(Module& module, const std::string& path) {
   }
   for (Parameter* p : params) {
     uint32_t name_len = 0;
-    EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &name_len, sizeof(name_len)));
+    EOS_RETURN_IF_ERROR(ReadBytes(f, &name_len, sizeof(name_len)));
     if (name_len > kMaxNameLen) {
       return Status::InvalidArgument(
           StrFormat("parameter name length %u exceeds limit %u (corrupt "
-                    "file): %s",
-                    name_len, kMaxNameLen, path.c_str()));
+                    "file)",
+                    name_len, kMaxNameLen));
     }
     std::string name(name_len, '\0');
-    EOS_RETURN_IF_ERROR(ReadBytes(f.get(), name.data(), name_len));
+    EOS_RETURN_IF_ERROR(ReadBytes(f, name.data(), name_len));
     if (name != p->name) {
       return Status::InvalidArgument(
           StrFormat("parameter name mismatch (file '%s' vs model '%s')",
                     name.c_str(), p->name.c_str()));
     }
-    EOS_RETURN_IF_ERROR(ReadTensorInto(f.get(), p->value, name));
+    EOS_RETURN_IF_ERROR(ReadTensorInto(f, p->value, name));
     p->grad.Zero();
   }
 
   std::vector<Tensor*> buffers;
   module.CollectBuffers(buffers);
   uint64_t buffer_count = 0;
-  EOS_RETURN_IF_ERROR(ReadBytes(f.get(), &buffer_count,
-                                sizeof(buffer_count)));
+  EOS_RETURN_IF_ERROR(ReadBytes(f, &buffer_count, sizeof(buffer_count)));
   if (buffer_count != buffers.size()) {
     return Status::InvalidArgument(
         StrFormat("buffer count mismatch (file %llu vs model %zu)",
@@ -168,7 +159,24 @@ Status LoadParameters(Module& module, const std::string& path) {
   }
   for (size_t i = 0; i < buffers.size(); ++i) {
     EOS_RETURN_IF_ERROR(
-        ReadTensorInto(f.get(), *buffers[i], StrFormat("buffer %zu", i)));
+        ReadTensorInto(f, *buffers[i], StrFormat("buffer %zu", i)));
+  }
+  return Status::OK();
+}
+
+Status SaveParameters(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  return SaveParametersToStream(module, f.get());
+}
+
+Status LoadParameters(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+
+  Status loaded = LoadParametersFromStream(module, f.get());
+  if (!loaded.ok()) {
+    return Status(loaded.code(), loaded.message() + ": " + path);
   }
   // The last buffer must end the file: trailing bytes mean a corrupt or
   // concatenated stream, which must not load silently.

@@ -1,6 +1,7 @@
 #ifndef EOS_NN_SERIALIZE_H_
 #define EOS_NN_SERIALIZE_H_
 
+#include <cstdio>
 #include <string>
 
 #include "common/status.h"
@@ -18,6 +19,18 @@ Status SaveParameters(Module& module, const std::string& path);
 /// last buffer: truncated files and files with trailing bytes are rejected,
 /// so a corrupt or concatenated snapshot can never load silently.
 Status LoadParameters(Module& module, const std::string& path);
+
+/// Writes one parameter stream (magic, version, parameters, buffers) at the
+/// current position of an already-open file. This is the embeddable form
+/// used by crash-safe checkpoints (core/checkpoint.h), which concatenate
+/// several streams inside one CRC-guarded container file.
+Status SaveParametersToStream(Module& module, std::FILE* f);
+
+/// Reads one parameter stream written by SaveParametersToStream from the
+/// current position, leaving the position just past the stream's last
+/// buffer. Unlike LoadParameters it does not require the stream to end the
+/// file (the container owns whatever follows).
+Status LoadParametersFromStream(Module& module, std::FILE* f);
 
 /// Saves both stages of a classifier (extractor to `<path>.extractor`,
 /// head to `<path>.head`), so a phase-1 model can be trained once and

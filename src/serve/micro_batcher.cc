@@ -14,30 +14,54 @@ MicroBatcher::MicroBatcher(const MicroBatcherOptions& options,
   EOS_CHECK_GT(options_.max_batch_size, 0);
   EOS_CHECK_GE(options_.max_queue_delay_us, 0);
   EOS_CHECK_GT(options_.max_queue_depth, 0);
+  EOS_CHECK_GE(options_.shed_queue_depth, 0);
+  if (options_.shed_queue_depth > 0) {
+    EOS_CHECK_LE(options_.shed_queue_depth, options_.max_queue_depth);
+  }
 }
 
-Result<std::future<Prediction>> MicroBatcher::Submit(Tensor image) {
+Result<std::future<Result<Prediction>>> MicroBatcher::Submit(
+    Tensor image, const SubmitOptions& submit_options) {
   EOS_CHECK_EQ(image.dim(), 3);
-  std::future<Prediction> future;
+  EOS_CHECK_GE(submit_options.timeout_us, 0);
+  std::future<Result<Prediction>> future;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
       return Status::FailedPrecondition(
           "micro-batcher is shut down; no new requests accepted");
     }
+    int64_t depth = static_cast<int64_t>(queue_.size());
     // The fault hook shares the real rejection path (stats, status code),
     // so an armed test observes exactly what a saturated queue produces.
-    if (static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth ||
+    if (depth >= options_.max_queue_depth ||
         testing::FaultInjector::ShouldFail(kQueueFullFault)) {
       if (stats_ != nullptr) stats_->RecordRejected();
       return Status::ResourceExhausted(
           StrFormat("serve queue full (%lld queued, max_queue_depth %lld)",
-                    static_cast<long long>(queue_.size()),
+                    static_cast<long long>(depth),
                     static_cast<long long>(options_.max_queue_depth)));
+    }
+    // Graceful degradation: past the soft mark, sheddable work is refused
+    // so the queue's remaining headroom goes to requests that must land.
+    if (options_.shed_queue_depth > 0 && depth >= options_.shed_queue_depth &&
+        submit_options.priority <= 0) {
+      if (stats_ != nullptr) stats_->RecordShed();
+      return Status::ResourceExhausted(
+          StrFormat("request shed under load (priority %d, %lld queued, "
+                    "shed_queue_depth %lld)",
+                    submit_options.priority, static_cast<long long>(depth),
+                    static_cast<long long>(options_.shed_queue_depth)));
     }
     Request request;
     request.image = std::move(image);
     request.enqueue_time = std::chrono::steady_clock::now();
+    request.deadline =
+        submit_options.timeout_us > 0
+            ? request.enqueue_time +
+                  std::chrono::microseconds(submit_options.timeout_us)
+            : std::chrono::steady_clock::time_point::max();
+    request.priority = submit_options.priority;
     future = request.promise.get_future();
     queue_.push_back(std::move(request));
     if (stats_ != nullptr) {
@@ -54,22 +78,39 @@ bool MicroBatcher::NextBatch(std::vector<Request>& out) {
   for (;;) {
     if (!queue_.empty()) {
       // Hold the dispatch until the batch fills, the oldest request's delay
-      // budget runs out, or shutdown flushes partial batches.
-      auto deadline = queue_.front().enqueue_time +
-                      std::chrono::microseconds(options_.max_queue_delay_us);
+      // budget runs out, or shutdown flushes partial batches. Past the shed
+      // mark the delay budget collapses to zero: dispatch immediately and
+      // spend the cycles draining instead of waiting for fuller batches.
+      int64_t delay_us = options_.max_queue_delay_us;
+      if (options_.shed_queue_depth > 0 &&
+          static_cast<int64_t>(queue_.size()) >= options_.shed_queue_depth) {
+        delay_us = 0;
+      }
+      auto deadline =
+          queue_.front().enqueue_time + std::chrono::microseconds(delay_us);
       while (static_cast<int64_t>(queue_.size()) < options_.max_batch_size &&
              !shutdown_) {
         if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
       }
-      int64_t take = std::min<int64_t>(static_cast<int64_t>(queue_.size()),
-                                       options_.max_batch_size);
-      // A sibling consumer may have drained the queue while we waited for
-      // the batch to fill; go back to waiting rather than emit an empty batch.
-      if (take == 0) continue;
-      out.reserve(static_cast<size_t>(take));
-      for (int64_t i = 0; i < take; ++i) {
-        out.push_back(std::move(queue_.front()));
+      // Pop into the batch, completing expired requests inline: a request
+      // past its deadline gets DeadlineExceeded instead of a batch slot, so
+      // a backlogged server never burns a forward pass on an answer the
+      // client has already given up on. (set_value only stores and wakes a
+      // waiter — no user code runs — so completing under mu_ is safe.)
+      auto now = std::chrono::steady_clock::now();
+      while (!queue_.empty() &&
+             static_cast<int64_t>(out.size()) < options_.max_batch_size) {
+        Request request = std::move(queue_.front());
         queue_.pop_front();
+        bool expired = now >= request.deadline ||
+                       testing::FaultInjector::ShouldFail(kDeadlineFault);
+        if (expired) {
+          if (stats_ != nullptr) stats_->RecordDeadlineExpired();
+          request.promise.set_value(Status::DeadlineExceeded(
+              "request deadline expired while queued"));
+          continue;
+        }
+        out.push_back(std::move(request));
       }
       if (stats_ != nullptr) {
         stats_->SetQueueDepth(static_cast<int64_t>(queue_.size()));
@@ -77,6 +118,9 @@ bool MicroBatcher::NextBatch(std::vector<Request>& out) {
       // Wake sibling consumers: more work may remain, and on shutdown every
       // consumer must observe the drained queue to exit.
       if (!queue_.empty() || shutdown_) cv_.notify_all();
+      // Every popped request may have been expired; go back to waiting
+      // rather than hand the caller an empty batch.
+      if (out.empty()) continue;
       return true;
     }
     if (shutdown_) return false;

@@ -16,7 +16,8 @@
 /// \file
 /// Bounded request queue that coalesces single-sample requests into
 /// micro-batches. Producers call Submit; consumers (server workers) call
-/// NextBatch. See DESIGN.md "Serving" for the queue policy.
+/// NextBatch. See DESIGN.md "Serving" for the queue policy and
+/// "Resilience & checkpointing" for deadline and shedding semantics.
 
 namespace eos::serve {
 
@@ -25,6 +26,11 @@ namespace eos::serve {
 /// max_queue_depth — the only way to test backpressure handling without
 /// racing real consumers against real producers.
 inline constexpr char kQueueFullFault[] = "serve.queue_full";
+
+/// Fault point: while armed, a popped request is treated as if its deadline
+/// had already expired — it completes with DeadlineExceeded instead of
+/// riding a batch, without the test having to win a timing race.
+inline constexpr char kDeadlineFault[] = "serve.deadline";
 
 /// Batching policy knobs.
 struct MicroBatcherOptions {
@@ -36,6 +42,23 @@ struct MicroBatcherOptions {
   /// Queue bound: Submit beyond this depth is rejected with
   /// ResourceExhausted (backpressure) instead of queueing unboundedly.
   int64_t max_queue_depth = 1024;
+  /// Soft high-water mark for graceful degradation (0 disables). At or
+  /// above this depth the batcher sheds new sheddable requests
+  /// (SubmitOptions::priority <= 0) with ResourceExhausted, and dispatches
+  /// stop waiting out the delay budget — latency is traded away to drain
+  /// the backlog. Must be <= max_queue_depth when set.
+  int64_t shed_queue_depth = 0;
+};
+
+/// Per-request admission knobs.
+struct SubmitOptions {
+  /// Deadline budget measured from Submit. A request still queued when its
+  /// budget runs out is completed with DeadlineExceeded at dispatch time
+  /// instead of occupying a batch slot. 0 = no deadline.
+  int64_t timeout_us = 0;
+  /// Requests with priority <= 0 are shed first when the queue passes
+  /// shed_queue_depth. Priority does not affect ordering (FIFO).
+  int priority = 1;
 };
 
 /// A bounded MPMC queue of single-image requests with batch-coalescing pops.
@@ -45,14 +68,21 @@ struct MicroBatcherOptions {
 /// and only then returns false. Every accepted request is therefore either
 /// completed by a consumer or still owned by one — accepted futures never
 /// dangle as long as consumers drain to false.
+///
+/// Futures carry Result<Prediction>: the terminal status of an *accepted*
+/// request (OK with a prediction, DeadlineExceeded, or Unavailable when the
+/// serving replica failed). Admission failures surface on Submit itself.
 class MicroBatcher {
  public:
-  /// One queued request: the image, its completion promise, and the enqueue
-  /// timestamp latency stats are measured from.
+  /// One queued request: the image, its completion promise, the enqueue
+  /// timestamp latency stats are measured from, and its deadline.
   struct Request {
     Tensor image;  // [C, H, W]
-    std::promise<Prediction> promise;
+    std::promise<Result<Prediction>> promise;
     std::chrono::steady_clock::time_point enqueue_time;
+    /// time_point::max() = no deadline.
+    std::chrono::steady_clock::time_point deadline;
+    int priority = 1;
   };
 
   /// `stats` (optional) receives queue-depth and rejection telemetry.
@@ -62,16 +92,20 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
-  /// Enqueues one image [C, H, W] and returns the future its prediction
-  /// will arrive on. Fails with ResourceExhausted when the queue is at
-  /// max_queue_depth (backpressure — never blocks) and FailedPrecondition
-  /// after Shutdown. All images in flight must share one shape.
-  Result<std::future<Prediction>> Submit(Tensor image);
+  /// Enqueues one image [C, H, W] and returns the future its terminal
+  /// Result<Prediction> will arrive on. Fails with ResourceExhausted when
+  /// the queue is at max_queue_depth or the request is shed (backpressure —
+  /// never blocks) and FailedPrecondition after Shutdown. All images in
+  /// flight must share one shape.
+  Result<std::future<Result<Prediction>>> Submit(
+      Tensor image, const SubmitOptions& submit_options = {});
 
   /// Blocks until it can fill `out` with 1..max_batch_size requests, then
   /// returns true. A dispatch happens when the batch is full, the oldest
-  /// request has waited max_queue_delay_us, or shutdown begins (partial
-  /// batches flush on drain). Returns false only when shut down AND empty.
+  /// request has waited out the delay budget, or shutdown begins (partial
+  /// batches flush on drain). Requests found expired at pop time are
+  /// completed with DeadlineExceeded here and never enter `out`. Returns
+  /// false only when shut down AND empty.
   bool NextBatch(std::vector<Request>& out);
 
   /// Stops accepting new requests; queued ones remain poppable (drain).

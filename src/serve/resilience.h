@@ -1,0 +1,180 @@
+#ifndef EOS_SERVE_RESILIENCE_H_
+#define EOS_SERVE_RESILIENCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+/// \file
+/// Failure-handling policy for the serving layer: bounded retries with
+/// deterministic jittered backoff, per-replica circuit breakers fed by both
+/// explicit failures and a heartbeat stall watchdog, and replica selection
+/// that routes around tripped breakers. The Server composes these
+/// (serve/server.h); each piece is independently testable here. See
+/// DESIGN.md "Resilience & checkpointing".
+
+namespace eos::serve {
+
+/// Fault point (see testing/fault_injection.h): while armed, a replica's
+/// forward pass fails as if the replica had crashed — every request in the
+/// batch completes with Unavailable and the replica's breaker records a
+/// failure. Armable for whichever replica serves next (this name) or for
+/// one specific replica (ReplicaDownPoint).
+inline constexpr char kReplicaDownFault[] = "serve.replica_down";
+
+/// Per-replica form of kReplicaDownFault: "serve.replica_down.<replica>".
+std::string ReplicaDownPoint(int replica);
+
+/// Bounded-retry policy with exponential backoff and deterministic jitter.
+/// Jitter draws from a caller-owned Rng, so a seeded client retries on an
+/// exactly reproducible schedule — load tests with failover stay
+/// deterministic end to end.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries). Must be >= 1.
+  int max_attempts = 3;
+  /// Backoff before the first retry.
+  int64_t initial_backoff_us = 1000;
+  /// Growth factor per retry (attempt k waits initial * multiplier^(k-1)).
+  double backoff_multiplier = 2.0;
+  /// Cap applied before jitter.
+  int64_t max_backoff_us = 100000;
+  /// Fraction of the backoff randomized away: the wait is uniform in
+  /// [(1 - jitter) * backoff, backoff]. 0 = fixed schedule.
+  double jitter = 0.5;
+
+  /// Wait before retry `attempt` (1-based). Consumes one draw from `rng`.
+  int64_t BackoffUs(int attempt, Rng& rng) const;
+
+  /// True for transient failures worth re-submitting: Unavailable (replica
+  /// down / no healthy replica) and ResourceExhausted (backpressure, shed).
+  /// DeadlineExceeded is terminal — the time is already spent — and
+  /// FailedPrecondition (shutdown) will never heal.
+  static bool IsRetryable(const Status& status);
+};
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open. Must be >= 1.
+  int failure_threshold = 3;
+  /// How long an open breaker refuses traffic before letting one probe
+  /// through (half-open).
+  int64_t cooldown_us = 50000;
+};
+
+/// Per-replica circuit breaker: Closed (healthy) -> Open after
+/// `failure_threshold` consecutive failures -> HalfOpen after `cooldown_us`,
+/// admitting exactly one probe -> Closed on probe success, back to Open on
+/// probe failure. Thread-safe; workers for the same replica share one
+/// breaker.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True when a request may be sent: always in Closed; in Open only once
+  /// the cooldown has elapsed (which transitions to HalfOpen and grants the
+  /// single probe); never while a HalfOpen probe is already in flight.
+  bool AllowRequest();
+
+  /// Reports the outcome of an admitted request. A HalfOpen probe success
+  /// closes the breaker; a probe failure reopens it for a fresh cooldown.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  int consecutive_failures() const;
+
+  static const char* StateName(State state);
+
+ private:
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;           // guarded by mu_
+  int consecutive_failures_ = 0;           // guarded by mu_
+  bool probe_in_flight_ = false;           // guarded by mu_
+  std::chrono::steady_clock::time_point opened_at_;  // guarded by mu_
+};
+
+struct ReplicaHealthOptions {
+  CircuitBreakerOptions breaker;
+  /// A worker continuously busy on one batch for longer than this is
+  /// considered stalled; the watchdog charges one breaker failure to the
+  /// replica it is serving (once per episode). 0 disables the watchdog.
+  int64_t stall_threshold_us = 0;
+  /// Watchdog poll period.
+  int64_t watchdog_interval_us = 1000;
+};
+
+/// Health bookkeeping for a set of model replicas served by a set of
+/// workers: one CircuitBreaker per replica plus an optional heartbeat
+/// watchdog thread that detects stalled workers. Replica selection
+/// (AcquireReplica) prefers a worker's home replica and fails over to any
+/// replica whose breaker admits traffic.
+class ReplicaHealth {
+ public:
+  /// `num_slots` is the number of heartbeat slots (>= number of concurrent
+  /// RunBatch callers). Starts the watchdog thread when
+  /// options.stall_threshold_us > 0.
+  ReplicaHealth(int num_replicas, int num_slots,
+                const ReplicaHealthOptions& options);
+
+  /// Stops the watchdog.
+  ~ReplicaHealth();
+
+  ReplicaHealth(const ReplicaHealth&) = delete;
+  ReplicaHealth& operator=(const ReplicaHealth&) = delete;
+
+  /// Picks the replica to serve the next batch on: `preferred` when its
+  /// breaker admits, else the first other replica (scanning from
+  /// preferred+1, wrapping) whose breaker admits. Returns -1 when every
+  /// breaker refuses — the caller should fail the batch with Unavailable.
+  int AcquireReplica(int preferred);
+
+  void RecordSuccess(int replica);
+  void RecordFailure(int replica);
+
+  CircuitBreaker& breaker(int replica);
+  int num_replicas() const { return static_cast<int>(breakers_.size()); }
+
+  /// Heartbeat: a worker marks itself busy (on `replica`) for the duration
+  /// of one batch. MarkIdle returns true when the watchdog flagged this
+  /// episode as a stall — the caller must then NOT report success for the
+  /// batch, or the stall's breaker failure would be immediately erased.
+  void MarkBusy(int slot, int replica);
+  bool MarkIdle(int slot);
+
+ private:
+  struct Heartbeat {
+    std::atomic<int64_t> busy_since_us{0};  // 0 = idle; steady-clock us
+    std::atomic<int32_t> replica{-1};
+    std::atomic<uint8_t> stall_flagged{0};  // set once per busy episode
+  };
+
+  void WatchdogLoop();
+
+  const ReplicaHealthOptions options_;
+  // deque: CircuitBreaker is neither movable nor copyable.
+  std::deque<CircuitBreaker> breakers_;
+  std::vector<Heartbeat> heartbeats_;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
+  std::thread watchdog_;
+};
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_RESILIENCE_H_

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "common/string_util.h"
 #include "testing/fault_injection.h"
 
 namespace eos::serve {
@@ -27,6 +29,14 @@ Tensor StackRequests(const std::vector<MicroBatcher::Request>& batch) {
   return images;
 }
 
+/// Completes every request in `batch` with the same terminal error.
+void FailBatch(std::vector<MicroBatcher::Request>& batch,
+               const Status& status) {
+  for (auto& request : batch) {
+    request.promise.set_value(status);
+  }
+}
+
 }  // namespace
 
 Server::Server(std::shared_ptr<ModelSession> session,
@@ -42,6 +52,11 @@ Server::Server(std::vector<std::shared_ptr<ModelSession>> replicas,
   EOS_CHECK(!replicas_.empty());
   for (const auto& replica : replicas_) EOS_CHECK(replica != nullptr);
   EOS_CHECK_GE(options_.num_workers, 0);
+  // Heartbeat slot per worker; one extra slot for the ServeOnce driver
+  // (num_workers == 0) so the watchdog covers that mode too.
+  int num_slots = options_.num_workers > 0 ? options_.num_workers : 1;
+  health_ = std::make_unique<ReplicaHealth>(
+      static_cast<int>(replicas_.size()), num_slots, options_.health);
   if (options_.num_workers > 0) {
     workers_ = std::make_unique<runtime::ThreadPool>(options_.num_workers);
     for (int w = 0; w < options_.num_workers; ++w) {
@@ -53,37 +68,97 @@ Server::Server(std::vector<std::shared_ptr<ModelSession>> replicas,
 
 Server::~Server() { Shutdown(); }
 
-Result<std::future<Prediction>> Server::Submit(Tensor image) {
-  return batcher_.Submit(std::move(image));
+Result<std::future<Result<Prediction>>> Server::Submit(
+    Tensor image, const SubmitOptions& submit_options) {
+  return batcher_.Submit(std::move(image), submit_options);
 }
 
-Result<Prediction> Server::Predict(Tensor image) {
-  EOS_ASSIGN_OR_RETURN(std::future<Prediction> future,
-                       Submit(std::move(image)));
+Result<Prediction> Server::Predict(Tensor image,
+                                   const SubmitOptions& submit_options) {
+  EOS_ASSIGN_OR_RETURN(std::future<Result<Prediction>> future,
+                       Submit(std::move(image), submit_options));
   return future.get();
+}
+
+Result<Prediction> Server::PredictWithRetry(
+    const Tensor& image, const RetryPolicy& policy, Rng& rng,
+    const SubmitOptions& submit_options) {
+  EOS_CHECK_GE(policy.max_attempts, 1);
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      stats_.RecordRetry();
+      int64_t backoff_us = policy.BackoffUs(attempt, rng);
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      }
+    }
+    // Submit consumes the image, so each attempt sends a fresh copy.
+    Result<Prediction> result = Predict(image.Clone(), submit_options);
+    if (result.ok()) return result;
+    last = result.status();
+    if (!RetryPolicy::IsRetryable(last)) return last;
+  }
+  return last;
 }
 
 bool Server::ServeOnce() {
   std::vector<MicroBatcher::Request> batch;
   if (!batcher_.NextBatch(batch)) return false;
-  RunBatch(*replicas_[0], batch);
+  RunBatch(/*heartbeat_slot=*/0, /*preferred_replica=*/0, batch);
   return true;
 }
 
 void Server::WorkerLoop(size_t worker_index) {
-  ModelSession& session = *replicas_[worker_index % replicas_.size()];
+  int slot = static_cast<int>(worker_index);
+  int home = static_cast<int>(worker_index % replicas_.size());
   std::vector<MicroBatcher::Request> batch;
   while (batcher_.NextBatch(batch)) {
-    RunBatch(session, batch);
+    RunBatch(slot, home, batch);
   }
 }
 
-void Server::RunBatch(ModelSession& session,
+void Server::RunBatch(int heartbeat_slot, int preferred_replica,
                       std::vector<MicroBatcher::Request>& batch) {
+  int replica = health_->AcquireReplica(preferred_replica);
+  if (replica < 0) {
+    // Every breaker refuses: fail fast so clients can back off and retry
+    // once a cooldown lets a probe through.
+    stats_.RecordReplicaFailure();
+    FailBatch(batch,
+              Status::Unavailable("no healthy replica (all breakers open)"));
+    return;
+  }
+
+  health_->MarkBusy(heartbeat_slot, replica);
   testing::FaultInjector::MaybeStall(kWorkerStallFault);
+
+  // Simulated crash of the serving replica (either the generic point or
+  // this specific replica's): the batch fails with Unavailable and the
+  // breaker records it, exactly like a real failed forward would.
+  bool replica_down =
+      testing::FaultInjector::ShouldFail(kReplicaDownFault) ||
+      testing::FaultInjector::ShouldFail(ReplicaDownPoint(replica));
+  if (replica_down) {
+    health_->MarkIdle(heartbeat_slot);
+    health_->RecordFailure(replica);
+    stats_.RecordReplicaFailure();
+    FailBatch(batch, Status::Unavailable(StrFormat(
+                         "replica %d is down; request not served", replica)));
+    return;
+  }
+
   Tensor images = StackRequests(batch);
-  std::vector<Prediction> predictions = session.PredictBatch(images);
+  std::vector<Prediction> predictions =
+      replicas_[static_cast<size_t>(replica)]->PredictBatch(images);
   EOS_CHECK_EQ(predictions.size(), batch.size());
+
+  // A batch the watchdog flagged as stalled must not report success: the
+  // stall already charged the replica's breaker a failure, and an instant
+  // success would erase it before it could ever accumulate to a trip.
+  bool stalled = health_->MarkIdle(heartbeat_slot);
+  if (!stalled) health_->RecordSuccess(replica);
+
   auto done = std::chrono::steady_clock::now();
   stats_.RecordBatch(static_cast<int64_t>(batch.size()));
   for (size_t i = 0; i < batch.size(); ++i) {

@@ -5,9 +5,11 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.h"
 #include "runtime/thread_pool.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_session.h"
+#include "serve/resilience.h"
 #include "serve/stats.h"
 
 /// \file
@@ -16,24 +18,30 @@
 /// service. Clients Submit single images and receive futures; worker loops
 /// on a dedicated runtime::ThreadPool coalesce requests through the
 /// MicroBatcher, run batched eval-mode forwards on a ModelSession, and
-/// complete each future with label + softmax confidence. See DESIGN.md
-/// "Serving" for guarantees.
+/// complete each future with label + softmax confidence. Replica failures
+/// trip per-replica circuit breakers and route work to healthy replicas
+/// (serve/resilience.h). See DESIGN.md "Serving" and "Resilience &
+/// checkpointing" for guarantees.
 
 namespace eos::serve {
 
 /// Fault point (see testing/fault_injection.h): while armed, a worker (or
 /// the ServeOnce caller) sleeps the armed duration before executing its
-/// micro-batch — a deterministic "slow worker" for drain/shutdown tests.
+/// micro-batch — a deterministic "slow worker" for drain/shutdown and
+/// stall-watchdog tests.
 inline constexpr char kWorkerStallFault[] = "serve.worker_stall";
 
 struct ServerOptions {
-  /// Worker loops draining the micro-batcher. Each worker uses the session
-  /// replica with its index (modulo the replica count); with fewer replicas
-  /// than workers the shared sessions serialize their forward passes
-  /// internally. 0 = no worker threads: the caller drives via ServeOnce()
-  /// (deterministic mode for tests and single-threaded embedders).
+  /// Worker loops draining the micro-batcher. Each worker's home replica is
+  /// its index modulo the replica count (failover may route elsewhere);
+  /// with fewer replicas than workers the shared sessions serialize their
+  /// forward passes internally. 0 = no worker threads: the caller drives
+  /// via ServeOnce() (deterministic mode for tests and single-threaded
+  /// embedders).
   int num_workers = 1;
   MicroBatcherOptions batcher;
+  /// Circuit-breaker and stall-watchdog policy shared by all replicas.
+  ReplicaHealthOptions health;
 };
 
 /// A micro-batching inference server over one or more ModelSession
@@ -41,6 +49,12 @@ struct ServerOptions {
 /// to `core::Predict` on that snapshot regardless of worker count, replica
 /// count, or batching policy, because eval-mode per-sample outputs are
 /// batch-composition-independent (see ModelSession).
+///
+/// Every accepted request reaches exactly one terminal state on its
+/// future: OK with a prediction, DeadlineExceeded (expired while queued),
+/// or Unavailable (its batch hit a down replica and no healthy replica
+/// could take it). Admission failures (ResourceExhausted backpressure or
+/// shedding, FailedPrecondition after Shutdown) surface on Submit itself.
 ///
 /// Shutdown is graceful: new Submits are refused, every queued request is
 /// still executed and its future completed, then workers exit. The
@@ -50,7 +64,7 @@ class Server {
   /// Single-replica convenience constructor.
   Server(std::shared_ptr<ModelSession> session, const ServerOptions& options);
 
-  /// Multi-replica constructor: worker i serves on replicas[i % size].
+  /// Multi-replica constructor: worker i's home is replicas[i % size].
   /// All replicas must be loaded from the same snapshot (unchecked).
   Server(std::vector<std::shared_ptr<ModelSession>> replicas,
          const ServerOptions& options);
@@ -61,11 +75,23 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Enqueues one image [C, H, W]. Fails with ResourceExhausted when the
-  /// queue is full (backpressure) and FailedPrecondition after Shutdown.
-  Result<std::future<Prediction>> Submit(Tensor image);
+  /// queue is full or the request is shed (backpressure) and
+  /// FailedPrecondition after Shutdown.
+  Result<std::future<Result<Prediction>>> Submit(
+      Tensor image, const SubmitOptions& submit_options = {});
 
-  /// Blocking convenience: Submit then wait for the prediction.
-  Result<Prediction> Predict(Tensor image);
+  /// Blocking convenience: Submit then wait for the terminal result.
+  Result<Prediction> Predict(Tensor image,
+                             const SubmitOptions& submit_options = {});
+
+  /// Blocking Predict with bounded retries: transient failures
+  /// (Unavailable, ResourceExhausted) are re-submitted after a jittered
+  /// exponential backoff drawn from the caller's `rng` (seeded = the retry
+  /// schedule is reproducible). Terminal codes (DeadlineExceeded,
+  /// FailedPrecondition) and exhausted attempts return the last status.
+  Result<Prediction> PredictWithRetry(const Tensor& image,
+                                      const RetryPolicy& policy, Rng& rng,
+                                      const SubmitOptions& submit_options = {});
 
   /// Executes at most one micro-batch on the calling thread. Blocks until
   /// work arrives (or shutdown); returns false when shut down and drained.
@@ -76,21 +102,29 @@ class Server {
   /// future), and joins the workers. Idempotent.
   void Shutdown();
 
-  /// Telemetry snapshot (latency percentiles, throughput, queue depth).
+  /// Telemetry snapshot (latency percentiles, throughput, queue depth,
+  /// shed/deadline/retry/failure counters).
   StatsSnapshot Stats() const { return stats_.Snapshot(); }
 
+  /// Replica health (breaker states) — exposed for tests and monitoring.
+  ReplicaHealth& health() { return *health_; }
+
   int64_t queue_depth() const { return batcher_.queue_depth(); }
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
   const ServerOptions& options() const { return options_; }
 
  private:
   void WorkerLoop(size_t worker_index);
-  void RunBatch(ModelSession& session,
+  /// Runs one popped batch: picks a replica (failover-aware), heartbeats,
+  /// executes, and completes every request's future exactly once.
+  void RunBatch(int heartbeat_slot, int preferred_replica,
                 std::vector<MicroBatcher::Request>& batch);
 
   const ServerOptions options_;
   std::vector<std::shared_ptr<ModelSession>> replicas_;
   ServeStats stats_;
   MicroBatcher batcher_;
+  std::unique_ptr<ReplicaHealth> health_;
   // Declared last so it is destroyed first: the pool dtor joins the worker
   // loops, which exit once the (already shut down) batcher drains.
   std::unique_ptr<runtime::ThreadPool> workers_;

@@ -65,6 +65,22 @@ void ServeStats::RecordRejected() {
   rejected_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServeStats::RecordShed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordDeadlineExpired() {
+  deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordReplicaFailure() {
+  replica_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordRetry() {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ServeStats::SetQueueDepth(int64_t depth) {
   queue_depth_.store(depth, std::memory_order_relaxed);
   int64_t prev = max_queue_depth_.load(std::memory_order_relaxed);
@@ -78,6 +94,10 @@ StatsSnapshot ServeStats::Snapshot() const {
   StatsSnapshot s;
   s.completed = completed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.replica_failures = replica_failures_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   int64_t batched = batched_requests_.load(std::memory_order_relaxed);
   s.mean_batch_size =
@@ -100,13 +120,18 @@ StatsSnapshot ServeStats::Snapshot() const {
 
 std::string StatsSnapshot::ToJson() const {
   return StrFormat(
-      "{\"completed\": %lld, \"rejected\": %lld, \"batches\": %lld, "
+      "{\"completed\": %lld, \"rejected\": %lld, \"shed\": %lld, "
+      "\"deadline_expired\": %lld, \"replica_failures\": %lld, "
+      "\"retries\": %lld, \"batches\": %lld, "
       "\"mean_batch_size\": %.3f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
       "\"p99_us\": %.1f, \"queue_depth\": %lld, \"max_queue_depth\": %lld, "
       "\"elapsed_seconds\": %.4f, \"throughput_rps\": %.1f}",
       static_cast<long long>(completed), static_cast<long long>(rejected),
-      static_cast<long long>(batches), mean_batch_size, p50_us, p95_us,
-      p99_us, static_cast<long long>(queue_depth),
+      static_cast<long long>(shed), static_cast<long long>(deadline_expired),
+      static_cast<long long>(replica_failures),
+      static_cast<long long>(retries), static_cast<long long>(batches),
+      mean_batch_size, p50_us, p95_us, p99_us,
+      static_cast<long long>(queue_depth),
       static_cast<long long>(max_queue_depth), elapsed_seconds,
       throughput_rps);
 }

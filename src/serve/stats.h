@@ -50,8 +50,12 @@ class LatencyHistogram {
 
 /// One consistent-enough view of a ServeStats, ready for printing.
 struct StatsSnapshot {
-  int64_t completed = 0;       ///< requests whose future was fulfilled
-  int64_t rejected = 0;        ///< requests refused with ResourceExhausted
+  int64_t completed = 0;       ///< requests completed with a prediction
+  int64_t rejected = 0;        ///< requests refused at a full queue
+  int64_t shed = 0;            ///< sheddable requests refused past the mark
+  int64_t deadline_expired = 0;  ///< accepted requests expired while queued
+  int64_t replica_failures = 0;  ///< batches failed by a down replica
+  int64_t retries = 0;         ///< re-submissions made by PredictWithRetry
   int64_t batches = 0;         ///< micro-batches executed
   double mean_batch_size = 0;  ///< batched requests / batches
   double p50_us = 0;
@@ -78,8 +82,22 @@ class ServeStats {
   /// Records one executed micro-batch of `size` requests.
   void RecordBatch(int64_t size);
 
-  /// Records a request rejected for backpressure.
+  /// Records a request rejected for backpressure (queue at max depth).
   void RecordRejected();
+
+  /// Records a sheddable request refused past the soft high-water mark.
+  void RecordShed();
+
+  /// Records an accepted request completed with DeadlineExceeded instead of
+  /// a prediction. Deliberately NOT counted as completed: `completed` means
+  /// "answered", and these were not.
+  void RecordDeadlineExpired();
+
+  /// Records one batch failed because its serving replica was down.
+  void RecordReplicaFailure();
+
+  /// Records one retry re-submission.
+  void RecordRetry();
 
   /// Updates the queue-depth gauge (and its high-water mark).
   void SetQueueDepth(int64_t depth);
@@ -90,6 +108,10 @@ class ServeStats {
   LatencyHistogram latency_;
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> deadline_expired_{0};
+  std::atomic<int64_t> replica_failures_{0};
+  std::atomic<int64_t> retries_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> batched_requests_{0};
   std::atomic<int64_t> queue_depth_{0};

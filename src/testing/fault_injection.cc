@@ -21,24 +21,29 @@ FaultInjector& FaultInjector::Global() {
   return *injector;
 }
 
-void FaultInjector::ArmFailure(const std::string& point, int64_t count) {
+void FaultInjector::ArmFailure(const std::string& point, int64_t count,
+                               int64_t skip) {
   EOS_CHECK(count != 0);
+  EOS_CHECK_GE(skip, 0);
   std::lock_guard<std::mutex> lock(mu_);
   Point& p = points_[point];
   bool was_armed = Armed(p.fail_budget, p.stall_budget);
   p.fail_budget = count;
+  p.fail_skip = skip;
   p.fires = 0;
   if (!was_armed) armed_points_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::ArmStall(const std::string& point, int64_t stall_us,
-                             int64_t count) {
+                             int64_t count, int64_t skip) {
   EOS_CHECK(count != 0);
   EOS_CHECK_GE(stall_us, 0);
+  EOS_CHECK_GE(skip, 0);
   std::lock_guard<std::mutex> lock(mu_);
   Point& p = points_[point];
   bool was_armed = Armed(p.fail_budget, p.stall_budget);
   p.stall_budget = count;
+  p.stall_skip = skip;
   p.stall_us = stall_us;
   p.fires = 0;
   if (!was_armed) armed_points_.fetch_add(1, std::memory_order_relaxed);
@@ -71,6 +76,10 @@ bool FaultInjector::ConsumeFailure(const std::string& point) {
   auto it = points_.find(point);
   if (it == points_.end() || it->second.fail_budget == 0) return false;
   Point& p = it->second;
+  if (p.fail_skip > 0) {
+    --p.fail_skip;
+    return false;
+  }
   if (p.fail_budget > 0) {
     --p.fail_budget;
     if (!Armed(p.fail_budget, p.stall_budget)) {
@@ -86,6 +95,10 @@ int64_t FaultInjector::ConsumeStallUs(const std::string& point) {
   auto it = points_.find(point);
   if (it == points_.end() || it->second.stall_budget == 0) return 0;
   Point& p = it->second;
+  if (p.stall_skip > 0) {
+    --p.stall_skip;
+    return 0;
+  }
   if (p.stall_budget > 0) {
     --p.stall_budget;
     if (!Armed(p.fail_budget, p.stall_budget)) {
@@ -107,6 +120,43 @@ void FaultInjector::MaybeStall(const std::string& point) {
   if (g.armed_points_.load(std::memory_order_relaxed) == 0) return;
   int64_t us = g.ConsumeStallUs(point);
   if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+ScopedFault ScopedFault::Failure(const std::string& point, int64_t count,
+                                 int64_t skip) {
+  FaultInjector::Global().ArmFailure(point, count, skip);
+  return ScopedFault(point);
+}
+
+ScopedFault ScopedFault::Stall(const std::string& point, int64_t stall_us,
+                               int64_t count, int64_t skip) {
+  FaultInjector::Global().ArmStall(point, stall_us, count, skip);
+  return ScopedFault(point);
+}
+
+ScopedFault::ScopedFault(ScopedFault&& other) noexcept
+    : point_(std::move(other.point_)) {
+  other.point_.clear();
+}
+
+ScopedFault& ScopedFault::operator=(ScopedFault&& other) noexcept {
+  if (this != &other) {
+    Disarm();
+    point_ = std::move(other.point_);
+    other.point_.clear();
+  }
+  return *this;
+}
+
+void ScopedFault::Disarm() {
+  if (point_.empty()) return;
+  FaultInjector::Global().Disarm(point_);
+  point_.clear();
+}
+
+int64_t ScopedFault::fire_count() const {
+  if (point_.empty()) return 0;
+  return FaultInjector::Global().fire_count(point_);
 }
 
 }  // namespace eos::testing

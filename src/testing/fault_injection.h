@@ -17,8 +17,15 @@
 /// unreachable under test).
 ///
 /// Serve-layer points (see serve/micro_batcher.h, serve/server.h):
-///   "serve.queue_full"    Submit behaves as if the queue were at capacity
-///   "serve.worker_stall"  a worker sleeps before executing its batch
+///   "serve.queue_full"      Submit behaves as if the queue were at capacity
+///   "serve.worker_stall"    a worker sleeps before executing its batch
+///   "serve.deadline"        a popped request behaves as if its deadline
+///                           had already expired
+///   "serve.replica_down"    a replica's forward pass fails (also armable
+///                           per replica as "serve.replica_down.<i>")
+/// Checkpoint points (see core/checkpoint.h):
+///   "checkpoint.torn_write" a checkpoint write tears mid-file (the crash
+///                           the atomic temp+rename protocol must survive)
 
 namespace eos::testing {
 
@@ -31,15 +38,19 @@ class FaultInjector {
   /// The process-wide injector the static hooks consult.
   static FaultInjector& Global();
 
-  /// Arms `point` so the next `count` ShouldFail queries return true
-  /// (count < 0 means every query until Disarm). Re-arming replaces the
-  /// previous spec for the point.
-  void ArmFailure(const std::string& point, int64_t count = -1);
+  /// Arms `point` so ShouldFail queries return true `count` times
+  /// (count < 0 means every query until Disarm). The first `skip` queries
+  /// pass through unharmed — "fail the Nth use", which is how a test kills
+  /// a run at its third checkpoint instead of its first. Re-arming replaces
+  /// the previous spec for the point.
+  void ArmFailure(const std::string& point, int64_t count = -1,
+                  int64_t skip = 0);
 
-  /// Arms `point` so the next `count` MaybeStall queries sleep for
-  /// `stall_us` microseconds (count < 0 = every query until Disarm).
+  /// Arms `point` so MaybeStall queries sleep for `stall_us` microseconds
+  /// `count` times (count < 0 = every query until Disarm), after letting
+  /// the first `skip` queries through unharmed.
   void ArmStall(const std::string& point, int64_t stall_us,
-                int64_t count = -1);
+                int64_t count = -1, int64_t skip = 0);
 
   /// Disarms one point / every point. Fire counters for the point(s) reset.
   void Disarm(const std::string& point);
@@ -69,6 +80,9 @@ class FaultInjector {
     // Remaining fires for each behavior; 0 = not armed, < 0 = unlimited.
     int64_t fail_budget = 0;
     int64_t stall_budget = 0;
+    // Queries to let through before the budget starts being consumed.
+    int64_t fail_skip = 0;
+    int64_t stall_skip = 0;
     int64_t stall_us = 0;
     int64_t fires = 0;
   };
@@ -81,6 +95,42 @@ class FaultInjector {
   std::atomic<int64_t> armed_points_{0};
   mutable std::mutex mu_;
   std::map<std::string, Point> points_;  // guarded by mu_
+};
+
+/// RAII guard over one armed fault point. Tests should prefer this to
+/// calling ArmFailure/ArmStall directly: a failing assertion unwinds the
+/// guard, so a dead test can never leave its point armed for the next test
+/// in the same binary (fault-point leakage).
+///
+///   auto down = ScopedFault::Failure("serve.replica_down");
+///   ... drive the scenario; `down` disarms on every exit path ...
+class ScopedFault {
+ public:
+  /// Arms a failure on the global injector (see FaultInjector::ArmFailure).
+  static ScopedFault Failure(const std::string& point, int64_t count = -1,
+                             int64_t skip = 0);
+
+  /// Arms a stall on the global injector (see FaultInjector::ArmStall).
+  static ScopedFault Stall(const std::string& point, int64_t stall_us,
+                           int64_t count = -1, int64_t skip = 0);
+
+  ~ScopedFault() { Disarm(); }
+
+  ScopedFault(ScopedFault&& other) noexcept;
+  ScopedFault& operator=(ScopedFault&& other) noexcept;
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  /// Disarms the point early (idempotent; also resets its fire counter).
+  void Disarm();
+
+  /// Fires observed on the point since this guard armed it.
+  int64_t fire_count() const;
+
+ private:
+  explicit ScopedFault(std::string point) : point_(std::move(point)) {}
+
+  std::string point_;  // empty once disarmed / moved from
 };
 
 }  // namespace eos::testing

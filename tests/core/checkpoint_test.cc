@@ -1,0 +1,355 @@
+#include "core/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/imbalance.h"
+#include "data/synthetic_images.h"
+#include "data/transforms.h"
+#include "losses/cross_entropy.h"
+#include "nn/resnet.h"
+#include "sampling/eos.h"
+#include "testing/fault_injection.h"
+
+namespace eos {
+namespace {
+
+using ::eos::testing::FaultInjector;
+using ::eos::testing::ScopedFault;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+nn::ImageClassifier TinyNet(uint64_t seed) {
+  Rng rng(seed);
+  nn::ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = 10;
+  return nn::BuildResNet(config, rng);
+}
+
+/// A small imbalanced task, normalized — the full three-phase flow runs on
+/// it in well under a second.
+Dataset TinyImbalancedData(uint64_t seed) {
+  SyntheticConfig config;
+  config.image_size = 8;
+  config.noise_stddev = 0.05f;
+  SyntheticImageGenerator generator(DatasetKind::kCifar10Like, config);
+  std::vector<int64_t> counts =
+      ImbalancedCounts(10, /*max_per_class=*/8, /*ratio=*/4.0,
+                       ImbalanceType::kExponential);
+  Rng rng(seed);
+  Dataset data = generator.Generate(counts, rng);
+  ChannelStats stats = ComputeChannelStats(data.images);
+  NormalizeChannels(data.images, stats);
+  return data;
+}
+
+std::vector<float> AllParameterValues(nn::ImageClassifier& net) {
+  std::vector<nn::Parameter*> params;
+  net.extractor->CollectParameters(params);
+  net.head->CollectParameters(params);
+  std::vector<float> out;
+  for (nn::Parameter* p : params) {
+    out.insert(out.end(), p->value.data(),
+               p->value.data() + p->value.numel());
+  }
+  return out;
+}
+
+/// Bitwise model equality, including BatchNorm running statistics: the
+/// eval-mode forward depends on buffers that CollectParameters misses.
+void ExpectNetsBitwiseEqual(nn::ImageClassifier& a, nn::ImageClassifier& b,
+                            const Tensor& probe_images) {
+  std::vector<float> pa = AllParameterValues(a);
+  std::vector<float> pb = AllParameterValues(b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << "parameter element " << i;
+  }
+  Tensor la = EvalLogits(a, probe_images);
+  Tensor lb = EvalLogits(b, probe_images);
+  ASSERT_EQ(la.numel(), lb.numel());
+  for (int64_t i = 0; i < la.numel(); ++i) {
+    ASSERT_EQ(la.data()[i], lb.data()[i]) << "logit element " << i;
+  }
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().DisarmAll(); }
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(CheckpointTest, SaveLoadRoundTripRestoresEverything) {
+  std::string path = TempPath("ckpt_roundtrip.eosc");
+  std::remove(path.c_str());
+
+  nn::ImageClassifier saved_net = TinyNet(1);
+  Rng rng(2);
+  rng.Normal(0.0f, 1.0f);  // populate the cached Box-Muller variate
+  TrainCheckpoint ckpt;
+  ckpt.stage = ThreePhaseStage::kPhase3;
+  ckpt.phase1_epochs_done = 5;
+  ckpt.phase3_epochs_done = 2;
+  ckpt.rng_state = rng.SaveState();
+  Rng phase2_rng(3);
+  ckpt.phase2_rng_state = phase2_rng.SaveState();
+  Tensor v0({3, 2});
+  v0.Fill(0.25f);
+  Tensor v1({4});
+  v1.Fill(-1.5f);
+  ckpt.velocity = {v0, v1};
+  ASSERT_TRUE(SaveCheckpoint(ckpt, saved_net, path).ok());
+
+  nn::ImageClassifier loaded_net = TinyNet(99);  // different init
+  Result<TrainCheckpoint> loaded = LoadCheckpoint(loaded_net, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->stage, ThreePhaseStage::kPhase3);
+  EXPECT_EQ(loaded->phase1_epochs_done, 5);
+  EXPECT_EQ(loaded->phase3_epochs_done, 2);
+  ASSERT_EQ(loaded->velocity.size(), 2u);
+  EXPECT_EQ(loaded->velocity[0].at(1, 1), 0.25f);
+  EXPECT_EQ(loaded->velocity[1].at(2), -1.5f);
+
+  // The restored Rng continues the exact sequence (cached variate and all).
+  Rng original = Rng::FromState(ckpt.rng_state);
+  Rng restored = Rng::FromState(loaded->rng_state);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(original.Normal(0.0f, 1.0f), restored.Normal(0.0f, 1.0f));
+  }
+
+  Rng probe_rng(4);
+  Tensor probe = Tensor::Uniform({4, 3, 8, 8}, -1.0f, 1.0f, probe_rng);
+  ExpectNetsBitwiseEqual(saved_net, loaded_net, probe);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, CorruptAndTruncatedFilesAreRejectedBeforeLoad) {
+  std::string path = TempPath("ckpt_corrupt.eosc");
+  std::remove(path.c_str());
+  EXPECT_FALSE(CheckpointIsValid(path));  // missing file
+
+  nn::ImageClassifier net = TinyNet(5);
+  TrainCheckpoint ckpt;
+  ASSERT_TRUE(SaveCheckpoint(ckpt, net, path).ok());
+  EXPECT_TRUE(CheckpointIsValid(path));
+
+  // Flip one payload byte: the CRC footer must reject the file, and the
+  // target net must be untouched by the failed load.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(CheckpointIsValid(path));
+  nn::ImageClassifier victim = TinyNet(6);
+  std::vector<float> before = AllParameterValues(victim);
+  Result<TrainCheckpoint> r = LoadCheckpoint(victim, path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AllParameterValues(victim), before);
+
+  // Rewrite, then truncate: also rejected.
+  ASSERT_TRUE(SaveCheckpoint(ckpt, net, path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(::truncate(path.c_str(), size / 3), 0);
+  }
+  EXPECT_FALSE(CheckpointIsValid(path));
+  EXPECT_FALSE(LoadCheckpoint(victim, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, TornWriteLeavesPreviousCheckpointIntact) {
+  std::string path = TempPath("ckpt_torn.eosc");
+  std::remove(path.c_str());
+  nn::ImageClassifier net = TinyNet(7);
+
+  TrainCheckpoint first;
+  first.stage = ThreePhaseStage::kPhase1;
+  first.phase1_epochs_done = 1;
+  ASSERT_TRUE(SaveCheckpoint(first, net, path).ok());
+
+  // The next save dies mid-file: Save fails, and the published checkpoint
+  // still holds the previous epoch — never a torn file.
+  TrainCheckpoint second = first;
+  second.phase1_epochs_done = 2;
+  {
+    auto torn = ScopedFault::Failure(kTornWriteFault, 1);
+    Status s = SaveCheckpoint(second, net, path);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+    EXPECT_EQ(torn.fire_count(), 1);
+  }
+  ASSERT_TRUE(CheckpointIsValid(path));
+  nn::ImageClassifier reader = TinyNet(8);
+  Result<TrainCheckpoint> survived = LoadCheckpoint(reader, path);
+  ASSERT_TRUE(survived.ok()) << survived.status().ToString();
+  EXPECT_EQ(survived->phase1_epochs_done, 1);
+
+  // With the fault gone the retried save goes through.
+  ASSERT_TRUE(SaveCheckpoint(second, net, path).ok());
+  Result<TrainCheckpoint> advanced = LoadCheckpoint(reader, path);
+  ASSERT_TRUE(advanced.ok());
+  EXPECT_EQ(advanced->phase1_epochs_done, 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, ResumeRejectsRunWithFewerEpochsThanCheckpoint) {
+  std::string path = TempPath("ckpt_shrunk.eosc");
+  std::remove(path.c_str());
+  nn::ImageClassifier net = TinyNet(9);
+  TrainCheckpoint ckpt;
+  ckpt.stage = ThreePhaseStage::kPhase1;
+  ckpt.phase1_epochs_done = 5;
+  ASSERT_TRUE(SaveCheckpoint(ckpt, net, path).ok());
+
+  Dataset train = TinyImbalancedData(10);
+  CrossEntropyLoss loss;
+  TrainerOptions phase1;
+  phase1.epochs = 3;  // fewer than the checkpoint has done
+  phase1.augment = false;
+  HeadRetrainOptions phase3;
+  phase3.epochs = 2;
+  Rng rng(11);
+  CheckpointedRunOptions ckpt_options;
+  ckpt_options.path = path;
+  Status s = RunThreePhaseCheckpointed(net, loss, train, nullptr, phase1,
+                                       phase3, rng, ckpt_options);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+// The acceptance drill: a run killed at *every* checkpoint-save point in
+// turn (simulated torn write at the Nth save, then a process "restart"
+// with a freshly built net), resumed to completion, must end bitwise
+// identical to the uninterrupted run — weights, buffers, and Rng position.
+TEST_F(CheckpointTest, InterruptedResumeIsBitwiseIdenticalAtEverySavePoint) {
+  constexpr uint64_t kNetSeed = 21;
+  constexpr uint64_t kRngSeed = 22;
+  Dataset train = TinyImbalancedData(23);
+  CrossEntropyLoss loss;
+  ExpansiveOversampler sampler(/*k=*/3);
+  TrainerOptions phase1;
+  phase1.epochs = 3;
+  phase1.batch_size = 16;
+  phase1.lr = 0.05;
+  phase1.augment = true;  // augmentation consumes rng — the hard case
+  phase1.crop_pad = 1;
+  HeadRetrainOptions phase3;
+  phase3.epochs = 3;
+  phase3.batch_size = 32;
+
+  // Save points for (3 phase-1 epochs, cadence 1, 3 head epochs):
+  //   0: after phase-1 epoch 0      1: after phase-1 epoch 1
+  //   2: phase-2-done boundary      3: phase-3 boundary (head re-init'd)
+  //   4: after head epoch 0         5: after head epoch 1
+  //   6: after head epoch 2 (final)
+  constexpr int kNumSavePoints = 7;
+
+  // Uninterrupted reference.
+  std::string ref_path = TempPath("ckpt_ref.eosc");
+  std::remove(ref_path.c_str());
+  nn::ImageClassifier ref_net = TinyNet(kNetSeed);
+  Rng ref_rng(kRngSeed);
+  CheckpointedRunOptions ref_options;
+  ref_options.path = ref_path;
+  ASSERT_TRUE(RunThreePhaseCheckpointed(ref_net, loss, train, &sampler,
+                                        phase1, phase3, ref_rng, ref_options)
+                  .ok());
+  std::remove(ref_path.c_str());
+
+  Rng probe_rng(24);
+  Tensor probe = Tensor::Uniform({6, 3, 8, 8}, -1.0f, 1.0f, probe_rng);
+
+  for (int kill_at = 0; kill_at < kNumSavePoints; ++kill_at) {
+    SCOPED_TRACE("killed at save point " + std::to_string(kill_at));
+    std::string path =
+        TempPath(("ckpt_resume_" + std::to_string(kill_at) + ".eosc")
+                     .c_str());
+    std::remove(path.c_str());
+    CheckpointedRunOptions ckpt_options;
+    ckpt_options.path = path;
+
+    // First run dies when the kill_at-th save tears (a failed save aborts
+    // the run, leaving the previous checkpoint — or nothing — on disk).
+    {
+      nn::ImageClassifier net = TinyNet(kNetSeed);
+      Rng rng(kRngSeed);
+      auto torn = ScopedFault::Failure(kTornWriteFault, 1, /*skip=*/kill_at);
+      Status s = RunThreePhaseCheckpointed(net, loss, train, &sampler,
+                                           phase1, phase3, rng, ckpt_options);
+      ASSERT_FALSE(s.ok());
+      EXPECT_EQ(s.code(), StatusCode::kIoError);
+      EXPECT_EQ(torn.fire_count(), 1);
+    }
+
+    // "Restart": a fresh process re-creates the initial net and rng, then
+    // resumes from whatever checkpoint survived.
+    nn::ImageClassifier resumed_net = TinyNet(kNetSeed);
+    Rng resumed_rng(kRngSeed);
+    Status s =
+        RunThreePhaseCheckpointed(resumed_net, loss, train, &sampler, phase1,
+                                  phase3, resumed_rng, ckpt_options);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+
+    ExpectNetsBitwiseEqual(ref_net, resumed_net, probe);
+    // The caller-visible rng ends at the uninterrupted run's position.
+    Rng a = ref_rng;
+    EXPECT_EQ(a.UniformDouble(), resumed_rng.UniformDouble());
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(CheckpointTest, CompletedRunRerunsAsNoOpFromFinalCheckpoint) {
+  std::string path = TempPath("ckpt_noop.eosc");
+  std::remove(path.c_str());
+  Dataset train = TinyImbalancedData(30);
+  CrossEntropyLoss loss;
+  TrainerOptions phase1;
+  phase1.epochs = 1;
+  phase1.augment = false;
+  HeadRetrainOptions phase3;
+  phase3.epochs = 1;
+  CheckpointedRunOptions ckpt_options;
+  ckpt_options.path = path;
+
+  nn::ImageClassifier net = TinyNet(31);
+  Rng rng(32);
+  ASSERT_TRUE(RunThreePhaseCheckpointed(net, loss, train, nullptr, phase1,
+                                        phase3, rng, ckpt_options)
+                  .ok());
+  std::vector<float> after_first = AllParameterValues(net);
+
+  // Re-running against the completed checkpoint trains zero epochs and
+  // leaves the weights exactly as loaded.
+  nn::ImageClassifier rerun_net = TinyNet(33);
+  Rng rerun_rng(34);
+  ASSERT_TRUE(RunThreePhaseCheckpointed(rerun_net, loss, train, nullptr,
+                                        phase1, phase3, rerun_rng,
+                                        ckpt_options)
+                  .ok());
+  EXPECT_EQ(AllParameterValues(rerun_net), after_first);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eos

@@ -14,6 +14,7 @@ namespace eos::serve {
 namespace {
 
 using ::eos::testing::FaultInjector;
+using ::eos::testing::ScopedFault;
 
 nn::ImageClassifier SmallNet(uint64_t seed) {
   Rng rng(seed);
@@ -28,8 +29,9 @@ Tensor RandomImage(Rng& rng) {
   return Tensor::Uniform({3, 8, 8}, -1.0f, 1.0f, rng);
 }
 
-// Every test disarms on entry and exit so a failing sibling can't leak an
-// armed point into the next scenario.
+// Belt-and-braces on top of the ScopedFault guards each test holds: even a
+// crash that skips a guard's destructor can't leak an armed point into the
+// next scenario.
 class ServeFaultInjectionTest : public ::testing::Test {
  protected:
   void SetUp() override { FaultInjector::Global().DisarmAll(); }
@@ -44,13 +46,13 @@ TEST_F(ServeFaultInjectionTest, ForcedQueueFullRejectsThenRecovers) {
   Rng rng(2);
 
   // Queue empty, yet the armed point forces the backpressure path twice.
-  FaultInjector::Global().ArmFailure(kQueueFullFault, 2);
+  auto queue_full = ScopedFault::Failure(kQueueFullFault, 2);
   for (int i = 0; i < 2; ++i) {
     auto f = server.Submit(RandomImage(rng));
     ASSERT_FALSE(f.ok());
     EXPECT_EQ(f.status().code(), StatusCode::kResourceExhausted);
   }
-  EXPECT_EQ(FaultInjector::Global().fire_count(kQueueFullFault), 2);
+  EXPECT_EQ(queue_full.fire_count(), 2);
   // Rejections hit the same telemetry as real saturation.
   EXPECT_EQ(server.Stats().rejected, 2);
   EXPECT_EQ(server.queue_depth(), 0);
@@ -59,9 +61,10 @@ TEST_F(ServeFaultInjectionTest, ForcedQueueFullRejectsThenRecovers) {
   auto f = server.Submit(RandomImage(rng));
   ASSERT_TRUE(f.ok()) << f.status().ToString();
   ASSERT_TRUE(server.ServeOnce());
-  Prediction p = std::move(f).value().get();
-  EXPECT_GE(p.label, 0);
-  EXPECT_LT(p.label, 4);
+  Result<Prediction> p = std::move(f).value().get();
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_GE(p->label, 0);
+  EXPECT_LT(p->label, 4);
 }
 
 TEST_F(ServeFaultInjectionTest, StalledWorkersStillCompleteEveryRequest) {
@@ -74,21 +77,22 @@ TEST_F(ServeFaultInjectionTest, StalledWorkersStillCompleteEveryRequest) {
 
   // Every batch execution sleeps 2ms: queues back up, latency climbs, but
   // nothing may be lost or reordered into failure.
-  FaultInjector::Global().ArmStall(kWorkerStallFault, 2000);
+  auto stall = ScopedFault::Stall(kWorkerStallFault, 2000);
   Rng rng(4);
-  std::vector<std::future<Prediction>> futures;
+  std::vector<std::future<Result<Prediction>>> futures;
   for (int i = 0; i < 24; ++i) {
     auto f = server.Submit(RandomImage(rng));
     ASSERT_TRUE(f.ok()) << f.status().ToString();
     futures.push_back(std::move(f).value());
   }
   for (auto& f : futures) {
-    Prediction p = f.get();
-    EXPECT_GE(p.label, 0);
-    EXPECT_LT(p.label, 4);
+    Result<Prediction> p = f.get();
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_GE(p->label, 0);
+    EXPECT_LT(p->label, 4);
   }
   EXPECT_EQ(server.Stats().completed, 24);
-  EXPECT_GT(FaultInjector::Global().fire_count(kWorkerStallFault), 0);
+  EXPECT_GT(stall.fire_count(), 0);
 }
 
 TEST_F(ServeFaultInjectionTest, ShutdownMidStallDrainsAcceptedFutures) {
@@ -99,9 +103,9 @@ TEST_F(ServeFaultInjectionTest, ShutdownMidStallDrainsAcceptedFutures) {
   options.batcher.max_queue_depth = 64;
   Server server(std::make_shared<ModelSession>(SmallNet(5)), options);
 
-  FaultInjector::Global().ArmStall(kWorkerStallFault, 3000);
+  auto stall = ScopedFault::Stall(kWorkerStallFault, 3000);
   Rng rng(6);
-  std::vector<std::future<Prediction>> futures;
+  std::vector<std::future<Result<Prediction>>> futures;
   for (int i = 0; i < 10; ++i) {
     auto f = server.Submit(RandomImage(rng));
     ASSERT_TRUE(f.ok());
@@ -111,9 +115,10 @@ TEST_F(ServeFaultInjectionTest, ShutdownMidStallDrainsAcceptedFutures) {
   // graceful drain must still complete every accepted future.
   server.Shutdown();
   for (auto& f : futures) {
-    Prediction p = f.get();
-    EXPECT_GE(p.label, 0);
-    EXPECT_LT(p.label, 4);
+    Result<Prediction> p = f.get();
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_GE(p->label, 0);
+    EXPECT_LT(p->label, 4);
   }
   EXPECT_EQ(server.Stats().completed, 10);
   EXPECT_EQ(server.queue_depth(), 0);
@@ -126,7 +131,7 @@ TEST_F(ServeFaultInjectionTest, MicroBatcherHookSharesRealRejectionPath) {
   options.max_queue_depth = 8;
   MicroBatcher batcher(options, &stats);
 
-  FaultInjector::Global().ArmFailure(kQueueFullFault, 1);
+  auto queue_full = ScopedFault::Failure(kQueueFullFault, 1);
   Rng rng(7);
   auto rejected = batcher.Submit(RandomImage(rng));
   ASSERT_FALSE(rejected.ok());
@@ -143,6 +148,38 @@ TEST_F(ServeFaultInjectionTest, MicroBatcherHookSharesRealRejectionPath) {
   ASSERT_EQ(batch.size(), 1u);
   batch[0].promise.set_value(Prediction{});
   EXPECT_FALSE(batcher.NextBatch(batch));
+}
+
+TEST_F(ServeFaultInjectionTest, ScopedFaultDisarmsOnScopeExit) {
+  {
+    auto guard = ScopedFault::Failure(kQueueFullFault, -1);
+    EXPECT_TRUE(FaultInjector::ShouldFail(kQueueFullFault));
+  }
+  // Out of scope: the unlimited-budget point must be gone.
+  EXPECT_FALSE(FaultInjector::ShouldFail(kQueueFullFault));
+}
+
+TEST_F(ServeFaultInjectionTest, ScopedFaultMoveTransfersOwnership) {
+  auto a = ScopedFault::Failure(kQueueFullFault, -1);
+  {
+    ScopedFault b = std::move(a);
+    EXPECT_TRUE(FaultInjector::ShouldFail(kQueueFullFault));
+    EXPECT_EQ(b.fire_count(), 1);
+    EXPECT_EQ(a.fire_count(), 0);  // moved-from guard no longer observes
+  }
+  // `b` owned the point; its destruction disarmed it. `a` must not disarm
+  // twice nor resurrect anything.
+  EXPECT_FALSE(FaultInjector::ShouldFail(kQueueFullFault));
+}
+
+TEST_F(ServeFaultInjectionTest, ArmWithSkipFiresOnNthUseOnly) {
+  auto guard =
+      ScopedFault::Failure(kQueueFullFault, /*count=*/1, /*skip=*/2);
+  EXPECT_FALSE(FaultInjector::ShouldFail(kQueueFullFault));  // skipped
+  EXPECT_FALSE(FaultInjector::ShouldFail(kQueueFullFault));  // skipped
+  EXPECT_TRUE(FaultInjector::ShouldFail(kQueueFullFault));   // the 3rd fires
+  EXPECT_FALSE(FaultInjector::ShouldFail(kQueueFullFault));  // budget spent
+  EXPECT_EQ(guard.fire_count(), 1);
 }
 
 }  // namespace

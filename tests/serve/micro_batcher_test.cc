@@ -28,7 +28,7 @@ MicroBatcherOptions Opts(int64_t max_batch, int64_t delay_us,
 
 TEST(MicroBatcherTest, CoalescesUpToMaxBatchSize) {
   MicroBatcher batcher(Opts(4, /*delay_us=*/0, 64));
-  std::vector<std::future<Prediction>> futures;
+  std::vector<std::future<Result<Prediction>>> futures;
   for (int i = 0; i < 7; ++i) {
     auto f = batcher.Submit(Image(static_cast<float>(i)));
     ASSERT_TRUE(f.ok());
@@ -119,9 +119,10 @@ TEST(MicroBatcherTest, PromisePlumbingDeliversPrediction) {
   ASSERT_TRUE(batcher.NextBatch(batch));
   ASSERT_EQ(batch.size(), 1u);
   batch[0].promise.set_value(Prediction{2, 0.75f});
-  Prediction p = std::move(f).value().get();
-  EXPECT_EQ(p.label, 2);
-  EXPECT_FLOAT_EQ(p.confidence, 0.75f);
+  Result<Prediction> p = std::move(f).value().get();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->label, 2);
+  EXPECT_FLOAT_EQ(p->confidence, 0.75f);
 }
 
 TEST(MicroBatcherTest, ConsumerBlockedOnEmptyQueueWakesOnSubmit) {

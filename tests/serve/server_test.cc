@@ -65,7 +65,9 @@ void DriveAndCheck(Server& server, const Tensor& images,
         for (;;) {
           auto f = server.Submit(SampleImage(images, i));
           if (f.ok()) {
-            served[static_cast<size_t>(i)] = std::move(f).value().get().label;
+            Result<Prediction> r = std::move(f).value().get();
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            served[static_cast<size_t>(i)] = r->label;
             break;
           }
           // Backpressure: closed-loop clients retry until accepted.
@@ -166,10 +168,12 @@ TEST(ServerTest, BackpressureSurfacesWithoutBlocking) {
 
   // The caller-driven drain completes both accepted futures in one batch.
   ASSERT_TRUE(server.ServeOnce());
-  Prediction p1 = std::move(f1).value().get();
-  Prediction p2 = std::move(f2).value().get();
-  EXPECT_EQ(p1.label, p2.label);  // identical image, identical answer
-  EXPECT_EQ(p1.confidence, p2.confidence);
+  Result<Prediction> p1 = std::move(f1).value().get();
+  Result<Prediction> p2 = std::move(f2).value().get();
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->label, p2->label);  // identical image, identical answer
+  EXPECT_EQ(p1->confidence, p2->confidence);
   EXPECT_EQ(server.Stats().mean_batch_size, 2.0);
   server.Shutdown();
   EXPECT_FALSE(server.Submit(image).ok());
@@ -184,7 +188,7 @@ TEST(ServerTest, ShutdownDrainsEveryAcceptedRequest) {
   Server server(std::make_shared<ModelSession>(SmallNet(4)), options);
 
   Rng rng(6);
-  std::vector<std::future<Prediction>> futures;
+  std::vector<std::future<Result<Prediction>>> futures;
   for (int i = 0; i < 50; ++i) {
     auto f = server.Submit(Tensor::Uniform({3, 8, 8}, -1.0f, 1.0f, rng));
     ASSERT_TRUE(f.ok());
@@ -192,9 +196,10 @@ TEST(ServerTest, ShutdownDrainsEveryAcceptedRequest) {
   }
   server.Shutdown();  // graceful: every accepted future still completes
   for (auto& f : futures) {
-    Prediction p = f.get();
-    EXPECT_GE(p.label, 0);
-    EXPECT_LT(p.label, 4);
+    Result<Prediction> p = f.get();
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_GE(p->label, 0);
+    EXPECT_LT(p->label, 4);
   }
   EXPECT_EQ(server.Stats().completed, 50);
   EXPECT_EQ(server.queue_depth(), 0);

@@ -78,14 +78,49 @@ TEST(ServeStatsTest, JsonContainsEveryField) {
   stats.RecordLatencyUs(50.0);
   std::string json = stats.Snapshot().ToJson();
   for (const char* key :
-       {"\"completed\"", "\"rejected\"", "\"batches\"", "\"mean_batch_size\"",
-        "\"p50_us\"", "\"p95_us\"", "\"p99_us\"", "\"queue_depth\"",
-        "\"max_queue_depth\"", "\"elapsed_seconds\"", "\"throughput_rps\""}) {
+       {"\"completed\"", "\"rejected\"", "\"shed\"", "\"deadline_expired\"",
+        "\"replica_failures\"", "\"retries\"", "\"batches\"",
+        "\"mean_batch_size\"", "\"p50_us\"", "\"p95_us\"", "\"p99_us\"",
+        "\"queue_depth\"", "\"max_queue_depth\"", "\"elapsed_seconds\"",
+        "\"throughput_rps\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " missing\n"
                                                  << json;
   }
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ServeStatsTest, ZeroLatencySampleCountsAndKeepsPercentilesPositive) {
+  // A sub-microsecond completion rounds to 0us; it must still be counted
+  // and must not zero out (or NaN) the percentile report.
+  ServeStats stats;
+  stats.RecordLatencyUs(0.0);
+  StatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_GE(s.p50_us, 0.0);
+  EXPECT_GE(s.p99_us, s.p50_us);
+}
+
+TEST(ServeStatsTest, ResilienceCountersAreSeparateFromCompleted) {
+  ServeStats stats;
+  stats.RecordLatencyUs(120.0);  // one genuinely served request
+  stats.RecordDeadlineExpired();
+  stats.RecordDeadlineExpired();
+  stats.RecordShed();
+  stats.RecordReplicaFailure();
+  stats.RecordRetry();
+  stats.RecordRetry();
+  stats.RecordRetry();
+
+  StatsSnapshot s = stats.Snapshot();
+  // A request expired in queue was never served: it must not inflate
+  // completed (and therefore throughput).
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_EQ(s.deadline_expired, 2);
+  EXPECT_EQ(s.shed, 1);
+  EXPECT_EQ(s.rejected, 0);  // shed and rejected are distinct causes
+  EXPECT_EQ(s.replica_failures, 1);
+  EXPECT_EQ(s.retries, 3);
 }
 
 TEST(ServeStatsTest, ConcurrentRecordingIsLossless) {
