@@ -77,7 +77,8 @@ int Run(int argc, char** argv) {
           for (double v : out.gap.per_class) {
             row.push_back(StrFormat("%.4f", v));
           }
-          (void)csv.WriteRow(row);
+          // CSV is an optional extra; the table also lands on stdout.
+          (void)csv.WriteRow(row);  // optional extra; stdout has the table
         }
       }
       // "Flattening" check: EOS's mean tail-class gap (minority half) is

@@ -159,15 +159,20 @@ int Run(int argc, char** argv) {
         StrFormat("%s_%s.csv", out_prefix->c_str(), method.label);
     CsvWriter csv;
     if (csv.Open(csv_path).ok()) {
-      (void)csv.WriteRow({"x", "y", "label", "is_synthetic"});
+      (void)csv.WriteRow(  // plot data is best-effort; stdout has results
+          {"x", "y", "label", "is_synthetic"});
       for (int64_t i = 0; i < embedding.size(0); ++i) {
-        (void)csv.WriteRow(
+        (void)csv.WriteRow(  // plot data is best-effort; stdout has results
             {StrFormat("%.4f", embedding.at(i, 0)),
              StrFormat("%.4f", embedding.at(i, 1)),
              std::to_string(labels[static_cast<size_t>(i)]),
              std::to_string(synthetic[static_cast<size_t>(i)])});
       }
-      (void)csv.Close();
+      eos::Status close_status = csv.Close();
+      if (!close_status.ok()) {
+        std::fprintf(stderr, "csv write failed: %s\n",
+                     close_status.ToString().c_str());
+      }
     }
     std::printf("%-10s %8lld %10.3f %9.3f  %s\n", method.label,
                 static_cast<long long>(embedding.size(0)), structure.density,

@@ -118,15 +118,24 @@ int main(int argc, char** argv) {
   if (!csv_path->empty()) {
     eos::CsvWriter csv;
     if (csv.Open(*csv_path).ok()) {
-      (void)csv.WriteRow({"class", "n_train", "gap", "recall"});
+      // Best-effort diagnostics CSV: a failed row is tolerable, and
+      // Close() below surfaces whether the file landed intact.
+      (void)csv.WriteRow(  // diagnostics only; Close() reports health
+          {"class", "n_train", "gap", "recall"});
       for (size_t c = 0; c < counts.size(); ++c) {
-        (void)csv.WriteRow({std::to_string(c), std::to_string(counts[c]),
+        (void)csv.WriteRow(  // diagnostics only; Close() reports health
+            {std::to_string(c), std::to_string(counts[c]),
                             eos::StrFormat("%.4f", baseline.gap.per_class[c]),
                             eos::StrFormat("%.4f",
                                            baseline.per_class_recall[c])});
       }
-      (void)csv.Close();
-      std::printf("\n  wrote %s\n", csv_path->c_str());
+      eos::Status close_status = csv.Close();
+      if (close_status.ok()) {
+        std::printf("\n  wrote %s\n", csv_path->c_str());
+      } else {
+        std::fprintf(stderr, "\n  csv write failed: %s\n",
+                     close_status.ToString().c_str());
+      }
     }
   }
   return 0;

@@ -31,7 +31,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on the success path.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (a torn
+/// checkpoint, a rejected request) until some later run trips over the
+/// stale state, so discarding one is a compile error under EOS_WERROR.
+/// The rare intentional drop must be spelled `(void)Expr();` with a
+/// trailing comment justifying it (enforced by tools/lint).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -80,9 +86,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Access to the value of a
-/// non-OK Result is a checked programming error.
+/// non-OK Result is a checked programming error. [[nodiscard]] for the same
+/// reason as Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT

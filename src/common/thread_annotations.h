@@ -1,0 +1,83 @@
+#ifndef EOS_COMMON_THREAD_ANNOTATIONS_H_
+#define EOS_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety-analysis annotations (no-ops under GCC and MSVC).
+///
+/// Every class that owns a std::mutex annotates which members the mutex
+/// guards (GUARDED_BY) and which functions require, acquire, release, or
+/// must not hold it (REQUIRES / ACQUIRE / RELEASE / EXCLUDES). Under
+/// `clang++ -Wthread-safety` (enabled by the EOS_ENABLE_THREAD_SAFETY_ANALYSIS
+/// CMake option) lock-discipline violations become compile errors; under any
+/// other compiler the macros vanish and the code is unchanged. The in-repo
+/// linter (tools/lint) requires this header to be included by any file that
+/// mentions std::mutex, so new concurrent code cannot silently opt out.
+///
+/// Full lock/unlock tracking of std::lock_guard / std::unique_lock requires
+/// a standard library whose RAII lock types carry the capability attributes
+/// (libc++ with -D_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS, which the CMake
+/// option defines). Under libstdc++ clang still validates GUARDED_BY /
+/// REQUIRES consistency on annotated functions. See DESIGN.md
+/// "Static analysis" for the conventions.
+
+#if defined(__clang__)
+#define EOS_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define EOS_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Data member is protected by the given capability (mutex). Reads require
+/// the lock held shared or exclusive; writes require it exclusive.
+#define GUARDED_BY(x) EOS_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define PT_GUARDED_BY(x) EOS_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function may only be called while holding the capability exclusively.
+#define REQUIRES(...) \
+  EOS_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while holding the capability shared.
+#define REQUIRES_SHARED(...) \
+  EOS_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  EOS_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (it must be held on entry).
+#define RELEASE(...) \
+  EOS_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (it acquires it
+/// itself, or would deadlock). Clang calls these "locks_excluded".
+#define EXCLUDES(...) EOS_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define TRY_ACQUIRE(...) \
+  EOS_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares a type to be a capability ("mutex") for the analysis.
+#define CAPABILITY(x) EOS_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases in
+/// its destructor (e.g. a lock guard).
+#define SCOPED_CAPABILITY EOS_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Documents lock-ordering: this mutex must be acquired after the others.
+#define ACQUIRED_AFTER(...) \
+  EOS_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+/// Documents lock-ordering: this mutex must be acquired before the others.
+#define ACQUIRED_BEFORE(...) \
+  EOS_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+/// Function return value is the capability itself (lock accessors).
+#define RETURN_CAPABILITY(x) EOS_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the analysis cannot express the pattern.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  EOS_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // EOS_COMMON_THREAD_ANNOTATIONS_H_

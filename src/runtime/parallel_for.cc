@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "runtime/thread_pool.h"
 
 namespace eos::runtime {
@@ -31,7 +32,7 @@ struct Region {
   std::atomic<bool> abort{false};
   std::mutex mu;
   std::condition_variable done_cv;
-  std::exception_ptr error;  // guarded by mu
+  std::exception_ptr error GUARDED_BY(mu);
 
   // Claims chunks until the counter is exhausted. Every claimed chunk is
   // retired exactly once — including chunks skipped after an abort — so

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/thread_annotations.h"
+
 namespace eos::runtime {
 
 ThreadPool::ThreadPool(int num_workers) {
@@ -49,8 +51,8 @@ void ThreadPool::WorkerLoop() {
 namespace {
 
 std::mutex g_mu;
-int g_threads = 0;  // 0 = not yet resolved; guarded by g_mu
-std::unique_ptr<ThreadPool> g_pool;  // guarded by g_mu
+int g_threads GUARDED_BY(g_mu) = 0;  // 0 = not yet resolved
+std::unique_ptr<ThreadPool> g_pool GUARDED_BY(g_mu);
 
 }  // namespace
 

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 /// \file
 /// Fixed-size worker thread pool backing ParallelFor. The pool itself is a
 /// dumb job queue; all structure (chunking, determinism, reductions) lives in
@@ -37,15 +39,15 @@ class ThreadPool {
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues a job for any worker. Never blocks (unbounded queue).
-  void Submit(std::function<void()> job);
+  void Submit(std::function<void()> job) EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool stop_ = false;                        // guarded by mu_
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serve/model_session.h"
 #include "serve/stats.h"
 
@@ -98,7 +99,7 @@ class MicroBatcher {
   /// never blocks) and FailedPrecondition after Shutdown. All images in
   /// flight must share one shape.
   Result<std::future<Result<Prediction>>> Submit(
-      Tensor image, const SubmitOptions& submit_options = {});
+      Tensor image, const SubmitOptions& submit_options = {}) EXCLUDES(mu_);
 
   /// Blocks until it can fill `out` with 1..max_batch_size requests, then
   /// returns true. A dispatch happens when the batch is full, the oldest
@@ -106,13 +107,13 @@ class MicroBatcher {
   /// batches flush on drain). Requests found expired at pop time are
   /// completed with DeadlineExceeded here and never enter `out`. Returns
   /// false only when shut down AND empty.
-  bool NextBatch(std::vector<Request>& out);
+  bool NextBatch(std::vector<Request>& out) EXCLUDES(mu_);
 
   /// Stops accepting new requests; queued ones remain poppable (drain).
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
-  bool shut_down() const;
-  int64_t queue_depth() const;
+  bool shut_down() const EXCLUDES(mu_);
+  int64_t queue_depth() const EXCLUDES(mu_);
   const MicroBatcherOptions& options() const { return options_; }
 
  private:
@@ -121,8 +122,8 @@ class MicroBatcher {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Request> queue_;  // guarded by mu_
-  bool shutdown_ = false;      // guarded by mu_
+  std::deque<Request> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace eos::serve

@@ -2,13 +2,17 @@
 
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "core/trainer.h"
 #include "nn/serialize.h"
 #include "tensor/tensor_ops.h"
 
 namespace eos::serve {
 
-ModelSession::ModelSession(nn::ImageClassifier net) : net_(std::move(net)) {}
+ModelSession::ModelSession(nn::ImageClassifier net)
+    : num_classes_(net.num_classes),
+      arch_(net.arch),
+      net_(std::move(net)) {}
 
 Result<std::shared_ptr<ModelSession>> ModelSession::Load(
     nn::ImageClassifier net, const std::string& snapshot_path) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "nn/network.h"
 
 /// \file
@@ -50,17 +51,22 @@ class ModelSession {
   ModelSession& operator=(const ModelSession&) = delete;
 
   /// Eval-mode predictions for a batch of images [N, C, H, W].
-  std::vector<Prediction> PredictBatch(const Tensor& images);
+  std::vector<Prediction> PredictBatch(const Tensor& images) EXCLUDES(mu_);
 
   /// Eval-mode prediction for one image [C, H, W] (or [1, C, H, W]).
-  Prediction PredictOne(const Tensor& image);
+  Prediction PredictOne(const Tensor& image) EXCLUDES(mu_);
 
-  int64_t num_classes() const { return net_.num_classes; }
-  const std::string& arch() const { return net_.arch; }
+  int64_t num_classes() const { return num_classes_; }
+  const std::string& arch() const { return arch_; }
 
  private:
   mutable std::mutex mu_;  // serializes forward passes
-  nn::ImageClassifier net_;
+  // Snapshot metadata is hoisted out of the guarded network at construction
+  // so the accessors stay lock-free: net_ is mutated by every forward pass
+  // (module activation caches), so ALL access to it must hold mu_.
+  const int64_t num_classes_;
+  const std::string arch_;
+  nn::ImageClassifier net_ GUARDED_BY(mu_);
 };
 
 }  // namespace eos::serve

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 
 namespace eos::serve {
 

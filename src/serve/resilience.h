@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 /// \file
 /// Failure-handling policy for the serving layer: bounded retries with
@@ -86,25 +87,25 @@ class CircuitBreaker {
   /// True when a request may be sent: always in Closed; in Open only once
   /// the cooldown has elapsed (which transitions to HalfOpen and grants the
   /// single probe); never while a HalfOpen probe is already in flight.
-  bool AllowRequest();
+  bool AllowRequest() EXCLUDES(mu_);
 
   /// Reports the outcome of an admitted request. A HalfOpen probe success
   /// closes the breaker; a probe failure reopens it for a fresh cooldown.
-  void RecordSuccess();
-  void RecordFailure();
+  void RecordSuccess() EXCLUDES(mu_);
+  void RecordFailure() EXCLUDES(mu_);
 
-  State state() const;
-  int consecutive_failures() const;
+  State state() const EXCLUDES(mu_);
+  int consecutive_failures() const EXCLUDES(mu_);
 
   static const char* StateName(State state);
 
  private:
   const CircuitBreakerOptions options_;
   mutable std::mutex mu_;
-  State state_ = State::kClosed;           // guarded by mu_
-  int consecutive_failures_ = 0;           // guarded by mu_
-  bool probe_in_flight_ = false;           // guarded by mu_
-  std::chrono::steady_clock::time_point opened_at_;  // guarded by mu_
+  State state_ GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point opened_at_ GUARDED_BY(mu_);
 };
 
 struct ReplicaHealthOptions {
@@ -162,16 +163,18 @@ class ReplicaHealth {
     std::atomic<uint8_t> stall_flagged{0};  // set once per busy episode
   };
 
-  void WatchdogLoop();
+  void WatchdogLoop() EXCLUDES(watchdog_mu_);
 
   const ReplicaHealthOptions options_;
-  // deque: CircuitBreaker is neither movable nor copyable.
+  // deque: CircuitBreaker is neither movable nor copyable. The container
+  // itself is immutable after construction (per-breaker state is guarded
+  // by each breaker's own mutex), so it carries no GUARDED_BY.
   std::deque<CircuitBreaker> breakers_;
   std::vector<Heartbeat> heartbeats_;
 
   std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;
-  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
+  bool watchdog_stop_ GUARDED_BY(watchdog_mu_) = false;
   std::thread watchdog_;
 };
 

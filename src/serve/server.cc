@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 #include "testing/fault_injection.h"
 
 namespace eos::serve {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "runtime/thread_pool.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_session.h"
@@ -100,7 +101,7 @@ class Server {
 
   /// Stops accepting requests, drains every queued request (completing its
   /// future), and joins the workers. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(shutdown_mu_);
 
   /// Telemetry snapshot (latency percentiles, throughput, queue depth,
   /// shed/deadline/retry/failure counters).
@@ -127,9 +128,9 @@ class Server {
   std::unique_ptr<ReplicaHealth> health_;
   // Declared last so it is destroyed first: the pool dtor joins the worker
   // loops, which exit once the (already shut down) batcher drains.
-  std::unique_ptr<runtime::ThreadPool> workers_;
+  std::unique_ptr<runtime::ThreadPool> workers_ GUARDED_BY(shutdown_mu_);
   std::mutex shutdown_mu_;
-  bool shutdown_done_ = false;  // guarded by shutdown_mu_
+  bool shutdown_done_ GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace eos::serve

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace eos::testing {
 
@@ -17,6 +18,9 @@ bool Armed(int64_t fail_budget, int64_t stall_budget) {
 }  // namespace
 
 FaultInjector& FaultInjector::Global() {
+  // Intentionally leaked singleton: hooks may fire from detached threads
+  // during static destruction, so the injector must never be destroyed.
+  // lint:allow(naked-new)
   static FaultInjector* injector = new FaultInjector();
   return *injector;
 }

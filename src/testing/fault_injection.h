@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
+
 /// \file
 /// Deterministic fault injection for concurrency and failure-path tests.
 /// Production code declares *fault points* — named places where a failure
@@ -44,21 +46,21 @@ class FaultInjector {
   /// a run at its third checkpoint instead of its first. Re-arming replaces
   /// the previous spec for the point.
   void ArmFailure(const std::string& point, int64_t count = -1,
-                  int64_t skip = 0);
+                  int64_t skip = 0) EXCLUDES(mu_);
 
   /// Arms `point` so MaybeStall queries sleep for `stall_us` microseconds
   /// `count` times (count < 0 = every query until Disarm), after letting
   /// the first `skip` queries through unharmed.
   void ArmStall(const std::string& point, int64_t stall_us,
-                int64_t count = -1, int64_t skip = 0);
+                int64_t count = -1, int64_t skip = 0) EXCLUDES(mu_);
 
   /// Disarms one point / every point. Fire counters for the point(s) reset.
-  void Disarm(const std::string& point);
-  void DisarmAll();
+  void Disarm(const std::string& point) EXCLUDES(mu_);
+  void DisarmAll() EXCLUDES(mu_);
 
   /// How many times `point` actually fired (failed or stalled) since it was
   /// last armed. 0 for unknown points.
-  int64_t fire_count(const std::string& point) const;
+  int64_t fire_count(const std::string& point) const EXCLUDES(mu_);
 
   // --- production-side hooks -------------------------------------------
 
@@ -87,14 +89,14 @@ class FaultInjector {
     int64_t fires = 0;
   };
 
-  bool ConsumeFailure(const std::string& point);
-  int64_t ConsumeStallUs(const std::string& point);
+  bool ConsumeFailure(const std::string& point) EXCLUDES(mu_);
+  int64_t ConsumeStallUs(const std::string& point) EXCLUDES(mu_);
 
   // Fast-path gate: number of points with any armed behavior. Hooks bail
   // out on 0 without touching the mutex.
   std::atomic<int64_t> armed_points_{0};
   mutable std::mutex mu_;
-  std::map<std::string, Point> points_;  // guarded by mu_
+  std::map<std::string, Point> points_ GUARDED_BY(mu_);
 };
 
 /// RAII guard over one armed fault point. Tests should prefer this to

@@ -1,0 +1,8 @@
+// Fixture: dropped-Status patterns around the (void) escape hatch.
+int DoThing();
+
+void Fixture(int unused) {
+  (void)DoThing();
+  (void)DoThing();  // justified: fixture exercises the commented path
+  (void)unused;
+}

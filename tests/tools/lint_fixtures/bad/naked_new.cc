@@ -1,0 +1,13 @@
+// Fixture: naked allocation (two findings); a deleted special member and
+// a suppressed allocation must not be flagged.
+struct Widget {
+  Widget(const Widget&) = delete;
+};
+
+int* Fixture() {
+  int* p = new int(7);
+  delete p;
+  // lint:allow(naked-new)
+  int* q = new int(9);
+  return q;
+}

@@ -1,0 +1,14 @@
+// Fixture: every banned entropy / wall-clock source (see lint.h).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int Fixture() {
+  int a = rand();
+  std::random_device rd;
+  long t = time(nullptr);
+  auto now = std::chrono::system_clock::now();
+  long ticks = static_cast<long>(now.time_since_epoch().count());
+  return a + static_cast<int>(rd()) + static_cast<int>(t + ticks);
+}

@@ -1,0 +1,14 @@
+// Fixture: a guarded class that forgot common/thread_annotations.h.
+#include <mutex>
+
+class Counter {
+ public:
+  void Add(int d) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += d;
+  }
+
+ private:
+  std::mutex mu_;
+  int total_ = 0;
+};

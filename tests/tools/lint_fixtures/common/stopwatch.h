@@ -1,0 +1,4 @@
+// Fixture: the sanctioned clock wrapper is allowed to touch time().
+#include <ctime>
+
+inline long FixtureNow() { return static_cast<long>(time(nullptr)); }

@@ -1,0 +1,9 @@
+// Fixture: banned tokens inside comments and string literals must never
+// trip a rule: rand() time() system_clock new delete std::unordered_map
+#include <string>
+
+std::string Fixture() {
+  std::string s = "rand() and new and delete and time(nullptr)";
+  std::string raw = R"lint(std::random_device inside a raw string)lint";
+  return s + raw;
+}

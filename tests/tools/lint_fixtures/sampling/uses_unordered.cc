@@ -1,0 +1,12 @@
+// Fixture: iteration-order-dependent containers in a deterministic path
+// (the includes count too: presence in sampling/ is the violation).
+#include <unordered_map>
+#include <unordered_set>
+
+int Fixture() {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<int> seen;
+  counts[1] = 2;
+  seen.insert(3);
+  return static_cast<int>(counts.size() + seen.size());
+}

@@ -1,0 +1,9 @@
+// Fixture: serve/ may timestamp real traffic with wall clocks (exempt).
+#include <chrono>
+#include <ctime>
+
+long Fixture() {
+  auto now = std::chrono::system_clock::now();
+  return static_cast<long>(time(nullptr)) +
+         static_cast<long>(now.time_since_epoch().count());
+}

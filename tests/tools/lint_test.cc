@@ -1,0 +1,243 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+/// Tests for the in-repo determinism linter (tools/lint): rule hits with
+/// exact counts and file:line output format, path-scoped exemptions,
+/// comment/string stripping, and `lint:allow` suppressions. The known-bad
+/// snippets live in tests/tools/lint_fixtures/ (data, never compiled) and
+/// mimic a miniature source root.
+
+namespace eos::lint {
+namespace {
+
+std::vector<std::string> Formatted(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const Finding& finding : findings) {
+    out.push_back(FormatFinding(finding));
+  }
+  return out;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------- stripping
+
+TEST(StripTest, PreservesLineStructure) {
+  std::string source = "int a; // rand()\nint b; /* time( */ int c;\n";
+  std::string stripped = StripCommentsAndStrings(source);
+  EXPECT_EQ(stripped.size(), source.size());
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_NE(stripped.find("int c;"), std::string::npos);
+}
+
+TEST(StripTest, BlanksStringAndCharLiterals) {
+  std::string stripped = StripCommentsAndStrings(
+      "auto s = \"new int\"; char c = 'n'; int keep = 1;");
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_NE(stripped.find("keep"), std::string::npos);
+}
+
+TEST(StripTest, HandlesEscapedQuotesAndRawStrings) {
+  std::string stripped = StripCommentsAndStrings(
+      "auto a = \"say \\\"rand()\\\"\";\n"
+      "auto b = R\"x(delete everything)x\";\n"
+      "int live = 1;\n");
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("delete"), std::string::npos);
+  EXPECT_NE(stripped.find("live"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 3);
+}
+
+TEST(StripTest, MultiLineBlockCommentKeepsNewlines) {
+  std::string stripped =
+      StripCommentsAndStrings("/* line one rand()\n   line two */\nint x;\n");
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 3);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+}
+
+// -------------------------------------------------------------- rule logic
+
+TEST(LintFileTest, FlagsBannedRngWithExactLines) {
+  std::vector<Finding> findings =
+      LintFile("core/x.cc", "int f() {\n  return rand();\n}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-rng");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintFileTest, RandTokenRequiresCall) {
+  // `rand` as a plain identifier or a prefix/suffix of one is not a call.
+  std::vector<Finding> findings = LintFile(
+      "core/x.cc", "int operand = 1;\nint rand_count = operand;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFileTest, TimeTokenIgnoresMembersLikeEnqueueTime) {
+  std::vector<Finding> findings = LintFile(
+      "core/x.cc", "struct R { int enqueue_time; };\n"
+                   "int f(R r) { return r.enqueue_time + 1; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFileTest, ServePathAndStopwatchAreExemptFromRngRule) {
+  std::string source = "long f() { return time(nullptr); }\n";
+  EXPECT_TRUE(LintFile("serve/x.cc", source).empty());
+  EXPECT_TRUE(LintFile("common/stopwatch.h", source).empty());
+  EXPECT_EQ(LintFile("common/other.h", source).size(), 1u);
+}
+
+TEST(LintFileTest, UnorderedContainersOnlyFlaggedInDeterministicPaths) {
+  std::string source = "#include <unordered_map>\n";
+  EXPECT_EQ(LintFile("sampling/x.cc", source).size(), 1u);
+  EXPECT_EQ(LintFile("core/x.cc", source).size(), 1u);
+  EXPECT_EQ(LintFile("metrics/x.cc", source).size(), 1u);
+  EXPECT_TRUE(LintFile("nn/x.cc", source).empty());
+}
+
+TEST(LintFileTest, NakedNewAndDeleteButNotDeletedFunctions) {
+  std::vector<Finding> findings = LintFile(
+      "nn/x.cc",
+      "struct S { S(const S&) = delete; };\n"
+      "int* f() { return new int(1); }\n"
+      "void g(int* p) { delete p; }\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+  EXPECT_EQ(CountRule(findings, "naked-new"), 2);
+}
+
+TEST(LintFileTest, MutexWithoutAnnotationsHeaderFlaggedOnce) {
+  std::vector<Finding> findings = LintFile(
+      "nn/x.cc", "#include <mutex>\nstd::mutex a;\nstd::mutex b;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "mutex-annotations");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintFileTest, MutexWithAnnotationsHeaderIsClean) {
+  std::vector<Finding> findings = LintFile(
+      "nn/x.cc",
+      "#include <mutex>\n#include \"common/thread_annotations.h\"\n"
+      "std::mutex a;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFileTest, VoidCastCallNeedsSameLineComment) {
+  std::vector<Finding> findings = LintFile(
+      "nn/x.cc",
+      "void f(int unused) {\n"
+      "  (void)DoThing();\n"
+      "  (void)DoThing();  // reason: exercised error path\n"
+      "  (void)unused;\n"
+      "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "void-cast-needs-comment");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintFileTest, SuppressionOnSameOrPreviousLine) {
+  EXPECT_TRUE(LintFile("nn/x.cc",
+                       "int* f() {\n"
+                       "  return new int(1);  // lint:allow(naked-new) leak\n"
+                       "}\n")
+                  .empty());
+  EXPECT_TRUE(LintFile("nn/x.cc",
+                       "int* f() {\n"
+                       "  // lint:allow(naked-new)\n"
+                       "  return new int(1);\n"
+                       "}\n")
+                  .empty());
+  // A marker for a different rule does not suppress.
+  EXPECT_EQ(LintFile("nn/x.cc",
+                     "int* f() {\n"
+                     "  // lint:allow(banned-rng)\n"
+                     "  return new int(1);\n"
+                     "}\n")
+                .size(),
+            1u);
+}
+
+TEST(LintFileTest, TokensInsideCommentsAndStringsAreIgnored) {
+  std::vector<Finding> findings = LintFile(
+      "core/x.cc",
+      "// rand() time( system_clock new delete\n"
+      "const char* s = \"std::random_device\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------- output format
+
+TEST(FormatTest, FileLineRuleMessage) {
+  Finding finding{"serve/server.cc", 42, "banned-rng", "no entropy here"};
+  EXPECT_EQ(FormatFinding(finding),
+            "serve/server.cc:42: [banned-rng] no entropy here");
+}
+
+// ------------------------------------------------------------ tree walker
+
+TEST(LintTreeTest, FixtureTreeProducesExactFindings) {
+  Result<std::vector<Finding>> result = LintTree(EOS_LINT_FIXTURE_DIR);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::vector<Finding>& findings = *result;
+
+  EXPECT_EQ(findings.size(), 12u);
+  EXPECT_EQ(CountRule(findings, "banned-rng"), 4);
+  EXPECT_EQ(CountRule(findings, "naked-new"), 2);
+  EXPECT_EQ(CountRule(findings, "void-cast-needs-comment"), 1);
+  EXPECT_EQ(CountRule(findings, "mutex-annotations"), 1);
+  EXPECT_EQ(CountRule(findings, "unordered-container"), 4);
+
+  std::vector<std::string> formatted = Formatted(findings);
+  auto contains = [&](const std::string& prefix) {
+    return std::any_of(formatted.begin(), formatted.end(),
+                       [&](const std::string& line) {
+                         return line.compare(0, prefix.size(), prefix) == 0;
+                       });
+  };
+  EXPECT_TRUE(contains("bad/rng.cc:8: [banned-rng]"));
+  EXPECT_TRUE(contains("bad/rng.cc:9: [banned-rng]"));
+  EXPECT_TRUE(contains("bad/rng.cc:10: [banned-rng]"));
+  EXPECT_TRUE(contains("bad/rng.cc:11: [banned-rng]"));
+  EXPECT_TRUE(contains("bad/naked_new.cc:8: [naked-new]"));
+  EXPECT_TRUE(contains("bad/naked_new.cc:9: [naked-new]"));
+  EXPECT_TRUE(contains("bad/dropped_status.cc:5: [void-cast-needs-comment]"));
+  EXPECT_TRUE(contains("bad/unannotated_mutex.cc:7: [mutex-annotations]"));
+  EXPECT_TRUE(contains("sampling/uses_unordered.cc:3: [unordered-container]"));
+  EXPECT_TRUE(contains("sampling/uses_unordered.cc:7: [unordered-container]"));
+
+  // Exempt paths contribute nothing.
+  for (const Finding& finding : findings) {
+    EXPECT_NE(finding.path, "serve/uses_clock.cc");
+    EXPECT_NE(finding.path, "common/stopwatch.h");
+    EXPECT_NE(finding.path, "good/clean.cc");
+  }
+}
+
+TEST(LintTreeTest, DeterministicAcrossRuns) {
+  Result<std::vector<Finding>> first = LintTree(EOS_LINT_FIXTURE_DIR);
+  Result<std::vector<Finding>> second = LintTree(EOS_LINT_FIXTURE_DIR);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(Formatted(*first), Formatted(*second));
+}
+
+TEST(LintTreeTest, MissingRootIsNotFound) {
+  Result<std::vector<Finding>> result =
+      LintTree("/nonexistent/lint/fixture/root");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace eos::lint

@@ -1,0 +1,386 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace eos::lint {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when source[pos, pos + token.size()) is `token` with non-word
+/// characters (or file boundaries) on both sides. ':' does not count as a
+/// word character, so "std::mutex" still matches inside "::std::mutex".
+bool TokenAt(const std::string& source, size_t pos, const std::string& token) {
+  if (source.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsWordChar(source[pos - 1])) return false;
+  size_t end = pos + token.size();
+  if (end < source.size() && IsWordChar(source[end])) return false;
+  return true;
+}
+
+size_t SkipSpaces(const std::string& source, size_t pos) {
+  while (pos < source.size() &&
+         (source[pos] == ' ' || source[pos] == '\t' || source[pos] == '\n')) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Last non-space character strictly before `pos`, or '\0' at file start.
+char PrevNonSpace(const std::string& source, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    char c = source[pos];
+    if (c != ' ' && c != '\t' && c != '\n') return c;
+  }
+  return '\0';
+}
+
+int LineOfOffset(const std::string& source, size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(source.begin(), source.begin() + pos, '\n'));
+}
+
+/// The 1-based line `line` of `source` (without the trailing newline).
+std::string LineText(const std::string& source, int line) {
+  size_t start = 0;
+  for (int i = 1; i < line; ++i) {
+    start = source.find('\n', start);
+    if (start == std::string::npos) return "";
+    ++start;
+  }
+  size_t end = source.find('\n', start);
+  return source.substr(start, end == std::string::npos ? end : end - start);
+}
+
+bool PathStartsWith(const std::string& path, const std::string& prefix) {
+  return path.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// A token whose presence (optionally only as a call, `token (`) violates a
+/// rule unless the file path is exempt.
+struct BannedToken {
+  const char* token;
+  bool call_only;  // require '(' after the token (skipping whitespace)
+  const char* message;
+};
+
+constexpr BannedToken kRngTokens[] = {
+    {"rand", true,
+     "banned RNG: rand() is unseeded global state; draw from eos::Rng"},
+    {"srand", true,
+     "banned RNG: srand() reseeds global state; construct an eos::Rng"},
+    {"random_device", false,
+     "banned RNG: std::random_device is nondeterministic by design; "
+     "seed an eos::Rng instead"},
+    {"time", true,
+     "banned clock: time() makes runs time-dependent; use eos::Stopwatch "
+     "for intervals"},
+    {"system_clock", false,
+     "banned clock: system_clock is wall time (not monotonic, not "
+     "reproducible); use steady_clock via eos::Stopwatch"},
+};
+
+/// Paths where wall-clock / entropy sources are legitimately needed:
+/// the serving layer timestamps real traffic, and the stopwatch is the
+/// sanctioned wrapper itself.
+bool RngExempt(const std::string& path) {
+  return PathStartsWith(path, "serve/") || path == "common/stopwatch.h";
+}
+
+/// Deterministic result paths: iteration order of unordered containers
+/// would leak implementation details into sampler output and metrics.
+bool UnorderedScoped(const std::string& path) {
+  return PathStartsWith(path, "sampling/") || PathStartsWith(path, "core/") ||
+         PathStartsWith(path, "metrics/");
+}
+
+}  // namespace
+
+std::string FormatFinding(const Finding& finding) {
+  return StrFormat("%s:%d: [%s] %s", finding.path.c_str(), finding.line,
+                   finding.rule.c_str(), finding.message.c_str());
+}
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out = source;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  size_t i = 0;
+  auto blank = [&](size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsWordChar(source[i - 1]))) {
+          // Raw string R"delim( ... )delim": find the delimiter, then the
+          // matching close sequence; blank the whole literal.
+          size_t open = source.find('(', i + 2);
+          if (open == std::string::npos) {
+            ++i;
+            break;
+          }
+          std::string close;
+          close.push_back(')');
+          close.append(source, i + 2, open - (i + 2));
+          close.push_back('"');
+          size_t end = source.find(close, open + 1);
+          size_t stop = end == std::string::npos ? source.size()
+                                                 : end + close.size();
+          for (size_t j = i; j < stop; ++j) blank(j);
+          i = stop;
+        } else if (c == '"') {
+          state = State::kString;
+          blank(i);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kChar;
+          blank(i);
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kCode;
+          i += 2;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < source.size()) blank(i + 1);
+          i += 2;
+        } else {
+          if (c == quote) state = State::kCode;
+          blank(i);
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True when the finding's line (or the one above) carries a
+/// `lint:allow(<rule>)` marker in the original source.
+bool Suppressed(const std::string& original, int line, const char* rule) {
+  std::string marker = StrFormat("lint:allow(%s)", rule);
+  if (LineText(original, line).find(marker) != std::string::npos) return true;
+  return line > 1 &&
+         LineText(original, line - 1).find(marker) != std::string::npos;
+}
+
+void Emit(std::vector<Finding>& findings, const std::string& original,
+          const std::string& path, size_t offset, const char* rule,
+          std::string message) {
+  int line = LineOfOffset(original, offset);
+  if (Suppressed(original, line, rule)) return;
+  findings.push_back(Finding{path, line, rule, std::move(message)});
+}
+
+void CheckBannedTokens(const std::string& path, const std::string& original,
+                       const std::string& stripped,
+                       std::vector<Finding>& findings) {
+  if (!RngExempt(path)) {
+    for (const BannedToken& banned : kRngTokens) {
+      std::string token = banned.token;
+      for (size_t pos = stripped.find(token); pos != std::string::npos;
+           pos = stripped.find(token, pos + 1)) {
+        if (!TokenAt(stripped, pos, token)) continue;
+        if (banned.call_only) {
+          size_t after = SkipSpaces(stripped, pos + token.size());
+          if (after >= stripped.size() || stripped[after] != '(') continue;
+        }
+        Emit(findings, original, path, pos, "banned-rng", banned.message);
+      }
+    }
+  }
+  if (UnorderedScoped(path)) {
+    for (const char* token : {"unordered_map", "unordered_set"}) {
+      for (size_t pos = stripped.find(token); pos != std::string::npos;
+           pos = stripped.find(token, pos + 1)) {
+        if (!TokenAt(stripped, pos, token)) continue;
+        Emit(findings, original, path, pos, "unordered-container",
+             StrFormat("std::%s in a deterministic path: iteration order "
+                       "is implementation-defined; use std::map / sorted "
+                       "vectors",
+                       token));
+      }
+    }
+  }
+}
+
+void CheckNakedNew(const std::string& path, const std::string& original,
+                   const std::string& stripped,
+                   std::vector<Finding>& findings) {
+  for (size_t pos = stripped.find("new"); pos != std::string::npos;
+       pos = stripped.find("new", pos + 1)) {
+    if (!TokenAt(stripped, pos, "new")) continue;
+    Emit(findings, original, path, pos, "naked-new",
+         "naked new: allocate via make_unique/make_shared or a container");
+  }
+  for (size_t pos = stripped.find("delete"); pos != std::string::npos;
+       pos = stripped.find("delete", pos + 1)) {
+    if (!TokenAt(stripped, pos, "delete")) continue;
+    // `Foo(const Foo&) = delete;` declares a deleted function — fine.
+    if (PrevNonSpace(stripped, pos) == '=') continue;
+    Emit(findings, original, path, pos, "naked-new",
+         "naked delete: ownership belongs in a smart pointer or container");
+  }
+}
+
+void CheckMutexAnnotations(const std::string& path,
+                           const std::string& original,
+                           const std::string& stripped,
+                           std::vector<Finding>& findings) {
+  size_t pos = stripped.find("std::mutex");
+  while (pos != std::string::npos && !TokenAt(stripped, pos, "std::mutex")) {
+    pos = stripped.find("std::mutex", pos + 1);
+  }
+  if (pos == std::string::npos) return;
+  // Look for the include directive itself (not a mention in a comment).
+  if (original.find("#include \"common/thread_annotations.h\"") !=
+      std::string::npos) {
+    return;
+  }
+  Emit(findings, original, path, pos, "mutex-annotations",
+       "std::mutex without #include \"common/thread_annotations.h\": "
+       "annotate the guarded members (GUARDED_BY) so clang -Wthread-safety "
+       "can check the lock discipline");
+}
+
+void CheckVoidCasts(const std::string& path, const std::string& original,
+                    const std::string& stripped,
+                    std::vector<Finding>& findings) {
+  for (size_t pos = stripped.find("(void)"); pos != std::string::npos;
+       pos = stripped.find("(void)", pos + 1)) {
+    size_t p = SkipSpaces(stripped, pos + 6);
+    // A discarded *call*: identifier chars (possibly qualified / chained
+    // with :: . -> and intermediate calls) ending in '('. A bare
+    // `(void)param;` unused-parameter cast has no '(' and is fine.
+    size_t q = p;
+    bool saw_call = false;
+    while (q < stripped.size()) {
+      char c = stripped[q];
+      if (IsWordChar(c) || c == ':' || c == '.' || c == ' ') {
+        ++q;
+      } else if (c == '-' && q + 1 < stripped.size() &&
+                 stripped[q + 1] == '>') {
+        q += 2;
+      } else if (c == '(') {
+        saw_call = q > p;
+        break;
+      } else {
+        break;
+      }
+    }
+    if (!saw_call) continue;
+    int line = LineOfOffset(original, pos);
+    if (LineText(original, line).find("//") != std::string::npos) continue;
+    Emit(findings, original, path, pos, "void-cast-needs-comment",
+         "discarded call cast to (void) without a same-line // comment "
+         "justifying the dropped Status/Result");
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& source) {
+  std::string stripped = StripCommentsAndStrings(source);
+  std::vector<Finding> findings;
+  CheckBannedTokens(path, source, stripped, findings);
+  CheckNakedNew(path, source, stripped, findings);
+  CheckMutexAnnotations(path, source, stripped, findings);
+  CheckVoidCasts(path, source, stripped, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+Result<std::vector<Finding>> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::NotFound(
+        StrFormat("lint root is not a directory: %s", root.c_str()));
+  }
+  std::vector<fs::path> files;
+  for (fs::recursive_directory_iterator it(root, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+      files.push_back(it->path());
+    }
+  }
+  if (ec) {
+    return Status::IoError(StrFormat("failed to walk %s: %s", root.c_str(),
+                                     ec.message().c_str()));
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      return Status::IoError(
+          StrFormat("failed to read %s", file.string().c_str()));
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    std::string rel =
+        fs::path(file).lexically_relative(root).generic_string();
+    std::vector<Finding> file_findings = LintFile(rel, contents.str());
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+}  // namespace eos::lint

@@ -1,0 +1,75 @@
+#ifndef EOS_TOOLS_LINT_LINT_H_
+#define EOS_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// The in-repo determinism linter: a token-level checker for project
+/// invariants that neither the compiler nor the sanitizers can see. It
+/// walks a source tree and enforces:
+///
+///   banned-rng              no rand()/srand()/std::random_device/time()/
+///                           system_clock outside serve/ and
+///                           common/stopwatch.h — every other path must draw
+///                           randomness from eos::Rng (seeded, reproducible)
+///                           and time from eos::Stopwatch, or runs stop
+///                           being bitwise-reproducible.
+///   unordered-container     no std::unordered_{map,set} in sampling/,
+///                           core/, metrics/ — iteration order is
+///                           implementation-defined, so any loop over one
+///                           can silently change results between stdlibs.
+///   naked-new               no naked new/delete; use containers and
+///                           make_unique/make_shared (deleted special
+///                           members, `= delete`, are fine).
+///   mutex-annotations       any file that mentions std::mutex must include
+///                           common/thread_annotations.h, so its guarded
+///                           state is annotated for clang -Wthread-safety.
+///   void-cast-needs-comment a discarded call spelled `(void)Foo(...)` must
+///                           carry a same-line // comment justifying the
+///                           drop (the [[nodiscard]] escape hatch is never
+///                           silent).
+///
+/// Suppression: a finding on line N is suppressed when line N or N-1
+/// contains `lint:allow(<rule>)` in a comment, e.g.
+///   // lint:allow(naked-new) intentionally leaked singleton
+///
+/// Matching happens on a comment- and string-stripped copy of each file, so
+/// tokens inside comments, string literals, and raw strings never trip a
+/// rule; suppressions and justification comments are read from the
+/// original text. See DESIGN.md "Static analysis" for how to add a rule.
+
+namespace eos::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string path;  // as passed in / relative to the linted root
+  int line = 0;      // 1-based
+  std::string rule;  // stable rule id, e.g. "banned-rng"
+  std::string message;
+};
+
+/// "path:line: [rule] message" — the one true output format (tested).
+std::string FormatFinding(const Finding& finding);
+
+/// Replaces the bodies of //, /* */ comments, "..." / '...' literals, and
+/// R"delim(...)delim" raw strings with spaces, preserving every newline so
+/// byte offsets map to unchanged line numbers. Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& source);
+
+/// Runs every rule over one file's contents. `path` should be relative to
+/// the linted root — path-scoped rules (banned-rng exemptions, the
+/// unordered-container deterministic-path list) match on it textually.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& source);
+
+/// Walks `root` recursively, linting every *.h / *.cc / *.cpp file in
+/// deterministic (sorted) order. Paths in the findings are relative to
+/// `root`. Fails with NotFound / IoError when the tree cannot be read.
+Result<std::vector<Finding>> LintTree(const std::string& root);
+
+}  // namespace eos::lint
+
+#endif  // EOS_TOOLS_LINT_LINT_H_

@@ -1,0 +1,38 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+/// \file
+/// CLI for the determinism linter: `eos_lint <root> [<root>...]` lints every
+/// *.h / *.cc / *.cpp under each root and prints findings as
+/// `path:line: [rule] message`. Exit 0 = clean, 1 = findings, 2 = I/O error.
+/// Registered as the `lint`-labeled ctest so `ctest -L lint` gates the tree.
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <source-root> [<source-root>...]\n",
+                 argv[0]);
+    return 2;
+  }
+  int64_t total = 0;
+  for (int i = 1; i < argc; ++i) {
+    eos::Result<std::vector<eos::lint::Finding>> findings =
+        eos::lint::LintTree(argv[i]);
+    if (!findings.ok()) {
+      std::fprintf(stderr, "%s\n", findings.status().ToString().c_str());
+      return 2;
+    }
+    for (const eos::lint::Finding& finding : *findings) {
+      std::printf("%s\n", eos::lint::FormatFinding(finding).c_str());
+    }
+    total += static_cast<int64_t>(findings->size());
+  }
+  if (total > 0) {
+    std::fprintf(stderr, "%lld lint finding(s)\n",
+                 static_cast<long long>(total));
+    return 1;
+  }
+  return 0;
+}

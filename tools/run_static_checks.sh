@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Static-analysis driver: runs everything that can be checked without
+# executing the code. Intended both for CI and as the pre-commit gate:
+#
+#   tools/run_static_checks.sh [build-dir]
+#
+# 1. the in-repo determinism linter (tools/lint) over src/   [always]
+# 2. clang-tidy over src/ using the build's compile_commands  [if installed]
+# 3. a clang -Wthread-safety -Werror compile of the tree      [if installed]
+#
+# Steps whose toolchain is missing are SKIPPED with a notice, not failed:
+# the GCC-only container still gets the lint gate, while a developer
+# machine with LLVM gets all three. Exit is nonzero iff an executed step
+# finds a problem.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+failures=0
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+# --- 1. determinism linter -------------------------------------------------
+step "tools/lint over src/"
+if [[ ! -x "$build_dir/tools/lint/eos_lint" ]]; then
+  echo "eos_lint not built; building it in $build_dir"
+  cmake -B "$build_dir" -S "$repo_root" > /dev/null &&
+    cmake --build "$build_dir" --target eos_lint -j > /dev/null ||
+    { echo "FAIL: could not build eos_lint"; exit 1; }
+fi
+if "$build_dir/tools/lint/eos_lint" "$repo_root/src"; then
+  echo "lint: clean"
+else
+  echo "FAIL: lint findings above"
+  failures=$((failures + 1))
+fi
+
+# --- 2. clang-tidy ---------------------------------------------------------
+step "clang-tidy (bugprone, performance, concurrency)"
+if command -v clang-tidy > /dev/null 2>&1; then
+  if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    cmake -B "$build_dir" -S "$repo_root" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  fi
+  # shellcheck disable=SC2046  # word-splitting the file list is the point
+  if clang-tidy -p "$build_dir" --quiet \
+      $(find "$repo_root/src" -name '*.cc' | sort); then
+    echo "clang-tidy: clean"
+  else
+    echo "FAIL: clang-tidy findings above"
+    failures=$((failures + 1))
+  fi
+else
+  echo "SKIPPED: clang-tidy not installed"
+fi
+
+# --- 3. clang thread-safety analysis --------------------------------------
+step "clang -Wthread-safety -Werror build"
+if command -v clang++ > /dev/null 2>&1; then
+  tsa_dir="$build_dir-tsa"
+  if CC=clang CXX=clang++ cmake -B "$tsa_dir" -S "$repo_root" \
+        -DEOS_ENABLE_THREAD_SAFETY_ANALYSIS=ON -DEOS_WERROR=ON > /dev/null &&
+      cmake --build "$tsa_dir" -j > /dev/null; then
+    echo "thread-safety analysis: clean"
+  else
+    echo "FAIL: -Wthread-safety diagnostics above"
+    failures=$((failures + 1))
+  fi
+else
+  echo "SKIPPED: clang++ not installed (annotations are no-ops under GCC)"
+fi
+
+step "summary"
+if [[ "$failures" -eq 0 ]]; then
+  echo "all executed static checks passed"
+else
+  echo "$failures static check(s) failed"
+fi
+exit "$((failures > 0 ? 1 : 0))"
