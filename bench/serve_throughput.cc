@@ -75,7 +75,11 @@ int main(int argc, char** argv) {
   int64_t* image_size = flags.AddInt("image_size", 10, "image edge size");
   int64_t* classes = flags.AddInt("classes", 10, "number of classes");
   int64_t* requests = flags.AddInt("requests", 512, "requests per cell");
-  int64_t* clients = flags.AddInt("clients", 8, "closed-loop client threads");
+  // Enough closed-loop clients to keep >= 32 requests outstanding: with
+  // fewer clients than 2x the largest batch size, big-batch cells can never
+  // fill a batch and spend every dispatch waiting out the delay budget —
+  // the bench would measure the timeout, not the server.
+  int64_t* clients = flags.AddInt("clients", 64, "closed-loop client threads");
   int64_t* delay_us =
       flags.AddInt("delay_us", 1000, "max queue delay per request (us)");
   int64_t* depth = flags.AddInt("depth", 1024, "queue depth (backpressure)");

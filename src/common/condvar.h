@@ -1,0 +1,82 @@
+#ifndef EOS_COMMON_CONDVAR_H_
+#define EOS_COMMON_CONDVAR_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/thread_annotations.h"
+
+/// \file
+/// A std::condition_variable wrapper whose wait methods are visible to
+/// clang's thread-safety analysis.
+///
+/// The standard wait API takes only a std::unique_lock, so the analysis
+/// cannot tell *which* mutex a waiter must hold — every cv_.wait(lock) site
+/// is a blind spot where a mismatched lock/cv pairing compiles silently and
+/// deadlocks (or races) at runtime. CondVar closes the gap by making the
+/// mutex an explicit parameter: `Wait(lock, mu_)` is annotated REQUIRES(mu),
+/// so under -Wthread-safety calling it without mu_ held is a compile error,
+/// and at runtime an EOS_CHECK rejects a lock that is not actually holding
+/// that mutex. Under GCC/MSVC the annotations vanish and only the runtime
+/// check remains.
+///
+/// Waiting with a predicate re-evaluates it with the lock held, exactly like
+/// std::condition_variable::wait(lock, pred); spurious wakeups are absorbed.
+
+namespace eos {
+
+/// Condition variable with mutex-explicit, REQUIRES-annotated wait methods.
+/// Pair one CondVar with exactly one mutex for its whole lifetime (the
+/// standard's requirement for concurrent waiters); the mutex parameter on
+/// each wait call both documents and enforces that pairing.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). `lock` must own `mu`.
+  void Wait(std::unique_lock<std::mutex>& lock, std::mutex& mu) REQUIRES(mu) {
+    CheckPairing(lock, mu);
+    cv_.wait(lock);
+  }
+
+  /// Blocks until `pred()` is true, re-checking after every wakeup with the
+  /// lock held. `lock` must own `mu`.
+  template <typename Pred>
+  void Wait(std::unique_lock<std::mutex>& lock, std::mutex& mu, Pred pred)
+      REQUIRES(mu) {
+    CheckPairing(lock, mu);
+    cv_.wait(lock, std::move(pred));
+  }
+
+  /// Blocks until notified or `deadline` passes. Returns
+  /// std::cv_status::timeout when the deadline was reached.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      std::unique_lock<std::mutex>& lock, std::mutex& mu,
+      const std::chrono::time_point<Clock, Duration>& deadline) REQUIRES(mu) {
+    CheckPairing(lock, mu);
+    return cv_.wait_until(lock, deadline);
+  }
+
+  /// Notify methods do not require the mutex: notifying after releasing the
+  /// lock is the normal low-contention pattern (the waiter re-checks its
+  /// predicate under the lock anyway).
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  static void CheckPairing(const std::unique_lock<std::mutex>& lock,
+                           const std::mutex& mu) {
+    EOS_CHECK(lock.mutex() == &mu);
+    EOS_CHECK(lock.owns_lock());
+  }
+
+  std::condition_variable cv_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_CONDVAR_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/simd/dispatch.h"
+
 namespace eos::nn {
 
 BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
@@ -77,21 +79,10 @@ Tensor BatchNorm2d::Forward(const Tensor& input, bool training) {
       }
     }
   } else {
-    const float* rm = running_mean_.data();
-    const float* rv = running_var_.data();
-    for (int64_t c = 0; c < channels_; ++c) {
-      float inv = 1.0f / std::sqrt(rv[c] + eps_);
-      float g = gamma[c];
-      float b = beta[c];
-      float m = rm[c];
-      for (int64_t img = 0; img < n; ++img) {
-        const float* src = x + (img * channels_ + c) * plane;
-        float* dst = y + (img * channels_ + c) * plane;
-        for (int64_t i = 0; i < plane; ++i) {
-          dst[i] = g * ((src[i] - m) * inv) + b;
-        }
-      }
-    }
+    // Dispatched eval-path kernel; replicates this loop's exact operation
+    // order (sub, mul, mul, add — no FMA) so every ISA agrees bitwise.
+    simd::Active().bn_eval(x, y, running_mean_.data(), running_var_.data(),
+                           gamma, beta, eps_, n, channels_, plane);
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include "runtime/parallel_for.h"
 #include "tensor/im2col.h"
 #include "tensor/matmul.h"
+#include "tensor/simd/dispatch.h"
 
 namespace eos::nn {
 namespace {
@@ -53,36 +54,29 @@ Tensor Conv2d::Forward(const Tensor& input, bool training) {
   int64_t out_w = ConvOutSize(w, kernel_, stride_, pad_);
   EOS_CHECK_GT(out_h, 0);
   EOS_CHECK_GT(out_w, 0);
-  int64_t ckk = in_channels_ * kernel_ * kernel_;
-  int64_t plane = out_h * out_w;
 
   if (training) cached_input_ = input;
 
   Tensor out({n, out_channels_, out_h, out_w});
-  const float* x = input.data();
-  float* y = out.data();
-  int64_t in_stride = in_channels_ * h * w;
-  int64_t out_stride = out_channels_ * plane;
-  // Batch-parallel: every image owns a disjoint output slice, so the result
-  // is bitwise-identical at any thread count. The im2col scratch is chunk-
-  // local; the GEMM inside detects the enclosing region and runs serially.
-  runtime::ParallelFor(0, n, /*grain=*/1, [&](int64_t img0, int64_t img1) {
-    std::vector<float> col(static_cast<size_t>(ckk * plane));
-    const float* b = has_bias_ ? bias_.value.data() : nullptr;
-    for (int64_t img = img0; img < img1; ++img) {
-      Im2Col(x + img * in_stride, in_channels_, h, w, kernel_, kernel_,
-             stride_, pad_, col.data());
-      // y_img[O, plane] += W[O, ckk] * col[ckk, plane]; y is zero-initialized.
-      GemmNN(weight_.value.data(), col.data(), y + img * out_stride,
-             out_channels_, ckk, plane);
-      if (b != nullptr) {
-        for (int64_t c = 0; c < out_channels_; ++c) {
-          float* dst = y + img * out_stride + c * plane;
-          for (int64_t i = 0; i < plane; ++i) dst[i] += b[c];
-        }
-      }
-    }
-  });
+  // Whole-batch im2col-fused forward via the dispatched SIMD layer:
+  // batch-parallel with workspace-lane scratch (zero steady-state heap
+  // allocation) and the bias fold in the GEMM tail. `out` is
+  // zero-initialized, as the kernel's accumulate semantics require.
+  simd::ConvShape shape;
+  shape.batch = n;
+  shape.in_channels = in_channels_;
+  shape.height = h;
+  shape.width = w;
+  shape.out_channels = out_channels_;
+  shape.kernel_h = kernel_;
+  shape.kernel_w = kernel_;
+  shape.stride = stride_;
+  shape.pad = pad_;
+  shape.out_h = out_h;
+  shape.out_w = out_w;
+  simd::Active().conv2d_forward(
+      input.data(), weight_.value.data(),
+      has_bias_ ? bias_.value.data() : nullptr, out.data(), shape);
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "nn/init.h"
 #include "tensor/matmul.h"
+#include "tensor/simd/dispatch.h"
 
 namespace eos::nn {
 
@@ -45,13 +46,9 @@ Tensor Linear::Forward(const Tensor& input, bool training) {
   if (training) cached_input_ = input;
   Tensor out = MatMulNT(input, weight_.value);
   if (has_bias_) {
-    float* y = out.data();
-    const float* b = bias_.value.data();
-    int64_t n = out.size(0);
-    for (int64_t i = 0; i < n; ++i) {
-      float* row = y + i * out_features_;
-      for (int64_t j = 0; j < out_features_; ++j) row[j] += b[j];
-    }
+    // Dispatched bias epilogue (pure adds, bitwise-identical across ISAs).
+    simd::Active().add_bias_rows(out.data(), bias_.value.data(), out.size(0),
+                                 out_features_);
   }
   return out;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/simd/dispatch.h"
+
 namespace eos::nn {
 
 Tensor ReLU::Forward(const Tensor& input, bool training) {
@@ -17,9 +19,9 @@ Tensor ReLU::Forward(const Tensor& input, bool training) {
       y[i] = pos ? x[i] : 0.0f;
     }
   } else {
-    for (int64_t i = 0; i < input.numel(); ++i) {
-      y[i] = x[i] > 0.0f ? x[i] : 0.0f;
-    }
+    // Dispatched eval-path kernel; max(x, 0) semantics match the scalar
+    // ternary bitwise (including NaN -> 0) on every ISA.
+    simd::Active().relu(x, y, input.numel());
   }
   return out;
 }

@@ -20,7 +20,7 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -29,7 +29,7 @@ void ThreadPool::Submit(std::function<void()> job) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(job));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -37,7 +37,7 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      cv_.Wait(lock, mu_, [this] { return stop_ || !queue_.empty(); });
       // Drain the queue even when stopping: queued jobs may hold the last
       // reference to a ParallelFor region another thread is retiring.
       if (queue_.empty()) return;

@@ -1,13 +1,13 @@
 #ifndef EOS_RUNTIME_THREAD_POOL_H_
 #define EOS_RUNTIME_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/condvar.h"
 #include "common/thread_annotations.h"
 
 /// \file
@@ -45,7 +45,7 @@ class ThreadPool {
   void WorkerLoop() EXCLUDES(mu_);
 
   std::mutex mu_;
-  std::condition_variable cv_;
+  CondVar cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;

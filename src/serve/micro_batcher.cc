@@ -69,7 +69,7 @@ Result<std::future<Result<Prediction>>> MicroBatcher::Submit(
       stats_->SetQueueDepth(static_cast<int64_t>(queue_.size()));
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -91,7 +91,9 @@ bool MicroBatcher::NextBatch(std::vector<Request>& out) {
           queue_.front().enqueue_time + std::chrono::microseconds(delay_us);
       while (static_cast<int64_t>(queue_.size()) < options_.max_batch_size &&
              !shutdown_) {
-        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+        if (cv_.WaitUntil(lock, mu_, deadline) == std::cv_status::timeout) {
+          break;
+        }
       }
       // Pop into the batch, completing expired requests inline: a request
       // past its deadline gets DeadlineExceeded instead of a batch slot, so
@@ -118,14 +120,14 @@ bool MicroBatcher::NextBatch(std::vector<Request>& out) {
       }
       // Wake sibling consumers: more work may remain, and on shutdown every
       // consumer must observe the drained queue to exit.
-      if (!queue_.empty() || shutdown_) cv_.notify_all();
+      if (!queue_.empty() || shutdown_) cv_.NotifyAll();
       // Every popped request may have been expired; go back to waiting
       // rather than hand the caller an empty batch.
       if (out.empty()) continue;
       return true;
     }
     if (shutdown_) return false;
-    cv_.wait(lock);
+    cv_.Wait(lock, mu_);
   }
 }
 
@@ -134,7 +136,7 @@ void MicroBatcher::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool MicroBatcher::shut_down() const {

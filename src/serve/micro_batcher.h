@@ -2,13 +2,13 @@
 #define EOS_SERVE_MICRO_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
 #include <vector>
 
+#include "common/condvar.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "serve/model_session.h"
@@ -121,7 +121,7 @@ class MicroBatcher {
   ServeStats* const stats_;  // may be null
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  CondVar cv_;
   std::deque<Request> queue_ GUARDED_BY(mu_);
   bool shutdown_ GUARDED_BY(mu_) = false;
 };

@@ -31,7 +31,9 @@ std::vector<Prediction> ModelSession::PredictBatch(const Tensor& images) {
     std::lock_guard<std::mutex> lock(mu_);
     // One shot through the shared offline/online inference path; the whole
     // micro-batch is a single forward, so the runtime pool parallelizes
-    // across its samples.
+    // across its samples. The replica workspace is bound for the duration
+    // so the SIMD kernels draw scratch from preallocated lanes.
+    simd::Workspace::ScopedBind bind(&workspace_);
     logits = EvalLogits(net_, images, /*batch_size=*/n);
   }
   std::vector<int64_t> labels = ArgMaxRows(logits);

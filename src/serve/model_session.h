@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "nn/network.h"
+#include "tensor/simd/workspace.h"
 
 /// \file
 /// The model half of the serving subsystem: an immutable, thread-safe
@@ -59,6 +60,12 @@ class ModelSession {
   int64_t num_classes() const { return num_classes_; }
   const std::string& arch() const { return arch_; }
 
+  /// Total capacity of this replica's kernel scratch workspace. Grows over
+  /// the first few batches as the SIMD conv driver touches each shape, then
+  /// stays constant — steady-state batches allocate nothing (tested by
+  /// serve/simd_serve_test.cc).
+  int64_t WorkspaceBytes() const { return workspace_.TotalCapacityBytes(); }
+
  private:
   mutable std::mutex mu_;  // serializes forward passes
   // Snapshot metadata is hoisted out of the guarded network at construction
@@ -67,6 +74,11 @@ class ModelSession {
   const int64_t num_classes_;
   const std::string arch_;
   nn::ImageClassifier net_ GUARDED_BY(mu_);
+  // Per-replica preallocated kernel scratch (im2col column buffers). Bound
+  // around the forward pass while mu_ is held, so its lanes are reused
+  // across batches instead of reallocated; Workspace is internally
+  // synchronized, hence not GUARDED_BY(mu_).
+  simd::Workspace workspace_;
 };
 
 }  // namespace eos::serve

@@ -171,18 +171,39 @@ void Server::RunBatch(int heartbeat_slot, int preferred_replica,
 }
 
 void Server::Shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
-  if (shutdown_done_) return;
+  std::unique_ptr<runtime::ThreadPool> workers;
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    if (shutdown_started_) {
+      // Another caller claimed the drain; wait it out so that returning
+      // from Shutdown always means "fully drained", then nothing to do.
+      shutdown_cv_.Wait(lock, shutdown_mu_,
+                        [this]() REQUIRES(shutdown_mu_) {
+                          return shutdown_done_;
+                        });
+      return;
+    }
+    shutdown_started_ = true;
+    workers = std::move(workers_);
+  }
+  // The drain runs with shutdown_mu_ released: joining the pool blocks on
+  // the batcher's and pool's internal mutexes, and holding shutdown_mu_
+  // across that would stall every concurrent Shutdown caller inside a
+  // lock it cannot need.
   batcher_.Shutdown();
-  if (workers_ != nullptr) {
+  if (workers != nullptr) {
     // The pool destructor joins the worker loops; they exit once NextBatch
     // reports the shut-down queue fully drained.
-    workers_.reset();
+    workers.reset();
   } else {
     while (ServeOnce()) {
     }
   }
-  shutdown_done_ = true;
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_done_ = true;
+  }
+  shutdown_cv_.NotifyAll();
 }
 
 }  // namespace eos::serve

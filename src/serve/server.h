@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/condvar.h"
 #include "common/rng.h"
 #include "common/thread_annotations.h"
 #include "runtime/thread_pool.h"
@@ -100,7 +101,14 @@ class Server {
   bool ServeOnce();
 
   /// Stops accepting requests, drains every queued request (completing its
-  /// future), and joins the workers. Idempotent.
+  /// future), and joins the workers. Idempotent and safe to call
+  /// concurrently: exactly one caller performs the drain; every caller
+  /// (first or not) returns only after the drain has completed.
+  ///
+  /// shutdown_mu_ is held only to claim the shutdown and take ownership of
+  /// the worker pool — never across the drain/join itself — so it cannot
+  /// participate in a lock cycle with the batcher's or the pool's internal
+  /// mutexes.
   void Shutdown() EXCLUDES(shutdown_mu_);
 
   /// Telemetry snapshot (latency percentiles, throughput, queue depth,
@@ -127,9 +135,12 @@ class Server {
   MicroBatcher batcher_;
   std::unique_ptr<ReplicaHealth> health_;
   // Declared last so it is destroyed first: the pool dtor joins the worker
-  // loops, which exit once the (already shut down) batcher drains.
+  // loops, which exit once the (already shut down) batcher drains. Shutdown
+  // moves the pool out under shutdown_mu_ and joins it unlocked.
   std::unique_ptr<runtime::ThreadPool> workers_ GUARDED_BY(shutdown_mu_);
   std::mutex shutdown_mu_;
+  CondVar shutdown_cv_;
+  bool shutdown_started_ GUARDED_BY(shutdown_mu_) = false;
   bool shutdown_done_ GUARDED_BY(shutdown_mu_) = false;
 };
 

@@ -1,113 +1,29 @@
 #include "tensor/matmul.h"
 
-#include <algorithm>
-#include <vector>
-
-#include "runtime/parallel_for.h"
+#include "tensor/simd/dispatch.h"
 
 namespace eos {
-namespace {
 
-// Output rows per ParallelFor chunk. Rows are fully independent, so the
-// row-banded kernels are bitwise-identical to the serial loops at any
-// thread count. Note: no `av == 0` skip anywhere — it would suppress IEEE
-// NaN/Inf propagation from the other operand (0 * Inf must yield NaN).
-constexpr int64_t kRowGrain = 8;
+// The raw kernels forward to the runtime-dispatched SIMD layer
+// (tensor/simd/): AVX2/FMA microkernels when the CPU has them, else the
+// historical scalar loops (kernels_scalar.cc) — bitwise-identical to this
+// file's pre-SIMD implementation. Determinism, NaN/Inf-propagation, and
+// thread-count-invariance contracts are documented in tensor/simd/dispatch.h
+// and enforced by the `simd`-labeled tests.
 
-// GemmTN's k-partitioned path: fixed chunking derived from k alone, so the
-// tile count (and the ordered reduction) never depends on the thread count.
-constexpr int64_t kMinKGrain = 128;
-constexpr int64_t kMaxKChunks = 8;
-// Below this m the row-banded GemmTN has too few bands to scale and the
-// k dimension carries the parallelism instead.
-constexpr int64_t kSmallM = 16;
-
-}  // namespace
-
-// Plain ikj kernel per output row band: streams rows of b while accumulating
-// a row of out. The inner loop vectorizes under -O3 without intrinsics.
 void GemmNN(const float* a, const float* b, float* out, int64_t m, int64_t k,
             int64_t n) {
-  runtime::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = a + i * k;
-      float* orow = out + i * n;
-      for (int64_t p = 0; p < k; ++p) {
-        float av = arow[p];
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  });
+  simd::Active().gemm_nn(a, b, out, m, k, n);
 }
 
-// out[m,n] += a[k,m]^T b[k,n].
-//
-// Two deterministic parallel decompositions:
-//  * m >= kSmallM (conv input-gradient: m = C*kh*kw): row bands. Each chunk
-//    owns rows [i0, i1) and accumulates them in the same p-ascending order
-//    as the serial kernel, so the result is bitwise serial-identical.
-//  * small m, deep k (classifier-head weight gradients: m = #classes,
-//    k = batch): partition k into at most kMaxKChunks chunks, give each its
-//    own zero-initialized [m, n] tile, and reduce the tiles into `out` in
-//    ascending chunk order after the join. Chunking depends only on k, so
-//    the summation tree — and therefore the float result — is identical at
-//    every thread count.
 void GemmTN(const float* a, const float* b, float* out, int64_t m, int64_t k,
             int64_t n) {
-  if (m >= kSmallM || k < 2 * kMinKGrain) {
-    runtime::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
-      for (int64_t p = 0; p < k; ++p) {
-        const float* arow = a + p * m;
-        const float* brow = b + p * n;
-        for (int64_t i = i0; i < i1; ++i) {
-          float av = arow[i];
-          float* orow = out + i * n;
-          for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-        }
-      }
-    });
-    return;
-  }
-  int64_t grain = std::max(kMinKGrain, (k + kMaxKChunks - 1) / kMaxKChunks);
-  int64_t chunks = runtime::NumChunks(k, grain);
-  std::vector<float> tiles(static_cast<size_t>(chunks * m * n), 0.0f);
-  runtime::ParallelForChunks(chunks, [&](int64_t c) {
-    int64_t p0 = c * grain;
-    int64_t p1 = std::min(k, p0 + grain);
-    float* tile = tiles.data() + c * m * n;
-    for (int64_t p = p0; p < p1; ++p) {
-      const float* arow = a + p * m;
-      const float* brow = b + p * n;
-      for (int64_t i = 0; i < m; ++i) {
-        float av = arow[i];
-        float* trow = tile + i * n;
-        for (int64_t j = 0; j < n; ++j) trow[j] += av * brow[j];
-      }
-    }
-  });
-  for (int64_t c = 0; c < chunks; ++c) {
-    const float* tile = tiles.data() + c * m * n;
-    for (int64_t i = 0; i < m * n; ++i) out[i] += tile[i];
-  }
+  simd::Active().gemm_tn(a, b, out, m, k, n);
 }
 
-// out[m,n] += a[m,k] b[n,k]^T: pure dot products per output row band, both
-// operands row-major.
 void GemmNT(const float* a, const float* b, float* out, int64_t m, int64_t k,
             int64_t n) {
-  runtime::ParallelFor(0, m, kRowGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = a + i * k;
-      float* orow = out + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        orow[j] += acc;
-      }
-    }
-  });
+  simd::Active().gemm_nt(a, b, out, m, k, n);
 }
 
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {

@@ -1,0 +1,88 @@
+#include "tensor/simd/workspace.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_annotations.h"
+
+namespace eos::simd {
+namespace {
+
+constexpr int64_t kAlignment = 64;  // cache line; covers 32-byte AVX loads
+
+thread_local Workspace* t_bound_workspace = nullptr;
+
+}  // namespace
+
+void WorkspaceLane::FreeDeleter::operator()(float* p) const { std::free(p); }
+
+WorkspaceLane::~WorkspaceLane() = default;
+
+float* WorkspaceLane::Floats(int64_t count) {
+  EOS_CHECK_GE(count, 0);
+  int64_t bytes = count * static_cast<int64_t>(sizeof(float));
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  if (bytes > capacity_bytes_) {
+    // Scratch contents never survive a call, so grow by realloc-free
+    // replace instead of copy.
+    data_.reset(static_cast<float*>(
+        std::aligned_alloc(static_cast<size_t>(kAlignment),
+                           static_cast<size_t>(bytes))));
+    EOS_CHECK(data_ != nullptr);
+    capacity_bytes_ = bytes;
+  }
+  return data_.get();
+}
+
+LaneGuard::~LaneGuard() { pool_->Release(lane_); }
+
+LaneGuard Workspace::AcquireLane() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_.empty()) {
+    WorkspaceLane* lane = free_.back();
+    free_.pop_back();
+    return LaneGuard(this, lane);
+  }
+  lanes_.push_back(std::make_unique<WorkspaceLane>());
+  return LaneGuard(this, lanes_.back().get());
+}
+
+void Workspace::Release(WorkspaceLane* lane) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(lane);
+}
+
+int64_t Workspace::TotalCapacityBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const std::unique_ptr<WorkspaceLane>& lane : lanes_) {
+    total += lane->CapacityBytes();
+  }
+  return total;
+}
+
+int64_t Workspace::LaneCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lanes_.size());
+}
+
+Workspace* Workspace::Current() {
+  if (t_bound_workspace != nullptr) return t_bound_workspace;
+  return &ProcessDefault();
+}
+
+Workspace& Workspace::ProcessDefault() {
+  static Workspace* process_default = new Workspace();  // lint:allow(naked-new) intentionally leaked process singleton
+  return *process_default;
+}
+
+Workspace::ScopedBind::ScopedBind(Workspace* ws) {
+  previous_ = t_bound_workspace;
+  t_bound_workspace = ws;
+}
+
+Workspace::ScopedBind::~ScopedBind() { t_bound_workspace = previous_; }
+
+}  // namespace eos::simd

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "runtime/parallel_for.h"
+#include "tensor/simd/dispatch.h"
 
 namespace eos {
 namespace {
@@ -192,23 +193,9 @@ Tensor SoftmaxRows(const Tensor& logits) {
   int64_t n = logits.size(0);
   int64_t d = logits.size(1);
   Tensor out({n, d});
-  const float* p = logits.data();
-  float* po = out.data();
-  runtime::ParallelFor(0, n, kRowGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* row = p + i * d;
-      float* orow = po + i * d;
-      float mx = row[0];
-      for (int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
-      double denom = 0.0;
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] = std::exp(row[j] - mx);
-        denom += orow[j];
-      }
-      float inv = static_cast<float>(1.0 / denom);
-      for (int64_t j = 0; j < d; ++j) orow[j] *= inv;
-    }
-  });
+  // Dispatched kernel (row-parallel inside); the exp/denominator math is
+  // shared scalar code on every ISA, so results are bitwise path-identical.
+  simd::Active().softmax_rows(logits.data(), out.data(), n, d);
   return out;
 }
 

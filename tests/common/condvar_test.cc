@@ -1,0 +1,138 @@
+#include "common/condvar.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.h"
+
+namespace eos {
+namespace {
+
+TEST(CondVarTest, PredicateWaitObservesNotifiedState) {
+  std::mutex mu;
+  CondVar cv;
+  bool ready GUARDED_BY(mu) = false;
+
+  std::thread waiter([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.Wait(lock, mu, [&]() REQUIRES(mu) { return ready; });
+    EXPECT_TRUE(ready);
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+}
+
+TEST(CondVarTest, PlainWaitAbsorbsSpuriousWakeupsViaCallerLoop) {
+  std::mutex mu;
+  CondVar cv;
+  int stage GUARDED_BY(mu) = 0;
+
+  std::thread waiter([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    while (stage < 2) cv.Wait(lock, mu);
+    EXPECT_EQ(stage, 2);
+  });
+
+  // Two notifications, each advancing one stage: the waiter's loop must
+  // re-check and keep waiting after the first.
+  for (int i = 0; i < 2; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++stage;
+    }
+    cv.NotifyAll();
+  }
+  waiter.join();
+}
+
+TEST(CondVarTest, WaitUntilTimesOutWhenNeverNotified) {
+  std::mutex mu;
+  CondVar cv;
+  std::unique_lock<std::mutex> lock(mu);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  // Spurious wakeups may return no_timeout early; keep waiting until the
+  // deadline actually passes, as a real caller's predicate loop would.
+  while (std::chrono::steady_clock::now() < deadline) {
+    cv.WaitUntil(lock, mu, deadline);
+  }
+  EXPECT_TRUE(lock.owns_lock());  // reacquired after every wakeup
+}
+
+TEST(CondVarTest, WaitUntilReturnsBeforeDeadlineWhenNotified) {
+  std::mutex mu;
+  CondVar cv;
+  bool ready GUARDED_BY(mu) = false;
+
+  std::thread notifier([&] {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ready = true;
+    }
+    cv.NotifyOne();
+  });
+
+  std::unique_lock<std::mutex> lock(mu);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!ready) {
+    ASSERT_EQ(cv.WaitUntil(lock, mu, deadline), std::cv_status::no_timeout);
+  }
+  lock.unlock();
+  notifier.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  constexpr int kWaiters = 4;
+  std::mutex mu;
+  CondVar cv;
+  bool go GUARDED_BY(mu) = false;
+  std::atomic<int> woke{0};
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.Wait(lock, mu, [&]() REQUIRES(mu) { return go; });
+      woke.fetch_add(1);
+    });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+TEST(CondVarDeathTest, WaitingOnTheWrongMutexIsFatal) {
+  std::mutex mu;
+  std::mutex other;
+  CondVar cv;
+  std::unique_lock<std::mutex> lock(mu);
+  // The lock owns mu, but the caller claims the cv is paired with `other`:
+  // exactly the mismatched pairing the runtime check exists to catch.
+  EXPECT_DEATH({ cv.Wait(lock, other); }, "EOS_CHECK failed");
+}
+
+TEST(CondVarDeathTest, WaitingWithoutOwningTheLockIsFatal) {
+  std::mutex mu;
+  CondVar cv;
+  std::unique_lock<std::mutex> lock(mu, std::defer_lock);
+  EXPECT_DEATH({ cv.Wait(lock, mu); }, "EOS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace eos

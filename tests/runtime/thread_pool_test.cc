@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_annotations.h"
+
 namespace eos::runtime {
 namespace {
 

@@ -1,0 +1,119 @@
+// End-to-end SIMD-dispatch contract at the serving layer: for EACH ISA path
+// the machine can run, served predictions are bitwise-identical to offline
+// core::Predict under the same forced path, and the per-replica workspace
+// reaches a fixed point after warmup (zero steady-state allocation).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "nn/resnet.h"
+#include "runtime/thread_pool.h"
+#include "serve/model_session.h"
+#include "tensor/simd/dispatch.h"
+#include "tensor/tensor_ops.h"
+
+namespace eos::serve {
+namespace {
+
+std::vector<simd::Isa> RunnableIsas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+  if (simd::CpuSupportsAvx2()) isas.push_back(simd::Isa::kAvx2);
+  return isas;
+}
+
+/// A small net with moved BN running stats, as serving would see it.
+nn::ImageClassifier WarmedNet(uint64_t seed) {
+  Rng rng(seed);
+  nn::ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = 4;
+  nn::ImageClassifier net = nn::BuildResNet(config, rng);
+  Rng warm_rng(seed + 100);
+  Tensor warmup = Tensor::Uniform({8, 3, 8, 8}, -1.0f, 1.0f, warm_rng);
+  net.Forward(warmup, /*training=*/true);
+  return net;
+}
+
+TEST(SimdServeTest, ServedMatchesOfflinePredictBitwisePerPath) {
+  Rng rng(41);
+  Tensor images = Tensor::Uniform({9, 3, 8, 8}, -1.0f, 1.0f, rng);
+  for (simd::Isa isa : RunnableIsas()) {
+    simd::ScopedForceIsa force(isa);
+    nn::ImageClassifier offline_net = WarmedNet(1);
+    // Offline reference at a ragged batch size, through the same forced path.
+    std::vector<int64_t> expected = Predict(offline_net, images,
+                                            /*batch_size=*/4);
+    Tensor probs = SoftmaxRows(EvalLogits(offline_net, images));
+
+    ModelSession session(WarmedNet(1));
+    std::vector<Prediction> served = session.PredictBatch(images);
+    ASSERT_EQ(served.size(), expected.size());
+    for (size_t i = 0; i < served.size(); ++i) {
+      int64_t row = static_cast<int64_t>(i);
+      EXPECT_EQ(served[i].label, expected[i])
+          << "path " << simd::IsaName(isa) << " sample " << i;
+      // Confidence must be bitwise max-softmax of the offline logits.
+      float max_prob = 0.0f;
+      for (int64_t c = 0; c < probs.size(1); ++c) {
+        max_prob = std::max(max_prob, probs.at(row, c));
+      }
+      EXPECT_EQ(served[i].confidence, max_prob)
+          << "path " << simd::IsaName(isa) << " sample " << i;
+    }
+  }
+}
+
+TEST(SimdServeTest, ScalarPathServesIdenticallyAtAnyThreadCount) {
+  Rng rng(42);
+  Tensor images = Tensor::Uniform({6, 3, 8, 8}, -1.0f, 1.0f, rng);
+  for (simd::Isa isa : RunnableIsas()) {
+    simd::ScopedForceIsa force(isa);
+    ModelSession session(WarmedNet(2));
+    runtime::SetThreadCount(1);
+    std::vector<Prediction> single = session.PredictBatch(images);
+    runtime::SetThreadCount(4);
+    std::vector<Prediction> multi = session.PredictBatch(images);
+    runtime::SetThreadCount(1);
+    ASSERT_EQ(single.size(), multi.size());
+    for (size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(single[i].label, multi[i].label)
+          << "path " << simd::IsaName(isa) << " sample " << i;
+      EXPECT_EQ(single[i].confidence, multi[i].confidence)
+          << "path " << simd::IsaName(isa) << " sample " << i;
+    }
+  }
+}
+
+TEST(SimdServeTest, WorkspaceReachesFixedPointAfterWarmup) {
+  // One lane: with a single execution lane the pool's peak concurrency is
+  // fixed, so the capacity fixed point is exact rather than scheduling-
+  // dependent (more lanes would still plateau, just later).
+  runtime::SetThreadCount(1);
+  ModelSession session(WarmedNet(3));
+  EXPECT_EQ(session.WorkspaceBytes(), 0);  // nothing allocated before use
+
+  Rng rng(43);
+  Tensor images = Tensor::Uniform({4, 3, 8, 8}, -1.0f, 1.0f, rng);
+  session.PredictBatch(images);
+  int64_t warmed = session.WorkspaceBytes();
+  EXPECT_GT(warmed, 0);  // conv scratch came from the session's workspace
+
+  // Steady state: repeated batches of the same shape must not grow the
+  // workspace by a single byte — the zero-allocation fast-path contract.
+  for (int i = 0; i < 8; ++i) {
+    session.PredictBatch(images);
+    EXPECT_EQ(session.WorkspaceBytes(), warmed) << "batch " << i;
+  }
+
+  // Smaller requests reuse the grown lanes; only a LARGER working set may
+  // grow the pool.
+  Tensor one = Tensor::Uniform({1, 3, 8, 8}, -1.0f, 1.0f, rng);
+  session.PredictBatch(one);
+  EXPECT_EQ(session.WorkspaceBytes(), warmed);
+}
+
+}  // namespace
+}  // namespace eos::serve

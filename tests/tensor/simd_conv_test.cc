@@ -1,0 +1,207 @@
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/im2col.h"
+#include "tensor/simd/dispatch.h"
+
+namespace eos::simd {
+namespace {
+
+std::vector<Isa> RunnableIsas() {
+  std::vector<Isa> isas = {Isa::kScalar};
+  if (CpuSupportsAvx2()) isas.push_back(Isa::kAvx2);
+  return isas;
+}
+
+std::vector<float> RandomVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.Uniform(-1.0f, 1.0f);
+  return v;
+}
+
+ConvShape MakeShape(int64_t batch, int64_t c_in, int64_t h, int64_t w,
+                    int64_t c_out, int64_t k, int64_t stride, int64_t pad) {
+  ConvShape s;
+  s.batch = batch;
+  s.in_channels = c_in;
+  s.height = h;
+  s.width = w;
+  s.out_channels = c_out;
+  s.kernel_h = k;
+  s.kernel_w = k;
+  s.stride = stride;
+  s.pad = pad;
+  s.out_h = ConvOutSize(h, k, stride, pad);
+  s.out_w = ConvOutSize(w, k, stride, pad);
+  return s;
+}
+
+/// Double-precision direct convolution: the slow, obviously-correct
+/// reference both ISA paths are checked against (to tolerance).
+std::vector<float> DirectConvBatch(const std::vector<float>& x,
+                                   const std::vector<float>& weight,
+                                   const std::vector<float>& bias,
+                                   const ConvShape& s) {
+  std::vector<float> y(
+      static_cast<size_t>(s.batch * s.out_channels * s.out_h * s.out_w), 0.0f);
+  for (int64_t img = 0; img < s.batch; ++img) {
+    const float* image = x.data() + img * s.in_channels * s.height * s.width;
+    float* out = y.data() + img * s.out_channels * s.out_h * s.out_w;
+    for (int64_t oc = 0; oc < s.out_channels; ++oc) {
+      for (int64_t oy = 0; oy < s.out_h; ++oy) {
+        for (int64_t ox = 0; ox < s.out_w; ++ox) {
+          double acc = bias.empty() ? 0.0 : bias[static_cast<size_t>(oc)];
+          for (int64_t ic = 0; ic < s.in_channels; ++ic) {
+            for (int64_t ky = 0; ky < s.kernel_h; ++ky) {
+              for (int64_t kx = 0; kx < s.kernel_w; ++kx) {
+                int64_t iy = oy * s.stride - s.pad + ky;
+                int64_t ix = ox * s.stride - s.pad + kx;
+                if (iy < 0 || iy >= s.height || ix < 0 || ix >= s.width) {
+                  continue;
+                }
+                double pixel =
+                    image[(ic * s.height + iy) * s.width + ix];
+                double wv = weight[static_cast<size_t>(
+                    ((oc * s.in_channels + ic) * s.kernel_h + ky) *
+                        s.kernel_w +
+                    kx)];
+                acc += pixel * wv;
+              }
+            }
+          }
+          out[(oc * s.out_h + oy) * s.out_w + ox] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+/// The fused kernel decomposed by hand with the SAME ISA's GEMM: per image,
+/// im2col then gemm_nn then a bias broadcast. The fused path must match this
+/// bitwise — fusion may save allocations, never change a rounding.
+std::vector<float> ComposedConv(const KernelTable& table,
+                                const std::vector<float>& x,
+                                const std::vector<float>& weight,
+                                const std::vector<float>& bias,
+                                const ConvShape& s) {
+  int64_t ckk = s.in_channels * s.kernel_h * s.kernel_w;
+  int64_t plane = s.out_h * s.out_w;
+  std::vector<float> col(static_cast<size_t>(ckk * plane));
+  std::vector<float> y(static_cast<size_t>(s.batch * s.out_channels * plane),
+                       0.0f);
+  for (int64_t img = 0; img < s.batch; ++img) {
+    const float* image = x.data() + img * s.in_channels * s.height * s.width;
+    float* out = y.data() + img * s.out_channels * plane;
+    Im2Col(image, s.in_channels, s.height, s.width, s.kernel_h, s.kernel_w,
+           s.stride, s.pad, col.data());
+    table.gemm_nn(weight.data(), col.data(), out, s.out_channels, ckk, plane);
+    if (!bias.empty()) {
+      for (int64_t oc = 0; oc < s.out_channels; ++oc) {
+        for (int64_t p = 0; p < plane; ++p) {
+          out[oc * plane + p] += bias[static_cast<size_t>(oc)];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+/// (c_in, hw, c_out, k, stride, pad, batch, with_bias) — edge geometries:
+/// 1x1 kernels, batch-1, stride tails that don't divide the spatial extent,
+/// single-channel, and pad-0 shrinking convs.
+class SimdConvTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, int, int, int, int, bool>> {};
+
+TEST_P(SimdConvTest, FusedMatchesComposedBitwiseAndDirectToTolerance) {
+  auto [c_in, hw, c_out, k, stride, pad, batch, with_bias] = GetParam();
+  ConvShape s = MakeShape(batch, c_in, hw, hw, c_out, k, stride, pad);
+  ASSERT_GT(s.out_h, 0);
+  ASSERT_GT(s.out_w, 0);
+  std::vector<float> x =
+      RandomVec(s.batch * s.in_channels * s.height * s.width, 21);
+  std::vector<float> weight = RandomVec(
+      s.out_channels * s.in_channels * s.kernel_h * s.kernel_w, 22);
+  std::vector<float> bias =
+      with_bias ? RandomVec(s.out_channels, 23) : std::vector<float>{};
+
+  std::vector<float> reference = DirectConvBatch(x, weight, bias, s);
+  for (Isa isa : RunnableIsas()) {
+    const KernelTable& table = Table(isa);
+    std::vector<float> fused(reference.size(), 0.0f);
+    table.conv2d_forward(x.data(), weight.data(),
+                         bias.empty() ? nullptr : bias.data(), fused.data(),
+                         s);
+
+    std::vector<float> composed = ComposedConv(table, x, weight, bias, s);
+    ASSERT_EQ(fused.size(), composed.size());
+    EXPECT_EQ(std::memcmp(fused.data(), composed.data(),
+                          fused.size() * sizeof(float)),
+              0)
+        << "fused != composed on " << IsaName(isa);
+
+    for (size_t i = 0; i < fused.size(); ++i) {
+      ASSERT_NEAR(fused[i], reference[i], 1e-4f)
+          << "path " << IsaName(isa) << " flat index " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, SimdConvTest,
+    ::testing::Values(
+        // 3x3 same-pad at a spatial size whose plane (49) has an awkward
+        // tail for both the 16-wide and 8-wide column blocks.
+        std::make_tuple(3, 7, 4, 3, 1, 1, 2, true),
+        // 1x1 kernel: conv degenerates to a channel-mixing GEMM.
+        std::make_tuple(4, 6, 3, 1, 1, 0, 2, true),
+        std::make_tuple(2, 5, 2, 1, 2, 0, 1, false),
+        // batch-1 (the PredictOne serving path).
+        std::make_tuple(3, 8, 5, 3, 1, 1, 1, true),
+        // stride 2 with an odd extent: last window truncates.
+        std::make_tuple(2, 9, 3, 3, 2, 1, 3, true),
+        // single input channel, shrinking pad-0 conv.
+        std::make_tuple(1, 6, 2, 3, 1, 0, 2, false),
+        // wide-ish channels so ckk exceeds one microkernel row band.
+        std::make_tuple(8, 5, 7, 3, 1, 1, 2, true)));
+
+TEST(SimdConvBatchTest, BatchCompositionIsBitwiseIrrelevantPerPath) {
+  // Convolving a batch must equal convolving each image alone, bitwise,
+  // on every path — the conv driver is per-image by construction and this
+  // pins that contract against future blocking changes.
+  ConvShape batched = MakeShape(/*batch=*/5, 3, 6, 6, 4, 3, 1, 1);
+  ConvShape single = batched;
+  single.batch = 1;
+  int64_t image_numel = batched.in_channels * batched.height * batched.width;
+  int64_t out_numel = batched.out_channels * batched.out_h * batched.out_w;
+  std::vector<float> x = RandomVec(batched.batch * image_numel, 31);
+  std::vector<float> weight = RandomVec(
+      batched.out_channels * batched.in_channels * 3 * 3, 32);
+  std::vector<float> bias = RandomVec(batched.out_channels, 33);
+
+  for (Isa isa : RunnableIsas()) {
+    const KernelTable& table = Table(isa);
+    std::vector<float> full(static_cast<size_t>(batched.batch * out_numel),
+                            0.0f);
+    table.conv2d_forward(x.data(), weight.data(), bias.data(), full.data(),
+                         batched);
+    for (int64_t img = 0; img < batched.batch; ++img) {
+      std::vector<float> one(static_cast<size_t>(out_numel), 0.0f);
+      table.conv2d_forward(x.data() + img * image_numel, weight.data(),
+                           bias.data(), one.data(), single);
+      EXPECT_EQ(std::memcmp(one.data(), full.data() + img * out_numel,
+                            static_cast<size_t>(out_numel) * sizeof(float)),
+                0)
+          << "image " << img << " on " << IsaName(isa);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eos::simd

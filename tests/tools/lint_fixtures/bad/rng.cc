@@ -9,6 +9,11 @@ int Fixture() {
   std::random_device rd;
   long t = time(nullptr);
   auto now = std::chrono::system_clock::now();
+  double d = drand48();
+  srand48(42);
+  std::mt19937 engine(7);
+  std::mt19937_64 wide_engine(7);
   long ticks = static_cast<long>(now.time_since_epoch().count());
-  return a + static_cast<int>(rd()) + static_cast<int>(t + ticks);
+  return a + static_cast<int>(rd()) + static_cast<int>(t + ticks) +
+         static_cast<int>(d + engine() % 2 + wide_engine() % 2);
 }

@@ -97,6 +97,50 @@ TEST(LintFileTest, ServePathAndStopwatchAreExemptFromRngRule) {
   EXPECT_EQ(LintFile("common/other.h", source).size(), 1u);
 }
 
+TEST(LintFileTest, FlagsDrand48AndRawMt19937Engines) {
+  std::vector<Finding> findings = LintFile(
+      "core/x.cc",
+      "#include <random>\n"
+      "double f() {\n"
+      "  std::mt19937 gen(1);\n"
+      "  std::mt19937_64 gen64(1);\n"
+      "  srand48(9);\n"
+      "  return drand48() + gen() + gen64();\n"
+      "}\n");
+  // mt19937, mt19937_64, srand48, drand48 — the engine *names* are flagged
+  // once each; calls through the resulting objects are not re-flagged.
+  EXPECT_EQ(CountRule(findings, "banned-rng"), 4);
+}
+
+TEST(LintFileTest, Mt19937PrefixOfOtherIdentifiersIsNotFlagged) {
+  // Token matching is word-bounded: an identifier that merely contains the
+  // engine name is fine, and drand48 must be a call.
+  std::vector<Finding> findings = LintFile(
+      "core/x.cc", "int mt19937_like = 1;\nint drand48_count = 2;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFileTest, RelaxedProfileKeepsReproducibilityRulesOnly) {
+  std::string source =
+      "#include <mutex>\n"
+      "std::mutex mu;\n"
+      "int* leak() { return new int(rand()); }\n"
+      "#include <unordered_map>\n";
+  std::vector<Finding> strict =
+      LintFile("sampling/x.cc", source, Profile::kStrict);
+  std::vector<Finding> relaxed =
+      LintFile("sampling/x.cc", source, Profile::kRelaxed);
+  EXPECT_EQ(CountRule(strict, "banned-rng"), 1);
+  EXPECT_EQ(CountRule(strict, "naked-new"), 1);
+  EXPECT_EQ(CountRule(strict, "unordered-container"), 1);
+  EXPECT_EQ(CountRule(strict, "mutex-annotations"), 1);
+  EXPECT_EQ(CountRule(relaxed, "banned-rng"), 1);
+  EXPECT_EQ(CountRule(relaxed, "mutex-annotations"), 1);
+  EXPECT_EQ(CountRule(relaxed, "naked-new"), 0);
+  EXPECT_EQ(CountRule(relaxed, "unordered-container"), 0);
+  EXPECT_EQ(CountRule(relaxed, "void-cast-needs-comment"), 0);
+}
+
 TEST(LintFileTest, UnorderedContainersOnlyFlaggedInDeterministicPaths) {
   std::string source = "#include <unordered_map>\n";
   EXPECT_EQ(LintFile("sampling/x.cc", source).size(), 1u);
@@ -191,8 +235,8 @@ TEST(LintTreeTest, FixtureTreeProducesExactFindings) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const std::vector<Finding>& findings = *result;
 
-  EXPECT_EQ(findings.size(), 12u);
-  EXPECT_EQ(CountRule(findings, "banned-rng"), 4);
+  EXPECT_EQ(findings.size(), 16u);
+  EXPECT_EQ(CountRule(findings, "banned-rng"), 8);
   EXPECT_EQ(CountRule(findings, "naked-new"), 2);
   EXPECT_EQ(CountRule(findings, "void-cast-needs-comment"), 1);
   EXPECT_EQ(CountRule(findings, "mutex-annotations"), 1);
@@ -209,6 +253,10 @@ TEST(LintTreeTest, FixtureTreeProducesExactFindings) {
   EXPECT_TRUE(contains("bad/rng.cc:9: [banned-rng]"));
   EXPECT_TRUE(contains("bad/rng.cc:10: [banned-rng]"));
   EXPECT_TRUE(contains("bad/rng.cc:11: [banned-rng]"));
+  EXPECT_TRUE(contains("bad/rng.cc:12: [banned-rng]"));  // drand48
+  EXPECT_TRUE(contains("bad/rng.cc:13: [banned-rng]"));  // srand48
+  EXPECT_TRUE(contains("bad/rng.cc:14: [banned-rng]"));  // mt19937
+  EXPECT_TRUE(contains("bad/rng.cc:15: [banned-rng]"));  // mt19937_64
   EXPECT_TRUE(contains("bad/naked_new.cc:8: [naked-new]"));
   EXPECT_TRUE(contains("bad/naked_new.cc:9: [naked-new]"));
   EXPECT_TRUE(contains("bad/dropped_status.cc:5: [void-cast-needs-comment]"));
@@ -221,6 +269,29 @@ TEST(LintTreeTest, FixtureTreeProducesExactFindings) {
     EXPECT_NE(finding.path, "serve/uses_clock.cc");
     EXPECT_NE(finding.path, "common/stopwatch.h");
     EXPECT_NE(finding.path, "good/clean.cc");
+  }
+}
+
+TEST(LintTreeTest, RelaxedProfileDropsStyleRulesOnFixtures) {
+  Result<std::vector<Finding>> result =
+      LintTree(EOS_LINT_FIXTURE_DIR, Profile::kRelaxed);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(CountRule(*result, "banned-rng"), 8);
+  EXPECT_EQ(CountRule(*result, "mutex-annotations"), 1);
+  EXPECT_EQ(CountRule(*result, "naked-new"), 0);
+  EXPECT_EQ(CountRule(*result, "unordered-container"), 0);
+  EXPECT_EQ(CountRule(*result, "void-cast-needs-comment"), 0);
+}
+
+TEST(LintTreeTest, LintFixtureDirectoriesAreSkippedWhenNotTheRoot) {
+  // Linting the PARENT of the fixture tree (tests/tools/) must not surface
+  // the deliberately-bad fixture files — they are linter test data.
+  Result<std::vector<Finding>> result =
+      LintTree(std::string(EOS_LINT_FIXTURE_DIR) + "/..");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const Finding& finding : *result) {
+    EXPECT_EQ(finding.path.find("lint_fixtures"), std::string::npos)
+        << FormatFinding(finding);
   }
 }
 

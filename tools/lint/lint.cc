@@ -79,9 +79,19 @@ constexpr BannedToken kRngTokens[] = {
      "banned RNG: rand() is unseeded global state; draw from eos::Rng"},
     {"srand", true,
      "banned RNG: srand() reseeds global state; construct an eos::Rng"},
+    {"drand48", true,
+     "banned RNG: drand48() is unseeded global state; draw from eos::Rng"},
+    {"srand48", true,
+     "banned RNG: srand48() reseeds global state; construct an eos::Rng"},
     {"random_device", false,
      "banned RNG: std::random_device is nondeterministic by design; "
      "seed an eos::Rng instead"},
+    {"mt19937", false,
+     "banned RNG: raw std::mt19937 bypasses eos::Rng; all randomness must "
+     "flow through a seeded Rng for bit-for-bit reproducibility"},
+    {"mt19937_64", false,
+     "banned RNG: raw std::mt19937_64 bypasses eos::Rng; all randomness "
+     "must flow through a seeded Rng for bit-for-bit reproducibility"},
     {"time", true,
      "banned clock: time() makes runs time-dependent; use eos::Stopwatch "
      "for intervals"},
@@ -223,7 +233,7 @@ void Emit(std::vector<Finding>& findings, const std::string& original,
 
 void CheckBannedTokens(const std::string& path, const std::string& original,
                        const std::string& stripped,
-                       std::vector<Finding>& findings) {
+                       std::vector<Finding>& findings, bool unordered) {
   if (!RngExempt(path)) {
     for (const BannedToken& banned : kRngTokens) {
       std::string token = banned.token;
@@ -238,7 +248,7 @@ void CheckBannedTokens(const std::string& path, const std::string& original,
       }
     }
   }
-  if (UnorderedScoped(path)) {
+  if (unordered && UnorderedScoped(path)) {
     for (const char* token : {"unordered_map", "unordered_set"}) {
       for (size_t pos = stripped.find(token); pos != std::string::npos;
            pos = stripped.find(token, pos + 1)) {
@@ -329,13 +339,16 @@ void CheckVoidCasts(const std::string& path, const std::string& original,
 }  // namespace
 
 std::vector<Finding> LintFile(const std::string& path,
-                              const std::string& source) {
+                              const std::string& source, Profile profile) {
   std::string stripped = StripCommentsAndStrings(source);
   std::vector<Finding> findings;
-  CheckBannedTokens(path, source, stripped, findings);
-  CheckNakedNew(path, source, stripped, findings);
+  CheckBannedTokens(path, source, stripped, findings,
+                    /*unordered=*/profile == Profile::kStrict);
   CheckMutexAnnotations(path, source, stripped, findings);
-  CheckVoidCasts(path, source, stripped, findings);
+  if (profile == Profile::kStrict) {
+    CheckNakedNew(path, source, stripped, findings);
+    CheckVoidCasts(path, source, stripped, findings);
+  }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
@@ -344,7 +357,8 @@ std::vector<Finding> LintFile(const std::string& path,
   return findings;
 }
 
-Result<std::vector<Finding>> LintTree(const std::string& root) {
+Result<std::vector<Finding>> LintTree(const std::string& root,
+                                      Profile profile) {
   namespace fs = std::filesystem;
   std::error_code ec;
   if (!fs::is_directory(root, ec)) {
@@ -354,6 +368,13 @@ Result<std::vector<Finding>> LintTree(const std::string& root) {
   std::vector<fs::path> files;
   for (fs::recursive_directory_iterator it(root, ec), end;
        it != end && !ec; it.increment(ec)) {
+    // Fixture trees are deliberately rule-breaking linter *test data*
+    // (tests/tools/lint_fixtures/); they are linted by lint_test.cc with
+    // their own root, never as part of a real source tree.
+    if (it->is_directory() && it->path().filename() == "lint_fixtures") {
+      it.disable_recursion_pending();
+      continue;
+    }
     if (!it->is_regular_file()) continue;
     std::string ext = it->path().extension().string();
     if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
@@ -376,7 +397,8 @@ Result<std::vector<Finding>> LintTree(const std::string& root) {
     contents << in.rdbuf();
     std::string rel =
         fs::path(file).lexically_relative(root).generic_string();
-    std::vector<Finding> file_findings = LintFile(rel, contents.str());
+    std::vector<Finding> file_findings =
+        LintFile(rel, contents.str(), profile);
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }

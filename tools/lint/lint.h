@@ -11,8 +11,9 @@
 /// invariants that neither the compiler nor the sanitizers can see. It
 /// walks a source tree and enforces:
 ///
-///   banned-rng              no rand()/srand()/std::random_device/time()/
-///                           system_clock outside serve/ and
+///   banned-rng              no rand()/srand()/drand48()/srand48()/
+///                           std::random_device/raw std::mt19937 engines/
+///                           time()/system_clock outside serve/ and
 ///                           common/stopwatch.h — every other path must draw
 ///                           randomness from eos::Rng (seeded, reproducible)
 ///                           and time from eos::Stopwatch, or runs stop
@@ -32,6 +33,14 @@
 ///                           drop (the [[nodiscard]] escape hatch is never
 ///                           silent).
 ///
+/// Profiles: production code (src/) lints with Profile::kStrict — every
+/// rule. Test and benchmark trees lint with Profile::kRelaxed, which keeps
+/// the reproducibility-critical rules (banned-rng, mutex-annotations) but
+/// drops the style-tier ones (naked-new, unordered-container,
+/// void-cast-needs-comment): a test may reasonably juggle raw pointers or
+/// hash containers, but nondeterministic RNG in a test makes its failures
+/// unreproducible, which is exactly when determinism matters most.
+///
 /// Suppression: a finding on line N is suppressed when line N or N-1
 /// contains `lint:allow(<rule>)` in a comment, e.g.
 ///   // lint:allow(naked-new) intentionally leaked singleton
@@ -42,6 +51,13 @@
 /// original text. See DESIGN.md "Static analysis" for how to add a rule.
 
 namespace eos::lint {
+
+/// Which rule set to apply. kStrict = all rules (production src/);
+/// kRelaxed = reproducibility rules only (tests/, bench/).
+enum class Profile {
+  kStrict,
+  kRelaxed,
+};
 
 /// One rule violation at a source location.
 struct Finding {
@@ -59,16 +75,18 @@ std::string FormatFinding(const Finding& finding);
 /// byte offsets map to unchanged line numbers. Exposed for tests.
 std::string StripCommentsAndStrings(const std::string& source);
 
-/// Runs every rule over one file's contents. `path` should be relative to
-/// the linted root — path-scoped rules (banned-rng exemptions, the
-/// unordered-container deterministic-path list) match on it textually.
+/// Runs the profile's rules over one file's contents. `path` should be
+/// relative to the linted root — path-scoped rules (banned-rng exemptions,
+/// the unordered-container deterministic-path list) match on it textually.
 std::vector<Finding> LintFile(const std::string& path,
-                              const std::string& source);
+                              const std::string& source,
+                              Profile profile = Profile::kStrict);
 
 /// Walks `root` recursively, linting every *.h / *.cc / *.cpp file in
 /// deterministic (sorted) order. Paths in the findings are relative to
 /// `root`. Fails with NotFound / IoError when the tree cannot be read.
-Result<std::vector<Finding>> LintTree(const std::string& root);
+Result<std::vector<Finding>> LintTree(const std::string& root,
+                                      Profile profile = Profile::kStrict);
 
 }  // namespace eos::lint
 

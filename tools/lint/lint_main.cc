@@ -1,25 +1,41 @@
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "lint.h"
 
 /// \file
-/// CLI for the determinism linter: `eos_lint <root> [<root>...]` lints every
-/// *.h / *.cc / *.cpp under each root and prints findings as
-/// `path:line: [rule] message`. Exit 0 = clean, 1 = findings, 2 = I/O error.
-/// Registered as the `lint`-labeled ctest so `ctest -L lint` gates the tree.
+/// CLI for the determinism linter: `eos_lint [--relaxed] <root> [<root>...]`
+/// lints every *.h / *.cc / *.cpp under each root and prints findings as
+/// `path:line: [rule] message`. Exit 0 = clean, 1 = findings, 2 = I/O or
+/// usage error. `--relaxed` applies the test/bench profile (reproducibility
+/// rules only — see lint.h); the default is the strict production profile.
+/// Registered as the `lint`-labeled ctests (lint_src strict over src/,
+/// lint_tests / lint_bench relaxed) so `ctest -L lint` gates the tree.
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <source-root> [<source-root>...]\n",
+  eos::lint::Profile profile = eos::lint::Profile::kStrict;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--relaxed") == 0) {
+      profile = eos::lint::Profile::kRelaxed;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    } else {
+      roots.push_back(argv[i]);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: %s [--relaxed] <source-root> [<root>...]\n",
                  argv[0]);
     return 2;
   }
   int64_t total = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (const std::string& root : roots) {
     eos::Result<std::vector<eos::lint::Finding>> findings =
-        eos::lint::LintTree(argv[i]);
+        eos::lint::LintTree(root, profile);
     if (!findings.ok()) {
       std::fprintf(stderr, "%s\n", findings.status().ToString().c_str());
       return 2;

@@ -7,6 +7,7 @@
 # 1. the in-repo determinism linter (tools/lint) over src/   [always]
 # 2. clang-tidy over src/ using the build's compile_commands  [if installed]
 # 3. a clang -Wthread-safety -Werror compile of the tree      [if installed]
+# 4. the SIMD scalar/AVX2 equivalence tier (ctest -L simd)    [if built]
 #
 # Steps whose toolchain is missing are SKIPPED with a notice, not failed:
 # the GCC-only container still gets the lint gate, while a developer
@@ -68,6 +69,23 @@ if command -v clang++ > /dev/null 2>&1; then
   fi
 else
   echo "SKIPPED: clang++ not installed (annotations are no-ops under GCC)"
+fi
+
+# --- 4. SIMD dispatch equivalence tier -------------------------------------
+# Not strictly static, but it is the gate on the dispatch layer's central
+# claim (per-ISA-path determinism and scalar/AVX2 agreement), and each suite
+# runs again under both EOS_SIMD overrides — cheap enough to sit with the
+# other pre-commit checks.
+step "SIMD kernel equivalence (ctest -L simd)"
+if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
+  if (cd "$build_dir" && ctest -L simd --output-on-failure); then
+    echo "simd tier: clean"
+  else
+    echo "FAIL: simd equivalence failures above"
+    failures=$((failures + 1))
+  fi
+else
+  echo "SKIPPED: $build_dir has no ctest config (build the tree first)"
 fi
 
 step "summary"
