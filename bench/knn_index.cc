@@ -1,0 +1,279 @@
+// Indexed-KNN acceptance bench: the brute-vs-index scaling curve plus the
+// million-row EOS end-to-end run. Emits BENCH_knn.json.
+//
+// Data model: clustered embeddings with low intrinsic dimension — each
+// point is a cluster center plus a few random basis directions plus small
+// isotropic noise. That is what trained-extractor features look like (the
+// pipeline's phase-2 embeddings are class-clustered by construction), and
+// it is the regime where a KD-tree prunes; on isotropically random 64-d
+// data no exact spatial index beats brute force (curse of dimensionality),
+// which the --intrinsic_dim=0 escape hatch will happily demonstrate.
+//
+// Acceptance numbers (ROADMAP item "Indexed KNN"):
+//   * index (exact) >= 10x brute per-query at >= 100k rows, 64-d;
+//   * EOS over 1M x 64-d completes in seconds (approximate mode — the
+//     documented extreme-scale path; exact pruning alone still leaves
+//     hundreds of candidate scans per query at that scale).
+//
+// Run: ./build/bench/knn_index
+//      ./build/bench/knn_index --rows=2000,100000 --eos_rows=0
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "data/dataset.h"
+#include "ml/knn.h"
+#include "ml/knn_index.h"
+#include "sampling/eos.h"
+#include "tensor/tensor.h"
+
+namespace eos {
+namespace {
+
+// Clustered embedding generator (see file comment). intrinsic_dim == 0
+// degenerates to isotropic noise over the full space.
+Tensor ClusteredEmbeddings(int64_t rows, int64_t dim, int64_t clusters,
+                           int64_t intrinsic_dim, Rng& rng) {
+  Tensor centers = Tensor::Uniform({clusters, dim}, -10.0f, 10.0f, rng);
+  Tensor basis({clusters, intrinsic_dim > 0 ? intrinsic_dim : 1, dim});
+  for (int64_t i = 0; i < basis.numel(); ++i) {
+    basis.data()[i] = rng.Normal(0.0f, 1.0f);
+  }
+  Tensor points({rows, dim});
+  float* x = points.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t c = i % clusters;
+    const float* center = centers.data() + c * dim;
+    float* row = x + i * dim;
+    for (int64_t j = 0; j < dim; ++j) row[j] = center[j];
+    for (int64_t b = 0; b < intrinsic_dim; ++b) {
+      float z = rng.Normal(0.0f, 1.0f);
+      const float* dir = basis.data() + (c * basis.size(1) + b) * dim;
+      for (int64_t j = 0; j < dim; ++j) row[j] += z * dir[j];
+    }
+    for (int64_t j = 0; j < dim; ++j) row[j] += rng.Normal(0.0f, 0.02f);
+  }
+  return points;
+}
+
+std::vector<int64_t> ParseRowList(const std::string& spec) {
+  std::vector<int64_t> out;
+  for (const std::string& raw : StrSplit(spec, ',')) {
+    std::string name = StrTrim(raw);
+    if (name.empty()) continue;
+    out.push_back(std::strtoll(name.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+struct ScaleResult {
+  int64_t rows = 0;
+  double build_ms = 0;
+  double brute_us = 0;   // per leave-one-out query
+  double index_us = 0;
+  double approx_us = 0;
+  double speedup_index = 0;
+  double speedup_approx = 0;
+  double approx_recall = 0;
+  bool exact_match = true;
+};
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  std::string* rows_spec = flags.AddString(
+      "rows", "2000,20000,100000,200000", "comma list of index sizes");
+  int64_t* dim = flags.AddInt("dim", 64, "embedding dimension");
+  int64_t* intrinsic_dim =
+      flags.AddInt("intrinsic_dim", 3,
+                   "per-cluster intrinsic dimension (0 = isotropic)");
+  int64_t* clusters = flags.AddInt("clusters", 32, "cluster count");
+  int64_t* queries =
+      flags.AddInt("queries", 256, "timed leave-one-out queries per size");
+  int64_t* k = flags.AddInt("k", 5, "neighbors per query");
+  int64_t* budget = flags.AddInt(
+      "approx_budget", static_cast<int>(kKnnDefaultLeafBudget),
+      "approximate-mode leaf-visit budget");
+  int64_t* eos_rows = flags.AddInt(
+      "eos_rows", 1000000, "EOS end-to-end row count (0 = skip)");
+  int64_t* eos_classes = flags.AddInt("eos_classes", 10, "EOS class count");
+  int64_t* seed = flags.AddInt("seed", 1, "generator seed");
+  std::string* out =
+      flags.AddString("out", "BENCH_knn.json", "JSON output path");
+  Status status = flags.Parse(argc, argv);
+  if (!status.ok() || flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return status.ok() ? 0 : 2;
+  }
+
+  std::printf("knn_index: %s rows, %lld-d (intrinsic %lld), k=%lld, "
+              "%lld queries/size, approx budget %lld\n\n",
+              rows_spec->c_str(), static_cast<long long>(*dim),
+              static_cast<long long>(*intrinsic_dim),
+              static_cast<long long>(*k), static_cast<long long>(*queries),
+              static_cast<long long>(*budget));
+  std::printf("  %-9s %-10s %-12s %-12s %-12s %-9s %-9s %-7s\n", "rows",
+              "build_ms", "brute_us/q", "index_us/q", "approx_us/q",
+              "idx_spd", "apx_spd", "recall");
+
+  std::vector<ScaleResult> results;
+  for (int64_t n : ParseRowList(*rows_spec)) {
+    Rng rng(static_cast<uint64_t>(*seed));
+    Tensor points =
+        ClusteredEmbeddings(n, *dim, *clusters, *intrinsic_dim, rng);
+    // Deterministic query rows, spread across the set.
+    int64_t nq = std::min(*queries, n);
+    std::vector<int64_t> rows(static_cast<size_t>(nq));
+    for (int64_t i = 0; i < nq; ++i) {
+      rows[static_cast<size_t>(i)] = (i * n) / nq;
+    }
+
+    ScaleResult r;
+    r.rows = n;
+
+    Stopwatch build_watch;
+    KdTreeIndex tree(points);
+    r.build_ms = build_watch.Milliseconds();
+
+    KdTreeOptions approx_options;
+    approx_options.leaf_visit_budget = *budget;
+    KdTreeIndex approx(points, approx_options);
+
+    KnnIndex brute(points);
+    Stopwatch brute_watch;
+    auto brute_nbrs = brute.QueryRows(rows, *k);
+    r.brute_us = brute_watch.Seconds() * 1e6 / static_cast<double>(nq);
+
+    Stopwatch index_watch;
+    auto index_nbrs = tree.QueryRows(rows, *k);
+    r.index_us = index_watch.Seconds() * 1e6 / static_cast<double>(nq);
+
+    Stopwatch approx_watch;
+    auto approx_nbrs = approx.QueryRows(rows, *k);
+    r.approx_us = approx_watch.Seconds() * 1e6 / static_cast<double>(nq);
+
+    r.exact_match = index_nbrs == brute_nbrs;
+    int64_t hit = 0, total = 0;
+    for (size_t i = 0; i < brute_nbrs.size(); ++i) {
+      for (int64_t nb : approx_nbrs[i]) {
+        if (std::find(brute_nbrs[i].begin(), brute_nbrs[i].end(), nb) !=
+            brute_nbrs[i].end()) {
+          ++hit;
+        }
+      }
+      total += static_cast<int64_t>(brute_nbrs[i].size());
+    }
+    r.approx_recall =
+        total > 0 ? static_cast<double>(hit) / static_cast<double>(total)
+                  : 1.0;
+    r.speedup_index = r.brute_us / r.index_us;
+    r.speedup_approx = r.brute_us / r.approx_us;
+    results.push_back(r);
+
+    std::printf("  %-9lld %-10.1f %-12.1f %-12.1f %-12.1f %-9.1f %-9.1f "
+                "%-7.3f%s\n",
+                static_cast<long long>(n), r.build_ms, r.brute_us,
+                r.index_us, r.approx_us, r.speedup_index, r.speedup_approx,
+                r.approx_recall, r.exact_match ? "" : "  EXACT-MISMATCH!");
+  }
+
+  // EOS end-to-end at million-row scale: labels drawn imbalanced and
+  // independent of geometry, so every class has adversaries in-neighborhood
+  // (the paper's borderline regime, and the sampler's hot path).
+  double eos_seconds = 0;
+  int64_t eos_synth = 0;
+  if (*eos_rows > 0) {
+    Rng rng(static_cast<uint64_t>(*seed) + 1);
+    FeatureSet data;
+    data.features = ClusteredEmbeddings(*eos_rows, *dim, *clusters,
+                                        *intrinsic_dim, rng);
+    data.num_classes = *eos_classes;
+    data.labels.resize(static_cast<size_t>(*eos_rows));
+    // Exponential-ish imbalance: class c has weight 2^-c.
+    std::vector<float> weights(static_cast<size_t>(*eos_classes));
+    for (size_t c = 0; c < weights.size(); ++c) {
+      weights[c] = 1.0f / static_cast<float>(int64_t{1} << c);
+    }
+    for (int64_t i = 0; i < *eos_rows; ++i) {
+      data.labels[static_cast<size_t>(i)] = rng.Categorical(weights);
+    }
+    std::printf("\nEOS end-to-end: %lld x %lld-d, %lld classes, "
+                "EOS_KNN=approx:%lld ...\n",
+                static_cast<long long>(*eos_rows),
+                static_cast<long long>(*dim),
+                static_cast<long long>(*eos_classes),
+                static_cast<long long>(*budget));
+    ScopedForceKnnMode force(KnnMode::kApprox, *budget);
+    ExpansiveOversampler sampler(*k);
+    Rng sample_rng(static_cast<uint64_t>(*seed) + 2);
+    Stopwatch eos_watch;
+    FeatureSet balanced = sampler.Resample(data, sample_rng);
+    eos_seconds = eos_watch.Seconds();
+    eos_synth = balanced.size() - data.size();
+    std::printf("  %.1f s wall (%lld synthetic rows)\n", eos_seconds,
+                static_cast<long long>(eos_synth));
+  }
+
+  std::FILE* f = std::fopen(out->c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out->c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"knn_index\", \"dim\": %" PRId64
+               ", \"intrinsic_dim\": %" PRId64 ", \"k\": %" PRId64
+               ", \"queries\": %" PRId64 ", \"approx_budget\": %" PRId64
+               ",\n \"scaling\": [\n",
+               *dim, *intrinsic_dim, *k, *queries, *budget);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScaleResult& r = results[i];
+    std::fprintf(
+        f,
+        "  {\"rows\": %" PRId64
+        ", \"build_ms\": %.2f, \"brute_us_per_query\": %.2f, "
+        "\"index_us_per_query\": %.2f, \"approx_us_per_query\": %.2f, "
+        "\"speedup_index\": %.2f, \"speedup_approx\": %.2f, "
+        "\"approx_recall\": %.4f, \"exact_matches_brute\": %s}%s\n",
+        r.rows, r.build_ms, r.brute_us, r.index_us, r.approx_us,
+        r.speedup_index, r.speedup_approx, r.approx_recall,
+        r.exact_match ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, " ],\n \"eos_end_to_end\": ");
+  if (*eos_rows > 0) {
+    std::fprintf(f,
+                 "{\"rows\": %" PRId64 ", \"classes\": %" PRId64
+                 ", \"mode\": \"approx:%" PRId64
+                 "\", \"seconds\": %.2f, \"synthetic_rows\": %" PRId64 "}\n",
+                 *eos_rows, *eos_classes, *budget, eos_seconds, eos_synth);
+  } else {
+    std::fprintf(f, "null\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out->c_str());
+
+  bool ok = true;
+  for (const ScaleResult& r : results) {
+    if (!r.exact_match) ok = false;
+    if (r.rows >= 100000 && r.speedup_index < 10.0) ok = false;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "ACCEPTANCE FAILED: exact mismatch or <10x at >=100k\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace eos
+
+int main(int argc, char** argv) { return eos::Run(argc, argv); }

@@ -5,22 +5,53 @@
 // Expected shape (paper): BAC improves as K grows and plateaus by K≈300 —
 // a larger adversary neighborhood admits a more diverse set of expansion
 // directions. (K is clamped to the training-set size when it exceeds it.)
+//
+// The sweep routes its neighbor searches through the ml/knn_index.h
+// selection policy; --knn forces a backend (brute | index | auto |
+// approx[:<leaves>]) for A/B timing, and --out lands the per-K metrics and
+// resample wall time in a JSON file.
 
 #include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "ml/knn_index.h"
 #include "sampling/eos.h"
 
 namespace eos {
 namespace {
 
+struct SweepRow {
+  std::string dataset;
+  int64_t k = 0;
+  double bac = 0;
+  double gmean = 0;
+  double f1 = 0;
+  double run_ms = 0;
+};
+
 int Run(int argc, char** argv) {
   FlagSet flags;
   bench::CommonFlags common = bench::RegisterCommonFlags(flags);
+  std::string* knn_spec = flags.AddString(
+      "knn", "auto", "KNN backend: auto|brute|index|approx[:<leaves>]");
+  std::string* out =
+      flags.AddString("out", "", "JSON output path (empty = no JSON)");
   bench::HandleParse(flags.Parse(argc, argv), flags);
 
+  KnnMode knn_mode = KnnMode::kAuto;
+  int64_t knn_budget = 0;
+  if (!ParseKnnMode(*knn_spec, &knn_mode, &knn_budget)) {
+    std::fprintf(stderr, "bad --knn=%s (want auto|brute|index|approx[:n])\n",
+                 knn_spec->c_str());
+    return 2;
+  }
+  ScopedForceKnnMode force(knn_mode, knn_budget);
+
   std::printf("Table IV: EOS nearest-neighbor size analysis (CE loss; "
-              "BAC GM FM)\n");
+              "BAC GM FM; knn=%s)\n",
+              knn_spec->c_str());
 
   constexpr int64_t kSweep[] = {10, 50, 100, 200, 300};
+  std::vector<SweepRow> rows;
   int monotone_improvements = 0;
   int datasets_run = 0;
   for (DatasetKind dataset : bench::ParseDatasets(*common.datasets)) {
@@ -36,12 +67,21 @@ int Run(int argc, char** argv) {
     int64_t best_k = 0;
     for (int64_t k : kSweep) {
       ExpansiveOversampler sampler(k);
-      EvalOutputs out = pipeline.RunSampler(sampler);
+      Stopwatch watch;
+      EvalOutputs out_eval = pipeline.RunSampler(sampler);
+      SweepRow row;
+      row.dataset = DatasetKindName(dataset);
+      row.k = k;
+      row.bac = out_eval.metrics.bac;
+      row.gmean = out_eval.metrics.gmean;
+      row.f1 = out_eval.metrics.f1;
+      row.run_ms = watch.Milliseconds();
+      rows.push_back(row);
       bench::PrintRow(StrFormat("K=%lld", static_cast<long long>(k)),
-                      out.metrics);
-      if (k == kSweep[0]) first_bac = out.metrics.bac;
-      if (out.metrics.bac > best_bac) {
-        best_bac = out.metrics.bac;
+                      out_eval.metrics);
+      if (k == kSweep[0]) first_bac = out_eval.metrics.bac;
+      if (out_eval.metrics.bac > best_bac) {
+        best_bac = out_eval.metrics.bac;
         best_k = k;
       }
     }
@@ -53,6 +93,28 @@ int Run(int argc, char** argv) {
   std::printf("\nSummary: larger K improved BAC on %d/%d datasets "
               "(paper: all, plateauing near K=300)\n",
               monotone_improvements, datasets_run);
+
+  if (!out->empty()) {
+    std::FILE* f = std::fopen(out->c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out->c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\"bench\": \"table4_knn_sweep\", \"knn\": \"%s\", "
+                 "\"rows\": [\n", knn_spec->c_str());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& r = rows[i];
+      std::fprintf(f,
+                   "  {\"dataset\": \"%s\", \"k\": %lld, \"bac\": %.4f, "
+                   "\"gmean\": %.4f, \"f1\": %.4f, \"run_ms\": %.1f}%s\n",
+                   r.dataset.c_str(), static_cast<long long>(r.k), r.bac,
+                   r.gmean, r.f1, r.run_ms,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", out->c_str(), rows.size());
+  }
   return 0;
 }
 

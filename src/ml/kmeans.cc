@@ -1,7 +1,6 @@
 #include "ml/kmeans.h"
 
 #include <algorithm>
-#include <cmath>
 
 namespace eos {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "ml/knn_index.h"
 #include "runtime/parallel_for.h"
 
 namespace eos {
@@ -23,13 +24,7 @@ KnnIndex::KnnIndex(const Tensor& points) : points_(points) {
 }
 
 float KnnIndex::SquaredDistance(int64_t row, const float* query) const {
-  const float* p = points_.data() + row * d_;
-  float acc = 0.0f;
-  for (int64_t k = 0; k < d_; ++k) {
-    float diff = p[k] - query[k];
-    acc += diff * diff;
-  }
-  return acc;
+  return internal::SquaredDistanceRow(points_.data() + row * d_, query, d_);
 }
 
 std::vector<int64_t> KnnIndex::Query(const float* query, int64_t k,
@@ -98,7 +93,9 @@ std::vector<std::vector<int64_t>> KnnIndex::QueryRows(
 
 std::vector<std::vector<int64_t>> AllKNearestNeighbors(const Tensor& points,
                                                        int64_t k) {
-  KnnIndex index(points);
+  // The policy facade picks brute force or the spatial index (EOS_KNN /
+  // row-count auto switch); exact mode keeps the historical results bitwise.
+  KnnSearcher index(points);
   std::vector<std::vector<int64_t>> out(static_cast<size_t>(index.size()));
   runtime::ParallelFor(0, index.size(), kQueryGrain,
                        [&](int64_t lo, int64_t hi) {

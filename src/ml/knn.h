@@ -10,8 +10,9 @@ namespace eos {
 
 /// Exact brute-force k-nearest-neighbor index over [N, D] points (squared
 /// Euclidean metric). This backs SMOTE-family samplers and EOS's nearest-
-/// enemy search; at embedding scale (N in the thousands, D = 64) exact
-/// search is faster and simpler than an approximate structure.
+/// enemy search at paper scale; production-scale call sites go through the
+/// policy-selected ml/knn_index.h facade, whose tree backend reproduces
+/// this class's results bitwise in exact mode.
 ///
 /// Determinism contract: results are a pure function of the stored points
 /// and the query. Equal distances tie-break by ascending point index, so
@@ -19,6 +20,12 @@ namespace eos {
 /// stable across refactors, platforms, and thread counts. The batched
 /// entry points fan individual queries out over the src/runtime/ pool;
 /// each query writes its own output slot, so batching never changes results.
+///
+/// Degenerate-argument contract (callers need no defensive clamping):
+///   * k <= 0 (including negative) returns an empty list;
+///   * k larger than the available candidate count is clamped to it
+///     ("available" excludes the `exclude` row when it is in [0, N));
+///   * an `exclude` outside [0, N) excludes nothing.
 class KnnIndex {
  public:
   /// Keeps a reference to `points` (shared buffer; do not mutate it while
@@ -63,8 +70,31 @@ class KnnIndex {
 
 /// All-pairs leave-one-out kNN: result[i] holds the k nearest neighbors of
 /// point i (ascending (distance, index)). Parallelized per query point.
+/// Routed through the ml/knn_index.h selection policy (EOS_KNN), so large
+/// inputs transparently use the spatial index; exact mode is bitwise-equal
+/// to the brute-force scan.
 std::vector<std::vector<int64_t>> AllKNearestNeighbors(const Tensor& points,
                                                        int64_t k);
+
+namespace internal {
+
+/// The one squared-distance kernel every KNN backend shares: accumulating
+/// (p[j] - q[j])^2 left-to-right in float. Brute force and the spatial
+/// index both call exactly this function, so their candidate distances —
+/// and therefore their (distance, index) orderings — agree bitwise. Do not
+/// fork this loop: a second copy with a different accumulation order (or
+/// one the compiler contracts differently) silently breaks the exact-mode
+/// equivalence contract.
+inline float SquaredDistanceRow(const float* p, const float* q, int64_t d) {
+  float acc = 0.0f;
+  for (int64_t j = 0; j < d; ++j) {
+    float diff = p[j] - q[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace internal
 
 }  // namespace eos
 

@@ -1,0 +1,522 @@
+#include "ml/knn_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+#include "runtime/parallel_for.h"
+
+namespace eos {
+namespace {
+
+// Queries per ParallelFor chunk — matches ml/knn.cc so batched results are
+// chunk-layout-identical across backends.
+constexpr int64_t kQueryGrain = 4;
+
+// Serial build splitting stops once a subtree has at most n / kBuildFanout
+// points; the resulting subtrees become independent parallel tasks. A
+// constant fanout (never the thread count) keeps the task list — and with
+// it every partition — identical at any pool size.
+constexpr int64_t kBuildFanout = 64;
+
+// Subtree node count under median splits: a pure function of the point
+// count and leaf size. `memo` caches (count, nodes) pairs — the recursion
+// only ever produces O(log n) distinct counts, so a flat vector beats a
+// map and stays allocation-light inside parallel build tasks.
+int64_t CountNodes(int64_t count, int64_t leaf_size,
+                   std::vector<std::pair<int64_t, int64_t>>* memo) {
+  if (count <= leaf_size) return 1;
+  for (const auto& entry : *memo) {
+    if (entry.first == count) return entry.second;
+  }
+  int64_t mid = count / 2;
+  int64_t nodes = 1 + CountNodes(mid, leaf_size, memo) +
+                  CountNodes(count - mid, leaf_size, memo);
+  memo->emplace_back(count, nodes);
+  return nodes;
+}
+
+}  // namespace
+
+KdTreeIndex::KdTreeIndex(const Tensor& points, KdTreeOptions options)
+    : points_(points), options_(options) {
+  EOS_CHECK_EQ(points.dim(), 2);
+  n_ = points.size(0);
+  d_ = points.size(1);
+  EOS_CHECK_GT(n_, 0);
+  EOS_CHECK_GT(d_, 0);
+  EOS_CHECK_GE(options_.leaf_size, 1);
+  EOS_CHECK_GE(options_.leaf_visit_budget, 0);
+  Build();
+}
+
+void KdTreeIndex::ComputeBox(int64_t node, int64_t begin, int64_t end) {
+  float* lo = bbox_.data() + node * 2 * d_;
+  float* hi = lo + d_;
+  const float* first = points_.data() + perm_[static_cast<size_t>(begin)] * d_;
+  for (int64_t j = 0; j < d_; ++j) {
+    lo[j] = first[j];
+    hi[j] = first[j];
+  }
+  for (int64_t i = begin + 1; i < end; ++i) {
+    const float* p = points_.data() + perm_[static_cast<size_t>(i)] * d_;
+    for (int64_t j = 0; j < d_; ++j) {
+      lo[j] = std::min(lo[j], p[j]);
+      hi[j] = std::max(hi[j], p[j]);
+    }
+  }
+}
+
+void KdTreeIndex::PartitionRange(int64_t node, int64_t begin, int64_t end,
+                                 int64_t mid) {
+  // Split along the widest bounding-box extent (ties -> smallest
+  // dimension); partition by (coordinate, original index), a strict total
+  // order, so the two halves are set-wise deterministic even when every
+  // coordinate is identical (collapsed clusters split by index).
+  const float* lo = bbox_.data() + node * 2 * d_;
+  const float* hi = lo + d_;
+  int64_t dim = 0;
+  float widest = hi[0] - lo[0];
+  for (int64_t j = 1; j < d_; ++j) {
+    float extent = hi[j] - lo[j];
+    if (extent > widest) {
+      widest = extent;
+      dim = j;
+    }
+  }
+  const float* x = points_.data();
+  int64_t d = d_;
+  std::nth_element(perm_.begin() + begin, perm_.begin() + mid,
+                   perm_.begin() + end, [x, d, dim](int64_t a, int64_t b) {
+                     float ca = x[a * d + dim];
+                     float cb = x[b * d + dim];
+                     if (ca != cb) return ca < cb;
+                     return a < b;
+                   });
+}
+
+void KdTreeIndex::BuildSubtree(
+    int64_t node, int64_t begin, int64_t end,
+    std::vector<std::pair<int64_t, int64_t>>* memo) {
+  ComputeBox(node, begin, end);
+  Node& nd = nodes_[static_cast<size_t>(node)];
+  nd.begin = begin;
+  nd.end = end;
+  if (end - begin <= options_.leaf_size) {
+    nd.right = -1;
+    return;
+  }
+  int64_t mid = begin + (end - begin) / 2;
+  PartitionRange(node, begin, end, mid);
+  nd.right = node + 1 + CountNodes(mid - begin, options_.leaf_size, memo);
+  BuildSubtree(node + 1, begin, mid, memo);
+  BuildSubtree(nd.right, mid, end, memo);
+}
+
+void KdTreeIndex::Build() {
+  perm_.resize(static_cast<size_t>(n_));
+  std::iota(perm_.begin(), perm_.end(), int64_t{0});
+  std::vector<std::pair<int64_t, int64_t>> memo;
+  nodes_.resize(static_cast<size_t>(CountNodes(n_, options_.leaf_size,
+                                               &memo)));
+  bbox_.resize(nodes_.size() * static_cast<size_t>(2 * d_));
+
+  // Phase 1 (serial): split the top of the tree until subtrees are small
+  // enough to farm out. The cutoff depends only on n, so the task list is
+  // thread-count-invariant.
+  struct Task {
+    int64_t node;
+    int64_t begin;
+    int64_t end;
+  };
+  int64_t parallel_grain =
+      std::max(options_.leaf_size, n_ / kBuildFanout);
+  std::vector<Task> tasks;
+  struct Frame {
+    int64_t node;
+    int64_t begin;
+    int64_t end;
+  };
+  std::vector<Frame> stack = {{0, 0, n_}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.end - f.begin <= parallel_grain) {
+      tasks.push_back({f.node, f.begin, f.end});
+      continue;
+    }
+    ComputeBox(f.node, f.begin, f.end);
+    Node& nd = nodes_[static_cast<size_t>(f.node)];
+    nd.begin = f.begin;
+    nd.end = f.end;
+    int64_t mid = f.begin + (f.end - f.begin) / 2;
+    PartitionRange(f.node, f.begin, f.end, mid);
+    nd.right =
+        f.node + 1 + CountNodes(mid - f.begin, options_.leaf_size, &memo);
+    // Push right first so the left subtree is processed (and its tasks
+    // enqueued) first — matching recursive preorder.
+    stack.push_back({nd.right, mid, f.end});
+    stack.push_back({f.node + 1, f.begin, mid});
+  }
+
+  // Phase 2 (parallel): each task builds its subtree inside disjoint
+  // perm_ / nodes_ / bbox_ slices.
+  runtime::ParallelForChunks(
+      static_cast<int64_t>(tasks.size()), [&](int64_t t) {
+        const Task& task = tasks[static_cast<size_t>(t)];
+        std::vector<std::pair<int64_t, int64_t>> local_memo;
+        BuildSubtree(task.node, task.begin, task.end, &local_memo);
+      });
+
+  num_leaves_ = 0;
+  for (const Node& nd : nodes_) {
+    if (nd.right < 0) ++num_leaves_;
+  }
+
+  // Phase 3 (parallel): leaf-contiguous copy of the points so leaf scans
+  // stream instead of chasing perm_ indirections.
+  reordered_.resize(static_cast<size_t>(n_ * d_));
+  int64_t copy_grain = std::max<int64_t>(1, 16384 / d_);
+  runtime::ParallelFor(0, n_, copy_grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* src =
+          points_.data() + perm_[static_cast<size_t>(i)] * d_;
+      std::copy(src, src + d_,
+                reordered_.data() + static_cast<size_t>(i * d_));
+    }
+  });
+}
+
+float KdTreeIndex::SquaredDistance(int64_t row, const float* query) const {
+  return internal::SquaredDistanceRow(points_.data() + row * d_, query, d_);
+}
+
+float KdTreeIndex::BoxDistance(int64_t node, const float* query) const {
+  // Distance from the query to the node's box, accumulated left-to-right
+  // like SquaredDistanceRow. Every per-dimension term is <= the matching
+  // term of any in-box point's distance (float subtraction and squaring
+  // are monotone), and float sums of dominated nonnegative terms stay
+  // dominated under round-to-nearest — so this bound never exceeds the
+  // computed distance of any point in the box, which is what makes
+  // strictly-greater pruning exact.
+  const float* lo = bbox_.data() + node * 2 * d_;
+  const float* hi = lo + d_;
+  float acc = 0.0f;
+  for (int64_t j = 0; j < d_; ++j) {
+    float q = query[j];
+    float diff = 0.0f;
+    if (q < lo[j]) {
+      diff = lo[j] - q;
+    } else if (q > hi[j]) {
+      diff = q - hi[j];
+    }
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+struct KdTreeIndex::SearchState {
+  // Max-heap of (distance, index): among equal distances the larger index
+  // is the worse entry — the same selection rule as KnnIndex::Query, so
+  // both backends pick the same k and emit the same order.
+  std::priority_queue<std::pair<float, int64_t>> heap;
+  int64_t k = 0;
+  int64_t exclude = -1;
+  int64_t budget = 0;  // 0 = exact
+  int64_t leaves_visited = 0;
+  int64_t points_scanned = 0;
+};
+
+void KdTreeIndex::SearchNode(int64_t node, const float* query,
+                             SearchState& state) const {
+  if (state.budget > 0 && state.leaves_visited >= state.budget) return;
+  const Node& nd = nodes_[static_cast<size_t>(node)];
+  if (nd.right < 0) {
+    ++state.leaves_visited;
+    for (int64_t i = nd.begin; i < nd.end; ++i) {
+      int64_t idx = perm_[static_cast<size_t>(i)];
+      if (idx == state.exclude) continue;
+      ++state.points_scanned;
+      std::pair<float, int64_t> candidate(
+          internal::SquaredDistanceRow(
+              reordered_.data() + static_cast<size_t>(i * d_), query, d_),
+          idx);
+      if (static_cast<int64_t>(state.heap.size()) < state.k) {
+        state.heap.push(candidate);
+      } else if (candidate < state.heap.top()) {
+        state.heap.pop();
+        state.heap.push(candidate);
+      }
+    }
+    return;
+  }
+  int64_t left = node + 1;
+  int64_t right = nd.right;
+  float dist_left = BoxDistance(left, query);
+  float dist_right = BoxDistance(right, query);
+  // Near child first; ties keep the left child first so traversal order —
+  // and with it the approximate mode's result — is deterministic.
+  int64_t first = left;
+  int64_t second = right;
+  float dist_second = dist_right;
+  if (dist_right < dist_left) {
+    first = right;
+    second = left;
+    dist_second = dist_left;
+  }
+  // Prune only on a strictly greater bound: a subtree whose bound equals
+  // the current k-th distance may still hold an equal-distance point with
+  // a smaller index, which the tie-break order must surface.
+  if (static_cast<int64_t>(state.heap.size()) < state.k ||
+      !(std::min(dist_left, dist_right) > state.heap.top().first)) {
+    SearchNode(first, query, state);
+  }
+  if (static_cast<int64_t>(state.heap.size()) < state.k ||
+      !(dist_second > state.heap.top().first)) {
+    SearchNode(second, query, state);
+  }
+}
+
+std::vector<int64_t> KdTreeIndex::QueryWithStats(const float* query,
+                                                 int64_t k, int64_t exclude,
+                                                 KnnQueryStats* stats) const {
+  if (stats != nullptr) *stats = KnnQueryStats{};
+  int64_t available = n_ - (exclude >= 0 && exclude < n_ ? 1 : 0);
+  k = std::min(k, available);
+  if (k <= 0) return {};
+  SearchState state;
+  state.k = k;
+  state.exclude = exclude;
+  state.budget = options_.leaf_visit_budget;
+  SearchNode(0, query, state);
+  if (stats != nullptr) {
+    stats->leaves_visited = state.leaves_visited;
+    stats->points_scanned = state.points_scanned;
+  }
+  std::vector<int64_t> out(state.heap.size());
+  for (int64_t i = static_cast<int64_t>(state.heap.size()) - 1; i >= 0;
+       --i) {
+    out[static_cast<size_t>(i)] = state.heap.top().second;
+    state.heap.pop();
+  }
+  return out;
+}
+
+std::vector<int64_t> KdTreeIndex::Query(const float* query, int64_t k,
+                                        int64_t exclude) const {
+  return QueryWithStats(query, k, exclude, nullptr);
+}
+
+std::vector<int64_t> KdTreeIndex::QueryRow(int64_t row, int64_t k) const {
+  EOS_CHECK(row >= 0 && row < n_);
+  return Query(points_.data() + row * d_, k, row);
+}
+
+std::vector<std::vector<int64_t>> KdTreeIndex::QueryBatch(
+    const float* queries, int64_t num_queries, int64_t k,
+    const int64_t* excludes) const {
+  EOS_CHECK_GE(num_queries, 0);
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(num_queries));
+  runtime::ParallelFor(0, num_queries, kQueryGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t q = lo; q < hi; ++q) {
+                           out[static_cast<size_t>(q)] =
+                               Query(queries + q * d_, k,
+                                     excludes != nullptr ? excludes[q] : -1);
+                         }
+                       });
+  return out;
+}
+
+std::vector<std::vector<int64_t>> KdTreeIndex::QueryRows(
+    const std::vector<int64_t>& rows, int64_t k) const {
+  std::vector<std::vector<int64_t>> out(rows.size());
+  runtime::ParallelFor(0, static_cast<int64_t>(rows.size()), kQueryGrain,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) {
+                           out[static_cast<size_t>(i)] =
+                               QueryRow(rows[static_cast<size_t>(i)], k);
+                         }
+                       });
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Selection policy.
+// ---------------------------------------------------------------------
+
+namespace {
+
+// -1 = no override; otherwise the int value of a forced KnnMode. Budget 0
+// means "use the env/default budget". Process-wide, like simd::ForceIsa.
+std::atomic<int> g_forced_mode{-1};
+std::atomic<int64_t> g_forced_budget{0};
+
+void WarnBadEosKnnOnce(const char* env) {
+  static std::once_flag flag;
+  std::call_once(flag, [env] {
+    std::fprintf(stderr,
+                 "eos/knn: unrecognized EOS_KNN=%s "
+                 "(want brute|index|auto|approx[:<leaves>]); using auto\n",
+                 env);
+  });
+}
+
+// EOS_KNN parse result; kAuto when unset, empty, or unrecognized.
+KnnChoice EnvRequestedChoice() {
+  KnnChoice choice;
+  choice.backend = KnnMode::kAuto;
+  const char* env = std::getenv("EOS_KNN");
+  if (env == nullptr || env[0] == '\0') return choice;
+  KnnMode mode = KnnMode::kAuto;
+  int64_t budget = 0;
+  if (!ParseKnnMode(env, &mode, &budget)) {
+    WarnBadEosKnnOnce(env);
+    return choice;
+  }
+  choice.backend = mode;
+  choice.leaf_budget = budget;
+  return choice;
+}
+
+}  // namespace
+
+const char* KnnModeName(KnnMode mode) {
+  switch (mode) {
+    case KnnMode::kAuto:
+      return "auto";
+    case KnnMode::kBrute:
+      return "brute";
+    case KnnMode::kIndex:
+      return "index";
+    case KnnMode::kApprox:
+      return "approx";
+  }
+  return "unknown";
+}
+
+bool ParseKnnMode(const std::string& spec, KnnMode* mode,
+                  int64_t* leaf_budget) {
+  if (spec == "auto") {
+    *mode = KnnMode::kAuto;
+    return true;
+  }
+  if (spec == "brute") {
+    *mode = KnnMode::kBrute;
+    return true;
+  }
+  if (spec == "index") {
+    *mode = KnnMode::kIndex;
+    return true;
+  }
+  if (spec == "approx") {
+    *mode = KnnMode::kApprox;
+    return true;
+  }
+  const std::string prefix = "approx:";
+  if (spec.size() > prefix.size() &&
+      spec.compare(0, prefix.size(), prefix) == 0) {
+    int64_t budget = 0;
+    for (size_t i = prefix.size(); i < spec.size(); ++i) {
+      char c = spec[i];
+      if (c < '0' || c > '9') return false;
+      budget = budget * 10 + (c - '0');
+      if (budget > (int64_t{1} << 40)) return false;
+    }
+    if (budget <= 0) return false;
+    *mode = KnnMode::kApprox;
+    *leaf_budget = budget;
+    return true;
+  }
+  return false;
+}
+
+void ForceKnnMode(KnnMode mode, int64_t leaf_budget) {
+  g_forced_budget.store(leaf_budget, std::memory_order_release);
+  g_forced_mode.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+void ClearForcedKnnMode() {
+  g_forced_mode.store(-1, std::memory_order_release);
+  g_forced_budget.store(0, std::memory_order_release);
+}
+
+KnnChoice ResolveKnnChoice(int64_t rows) {
+  KnnChoice requested;
+  int forced = g_forced_mode.load(std::memory_order_acquire);
+  if (forced >= 0) {
+    requested.backend = static_cast<KnnMode>(forced);
+    requested.leaf_budget = g_forced_budget.load(std::memory_order_acquire);
+  } else {
+    requested = EnvRequestedChoice();
+  }
+  if (requested.backend == KnnMode::kAuto) {
+    requested.backend =
+        rows >= kKnnAutoIndexThreshold ? KnnMode::kIndex : KnnMode::kBrute;
+    requested.leaf_budget = 0;
+  }
+  if (requested.backend == KnnMode::kApprox) {
+    if (requested.leaf_budget <= 0) {
+      requested.leaf_budget = kKnnDefaultLeafBudget;
+    }
+  } else {
+    requested.leaf_budget = 0;
+  }
+  return requested;
+}
+
+KnnSearcher::KnnSearcher(const Tensor& points)
+    : choice_(ResolveKnnChoice(points.dim() == 2 ? points.size(0) : 0)) {
+  if (choice_.backend == KnnMode::kBrute) {
+    brute_ = std::make_unique<KnnIndex>(points);
+  } else {
+    KdTreeOptions options;
+    options.leaf_visit_budget = choice_.leaf_budget;
+    tree_ = std::make_unique<KdTreeIndex>(points, options);
+  }
+}
+
+int64_t KnnSearcher::size() const {
+  return brute_ != nullptr ? brute_->size() : tree_->size();
+}
+
+int64_t KnnSearcher::dim() const {
+  return brute_ != nullptr ? brute_->dim() : tree_->dim();
+}
+
+std::vector<int64_t> KnnSearcher::Query(const float* query, int64_t k,
+                                        int64_t exclude) const {
+  return brute_ != nullptr ? brute_->Query(query, k, exclude)
+                           : tree_->Query(query, k, exclude);
+}
+
+std::vector<int64_t> KnnSearcher::QueryRow(int64_t row, int64_t k) const {
+  return brute_ != nullptr ? brute_->QueryRow(row, k)
+                           : tree_->QueryRow(row, k);
+}
+
+std::vector<std::vector<int64_t>> KnnSearcher::QueryBatch(
+    const float* queries, int64_t num_queries, int64_t k,
+    const int64_t* excludes) const {
+  return brute_ != nullptr
+             ? brute_->QueryBatch(queries, num_queries, k, excludes)
+             : tree_->QueryBatch(queries, num_queries, k, excludes);
+}
+
+std::vector<std::vector<int64_t>> KnnSearcher::QueryRows(
+    const std::vector<int64_t>& rows, int64_t k) const {
+  return brute_ != nullptr ? brute_->QueryRows(rows, k)
+                           : tree_->QueryRows(rows, k);
+}
+
+float KnnSearcher::SquaredDistance(int64_t row, const float* query) const {
+  return brute_ != nullptr ? brute_->SquaredDistance(row, query)
+                           : tree_->SquaredDistance(row, query);
+}
+
+}  // namespace eos

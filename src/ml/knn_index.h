@@ -1,0 +1,228 @@
+#ifndef EOS_ML_KNN_INDEX_H_
+#define EOS_ML_KNN_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/knn.h"
+#include "tensor/tensor.h"
+
+/// \file
+/// Indexed KNN: a bounding-box KD-tree with branch-and-bound pruning that
+/// takes the SMOTE/EOS sampler family from O(n^2) brute force to
+/// million-row scale, plus the selection policy that decides per call site
+/// which backend runs. See DESIGN.md "Indexed KNN".
+///
+/// Two query modes:
+///
+///   * **Exact** (leaf_visit_budget == 0, the default): bitwise-identical
+///     to `KnnIndex`'s documented ascending-(distance, index) order. The
+///     guarantee rests on three facts: (1) both backends compute candidate
+///     distances with the one shared `internal::SquaredDistanceRow` kernel;
+///     (2) the computed box lower bound never exceeds the computed distance
+///     of any point in the box (float sums of per-dimension-dominated terms
+///     are monotone under round-to-nearest), so pruning only on a strictly
+///     greater bound never discards a winner — equal-distance ties always
+///     descend; (3) k-smallest selection under the strict (distance, index)
+///     total order is visit-order independent. Proof sketch in DESIGN.md.
+///   * **Approximate** (leaf_visit_budget > 0): the near-first depth-first
+///     descent stops after scanning the budgeted number of leaves. Results
+///     are still deterministic (a pure function of points, query, and
+///     budget), still sorted ascending (distance, index), and exact
+///     whenever the budget covers every leaf the exact search would have
+///     visited; in between, quality degrades gracefully (the first leaves
+///     visited are the nearest boxes). For extreme scale where even a
+///     pruned exact scan is too slow — bench/knn_index reports the recall.
+///
+/// The tree builds in parallel on the runtime pool and is deterministic at
+/// any thread count: node slots, split dimensions (widest bounding-box
+/// extent), and median partitions ((coordinate, index) order) are pure
+/// functions of the input, and parallel subtree tasks own disjoint slices.
+
+namespace eos {
+
+/// Tuning knobs for KdTreeIndex. The defaults suit 64-d embedding scale.
+struct KdTreeOptions {
+  /// Maximum points per leaf (>= 1). Larger leaves trade traversal for
+  /// scanning; 32 keeps one leaf scan around two cache lines per point.
+  int64_t leaf_size = 32;
+  /// 0 = exact search. > 0 = approximate: each query scans at most this
+  /// many leaves (near-first order), then returns the best found so far.
+  int64_t leaf_visit_budget = 0;
+};
+
+/// Per-query traversal counters (QueryWithStats): how much of the tree a
+/// query actually touched — the bench turns these into pruning curves.
+struct KnnQueryStats {
+  int64_t leaves_visited = 0;
+  int64_t points_scanned = 0;
+};
+
+/// Spatial KNN index over [N, D] points (squared Euclidean metric): a
+/// KD-tree whose every node stores its exact bounding box, queried by
+/// branch-and-bound with the near child first. Same query API and same
+/// degenerate-argument contract as `KnnIndex` (k clamped, k <= 0 empty,
+/// out-of-range exclude ignored).
+class KdTreeIndex {
+ public:
+  /// Builds the tree (parallel, deterministic). Keeps a reference to
+  /// `points` (shared buffer; do not mutate while the index is in use).
+  explicit KdTreeIndex(const Tensor& points, KdTreeOptions options = {});
+
+  int64_t size() const { return n_; }
+  int64_t dim() const { return d_; }
+  const KdTreeOptions& options() const { return options_; }
+
+  /// Total tree nodes / leaf nodes (layout introspection for tests+bench).
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t num_leaves() const { return num_leaves_; }
+
+  /// Indices of the k nearest points to `query`, ascending (distance,
+  /// index); `exclude` as in KnnIndex::Query. Exact mode matches
+  /// KnnIndex::Query bitwise.
+  std::vector<int64_t> Query(const float* query, int64_t k,
+                             int64_t exclude = -1) const;
+
+  /// Query plus traversal counters (stats may be null).
+  std::vector<int64_t> QueryWithStats(const float* query, int64_t k,
+                                      int64_t exclude,
+                                      KnnQueryStats* stats) const;
+
+  /// Leave-one-out neighbors of the stored point `row`.
+  std::vector<int64_t> QueryRow(int64_t row, int64_t k) const;
+
+  /// Batched Query / leave-one-out QueryRow, parallelized over the runtime
+  /// pool exactly like KnnIndex's batched entry points.
+  std::vector<std::vector<int64_t>> QueryBatch(
+      const float* queries, int64_t num_queries, int64_t k,
+      const int64_t* excludes = nullptr) const;
+  std::vector<std::vector<int64_t>> QueryRows(
+      const std::vector<int64_t>& rows, int64_t k) const;
+
+  /// Squared Euclidean distance between stored point `row` and `query`
+  /// (the shared kernel — bitwise-equal to KnnIndex::SquaredDistance).
+  float SquaredDistance(int64_t row, const float* query) const;
+
+ private:
+  struct Node {
+    int64_t begin = 0;  // [begin, end) into perm_ / reordered_
+    int64_t end = 0;
+    int64_t right = -1;  // right child slot; -1 = leaf (left = slot + 1)
+  };
+  struct SearchState;
+
+  void Build();
+  void BuildSubtree(int64_t node, int64_t begin, int64_t end,
+                    std::vector<std::pair<int64_t, int64_t>>* memo);
+  void ComputeBox(int64_t node, int64_t begin, int64_t end);
+  void PartitionRange(int64_t node, int64_t begin, int64_t end, int64_t mid);
+  float BoxDistance(int64_t node, const float* query) const;
+  void SearchNode(int64_t node, const float* query, SearchState& state) const;
+
+  Tensor points_;
+  KdTreeOptions options_;
+  int64_t n_ = 0;
+  int64_t d_ = 0;
+  int64_t num_leaves_ = 0;
+  std::vector<Node> nodes_;
+  /// perm_[i] = original index of the i-th point in leaf-contiguous order.
+  std::vector<int64_t> perm_;
+  /// Leaf-contiguous copy of the points (cache-friendly leaf scans).
+  std::vector<float> reordered_;
+  /// Per-node bounding box: nodes_[i] owns bbox_[i*2d, i*2d + 2d) as
+  /// d mins followed by d maxes.
+  std::vector<float> bbox_;
+};
+
+/// Backend selection policy, resolved per KnnSearcher construction:
+/// ForceKnnMode (tests/benches) > the EOS_KNN environment variable >
+/// kAuto. kAuto picks brute force below kKnnAutoIndexThreshold rows and
+/// the exact tree at or above it.
+enum class KnnMode {
+  kAuto = 0,
+  kBrute = 1,
+  kIndex = 2,
+  kApprox = 3,
+};
+
+/// Row count at which kAuto switches from brute force to the exact tree.
+/// Below it the O(n log n) build outweighs the per-query savings.
+inline constexpr int64_t kKnnAutoIndexThreshold = 2048;
+
+/// Leaf-visit budget kApprox uses when none was given explicitly.
+inline constexpr int64_t kKnnDefaultLeafBudget = 8;
+
+/// Stable lowercase name ("auto", "brute", "index", "approx").
+const char* KnnModeName(KnnMode mode);
+
+/// Parses "auto" | "brute" | "index" | "approx" | "approx:<leaves>" (the
+/// EOS_KNN grammar, also used by bench --knn flags). On success writes the
+/// mode, and the budget only for approx:<leaves>. Returns false (touching
+/// nothing) on anything else.
+bool ParseKnnMode(const std::string& spec, KnnMode* mode,
+                  int64_t* leaf_budget);
+
+/// Process-wide override, like simd::ForceIsa: visible to every thread,
+/// takes precedence over EOS_KNN. `leaf_budget` > 0 overrides the approx
+/// budget (meaningful with kApprox). Prefer ScopedForceKnnMode.
+void ForceKnnMode(KnnMode mode, int64_t leaf_budget = 0);
+
+/// Drops the ForceKnnMode override; EOS_KNN / auto apply again.
+void ClearForcedKnnMode();
+
+/// RAII override for A/B tests and benches:
+///   { ScopedForceKnnMode force(KnnMode::kBrute);  ... baseline ... }
+class ScopedForceKnnMode {
+ public:
+  explicit ScopedForceKnnMode(KnnMode mode, int64_t leaf_budget = 0) {
+    ForceKnnMode(mode, leaf_budget);
+  }
+  ~ScopedForceKnnMode() { ClearForcedKnnMode(); }
+  ScopedForceKnnMode(const ScopedForceKnnMode&) = delete;
+  ScopedForceKnnMode& operator=(const ScopedForceKnnMode&) = delete;
+};
+
+/// The backend a KnnSearcher over `rows` points would use right now, plus
+/// the effective leaf budget (0 = exact). Exposed for tests and benches.
+struct KnnChoice {
+  KnnMode backend = KnnMode::kBrute;  // kBrute, kIndex, or kApprox
+  int64_t leaf_budget = 0;
+};
+KnnChoice ResolveKnnChoice(int64_t rows);
+
+/// Policy-selected KNN facade — what every sampler call site constructs.
+/// Query semantics are identical across backends in exact modes (kBrute /
+/// kIndex are bitwise-equal); kApprox trades exactness for bounded work
+/// per query as documented on KdTreeIndex.
+class KnnSearcher {
+ public:
+  /// Builds the backend chosen by ResolveKnnChoice(points rows).
+  explicit KnnSearcher(const Tensor& points);
+
+  int64_t size() const;
+  int64_t dim() const;
+
+  /// The resolved backend (kBrute / kIndex / kApprox) and budget.
+  const KnnChoice& choice() const { return choice_; }
+
+  std::vector<int64_t> Query(const float* query, int64_t k,
+                             int64_t exclude = -1) const;
+  std::vector<int64_t> QueryRow(int64_t row, int64_t k) const;
+  std::vector<std::vector<int64_t>> QueryBatch(
+      const float* queries, int64_t num_queries, int64_t k,
+      const int64_t* excludes = nullptr) const;
+  std::vector<std::vector<int64_t>> QueryRows(
+      const std::vector<int64_t>& rows, int64_t k) const;
+  float SquaredDistance(int64_t row, const float* query) const;
+
+ private:
+  KnnChoice choice_;
+  std::unique_ptr<KnnIndex> brute_;
+  std::unique_ptr<KdTreeIndex> tree_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_ML_KNN_INDEX_H_

@@ -1,9 +1,9 @@
 #include "sampling/adasyn.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "ml/knn.h"
+#include "ml/knn_index.h"
 #include "tensor/tensor_ops.h"
 
 namespace eos {
@@ -19,7 +19,7 @@ FeatureSet Adasyn::Resample(const FeatureSet& data, Rng& rng) {
   int64_t d = data.features.size(1);
   int64_t n = data.size();
   int64_t m = std::min<int64_t>(k_neighbors_, n - 1);
-  KnnIndex full_index(data.features);
+  KnnSearcher full_index(data.features);
 
   std::vector<float> synth;
   std::vector<int64_t> synth_labels;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ml/knn.h"
+#include "ml/knn_index.h"
 #include "tensor/tensor_ops.h"
 
 namespace eos {
@@ -21,7 +22,7 @@ FeatureSet BorderlineSmote::Resample(const FeatureSet& data, Rng& rng) {
 
   // Full-set neighborhoods decide which rows are borderline.
   int64_t m = std::min<int64_t>(k_neighbors_, n - 1);
-  KnnIndex full_index(data.features);
+  KnnSearcher full_index(data.features);
 
   std::vector<float> synth;
   std::vector<int64_t> synth_labels;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ml/knn.h"
+#include "ml/knn_index.h"
 #include "tensor/tensor_ops.h"
 
 namespace eos {
@@ -38,7 +39,7 @@ FeatureSet ExpansiveOversampler::Resample(const FeatureSet& data, Rng& rng) {
   int64_t d = data.features.size(1);
   int64_t n = data.size();
   int64_t k = std::min<int64_t>(k_neighbors_, n - 1);
-  KnnIndex full_index(data.features);
+  KnnSearcher full_index(data.features);
   const float* x = data.features.data();
 
   stats_ = Stats{};

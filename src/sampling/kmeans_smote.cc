@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "ml/kmeans.h"
-#include "ml/knn.h"
 #include "tensor/tensor_ops.h"
 
 namespace eos {

@@ -2,7 +2,6 @@
 #include "tensor/tensor_ops.h"
 
 #include <algorithm>
-#include <cstring>
 
 #include "sampling/adasyn.h"
 #include "sampling/balanced_svm_os.h"

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "ml/knn.h"
+#include "ml/knn_index.h"
 #include "sampling/smote.h"
 #include "tensor/tensor_ops.h"
 
@@ -67,11 +67,14 @@ std::vector<int64_t> FindTomekLinks(const FeatureSet& data) {
   EOS_CHECK_EQ(data.features.dim(), 2);
   int64_t n = data.size();
   if (n < 2) return {};
-  KnnIndex index(data.features);
-  // 1-NN of every row.
+  KnnSearcher index(data.features);
+  // 1-NN of every row, batched (runtime-parallel).
+  std::vector<int64_t> all_rows(static_cast<size_t>(n));
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<std::vector<int64_t>> nn_lists = index.QueryRows(all_rows, 1);
   std::vector<int64_t> nn1(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
-    nn1[static_cast<size_t>(i)] = index.QueryRow(i, 1)[0];
+    nn1[static_cast<size_t>(i)] = nn_lists[static_cast<size_t>(i)][0];
   }
   std::vector<int64_t> out;
   for (int64_t a = 0; a < n; ++a) {
@@ -121,7 +124,7 @@ FeatureSet EditedNearestNeighbours(const FeatureSet& data,
   }
   std::vector<int64_t> counts = data.ClassCounts();
   std::vector<bool> majority = MajorityMask(counts);
-  KnnIndex index(data.features);
+  KnnSearcher index(data.features);
   int64_t k = std::min<int64_t>(k_neighbors, n - 1);
   std::vector<int64_t> keep;
   for (int64_t i = 0; i < n; ++i) {

@@ -2,7 +2,6 @@
 #define EOS_SAMPLING_UNDERSAMPLING_H_
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "common/rng.h"

@@ -1,0 +1,315 @@
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/knn.h"
+#include "ml/knn_index.h"
+#include "runtime/thread_pool.h"
+#include "testing/generators.h"
+#include "testing/property.h"
+
+/// \file
+/// The indexed-KNN contract (DESIGN.md "Indexed KNN"): exact mode is
+/// bitwise-equal to brute force on every geometry the generators produce
+/// (duplicates, singletons, collapsed clusters included), the parallel
+/// build is thread-count-invariant, the approximate mode honors its
+/// leaf-visit budget, and the EOS_KNN selection policy resolves as
+/// documented.
+
+namespace eos {
+namespace {
+
+using ::eos::testing::DatasetGenOptions;
+using ::eos::testing::PropertyCase;
+using ::eos::testing::PropertyRunner;
+using ::eos::testing::RandomImbalancedSet;
+
+// Geometries for equivalence sweeps: larger than the sampler property sets
+// so trees get real depth, still fast.
+DatasetGenOptions TreeSetOptions() {
+  DatasetGenOptions options;
+  options.max_classes = 4;
+  options.max_dim = 6;
+  options.max_class_count = 60;
+  return options;
+}
+
+TEST(KdTreeIndexTest, ExactModeMatchesBruteForceOnRandomGeometries) {
+  PropertyRunner runner;
+  Status st = runner.Run(
+      "kdtree-exact-equals-brute",
+      [](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, TreeSetOptions());
+        KnnIndex brute(data.features);
+        // Small leaves force deep trees even on the tiny generated sets.
+        KdTreeOptions options;
+        options.leaf_size = 1 + rng.UniformInt(8);
+        KdTreeIndex tree(data.features, options);
+        int64_t n = data.size();
+        int64_t k = 1 + rng.UniformInt(8);
+        for (int64_t row = 0; row < n; ++row) {
+          EOS_PROP_CHECK_MSG(
+              tree.QueryRow(row, k) == brute.QueryRow(row, k),
+              "leave-one-out neighbors diverge at row " +
+                  std::to_string(row) + " (k=" + std::to_string(k) +
+                  ", leaf=" + std::to_string(options.leaf_size) + ")");
+        }
+        // Off-sample queries (no exclude), including far outside the data.
+        for (int64_t t = 0; t < 8; ++t) {
+          std::vector<float> q(static_cast<size_t>(data.features.size(1)));
+          for (float& v : q) v = rng.Uniform() * 40.0f - 20.0f;
+          EOS_PROP_CHECK_MSG(tree.Query(q.data(), k) == brute.Query(q.data(), k),
+                             "off-sample query diverges");
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(KdTreeIndexTest, DegenerateArgumentsMatchBruteContract) {
+  Tensor points = Tensor::FromVector({4, 1}, {0, 1, 2, 3});
+  KdTreeOptions options;
+  options.leaf_size = 1;
+  KdTreeIndex tree(points, options);
+  float q = 1.5f;
+  EXPECT_TRUE(tree.Query(&q, 0).empty());
+  EXPECT_TRUE(tree.Query(&q, -3).empty());
+  EXPECT_EQ(tree.Query(&q, 100).size(), 4u);
+  EXPECT_EQ(tree.Query(&q, 4, /*exclude=*/2), (std::vector<int64_t>{1, 0, 3}));
+  EXPECT_EQ(tree.Query(&q, 4, /*exclude=*/-9).size(), 4u);
+  EXPECT_TRUE(tree.QueryRow(2, 0).empty());
+
+  Tensor one = Tensor::FromVector({1, 2}, {5.0f, 6.0f});
+  KdTreeIndex single(one);
+  EXPECT_TRUE(single.QueryRow(0, 3).empty());
+  EXPECT_EQ(single.num_nodes(), 1);
+  EXPECT_EQ(single.num_leaves(), 1);
+}
+
+TEST(KdTreeIndexTest, IdenticalPointsTieBreakByAscendingIndex) {
+  // Every point identical: split planes are index-only, boxes are
+  // zero-volume, and all distances tie — the (distance, index) order must
+  // still come out exactly like brute force.
+  Tensor points({37, 3});
+  for (int64_t i = 0; i < points.numel(); ++i) points.data()[i] = 2.5f;
+  KnnIndex brute(points);
+  KdTreeOptions options;
+  options.leaf_size = 2;
+  KdTreeIndex tree(points, options);
+  for (int64_t row : {0, 17, 36}) {
+    EXPECT_EQ(tree.QueryRow(row, 5), brute.QueryRow(row, 5));
+  }
+  float q[3] = {2.5f, 2.5f, 2.5f};
+  EXPECT_EQ(tree.Query(q, 4), (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(KdTreeIndexTest, BatchedEntryPointsMatchSingleQueries) {
+  Rng rng(11);
+  Tensor points = Tensor::Uniform({300, 4}, -2.0f, 2.0f, rng);
+  KdTreeIndex tree(points);
+  Tensor queries = Tensor::Uniform({13, 4}, -2.0f, 2.0f, rng);
+  auto batched = tree.QueryBatch(queries.data(), 13, 6);
+  ASSERT_EQ(batched.size(), 13u);
+  for (int64_t i = 0; i < 13; ++i) {
+    EXPECT_EQ(batched[static_cast<size_t>(i)],
+              tree.Query(queries.data() + i * 4, 6));
+  }
+  std::vector<int64_t> rows = {0, 99, 131, 299};
+  auto row_batched = tree.QueryRows(rows, 5);
+  ASSERT_EQ(row_batched.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(row_batched[i], tree.QueryRow(rows[i], 5));
+  }
+}
+
+TEST(KdTreeIndexTest, BuildAndQueriesAreThreadCountInvariant) {
+  int restore = runtime::ThreadCount();
+  PropertyRunner runner;
+  Status st = runner.Run(
+      "kdtree-thread-invariance",
+      [](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, TreeSetOptions());
+        KdTreeOptions options;
+        options.leaf_size = 1 + rng.UniformInt(8);
+        runtime::SetThreadCount(1);
+        KdTreeIndex serial(data.features, options);
+        runtime::SetThreadCount(8);
+        KdTreeIndex parallel_tree(data.features, options);
+        EOS_PROP_CHECK(serial.num_nodes() == parallel_tree.num_nodes());
+        EOS_PROP_CHECK(serial.num_leaves() == parallel_tree.num_leaves());
+        int64_t k = 1 + rng.UniformInt(6);
+        for (int64_t row = 0; row < data.size(); ++row) {
+          EOS_PROP_CHECK_MSG(
+              serial.QueryRow(row, k) == parallel_tree.QueryRow(row, k),
+              "1-thread and 8-thread trees answer differently at row " +
+                  std::to_string(row));
+        }
+        return Status::OK();
+      });
+  runtime::SetThreadCount(restore);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(KdTreeIndexTest, ApproximateModeHonorsBudgetAndDegradesGracefully) {
+  Rng rng(23);
+  Tensor points = Tensor::Uniform({2000, 3}, -4.0f, 4.0f, rng);
+  KdTreeIndex exact(points);
+  for (int64_t budget : {1, 2, 8, 1 << 20}) {
+    KdTreeOptions options;
+    options.leaf_visit_budget = budget;
+    KdTreeIndex approx(points, options);
+    for (int64_t row : {0, 500, 1999}) {
+      KnnQueryStats stats;
+      auto nbrs = approx.QueryWithStats(points.data() + row * 3, 5, row,
+                                        &stats);
+      EXPECT_LE(stats.leaves_visited, budget);
+      // A budget of >= 1 leaf always yields candidates (leaf_size >= k).
+      ASSERT_FALSE(nbrs.empty());
+      // Results stay sorted ascending (distance, index) at any budget.
+      const float* q = points.data() + row * 3;
+      for (size_t i = 1; i < nbrs.size(); ++i) {
+        float prev = approx.SquaredDistance(nbrs[i - 1], q);
+        float cur = approx.SquaredDistance(nbrs[i], q);
+        EXPECT_TRUE(prev < cur || (prev == cur && nbrs[i - 1] < nbrs[i]));
+      }
+      // A budget covering the whole tree is exact.
+      if (budget >= approx.num_leaves()) {
+        EXPECT_EQ(nbrs, exact.QueryRow(row, 5));
+      }
+    }
+  }
+}
+
+TEST(KdTreeIndexTest, ApproximateQueriesAreDeterministic) {
+  Rng rng(29);
+  Tensor points = Tensor::Uniform({1000, 4}, -1.0f, 1.0f, rng);
+  KdTreeOptions options;
+  options.leaf_visit_budget = 4;
+  int restore = runtime::ThreadCount();
+  runtime::SetThreadCount(1);
+  KdTreeIndex a(points, options);
+  runtime::SetThreadCount(8);
+  KdTreeIndex b(points, options);
+  runtime::SetThreadCount(restore);
+  for (int64_t row = 0; row < 1000; row += 97) {
+    EXPECT_EQ(a.QueryRow(row, 7), b.QueryRow(row, 7));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Selection policy.
+// ---------------------------------------------------------------------
+
+TEST(KnnPolicyTest, ParseKnnModeGrammar) {
+  KnnMode mode = KnnMode::kAuto;
+  int64_t budget = -1;
+  EXPECT_TRUE(ParseKnnMode("brute", &mode, &budget));
+  EXPECT_EQ(mode, KnnMode::kBrute);
+  EXPECT_TRUE(ParseKnnMode("index", &mode, &budget));
+  EXPECT_EQ(mode, KnnMode::kIndex);
+  EXPECT_TRUE(ParseKnnMode("auto", &mode, &budget));
+  EXPECT_EQ(mode, KnnMode::kAuto);
+  EXPECT_EQ(budget, -1);  // untouched so far
+  EXPECT_TRUE(ParseKnnMode("approx", &mode, &budget));
+  EXPECT_EQ(mode, KnnMode::kApprox);
+  EXPECT_EQ(budget, -1);  // bare approx leaves the budget alone
+  EXPECT_TRUE(ParseKnnMode("approx:32", &mode, &budget));
+  EXPECT_EQ(mode, KnnMode::kApprox);
+  EXPECT_EQ(budget, 32);
+
+  mode = KnnMode::kBrute;
+  budget = 7;
+  for (const char* bad :
+       {"", "Brute", "kd", "approx:", "approx:0", "approx:-2", "approx:x",
+        "index:4", "approx:99999999999999999999"}) {
+    EXPECT_FALSE(ParseKnnMode(bad, &mode, &budget)) << bad;
+    EXPECT_EQ(mode, KnnMode::kBrute) << bad;  // failures touch nothing
+    EXPECT_EQ(budget, 7) << bad;
+  }
+}
+
+TEST(KnnPolicyTest, AutoSwitchesOnRowCount) {
+  // No override, no EOS_KNN (the test binary env does not set it).
+  ClearForcedKnnMode();
+  ASSERT_EQ(std::getenv("EOS_KNN"), nullptr);
+  EXPECT_EQ(ResolveKnnChoice(kKnnAutoIndexThreshold - 1).backend,
+            KnnMode::kBrute);
+  EXPECT_EQ(ResolveKnnChoice(kKnnAutoIndexThreshold).backend,
+            KnnMode::kIndex);
+  EXPECT_EQ(ResolveKnnChoice(1).backend, KnnMode::kBrute);
+}
+
+TEST(KnnPolicyTest, ScopedForceOverridesAndRestores) {
+  ClearForcedKnnMode();
+  {
+    ScopedForceKnnMode force(KnnMode::kIndex);
+    EXPECT_EQ(ResolveKnnChoice(2).backend, KnnMode::kIndex);
+    EXPECT_EQ(ResolveKnnChoice(2).leaf_budget, 0);
+  }
+  {
+    ScopedForceKnnMode force(KnnMode::kApprox, 16);
+    KnnChoice choice = ResolveKnnChoice(1 << 20);
+    EXPECT_EQ(choice.backend, KnnMode::kApprox);
+    EXPECT_EQ(choice.leaf_budget, 16);
+  }
+  {
+    // Approx without an explicit budget falls back to the default.
+    ScopedForceKnnMode force(KnnMode::kApprox);
+    EXPECT_EQ(ResolveKnnChoice(10).leaf_budget, kKnnDefaultLeafBudget);
+  }
+  EXPECT_EQ(ResolveKnnChoice(1).backend, KnnMode::kBrute);
+}
+
+TEST(KnnSearcherTest, BackendsAgreeInExactModes) {
+  Rng rng(31);
+  Tensor points = Tensor::Uniform({500, 3}, -1.0f, 1.0f, rng);
+  std::vector<std::vector<int64_t>> results[2];
+  KnnMode modes[2] = {KnnMode::kBrute, KnnMode::kIndex};
+  for (int m = 0; m < 2; ++m) {
+    ScopedForceKnnMode force(modes[m]);
+    KnnSearcher searcher(points);
+    EXPECT_EQ(searcher.choice().backend, modes[m]);
+    EXPECT_EQ(searcher.size(), 500);
+    EXPECT_EQ(searcher.dim(), 3);
+    std::vector<int64_t> rows(500);
+    for (int64_t i = 0; i < 500; ++i) rows[static_cast<size_t>(i)] = i;
+    results[m] = searcher.QueryRows(rows, 6);
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(KnnSearcherTest, ApproxBackendCarriesItsBudget) {
+  Rng rng(37);
+  Tensor points = Tensor::Uniform({256, 2}, 0.0f, 1.0f, rng);
+  ScopedForceKnnMode force(KnnMode::kApprox, 2);
+  KnnSearcher searcher(points);
+  EXPECT_EQ(searcher.choice().backend, KnnMode::kApprox);
+  EXPECT_EQ(searcher.choice().leaf_budget, 2);
+  // Still answers sane, sorted, deterministic results.
+  auto nbrs = searcher.QueryRow(0, 4);
+  EXPECT_FALSE(nbrs.empty());
+  EXPECT_EQ(nbrs, searcher.QueryRow(0, 4));
+}
+
+TEST(KnnSearcherTest, AllKNearestNeighborsIdenticalAcrossBackends) {
+  Rng rng(41);
+  Tensor points = Tensor::Uniform({400, 5}, -3.0f, 3.0f, rng);
+  std::vector<std::vector<int64_t>> brute_all;
+  {
+    ScopedForceKnnMode force(KnnMode::kBrute);
+    brute_all = AllKNearestNeighbors(points, 5);
+  }
+  std::vector<std::vector<int64_t>> tree_all;
+  {
+    ScopedForceKnnMode force(KnnMode::kIndex);
+    tree_all = AllKNearestNeighbors(points, 5);
+  }
+  EXPECT_EQ(brute_all, tree_all);
+}
+
+}  // namespace
+}  // namespace eos

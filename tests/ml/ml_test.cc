@@ -111,6 +111,61 @@ TEST(KnnTest, MatchesBruteForce) {
   }
 }
 
+TEST(KnnTest, DegenerateKIsWellDefined) {
+  // The documented degenerate-argument contract: k <= 0 (including
+  // negative) is an empty result, never a crash or a clamp to 1.
+  Tensor points = Tensor::FromVector({3, 1}, {0, 1, 2});
+  KnnIndex index(points);
+  float q = 0.5f;
+  EXPECT_TRUE(index.Query(&q, 0).empty());
+  EXPECT_TRUE(index.Query(&q, -1).empty());
+  EXPECT_TRUE(index.Query(&q, -100).empty());
+  EXPECT_TRUE(index.QueryRow(1, 0).empty());
+  EXPECT_TRUE(index.QueryRow(1, -5).empty());
+}
+
+TEST(KnnTest, KAtLeastNWithExcludeClampsToAvailable) {
+  Tensor points = Tensor::FromVector({4, 1}, {0, 1, 2, 3});
+  KnnIndex index(points);
+  float q = 1.5f;
+  // k == n with a valid exclude: n - 1 results.
+  EXPECT_EQ(index.Query(&q, 4, /*exclude=*/2),
+            (std::vector<int64_t>{1, 0, 3}));
+  // k > n with no exclude: all n results.
+  EXPECT_EQ(index.Query(&q, 10).size(), 4u);
+  // Out-of-range excludes exclude nothing.
+  EXPECT_EQ(index.Query(&q, 10, /*exclude=*/-7).size(), 4u);
+  EXPECT_EQ(index.Query(&q, 10, /*exclude=*/99).size(), 4u);
+}
+
+TEST(KnnTest, SinglePointLeaveOneOutIsEmpty) {
+  Tensor points = Tensor::FromVector({1, 2}, {3.0f, 4.0f});
+  KnnIndex index(points);
+  // The only candidate is excluded: nothing is available at any k.
+  EXPECT_TRUE(index.QueryRow(0, 1).empty());
+  EXPECT_TRUE(index.QueryRow(0, 100).empty());
+  auto all = AllKNearestNeighbors(points, 5);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0].empty());
+}
+
+TEST(KnnTest, BatchedDegenerateQueriesMatchSingle) {
+  Tensor points = Tensor::FromVector({3, 1}, {0, 1, 2});
+  KnnIndex index(points);
+  Tensor queries = Tensor::FromVector({2, 1}, {0.4f, 1.6f});
+  auto batched = index.QueryBatch(queries.data(), 2, 0);
+  ASSERT_EQ(batched.size(), 2u);
+  EXPECT_TRUE(batched[0].empty());
+  EXPECT_TRUE(batched[1].empty());
+  EXPECT_TRUE(index.QueryBatch(queries.data(), 0, 3).empty());
+  auto rows = index.QueryRows({0, 1, 2}, -1);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) EXPECT_TRUE(r.empty());
+  auto all = AllKNearestNeighbors(points, 0);
+  ASSERT_EQ(all.size(), 3u);
+  for (const auto& r : all) EXPECT_TRUE(r.empty());
+}
+
 TEST(KnnTest, AllKNearestNeighborsShape) {
   Rng rng(3);
   Tensor points = Tensor::Uniform({12, 2}, -1.0f, 1.0f, rng);

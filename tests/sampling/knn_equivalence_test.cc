@@ -1,0 +1,141 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/knn_index.h"
+#include "runtime/thread_pool.h"
+#include "sampling/oversampler.h"
+#include "sampling/undersampling.h"
+#include "testing/generators.h"
+#include "testing/property.h"
+
+/// \file
+/// The `ctest -L knn` acceptance suite: every KNN-consuming sampler must
+/// produce bitwise-identical output whether its neighbor queries run
+/// through brute force or the spatial index (exact mode), on randomized
+/// geometries including duplicates, singleton classes, and collapsed
+/// clusters — at 1 thread and at 8.
+
+namespace eos {
+namespace {
+
+using ::eos::testing::DatasetGenOptions;
+using ::eos::testing::PropertyCase;
+using ::eos::testing::PropertyRunner;
+using ::eos::testing::RandomImbalancedSet;
+
+DatasetGenOptions SmallSetOptions() {
+  DatasetGenOptions options;
+  options.max_classes = 4;
+  options.max_dim = 6;
+  options.max_class_count = 15;
+  return options;
+}
+
+std::unique_ptr<Oversampler> MakeKind(SamplerKind kind) {
+  SamplerConfig config;
+  config.kind = kind;
+  config.k_neighbors = 5;
+  return MakeOversampler(config);
+}
+
+Status CheckBitwiseEqual(const FeatureSet& a, const FeatureSet& b,
+                         const std::string& what) {
+  EOS_PROP_CHECK_MSG(a.size() == b.size(), what + ": sizes differ");
+  EOS_PROP_CHECK_MSG(a.labels == b.labels, what + ": labels differ");
+  EOS_PROP_CHECK_MSG(a.features.numel() == b.features.numel(),
+                     what + ": feature counts differ");
+  for (int64_t i = 0; i < a.features.numel(); ++i) {
+    EOS_PROP_CHECK_MSG(a.features.data()[i] == b.features.data()[i],
+                       what + ": feature bytes differ at flat index " +
+                           std::to_string(i));
+  }
+  return Status::OK();
+}
+
+// The six KNN-consuming oversamplers named by the acceptance criteria.
+// (KMeans-SMOTE and Balanced-SVM consume KNN through Smote's interpolation
+// structure; the others query the full-set index directly.)
+class KnnBackendEquivalenceTest
+    : public ::testing::TestWithParam<SamplerKind> {};
+
+TEST_P(KnnBackendEquivalenceTest, BruteAndIndexBackendsSampleIdentically) {
+  int restore = runtime::ThreadCount();
+  PropertyRunner runner;
+  SamplerKind kind = GetParam();
+  Status st = runner.Run(
+      std::string("knn-equivalence-") + SamplerKindName(kind),
+      [kind](Rng& rng, const PropertyCase& prop_case) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        for (int threads : {1, 8}) {
+          runtime::SetThreadCount(threads);
+          FeatureSet brute_out;
+          {
+            ScopedForceKnnMode force(KnnMode::kBrute);
+            Rng r(prop_case.seed ^ 0x5EEDULL);
+            brute_out = MakeKind(kind)->Resample(data, r);
+          }
+          FeatureSet index_out;
+          {
+            ScopedForceKnnMode force(KnnMode::kIndex);
+            Rng r(prop_case.seed ^ 0x5EEDULL);
+            index_out = MakeKind(kind)->Resample(data, r);
+          }
+          EOS_RETURN_IF_ERROR(CheckBitwiseEqual(
+              brute_out, index_out,
+              "threads=" + std::to_string(threads)));
+        }
+        return Status::OK();
+      });
+  runtime::SetThreadCount(restore);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnnConsumers, KnnBackendEquivalenceTest,
+    ::testing::Values(SamplerKind::kEos, SamplerKind::kSmote,
+                      SamplerKind::kAdasyn, SamplerKind::kBorderlineSmote,
+                      SamplerKind::kKMeansSmote, SamplerKind::kBalancedSvm),
+    [](const ::testing::TestParamInfo<SamplerKind>& info) {
+      std::string name = SamplerKindName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(KnnBackendEquivalenceTest, CleanersAgreeAcrossBackends) {
+  // Tomek-link removal and ENN route their neighbor scans through the same
+  // policy facade; brute and index must keep/drop the same rows.
+  int restore = runtime::ThreadCount();
+  PropertyRunner runner;
+  Status st = runner.Run(
+      "knn-equivalence-cleaners",
+      [](Rng& rng, const PropertyCase&) -> Status {
+        FeatureSet data = RandomImbalancedSet(rng, SmallSetOptions());
+        for (int threads : {1, 8}) {
+          runtime::SetThreadCount(threads);
+          FeatureSet tomek_brute, tomek_index, enn_brute, enn_index;
+          {
+            ScopedForceKnnMode force(KnnMode::kBrute);
+            tomek_brute = RemoveTomekLinks(data);
+            enn_brute = EditedNearestNeighbours(data, 3);
+          }
+          {
+            ScopedForceKnnMode force(KnnMode::kIndex);
+            tomek_index = RemoveTomekLinks(data);
+            enn_index = EditedNearestNeighbours(data, 3);
+          }
+          EOS_RETURN_IF_ERROR(
+              CheckBitwiseEqual(tomek_brute, tomek_index, "tomek"));
+          EOS_RETURN_IF_ERROR(CheckBitwiseEqual(enn_brute, enn_index, "enn"));
+        }
+        return Status::OK();
+      });
+  runtime::SetThreadCount(restore);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace eos

@@ -8,6 +8,7 @@
 # 2. clang-tidy over src/ using the build's compile_commands  [if installed]
 # 3. a clang -Wthread-safety -Werror compile of the tree      [if installed]
 # 4. the SIMD scalar/AVX2 equivalence tier (ctest -L simd)    [if built]
+# 5. the indexed-KNN equivalence tier (ctest -L knn)          [if built]
 #
 # Steps whose toolchain is missing are SKIPPED with a notice, not failed:
 # the GCC-only container still gets the lint gate, while a developer
@@ -20,6 +21,26 @@ build_dir="${1:-$repo_root/build}"
 failures=0
 
 step() { printf '\n=== %s ===\n' "$*"; }
+
+# Echoes the first available spelling of an LLVM tool: bare name first, then
+# distro-versioned fallbacks (clang-tidy-20 ... clang-tidy-14), newest first.
+# Distros that ship only versioned binaries otherwise read as "not
+# installed" and silently skip two steps.
+find_llvm_tool() {
+  local base="$1"
+  if command -v "$base" > /dev/null 2>&1; then
+    echo "$base"
+    return 0
+  fi
+  local v
+  for v in 20 19 18 17 16 15 14; do
+    if command -v "$base-$v" > /dev/null 2>&1; then
+      echo "$base-$v"
+      return 0
+    fi
+  done
+  return 1
+}
 
 # --- 1. determinism linter -------------------------------------------------
 step "tools/lint over src/"
@@ -38,13 +59,14 @@ fi
 
 # --- 2. clang-tidy ---------------------------------------------------------
 step "clang-tidy (bugprone, performance, concurrency)"
-if command -v clang-tidy > /dev/null 2>&1; then
+if clang_tidy="$(find_llvm_tool clang-tidy)"; then
+  echo "using $clang_tidy ($("$clang_tidy" --version | head -n 1))"
   if [[ ! -f "$build_dir/compile_commands.json" ]]; then
     cmake -B "$build_dir" -S "$repo_root" \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   fi
   # shellcheck disable=SC2046  # word-splitting the file list is the point
-  if clang-tidy -p "$build_dir" --quiet \
+  if "$clang_tidy" -p "$build_dir" --quiet \
       $(find "$repo_root/src" -name '*.cc' | sort); then
     echo "clang-tidy: clean"
   else
@@ -52,14 +74,17 @@ if command -v clang-tidy > /dev/null 2>&1; then
     failures=$((failures + 1))
   fi
 else
-  echo "SKIPPED: clang-tidy not installed"
+  echo "SKIPPED: clang-tidy not installed (bare or versioned)"
 fi
 
 # --- 3. clang thread-safety analysis --------------------------------------
 step "clang -Wthread-safety -Werror build"
-if command -v clang++ > /dev/null 2>&1; then
+if clangxx="$(find_llvm_tool clang++)"; then
+  clangcc="${clangxx/clang++/clang}"
+  command -v "$clangcc" > /dev/null 2>&1 || clangcc="$clangxx"
+  echo "using $clangxx ($("$clangxx" --version | head -n 1))"
   tsa_dir="$build_dir-tsa"
-  if CC=clang CXX=clang++ cmake -B "$tsa_dir" -S "$repo_root" \
+  if CC="$clangcc" CXX="$clangxx" cmake -B "$tsa_dir" -S "$repo_root" \
         -DEOS_ENABLE_THREAD_SAFETY_ANALYSIS=ON -DEOS_WERROR=ON > /dev/null &&
       cmake --build "$tsa_dir" -j > /dev/null; then
     echo "thread-safety analysis: clean"
@@ -68,7 +93,8 @@ if command -v clang++ > /dev/null 2>&1; then
     failures=$((failures + 1))
   fi
 else
-  echo "SKIPPED: clang++ not installed (annotations are no-ops under GCC)"
+  echo "SKIPPED: clang++ not installed, bare or versioned (annotations are" \
+       "no-ops under GCC)"
 fi
 
 # --- 4. SIMD dispatch equivalence tier -------------------------------------
@@ -82,6 +108,22 @@ if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
     echo "simd tier: clean"
   else
     echo "FAIL: simd equivalence failures above"
+    failures=$((failures + 1))
+  fi
+else
+  echo "SKIPPED: $build_dir has no ctest config (build the tree first)"
+fi
+
+# --- 5. indexed-KNN equivalence tier ---------------------------------------
+# Same rationale as the simd tier: the KD-tree backend's central claim is
+# bitwise equality with brute force across every KNN-consuming sampler, and
+# the `knn` label re-runs the property suites under EOS_KNN overrides.
+step "indexed-KNN equivalence (ctest -L knn)"
+if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
+  if (cd "$build_dir" && ctest -L knn --output-on-failure); then
+    echo "knn tier: clean"
+  else
+    echo "FAIL: knn equivalence failures above"
     failures=$((failures + 1))
   fi
 else
