@@ -1,0 +1,265 @@
+// Fleet serving performance: closed-loop throughput of serve::Fleet as a
+// function of shard count, with a model hot-swap fired in the middle of
+// every cell. Each cell deploys checkpoint v2 once half the requests have
+// completed, so the numbers measure the steady state AND the cutover: the
+// self-check at the end exits nonzero unless every cell finished with
+// dropped_on_drain == 0 and failed_requests == 0 — the zero-downtime swap
+// contract, enforced by the bench itself.
+//
+// Run: ./build/bench/fleet_throughput
+//      ./build/bench/fleet_throughput --shards_list=1,2,4 --clients=64
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/checkpoint.h"
+#include "nn/resnet.h"
+#include "serve/fleet.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+std::vector<int64_t> ParseIntList(const std::string& spec) {
+  std::vector<int64_t> out;
+  for (const std::string& raw : eos::StrSplit(spec, ',')) {
+    std::string name = eos::StrTrim(raw);
+    if (!name.empty()) out.push_back(std::stoll(name));
+  }
+  return out;
+}
+
+int64_t g_image_size = 10;
+int64_t g_classes = 10;
+
+eos::nn::ImageClassifier BuildNet(uint64_t seed) {
+  eos::Rng rng(seed);
+  eos::nn::ResNetConfig config;
+  config.blocks_per_stage = 1;
+  config.base_width = 8;
+  config.num_classes = g_classes;
+  return eos::nn::BuildResNet(config, rng);
+}
+
+/// The net factory the fleet clones replicas from (weights come from the
+/// deployed checkpoint, so the init seed is arbitrary but fixed).
+eos::nn::ImageClassifier FactoryNet() { return BuildNet(0xF1EE7); }
+
+/// Saves a warmed-up (BN statistics moved) net as a training checkpoint.
+bool WriteCheckpoint(const std::string& path, uint64_t seed) {
+  eos::nn::ImageClassifier net = BuildNet(seed);
+  eos::Rng rng(seed + 1);
+  eos::Tensor warmup = eos::Tensor::Uniform(
+      {16, 3, g_image_size, g_image_size}, -1.0f, 1.0f, rng);
+  net.Forward(warmup, /*training=*/true);
+  eos::TrainCheckpoint ckpt;
+  eos::Status status = eos::SaveCheckpoint(ckpt, net, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "checkpoint save failed: %s\n",
+                 status.ToString().c_str());
+  }
+  return status.ok();
+}
+
+struct Cell {
+  int64_t shards = 0;
+  int64_t requests = 0;
+  double seconds = 0;
+  double swap_ms = 0;
+  int64_t failed_requests = 0;
+  int64_t served_v1 = 0;
+  int64_t served_v2 = 0;
+  eos::serve::FleetSnapshot stats;
+};
+
+std::string CellJson(const Cell& c) {
+  return eos::StrFormat(
+      "{\"shards\": %lld, \"requests\": %lld, \"seconds\": %.4f, "
+      "\"rps\": %.1f, \"swap_ms\": %.2f, \"failed_requests\": %lld, "
+      "\"dropped_on_drain\": %lld, \"admission_rejected\": %lld, "
+      "\"served_v1\": %lld, \"served_v2\": %lld, \"swaps\": %lld, "
+      "\"rollbacks\": %lld, \"max_queue_depth\": %lld}",
+      static_cast<long long>(c.shards), static_cast<long long>(c.requests),
+      c.seconds, static_cast<double>(c.requests) / c.seconds, c.swap_ms,
+      static_cast<long long>(c.failed_requests),
+      static_cast<long long>(c.stats.totals.dropped_on_drain),
+      static_cast<long long>(c.stats.admission_rejected),
+      static_cast<long long>(c.served_v1), static_cast<long long>(c.served_v2),
+      static_cast<long long>(c.stats.totals.swaps),
+      static_cast<long long>(c.stats.totals.rollbacks),
+      static_cast<long long>(c.stats.totals.max_queue_depth));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eos::FlagSet flags;
+  int64_t* image_size = flags.AddInt("image_size", 10, "image edge size");
+  int64_t* classes = flags.AddInt("classes", 10, "number of classes");
+  int64_t* requests = flags.AddInt("requests", 512, "requests per cell");
+  int64_t* clients = flags.AddInt("clients", 64, "closed-loop client threads");
+  int64_t* workers = flags.AddInt("workers", 2, "worker threads per shard");
+  int64_t* batch = flags.AddInt("batch", 16, "max micro-batch size");
+  int64_t* delay_us =
+      flags.AddInt("delay_us", 1000, "max queue delay per request (us)");
+  int64_t* depth = flags.AddInt("depth", 1024, "per-shard queue depth");
+  int64_t* seed = flags.AddInt("seed", 1, "rng seed");
+  std::string* shards_list =
+      flags.AddString("shards_list", "1,2,4", "shard count sweep");
+  std::string* ckpt_prefix = flags.AddString(
+      "ckpt", "/tmp/eos_fleet_bench_ckpt", "scratch checkpoint prefix");
+  std::string* out =
+      flags.AddString("out", "BENCH_fleet.json", "JSON output path");
+  eos::Status status = flags.Parse(argc, argv);
+  if (!status.ok() || flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return status.ok() ? 0 : 2;
+  }
+  g_image_size = *image_size;
+  g_classes = *classes;
+
+  // Two distinct checkpoints: every cell boots on v1 and hot-swaps to v2
+  // mid-run. Serving cost does not depend on the weight values, so
+  // untrained warmed-up nets measure the real pipeline.
+  std::string path_v1 = *ckpt_prefix + "_v1.eosc";
+  std::string path_v2 = *ckpt_prefix + "_v2.eosc";
+  if (!WriteCheckpoint(path_v1, static_cast<uint64_t>(*seed) + 10) ||
+      !WriteCheckpoint(path_v2, static_cast<uint64_t>(*seed) + 20)) {
+    return 1;
+  }
+
+  eos::Rng image_rng(static_cast<uint64_t>(*seed) + 2);
+  std::vector<eos::Tensor> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(eos::Tensor::Uniform({3, *image_size, *image_size}, -1.0f,
+                                        1.0f, image_rng));
+  }
+
+  std::printf("fleet_throughput: %lld requests/cell, %lld clients, "
+              "%lld workers/shard, swap at 50%%\n\n",
+              static_cast<long long>(*requests),
+              static_cast<long long>(*clients),
+              static_cast<long long>(*workers));
+  std::printf("  %-8s %-10s %-10s %-10s %-10s %-10s\n", "shards", "req/s",
+              "swap_ms", "v1", "v2", "dropped");
+
+  std::vector<Cell> cells;
+  bool contract_violated = false;
+  for (int64_t shards : ParseIntList(*shards_list)) {
+    eos::serve::FleetOptions options;
+    options.num_shards = static_cast<int>(shards);
+    options.server.num_workers = static_cast<int>(*workers);
+    options.server.batcher.max_batch_size = *batch;
+    options.server.batcher.max_queue_delay_us = *delay_us;
+    options.server.batcher.max_queue_depth = *depth;
+    auto fleet = eos::serve::Fleet::Create(FactoryNet, path_v1, options);
+    if (!fleet.ok()) {
+      std::fprintf(stderr, "fleet create failed: %s\n",
+                   fleet.status().ToString().c_str());
+      return 1;
+    }
+
+    std::atomic<int64_t> completed{0};
+    std::atomic<int64_t> failed{0};
+    std::atomic<int64_t> served_v1{0};
+    std::atomic<int64_t> served_v2{0};
+    eos::Stopwatch watch;
+    std::vector<std::thread> client_threads;
+    for (int64_t c = 0; c < *clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        for (int64_t i = c; i < *requests; i += *clients) {
+          const eos::Tensor& image =
+              pool[static_cast<size_t>(i) % pool.size()];
+          for (;;) {
+            auto f = (*fleet)->Submit(static_cast<uint64_t>(i), image.Clone());
+            if (!f.ok()) {
+              std::this_thread::yield();  // backpressure: retry
+              continue;
+            }
+            eos::Result<eos::serve::Prediction> r =
+                std::move(f).value().get();
+            if (!r.ok()) {
+              failed.fetch_add(1);
+            } else {
+              (r->version == 1 ? served_v1 : served_v2).fetch_add(1);
+            }
+            completed.fetch_add(1);
+            break;
+          }
+        }
+      });
+    }
+
+    // The mid-run hot swap: wait for half the traffic, then roll v2 across
+    // every shard while the clients keep hammering.
+    while (completed.load() < *requests / 2) std::this_thread::yield();
+    eos::Stopwatch swap_watch;
+    eos::Status deploy = (*fleet)->DeployCheckpoint(2, path_v2);
+    double swap_ms = swap_watch.Seconds() * 1000.0;
+    if (!deploy.ok()) {
+      std::fprintf(stderr, "deploy failed: %s\n", deploy.ToString().c_str());
+      return 1;
+    }
+    for (auto& t : client_threads) t.join();
+    (*fleet)->Shutdown();
+
+    Cell cell;
+    cell.shards = shards;
+    cell.requests = *requests;
+    cell.seconds = watch.Seconds();
+    cell.swap_ms = swap_ms;
+    cell.failed_requests = failed.load();
+    cell.served_v1 = served_v1.load();
+    cell.served_v2 = served_v2.load();
+    cell.stats = (*fleet)->Stats();
+    if (cell.failed_requests != 0 ||
+        cell.stats.totals.dropped_on_drain != 0) {
+      contract_violated = true;
+    }
+    cells.push_back(cell);
+    std::printf("  %-8lld %-10.0f %-10.2f %-10lld %-10lld %-10lld\n",
+                static_cast<long long>(shards),
+                static_cast<double>(cell.requests) / cell.seconds, swap_ms,
+                static_cast<long long>(cell.served_v1),
+                static_cast<long long>(cell.served_v2),
+                static_cast<long long>(cell.stats.totals.dropped_on_drain));
+  }
+
+  std::FILE* f = std::fopen(out->c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out->c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"fleet_throughput\", \"image_size\": %lld, "
+               "\"classes\": %lld, \"clients\": %lld, \"workers\": %lld, "
+               "\"batch\": %lld, \"results\": [\n",
+               static_cast<long long>(*image_size),
+               static_cast<long long>(*classes),
+               static_cast<long long>(*clients),
+               static_cast<long long>(*workers),
+               static_cast<long long>(*batch));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", CellJson(cells[i]).c_str(),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu cells)\n", out->c_str(), cells.size());
+
+  std::remove(path_v1.c_str());
+  std::remove(path_v2.c_str());
+  if (contract_violated) {
+    std::fprintf(stderr,
+                 "FAIL: zero-downtime contract violated (failed requests or "
+                 "dropped_on_drain != 0)\n");
+    return 1;
+  }
+  return 0;
+}

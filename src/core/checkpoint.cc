@@ -303,6 +303,23 @@ bool CheckpointIsValid(const std::string& path) {
   return ValidateCrc(f.get(), path).ok();
 }
 
+Status LoadCheckpointWeights(nn::ImageClassifier& net,
+                             const std::string& path) {
+  // Simulated load failure for deploy drills: fail before the file is
+  // opened, as a vanished/unreadable checkpoint would.
+  if (testing::FaultInjector::ShouldFail(kLoadFailFault)) {
+    return Status::IoError(
+        "simulated checkpoint load failure (checkpoint.load_fail fault): " +
+        path);
+  }
+  // Full parse (training state included) so the CRC, trailing-bytes, and
+  // payload validation are byte-for-byte the ones LoadCheckpoint applies;
+  // only the returned TrainCheckpoint is discarded.
+  EOS_ASSIGN_OR_RETURN(TrainCheckpoint ckpt, LoadCheckpoint(net, path));
+  (void)ckpt;  // serving needs the weights the parse restored, not the state
+  return Status::OK();
+}
+
 Status RunThreePhaseCheckpointed(nn::ImageClassifier& net, Loss& loss,
                                  const Dataset& train, Oversampler* sampler,
                                  const TrainerOptions& phase1,

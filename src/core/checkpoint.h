@@ -33,6 +33,13 @@ namespace eos {
 /// which is exactly the property the torn-write drill proves.
 inline constexpr char kTornWriteFault[] = "checkpoint.torn_write";
 
+/// Fault point: while armed, LoadCheckpointWeights fails with IoError
+/// before touching the file, as if the checkpoint had gone unreadable
+/// between validation and deploy. The fleet's deploy drill arms this with
+/// a skip count to kill a rolling model swap on its Nth shard and prove
+/// the automatic rollback leaves every shard on the previous version.
+inline constexpr char kLoadFailFault[] = "checkpoint.load_fail";
+
 /// Where a checkpointed three-phase run was when the checkpoint was taken.
 enum class ThreePhaseStage : uint8_t {
   /// Phase-1 (end-to-end CNN training) in progress.
@@ -79,6 +86,16 @@ Result<TrainCheckpoint> LoadCheckpoint(nn::ImageClassifier& net,
 /// True when `path` exists and carries a structurally valid checkpoint
 /// (magic/version/CRC all pass). Never modifies any model.
 bool CheckpointIsValid(const std::string& path);
+
+/// The serving-side load path: restores only `net`'s parameters and
+/// BatchNorm buffers from a checkpoint written by SaveCheckpoint,
+/// discarding the training state (optimizer velocity, RNG, phase cursor).
+/// Validates magic/version/CRC first exactly like LoadCheckpoint, so a
+/// torn or corrupt file fails without touching `net` — which is what lets
+/// the fleet roll a failed deploy back to the incumbent version. `net`
+/// must be configured identically to the saved model.
+Status LoadCheckpointWeights(nn::ImageClassifier& net,
+                             const std::string& path);
 
 struct CheckpointedRunOptions {
   /// Checkpoint file. Its directory must exist.

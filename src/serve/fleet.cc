@@ -1,0 +1,207 @@
+#include "serve/fleet.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "common/thread_annotations.h"
+#include "testing/fault_injection.h"
+
+namespace eos::serve {
+
+Result<std::unique_ptr<Fleet>> Fleet::Create(
+    NetFactory net_factory, const std::string& checkpoint_path,
+    const FleetOptions& options) {
+  EOS_CHECK(net_factory != nullptr);
+  EOS_CHECK_GE(options.num_shards, 1);
+  EOS_CHECK_GE(options.replicas_per_shard, 1);
+  EOS_CHECK_GE(options.vnodes_per_shard, 1);
+  EOS_CHECK_GE(options.admission_max_queue_depth, 0);
+  EOS_CHECK_GT(options.initial_version, 0);
+
+  // Load every session before constructing anything: a bad checkpoint must
+  // not leave a half-started fleet behind.
+  std::vector<std::vector<std::shared_ptr<ModelSession>>> shard_replicas(
+      static_cast<size_t>(options.num_shards));
+  for (auto& replicas : shard_replicas) {
+    replicas.reserve(static_cast<size_t>(options.replicas_per_shard));
+    for (int r = 0; r < options.replicas_per_shard; ++r) {
+      EOS_ASSIGN_OR_RETURN(
+          std::shared_ptr<ModelSession> session,
+          ModelSession::LoadFromCheckpoint(net_factory(), checkpoint_path));
+      replicas.push_back(std::move(session));
+    }
+  }
+  return std::make_unique<Fleet>(std::move(net_factory), options,
+                                 std::move(shard_replicas), checkpoint_path);
+}
+
+Fleet::Fleet(
+    NetFactory net_factory, const FleetOptions& options,
+    std::vector<std::vector<std::shared_ptr<ModelSession>>> shard_replicas,
+    const std::string& source)
+    : options_(options),
+      net_factory_(std::move(net_factory)),
+      ring_(options.num_shards, options.vnodes_per_shard) {
+  EOS_CHECK_EQ(static_cast<int>(shard_replicas.size()), options_.num_shards);
+  ServerOptions server_options = options_.server;
+  server_options.initial_version = options_.initial_version;
+  shards_.reserve(shard_replicas.size());
+  for (auto& replicas : shard_replicas) {
+    EOS_CHECK_EQ(static_cast<int>(replicas.size()),
+                 options_.replicas_per_shard);
+    shards_.push_back(
+        std::make_unique<Server>(std::move(replicas), server_options));
+  }
+  EOS_CHECK(registry_.Register(options_.initial_version, source).ok());
+  EOS_CHECK(registry_.Activate(options_.initial_version).ok());
+}
+
+Fleet::~Fleet() { Shutdown(); }
+
+Result<std::future<Result<Prediction>>> Fleet::Submit(
+    uint64_t key, Tensor image, const SubmitOptions& submit_options) {
+  Server& shard = *shards_[static_cast<size_t>(ring_.ShardFor(key))];
+  // Fleet-level admission control: refuse before the shard's queue mutex
+  // when the shard is already backed up past the policy line. Racing
+  // submitters may each read a depth just under the line — the shard's own
+  // max_queue_depth stays the hard bound; this gate only shapes load.
+  if (options_.admission_max_queue_depth > 0 &&
+      shard.queue_depth() >= options_.admission_max_queue_depth) {
+    admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(StrFormat(
+        "fleet admission control: shard queue at %lld >= limit %lld",
+        static_cast<long long>(shard.queue_depth()),
+        static_cast<long long>(options_.admission_max_queue_depth)));
+  }
+  return shard.Submit(std::move(image), submit_options);
+}
+
+Result<Prediction> Fleet::Predict(uint64_t key, Tensor image,
+                                  const SubmitOptions& submit_options) {
+  EOS_ASSIGN_OR_RETURN(std::future<Result<Prediction>> future,
+                       Submit(key, std::move(image), submit_options));
+  return future.get();
+}
+
+Result<std::vector<std::shared_ptr<ModelSession>>> Fleet::LoadShardSessions(
+    const std::string& checkpoint_path) {
+  std::vector<std::shared_ptr<ModelSession>> replicas;
+  replicas.reserve(static_cast<size_t>(options_.replicas_per_shard));
+  for (int r = 0; r < options_.replicas_per_shard; ++r) {
+    EOS_ASSIGN_OR_RETURN(
+        std::shared_ptr<ModelSession> session,
+        ModelSession::LoadFromCheckpoint(net_factory_(), checkpoint_path));
+    replicas.push_back(std::move(session));
+  }
+  return replicas;
+}
+
+Status Fleet::DeployCheckpoint(int64_t version,
+                               const std::string& checkpoint_path) {
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("fleet is shut down; cannot deploy");
+  }
+  EOS_RETURN_IF_ERROR(registry_.Register(version, checkpoint_path));
+
+  // Rolling swap, one shard at a time. Serving never pauses: each shard's
+  // cutover is one pointer exchange inside SwapReplicas, and until the roll
+  // completes the fleet intentionally serves both versions (every
+  // prediction is stamped with the version that produced it, so the window
+  // is observable, not corrupting).
+  std::vector<std::shared_ptr<const ReplicaSet>> displaced;
+  displaced.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Result<std::vector<std::shared_ptr<ModelSession>>> replicas =
+        LoadShardSessions(checkpoint_path);
+    if (!replicas.ok()) {
+      // Roll every already-swapped shard back to the set it was serving
+      // before this deploy — the fleet must never stay mixed. The sets are
+      // still alive in `displaced`, so this is pointer surgery, not I/O.
+      for (size_t undo = displaced.size(); undo-- > 0;) {
+        shards_[undo]->SwapReplicas(displaced[undo]->replicas,
+                                    displaced[undo]->version,
+                                    /*rollback=*/true);
+      }
+      return Status(replicas.status().code(),
+                    StrFormat("deploy of version %lld failed at shard %d "
+                              "(rolled back to version %lld): %s",
+                              static_cast<long long>(version),
+                              static_cast<int>(s),
+                              static_cast<long long>(active_version()),
+                              replicas.status().message().c_str()));
+    }
+    // Hold the fleet mid-roll (some shards new, some old) for the
+    // fault-drill tier, after the fallible load so the rollback path above
+    // stays reachable by arming checkpoint.load_fail with a skip.
+    testing::FaultInjector::MaybeStall(kSwapStallFault);
+    displaced.push_back(
+        shards_[s]->SwapReplicas(std::move(replicas).value(), version));
+  }
+  // Full roll succeeded: the displaced sets become the instant-rollback
+  // generation. Their predecessors (previous_sets_) drop here — any batch
+  // still draining on one keeps it alive through its own shared_ptr.
+  previous_sets_ = std::move(displaced);
+  EOS_CHECK(registry_.Activate(version).ok());
+  return Status::OK();
+}
+
+Status Fleet::Rollback() {
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("fleet is shut down; cannot roll back");
+  }
+  if (previous_sets_.empty()) {
+    return Status::FailedPrecondition(
+        "no previous version resident; nothing to roll back to");
+  }
+  EOS_RETURN_IF_ERROR(registry_.Rollback());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    previous_sets_[s] = shards_[s]->SwapReplicas(previous_sets_[s]->replicas,
+                                                 previous_sets_[s]->version,
+                                                 /*rollback=*/true);
+  }
+  return Status::OK();
+}
+
+void Fleet::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(deploy_mu_);
+    shutdown_ = true;
+  }
+  // Server::Shutdown is idempotent and safe to call concurrently, so the
+  // drain itself runs unlocked (it blocks on queued work).
+  for (auto& shard : shards_) shard->Shutdown();
+}
+
+FleetSnapshot Fleet::Stats() const {
+  FleetSnapshot snapshot;
+  snapshot.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snapshot.per_shard.push_back(shard->Stats());
+  }
+  snapshot.totals = AggregateCounters(snapshot.per_shard);
+  snapshot.admission_rejected =
+      admission_rejected_.load(std::memory_order_relaxed);
+  snapshot.active_version = registry_.active_version();
+  snapshot.previous_version = registry_.previous_version();
+  return snapshot;
+}
+
+std::string FleetSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"active_version\": " << active_version
+      << ", \"previous_version\": " << previous_version
+      << ", \"admission_rejected\": " << admission_rejected
+      << ", \"totals\": " << totals.ToJson() << ", \"per_shard\": [";
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (s > 0) out << ", ";
+    out << per_shard[s].ToJson();
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace eos::serve

@@ -1,0 +1,195 @@
+#ifndef EOS_SERVE_FLEET_H_
+#define EOS_SERVE_FLEET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "nn/network.h"
+#include "serve/hash_ring.h"
+#include "serve/server.h"
+#include "serve/version_registry.h"
+
+/// \file
+/// The sharded serving fleet: a consistent-hash front-end over N
+/// independent micro-batching Servers, with per-shard admission control and
+/// zero-downtime model hot-swap. A request key routes through a HashRing to
+/// one shard; DeployCheckpoint rolls a new model version across the shards
+/// one at a time (load weights into fresh ModelSessions, then atomically
+/// cut the shard over), keeping the previous version's sessions resident
+/// for instant Rollback. In-flight batches drain on the set that was active
+/// when they were popped, so a swap drops, delays, or tears nothing — the
+/// fleet test tier (ctest -L fleet) proves it under fault injection and
+/// TSan. See DESIGN.md "Fleet serving & hot swap".
+
+namespace eos::serve {
+
+/// Fault point (see testing/fault_injection.h): while armed, a rolling
+/// deploy sleeps between loading a shard's weights and cutting the shard
+/// over — holding the fleet mid-swap (old version serving on some shards,
+/// new on others) long enough for a test to prove requests keep flowing
+/// and every prediction is stamped with the version that really served it.
+inline constexpr char kSwapStallFault[] = "fleet.swap_stall";
+
+/// Builds a fresh, identically-configured network for one replica. Called
+/// once per shard x replica at Create and per deploy; each call must
+/// return the same architecture (weights are overwritten by the checkpoint
+/// load, so their initial values are irrelevant).
+using NetFactory = std::function<nn::ImageClassifier()>;
+
+struct FleetOptions {
+  /// Number of shards (independent Servers). Must be >= 1.
+  int num_shards = 1;
+  /// ModelSession replicas per shard. Must be >= 1.
+  int replicas_per_shard = 1;
+  /// Per-shard server policy (workers, batching, health). Its
+  /// initial_version is overridden by `initial_version` below.
+  ServerOptions server;
+  /// Virtual points per shard on the routing ring (>= 1); see HashRing.
+  int vnodes_per_shard = 64;
+  /// Fleet-level admission control: a Submit routed to a shard whose queue
+  /// is already at least this deep is refused with ResourceExhausted
+  /// before touching the shard (counted in FleetSnapshot::
+  /// admission_rejected). 0 disables the check — the shard's own
+  /// max_queue_depth backpressure still applies either way.
+  int64_t admission_max_queue_depth = 0;
+  /// Version id of the checkpoint the fleet boots from. Must be > 0.
+  int64_t initial_version = 1;
+};
+
+/// One monitoring view of the whole fleet.
+struct FleetSnapshot {
+  /// Per-shard serving stats, indexed by shard id.
+  std::vector<StatsSnapshot> per_shard;
+  /// Fleet-wide totals (AggregateCounters over per_shard: additive
+  /// counters summed, percentiles left 0 — read those per shard).
+  StatsSnapshot totals;
+  /// Submits refused by fleet-level admission control.
+  int64_t admission_rejected = 0;
+  int64_t active_version = 0;
+  /// Instant-rollback target; 0 when none exists.
+  int64_t previous_version = 0;
+
+  /// Single-line JSON object: versions, admission_rejected, totals, and a
+  /// per-shard array of StatsSnapshot objects.
+  std::string ToJson() const;
+};
+
+/// A sharded, hot-swappable serving fleet.
+///
+/// Routing is deterministic: ShardFor(key) depends only on the key and the
+/// shard count (HashRing), so a key's shard — and therefore the exact
+/// serving replica behavior — is reproducible across runs.
+///
+/// Deploy protocol (DeployCheckpoint): register the version, then per
+/// shard load `replicas_per_shard` fresh sessions from the checkpoint and
+/// SwapReplicas the shard. A load failure at any shard rolls every
+/// already-swapped shard back to the incumbent set and fails the deploy —
+/// the fleet is never left mixed. After a full roll, the displaced sets
+/// are retained per shard as the instant-Rollback target. Requests are
+/// never paused: each shard's cutover is one pointer exchange, and batches
+/// in flight drain on the set they resolved.
+///
+/// Thread-safety: Submit/Predict/Stats may be called from any thread at
+/// any time, including during a deploy. Deploys, rollbacks, and Shutdown
+/// serialize on deploy_mu_.
+class Fleet {
+ public:
+  /// Loads `options.initial_version` from `checkpoint_path` into every
+  /// shard x replica session and starts the shard servers. Fails (without
+  /// partial side effects) when the checkpoint is unreadable or corrupt.
+  /// Option invariants (shard/replica counts >= 1, version > 0) are
+  /// EOS_CHECKed, not returned.
+  static Result<std::unique_ptr<Fleet>> Create(
+      NetFactory net_factory, const std::string& checkpoint_path,
+      const FleetOptions& options);
+
+  /// Prefer Create(): this constructor takes pre-loaded sessions
+  /// (`shard_replicas[shard][replica]`, all from `source` at
+  /// options.initial_version) and exists so Create can use make_unique.
+  Fleet(NetFactory net_factory, const FleetOptions& options,
+        std::vector<std::vector<std::shared_ptr<ModelSession>>> shard_replicas,
+        const std::string& source);
+
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Routes `key` to its shard and enqueues the image there. Fails with
+  /// ResourceExhausted when fleet admission control (or the shard's own
+  /// backpressure) refuses, FailedPrecondition after Shutdown.
+  Result<std::future<Result<Prediction>>> Submit(
+      uint64_t key, Tensor image, const SubmitOptions& submit_options = {});
+
+  /// Blocking convenience: Submit then wait for the terminal result.
+  Result<Prediction> Predict(uint64_t key, Tensor image,
+                             const SubmitOptions& submit_options = {});
+
+  /// Rolls `version` (a new, unregistered id) out from `checkpoint_path`
+  /// across every shard as described on the class. On success the fleet
+  /// serves `version` everywhere and the displaced version is the Rollback
+  /// target. On failure the fleet still serves the incumbent version
+  /// everywhere (already-swapped shards were rolled back) and the error is
+  /// returned. Serialized with other deploys/rollbacks; never blocks
+  /// serving.
+  Status DeployCheckpoint(int64_t version, const std::string& checkpoint_path)
+      EXCLUDES(deploy_mu_);
+
+  /// Instantly restores the previous version on every shard (the retained
+  /// sets are swapped back in — no checkpoint I/O). The displaced version
+  /// becomes the new rollback target, so Rollback twice is a no-op pair.
+  /// Fails with FailedPrecondition when no previous version is resident.
+  Status Rollback() EXCLUDES(deploy_mu_);
+
+  /// Gracefully shuts down every shard: queued requests are served, then
+  /// workers exit. Idempotent. The destructor calls it.
+  void Shutdown() EXCLUDES(deploy_mu_);
+
+  FleetSnapshot Stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// The shard `key` routes to — exposed so tests and benches can build
+  /// per-shard expectations.
+  int ShardForKey(uint64_t key) const { return ring_.ShardFor(key); }
+  /// Version new batches run on (every shard agrees outside a mid-deploy
+  /// window; during one, per-shard Server::active_version may differ).
+  int64_t active_version() const { return registry_.active_version(); }
+  const VersionRegistry& registry() const { return registry_; }
+  /// Direct shard access for tests and monitoring.
+  Server& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  /// Loads one shard's worth of fresh sessions from `checkpoint_path`.
+  Result<std::vector<std::shared_ptr<ModelSession>>> LoadShardSessions(
+      const std::string& checkpoint_path);
+
+  const FleetOptions options_;
+  const NetFactory net_factory_;
+  const HashRing ring_;
+  std::vector<std::unique_ptr<Server>> shards_;
+  VersionRegistry registry_;
+  std::atomic<int64_t> admission_rejected_{0};
+
+  /// Serializes deploys, rollbacks, and shutdown against each other (the
+  /// serving path never takes it).
+  std::mutex deploy_mu_;
+  /// Per-shard displaced sets from the last successful deploy or rollback —
+  /// the sessions Rollback() reinstalls without touching disk. Empty until
+  /// the first deploy completes.
+  std::vector<std::shared_ptr<const ReplicaSet>> previous_sets_
+      GUARDED_BY(deploy_mu_);
+  bool shutdown_ GUARDED_BY(deploy_mu_) = false;
+};
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_FLEET_H_

@@ -1,0 +1,72 @@
+#ifndef EOS_SERVE_HASH_RING_H_
+#define EOS_SERVE_HASH_RING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Consistent-hash routing for the serving fleet. A HashRing places
+/// `vnodes_per_shard` deterministic virtual points per shard on a 64-bit
+/// ring; a request key routes to the shard owning the first point at or
+/// after the key's hash (wrapping). Because every shard's points depend
+/// only on its own id, adding or removing a shard moves only the keys that
+/// land on that shard's points — the minimal-remap property the fleet
+/// needs for elastic resharding (tests/serve/hash_ring_test.cc proves it
+/// with PropertyRunner). See DESIGN.md "Fleet serving & hot swap".
+
+namespace eos::serve {
+
+/// A consistent-hash ring over integer shard ids. Not internally
+/// synchronized: the Fleet builds one at construction and never mutates it
+/// while serving; AddShard/RemoveShard exist for tests and offline
+/// resharding plans.
+class HashRing {
+ public:
+  /// Builds a ring over shards 0..num_shards-1. `num_shards` may be 0 (an
+  /// empty ring routes nothing until a shard is added); `vnodes_per_shard`
+  /// must be >= 1. More virtual points flatten the key distribution at the
+  /// cost of a larger (still tiny) sorted table: the relative spread of a
+  /// shard's key share scales like 1/sqrt(vnodes).
+  explicit HashRing(int num_shards, int vnodes_per_shard = 64);
+
+  /// The shard owning `key`. The raw key is mixed through Mix64 first, so
+  /// sequential request keys spread uniformly. The ring must be non-empty.
+  int ShardFor(uint64_t key) const;
+
+  /// Adds `shard`'s virtual points (the shard must not be present). Only
+  /// keys whose ring position now falls on one of the new points move.
+  void AddShard(int shard);
+
+  /// Removes `shard`'s virtual points (the shard must be present). Only
+  /// keys previously routed to `shard` move — everything else is untouched.
+  void RemoveShard(int shard);
+
+  bool HasShard(int shard) const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int vnodes_per_shard() const { return vnodes_; }
+  /// Member shard ids, ascending.
+  std::vector<int> shards() const { return shards_; }
+
+  /// SplitMix64 finalizer: a fast, statistically strong 64-bit mix used for
+  /// both ring points and request keys. Stable across platforms, so a key's
+  /// shard assignment is part of the fleet's deterministic contract.
+  static uint64_t Mix64(uint64_t x);
+
+ private:
+  /// Ring position of virtual point `vnode` of `shard`.
+  static uint64_t PointHash(int shard, int vnode);
+
+  /// Rebuilds the sorted point table from `shards_`.
+  void Rebuild();
+
+  int vnodes_;
+  std::vector<int> shards_;  // ascending
+  /// Sorted (position, shard) points. Ties (astronomically rare) break by
+  /// shard id via pair ordering, keeping the mapping deterministic.
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_HASH_RING_H_

@@ -21,6 +21,18 @@ MicroBatcher::MicroBatcher(const MicroBatcherOptions& options,
   }
 }
 
+MicroBatcher::~MicroBatcher() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // No consumer can hold mu_ once the destructor runs, but completing the
+  // leftovers under it keeps the annotations honest and costs nothing.
+  for (Request& request : queue_) {
+    if (stats_ != nullptr) stats_->RecordDroppedOnDrain();
+    request.promise.set_value(Status::Unavailable(
+        "request dropped: batcher destroyed before the queue drained"));
+  }
+  queue_.clear();
+}
+
 Result<std::future<Result<Prediction>>> MicroBatcher::Submit(
     Tensor image, const SubmitOptions& submit_options) {
   EOS_CHECK_EQ(image.dim(), 3);

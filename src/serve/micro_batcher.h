@@ -90,6 +90,13 @@ class MicroBatcher {
   explicit MicroBatcher(const MicroBatcherOptions& options,
                         ServeStats* stats = nullptr);
 
+  /// Completes any request still queued with Unavailable and counts it as
+  /// dropped_on_drain. A graceful shutdown (Shutdown + consumers draining
+  /// NextBatch to false) leaves nothing queued, so this counter staying 0
+  /// is the witness that no request was abandoned — the fleet's
+  /// zero-downtime swap tier asserts exactly that.
+  ~MicroBatcher();
+
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/thread_annotations.h"
+#include "core/checkpoint.h"
 #include "core/trainer.h"
 #include "nn/serialize.h"
 #include "tensor/tensor_ops.h"
@@ -17,6 +18,12 @@ ModelSession::ModelSession(nn::ImageClassifier net)
 Result<std::shared_ptr<ModelSession>> ModelSession::Load(
     nn::ImageClassifier net, const std::string& snapshot_path) {
   EOS_RETURN_IF_ERROR(nn::LoadClassifier(net, snapshot_path));
+  return std::make_shared<ModelSession>(std::move(net));
+}
+
+Result<std::shared_ptr<ModelSession>> ModelSession::LoadFromCheckpoint(
+    nn::ImageClassifier net, const std::string& checkpoint_path) {
+  EOS_RETURN_IF_ERROR(LoadCheckpointWeights(net, checkpoint_path));
   return std::make_shared<ModelSession>(std::move(net));
 }
 

@@ -21,6 +21,11 @@ namespace eos::serve {
 struct Prediction {
   int64_t label = -1;
   float confidence = 0.0f;
+  /// Model version that produced this answer, stamped by the serving layer
+  /// (Server::RunBatch) from the replica set the batch actually ran on —
+  /// the ground truth for swap-equivalence checks across a version
+  /// cutover. 0 = unversioned (direct ModelSession calls).
+  int64_t version = 0;
 };
 
 /// An inference session over a trained `nn::ImageClassifier`. The weights
@@ -47,6 +52,14 @@ class ModelSession {
   /// `net`, which must be configured identically to the saved model.
   static Result<std::shared_ptr<ModelSession>> Load(
       nn::ImageClassifier net, const std::string& snapshot_path);
+
+  /// Builds a session from a crash-safe training checkpoint
+  /// (core/checkpoint.h): validates the file's CRC, restores parameters and
+  /// BatchNorm buffers into `net`, and discards the optimizer/RNG training
+  /// state. This is the continuous-deployment path — every checkpoint a
+  /// three-phase run saves is directly servable by the fleet.
+  static Result<std::shared_ptr<ModelSession>> LoadFromCheckpoint(
+      nn::ImageClassifier net, const std::string& checkpoint_path);
 
   ModelSession(const ModelSession&) = delete;
   ModelSession& operator=(const ModelSession&) = delete;

@@ -48,16 +48,24 @@ Server::Server(std::shared_ptr<ModelSession> session,
 Server::Server(std::vector<std::shared_ptr<ModelSession>> replicas,
                const ServerOptions& options)
     : options_(options),
-      replicas_(std::move(replicas)),
+      num_replicas_(static_cast<int>(replicas.size())),
       batcher_(options.batcher, &stats_) {
-  EOS_CHECK(!replicas_.empty());
-  for (const auto& replica : replicas_) EOS_CHECK(replica != nullptr);
+  EOS_CHECK(!replicas.empty());
+  for (const auto& replica : replicas) EOS_CHECK(replica != nullptr);
   EOS_CHECK_GE(options_.num_workers, 0);
+  EOS_CHECK_GT(options_.initial_version, 0);
+  {
+    auto set = std::make_shared<ReplicaSet>();
+    set->version = options_.initial_version;
+    set->replicas = std::move(replicas);
+    std::lock_guard<std::mutex> lock(set_mu_);
+    active_set_ = std::move(set);
+  }
   // Heartbeat slot per worker; one extra slot for the ServeOnce driver
   // (num_workers == 0) so the watchdog covers that mode too.
   int num_slots = options_.num_workers > 0 ? options_.num_workers : 1;
-  health_ = std::make_unique<ReplicaHealth>(
-      static_cast<int>(replicas_.size()), num_slots, options_.health);
+  health_ = std::make_unique<ReplicaHealth>(num_replicas_, num_slots,
+                                            options_.health);
   if (options_.num_workers > 0) {
     workers_ = std::make_unique<runtime::ThreadPool>(options_.num_workers);
     for (int w = 0; w < options_.num_workers; ++w) {
@@ -112,15 +120,49 @@ bool Server::ServeOnce() {
 
 void Server::WorkerLoop(size_t worker_index) {
   int slot = static_cast<int>(worker_index);
-  int home = static_cast<int>(worker_index % replicas_.size());
+  int home = static_cast<int>(worker_index) % num_replicas_;
   std::vector<MicroBatcher::Request> batch;
   while (batcher_.NextBatch(batch)) {
     RunBatch(slot, home, batch);
   }
 }
 
+std::shared_ptr<const ReplicaSet> Server::AcquireSet() const {
+  std::lock_guard<std::mutex> lock(set_mu_);
+  return active_set_;
+}
+
+std::shared_ptr<const ReplicaSet> Server::SwapReplicas(
+    std::vector<std::shared_ptr<ModelSession>> replicas, int64_t version,
+    bool rollback) {
+  EOS_CHECK_GT(version, 0);
+  EOS_CHECK_EQ(static_cast<int>(replicas.size()), num_replicas_);
+  for (const auto& replica : replicas) EOS_CHECK(replica != nullptr);
+  auto set = std::make_shared<ReplicaSet>();
+  set->version = version;
+  set->replicas = std::move(replicas);
+  std::shared_ptr<const ReplicaSet> previous;
+  {
+    std::lock_guard<std::mutex> lock(set_mu_);
+    EOS_CHECK_NE(active_set_->version, version);
+    previous = std::move(active_set_);
+    active_set_ = std::move(set);
+  }
+  // The cutover is the pointer exchange above: batches popped from here on
+  // resolve the new set; batches already running hold shared ownership of
+  // `previous` and drain on it. Nothing is dropped either way.
+  stats_.RecordSwap(rollback);
+  return previous;
+}
+
+int64_t Server::active_version() const { return AcquireSet()->version; }
+
 void Server::RunBatch(int heartbeat_slot, int preferred_replica,
                       std::vector<MicroBatcher::Request>& batch) {
+  // Resolve the versioned replica set exactly once: the whole batch runs
+  // on it even if SwapReplicas lands mid-execution, so every stamped
+  // version below is the version that really produced the prediction.
+  std::shared_ptr<const ReplicaSet> set = AcquireSet();
   int replica = health_->AcquireReplica(preferred_replica);
   if (replica < 0) {
     // Every breaker refuses: fail fast so clients can back off and retry
@@ -151,8 +193,9 @@ void Server::RunBatch(int heartbeat_slot, int preferred_replica,
 
   Tensor images = StackRequests(batch);
   std::vector<Prediction> predictions =
-      replicas_[static_cast<size_t>(replica)]->PredictBatch(images);
+      set->replicas[static_cast<size_t>(replica)]->PredictBatch(images);
   EOS_CHECK_EQ(predictions.size(), batch.size());
+  for (Prediction& p : predictions) p.version = set->version;
 
   // A batch the watchdog flagged as stalled must not report success: the
   // stall already charged the replica's breaker a failure, and an instant
@@ -162,6 +205,8 @@ void Server::RunBatch(int heartbeat_slot, int preferred_replica,
 
   auto done = std::chrono::steady_clock::now();
   stats_.RecordBatch(static_cast<int64_t>(batch.size()));
+  stats_.RecordServedByVersion(set->version,
+                               static_cast<int64_t>(batch.size()));
   for (size_t i = 0; i < batch.size(); ++i) {
     stats_.RecordLatencyUs(std::chrono::duration<double, std::micro>(
                                done - batch[i].enqueue_time)

@@ -44,13 +44,31 @@ struct ServerOptions {
   MicroBatcherOptions batcher;
   /// Circuit-breaker and stall-watchdog policy shared by all replicas.
   ReplicaHealthOptions health;
+  /// Version id stamped on predictions served by the construction-time
+  /// replicas (SwapReplicas installs later versions). Must be > 0.
+  int64_t initial_version = 1;
+};
+
+/// An immutable (version, replicas) pair — the unit of atomic model
+/// hot-swap. Every micro-batch resolves the set pointer exactly once, so a
+/// batch runs entirely on one version and its predictions are stamped with
+/// exactly the version that served them; a concurrent SwapReplicas cannot
+/// tear a batch across versions. Old sets stay alive (shared_ptr) until
+/// their in-flight batches drain, and the fleet keeps the previous set
+/// registered for instant rollback.
+struct ReplicaSet {
+  int64_t version = 0;
+  std::vector<std::shared_ptr<ModelSession>> replicas;
 };
 
 /// A micro-batching inference server over one or more ModelSession
 /// replicas of the same snapshot. Served predictions are bitwise-identical
 /// to `core::Predict` on that snapshot regardless of worker count, replica
 /// count, or batching policy, because eval-mode per-sample outputs are
-/// batch-composition-independent (see ModelSession).
+/// batch-composition-independent (see ModelSession). The replica set is
+/// hot-swappable (SwapReplicas): each batch runs on the one versioned set
+/// it resolved at pop time and stamps its predictions with that version,
+/// so the bitwise guarantee holds per served version across a cutover.
 ///
 /// Every accepted request reaches exactly one terminal state on its
 /// future: OK with a prediction, DeadlineExceeded (expired while queued),
@@ -111,26 +129,53 @@ class Server {
   /// mutexes.
   void Shutdown() EXCLUDES(shutdown_mu_);
 
+  /// Atomically replaces the serving replica set with `replicas` under
+  /// `version` (a model hot-swap). Requirements (EOS_CHECKed): the same
+  /// replica count as the incumbent set (breakers and worker homes are
+  /// sized to it), all sessions non-null, version > 0 and different from
+  /// the incumbent's. Returns the previous set — still referenced by any
+  /// in-flight batches, which drain on it — so the caller can keep it
+  /// registered for instant rollback. Batches popped after the swap run
+  /// entirely on the new set; no request is dropped, delayed, or served by
+  /// a half-swapped model (tests/serve/fleet_test.cc proves bitwise
+  /// equivalence under concurrent cutover). `rollback` marks the swap as a
+  /// version restore in the stats.
+  std::shared_ptr<const ReplicaSet> SwapReplicas(
+      std::vector<std::shared_ptr<ModelSession>> replicas, int64_t version,
+      bool rollback = false) EXCLUDES(set_mu_);
+
+  /// Version of the set new batches will run on.
+  int64_t active_version() const EXCLUDES(set_mu_);
+
   /// Telemetry snapshot (latency percentiles, throughput, queue depth,
-  /// shed/deadline/retry/failure counters).
+  /// shed/deadline/retry/failure counters, per-version serve counts).
   StatsSnapshot Stats() const { return stats_.Snapshot(); }
 
   /// Replica health (breaker states) — exposed for tests and monitoring.
   ReplicaHealth& health() { return *health_; }
 
   int64_t queue_depth() const { return batcher_.queue_depth(); }
-  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  int num_replicas() const { return num_replicas_; }
   const ServerOptions& options() const { return options_; }
 
  private:
   void WorkerLoop(size_t worker_index);
   /// Runs one popped batch: picks a replica (failover-aware), heartbeats,
-  /// executes, and completes every request's future exactly once.
+  /// executes, and completes every request's future exactly once. The
+  /// whole batch runs on one ReplicaSet resolved at entry.
   void RunBatch(int heartbeat_slot, int preferred_replica,
                 std::vector<MicroBatcher::Request>& batch);
 
+  /// The set the next batch should run on (one lock hop per batch).
+  std::shared_ptr<const ReplicaSet> AcquireSet() const EXCLUDES(set_mu_);
+
   const ServerOptions options_;
-  std::vector<std::shared_ptr<ModelSession>> replicas_;
+  /// Replica count, fixed for the server's lifetime: breakers, heartbeat
+  /// slots, and worker homes are all sized to it, so SwapReplicas requires
+  /// the incoming set to match.
+  const int num_replicas_;
+  mutable std::mutex set_mu_;
+  std::shared_ptr<const ReplicaSet> active_set_ GUARDED_BY(set_mu_);
   ServeStats stats_;
   MicroBatcher batcher_;
   std::unique_ptr<ReplicaHealth> health_;

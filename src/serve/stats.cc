@@ -1,7 +1,9 @@
 #include "serve/stats.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace eos::serve {
@@ -49,7 +51,10 @@ double LatencyHistogram::PercentileUs(double p) const {
   return BucketUpperEdgeUs(kNumBuckets - 1);
 }
 
-ServeStats::ServeStats() : start_(std::chrono::steady_clock::now()) {}
+ServeStats::ServeStats() : start_(std::chrono::steady_clock::now()) {
+  for (auto& k : version_keys_) k.store(0, std::memory_order_relaxed);
+  for (auto& c : version_counts_) c.store(0, std::memory_order_relaxed);
+}
 
 void ServeStats::RecordLatencyUs(double micros) {
   latency_.Record(micros);
@@ -81,6 +86,44 @@ void ServeStats::RecordRetry() {
   retries_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServeStats::RecordServedByVersion(int64_t version, int64_t count) {
+  EOS_CHECK_GT(version, 0);
+  EOS_CHECK_GE(count, 0);
+  if (count == 0) return;
+  // Home slot from the version id, then linear probe. Keys are claimed by
+  // CAS from 0 and never change afterwards, so a reader that sees key ==
+  // version can safely accumulate into the adjacent count.
+  size_t home = static_cast<size_t>(version) %
+                static_cast<size_t>(kMaxTrackedVersions);
+  for (int probe = 0; probe < kMaxTrackedVersions; ++probe) {
+    size_t slot = (home + static_cast<size_t>(probe)) %
+                  static_cast<size_t>(kMaxTrackedVersions);
+    int64_t key = version_keys_[slot].load(std::memory_order_acquire);
+    if (key == 0) {
+      if (version_keys_[slot].compare_exchange_strong(
+              key, version, std::memory_order_acq_rel)) {
+        key = version;
+      }
+      // CAS failure loaded the winner's key into `key`; fall through.
+    }
+    if (key == version) {
+      version_counts_[slot].fetch_add(count, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Table full of other versions: count is preserved, attribution is not.
+  version_overflow_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordSwap(bool rollback) {
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  if (rollback) rollbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordDroppedOnDrain() {
+  dropped_on_drain_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ServeStats::SetQueueDepth(int64_t depth) {
   queue_depth_.store(depth, std::memory_order_relaxed);
   int64_t prev = max_queue_depth_.load(std::memory_order_relaxed);
@@ -99,6 +142,20 @@ StatsSnapshot ServeStats::Snapshot() const {
   s.replica_failures = replica_failures_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.swaps = swaps_.load(std::memory_order_relaxed);
+  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  s.dropped_on_drain = dropped_on_drain_.load(std::memory_order_relaxed);
+  for (int slot = 0; slot < kMaxTrackedVersions; ++slot) {
+    int64_t key = version_keys_[static_cast<size_t>(slot)].load(
+        std::memory_order_acquire);
+    if (key == 0) continue;
+    s.served_by_version.emplace_back(
+        key, version_counts_[static_cast<size_t>(slot)].load(
+                 std::memory_order_relaxed));
+  }
+  std::sort(s.served_by_version.begin(), s.served_by_version.end());
+  s.served_version_overflow =
+      version_overflow_.load(std::memory_order_relaxed);
   int64_t batched = batched_requests_.load(std::memory_order_relaxed);
   s.mean_batch_size =
       s.batches > 0
@@ -119,10 +176,20 @@ StatsSnapshot ServeStats::Snapshot() const {
 }
 
 std::string StatsSnapshot::ToJson() const {
+  std::string versions = "{";
+  for (size_t i = 0; i < served_by_version.size(); ++i) {
+    versions += StrFormat(
+        "%s\"%lld\": %lld", i > 0 ? ", " : "",
+        static_cast<long long>(served_by_version[i].first),
+        static_cast<long long>(served_by_version[i].second));
+  }
+  versions += "}";
   return StrFormat(
       "{\"completed\": %lld, \"rejected\": %lld, \"shed\": %lld, "
       "\"deadline_expired\": %lld, \"replica_failures\": %lld, "
-      "\"retries\": %lld, \"batches\": %lld, "
+      "\"retries\": %lld, \"batches\": %lld, \"swaps\": %lld, "
+      "\"rollbacks\": %lld, \"dropped_on_drain\": %lld, "
+      "\"served_by_version\": %s, \"served_version_overflow\": %lld, "
       "\"mean_batch_size\": %.3f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
       "\"p99_us\": %.1f, \"queue_depth\": %lld, \"max_queue_depth\": %lld, "
       "\"elapsed_seconds\": %.4f, \"throughput_rps\": %.1f}",
@@ -130,10 +197,50 @@ std::string StatsSnapshot::ToJson() const {
       static_cast<long long>(shed), static_cast<long long>(deadline_expired),
       static_cast<long long>(replica_failures),
       static_cast<long long>(retries), static_cast<long long>(batches),
-      mean_batch_size, p50_us, p95_us, p99_us,
-      static_cast<long long>(queue_depth),
+      static_cast<long long>(swaps), static_cast<long long>(rollbacks),
+      static_cast<long long>(dropped_on_drain), versions.c_str(),
+      static_cast<long long>(served_version_overflow), mean_batch_size,
+      p50_us, p95_us, p99_us, static_cast<long long>(queue_depth),
       static_cast<long long>(max_queue_depth), elapsed_seconds,
       throughput_rps);
+}
+
+StatsSnapshot AggregateCounters(const std::vector<StatsSnapshot>& parts) {
+  StatsSnapshot total;
+  for (const StatsSnapshot& p : parts) {
+    total.completed += p.completed;
+    total.rejected += p.rejected;
+    total.shed += p.shed;
+    total.deadline_expired += p.deadline_expired;
+    total.replica_failures += p.replica_failures;
+    total.retries += p.retries;
+    total.batches += p.batches;
+    total.swaps += p.swaps;
+    total.rollbacks += p.rollbacks;
+    total.dropped_on_drain += p.dropped_on_drain;
+    total.served_version_overflow += p.served_version_overflow;
+    total.queue_depth += p.queue_depth;
+    total.max_queue_depth = std::max(total.max_queue_depth,
+                                     p.max_queue_depth);
+    total.elapsed_seconds = std::max(total.elapsed_seconds,
+                                     p.elapsed_seconds);
+    for (const auto& [version, count] : p.served_by_version) {
+      auto it = std::find_if(
+          total.served_by_version.begin(), total.served_by_version.end(),
+          [v = version](const auto& entry) { return entry.first == v; });
+      if (it == total.served_by_version.end()) {
+        total.served_by_version.emplace_back(version, count);
+      } else {
+        it->second += count;
+      }
+    }
+  }
+  std::sort(total.served_by_version.begin(), total.served_by_version.end());
+  total.throughput_rps =
+      total.elapsed_seconds > 0.0
+          ? static_cast<double>(total.completed) / total.elapsed_seconds
+          : 0.0;
+  return total;
 }
 
 }  // namespace eos::serve

@@ -6,6 +6,8 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 /// \file
 /// Lock-cheap serving telemetry: a geometric latency histogram plus
@@ -57,6 +59,20 @@ struct StatsSnapshot {
   int64_t replica_failures = 0;  ///< batches failed by a down replica
   int64_t retries = 0;         ///< re-submissions made by PredictWithRetry
   int64_t batches = 0;         ///< micro-batches executed
+  int64_t swaps = 0;           ///< model-version hot-swaps applied
+  int64_t rollbacks = 0;       ///< swaps that restored a previous version
+  /// Requests still queued when their batcher was destroyed without a
+  /// graceful drain. The zero-downtime swap invariant is exactly
+  /// `dropped_on_drain == 0` — Shutdown serves every accepted request, so
+  /// any nonzero value is a torn deployment (asserted by the fleet tier).
+  int64_t dropped_on_drain = 0;
+  /// (version, completed-request count) per model version that served at
+  /// least one request, ascending by version.
+  std::vector<std::pair<int64_t, int64_t>> served_by_version;
+  /// Requests attributed past the fixed per-version table
+  /// (ServeStats::kMaxTrackedVersions distinct versions). Stays 0 in any
+  /// sane deployment; nonzero means version counts are incomplete.
+  int64_t served_version_overflow = 0;
   double mean_batch_size = 0;  ///< batched requests / batches
   double p50_us = 0;
   double p95_us = 0;
@@ -66,14 +82,31 @@ struct StatsSnapshot {
   double elapsed_seconds = 0;   ///< since stats construction / Reset
   double throughput_rps = 0;    ///< completed / elapsed_seconds
 
-  /// Single-line JSON object with every field above.
+  /// Single-line JSON object with every field above. served_by_version
+  /// renders as an object with decimal-string keys: {"1": 10, "2": 4}.
   std::string ToJson() const;
 };
+
+/// Sums the additive counters of `parts` (completed, rejected, shed,
+/// deadline_expired, replica_failures, retries, batches, swaps, rollbacks,
+/// dropped_on_drain, served_version_overflow, max_queue_depth as a max,
+/// served_by_version merged per version) into one fleet-level snapshot.
+/// Latency percentiles and mean batch size are NOT aggregatable from
+/// snapshots and are left 0 — read them per shard. elapsed_seconds is the
+/// max of the parts; throughput_rps is recomputed from the summed
+/// completed count over that window.
+StatsSnapshot AggregateCounters(const std::vector<StatsSnapshot>& parts);
 
 /// Aggregates serving telemetry. One instance is shared by a Server, its
 /// MicroBatcher, and its workers; all methods are thread-safe.
 class ServeStats {
  public:
+  /// Capacity of the lock-free per-version counter table. A serving
+  /// process sees a handful of live versions (active + rollback target +
+  /// history), so 32 distinct ids per stats lifetime is generous; beyond
+  /// it, counts land in served_version_overflow instead of being lost.
+  static constexpr int kMaxTrackedVersions = 32;
+
   ServeStats();
 
   /// Records a completed request and its submit-to-completion latency.
@@ -99,6 +132,20 @@ class ServeStats {
   /// Records one retry re-submission.
   void RecordRetry();
 
+  /// Attributes `count` completed requests to model `version` (> 0). The
+  /// per-version table is lock-free: a fixed open-addressed array of
+  /// (version, count) atomics, so workers record from any thread at the
+  /// same cost as the other counters.
+  void RecordServedByVersion(int64_t version, int64_t count = 1);
+
+  /// Records one model-version hot-swap; `rollback` marks a swap that
+  /// restored a previously-served version.
+  void RecordSwap(bool rollback = false);
+
+  /// Records one request dropped undrained (see StatsSnapshot — any
+  /// nonzero total is a swap/shutdown protocol violation).
+  void RecordDroppedOnDrain();
+
   /// Updates the queue-depth gauge (and its high-water mark).
   void SetQueueDepth(int64_t depth);
 
@@ -114,6 +161,16 @@ class ServeStats {
   std::atomic<int64_t> retries_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> batched_requests_{0};
+  std::atomic<int64_t> swaps_{0};
+  std::atomic<int64_t> rollbacks_{0};
+  std::atomic<int64_t> dropped_on_drain_{0};
+  // Open-addressed per-version table: slot i holds version key 0 (empty)
+  // or a claimed version id; counts accumulate next to the key. Keys are
+  // claimed by CAS and never released, so (key, count) pairs stay
+  // consistent without a lock.
+  std::array<std::atomic<int64_t>, kMaxTrackedVersions> version_keys_;
+  std::array<std::atomic<int64_t>, kMaxTrackedVersions> version_counts_;
+  std::atomic<int64_t> version_overflow_{0};
   std::atomic<int64_t> queue_depth_{0};
   std::atomic<int64_t> max_queue_depth_{0};
   std::chrono::steady_clock::time_point start_;

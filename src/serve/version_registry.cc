@@ -1,0 +1,85 @@
+#include "serve/version_registry.h"
+
+#include "common/string_util.h"
+#include "common/thread_annotations.h"
+
+namespace eos::serve {
+
+int VersionRegistry::Find(int64_t version) const {
+  for (size_t i = 0; i < versions_.size(); ++i) {
+    if (versions_[i].version == version) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status VersionRegistry::Register(int64_t version, const std::string& source) {
+  if (version <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("version ids must be strictly positive, got %lld",
+                  static_cast<long long>(version)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Find(version) >= 0) {
+    return Status::FailedPrecondition(
+        StrFormat("version %lld is already registered (ids are single-use "
+                  "so per-version counters stay unambiguous)",
+                  static_cast<long long>(version)));
+  }
+  VersionInfo info;
+  info.version = version;
+  info.source = source;
+  versions_.push_back(std::move(info));
+  return Status::OK();
+}
+
+Status VersionRegistry::Activate(int64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int idx = Find(version);
+  if (idx < 0) {
+    return Status::NotFound(StrFormat("version %lld is not registered",
+                                      static_cast<long long>(version)));
+  }
+  if (version == active_) {
+    return Status::FailedPrecondition(
+        StrFormat("version %lld is already active",
+                  static_cast<long long>(version)));
+  }
+  // The old rollback target loses residency; the old active becomes the
+  // new rollback target.
+  int old_previous = Find(previous_);
+  if (old_previous >= 0) versions_[old_previous].resident = false;
+  previous_ = active_;
+  active_ = version;
+  int now_previous = Find(previous_);
+  if (now_previous >= 0) versions_[now_previous].resident = true;
+  versions_[idx].resident = true;
+  return Status::OK();
+}
+
+Status VersionRegistry::Rollback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (previous_ == 0) {
+    return Status::FailedPrecondition(
+        "no previous version is resident to roll back to");
+  }
+  // Both stay resident; only the roles flip.
+  std::swap(active_, previous_);
+  return Status::OK();
+}
+
+int64_t VersionRegistry::active_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+int64_t VersionRegistry::previous_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return previous_;
+}
+
+std::vector<VersionInfo> VersionRegistry::Versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_;
+}
+
+}  // namespace eos::serve

@@ -1,0 +1,84 @@
+#ifndef EOS_SERVE_VERSION_REGISTRY_H_
+#define EOS_SERVE_VERSION_REGISTRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+/// \file
+/// Model-version bookkeeping for the serving fleet: which versions exist,
+/// where their weights came from, which one is live, and which one is the
+/// instant-rollback target. The registry is pure metadata — the Fleet owns
+/// the actual ModelSession sets — so it stays cheap to query from
+/// monitoring threads while a deploy is in flight. See DESIGN.md
+/// "Fleet serving & hot swap".
+
+namespace eos::serve {
+
+/// One registered model version.
+struct VersionInfo {
+  /// Caller-chosen id, strictly positive. Ids need not be consecutive but
+  /// each may be registered only once per registry lifetime — redeploying
+  /// changed weights under an old id would make the per-version serving
+  /// counters (ServeStats) ambiguous.
+  int64_t version = 0;
+  /// Provenance: the checkpoint (or snapshot) path the weights loaded from.
+  std::string source;
+  /// True while the fleet still holds this version's sessions, i.e. it is
+  /// the active version or the instant-rollback target.
+  bool resident = false;
+};
+
+/// Thread-safe registry of model versions deployed to a Fleet. Activation
+/// history is a two-deep stack: `active` is serving, `previous` is held
+/// resident for instant rollback, and everything older is metadata only.
+class VersionRegistry {
+ public:
+  VersionRegistry() = default;
+
+  VersionRegistry(const VersionRegistry&) = delete;
+  VersionRegistry& operator=(const VersionRegistry&) = delete;
+
+  /// Registers a new version id with its weight source. Fails with
+  /// FailedPrecondition on a duplicate id and InvalidArgument on
+  /// version <= 0.
+  Status Register(int64_t version, const std::string& source) EXCLUDES(mu_);
+
+  /// Makes `version` the active one. The former active version becomes the
+  /// rollback target (resident); the former rollback target, if any, is
+  /// marked non-resident. Fails with NotFound for an unregistered id and
+  /// FailedPrecondition when `version` is already active.
+  Status Activate(int64_t version) EXCLUDES(mu_);
+
+  /// Swaps active and previous — the bookkeeping half of an instant
+  /// rollback (both versions stay resident, roles reversed, so a
+  /// roll-forward is another Rollback). Fails with FailedPrecondition when
+  /// no previous version exists.
+  Status Rollback() EXCLUDES(mu_);
+
+  /// Active version id; 0 when nothing was ever activated.
+  int64_t active_version() const EXCLUDES(mu_);
+
+  /// Instant-rollback target; 0 when none exists.
+  int64_t previous_version() const EXCLUDES(mu_);
+
+  /// Every registered version, in registration order.
+  std::vector<VersionInfo> Versions() const EXCLUDES(mu_);
+
+ private:
+  /// Index of `version` in versions_, or -1.
+  int Find(int64_t version) const REQUIRES(mu_);
+
+  mutable std::mutex mu_;
+  std::vector<VersionInfo> versions_ GUARDED_BY(mu_);
+  int64_t active_ GUARDED_BY(mu_) = 0;
+  int64_t previous_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_VERSION_REGISTRY_H_

@@ -25,9 +25,17 @@
 ///                           had already expired
 ///   "serve.replica_down"    a replica's forward pass fails (also armable
 ///                           per replica as "serve.replica_down.<i>")
+/// Fleet points (see serve/fleet.h):
+///   "fleet.swap_stall"      a rolling deploy sleeps between loading a
+///                           shard's weights and cutting the shard over —
+///                           holds the fleet mid-swap so tests can prove
+///                           requests keep flowing during the window
 /// Checkpoint points (see core/checkpoint.h):
 ///   "checkpoint.torn_write" a checkpoint write tears mid-file (the crash
 ///                           the atomic temp+rename protocol must survive)
+///   "checkpoint.load_fail"  a serving-side weight load fails before
+///                           touching the file (arm with skip=N to kill a
+///                           rolling deploy on its Nth shard)
 
 namespace eos::testing {
 

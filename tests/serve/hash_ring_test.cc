@@ -1,0 +1,212 @@
+#include "serve/hash_ring.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "testing/property.h"
+
+namespace eos::serve {
+namespace {
+
+using ::eos::testing::PropertyCase;
+using ::eos::testing::PropertyOptions;
+using ::eos::testing::PropertyRunner;
+
+/// 64-bit key-space base drawn from two 32-bit Rng draws.
+uint64_t RandKeyBase(Rng& rng) {
+  uint64_t hi = rng.Next();
+  uint64_t lo = rng.Next();
+  return (hi << 32) | lo;
+}
+
+/// Routes `num_keys` sequential keys (mixed internally by the ring) and
+/// returns the resulting shard assignment.
+std::vector<int> RouteKeys(const HashRing& ring, uint64_t key_base,
+                           int64_t num_keys) {
+  std::vector<int> assignment(static_cast<size_t>(num_keys));
+  for (int64_t k = 0; k < num_keys; ++k) {
+    assignment[static_cast<size_t>(k)] =
+        ring.ShardFor(key_base + static_cast<uint64_t>(k));
+  }
+  return assignment;
+}
+
+TEST(HashRingTest, SingleShardOwnsEverything) {
+  HashRing ring(1);
+  for (uint64_t key : {0ull, 1ull, 42ull, ~0ull}) {
+    EXPECT_EQ(ring.ShardFor(key), 0);
+  }
+}
+
+TEST(HashRingTest, DeterministicAcrossInstances) {
+  HashRing a(7, 32);
+  HashRing b(7, 32);
+  for (uint64_t key = 0; key < 512; ++key) {
+    EXPECT_EQ(a.ShardFor(key), b.ShardFor(key)) << "key " << key;
+  }
+}
+
+TEST(HashRingTest, AddThenRemoveRestoresAssignment) {
+  HashRing ring(4, 32);
+  std::vector<int> before = RouteKeys(ring, 1000, 2048);
+  ring.AddShard(4);
+  ring.RemoveShard(4);
+  EXPECT_EQ(RouteKeys(ring, 1000, 2048), before);
+}
+
+TEST(HashRingTest, MembershipAccounting) {
+  HashRing ring(3, 8);
+  EXPECT_EQ(ring.num_shards(), 3);
+  EXPECT_TRUE(ring.HasShard(0));
+  EXPECT_FALSE(ring.HasShard(3));
+  ring.AddShard(7);
+  EXPECT_TRUE(ring.HasShard(7));
+  EXPECT_EQ(ring.shards(), (std::vector<int>{0, 1, 2, 7}));
+  ring.RemoveShard(1);
+  EXPECT_EQ(ring.shards(), (std::vector<int>{0, 2, 7}));
+}
+
+// Uniform-spread property: for every shard count 1..16, every shard owns a
+// key share in the same ballpark as the fair share 1/N. With >= 64 virtual
+// points per shard the arc-length spread is ~1/sqrt(vnodes), so the
+// generous [1/(4N), 3/N] band holds with huge margin while still failing
+// for any real clustering bug (e.g. un-mixed point positions).
+TEST(HashRingProperty, KeySpreadIsRoughlyUniformForEveryShardCount) {
+  PropertyOptions options;
+  options.cases = 40;
+  PropertyRunner runner(options);
+  Status st = runner.Run(
+      "hash_ring_uniform_spread",
+      [](Rng& rng, const PropertyCase&) -> Status {
+        int num_shards = static_cast<int>(rng.UniformInt(1, 17));
+        int vnodes = static_cast<int>(rng.UniformInt(64, 193));
+        int64_t num_keys = 4096;
+        HashRing ring(num_shards, vnodes);
+        std::vector<int64_t> per_shard(static_cast<size_t>(num_shards), 0);
+        uint64_t key_base = RandKeyBase(rng);
+        for (int64_t k = 0; k < num_keys; ++k) {
+          int shard = ring.ShardFor(key_base + static_cast<uint64_t>(k));
+          EOS_PROP_CHECK(shard >= 0 && shard < num_shards);
+          ++per_shard[static_cast<size_t>(shard)];
+        }
+        int64_t fair = num_keys / num_shards;
+        for (int s = 0; s < num_shards; ++s) {
+          int64_t owned = per_shard[static_cast<size_t>(s)];
+          EOS_PROP_CHECK_MSG(
+              owned >= fair / 4 && owned <= 3 * fair,
+              StrFormat("shard %d owns %lld of %lld keys (fair %lld, "
+                        "%d shards, %d vnodes)",
+                        s, static_cast<long long>(owned),
+                        static_cast<long long>(num_keys),
+                        static_cast<long long>(fair), num_shards, vnodes));
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+// Minimal-remap property, join direction. Structurally exact: a key whose
+// shard changed when shard N joined MUST now live on shard N (nothing else
+// may move), and statistically bounded: the moved fraction is about
+// 1/(N+1), asserted with a generous 2.5x ceiling.
+TEST(HashRingProperty, ShardJoinMovesOnlyKeysOntoTheNewShard) {
+  PropertyOptions options;
+  options.cases = 40;
+  PropertyRunner runner(options);
+  Status st = runner.Run(
+      "hash_ring_join_minimal_remap",
+      [](Rng& rng, const PropertyCase&) -> Status {
+        int num_shards = static_cast<int>(rng.UniformInt(1, 16));
+        int vnodes = static_cast<int>(rng.UniformInt(64, 129));
+        int64_t num_keys = 4096;
+        uint64_t key_base = RandKeyBase(rng);
+        HashRing ring(num_shards, vnodes);
+        std::vector<int> before = RouteKeys(ring, key_base, num_keys);
+        ring.AddShard(num_shards);
+        std::vector<int> after = RouteKeys(ring, key_base, num_keys);
+        int64_t moved = 0;
+        for (int64_t k = 0; k < num_keys; ++k) {
+          if (before[static_cast<size_t>(k)] == after[static_cast<size_t>(k)])
+            continue;
+          ++moved;
+          EOS_PROP_CHECK_MSG(
+              after[static_cast<size_t>(k)] == num_shards,
+              StrFormat("key %lld moved shard %d -> %d, not onto the "
+                        "joining shard %d",
+                        static_cast<long long>(k),
+                        before[static_cast<size_t>(k)],
+                        after[static_cast<size_t>(k)], num_shards));
+        }
+        // ~num_keys/(N+1) expected; 2.5x is far outside sampling noise.
+        int64_t ceiling = (5 * num_keys) / (2 * (num_shards + 1));
+        EOS_PROP_CHECK_MSG(
+            moved <= ceiling,
+            StrFormat("join moved %lld keys, ceiling %lld (%d -> %d shards)",
+                      static_cast<long long>(moved),
+                      static_cast<long long>(ceiling), num_shards,
+                      num_shards + 1));
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+// Minimal-remap property, leave direction: removing a shard moves exactly
+// the keys it owned (they redistribute) and not one key more.
+TEST(HashRingProperty, ShardLeaveMovesOnlyTheLeavingShardsKeys) {
+  PropertyOptions options;
+  options.cases = 40;
+  PropertyRunner runner(options);
+  Status st = runner.Run(
+      "hash_ring_leave_minimal_remap",
+      [](Rng& rng, const PropertyCase&) -> Status {
+        int num_shards = static_cast<int>(rng.UniformInt(2, 17));
+        int vnodes = static_cast<int>(rng.UniformInt(64, 129));
+        int victim = static_cast<int>(rng.UniformInt(num_shards));
+        int64_t num_keys = 4096;
+        uint64_t key_base = RandKeyBase(rng);
+        HashRing ring(num_shards, vnodes);
+        std::vector<int> before = RouteKeys(ring, key_base, num_keys);
+        ring.RemoveShard(victim);
+        std::vector<int> after = RouteKeys(ring, key_base, num_keys);
+        for (int64_t k = 0; k < num_keys; ++k) {
+          int was = before[static_cast<size_t>(k)];
+          int now = after[static_cast<size_t>(k)];
+          EOS_PROP_CHECK_MSG(
+              was == victim ? now != victim : now == was,
+              StrFormat("key %lld: shard %d -> %d with shard %d leaving",
+                        static_cast<long long>(k), was, now, victim));
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(HashRingDeathTest, MisuseIsACheckedProgrammingError) {
+  EXPECT_DEATH(
+      {
+        HashRing empty(0);
+        empty.ShardFor(1);  // routing on an empty ring
+      },
+      "EOS_CHECK failed");
+  EXPECT_DEATH(
+      {
+        HashRing ring(2);
+        ring.AddShard(1);  // duplicate member
+      },
+      "EOS_CHECK failed");
+  EXPECT_DEATH(
+      {
+        HashRing ring(2);
+        ring.RemoveShard(5);  // not a member
+      },
+      "EOS_CHECK failed");
+  EXPECT_DEATH({ HashRing ring(2, 0); }, "EOS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace eos::serve

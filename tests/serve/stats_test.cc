@@ -79,7 +79,9 @@ TEST(ServeStatsTest, JsonContainsEveryField) {
   std::string json = stats.Snapshot().ToJson();
   for (const char* key :
        {"\"completed\"", "\"rejected\"", "\"shed\"", "\"deadline_expired\"",
-        "\"replica_failures\"", "\"retries\"", "\"batches\"",
+        "\"replica_failures\"", "\"retries\"", "\"batches\"", "\"swaps\"",
+        "\"rollbacks\"", "\"dropped_on_drain\"", "\"served_by_version\"",
+        "\"served_version_overflow\"",
         "\"mean_batch_size\"", "\"p50_us\"", "\"p95_us\"", "\"p99_us\"",
         "\"queue_depth\"", "\"max_queue_depth\"", "\"elapsed_seconds\"",
         "\"throughput_rps\""}) {

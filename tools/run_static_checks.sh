@@ -9,6 +9,7 @@
 # 3. a clang -Wthread-safety -Werror compile of the tree      [if installed]
 # 4. the SIMD scalar/AVX2 equivalence tier (ctest -L simd)    [if built]
 # 5. the indexed-KNN equivalence tier (ctest -L knn)          [if built]
+# 6. the fleet serving acceptance tier (ctest -L fleet)       [if built]
 #
 # Steps whose toolchain is missing are SKIPPED with a notice, not failed:
 # the GCC-only container still gets the lint gate, while a developer
@@ -124,6 +125,25 @@ if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
     echo "knn tier: clean"
   else
     echo "FAIL: knn equivalence failures above"
+    failures=$((failures + 1))
+  fi
+else
+  echo "SKIPPED: $build_dir has no ctest config (build the tree first)"
+fi
+
+# --- 6. fleet serving acceptance tier ---------------------------------------
+# The sharded-serving gate: hash-ring routing properties, bitwise swap
+# equivalence across a live cutover, the fault drills (replica down during
+# the roll, load failure -> automatic rollback), and the telemetry goldens.
+# The same label should also be run under both sanitizer builds:
+#   ctest --test-dir build-tsan -L fleet
+#   ctest --test-dir build-asan -L fleet
+step "fleet serving acceptance (ctest -L fleet)"
+if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
+  if (cd "$build_dir" && ctest -L fleet --output-on-failure); then
+    echo "fleet tier: clean"
+  else
+    echo "FAIL: fleet tier failures above"
     failures=$((failures + 1))
   fi
 else
