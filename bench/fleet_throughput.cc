@@ -1,10 +1,13 @@
 // Fleet serving performance: closed-loop throughput of serve::Fleet as a
-// function of shard count, with a model hot-swap fired in the middle of
-// every cell. Each cell deploys checkpoint v2 once half the requests have
-// completed, so the numbers measure the steady state AND the cutover: the
-// self-check at the end exits nonzero unless every cell finished with
-// dropped_on_drain == 0 and failed_requests == 0 — the zero-downtime swap
-// contract, enforced by the bench itself.
+// function of shard count, with the full operational lifecycle fired in the
+// middle of every cell: a model hot-swap at 50% of the traffic, a replica
+// poison at 60% (time-to-recovery = poison -> supervisor splice witnessed),
+// a guardrail-tripped canary at 70% (auto-abort latency), and a healthy
+// canary at 80% (promote latency). The numbers measure the steady state AND
+// every cutover path; the self-check at the end exits nonzero unless every
+// cell finished with dropped_on_drain == 0, failed_requests == 0, a
+// witnessed recovery, an aborted bad canary, and a promoted good one — the
+// zero-downtime contract, enforced by the bench itself.
 //
 // Run: ./build/bench/fleet_throughput
 //      ./build/bench/fleet_throughput --shards_list=1,2,4 --clients=64
@@ -22,7 +25,9 @@
 #include "core/checkpoint.h"
 #include "nn/resnet.h"
 #include "serve/fleet.h"
+#include "serve/supervisor.h"
 #include "tensor/tensor_ops.h"
+#include "testing/fault_injection.h"
 
 namespace {
 
@@ -72,6 +77,9 @@ struct Cell {
   int64_t requests = 0;
   double seconds = 0;
   double swap_ms = 0;
+  double recovery_ms = -1;        // poison armed -> supervisor splice
+  double canary_abort_ms = -1;    // tripped canary start -> auto-abort
+  double canary_promote_ms = -1;  // healthy canary start -> full roll
   int64_t failed_requests = 0;
   int64_t served_v1 = 0;
   int64_t served_v2 = 0;
@@ -81,12 +89,16 @@ struct Cell {
 std::string CellJson(const Cell& c) {
   return eos::StrFormat(
       "{\"shards\": %lld, \"requests\": %lld, \"seconds\": %.4f, "
-      "\"rps\": %.1f, \"swap_ms\": %.2f, \"failed_requests\": %lld, "
+      "\"rps\": %.1f, \"swap_ms\": %.2f, \"recovery_ms\": %.2f, "
+      "\"canary_abort_ms\": %.2f, \"canary_promote_ms\": %.2f, "
+      "\"replicas_replaced\": %lld, \"failed_requests\": %lld, "
       "\"dropped_on_drain\": %lld, \"admission_rejected\": %lld, "
       "\"served_v1\": %lld, \"served_v2\": %lld, \"swaps\": %lld, "
       "\"rollbacks\": %lld, \"max_queue_depth\": %lld}",
       static_cast<long long>(c.shards), static_cast<long long>(c.requests),
       c.seconds, static_cast<double>(c.requests) / c.seconds, c.swap_ms,
+      c.recovery_ms, c.canary_abort_ms, c.canary_promote_ms,
+      static_cast<long long>(c.stats.totals.replicas_replaced),
       static_cast<long long>(c.failed_requests),
       static_cast<long long>(c.stats.totals.dropped_on_drain),
       static_cast<long long>(c.stats.admission_rejected),
@@ -141,13 +153,16 @@ int main(int argc, char** argv) {
                                         1.0f, image_rng));
   }
 
+  eos::testing::FaultInjector::Global().DisarmAll();
   std::printf("fleet_throughput: %lld requests/cell, %lld clients, "
-              "%lld workers/shard, swap at 50%%\n\n",
+              "%lld workers/shard; swap@50%%, kill@60%%, "
+              "canary-abort@70%%, canary-promote@80%%\n\n",
               static_cast<long long>(*requests),
               static_cast<long long>(*clients),
               static_cast<long long>(*workers));
-  std::printf("  %-8s %-10s %-10s %-10s %-10s %-10s\n", "shards", "req/s",
-              "swap_ms", "v1", "v2", "dropped");
+  std::printf("  %-8s %-10s %-10s %-10s %-10s %-10s %-10s\n", "shards",
+              "req/s", "swap_ms", "recov_ms", "abort_ms", "promo_ms",
+              "dropped");
 
   std::vector<Cell> cells;
   bool contract_violated = false;
@@ -158,6 +173,12 @@ int main(int argc, char** argv) {
     options.server.batcher.max_batch_size = *batch;
     options.server.batcher.max_queue_delay_us = *delay_us;
     options.server.batcher.max_queue_depth = *depth;
+    // Self-healing on: the 60% phase poisons a replica and times the
+    // supervisor's detect -> reload -> splice cycle.
+    options.server.health.breaker.cooldown_us = 5000;
+    options.supervisor.enabled = true;
+    options.supervisor.poll_interval_us = 1000;
+    options.supervisor.unhealthy_polls = 1;
     auto fleet = eos::serve::Fleet::Create(FactoryNet, path_v1, options);
     if (!fleet.ok()) {
       std::fprintf(stderr, "fleet create failed: %s\n",
@@ -165,15 +186,21 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    // Closed-loop clients run until the script releases them (stop flag),
+    // not for a fixed quota: the canary phases need live traffic to fill
+    // their evaluation windows, however fast the machine is. `requests` is
+    // the minimum load; the realized count lands in the cell.
     std::atomic<int64_t> completed{0};
     std::atomic<int64_t> failed{0};
     std::atomic<int64_t> served_v1{0};
     std::atomic<int64_t> served_v2{0};
+    std::atomic<bool> stop{false};
     eos::Stopwatch watch;
     std::vector<std::thread> client_threads;
     for (int64_t c = 0; c < *clients; ++c) {
       client_threads.emplace_back([&, c] {
-        for (int64_t i = c; i < *requests; i += *clients) {
+        for (int64_t i = c; !stop.load(std::memory_order_acquire);
+             i += *clients) {
           const eos::Tensor& image =
               pool[static_cast<size_t>(i) % pool.size()];
           for (;;) {
@@ -185,6 +212,14 @@ int main(int argc, char** argv) {
             eos::Result<eos::serve::Prediction> r =
                 std::move(f).value().get();
             if (!r.ok()) {
+              // The poison phase makes Unavailable a transient condition
+              // (the batch hit the dying replica; the supervisor is already
+              // replacing it) — a patient client must never terminally
+              // fail, so only non-transient codes count as failures.
+              if (r.status().code() == eos::StatusCode::kUnavailable) {
+                std::this_thread::yield();
+                continue;
+              }
               failed.fetch_add(1);
             } else {
               (r->version == 1 ? served_v1 : served_v2).fetch_add(1);
@@ -206,29 +241,84 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "deploy failed: %s\n", deploy.ToString().c_str());
       return 1;
     }
+    // 60%: kill a replica. Time-to-recovery is poison armed -> the
+    // supervisor's splice observed in its snapshot.
+    while (completed.load() < *requests * 60 / 100) std::this_thread::yield();
+    double recovery_ms = -1.0;
+    bool healed = false;
+    {
+      eos::Stopwatch recovery_watch;
+      auto poison =
+          eos::testing::ScopedFault::Failure(eos::serve::kReplicaPoisonFault,
+                                             /*count=*/1);
+      healed = (*fleet)->supervisor()->WaitFor(
+          [](const eos::serve::SupervisorSnapshot& s) {
+            return s.replicas_replaced >= 1;
+          },
+          /*timeout_us=*/20000000);
+      if (healed) recovery_ms = recovery_watch.Seconds() * 1000.0;
+    }
+
+    // 70%: a canary whose guardrail trips (fault-forced) — measures the
+    // auto-abort turnaround including the canary server's drain.
+    while (completed.load() < *requests * 70 / 100) std::this_thread::yield();
+    eos::serve::CanaryOptions canary;
+    canary.keyspace_fraction = 0.5;
+    canary.min_requests_per_window = 8;
+    canary.evaluation_windows = 1;
+    canary.window_timeout_us = 15000000;
+    double canary_abort_ms = -1.0;
+    bool abort_ok = false;
+    {
+      eos::Stopwatch abort_watch;
+      auto trip = eos::testing::ScopedFault::Failure(
+          eos::serve::kCanaryGuardrailTrip, /*count=*/1);
+      auto report = (*fleet)->CanaryDeploy(3, path_v2, canary);
+      canary_abort_ms = abort_watch.Seconds() * 1000.0;
+      abort_ok = report.ok() &&
+                 report->outcome == eos::serve::CanaryOutcome::kAborted;
+    }
+
+    // 80%: a healthy canary — measures evaluate-and-promote end to end
+    // (windows filled by live traffic, then the same roll as a deploy).
+    while (completed.load() < *requests * 80 / 100) std::this_thread::yield();
+    eos::Stopwatch promote_watch;
+    auto promote = (*fleet)->CanaryDeploy(4, path_v2, canary);
+    double canary_promote_ms = promote_watch.Seconds() * 1000.0;
+    bool promote_ok = promote.ok() &&
+                      promote->outcome ==
+                          eos::serve::CanaryOutcome::kPromoted;
+
+    // Script complete: run out the minimum load, then release the clients.
+    while (completed.load() < *requests) std::this_thread::yield();
+    stop.store(true, std::memory_order_release);
     for (auto& t : client_threads) t.join();
     (*fleet)->Shutdown();
 
     Cell cell;
     cell.shards = shards;
-    cell.requests = *requests;
+    cell.requests = completed.load();
     cell.seconds = watch.Seconds();
     cell.swap_ms = swap_ms;
+    cell.recovery_ms = recovery_ms;
+    cell.canary_abort_ms = canary_abort_ms;
+    cell.canary_promote_ms = canary_promote_ms;
     cell.failed_requests = failed.load();
     cell.served_v1 = served_v1.load();
     cell.served_v2 = served_v2.load();
     cell.stats = (*fleet)->Stats();
     if (cell.failed_requests != 0 ||
-        cell.stats.totals.dropped_on_drain != 0) {
+        cell.stats.totals.dropped_on_drain != 0 || !healed || !abort_ok ||
+        !promote_ok) {
       contract_violated = true;
     }
     cells.push_back(cell);
-    std::printf("  %-8lld %-10.0f %-10.2f %-10lld %-10lld %-10lld\n",
-                static_cast<long long>(shards),
-                static_cast<double>(cell.requests) / cell.seconds, swap_ms,
-                static_cast<long long>(cell.served_v1),
-                static_cast<long long>(cell.served_v2),
-                static_cast<long long>(cell.stats.totals.dropped_on_drain));
+    std::printf(
+        "  %-8lld %-10.0f %-10.2f %-10.2f %-10.2f %-10.2f %-10lld\n",
+        static_cast<long long>(shards),
+        static_cast<double>(cell.requests) / cell.seconds, swap_ms,
+        recovery_ms, canary_abort_ms, canary_promote_ms,
+        static_cast<long long>(cell.stats.totals.dropped_on_drain));
   }
 
   std::FILE* f = std::fopen(out->c_str(), "wb");
@@ -257,8 +347,9 @@ int main(int argc, char** argv) {
   std::remove(path_v2.c_str());
   if (contract_violated) {
     std::fprintf(stderr,
-                 "FAIL: zero-downtime contract violated (failed requests or "
-                 "dropped_on_drain != 0)\n");
+                 "FAIL: zero-downtime contract violated (failed requests, "
+                 "dropped_on_drain != 0, missed recovery, or a canary that "
+                 "decided wrong)\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,75 @@
+#include "serve/canary.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "serve/hash_ring.h"
+
+namespace eos::serve {
+
+namespace {
+
+/// Decorrelates canary membership from ring routing: without a salt,
+/// IsCanaryKey would test the same Mix64 value HashRing uses for shard
+/// placement, and the canary slice would be a contiguous chunk of one
+/// shard's keyspace instead of a uniform cut across all shards.
+constexpr uint64_t kCanarySalt = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+uint64_t CanaryCutoff(double fraction) {
+  if (fraction <= 0.0) return 0;
+  if (fraction >= 1.0) return std::numeric_limits<uint64_t>::max();
+  // 2^64 is not representable in uint64_t, so scale against 2^63 and
+  // double. The probe keys are mixed, so the sub-ulp rounding here only
+  // perturbs the realized fraction, never determinism.
+  return static_cast<uint64_t>(fraction * 9223372036854775808.0) * 2;
+}
+
+bool IsCanaryKey(uint64_t key, uint64_t cutoff) {
+  return HashRing::Mix64(key ^ kCanarySalt) < cutoff;
+}
+
+GuardrailVerdict EvaluateGuardrails(const CanaryOptions& options,
+                                    const CanaryWindowStats& window) {
+  GuardrailVerdict verdict;
+  if (window.error_rate > options.max_error_rate) {
+    verdict.pass = false;
+    verdict.reason =
+        StrFormat("error rate %.4f > %.4f over %lld requests",
+                  window.error_rate, options.max_error_rate,
+                  static_cast<long long>(window.requests));
+    return verdict;
+  }
+  if (options.max_p99_ratio > 0 && window.baseline_p99_us > 0 &&
+      window.canary_p99_us > 0) {
+    double ratio = window.canary_p99_us / window.baseline_p99_us;
+    if (ratio > options.max_p99_ratio) {
+      verdict.pass = false;
+      verdict.reason = StrFormat("p99 ratio %.3f > %.3f (%.1fus vs %.1fus)",
+                                 ratio, options.max_p99_ratio,
+                                 window.canary_p99_us, window.baseline_p99_us);
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+double PredictionDivergence(ModelSession& baseline, ModelSession& candidate,
+                            const Tensor& reference_batch) {
+  EOS_CHECK_EQ(reference_batch.dim(), 4);
+  int64_t n = reference_batch.size(0);
+  EOS_CHECK_GE(n, 1);
+  std::vector<Prediction> expected = baseline.PredictBatch(reference_batch);
+  std::vector<Prediction> actual = candidate.PredictBatch(reference_batch);
+  EOS_CHECK_EQ(expected.size(), actual.size());
+  int64_t diverged = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i].label != actual[i].label) ++diverged;
+  }
+  return static_cast<double>(diverged) / static_cast<double>(n);
+}
+
+}  // namespace eos::serve

@@ -1,0 +1,127 @@
+#ifndef EOS_SERVE_CANARY_H_
+#define EOS_SERVE_CANARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/model_session.h"
+#include "tensor/tensor.h"
+
+/// \file
+/// Health-gated canary deploys for the serving fleet: policy knobs, the
+/// deterministic keyspace split, windowed guardrail evaluation, and the
+/// prediction-divergence probe. The state machine itself lives in
+/// Fleet::CanaryDeploy (serve/fleet.h); everything here is pure and
+/// independently unit-testable. See DESIGN.md "Self-healing & canary
+/// deploys".
+
+namespace eos::serve {
+
+/// Fault point (see testing/fault_injection.h): while armed, the next
+/// guardrail evaluation fails regardless of the real window stats — the
+/// deterministic way for drills to force an auto-abort without having to
+/// manufacture genuinely bad traffic.
+inline constexpr char kCanaryGuardrailTrip[] = "canary.guardrail_trip";
+
+struct CanaryOptions {
+  /// Fraction of the keyspace routed to the canary while it is under
+  /// evaluation, in (0, 1]. The split is deterministic per key (see
+  /// IsCanaryKey) and independent of ring routing, so a key's canary
+  /// membership is reproducible across runs.
+  double keyspace_fraction = 0.05;
+  /// ModelSession replicas behind the canary server. Must be >= 1.
+  int replicas = 1;
+  /// Requests (completed + failed) a window must observe before its
+  /// guardrails are evaluated — windows advance on request counts, not wall
+  /// time, so evaluation is load-paced and deterministic under test
+  /// traffic. Must be >= 1.
+  int64_t min_requests_per_window = 32;
+  /// Windows that must pass consecutively before the canary promotes.
+  /// Must be >= 1.
+  int evaluation_windows = 3;
+  /// Abort guard: a window that fails to accumulate its minimum requests
+  /// within this long aborts the canary (a starved canary is unverifiable,
+  /// and unverifiable must not promote).
+  int64_t window_timeout_us = 5000000;
+  /// How often the evaluation loop re-reads the canary's counters (and the
+  /// fleet's shutdown flag) while waiting for a window to fill.
+  int64_t poll_interval_us = 500;
+  /// Guardrail: maximum tolerated window error rate
+  /// (failures / (completed + failures)).
+  double max_error_rate = 0.0;
+  /// Guardrail: maximum tolerated canary-p99 / baseline-p99 ratio, where
+  /// baseline is the worst per-shard p99 of the incumbent fleet. 0 disables
+  /// (latency is environment-sensitive; drills that need determinism keep
+  /// this off).
+  double max_p99_ratio = 0.0;
+  /// Guardrail: maximum tolerated prediction divergence — the fraction of
+  /// `reference_batch` samples the canary labels differently from the
+  /// incumbent. 0 with a non-empty batch demands bitwise-equivalent
+  /// behavior on the probe.
+  double max_divergence = 0.0;
+  /// Deterministic probe batch [N, C, H, W], replayed through one incumbent
+  /// and one canary session before traffic evaluation begins. Empty
+  /// disables the probe.
+  Tensor reference_batch;
+};
+
+enum class CanaryOutcome { kPromoted, kAborted };
+
+/// Guardrail inputs for one completed evaluation window.
+struct CanaryWindowStats {
+  int64_t requests = 0;  ///< completed + failures observed in the window
+  int64_t failures = 0;
+  double error_rate = 0.0;
+  double canary_p99_us = 0.0;    ///< canary server cumulative p99
+  double baseline_p99_us = 0.0;  ///< worst incumbent per-shard p99
+};
+
+/// What a CanaryDeploy decided and why.
+struct CanaryReport {
+  CanaryOutcome outcome = CanaryOutcome::kAborted;
+  int64_t version = 0;
+  /// Human-readable decision trail ("all 3 windows passed", "window 1:
+  /// error rate 0.25 > 0.01", "divergence 0.50 > 0", "shutdown requested").
+  std::string reason;
+  /// Probe result; 0 when the probe was disabled.
+  double divergence = 0.0;
+  /// One entry per evaluated window (may be shorter than
+  /// evaluation_windows on abort).
+  std::vector<CanaryWindowStats> windows;
+};
+
+/// Upper bound on Mix64(key ^ salt) for canary membership: keys whose mixed
+/// value falls below the cutoff are canary keys. fraction <= 0 maps to 0
+/// (no keys), >= 1 to UINT64_MAX (all keys).
+uint64_t CanaryCutoff(double fraction);
+
+/// Deterministic canary keyspace membership. Salted independently of
+/// HashRing's routing mix, so the canary slice cuts across every shard
+/// instead of aliasing one shard's key range.
+bool IsCanaryKey(uint64_t key, uint64_t cutoff);
+
+struct GuardrailVerdict {
+  bool pass = true;
+  std::string reason;  ///< set when pass == false
+};
+
+/// Pure guardrail math over one window: error rate, then p99 ratio (only
+/// when max_p99_ratio > 0 and both percentiles are nonzero). Divergence is
+/// probed separately (PredictionDivergence) because it needs sessions, not
+/// counters. Does NOT consult the fault point — the Fleet's evaluation loop
+/// does, so this stays a pure function of its arguments.
+GuardrailVerdict EvaluateGuardrails(const CanaryOptions& options,
+                                    const CanaryWindowStats& window);
+
+/// Fraction of `reference_batch` samples ([N, C, H, W], N >= 1) whose
+/// argmax label differs between the two sessions. Two sessions loaded from
+/// the same checkpoint return exactly 0 (eval-mode forwards are
+/// bitwise-deterministic), which is what makes this a trustworthy bad-
+/// deploy detector rather than a flaky one.
+double PredictionDivergence(ModelSession& baseline, ModelSession& candidate,
+                            const Tensor& reference_batch);
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_CANARY_H_

@@ -1,6 +1,9 @@
 #include "serve/fleet.h"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -9,6 +12,16 @@
 #include "testing/fault_injection.h"
 
 namespace eos::serve {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Fleet>> Fleet::Create(
     NetFactory net_factory, const std::string& checkpoint_path,
@@ -56,12 +69,47 @@ Fleet::Fleet(
   }
   EOS_CHECK(registry_.Register(options_.initial_version, source).ok());
   EOS_CHECK(registry_.Activate(options_.initial_version).ok());
+  // Last: the supervisor thread reads shards_ and registry_, which are
+  // fully built above.
+  if (options_.supervisor.enabled) {
+    supervisor_ = std::make_unique<FleetSupervisor>(this, options_.supervisor);
+  }
 }
 
 Fleet::~Fleet() { Shutdown(); }
 
 Result<std::future<Result<Prediction>>> Fleet::Submit(
     uint64_t key, Tensor image, const SubmitOptions& submit_options) {
+  if (canary_on_.load(std::memory_order_acquire)) {
+    std::shared_ptr<Server> canary;
+    uint64_t cutoff = 0;
+    {
+      std::lock_guard<std::mutex> lock(canary_mu_);
+      canary = canary_server_;
+      cutoff = canary_cutoff_;
+    }
+    if (canary != nullptr && IsCanaryKey(key, cutoff)) {
+      if (options_.admission_max_queue_depth > 0 &&
+          canary->queue_depth() >= options_.admission_max_queue_depth) {
+        admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(StrFormat(
+            "fleet admission control: canary queue at %lld >= limit %lld",
+            static_cast<long long>(canary->queue_depth()),
+            static_cast<long long>(options_.admission_max_queue_depth)));
+      }
+      // Submit consumes its tensor, so the canary attempt sends a clone:
+      // if the canary retired between the gate above and this Submit (its
+      // batcher answers FailedPrecondition), the original image is still
+      // whole and the request falls back to its ring shard below. Any
+      // other refusal (backpressure) is a real answer and surfaces.
+      Result<std::future<Result<Prediction>>> result =
+          canary->Submit(image.Clone(), submit_options);
+      if (result.ok() ||
+          result.status().code() != StatusCode::kFailedPrecondition) {
+        return result;
+      }
+    }
+  }
   Server& shard = *shards_[static_cast<size_t>(ring_.ShardFor(key))];
   // Fleet-level admission control: refuse before the shard's queue mutex
   // when the shard is already backed up past the policy line. Racing
@@ -98,14 +146,7 @@ Result<std::vector<std::shared_ptr<ModelSession>>> Fleet::LoadShardSessions(
   return replicas;
 }
 
-Status Fleet::DeployCheckpoint(int64_t version,
-                               const std::string& checkpoint_path) {
-  std::lock_guard<std::mutex> lock(deploy_mu_);
-  if (shutdown_) {
-    return Status::FailedPrecondition("fleet is shut down; cannot deploy");
-  }
-  EOS_RETURN_IF_ERROR(registry_.Register(version, checkpoint_path));
-
+Status Fleet::RollShards(int64_t version, const std::string& checkpoint_path) {
   // Rolling swap, one shard at a time. Serving never pauses: each shard's
   // cutover is one pointer exchange inside SwapReplicas, and until the roll
   // completes the fleet intentionally serves both versions (every
@@ -148,6 +189,217 @@ Status Fleet::DeployCheckpoint(int64_t version,
   return Status::OK();
 }
 
+Status Fleet::DeployCheckpoint(int64_t version,
+                               const std::string& checkpoint_path) {
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("fleet is shut down; cannot deploy");
+  }
+  EOS_RETURN_IF_ERROR(registry_.Register(version, checkpoint_path));
+  return RollShards(version, checkpoint_path);
+}
+
+Result<CanaryReport> Fleet::CanaryDeploy(int64_t version,
+                                         const std::string& checkpoint_path,
+                                         const CanaryOptions& canary_options) {
+  EOS_CHECK_GT(canary_options.keyspace_fraction, 0.0);
+  EOS_CHECK_LE(canary_options.keyspace_fraction, 1.0);
+  EOS_CHECK_GE(canary_options.replicas, 1);
+  EOS_CHECK_GE(canary_options.min_requests_per_window, 1);
+  EOS_CHECK_GE(canary_options.evaluation_windows, 1);
+  EOS_CHECK_GE(canary_options.poll_interval_us, 1);
+  EOS_CHECK_GT(canary_options.window_timeout_us, 0);
+
+  // Held for the entire canary lifetime: deploys, rollbacks, and
+  // supervisor splices wait out the evaluation, and Shutdown signals
+  // shutdown_requested_ first so this never starves the drain.
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("fleet is shut down; cannot canary");
+  }
+  EOS_RETURN_IF_ERROR(registry_.Register(version, checkpoint_path));
+
+  // A canary that cannot load never starts; the id stays burned (see
+  // VersionRegistry) so its absence from serve counters is meaningful.
+  std::vector<std::shared_ptr<ModelSession>> sessions;
+  sessions.reserve(static_cast<size_t>(canary_options.replicas));
+  for (int r = 0; r < canary_options.replicas; ++r) {
+    Result<std::shared_ptr<ModelSession>> session =
+        ModelSession::LoadFromCheckpoint(net_factory_(), checkpoint_path);
+    if (!session.ok()) {
+      return Status(session.status().code(),
+                    StrFormat("canary of version %lld failed to load: %s",
+                              static_cast<long long>(version),
+                              session.status().message().c_str()));
+    }
+    sessions.push_back(std::move(session).value());
+  }
+  EOS_CHECK(registry_.SetResident(version, true).ok());
+
+  CanaryReport report;
+  report.version = version;
+  auto abort_canary = [&](std::string reason) {
+    RetireCanary();
+    EOS_CHECK(registry_.SetResident(version, false).ok());
+    report.outcome = CanaryOutcome::kAborted;
+    report.reason = std::move(reason);
+  };
+
+  // Divergence probe before any traffic: a model that disagrees with the
+  // incumbent on the deterministic reference batch aborts here, so no key
+  // — canary slice or not — is ever served by it.
+  if (canary_options.reference_batch.numel() > 0) {
+    std::shared_ptr<ModelSession> incumbent =
+        shards_[0]->active_set()->replicas[0];
+    report.divergence = PredictionDivergence(
+        *incumbent, *sessions[0], canary_options.reference_batch);
+    if (report.divergence > canary_options.max_divergence) {
+      abort_canary(StrFormat(
+          "divergence %.4f > %.4f on the %lld-sample reference batch",
+          report.divergence, canary_options.max_divergence,
+          static_cast<long long>(canary_options.reference_batch.size(0))));
+      return report;
+    }
+  }
+
+  // Open the slice: canary keys route to a dedicated server from here.
+  ServerOptions canary_server_options = options_.server;
+  canary_server_options.initial_version = version;
+  auto canary = std::make_shared<Server>(std::move(sessions),
+                                         canary_server_options);
+  {
+    std::lock_guard<std::mutex> canary_lock(canary_mu_);
+    canary_server_ = canary;
+    canary_cutoff_ = CanaryCutoff(canary_options.keyspace_fraction);
+    canary_version_ = version;
+  }
+  canary_on_.store(true, std::memory_order_release);
+
+  // Windows advance on request counts, not wall time: a window closes once
+  // the canary has absorbed min_requests_per_window more requests than the
+  // previous window's close, which keeps evaluation deterministic under
+  // test traffic and load-paced in production.
+  StatsSnapshot window_start = canary->Stats();
+  for (int w = 0; w < canary_options.evaluation_windows; ++w) {
+    int64_t deadline = NowUs() + canary_options.window_timeout_us;
+    CanaryWindowStats window;
+    bool filled = false;
+    for (;;) {
+      if (shutdown_requested_.load(std::memory_order_acquire)) {
+        abort_canary("shutdown requested mid-canary");
+        return report;
+      }
+      StatsSnapshot now = canary->Stats();
+      int64_t completed = now.completed - window_start.completed;
+      int64_t failures = now.replica_failures - window_start.replica_failures;
+      if (completed + failures >= canary_options.min_requests_per_window) {
+        window.requests = completed + failures;
+        window.failures = failures;
+        window.error_rate = static_cast<double>(failures) /
+                            static_cast<double>(completed + failures);
+        window.canary_p99_us = now.p99_us;
+        for (const auto& shard : shards_) {
+          window.baseline_p99_us =
+              std::max(window.baseline_p99_us, shard->Stats().p99_us);
+        }
+        window_start = now;
+        filled = true;
+        break;
+      }
+      if (NowUs() >= deadline) break;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(canary_options.poll_interval_us));
+    }
+    if (!filled) {
+      // A starved canary is unverifiable, and unverifiable must not
+      // promote.
+      abort_canary(StrFormat("window %d starved: fewer than %lld requests "
+                             "within %lldus",
+                             w,
+                             static_cast<long long>(
+                                 canary_options.min_requests_per_window),
+                             static_cast<long long>(
+                                 canary_options.window_timeout_us)));
+      return report;
+    }
+    report.windows.push_back(window);
+    if (testing::FaultInjector::ShouldFail(kCanaryGuardrailTrip)) {
+      abort_canary(
+          StrFormat("window %d: guardrail tripped by fault injection", w));
+      return report;
+    }
+    GuardrailVerdict verdict = EvaluateGuardrails(canary_options, window);
+    if (!verdict.pass) {
+      abort_canary(StrFormat("window %d: %s", w, verdict.reason.c_str()));
+      return report;
+    }
+  }
+
+  // Promote: close the slice first (canary keys return to the incumbent
+  // for the brief roll — honestly stamped either way), then run the same
+  // rolling swap as DeployCheckpoint. RollShards guarantees the un-mix
+  // property on failure, so even a failed promotion ends single-version.
+  RetireCanary();
+  Status rolled = RollShards(version, checkpoint_path);
+  if (!rolled.ok()) {
+    EOS_CHECK(registry_.SetResident(version, false).ok());
+    report.outcome = CanaryOutcome::kAborted;
+    report.reason =
+        StrFormat("promotion roll failed: %s", rolled.message().c_str());
+    return report;
+  }
+  report.outcome = CanaryOutcome::kPromoted;
+  report.reason = StrFormat("all %d windows passed",
+                            canary_options.evaluation_windows);
+  return report;
+}
+
+void Fleet::RetireCanary() {
+  canary_on_.store(false, std::memory_order_release);
+  std::shared_ptr<Server> canary;
+  {
+    std::lock_guard<std::mutex> lock(canary_mu_);
+    canary = std::move(canary_server_);
+    canary_server_ = nullptr;
+    canary_version_ = 0;
+    canary_cutoff_ = 0;
+  }
+  if (canary == nullptr) return;
+  // Graceful drain: every accepted canary future completes (Submit calls
+  // racing this fall back to ring routing on FailedPrecondition), so a
+  // retiring canary contributes zero dropped_on_drain by construction.
+  canary->Shutdown();
+  StatsSnapshot final_stats = canary->Stats();
+  {
+    std::lock_guard<std::mutex> lock(canary_mu_);
+    retired_canary_ = AggregateCounters({retired_canary_, final_stats});
+  }
+}
+
+Status Fleet::SpliceShardReplica(int shard, int replica,
+                                 std::shared_ptr<ModelSession> session,
+                                 int64_t expected_version) {
+  EOS_CHECK_GE(shard, 0);
+  EOS_CHECK_LT(shard, num_shards());
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("fleet is shut down; cannot splice");
+  }
+  Server& target = *shards_[static_cast<size_t>(shard)];
+  if (target.active_version() != expected_version) {
+    // A deploy swapped the shard while the replacement loaded: the session
+    // was built for a version this shard no longer serves, so installing
+    // it would silently mix versions. Refuse; the supervisor just drops it.
+    return Status::FailedPrecondition(StrFormat(
+        "shard %d moved to version %lld while a replacement for version "
+        "%lld loaded",
+        shard, static_cast<long long>(target.active_version()),
+        static_cast<long long>(expected_version)));
+  }
+  target.SpliceReplica(replica, std::move(session));
+  return Status::OK();
+}
+
 Status Fleet::Rollback() {
   std::lock_guard<std::mutex> lock(deploy_mu_);
   if (shutdown_) {
@@ -167,10 +419,21 @@ Status Fleet::Rollback() {
 }
 
 void Fleet::Shutdown() {
+  // Flag first, lock second: an in-flight CanaryDeploy holds deploy_mu_
+  // for its whole evaluation and polls this flag, so the acquisition below
+  // is bounded by one canary poll interval (after which the canary has
+  // aborted and retired itself).
+  shutdown_requested_.store(true, std::memory_order_release);
+  // Stop the healer before the shards drain: its thread reads shard state
+  // and reloads checkpoints, none of which should race teardown.
+  if (supervisor_ != nullptr) supervisor_->Stop();
   {
     std::lock_guard<std::mutex> lock(deploy_mu_);
     shutdown_ = true;
   }
+  // CanaryDeploy retires its canary on every exit path; this is a no-op
+  // backstop for that invariant.
+  RetireCanary();
   // Server::Shutdown is idempotent and safe to call concurrently, so the
   // drain itself runs unlocked (it blocks on queued work).
   for (auto& shard : shards_) shard->Shutdown();
@@ -182,11 +445,25 @@ FleetSnapshot Fleet::Stats() const {
   for (const auto& shard : shards_) {
     snapshot.per_shard.push_back(shard->Stats());
   }
-  snapshot.totals = AggregateCounters(snapshot.per_shard);
+  {
+    std::lock_guard<std::mutex> lock(canary_mu_);
+    snapshot.canary = retired_canary_;
+    if (canary_server_ != nullptr) {
+      snapshot.canary =
+          AggregateCounters({snapshot.canary, canary_server_->Stats()});
+      snapshot.canary_version = canary_version_;
+    }
+  }
+  // Totals fold the canary in alongside the shards: fleet-wide invariants
+  // (dropped_on_drain == 0, completed counts) must cover canary traffic.
+  std::vector<StatsSnapshot> parts = snapshot.per_shard;
+  parts.push_back(snapshot.canary);
+  snapshot.totals = AggregateCounters(parts);
   snapshot.admission_rejected =
       admission_rejected_.load(std::memory_order_relaxed);
   snapshot.active_version = registry_.active_version();
   snapshot.previous_version = registry_.previous_version();
+  if (supervisor_ != nullptr) snapshot.supervisor = supervisor_->Snapshot();
   return snapshot;
 }
 
@@ -194,8 +471,14 @@ std::string FleetSnapshot::ToJson() const {
   std::ostringstream out;
   out << "{\"active_version\": " << active_version
       << ", \"previous_version\": " << previous_version
+      << ", \"canary_version\": " << canary_version
       << ", \"admission_rejected\": " << admission_rejected
-      << ", \"totals\": " << totals.ToJson() << ", \"per_shard\": [";
+      << ", \"supervisor\": {\"polls\": " << supervisor.polls
+      << ", \"replicas_replaced\": " << supervisor.replicas_replaced
+      << ", \"load_failures\": " << supervisor.load_failures
+      << ", \"budget_exhausted\": " << supervisor.budget_exhausted
+      << "}, \"totals\": " << totals.ToJson()
+      << ", \"canary\": " << canary.ToJson() << ", \"per_shard\": [";
   for (size_t s = 0; s < per_shard.size(); ++s) {
     if (s > 0) out << ", ";
     out << per_shard[s].ToJson();

@@ -13,21 +13,29 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "nn/network.h"
+#include "serve/canary.h"
 #include "serve/hash_ring.h"
 #include "serve/server.h"
+#include "serve/supervisor.h"
 #include "serve/version_registry.h"
 
 /// \file
 /// The sharded serving fleet: a consistent-hash front-end over N
-/// independent micro-batching Servers, with per-shard admission control and
-/// zero-downtime model hot-swap. A request key routes through a HashRing to
+/// independent micro-batching Servers, with per-shard admission control,
+/// zero-downtime model hot-swap, supervised replica recovery, and
+/// health-gated canary deploys. A request key routes through a HashRing to
 /// one shard; DeployCheckpoint rolls a new model version across the shards
 /// one at a time (load weights into fresh ModelSessions, then atomically
 /// cut the shard over), keeping the previous version's sessions resident
-/// for instant Rollback. In-flight batches drain on the set that was active
-/// when they were popped, so a swap drops, delays, or tears nothing — the
-/// fleet test tier (ctest -L fleet) proves it under fault injection and
-/// TSan. See DESIGN.md "Fleet serving & hot swap".
+/// for instant Rollback. CanaryDeploy first exposes a new version to a
+/// deterministic slice of the keyspace under windowed guardrails and only
+/// then rolls (or aborts, restoring a single-version fleet). A
+/// FleetSupervisor (when enabled) replaces persistently-failed replicas
+/// with fresh checkpoint loads in the background. In-flight batches drain
+/// on the set that was active when they were popped, so a swap drops,
+/// delays, or tears nothing — the fleet and chaos test tiers (ctest -L
+/// fleet / -L chaos) prove it under fault injection and TSan. See DESIGN.md
+/// "Fleet serving & hot swap" and "Self-healing & canary deploys".
 
 namespace eos::serve {
 
@@ -58,35 +66,52 @@ struct FleetOptions {
   /// is already at least this deep is refused with ResourceExhausted
   /// before touching the shard (counted in FleetSnapshot::
   /// admission_rejected). 0 disables the check — the shard's own
-  /// max_queue_depth backpressure still applies either way.
+  /// max_queue_depth backpressure still applies either way. The same gate
+  /// covers the canary server while one is live.
   int64_t admission_max_queue_depth = 0;
   /// Version id of the checkpoint the fleet boots from. Must be > 0.
   int64_t initial_version = 1;
+  /// Supervised replica recovery (serve/supervisor.h). Disabled by
+  /// default; the fleet starts a FleetSupervisor when `enabled` is true.
+  SupervisorOptions supervisor;
 };
 
 /// One monitoring view of the whole fleet.
 struct FleetSnapshot {
   /// Per-shard serving stats, indexed by shard id.
   std::vector<StatsSnapshot> per_shard;
-  /// Fleet-wide totals (AggregateCounters over per_shard: additive
-  /// counters summed, percentiles left 0 — read those per shard).
+  /// Canary serving stats: the live canary server (while a CanaryDeploy is
+  /// evaluating) plus every retired canary's accumulated counters. All
+  /// zeros when no canary ever ran.
+  StatsSnapshot canary;
+  /// Fleet-wide totals (AggregateCounters over per_shard AND canary:
+  /// additive counters summed, percentiles left 0 — read those per shard).
+  /// Folding the canary in is what lets `totals.dropped_on_drain == 0`
+  /// certify canary traffic too.
   StatsSnapshot totals;
+  /// Supervisor counters; all zeros when the supervisor is disabled.
+  SupervisorSnapshot supervisor;
   /// Submits refused by fleet-level admission control.
   int64_t admission_rejected = 0;
   int64_t active_version = 0;
   /// Instant-rollback target; 0 when none exists.
   int64_t previous_version = 0;
+  /// Version under canary evaluation right now; 0 outside a CanaryDeploy.
+  int64_t canary_version = 0;
 
-  /// Single-line JSON object: versions, admission_rejected, totals, and a
-  /// per-shard array of StatsSnapshot objects.
+  /// Single-line JSON object: versions, admission_rejected, supervisor,
+  /// totals, canary, and a per-shard array of StatsSnapshot objects.
   std::string ToJson() const;
 };
 
-/// A sharded, hot-swappable serving fleet.
+/// A sharded, hot-swappable, self-healing serving fleet.
 ///
 /// Routing is deterministic: ShardFor(key) depends only on the key and the
 /// shard count (HashRing), so a key's shard — and therefore the exact
-/// serving replica behavior — is reproducible across runs.
+/// serving replica behavior — is reproducible across runs. While a canary
+/// is live, IsCanaryKey(key) (salted independently of ring routing) decides
+/// per key whether it rides the canary server instead; that split is
+/// equally deterministic.
 ///
 /// Deploy protocol (DeployCheckpoint): register the version, then per
 /// shard load `replicas_per_shard` fresh sessions from the checkpoint and
@@ -98,15 +123,16 @@ struct FleetSnapshot {
 /// in flight drain on the set they resolved.
 ///
 /// Thread-safety: Submit/Predict/Stats may be called from any thread at
-/// any time, including during a deploy. Deploys, rollbacks, and Shutdown
-/// serialize on deploy_mu_.
+/// any time, including during a deploy or canary. Deploys, canaries,
+/// rollbacks, supervisor splices, and Shutdown serialize on deploy_mu_.
 class Fleet {
  public:
   /// Loads `options.initial_version` from `checkpoint_path` into every
-  /// shard x replica session and starts the shard servers. Fails (without
-  /// partial side effects) when the checkpoint is unreadable or corrupt.
-  /// Option invariants (shard/replica counts >= 1, version > 0) are
-  /// EOS_CHECKed, not returned.
+  /// shard x replica session and starts the shard servers (and the
+  /// supervisor when enabled). Fails (without partial side effects) when
+  /// the checkpoint is unreadable or corrupt. Option invariants
+  /// (shard/replica counts >= 1, version > 0) are EOS_CHECKed, not
+  /// returned.
   static Result<std::unique_ptr<Fleet>> Create(
       NetFactory net_factory, const std::string& checkpoint_path,
       const FleetOptions& options);
@@ -123,9 +149,12 @@ class Fleet {
   Fleet(const Fleet&) = delete;
   Fleet& operator=(const Fleet&) = delete;
 
-  /// Routes `key` to its shard and enqueues the image there. Fails with
-  /// ResourceExhausted when fleet admission control (or the shard's own
-  /// backpressure) refuses, FailedPrecondition after Shutdown.
+  /// Routes `key` to its shard (or, for canary keys while a canary is
+  /// live, to the canary server) and enqueues the image there. Fails with
+  /// ResourceExhausted when fleet admission control (or the target's own
+  /// backpressure) refuses, FailedPrecondition after Shutdown. A canary
+  /// retiring concurrently is not an error: the request falls back to its
+  /// ring shard.
   Result<std::future<Result<Prediction>>> Submit(
       uint64_t key, Tensor image, const SubmitOptions& submit_options = {});
 
@@ -143,21 +172,61 @@ class Fleet {
   Status DeployCheckpoint(int64_t version, const std::string& checkpoint_path)
       EXCLUDES(deploy_mu_);
 
+  /// Health-gated deploy of `version` from `checkpoint_path`:
+  ///
+  ///   1. Load the canary sessions; probe prediction divergence against the
+  ///      incumbent on `canary_options.reference_batch` (when non-empty) —
+  ///      a diverging model aborts before serving a single key.
+  ///   2. Route `keyspace_fraction` of keys (deterministically, see
+  ///      IsCanaryKey) to a dedicated canary server.
+  ///   3. Evaluate `evaluation_windows` request-count-paced windows of
+  ///      guardrails (error rate, p99 ratio; see EvaluateGuardrails and
+  ///      the `canary.guardrail_trip` fault point).
+  ///   4. Every window passed: retire the canary slice and promote — the
+  ///      same rolling swap as DeployCheckpoint. Any window failed (or
+  ///      starved past `window_timeout_us`, or Shutdown requested):
+  ///      auto-abort — the canary server drains and the fleet keeps
+  ///      serving the incumbent everywhere.
+  ///
+  /// Either way the fleet ends single-version: promotion ends with
+  /// `version` active on every shard, abort with the incumbent everywhere
+  /// and `version` non-resident (its id stays burned). Returns the decision
+  /// trail as a CanaryReport; a non-OK status means the canary never
+  /// started (duplicate id, unloadable checkpoint, shut-down fleet).
+  /// Serialized with deploys/rollbacks (holds deploy_mu_ throughout);
+  /// serving never pauses.
+  Result<CanaryReport> CanaryDeploy(int64_t version,
+                                    const std::string& checkpoint_path,
+                                    const CanaryOptions& canary_options)
+      EXCLUDES(deploy_mu_);
+
   /// Instantly restores the previous version on every shard (the retained
   /// sets are swapped back in — no checkpoint I/O). The displaced version
   /// becomes the new rollback target, so Rollback twice is a no-op pair.
   /// Fails with FailedPrecondition when no previous version is resident.
   Status Rollback() EXCLUDES(deploy_mu_);
 
-  /// Gracefully shuts down every shard: queued requests are served, then
-  /// workers exit. Idempotent. The destructor calls it.
+  /// Atomically replaces one replica of `shard`'s active set with
+  /// `session` — the supervisor's healing entry point. Holds deploy_mu_ so
+  /// the splice cannot interleave with a deploy, and re-checks that the
+  /// shard still serves `expected_version` (the version the replacement
+  /// was loaded for): a stale replacement is refused with
+  /// FailedPrecondition and simply dropped, never installed into a set of
+  /// a different version.
+  Status SpliceShardReplica(int shard, int replica,
+                            std::shared_ptr<ModelSession> session,
+                            int64_t expected_version) EXCLUDES(deploy_mu_);
+
+  /// Gracefully shuts down the fleet: requests an in-flight canary abort,
+  /// stops the supervisor, then drains every shard (queued requests are
+  /// served, then workers exit). Idempotent. The destructor calls it.
   void Shutdown() EXCLUDES(deploy_mu_);
 
   FleetSnapshot Stats() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  /// The shard `key` routes to — exposed so tests and benches can build
-  /// per-shard expectations.
+  /// The shard `key` routes to when no canary intercepts it — exposed so
+  /// tests and benches can build per-shard expectations.
   int ShardForKey(uint64_t key) const { return ring_.ShardFor(key); }
   /// Version new batches run on (every shard agrees outside a mid-deploy
   /// window; during one, per-shard Server::active_version may differ).
@@ -165,12 +234,30 @@ class Fleet {
   const VersionRegistry& registry() const { return registry_; }
   /// Direct shard access for tests and monitoring.
   Server& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  /// The replica factory — the supervisor builds replacement nets with it.
+  const NetFactory& net_factory() const { return net_factory_; }
+  /// The supervisor, or nullptr when disabled. Exposed for drills that
+  /// WaitFor recovery milestones instead of sleeping.
+  FleetSupervisor* supervisor() { return supervisor_.get(); }
   const FleetOptions& options() const { return options_; }
 
  private:
   /// Loads one shard's worth of fresh sessions from `checkpoint_path`.
   Result<std::vector<std::shared_ptr<ModelSession>>> LoadShardSessions(
       const std::string& checkpoint_path);
+
+  /// The rolling swap shared by DeployCheckpoint and canary promotion:
+  /// loads + swaps shard by shard, undoes already-swapped shards on a load
+  /// failure (the fleet never stays mixed), and on success retains the
+  /// displaced sets for Rollback and activates `version` in the registry.
+  /// `version` must already be registered.
+  Status RollShards(int64_t version, const std::string& checkpoint_path)
+      REQUIRES(deploy_mu_);
+
+  /// Closes the canary keyspace slice, drains the canary server, and folds
+  /// its final counters into the retired-canary accumulator. Safe to call
+  /// with no canary live.
+  void RetireCanary() EXCLUDES(canary_mu_);
 
   const FleetOptions options_;
   const NetFactory net_factory_;
@@ -179,8 +266,8 @@ class Fleet {
   VersionRegistry registry_;
   std::atomic<int64_t> admission_rejected_{0};
 
-  /// Serializes deploys, rollbacks, and shutdown against each other (the
-  /// serving path never takes it).
+  /// Serializes deploys, canaries, rollbacks, supervisor splices, and
+  /// shutdown against each other (the serving path never takes it).
   std::mutex deploy_mu_;
   /// Per-shard displaced sets from the last successful deploy or rollback —
   /// the sessions Rollback() reinstalls without touching disk. Empty until
@@ -188,6 +275,25 @@ class Fleet {
   std::vector<std::shared_ptr<const ReplicaSet>> previous_sets_
       GUARDED_BY(deploy_mu_);
   bool shutdown_ GUARDED_BY(deploy_mu_) = false;
+  /// Set (before deploy_mu_ is taken) by Shutdown so an in-flight
+  /// CanaryDeploy — which holds deploy_mu_ for its whole evaluation —
+  /// aborts promptly instead of deadlocking the drain.
+  std::atomic<bool> shutdown_requested_{false};
+
+  /// Canary fast gate: Submit consults canary_mu_ only while this is true,
+  /// so steady-state routing costs one relaxed-ish load.
+  std::atomic<bool> canary_on_{false};
+  mutable std::mutex canary_mu_;
+  std::shared_ptr<Server> canary_server_ GUARDED_BY(canary_mu_);
+  uint64_t canary_cutoff_ GUARDED_BY(canary_mu_) = 0;
+  int64_t canary_version_ GUARDED_BY(canary_mu_) = 0;
+  /// Additive counters accumulated from every retired canary server, so
+  /// canary traffic stays visible in FleetSnapshot after the server dies.
+  StatsSnapshot retired_canary_ GUARDED_BY(canary_mu_);
+
+  /// Background healer; nullptr unless options_.supervisor.enabled.
+  /// Stopped first in Shutdown.
+  std::unique_ptr<FleetSupervisor> supervisor_;
 };
 
 }  // namespace eos::serve

@@ -1,6 +1,7 @@
 #ifndef EOS_SERVE_MODEL_SESSION_H_
 #define EOS_SERVE_MODEL_SESSION_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -73,6 +74,18 @@ class ModelSession {
   int64_t num_classes() const { return num_classes_; }
   const std::string& arch() const { return arch_; }
 
+  /// Marks this session as permanently failed: every subsequent batch the
+  /// serving layer routes to it fails with Unavailable, exactly like a
+  /// crashed replica, until the supervisor replaces the session with a
+  /// fresh load (serve/supervisor.h). Poison sticks to the *session
+  /// object* — not the replica slot — which is what makes replacement a
+  /// real cure and distinguishes a corrupted replica (heals on splice)
+  /// from a corrupted checkpoint (the replacement re-poisons and the
+  /// supervisor's restart budget kicks in). Set by the
+  /// `serve.replica_poison` fault point; irreversible by design.
+  void Poison() { poisoned_.store(true, std::memory_order_release); }
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
   /// Total capacity of this replica's kernel scratch workspace. Grows over
   /// the first few batches as the SIMD conv driver touches each shape, then
   /// stays constant — steady-state batches allocate nothing (tested by
@@ -86,6 +99,9 @@ class ModelSession {
   // (module activation caches), so ALL access to it must hold mu_.
   const int64_t num_classes_;
   const std::string arch_;
+  /// Health stigma, not model state: flipped once by Poison(), read by
+  /// every RunBatch at the cost of one relaxed-ish load.
+  std::atomic<bool> poisoned_{false};
   nn::ImageClassifier net_ GUARDED_BY(mu_);
   // Per-replica preallocated kernel scratch (im2col column buffers). Bound
   // around the forward pass while mu_ is held, so its lanes are reused

@@ -94,6 +94,13 @@ class CircuitBreaker {
   void RecordSuccess() EXCLUDES(mu_);
   void RecordFailure() EXCLUDES(mu_);
 
+  /// Force-closes the breaker and clears its failure history. The serving
+  /// layer never calls this on its own: it exists for the supervisor, which
+  /// resets a breaker only after physically replacing the replica behind it
+  /// (serve/supervisor.h) — the failures it forgets belong to a session
+  /// that no longer serves.
+  void Reset() EXCLUDES(mu_);
+
   State state() const EXCLUDES(mu_);
   int consecutive_failures() const EXCLUDES(mu_);
 

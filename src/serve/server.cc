@@ -155,6 +155,24 @@ std::shared_ptr<const ReplicaSet> Server::SwapReplicas(
   return previous;
 }
 
+void Server::SpliceReplica(int replica, std::shared_ptr<ModelSession> session) {
+  EOS_CHECK_GE(replica, 0);
+  EOS_CHECK_LT(replica, num_replicas_);
+  EOS_CHECK(session != nullptr);
+  auto set = std::make_shared<ReplicaSet>();
+  {
+    std::lock_guard<std::mutex> lock(set_mu_);
+    set->version = active_set_->version;
+    set->replicas = active_set_->replicas;
+    set->replicas[static_cast<size_t>(replica)] = std::move(session);
+    active_set_ = set;
+  }
+  // Reset AFTER the splice: a batch that resolves the new set can only hit
+  // the fresh session, so a closed breaker never re-admits the evicted one.
+  health_->breaker(replica).Reset();
+  stats_.RecordReplicaReplaced();
+}
+
 int64_t Server::active_version() const { return AcquireSet()->version; }
 
 void Server::RunBatch(int heartbeat_slot, int preferred_replica,
@@ -176,18 +194,29 @@ void Server::RunBatch(int heartbeat_slot, int preferred_replica,
   health_->MarkBusy(heartbeat_slot, replica);
   testing::FaultInjector::MaybeStall(kWorkerStallFault);
 
+  // Poison sticks to the session object (see kReplicaPoisonFault): once
+  // set, every batch this session is asked to serve fails until the
+  // supervisor splices in a fresh load — unlike replica_down below, which
+  // consumes armed counts and so heals on its own.
+  if (testing::FaultInjector::ShouldFail(kReplicaPoisonFault)) {
+    set->replicas[static_cast<size_t>(replica)]->Poison();
+  }
+  bool poisoned = set->replicas[static_cast<size_t>(replica)]->poisoned();
+
   // Simulated crash of the serving replica (either the generic point or
   // this specific replica's): the batch fails with Unavailable and the
   // breaker records it, exactly like a real failed forward would.
   bool replica_down =
-      testing::FaultInjector::ShouldFail(kReplicaDownFault) ||
+      poisoned || testing::FaultInjector::ShouldFail(kReplicaDownFault) ||
       testing::FaultInjector::ShouldFail(ReplicaDownPoint(replica));
   if (replica_down) {
     health_->MarkIdle(heartbeat_slot);
     health_->RecordFailure(replica);
     stats_.RecordReplicaFailure();
-    FailBatch(batch, Status::Unavailable(StrFormat(
-                         "replica %d is down; request not served", replica)));
+    FailBatch(batch,
+              Status::Unavailable(StrFormat(
+                  "replica %d is %s; request not served", replica,
+                  poisoned ? "poisoned" : "down")));
     return;
   }
 

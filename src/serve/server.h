@@ -33,6 +33,15 @@ namespace eos::serve {
 /// stall-watchdog tests.
 inline constexpr char kWorkerStallFault[] = "serve.worker_stall";
 
+/// Fault point: while armed, the next batch POISONS the session of the
+/// replica serving it (ModelSession::Poison) before failing — a persistent
+/// failure that sticks to the session object, so breaker probes keep
+/// failing until the supervisor splices a fresh session into the slot.
+/// Armed with count=1 this kills exactly one replica (the supervised-
+/// recovery drill); armed unlimited it re-poisons every replacement, which
+/// is how tests exercise the supervisor's restart budget and backoff.
+inline constexpr char kReplicaPoisonFault[] = "serve.replica_poison";
+
 struct ServerOptions {
   /// Worker loops draining the micro-batcher. Each worker's home replica is
   /// its index modulo the replica count (failover may route elsewhere);
@@ -143,6 +152,27 @@ class Server {
   std::shared_ptr<const ReplicaSet> SwapReplicas(
       std::vector<std::shared_ptr<ModelSession>> replicas, int64_t version,
       bool rollback = false) EXCLUDES(set_mu_);
+
+  /// Atomically replaces ONE replica of the active set with `session`,
+  /// keeping the version — the supervisor's healing primitive
+  /// (serve/supervisor.h). Same one-pointer cutover as SwapReplicas: a new
+  /// immutable ReplicaSet is built with the slot spliced, so no batch is
+  /// ever torn; batches already in flight drain on the old set, which keeps
+  /// the displaced (failed) session alive until they finish. `session` must
+  /// be loaded from the active version's checkpoint (unchecked — the caller
+  /// owns provenance; the supervisor reloads from the registry's source for
+  /// exactly this reason). Also resets the slot's circuit breaker — its
+  /// failure history belongs to the session that was just evicted — and
+  /// bumps the replicas_replaced counter.
+  void SpliceReplica(int replica, std::shared_ptr<ModelSession> session)
+      EXCLUDES(set_mu_);
+
+  /// The set new batches will run on. Exposed for the supervisor (version
+  /// + session identity checks) and tests; serving code paths resolve it
+  /// once per batch internally.
+  std::shared_ptr<const ReplicaSet> active_set() const EXCLUDES(set_mu_) {
+    return AcquireSet();
+  }
 
   /// Version of the set new batches will run on.
   int64_t active_version() const EXCLUDES(set_mu_);

@@ -120,6 +120,10 @@ void ServeStats::RecordSwap(bool rollback) {
   if (rollback) rollbacks_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServeStats::RecordReplicaReplaced() {
+  replicas_replaced_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ServeStats::RecordDroppedOnDrain() {
   dropped_on_drain_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -144,6 +148,7 @@ StatsSnapshot ServeStats::Snapshot() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.swaps = swaps_.load(std::memory_order_relaxed);
   s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  s.replicas_replaced = replicas_replaced_.load(std::memory_order_relaxed);
   s.dropped_on_drain = dropped_on_drain_.load(std::memory_order_relaxed);
   for (int slot = 0; slot < kMaxTrackedVersions; ++slot) {
     int64_t key = version_keys_[static_cast<size_t>(slot)].load(
@@ -188,7 +193,8 @@ std::string StatsSnapshot::ToJson() const {
       "{\"completed\": %lld, \"rejected\": %lld, \"shed\": %lld, "
       "\"deadline_expired\": %lld, \"replica_failures\": %lld, "
       "\"retries\": %lld, \"batches\": %lld, \"swaps\": %lld, "
-      "\"rollbacks\": %lld, \"dropped_on_drain\": %lld, "
+      "\"rollbacks\": %lld, \"replicas_replaced\": %lld, "
+      "\"dropped_on_drain\": %lld, "
       "\"served_by_version\": %s, \"served_version_overflow\": %lld, "
       "\"mean_batch_size\": %.3f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
       "\"p99_us\": %.1f, \"queue_depth\": %lld, \"max_queue_depth\": %lld, "
@@ -198,6 +204,7 @@ std::string StatsSnapshot::ToJson() const {
       static_cast<long long>(replica_failures),
       static_cast<long long>(retries), static_cast<long long>(batches),
       static_cast<long long>(swaps), static_cast<long long>(rollbacks),
+      static_cast<long long>(replicas_replaced),
       static_cast<long long>(dropped_on_drain), versions.c_str(),
       static_cast<long long>(served_version_overflow), mean_batch_size,
       p50_us, p95_us, p99_us, static_cast<long long>(queue_depth),
@@ -217,6 +224,7 @@ StatsSnapshot AggregateCounters(const std::vector<StatsSnapshot>& parts) {
     total.batches += p.batches;
     total.swaps += p.swaps;
     total.rollbacks += p.rollbacks;
+    total.replicas_replaced += p.replicas_replaced;
     total.dropped_on_drain += p.dropped_on_drain;
     total.served_version_overflow += p.served_version_overflow;
     total.queue_depth += p.queue_depth;

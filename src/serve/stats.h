@@ -61,6 +61,11 @@ struct StatsSnapshot {
   int64_t batches = 0;         ///< micro-batches executed
   int64_t swaps = 0;           ///< model-version hot-swaps applied
   int64_t rollbacks = 0;       ///< swaps that restored a previous version
+  /// Replicas replaced in place by the supervisor (same-version session
+  /// splices, serve/supervisor.h). The healing witness: a chaos drill that
+  /// kills a replica asserts this went up instead of inferring recovery
+  /// from traffic.
+  int64_t replicas_replaced = 0;
   /// Requests still queued when their batcher was destroyed without a
   /// graceful drain. The zero-downtime swap invariant is exactly
   /// `dropped_on_drain == 0` — Shutdown serves every accepted request, so
@@ -89,7 +94,8 @@ struct StatsSnapshot {
 
 /// Sums the additive counters of `parts` (completed, rejected, shed,
 /// deadline_expired, replica_failures, retries, batches, swaps, rollbacks,
-/// dropped_on_drain, served_version_overflow, max_queue_depth as a max,
+/// replicas_replaced, dropped_on_drain, served_version_overflow,
+/// max_queue_depth as a max,
 /// served_by_version merged per version) into one fleet-level snapshot.
 /// Latency percentiles and mean batch size are NOT aggregatable from
 /// snapshots and are left 0 — read them per shard. elapsed_seconds is the
@@ -142,6 +148,9 @@ class ServeStats {
   /// restored a previously-served version.
   void RecordSwap(bool rollback = false);
 
+  /// Records one supervisor replica replacement (same-version splice).
+  void RecordReplicaReplaced();
+
   /// Records one request dropped undrained (see StatsSnapshot — any
   /// nonzero total is a swap/shutdown protocol violation).
   void RecordDroppedOnDrain();
@@ -163,6 +172,7 @@ class ServeStats {
   std::atomic<int64_t> batched_requests_{0};
   std::atomic<int64_t> swaps_{0};
   std::atomic<int64_t> rollbacks_{0};
+  std::atomic<int64_t> replicas_replaced_{0};
   std::atomic<int64_t> dropped_on_drain_{0};
   // Open-addressed per-version table: slot i holds version key 0 (empty)
   // or a claimed version id; counts accumulate next to the key. Keys are

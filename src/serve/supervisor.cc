@@ -1,0 +1,160 @@
+#include "serve/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_annotations.h"
+#include "serve/fleet.h"
+#include "serve/model_session.h"
+#include "serve/resilience.h"
+
+namespace eos::serve {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t BackoffUs(const SupervisorOptions& options, int attempt) {
+  double backoff = static_cast<double>(options.initial_backoff_us);
+  for (int i = 1; i < attempt; ++i) backoff *= options.backoff_multiplier;
+  return std::min(static_cast<int64_t>(backoff), options.max_backoff_us);
+}
+
+}  // namespace
+
+FleetSupervisor::FleetSupervisor(Fleet* fleet,
+                                 const SupervisorOptions& options)
+    : fleet_(fleet), options_(options) {
+  EOS_CHECK(fleet != nullptr);
+  EOS_CHECK_GE(options_.poll_interval_us, 1);
+  EOS_CHECK_GE(options_.unhealthy_polls, 1);
+  EOS_CHECK_GE(options_.max_restarts, 1);
+  EOS_CHECK_GE(options_.initial_backoff_us, 0);
+  EOS_CHECK_GE(options_.backoff_multiplier, 1.0);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+FleetSupervisor::~FleetSupervisor() { Stop(); }
+
+void FleetSupervisor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+SupervisorSnapshot FleetSupervisor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+bool FleetSupervisor::WaitFor(
+    const std::function<bool(const SupervisorSnapshot&)>& pred,
+    int64_t timeout_us) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                      [&]() REQUIRES(mu_) { return pred(snapshot_); });
+}
+
+void FleetSupervisor::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::microseconds(options_.poll_interval_us),
+                   [this]() REQUIRES(mu_) { return stop_; });
+      if (stop_) return;
+    }
+    SupervisorSnapshot delta;
+    PollOnce(delta);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot_.polls += 1;
+      snapshot_.replicas_replaced += delta.replicas_replaced;
+      snapshot_.load_failures += delta.load_failures;
+      snapshot_.budget_exhausted += delta.budget_exhausted;
+    }
+    // Wake WaitFor callers after every sweep, not only on state changes:
+    // "has the supervisor given up yet" is a question about polls too.
+    cv_.notify_all();
+  }
+}
+
+void FleetSupervisor::PollOnce(SupervisorSnapshot& delta) {
+  if (slots_.empty()) {
+    slots_.resize(static_cast<size_t>(fleet_->num_shards()));
+  }
+  int64_t now = NowUs();
+  for (int s = 0; s < fleet_->num_shards(); ++s) {
+    Server& shard = fleet_->shard(s);
+    auto& shard_slots = slots_[static_cast<size_t>(s)];
+    if (shard_slots.empty()) {
+      shard_slots.resize(static_cast<size_t>(shard.num_replicas()));
+    }
+    // Resolve the shard's set once per sweep; version changes observed here
+    // wipe the slot state (a deploy installed entirely new sessions, so
+    // breaker history and spent budgets belong to evicted objects).
+    std::shared_ptr<const ReplicaSet> set = shard.active_set();
+    for (int r = 0; r < shard.num_replicas(); ++r) {
+      SlotState& slot = shard_slots[static_cast<size_t>(r)];
+      if (slot.version != set->version) slot = SlotState{set->version};
+
+      CircuitBreaker::State state = shard.health().breaker(r).state();
+      if (state == CircuitBreaker::State::kClosed) {
+        slot.open_streak = 0;
+        continue;
+      }
+      // HalfOpen means a probe is deciding — neither evidence of persistent
+      // failure nor of health. Only a plain Open observation counts.
+      if (state == CircuitBreaker::State::kOpen) ++slot.open_streak;
+      if (slot.abandoned || slot.open_streak < options_.unhealthy_polls ||
+          now < slot.next_attempt_us) {
+        continue;
+      }
+      if (slot.restarts >= options_.max_restarts) {
+        slot.abandoned = true;
+        delta.budget_exhausted += 1;
+        continue;
+      }
+      ++slot.restarts;
+      slot.next_attempt_us = now + BackoffUs(options_, slot.restarts);
+
+      // Reload off the hot path: checkpoint I/O happens here, on the
+      // supervisor thread, while the shard keeps failing over to its other
+      // replicas. Only the final SpliceShardReplica touches serving state.
+      Result<std::string> source = fleet_->registry().SourceOf(set->version);
+      if (!source.ok()) {
+        delta.load_failures += 1;
+        continue;
+      }
+      Result<std::shared_ptr<ModelSession>> session =
+          ModelSession::LoadFromCheckpoint(fleet_->net_factory()(),
+                                           source.value());
+      if (!session.ok()) {
+        delta.load_failures += 1;
+        continue;
+      }
+      Status spliced = fleet_->SpliceShardReplica(
+          s, r, std::move(session).value(), set->version);
+      if (!spliced.ok()) {
+        // The shard moved to a new version (or the fleet shut down) while
+        // we were loading: the slot resets on the next sweep, and the
+        // freshly-loaded session simply drops. Not a budget event.
+        continue;
+      }
+      delta.replicas_replaced += 1;
+      slot.open_streak = 0;
+    }
+  }
+}
+
+}  // namespace eos::serve

@@ -1,0 +1,131 @@
+#ifndef EOS_SERVE_SUPERVISOR_H_
+#define EOS_SERVE_SUPERVISOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+/// \file
+/// Supervised replica recovery for the serving fleet: a background loop
+/// that watches every shard's per-replica circuit breakers and replaces a
+/// persistently-failed replica with a fresh ModelSession reloaded from the
+/// active version's registered checkpoint. The reload happens off the hot
+/// path; the cutover is Server::SpliceReplica — the same one-pointer
+/// exchange as a deploy, so serving never pauses and no batch is torn.
+/// Bounded restart budgets with exponential backoff keep a poisoned
+/// checkpoint (every replacement fails too) from crash-looping: the slot is
+/// abandoned once its budget is spent, leaving failover and the breaker to
+/// contain it. See DESIGN.md "Self-healing & canary deploys".
+
+namespace eos::serve {
+
+class Fleet;
+
+struct SupervisorOptions {
+  /// Master switch: the Fleet starts a supervisor thread only when true.
+  bool enabled = false;
+  /// Breaker-poll period. Each poll inspects every shard x replica breaker.
+  int64_t poll_interval_us = 2000;
+  /// Consecutive polls a breaker must be observed Open before the slot is
+  /// declared persistently failed and scheduled for replacement. HalfOpen
+  /// observations (a probe in flight) neither count nor reset — transient
+  /// failures that a probe heals never trigger a replacement. Must be >= 1.
+  int unhealthy_polls = 2;
+  /// Replacement attempts per (shard, replica, version). A failed load and
+  /// a successful splice both consume one. When spent, the slot is
+  /// abandoned until the shard's version changes (a deploy installs a whole
+  /// new set, which resets the slot's budget). Must be >= 1.
+  int max_restarts = 3;
+  /// Backoff before replacement attempt n: initial * multiplier^(n-1),
+  /// capped at max_backoff_us. Keeps a re-poisoning checkpoint from turning
+  /// the supervisor into a checkpoint-reload busy loop.
+  int64_t initial_backoff_us = 1000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_us = 500000;
+};
+
+/// Monitoring counters for one supervisor. All cumulative since start.
+struct SupervisorSnapshot {
+  /// Completed breaker-poll sweeps.
+  int64_t polls = 0;
+  /// Successful replacements (fresh session spliced into a slot).
+  int64_t replicas_replaced = 0;
+  /// Replacement attempts that failed to load the checkpoint (the slot
+  /// stays failed; the attempt still consumes restart budget).
+  int64_t load_failures = 0;
+  /// Slots abandoned after exhausting their restart budget.
+  int64_t budget_exhausted = 0;
+};
+
+/// The fleet's background healer. Owned by the Fleet (constructed when
+/// FleetOptions::supervisor.enabled); Stop() joins the thread and is called
+/// by Fleet::Shutdown before the shards drain.
+///
+/// Interaction with deploys: replacements go through
+/// Fleet::SpliceShardReplica, which holds the fleet's deploy mutex and
+/// re-checks the shard's active version — a splice loaded for version v can
+/// never land in a set of version w. The supervisor's per-slot state resets
+/// whenever it observes a shard serving a new version, so breaker history
+/// and restart budgets never leak across deploys.
+class FleetSupervisor {
+ public:
+  /// Starts the poll loop. `fleet` must outlive this object (the Fleet owns
+  /// the supervisor and stops it first in Shutdown, which guarantees it).
+  FleetSupervisor(Fleet* fleet, const SupervisorOptions& options);
+
+  /// Stops and joins the loop.
+  ~FleetSupervisor();
+
+  FleetSupervisor(const FleetSupervisor&) = delete;
+  FleetSupervisor& operator=(const FleetSupervisor&) = delete;
+
+  /// Stops and joins the poll loop. Idempotent.
+  void Stop() EXCLUDES(mu_);
+
+  SupervisorSnapshot Snapshot() const EXCLUDES(mu_);
+
+  /// Test hook: blocks until `pred(snapshot)` holds — re-evaluated after
+  /// every poll — or `timeout_us` elapses. Returns the predicate's final
+  /// verdict. Deterministic drills use this instead of sleeping.
+  bool WaitFor(const std::function<bool(const SupervisorSnapshot&)>& pred,
+               int64_t timeout_us) const EXCLUDES(mu_);
+
+ private:
+  /// Per-(shard, replica) recovery state. Touched only by the loop thread.
+  struct SlotState {
+    /// Shard version this state was accumulated under; any observed change
+    /// resets the whole slot.
+    int64_t version = 0;
+    /// Consecutive polls the breaker was seen Open.
+    int open_streak = 0;
+    /// Replacement attempts consumed under `version`.
+    int restarts = 0;
+    /// Earliest steady-clock time (us) the next attempt may run.
+    int64_t next_attempt_us = 0;
+    bool abandoned = false;
+  };
+
+  void Loop() EXCLUDES(mu_);
+  /// One sweep over every shard x replica; accumulates into `delta`.
+  void PollOnce(SupervisorSnapshot& delta);
+
+  Fleet* const fleet_;
+  const SupervisorOptions options_;
+  /// slots_[shard][replica]; sized lazily on the first poll.
+  std::vector<std::vector<SlotState>> slots_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  SupervisorSnapshot snapshot_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+}  // namespace eos::serve
+
+#endif  // EOS_SERVE_SUPERVISOR_H_

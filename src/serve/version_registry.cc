@@ -67,6 +67,27 @@ Status VersionRegistry::Rollback() {
   return Status::OK();
 }
 
+Status VersionRegistry::SetResident(int64_t version, bool resident) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int idx = Find(version);
+  if (idx < 0) {
+    return Status::NotFound(StrFormat("version %lld is not registered",
+                                      static_cast<long long>(version)));
+  }
+  versions_[idx].resident = resident;
+  return Status::OK();
+}
+
+Result<std::string> VersionRegistry::SourceOf(int64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int idx = Find(version);
+  if (idx < 0) {
+    return Status::NotFound(StrFormat("version %lld is not registered",
+                                      static_cast<long long>(version)));
+  }
+  return versions_[idx].source;
+}
+
 int64_t VersionRegistry::active_version() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_;

@@ -24,12 +24,13 @@ struct VersionInfo {
   /// Caller-chosen id, strictly positive. Ids need not be consecutive but
   /// each may be registered only once per registry lifetime — redeploying
   /// changed weights under an old id would make the per-version serving
-  /// counters (ServeStats) ambiguous.
+  /// counters (ServeStats) ambiguous. An aborted canary burns its id the
+  /// same way: the bad version's serve counts must stay attributable.
   int64_t version = 0;
   /// Provenance: the checkpoint (or snapshot) path the weights loaded from.
   std::string source;
-  /// True while the fleet still holds this version's sessions, i.e. it is
-  /// the active version or the instant-rollback target.
+  /// True while the fleet still holds this version's sessions: the active
+  /// version, the instant-rollback target, or an in-flight canary.
   bool resident = false;
 };
 
@@ -59,6 +60,17 @@ class VersionRegistry {
   /// roll-forward is another Rollback). Fails with FailedPrecondition when
   /// no previous version exists.
   Status Rollback() EXCLUDES(mu_);
+
+  /// Marks `version` resident / non-resident outside the activate/rollback
+  /// bookkeeping — the canary path's hook: a canary's sessions are resident
+  /// from install until promote (when Activate takes over) or abort (when
+  /// they drop). Fails with NotFound for an unregistered id.
+  Status SetResident(int64_t version, bool resident) EXCLUDES(mu_);
+
+  /// The weight source `version` was registered with — what the supervisor
+  /// reloads a failed replica from. Fails with NotFound for an
+  /// unregistered id.
+  Result<std::string> SourceOf(int64_t version) const EXCLUDES(mu_);
 
   /// Active version id; 0 when nothing was ever activated.
   int64_t active_version() const EXCLUDES(mu_);

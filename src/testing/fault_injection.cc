@@ -66,6 +66,7 @@ void FaultInjector::Disarm(const std::string& point) {
 void FaultInjector::DisarmAll() {
   std::lock_guard<std::mutex> lock(mu_);
   points_.clear();
+  fire_history_.clear();
   armed_points_.store(0, std::memory_order_relaxed);
 }
 
@@ -73,6 +74,17 @@ int64_t FaultInjector::fire_count(const std::string& point) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
+}
+
+int64_t FaultInjector::total_fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fire_history_.find(point);
+  return it == fire_history_.end() ? 0 : it->second;
+}
+
+std::map<std::string, int64_t> FaultInjector::FireCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fire_history_;
 }
 
 bool FaultInjector::ConsumeFailure(const std::string& point) {
@@ -91,6 +103,7 @@ bool FaultInjector::ConsumeFailure(const std::string& point) {
     }
   }
   ++p.fires;
+  ++fire_history_[point];
   return true;
 }
 
@@ -110,6 +123,7 @@ int64_t FaultInjector::ConsumeStallUs(const std::string& point) {
     }
   }
   ++p.fires;
+  ++fire_history_[point];
   return p.stall_us;
 }
 

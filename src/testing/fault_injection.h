@@ -62,13 +62,27 @@ class FaultInjector {
   void ArmStall(const std::string& point, int64_t stall_us,
                 int64_t count = -1, int64_t skip = 0) EXCLUDES(mu_);
 
-  /// Disarms one point / every point. Fire counters for the point(s) reset.
+  /// Disarms one point / every point. The per-arming fire counter
+  /// (fire_count) resets; the cumulative history (total_fires /
+  /// FireCounts) survives Disarm but is wiped by DisarmAll — test fixtures
+  /// call DisarmAll for a clean slate, drills call Disarm and then assert
+  /// on the history.
   void Disarm(const std::string& point) EXCLUDES(mu_);
   void DisarmAll() EXCLUDES(mu_);
 
   /// How many times `point` actually fired (failed or stalled) since it was
   /// last armed. 0 for unknown points.
   int64_t fire_count(const std::string& point) const EXCLUDES(mu_);
+
+  /// Cumulative fires for `point` across re-arms and Disarms (since the
+  /// last DisarmAll). Drills assert "the fault actually fired N times" on
+  /// this instead of inferring injection from side effects — and it still
+  /// answers after the ScopedFault guard that armed the point has died.
+  int64_t total_fires(const std::string& point) const EXCLUDES(mu_);
+
+  /// Snapshot of every point that fired at least once since the last
+  /// DisarmAll, with its cumulative fire count — armed or since disarmed.
+  std::map<std::string, int64_t> FireCounts() const EXCLUDES(mu_);
 
   // --- production-side hooks -------------------------------------------
 
@@ -105,6 +119,9 @@ class FaultInjector {
   std::atomic<int64_t> armed_points_{0};
   mutable std::mutex mu_;
   std::map<std::string, Point> points_ GUARDED_BY(mu_);
+  /// Cumulative per-point fires, preserved across Disarm/re-arm so drills
+  /// can audit the whole schedule post-hoc; cleared only by DisarmAll.
+  std::map<std::string, int64_t> fire_history_ GUARDED_BY(mu_);
 };
 
 /// RAII guard over one armed fault point. Tests should prefer this to

@@ -1,5 +1,6 @@
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -147,6 +148,14 @@ TEST_F(FleetFaultTest, ReplicaDownDuringCutoverServesEveryRequest) {
 
   EXPECT_EQ(failed_requests.load(), 0);
   EXPECT_EQ(served_v1.load() + served_v2.load(), total);
+  // The drill really exercised both faults, asserted on the injector's
+  // cumulative history (which survives the ScopedFault guards): the stall
+  // held the roll exactly once, and the downed replica really failed
+  // batches — at least one, at most its armed budget (scheduling decides
+  // how many of the 4 land before the breakers shield the replica).
+  EXPECT_EQ(FaultInjector::Global().total_fires(kSwapStallFault), 1);
+  EXPECT_GE(FaultInjector::Global().total_fires(ReplicaDownPoint(0)), 1);
+  EXPECT_LE(FaultInjector::Global().total_fires(ReplicaDownPoint(0)), 4);
   FleetSnapshot stats = (*fleet)->Stats();
   EXPECT_EQ(stats.totals.completed, total);
   EXPECT_EQ(stats.totals.dropped_on_drain, 0);
@@ -185,6 +194,13 @@ TEST_F(FleetFaultTest, LoadFailureMidRollTriggersAutomaticRollback) {
     EXPECT_EQ(deploy.code(), StatusCode::kIoError);
     EXPECT_EQ(load_fail.fire_count(), 1);
   }
+  // The cumulative history still answers after the guard died, and it is
+  // the drill's only fired point — FireCounts doubles as a "no other fault
+  // leaked into this scenario" check.
+  EXPECT_EQ(FaultInjector::Global().total_fires(kLoadFailFault), 1);
+  std::map<std::string, int64_t> fired = FaultInjector::Global().FireCounts();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired.begin()->first, kLoadFailFault);
 
   // The fleet is whole again on version 1: registry, every shard, and the
   // next served prediction all agree.
@@ -254,6 +270,7 @@ TEST_F(FleetFaultTest, ServingContinuesWhileDeployIsStalled) {
   }
   EXPECT_EQ(served_during_stall, 8);
   deployer.join();
+  EXPECT_EQ(FaultInjector::Global().total_fires(kSwapStallFault), 1);
   EXPECT_EQ((*fleet)->active_version(), 2);
   (*fleet)->Shutdown();
   std::remove(path_v1.c_str());

@@ -63,12 +63,14 @@ TEST(StatsGoldenTest, SwapRollbackAndDrainCounters) {
   stats.RecordSwap();
   stats.RecordSwap(/*rollback=*/true);
   stats.RecordSwap();
+  stats.RecordReplicaReplaced();
   stats.RecordDroppedOnDrain();
   stats.RecordDroppedOnDrain();
 
   StatsSnapshot s = stats.Snapshot();
   EXPECT_EQ(s.swaps, 3);
   EXPECT_EQ(s.rollbacks, 1);
+  EXPECT_EQ(s.replicas_replaced, 1);
   EXPECT_EQ(s.dropped_on_drain, 2);
 }
 
@@ -85,6 +87,7 @@ StatsSnapshot FixtureSnapshot() {
   s.batches = 6;
   s.swaps = 7;
   s.rollbacks = 2;
+  s.replicas_replaced = 1;
   s.dropped_on_drain = 0;
   s.served_by_version = {{1, 6}, {2, 4}};
   s.served_version_overflow = 0;
@@ -105,6 +108,7 @@ TEST(StatsGoldenTest, SnapshotJsonMatchesGoldenString) {
       "{\"completed\": 10, \"rejected\": 1, \"shed\": 2, "
       "\"deadline_expired\": 3, \"replica_failures\": 4, \"retries\": 5, "
       "\"batches\": 6, \"swaps\": 7, \"rollbacks\": 2, "
+      "\"replicas_replaced\": 1, "
       "\"dropped_on_drain\": 0, \"served_by_version\": {\"1\": 6, \"2\": 4}, "
       "\"served_version_overflow\": 0, \"mean_batch_size\": 2.500, "
       "\"p50_us\": 100.0, \"p95_us\": 200.0, \"p99_us\": 400.0, "
@@ -120,6 +124,7 @@ TEST(StatsGoldenTest, AggregateCountersSumsAndMerges) {
   b.batches = 10;
   b.swaps = 1;
   b.rollbacks = 1;
+  b.replicas_replaced = 2;
   b.dropped_on_drain = 1;
   b.served_by_version = {{2, 10}, {5, 20}};
   b.served_version_overflow = 3;
@@ -137,6 +142,7 @@ TEST(StatsGoldenTest, AggregateCountersSumsAndMerges) {
   EXPECT_EQ(total.batches, 16);
   EXPECT_EQ(total.swaps, 8);
   EXPECT_EQ(total.rollbacks, 3);
+  EXPECT_EQ(total.replicas_replaced, 3);
   EXPECT_EQ(total.dropped_on_drain, 1);
   EXPECT_EQ(total.served_version_overflow, 3);
   // Version 2 appears in both parts and merges; 1 and 5 pass through.
@@ -165,16 +171,31 @@ TEST(StatsGoldenTest, FleetSnapshotJsonCarriesVersionsAndShards) {
   FleetSnapshot fleet;
   fleet.active_version = 2;
   fleet.previous_version = 1;
+  fleet.canary_version = 3;
   fleet.admission_rejected = 5;
+  fleet.supervisor.polls = 11;
+  fleet.supervisor.replicas_replaced = 2;
   fleet.per_shard = {FixtureSnapshot(), FixtureSnapshot()};
-  fleet.totals = AggregateCounters(fleet.per_shard);
+  // Mirrors Fleet::Stats: totals fold the canary's counters in alongside
+  // the shards.
+  std::vector<StatsSnapshot> parts = fleet.per_shard;
+  parts.push_back(fleet.canary);
+  fleet.totals = AggregateCounters(parts);
 
   std::string json = fleet.ToJson();
   EXPECT_NE(json.find("\"active_version\": 2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"previous_version\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"canary_version\": 3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"admission_rejected\": 5"), std::string::npos)
       << json;
+  EXPECT_NE(json.find("\"supervisor\": {\"polls\": 11, "
+                      "\"replicas_replaced\": 2, \"load_failures\": 0, "
+                      "\"budget_exhausted\": 0}"),
+            std::string::npos)
+      << json;
   EXPECT_NE(json.find("\"totals\": {\"completed\": 20"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"canary\": {\"completed\": 0"), std::string::npos)
       << json;
   // Exactly two per-shard objects.
   EXPECT_NE(json.find("\"per_shard\": [{"), std::string::npos) << json;
@@ -183,7 +204,7 @@ TEST(StatsGoldenTest, FleetSnapshotJsonCarriesVersionsAndShards) {
        pos = json.find("\"completed\"", pos + 1)) {
     ++count;
   }
-  EXPECT_EQ(count, 3u);  // totals + 2 shards
+  EXPECT_EQ(count, 4u);  // totals + canary + 2 shards
 }
 
 }  // namespace

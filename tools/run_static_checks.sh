@@ -10,6 +10,8 @@
 # 4. the SIMD scalar/AVX2 equivalence tier (ctest -L simd)    [if built]
 # 5. the indexed-KNN equivalence tier (ctest -L knn)          [if built]
 # 6. the fleet serving acceptance tier (ctest -L fleet)       [if built]
+# 7. the fleet chaos drill tier (ctest -L chaos), in the      [if built]
+#    default build plus build-tsan / build-asan when present
 #
 # Steps whose toolchain is missing are SKIPPED with a notice, not failed:
 # the GCC-only container still gets the lint gate, while a developer
@@ -85,7 +87,20 @@ if clangxx="$(find_llvm_tool clang++)"; then
   command -v "$clangcc" > /dev/null 2>&1 || clangcc="$clangxx"
   echo "using $clangxx ($("$clangxx" --version | head -n 1))"
   tsa_dir="$build_dir-tsa"
-  if CC="$clangcc" CXX="$clangxx" cmake -B "$tsa_dir" -S "$repo_root" \
+  # A cache configured for a different compiler (e.g. an earlier GCC run of
+  # this script, or a clang upgrade) would silently win over environment
+  # variables on reconfigure — CMake ignores CC/CXX once a cache exists. So
+  # the compiler is pinned with explicit -DCMAKE_*_COMPILER flags, and a
+  # cache that disagrees with them is wiped rather than trusted.
+  if [[ -f "$tsa_dir/CMakeCache.txt" ]] &&
+      ! grep -q "CMAKE_CXX_COMPILER:.*$(command -v "$clangxx")" \
+          "$tsa_dir/CMakeCache.txt" 2> /dev/null; then
+    echo "stale cache in $tsa_dir (different compiler); reconfiguring fresh"
+    rm -rf "$tsa_dir"
+  fi
+  if cmake -B "$tsa_dir" -S "$repo_root" \
+        -DCMAKE_C_COMPILER="$(command -v "$clangcc")" \
+        -DCMAKE_CXX_COMPILER="$(command -v "$clangxx")" \
         -DEOS_ENABLE_THREAD_SAFETY_ANALYSIS=ON -DEOS_WERROR=ON > /dev/null &&
       cmake --build "$tsa_dir" -j > /dev/null; then
     echo "thread-safety analysis: clean"
@@ -148,6 +163,34 @@ if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
   fi
 else
   echo "SKIPPED: $build_dir has no ctest config (build the tree first)"
+fi
+
+# --- 7. fleet chaos drill tier ----------------------------------------------
+# The scripted kill/stall/bad-deploy drill (bench/fleet_chaos) under
+# closed-loop load: supervisor recovery witnessed, bad canaries auto-abort,
+# a healthy one promotes, zero failed client requests, bitwise per-version
+# serving. Runs in the default build and again in each sanitizer build that
+# exists next to it — the drill is exactly the concurrency soup TSan and
+# ASan are for.
+step "fleet chaos drills (ctest -L chaos)"
+chaos_ran=0
+for chaos_dir in "$build_dir" "$build_dir-tsan" "$build_dir-asan" \
+    "${build_dir%/build}/build-tsan" "${build_dir%/build}/build-asan"; do
+  [[ -f "$chaos_dir/CTestTestfile.cmake" ]] || continue
+  # The two spellings above can alias each other; run each real dir once.
+  case " ${chaos_seen:-} " in *" $chaos_dir "*) continue ;; esac
+  chaos_seen="${chaos_seen:-} $chaos_dir"
+  chaos_ran=1
+  echo "--- chaos tier in $chaos_dir"
+  if (cd "$chaos_dir" && ctest -L chaos --output-on-failure); then
+    echo "chaos tier ($chaos_dir): clean"
+  else
+    echo "FAIL: chaos drill failures above ($chaos_dir)"
+    failures=$((failures + 1))
+  fi
+done
+if [[ "$chaos_ran" -eq 0 ]]; then
+  echo "SKIPPED: no built tree with a ctest config found"
 fi
 
 step "summary"
