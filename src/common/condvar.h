@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "common/debug_mutex.h"
 #include "common/thread_annotations.h"
 
 /// \file
@@ -61,6 +62,56 @@ class CondVar {
     return cv_.wait_until(lock, deadline);
   }
 
+  /// DebugMutex overloads. A std::condition_variable can only wait on a
+  /// std::mutex, so these adopt the DebugMutex's wrapped mutex for the
+  /// duration of the wait and release it back afterwards — the
+  /// std::unique_lock<DebugMutex> continuously believes (correctly) that it
+  /// owns the lock across the call. Lock-order bookkeeping is untouched on
+  /// purpose: the acquisition edge was drawn when the DebugMutex was first
+  /// locked, and the wait's internal unlock/relock of the *same* mutex
+  /// cannot change its order against anything else this thread holds.
+  void Wait(std::unique_lock<DebugMutex>& lock, DebugMutex& mu) REQUIRES(mu) {
+    CheckPairing(lock, mu);
+    std::unique_lock<std::mutex> inner(mu.inner(), std::adopt_lock);
+    cv_.wait(inner);
+    (void)inner.release();  // ownership stays with the outer lock
+  }
+
+  /// Predicate form, re-checking after every wakeup with the lock held.
+  template <typename Pred>
+  void Wait(std::unique_lock<DebugMutex>& lock, DebugMutex& mu, Pred pred)
+      REQUIRES(mu) {
+    CheckPairing(lock, mu);
+    std::unique_lock<std::mutex> inner(mu.inner(), std::adopt_lock);
+    cv_.wait(inner, std::move(pred));
+    (void)inner.release();  // ownership stays with the outer lock
+  }
+
+  /// Blocks until notified or `deadline` passes.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      std::unique_lock<DebugMutex>& lock, DebugMutex& mu,
+      const std::chrono::time_point<Clock, Duration>& deadline) REQUIRES(mu) {
+    CheckPairing(lock, mu);
+    std::unique_lock<std::mutex> inner(mu.inner(), std::adopt_lock);
+    std::cv_status status = cv_.wait_until(inner, deadline);
+    (void)inner.release();  // ownership stays with the outer lock
+    return status;
+  }
+
+  /// Blocks until `pred()` is true or `timeout` elapses; returns the final
+  /// predicate value (std::condition_variable::wait_for semantics).
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(std::unique_lock<DebugMutex>& lock, DebugMutex& mu,
+               const std::chrono::duration<Rep, Period>& timeout, Pred pred)
+      REQUIRES(mu) {
+    CheckPairing(lock, mu);
+    std::unique_lock<std::mutex> inner(mu.inner(), std::adopt_lock);
+    bool result = cv_.wait_for(inner, timeout, std::move(pred));
+    (void)inner.release();  // ownership stays with the outer lock
+    return result;
+  }
+
   /// Notify methods do not require the mutex: notifying after releasing the
   /// lock is the normal low-contention pattern (the waiter re-checks its
   /// predicate under the lock anyway).
@@ -70,6 +121,12 @@ class CondVar {
  private:
   static void CheckPairing(const std::unique_lock<std::mutex>& lock,
                            const std::mutex& mu) {
+    EOS_CHECK(lock.mutex() == &mu);
+    EOS_CHECK(lock.owns_lock());
+  }
+
+  static void CheckPairing(const std::unique_lock<DebugMutex>& lock,
+                           const DebugMutex& mu) {
     EOS_CHECK(lock.mutex() == &mu);
     EOS_CHECK(lock.owns_lock());
   }

@@ -1,0 +1,76 @@
+#ifndef EOS_COMMON_DEBUG_MUTEX_H_
+#define EOS_COMMON_DEBUG_MUTEX_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace eos {
+
+/// A named std::mutex that participates in runtime lock-order deadlock
+/// detection (common/lock_order.h). Drop-in for std::mutex — it satisfies
+/// *Lockable*, so std::lock_guard / std::unique_lock / std::scoped_lock all
+/// work — and carries clang thread-safety-analysis capability annotations,
+/// so GUARDED_BY(mu_) on a DebugMutex member checks exactly like on a
+/// std::mutex.
+///
+/// The name is a diagnostic label ("Fleet.deploy_mu_"); identity in the
+/// order graph is the *instance*, so two objects of the same class locking
+/// their own members never constrain each other. Construction registers the
+/// instance, destruction retires it and its recorded edges.
+///
+/// When detection is off (the default unless the build sets
+/// -DEOS_ENABLE_DEADLOCK_DETECT or the process sets EOS_DEADLOCK_DETECT=1),
+/// each operation costs one relaxed atomic load over a plain std::mutex.
+///
+/// Waiting on a CondVar with a DebugMutex held uses the CondVar overloads
+/// taking std::unique_lock<DebugMutex> (common/condvar.h); they wait on the
+/// wrapped mutex via inner() without disturbing the held-lock bookkeeping —
+/// the lock was recorded at acquisition, and the wait's internal
+/// unlock/relock cannot change its order against anything else this thread
+/// holds.
+class CAPABILITY("mutex") DebugMutex {
+ public:
+  explicit DebugMutex(const char* name)
+      : id_(lock_order::Register(name)) {}
+  ~DebugMutex() { lock_order::Unregister(id_); }
+
+  DebugMutex(const DebugMutex&) = delete;
+  DebugMutex& operator=(const DebugMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    // Edges are drawn before blocking: an inversion aborts with the
+    // diagnostic instead of deadlocking in the unlucky interleaving.
+    if (lock_order::Enabled()) lock_order::OnAcquire(id_);
+    mu_.lock();
+  }
+
+  void unlock() RELEASE() {
+    mu_.unlock();
+    if (lock_order::Enabled()) lock_order::OnRelease(id_);
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // A try that succeeds established the same ordering facts as a blocking
+    // acquire; a try that fails established nothing.
+    if (lock_order::Enabled()) lock_order::OnAcquire(id_);
+    return true;
+  }
+
+  /// The wrapped mutex, for CondVar waits only: a condition variable must
+  /// unlock/relock the real mutex. Never lock this directly — that would
+  /// bypass the order bookkeeping.
+  std::mutex& inner() { return mu_; }
+
+ private:
+  // lint:allow(unannotated-mutex) the wrapper itself IS the capability
+  std::mutex mu_;
+  const uint32_t id_;
+};
+
+}  // namespace eos
+
+#endif  // EOS_COMMON_DEBUG_MUTEX_H_

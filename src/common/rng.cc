@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/check.h"
+
 namespace eos {
 
 namespace {

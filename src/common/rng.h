@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/check.h"
 
 namespace eos {
 

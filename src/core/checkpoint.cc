@@ -7,6 +7,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/check.h"
 #include "common/crc32.h"
 #include "common/string_util.h"
 #include "nn/optimizer.h"

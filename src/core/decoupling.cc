@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "data/batcher.h"
 #include "losses/cross_entropy.h"
 #include "nn/linear.h"

@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "data/transforms.h"
 #include "metrics/weight_norms.h"

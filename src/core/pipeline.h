@@ -2,7 +2,6 @@
 #define EOS_CORE_PIPELINE_H_
 
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "core/three_phase.h"

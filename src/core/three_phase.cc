@@ -1,5 +1,6 @@
 #include "core/three_phase.h"
 
+#include "common/check.h"
 #include "data/batcher.h"
 #include "losses/cross_entropy.h"
 #include "nn/linear.h"

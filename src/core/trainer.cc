@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "data/batcher.h"
 #include "data/transforms.h"
 #include "nn/optimizer.h"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.h"
 #include "tensor/tensor_ops.h"
 
 namespace eos {

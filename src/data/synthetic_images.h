@@ -2,7 +2,6 @@
 #define EOS_DATA_SYNTHETIC_IMAGES_H_
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "common/rng.h"

@@ -1,5 +1,7 @@
 #include "data/transforms.h"
 
+#include "common/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "data/batcher.h"
 #include "nn/mlp.h"
 #include "tensor/tensor_ops.h"

@@ -1,7 +1,7 @@
 #include "gan/cgan.h"
 
-#include <algorithm>
 
+#include "common/check.h"
 #include "data/batcher.h"
 #include "nn/mlp.h"
 #include "tensor/tensor_ops.h"

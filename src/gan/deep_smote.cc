@@ -1,5 +1,6 @@
 #include "gan/deep_smote.h"
 
+#include "common/check.h"
 #include "data/batcher.h"
 #include "ml/knn.h"
 #include "nn/mlp.h"

@@ -1,5 +1,6 @@
 #include "gan/gamo_like.h"
 
+#include "common/check.h"
 #include "data/batcher.h"
 #include "nn/mlp.h"
 #include "tensor/matmul.h"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "tensor/tensor_ops.h"
 
 namespace eos {

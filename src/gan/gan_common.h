@@ -2,7 +2,6 @@
 #define EOS_GAN_GAN_COMMON_H_
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "common/rng.h"

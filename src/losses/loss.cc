@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "losses/asl.h"
 #include "losses/cross_entropy.h"
 #include "losses/focal.h"

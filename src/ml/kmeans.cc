@@ -1,5 +1,7 @@
 #include "ml/kmeans.h"
 
+#include "common/check.h"
+
 #include <algorithm>
 
 namespace eos {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/check.h"
 #include "ml/knn_index.h"
 #include "runtime/parallel_for.h"
 

@@ -9,6 +9,7 @@
 #include <queue>
 #include <utility>
 
+#include "common/check.h"
 #include "runtime/parallel_for.h"
 
 namespace eos {

@@ -1,5 +1,6 @@
 #include "ml/linear_svm.h"
 
+#include "common/check.h"
 #include "data/batcher.h"
 #include "tensor/matmul.h"
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "tensor/simd/dispatch.h"
 
 namespace eos::nn {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/check.h"
 #include "nn/init.h"
 #include "runtime/parallel_for.h"
 #include "tensor/im2col.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "nn/blocks.h"
 #include "nn/linear.h"

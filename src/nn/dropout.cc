@@ -1,5 +1,7 @@
 #include "nn/dropout.h"
 
+#include "common/check.h"
+
 namespace eos::nn {
 
 Dropout::Dropout(float p, uint64_t seed) : p_(p), rng_(seed, /*stream=*/29) {

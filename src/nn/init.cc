@@ -1,5 +1,7 @@
 #include "nn/init.h"
 
+#include "common/check.h"
+
 #include <cmath>
 
 namespace eos::nn {

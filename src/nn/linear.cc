@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.h"
 #include "nn/init.h"
 #include "tensor/matmul.h"
 #include "tensor/simd/dispatch.h"

@@ -1,5 +1,6 @@
 #include "nn/mlp.h"
 
+#include "common/check.h"
 #include "nn/linear.h"
 #include "nn/relu.h"
 

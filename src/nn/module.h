@@ -1,7 +1,6 @@
 #ifndef EOS_NN_MODULE_H_
 #define EOS_NN_MODULE_H_
 
-#include <memory>
 #include <string>
 #include <vector>
 

@@ -1,5 +1,7 @@
 #include "nn/optimizer.h"
 
+#include "common/check.h"
+
 #include <cmath>
 
 namespace eos::nn {

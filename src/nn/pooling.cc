@@ -1,5 +1,7 @@
 #include "nn/pooling.h"
 
+#include "common/check.h"
+
 namespace eos::nn {
 
 Tensor GlobalAvgPool2d::Forward(const Tensor& input, bool training) {

@@ -1,5 +1,6 @@
 #include "nn/resnet.h"
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "nn/blocks.h"
 #include "nn/linear.h"

@@ -1,5 +1,7 @@
 #include "nn/sequential.h"
 
+#include "common/check.h"
+
 namespace eos::nn {
 
 Sequential* Sequential::Add(std::unique_ptr<Module> module) {

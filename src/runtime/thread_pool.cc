@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 
 #include "common/thread_annotations.h"
 
@@ -17,7 +18,7 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<DebugMutex> lock(mu_);
     stop_ = true;
   }
   cv_.NotifyAll();
@@ -26,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<DebugMutex> lock(mu_);
     queue_.push_back(std::move(job));
   }
   cv_.NotifyOne();
@@ -36,7 +37,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<DebugMutex> lock(mu_);
       cv_.Wait(lock, mu_, [this] { return stop_ || !queue_.empty(); });
       // Drain the queue even when stopping: queued jobs may hold the last
       // reference to a ParallelFor region another thread is retiring.

@@ -3,11 +3,11 @@
 
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/condvar.h"
+#include "common/debug_mutex.h"
 #include "common/thread_annotations.h"
 
 /// \file
@@ -44,7 +44,7 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
+  DebugMutex mu_{"ThreadPool.mu_"};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;

@@ -1,5 +1,6 @@
 #include "sampling/balanced_svm_os.h"
 
+#include "common/check.h"
 #include "ml/linear_svm.h"
 #include "sampling/smote.h"
 #include "tensor/tensor_ops.h"

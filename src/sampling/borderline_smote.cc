@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "ml/knn.h"
 #include "ml/knn_index.h"
 #include "tensor/tensor_ops.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "ml/kmeans.h"
 #include "tensor/tensor_ops.h"
 

@@ -1,4 +1,5 @@
 #include "sampling/oversampler.h"
+#include "common/check.h"
 #include "tensor/tensor_ops.h"
 
 #include <algorithm>

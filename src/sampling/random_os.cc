@@ -1,6 +1,7 @@
 #include "sampling/random_os.h"
 
-#include "tensor/tensor_ops.h"
+#include "common/check.h"
+
 
 namespace eos {
 

@@ -1,6 +1,7 @@
 #include "sampling/remix.h"
 
-#include "tensor/tensor_ops.h"
+#include "common/check.h"
+
 
 namespace eos {
 

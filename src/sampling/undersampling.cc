@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/check.h"
 #include "ml/knn_index.h"
 #include "sampling/smote.h"
-#include "tensor/tensor_ops.h"
 
 namespace eos {
 

@@ -8,7 +8,6 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
-#include "common/thread_annotations.h"
 #include "testing/fault_injection.h"
 
 namespace eos::serve {
@@ -84,7 +83,7 @@ Result<std::future<Result<Prediction>>> Fleet::Submit(
     std::shared_ptr<Server> canary;
     uint64_t cutoff = 0;
     {
-      std::lock_guard<std::mutex> lock(canary_mu_);
+      std::lock_guard<DebugMutex> lock(canary_mu_);
       canary = canary_server_;
       cutoff = canary_cutoff_;
     }
@@ -191,7 +190,7 @@ Status Fleet::RollShards(int64_t version, const std::string& checkpoint_path) {
 
 Status Fleet::DeployCheckpoint(int64_t version,
                                const std::string& checkpoint_path) {
-  std::lock_guard<std::mutex> lock(deploy_mu_);
+  std::lock_guard<DebugMutex> lock(deploy_mu_);
   if (shutdown_) {
     return Status::FailedPrecondition("fleet is shut down; cannot deploy");
   }
@@ -213,7 +212,7 @@ Result<CanaryReport> Fleet::CanaryDeploy(int64_t version,
   // Held for the entire canary lifetime: deploys, rollbacks, and
   // supervisor splices wait out the evaluation, and Shutdown signals
   // shutdown_requested_ first so this never starves the drain.
-  std::lock_guard<std::mutex> lock(deploy_mu_);
+  std::lock_guard<DebugMutex> lock(deploy_mu_);
   if (shutdown_) {
     return Status::FailedPrecondition("fleet is shut down; cannot canary");
   }
@@ -268,7 +267,7 @@ Result<CanaryReport> Fleet::CanaryDeploy(int64_t version,
   auto canary = std::make_shared<Server>(std::move(sessions),
                                          canary_server_options);
   {
-    std::lock_guard<std::mutex> canary_lock(canary_mu_);
+    std::lock_guard<DebugMutex> canary_lock(canary_mu_);
     canary_server_ = canary;
     canary_cutoff_ = CanaryCutoff(canary_options.keyspace_fraction);
     canary_version_ = version;
@@ -358,7 +357,7 @@ void Fleet::RetireCanary() {
   canary_on_.store(false, std::memory_order_release);
   std::shared_ptr<Server> canary;
   {
-    std::lock_guard<std::mutex> lock(canary_mu_);
+    std::lock_guard<DebugMutex> lock(canary_mu_);
     canary = std::move(canary_server_);
     canary_server_ = nullptr;
     canary_version_ = 0;
@@ -371,7 +370,7 @@ void Fleet::RetireCanary() {
   canary->Shutdown();
   StatsSnapshot final_stats = canary->Stats();
   {
-    std::lock_guard<std::mutex> lock(canary_mu_);
+    std::lock_guard<DebugMutex> lock(canary_mu_);
     retired_canary_ = AggregateCounters({retired_canary_, final_stats});
   }
 }
@@ -381,7 +380,7 @@ Status Fleet::SpliceShardReplica(int shard, int replica,
                                  int64_t expected_version) {
   EOS_CHECK_GE(shard, 0);
   EOS_CHECK_LT(shard, num_shards());
-  std::lock_guard<std::mutex> lock(deploy_mu_);
+  std::lock_guard<DebugMutex> lock(deploy_mu_);
   if (shutdown_) {
     return Status::FailedPrecondition("fleet is shut down; cannot splice");
   }
@@ -401,7 +400,7 @@ Status Fleet::SpliceShardReplica(int shard, int replica,
 }
 
 Status Fleet::Rollback() {
-  std::lock_guard<std::mutex> lock(deploy_mu_);
+  std::lock_guard<DebugMutex> lock(deploy_mu_);
   if (shutdown_) {
     return Status::FailedPrecondition("fleet is shut down; cannot roll back");
   }
@@ -428,7 +427,7 @@ void Fleet::Shutdown() {
   // and reloads checkpoints, none of which should race teardown.
   if (supervisor_ != nullptr) supervisor_->Stop();
   {
-    std::lock_guard<std::mutex> lock(deploy_mu_);
+    std::lock_guard<DebugMutex> lock(deploy_mu_);
     shutdown_ = true;
   }
   // CanaryDeploy retires its canary on every exit path; this is a no-op
@@ -446,7 +445,7 @@ FleetSnapshot Fleet::Stats() const {
     snapshot.per_shard.push_back(shard->Stats());
   }
   {
-    std::lock_guard<std::mutex> lock(canary_mu_);
+    std::lock_guard<DebugMutex> lock(canary_mu_);
     snapshot.canary = retired_canary_;
     if (canary_server_ != nullptr) {
       snapshot.canary =

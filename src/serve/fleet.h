@@ -6,10 +6,10 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/debug_mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "nn/network.h"
@@ -268,7 +268,7 @@ class Fleet {
 
   /// Serializes deploys, canaries, rollbacks, supervisor splices, and
   /// shutdown against each other (the serving path never takes it).
-  std::mutex deploy_mu_;
+  DebugMutex deploy_mu_{"Fleet.deploy_mu_"};
   /// Per-shard displaced sets from the last successful deploy or rollback —
   /// the sessions Rollback() reinstalls without touching disk. Empty until
   /// the first deploy completes.
@@ -283,7 +283,7 @@ class Fleet {
   /// Canary fast gate: Submit consults canary_mu_ only while this is true,
   /// so steady-state routing costs one relaxed-ish load.
   std::atomic<bool> canary_on_{false};
-  mutable std::mutex canary_mu_;
+  mutable DebugMutex canary_mu_{"Fleet.canary_mu_"};
   std::shared_ptr<Server> canary_server_ GUARDED_BY(canary_mu_);
   uint64_t canary_cutoff_ GUARDED_BY(canary_mu_) = 0;
   int64_t canary_version_ GUARDED_BY(canary_mu_) = 0;

@@ -1,10 +1,11 @@
 #include "serve/micro_batcher.h"
 
 #include <algorithm>
+#include <mutex>
 #include <utility>
 
+#include "common/check.h"
 #include "common/string_util.h"
-#include "common/thread_annotations.h"
 #include "testing/fault_injection.h"
 
 namespace eos::serve {
@@ -22,7 +23,7 @@ MicroBatcher::MicroBatcher(const MicroBatcherOptions& options,
 }
 
 MicroBatcher::~MicroBatcher() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   // No consumer can hold mu_ once the destructor runs, but completing the
   // leftovers under it keeps the annotations honest and costs nothing.
   for (Request& request : queue_) {
@@ -39,7 +40,7 @@ Result<std::future<Result<Prediction>>> MicroBatcher::Submit(
   EOS_CHECK_GE(submit_options.timeout_us, 0);
   std::future<Result<Prediction>> future;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<DebugMutex> lock(mu_);
     if (shutdown_) {
       return Status::FailedPrecondition(
           "micro-batcher is shut down; no new requests accepted");
@@ -87,7 +88,7 @@ Result<std::future<Result<Prediction>>> MicroBatcher::Submit(
 
 bool MicroBatcher::NextBatch(std::vector<Request>& out) {
   out.clear();
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<DebugMutex> lock(mu_);
   for (;;) {
     if (!queue_.empty()) {
       // Hold the dispatch until the batch fills, the oldest request's delay
@@ -145,19 +146,19 @@ bool MicroBatcher::NextBatch(std::vector<Request>& out) {
 
 void MicroBatcher::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<DebugMutex> lock(mu_);
     shutdown_ = true;
   }
   cv_.NotifyAll();
 }
 
 bool MicroBatcher::shut_down() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   return shutdown_;
 }
 
 int64_t MicroBatcher::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   return static_cast<int64_t>(queue_.size());
 }
 

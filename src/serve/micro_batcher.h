@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
 #include "common/condvar.h"
+#include "common/debug_mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "serve/model_session.h"
@@ -127,7 +127,7 @@ class MicroBatcher {
   const MicroBatcherOptions options_;
   ServeStats* const stats_;  // may be null
 
-  mutable std::mutex mu_;
+  mutable DebugMutex mu_{"MicroBatcher.mu_"};
   CondVar cv_;
   std::deque<Request> queue_ GUARDED_BY(mu_);
   bool shutdown_ GUARDED_BY(mu_) = false;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "common/thread_annotations.h"
 #include "core/checkpoint.h"
 #include "core/trainer.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "common/thread_annotations.h"
 

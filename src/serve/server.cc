@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "common/thread_annotations.h"
 #include "testing/fault_injection.h"
@@ -58,7 +59,7 @@ Server::Server(std::vector<std::shared_ptr<ModelSession>> replicas,
     auto set = std::make_shared<ReplicaSet>();
     set->version = options_.initial_version;
     set->replicas = std::move(replicas);
-    std::lock_guard<std::mutex> lock(set_mu_);
+    std::lock_guard<DebugMutex> lock(set_mu_);
     active_set_ = std::move(set);
   }
   // Heartbeat slot per worker; one extra slot for the ServeOnce driver
@@ -128,7 +129,7 @@ void Server::WorkerLoop(size_t worker_index) {
 }
 
 std::shared_ptr<const ReplicaSet> Server::AcquireSet() const {
-  std::lock_guard<std::mutex> lock(set_mu_);
+  std::lock_guard<DebugMutex> lock(set_mu_);
   return active_set_;
 }
 
@@ -143,7 +144,7 @@ std::shared_ptr<const ReplicaSet> Server::SwapReplicas(
   set->replicas = std::move(replicas);
   std::shared_ptr<const ReplicaSet> previous;
   {
-    std::lock_guard<std::mutex> lock(set_mu_);
+    std::lock_guard<DebugMutex> lock(set_mu_);
     EOS_CHECK_NE(active_set_->version, version);
     previous = std::move(active_set_);
     active_set_ = std::move(set);
@@ -161,7 +162,7 @@ void Server::SpliceReplica(int replica, std::shared_ptr<ModelSession> session) {
   EOS_CHECK(session != nullptr);
   auto set = std::make_shared<ReplicaSet>();
   {
-    std::lock_guard<std::mutex> lock(set_mu_);
+    std::lock_guard<DebugMutex> lock(set_mu_);
     set->version = active_set_->version;
     set->replicas = active_set_->replicas;
     set->replicas[static_cast<size_t>(replica)] = std::move(session);
@@ -247,7 +248,7 @@ void Server::RunBatch(int heartbeat_slot, int preferred_replica,
 void Server::Shutdown() {
   std::unique_ptr<runtime::ThreadPool> workers;
   {
-    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    std::unique_lock<DebugMutex> lock(shutdown_mu_);
     if (shutdown_started_) {
       // Another caller claimed the drain; wait it out so that returning
       // from Shutdown always means "fully drained", then nothing to do.
@@ -274,7 +275,7 @@ void Server::Shutdown() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    std::lock_guard<DebugMutex> lock(shutdown_mu_);
     shutdown_done_ = true;
   }
   shutdown_cv_.NotifyAll();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/condvar.h"
+#include "common/debug_mutex.h"
 #include "common/rng.h"
 #include "common/thread_annotations.h"
 #include "runtime/thread_pool.h"
@@ -204,7 +205,7 @@ class Server {
   /// slots, and worker homes are all sized to it, so SwapReplicas requires
   /// the incoming set to match.
   const int num_replicas_;
-  mutable std::mutex set_mu_;
+  mutable DebugMutex set_mu_{"Server.set_mu_"};
   std::shared_ptr<const ReplicaSet> active_set_ GUARDED_BY(set_mu_);
   ServeStats stats_;
   MicroBatcher batcher_;
@@ -213,7 +214,7 @@ class Server {
   // loops, which exit once the (already shut down) batcher drains. Shutdown
   // moves the pool out under shutdown_mu_ and joins it unlocked.
   std::unique_ptr<runtime::ThreadPool> workers_ GUARDED_BY(shutdown_mu_);
-  std::mutex shutdown_mu_;
+  DebugMutex shutdown_mu_{"Server.shutdown_mu_"};
   CondVar shutdown_cv_;
   bool shutdown_started_ GUARDED_BY(shutdown_mu_) = false;
   bool shutdown_done_ GUARDED_BY(shutdown_mu_) = false;

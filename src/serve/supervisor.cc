@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -46,38 +47,39 @@ FleetSupervisor::~FleetSupervisor() { Stop(); }
 
 void FleetSupervisor::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<DebugMutex> lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 SupervisorSnapshot FleetSupervisor::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   return snapshot_;
 }
 
 bool FleetSupervisor::WaitFor(
     const std::function<bool(const SupervisorSnapshot&)>& pred,
     int64_t timeout_us) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
-                      [&]() REQUIRES(mu_) { return pred(snapshot_); });
+  std::unique_lock<DebugMutex> lock(mu_);
+  return cv_.WaitFor(lock, mu_, std::chrono::microseconds(timeout_us),
+                     [&]() REQUIRES(mu_) { return pred(snapshot_); });
 }
 
 void FleetSupervisor::Loop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::microseconds(options_.poll_interval_us),
-                   [this]() REQUIRES(mu_) { return stop_; });
+      std::unique_lock<DebugMutex> lock(mu_);
+      cv_.WaitFor(lock, mu_,
+                  std::chrono::microseconds(options_.poll_interval_us),
+                  [this]() REQUIRES(mu_) { return stop_; });
       if (stop_) return;
     }
     SupervisorSnapshot delta;
     PollOnce(delta);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<DebugMutex> lock(mu_);
       snapshot_.polls += 1;
       snapshot_.replicas_replaced += delta.replicas_replaced;
       snapshot_.load_failures += delta.load_failures;
@@ -85,7 +87,7 @@ void FleetSupervisor::Loop() {
     }
     // Wake WaitFor callers after every sweep, not only on state changes:
     // "has the supervisor given up yet" is a question about polls too.
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 

@@ -1,13 +1,13 @@
 #ifndef EOS_SERVE_SUPERVISOR_H_
 #define EOS_SERVE_SUPERVISOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/condvar.h"
+#include "common/debug_mutex.h"
 #include "common/thread_annotations.h"
 
 /// \file
@@ -119,8 +119,8 @@ class FleetSupervisor {
   /// slots_[shard][replica]; sized lazily on the first poll.
   std::vector<std::vector<SlotState>> slots_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
+  mutable DebugMutex mu_{"FleetSupervisor.mu_"};
+  mutable CondVar cv_;
   SupervisorSnapshot snapshot_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
   std::thread thread_;

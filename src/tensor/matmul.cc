@@ -1,5 +1,6 @@
 #include "tensor/matmul.h"
 
+#include "common/check.h"
 #include "tensor/simd/dispatch.h"
 
 namespace eos {

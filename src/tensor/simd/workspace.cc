@@ -1,7 +1,6 @@
 #include "tensor/simd/workspace.h"
 
 #include <cstdlib>
-#include <utility>
 
 #include "common/check.h"
 #include "common/thread_annotations.h"

@@ -1,9 +1,9 @@
 #include "tensor/tensor.h"
 
-#include <algorithm>
-#include <numeric>
+#include "common/check.h"
 
-#include "common/string_util.h"
+#include <algorithm>
+
 
 namespace eos {
 

@@ -6,7 +6,6 @@
 #include <string>
 #include <vector>
 
-#include "common/check.h"
 #include "common/rng.h"
 
 namespace eos {

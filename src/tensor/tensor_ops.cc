@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/check.h"
 #include "runtime/parallel_for.h"
 #include "tensor/simd/dispatch.h"
 

@@ -4,7 +4,6 @@
 #include <thread>
 
 #include "common/check.h"
-#include "common/thread_annotations.h"
 
 namespace eos::testing {
 
@@ -29,7 +28,7 @@ void FaultInjector::ArmFailure(const std::string& point, int64_t count,
                                int64_t skip) {
   EOS_CHECK(count != 0);
   EOS_CHECK_GE(skip, 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   Point& p = points_[point];
   bool was_armed = Armed(p.fail_budget, p.stall_budget);
   p.fail_budget = count;
@@ -43,7 +42,7 @@ void FaultInjector::ArmStall(const std::string& point, int64_t stall_us,
   EOS_CHECK(count != 0);
   EOS_CHECK_GE(stall_us, 0);
   EOS_CHECK_GE(skip, 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   Point& p = points_[point];
   bool was_armed = Armed(p.fail_budget, p.stall_budget);
   p.stall_budget = count;
@@ -54,7 +53,7 @@ void FaultInjector::ArmStall(const std::string& point, int64_t stall_us,
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return;
   if (Armed(it->second.fail_budget, it->second.stall_budget)) {
@@ -64,31 +63,31 @@ void FaultInjector::Disarm(const std::string& point) {
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   points_.clear();
   fire_history_.clear();
   armed_points_.store(0, std::memory_order_relaxed);
 }
 
 int64_t FaultInjector::fire_count(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }
 
 int64_t FaultInjector::total_fires(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   auto it = fire_history_.find(point);
   return it == fire_history_.end() ? 0 : it->second;
 }
 
 std::map<std::string, int64_t> FaultInjector::FireCounts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   return fire_history_;
 }
 
 bool FaultInjector::ConsumeFailure(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end() || it->second.fail_budget == 0) return false;
   Point& p = it->second;
@@ -108,7 +107,7 @@ bool FaultInjector::ConsumeFailure(const std::string& point) {
 }
 
 int64_t FaultInjector::ConsumeStallUs(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<DebugMutex> lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end() || it->second.stall_budget == 0) return 0;
   Point& p = it->second;

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/debug_mutex.h"
 #include "common/thread_annotations.h"
 
 /// \file
@@ -117,7 +117,7 @@ class FaultInjector {
   // Fast-path gate: number of points with any armed behavior. Hooks bail
   // out on 0 without touching the mutex.
   std::atomic<int64_t> armed_points_{0};
-  mutable std::mutex mu_;
+  mutable DebugMutex mu_{"FaultInjector.mu_"};
   std::map<std::string, Point> points_ GUARDED_BY(mu_);
   /// Cumulative per-point fires, preserved across Disarm/re-arm so drills
   /// can audit the whole schedule post-hoc; cleared only by DisarmAll.

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace eos::testing {

@@ -1,5 +1,7 @@
 #include "tsne/tsne.h"
 
+#include "common/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <vector>

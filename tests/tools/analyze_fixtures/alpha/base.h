@@ -1,0 +1,9 @@
+#ifndef ALPHA_BASE_H_
+#define ALPHA_BASE_H_
+
+// Bottom-layer fixture: exports AlphaBase, includes nothing.
+struct AlphaBase {
+  int value = 0;
+};
+
+#endif  // ALPHA_BASE_H_

@@ -1,0 +1,9 @@
+#ifndef ALPHA_INVERTED_H_
+#define ALPHA_INVERTED_H_
+
+#include "beta/top.h"
+
+// Seeded layering violation: alpha (rank 0) reaching UP into beta (rank 1).
+inline int InvertedRank(const BetaTop& top) { return top.level; }
+
+#endif  // ALPHA_INVERTED_H_

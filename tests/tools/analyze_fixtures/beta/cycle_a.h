@@ -1,0 +1,12 @@
+#ifndef BETA_CYCLE_A_H_
+#define BETA_CYCLE_A_H_
+
+#include "beta/cycle_b.h"
+
+// Half of a seeded intra-module include cycle (layering stays silent on
+// same-module edges; only the cycle pass can catch this).
+struct CycleA {
+  CycleB* peer = nullptr;
+};
+
+#endif  // BETA_CYCLE_A_H_

@@ -1,0 +1,11 @@
+#ifndef BETA_CYCLE_B_H_
+#define BETA_CYCLE_B_H_
+
+#include "beta/cycle_a.h"
+
+// The other half of the seeded include cycle.
+struct CycleB {
+  CycleA* owner = nullptr;
+};
+
+#endif  // BETA_CYCLE_B_H_

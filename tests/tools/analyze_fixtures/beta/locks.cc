@@ -1,0 +1,12 @@
+#include <mutex>
+
+namespace {
+std::mutex g_cache_mu;
+}  // namespace
+
+// Seeded unannotated mutex: g_cache_mu is declared but no GUARDED_BY /
+// REQUIRES / ... annotation in this file ever names it.
+int Locked() {
+  std::lock_guard<std::mutex> lock(g_cache_mu);
+  return 1;
+}

@@ -1,0 +1,12 @@
+#ifndef BETA_TOP_H_
+#define BETA_TOP_H_
+
+#include "alpha/base.h"
+
+// Legal downward include: beta (rank 1) depending on alpha (rank 0).
+struct BetaTop {
+  AlphaBase base;
+  int level = 1;
+};
+
+#endif  // BETA_TOP_H_

@@ -1,0 +1,9 @@
+#include "beta/top.h"
+
+#include "alpha/base.h"
+#include "beta/cycle_a.h"  // lint:allow(unused-include) kept as suppression fixture
+
+// "alpha/base.h" is the seeded unused include: nothing it exports
+// (AlphaBase) is referenced below. "beta/top.h" is used (BetaTop) and the
+// cycle_a include is annotated away.
+int Level(const BetaTop& top) { return top.level; }

@@ -1,0 +1,10 @@
+#ifndef GAMMA_STRAY_H_
+#define GAMMA_STRAY_H_
+
+#include "alpha/base.h"
+
+// Seeded unknown module: "gamma" has no rank in the test layer DAG, so its
+// one cross-module include must be reported.
+inline int StrayValue(const AlphaBase& base) { return base.value; }
+
+#endif  // GAMMA_STRAY_H_

@@ -1,0 +1,246 @@
+#include "analyze.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+/// Tests for the architecture analyzer (tools/analyze): layering-DAG
+/// enforcement, include-cycle detection, the IWYU-lite unused-include pass,
+/// and the lock-annotation registry — each against a seeded mini source
+/// tree in tests/tools/analyze_fixtures/ (data, never compiled) with exact
+/// finding counts and `file:line` output format, mirroring the linter's
+/// fixture tests.
+
+namespace eos::analyze {
+namespace {
+
+std::vector<Layer> FixtureLayers() { return {{"alpha", 0}, {"beta", 1}}; }
+
+Result<TreeGraph> LoadFixtures() { return ScanTree(EOS_ANALYZE_FIXTURE_DIR); }
+
+std::vector<std::string> Formatted(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const Finding& finding : findings) {
+    out.push_back(scan::FormatFinding(finding));
+  }
+  return out;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+bool AnyWithPrefix(const std::vector<std::string>& lines,
+                   const std::string& prefix) {
+  return std::any_of(lines.begin(), lines.end(), [&](const std::string& line) {
+    return line.compare(0, prefix.size(), prefix) == 0;
+  });
+}
+
+// ------------------------------------------------------------ tree loading
+
+TEST(ScanTreeTest, ParsesEveryIncludeEdge) {
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->files.size(), 8u);
+  // Project edges: inverted->top, top->base, cycle_a->cycle_b,
+  // cycle_b->cycle_a, unused->{top, base, cycle_a}, stray->base; plus the
+  // <mutex> system edge from locks.cc.
+  int project = 0;
+  int system = 0;
+  for (const IncludeEdge& edge : graph->edges) {
+    (edge.system ? system : project)++;
+  }
+  EXPECT_EQ(project, 8);
+  EXPECT_EQ(system, 1);
+}
+
+TEST(ScanTreeTest, MissingRootIsNotFound) {
+  Result<TreeGraph> graph = ScanTree("/nonexistent/analyze/fixture/root");
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModuleOfTest, FirstPathSegment) {
+  EXPECT_EQ(ModuleOf("serve/server.h"), "serve");
+  EXPECT_EQ(ModuleOf("common/check.h"), "common");
+  EXPECT_EQ(ModuleOf("toplevel.h"), "");
+}
+
+// ---------------------------------------------------------------- layering
+
+TEST(CheckLayeringTest, FlagsInversionAndUnknownModuleWithExactLines) {
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::vector<Finding> findings = CheckLayering(*graph, FixtureLayers());
+  ASSERT_EQ(findings.size(), 2u);
+  std::vector<std::string> formatted = Formatted(findings);
+  // alpha (rank 0) including beta (rank 1) is the seeded inversion; gamma
+  // is the seeded undeclared module. Legal downward edges (beta -> alpha)
+  // and intra-module edges (the cycle pair) contribute nothing.
+  EXPECT_TRUE(AnyWithPrefix(formatted, "alpha/inverted.h:4: [layering]"));
+  EXPECT_TRUE(AnyWithPrefix(formatted, "gamma/stray.h:4: [layering]"));
+}
+
+TEST(CheckLayeringTest, DeclaredRanksMakeTheFixtureInversionLegal) {
+  // Flipping the ranks legalizes alpha -> beta (and outlaws beta -> alpha):
+  // the pass enforces exactly the declared DAG, nothing hard-coded.
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::vector<Finding> findings =
+      CheckLayering(*graph, {{"alpha", 1}, {"beta", 0}, {"gamma", 2}});
+  std::vector<std::string> formatted = Formatted(findings);
+  EXPECT_FALSE(AnyWithPrefix(formatted, "alpha/inverted.h"));
+  EXPECT_FALSE(AnyWithPrefix(formatted, "gamma/stray.h"));
+  // beta/top.h and beta/unused.cc now both reach UP into alpha.
+  EXPECT_EQ(CountRule(findings, "layering"), 2);
+}
+
+TEST(CheckLayeringTest, DefaultLayersAreUniqueAndAcyclicByConstruction) {
+  std::vector<Layer> layers = DefaultLayers();
+  ASSERT_FALSE(layers.empty());
+  std::vector<std::string> modules;
+  for (const Layer& layer : layers) {
+    modules.push_back(layer.module);
+    EXPECT_GE(layer.rank, 0) << layer.module;
+  }
+  std::sort(modules.begin(), modules.end());
+  EXPECT_TRUE(std::adjacent_find(modules.begin(), modules.end()) ==
+              modules.end())
+      << "duplicate module in DefaultLayers()";
+  // The modules the repo actually has must all be declared.
+  for (const char* required :
+       {"common", "runtime", "tensor", "serve", "sampling", "core"}) {
+    EXPECT_TRUE(std::find(modules.begin(), modules.end(), required) !=
+                modules.end())
+        << required;
+  }
+}
+
+// ------------------------------------------------------------------ cycles
+
+TEST(CheckIncludeCyclesTest, ReportsTheSeededCycleOnce) {
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::vector<Finding> findings = CheckIncludeCycles(*graph);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  // Anchored at the directive that closes the cycle, deduplicated across
+  // the two traversal entry points.
+  EXPECT_EQ(findings[0].path, "beta/cycle_b.h");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("beta/cycle_a.h"), std::string::npos);
+}
+
+// --------------------------------------------------------- unused includes
+
+TEST(CheckUnusedIncludesTest, FlagsOnlyTheSeededUnusedInclude) {
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::vector<Finding> findings = CheckUnusedIncludes(*graph);
+  // beta/unused.cc includes alpha/base.h without referencing AlphaBase.
+  // Everything else is kept: used exports (BetaTop, CycleA/CycleB), the
+  // <mutex> system include (its tokens are referenced), and the
+  // lint:allow(unused-include)-suppressed cycle_a include.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(scan::FormatFinding(findings[0]).substr(0, 36),
+            "beta/unused.cc:3: [unused-include] n");
+}
+
+// -------------------------------------------------------------- lock passes
+
+TEST(BuildLockRegistryTest, InventoriesTheFixtureMutex) {
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::vector<LockSite> registry = BuildLockRegistry(*graph);
+  ASSERT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry[0].path, "beta/locks.cc");
+  EXPECT_EQ(registry[0].line, 4);
+  EXPECT_EQ(registry[0].name, "g_cache_mu");
+  EXPECT_EQ(registry[0].type, "std::mutex");
+  EXPECT_EQ(registry[0].annotation_refs, 0);
+}
+
+TEST(CheckLockAnnotationsTest, FlagsTheUnannotatedMutex) {
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::vector<Finding> findings = CheckLockAnnotations(*graph);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unannotated-mutex");
+  EXPECT_EQ(findings[0].path, "beta/locks.cc");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("g_cache_mu"), std::string::npos);
+}
+
+// ------------------------------------------------------------- whole tree
+
+TEST(AnalyzeTreeTest, FixtureTreeProducesExactFindings) {
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::vector<Finding> findings = AnalyzeTree(*graph, FixtureLayers());
+  EXPECT_EQ(findings.size(), 5u);
+  EXPECT_EQ(CountRule(findings, "layering"), 2);
+  EXPECT_EQ(CountRule(findings, "include-cycle"), 1);
+  EXPECT_EQ(CountRule(findings, "unused-include"), 1);
+  EXPECT_EQ(CountRule(findings, "unannotated-mutex"), 1);
+  // Merged output is sorted by (path, line, rule).
+  std::vector<Finding> sorted = findings;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.path != b.path) return a.path < b.path;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  EXPECT_EQ(Formatted(findings), Formatted(sorted));
+}
+
+TEST(AnalyzeTreeTest, DeterministicAcrossRuns) {
+  Result<TreeGraph> first = LoadFixtures();
+  Result<TreeGraph> second = LoadFixtures();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(Formatted(AnalyzeTree(*first, FixtureLayers())),
+            Formatted(AnalyzeTree(*second, FixtureLayers())));
+}
+
+TEST(AnalyzeTreeTest, AnalyzeFixtureDirectoriesAreSkippedWhenNotTheRoot) {
+  // Scanning the PARENT of the fixture tree (tests/tools/) must not surface
+  // the deliberately-broken fixtures — they are analyzer test data.
+  Result<TreeGraph> graph =
+      ScanTree(std::string(EOS_ANALYZE_FIXTURE_DIR) + "/..");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  for (const scan::SourceFile& file : graph->files) {
+    EXPECT_EQ(file.path.find("analyze_fixtures"), std::string::npos)
+        << file.path;
+    EXPECT_EQ(file.path.find("lint_fixtures"), std::string::npos) << file.path;
+  }
+}
+
+// ------------------------------------------------------------------ output
+
+TEST(EmitTest, DotListsEveryDeclaredModuleAndCrossModuleEdge) {
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::string dot = LayeringDot(*graph, FixtureLayers());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(dot.find("\"beta\""), std::string::npos);
+  EXPECT_NE(dot.find("\"beta\" -> \"alpha\""), std::string::npos);
+}
+
+TEST(EmitTest, JsonCarriesLayersEdgesAndLockRegistry) {
+  Result<TreeGraph> graph = LoadFixtures();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  std::string json = AnalysisJson(*graph, FixtureLayers());
+  EXPECT_NE(json.find("\"layers\""), std::string::npos);
+  EXPECT_NE(json.find("\"module_edges\""), std::string::npos);
+  EXPECT_NE(json.find("\"locks\""), std::string::npos);
+  EXPECT_NE(json.find("g_cache_mu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eos::analyze

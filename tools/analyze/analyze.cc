@@ -1,0 +1,724 @@
+#include "analyze.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace eos::analyze {
+
+namespace {
+
+using scan::IsWordChar;
+using scan::SkipSpaces;
+using scan::SourceFile;
+using scan::TokenAt;
+
+/// Maximal identifier runs of `text`, as a set for O(log n) membership.
+std::set<std::string> WordRuns(const std::string& text) {
+  std::set<std::string> runs;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (!IsWordChar(text[i])) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < text.size() && IsWordChar(text[i])) ++i;
+    runs.insert(text.substr(start, i - start));
+  }
+  return runs;
+}
+
+/// Identifiers a project header is considered to "export": CamelCase types/
+/// functions, kConstants, and ALL_CAPS macros. House style makes every
+/// public name match, so over-collection only errs toward keeping includes.
+std::set<std::string> ExportedNames(const std::string& header_contents) {
+  std::set<std::string> exported;
+  for (const std::string& run :
+       WordRuns(scan::StripCommentsAndStrings(header_contents))) {
+    char first = run[0];
+    bool camel_or_macro = first >= 'A' && first <= 'Z';
+    bool k_constant = first == 'k' && run.size() > 1 && run[1] >= 'A' &&
+                      run[1] <= 'Z';
+    if (camel_or_macro || k_constant) exported.insert(run);
+  }
+  return exported;
+}
+
+/// Curated system-header exports for the IWYU-lite pass. Headers not listed
+/// here are never flagged (the pass cannot judge what it cannot model).
+const std::map<std::string, std::vector<std::string>>& SystemExports() {
+  static const auto* table = new std::map<std::string,
+                                          std::vector<std::string>>{
+      // lint:allow(naked-new) intentionally leaked function-local static
+      {"algorithm",
+       {"sort", "stable_sort", "min", "max", "minmax", "clamp", "find",
+        "find_if", "count", "count_if", "fill", "copy", "copy_if",
+        "transform", "lower_bound", "upper_bound", "unique", "remove",
+        "remove_if", "shuffle", "nth_element", "partial_sort",
+        "max_element", "min_element", "minmax_element", "all_of", "any_of",
+        "none_of", "for_each", "adjacent_find", "merge",
+        "reverse", "equal", "mismatch", "binary_search", "rotate",
+        "partition", "generate", "swap"}},
+      {"array", {"array"}},
+      {"atomic",
+       {"atomic", "atomic_flag", "atomic_thread_fence",
+        "memory_order_relaxed", "memory_order_acquire",
+        "memory_order_release", "memory_order_acq_rel",
+        "memory_order_seq_cst"}},
+      {"bitset", {"bitset"}},
+      {"cassert", {"assert"}},
+      {"cctype",
+       {"isalnum", "isalpha", "isdigit", "isspace", "isupper", "islower",
+        "tolower", "toupper", "ispunct", "isxdigit"}},
+      {"cerrno", {"errno"}},
+      {"cfloat", {"FLT_EPSILON", "DBL_EPSILON", "FLT_MAX", "DBL_MAX",
+                  "FLT_MIN", "DBL_MIN"}},
+      {"charconv", {"from_chars", "to_chars", "chars_format"}},
+      {"chrono",
+       {"chrono", "steady_clock", "duration", "duration_cast",
+        "time_point", "milliseconds", "microseconds", "nanoseconds",
+        "seconds", "minutes", "hours"}},
+      {"climits",
+       {"INT_MAX", "INT_MIN", "UINT_MAX", "LONG_MAX", "LONG_MIN",
+        "LLONG_MAX", "CHAR_BIT", "SIZE_MAX"}},
+      {"cmath",
+       {"sqrt", "pow", "exp", "log", "log2", "log10", "sin", "cos", "tan",
+        "tanh", "abs", "fabs", "floor", "ceil", "round", "lround", "fmod",
+        "isnan", "isinf", "isfinite", "hypot", "erf", "lgamma", "expm1",
+        "log1p", "cbrt", "copysign", "nan", "fmax", "fmin", "trunc",
+        "atan", "atan2", "asin", "acos", "sinh", "cosh", "llround",
+        "lrint", "llrint", "nearbyint", "remainder", "exp2", "M_PI",
+        "HUGE_VAL", "NAN", "INFINITY"}},
+      {"condition_variable",
+       {"condition_variable", "condition_variable_any", "cv_status",
+        "notify_all_at_thread_exit"}},
+      {"cstdarg", {"va_list", "va_start", "va_end", "va_arg", "va_copy"}},
+      {"cstddef",
+       {"size_t", "ptrdiff_t", "nullptr_t", "byte", "max_align_t",
+        "offsetof", "NULL"}},
+      {"cstdint",
+       {"int8_t", "uint8_t", "int16_t", "uint16_t", "int32_t", "uint32_t",
+        "int64_t", "uint64_t", "intptr_t", "uintptr_t", "intmax_t",
+        "uintmax_t", "INT8_MAX", "INT16_MAX", "INT32_MAX", "INT64_MAX",
+        "INT32_MIN", "INT64_MIN", "UINT32_MAX", "UINT64_MAX"}},
+      {"cstdio",
+       {"printf", "fprintf", "snprintf", "sprintf", "vsnprintf",
+        "vfprintf", "fopen", "fclose", "fread", "fwrite", "fflush",
+        "fgets", "fputs", "fputc", "fgetc", "fseek", "ftell", "rewind",
+        "perror", "puts", "putchar", "getchar", "stderr", "stdout",
+        "stdin", "FILE", "EOF", "SEEK_SET", "SEEK_CUR", "SEEK_END",
+        "BUFSIZ", "tmpfile"}},
+      {"cstdlib",
+       {"malloc", "free", "calloc", "realloc", "abort", "exit", "atexit",
+        "getenv", "setenv", "strtol", "strtoul", "strtoll", "strtod",
+        "atoi", "atol", "atof", "qsort", "bsearch", "aligned_alloc",
+        "EXIT_SUCCESS", "EXIT_FAILURE", "system", "abs", "labs",
+        "llabs"}},
+      {"cstring",
+       {"memcpy", "memset", "memmove", "memcmp", "strlen", "strcmp",
+        "strncmp", "strcpy", "strncpy", "strcat", "strncat", "strchr",
+        "strrchr", "strstr", "strerror", "strtok"}},
+      {"deque", {"deque"}},
+      {"exception",
+       {"exception", "exception_ptr", "current_exception",
+        "rethrow_exception", "make_exception_ptr", "terminate",
+        "uncaught_exceptions"}},
+      {"filesystem", {"filesystem"}},
+      {"fstream", {"ifstream", "ofstream", "fstream"}},
+      {"functional",
+       {"function", "bind", "ref", "cref", "invoke", "hash", "plus",
+        "minus", "less", "greater", "equal_to", "reference_wrapper",
+        "multiplies"}},
+      {"future",
+       {"future", "promise", "async", "shared_future", "packaged_task",
+        "launch", "future_status", "future_error"}},
+      {"initializer_list", {"initializer_list"}},
+      {"iomanip", {"setw", "setprecision", "setfill", "quoted"}},
+      {"iostream", {"cout", "cerr", "cin", "clog", "endl", "flush"}},
+      {"iterator",
+       {"back_inserter", "front_inserter", "inserter", "distance",
+        "advance", "next", "prev", "make_move_iterator"}},
+      {"limits", {"numeric_limits"}},
+      {"list", {"list"}},
+      {"map", {"map", "multimap"}},
+      {"memory",
+       {"unique_ptr", "shared_ptr", "weak_ptr", "make_unique",
+        "make_shared", "addressof", "enable_shared_from_this",
+        "static_pointer_cast", "const_pointer_cast",
+        "dynamic_pointer_cast", "allocator", "destroy_at",
+        "construct_at"}},
+      {"mutex",
+       {"mutex", "lock_guard", "unique_lock", "scoped_lock", "call_once",
+        "once_flag", "adopt_lock", "defer_lock", "try_to_lock",
+        "recursive_mutex", "timed_mutex"}},
+      {"numeric",
+       {"accumulate", "iota", "inner_product", "partial_sum", "reduce",
+        "gcd", "lcm", "midpoint", "adjacent_difference"}},
+      {"optional", {"optional", "nullopt", "make_optional"}},
+      {"queue", {"queue", "priority_queue"}},
+      {"set", {"set", "multiset"}},
+      {"span", {"span"}},
+      {"sstream", {"stringstream", "istringstream", "ostringstream"}},
+      {"stack", {"stack"}},
+      {"stdexcept",
+       {"runtime_error", "logic_error", "invalid_argument",
+        "out_of_range", "length_error", "domain_error", "range_error",
+        "overflow_error", "underflow_error"}},
+      {"string",
+       {"string", "char_traits", "to_string", "stoi", "stol", "stoll",
+        "stoul", "stod", "stof", "getline", "npos"}},
+      {"string_view", {"string_view"}},
+      {"system_error", {"error_code", "error_category", "system_error",
+                        "system_category", "generic_category"}},
+      {"thread",
+       {"thread", "this_thread", "yield", "sleep_for", "sleep_until",
+        "get_id", "jthread"}},
+      {"tuple",
+       {"tuple", "make_tuple", "tie", "tuple_size", "tuple_element",
+        "apply", "forward_as_tuple"}},
+      {"type_traits",
+       {"enable_if", "enable_if_t", "is_same", "is_same_v", "decay",
+        "decay_t", "remove_reference", "remove_reference_t",
+        "is_integral", "is_floating_point", "is_arithmetic",
+        "conditional", "conditional_t", "invoke_result",
+        "invoke_result_t", "is_base_of", "true_type", "false_type",
+        "is_const", "remove_cv", "remove_cv_t", "is_trivially_copyable",
+        "underlying_type", "underlying_type_t"}},
+      {"unistd.h",
+       {"read", "write", "close", "unlink", "getpid", "sysconf", "usleep",
+        "isatty", "access", "ftruncate", "fsync", "pipe", "dup2",
+        "STDERR_FILENO", "STDOUT_FILENO", "STDIN_FILENO"}},
+      {"unordered_map", {"unordered_map", "unordered_multimap"}},
+      {"unordered_set", {"unordered_set", "unordered_multiset"}},
+      {"utility",
+       {"move", "forward", "swap", "pair", "make_pair", "exchange",
+        "declval", "in_place", "as_const", "index_sequence",
+        "make_index_sequence"}},
+      {"variant",
+       {"variant", "get_if", "holds_alternative", "visit", "monostate",
+        "variant_size", "bad_variant_access"}},
+      {"vector", {"vector"}},
+  };
+  return *table;
+}
+
+/// Parses one line as an #include directive; returns true and fills
+/// `target` / `system` on match.
+bool ParseIncludeLine(const std::string& line, std::string* target,
+                      bool* system) {
+  size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != '#') return false;
+  ++i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (line.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size()) return false;
+  char open = line[i];
+  char close;
+  if (open == '"') {
+    close = '"';
+    *system = false;
+  } else if (open == '<') {
+    close = '>';
+    *system = true;
+  } else {
+    return false;
+  }
+  size_t end = line.find(close, i + 1);
+  if (end == std::string::npos) return false;
+  *target = line.substr(i + 1, end - i - 1);
+  return !target->empty();
+}
+
+/// Blanks every #include directive line so include targets ("vector",
+/// "common/rng.h") never count as identifier *usage* in the includer.
+std::string BlankIncludeLines(const std::string& text) {
+  std::string out = text;
+  size_t line_start = 0;
+  while (line_start < out.size()) {
+    size_t line_end = out.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = out.size();
+    std::string line = out.substr(line_start, line_end - line_start);
+    std::string target;
+    bool system = false;
+    if (ParseIncludeLine(line, &target, &system)) {
+      for (size_t i = line_start; i < line_end; ++i) out[i] = ' ';
+    }
+    line_start = line_end + 1;
+  }
+  return out;
+}
+
+std::string PrimaryHeaderOf(const std::string& path) {
+  size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return "";
+  std::string ext = path.substr(dot);
+  if (ext != ".cc" && ext != ".cpp") return "";
+  return path.substr(0, dot) + ".h";
+}
+
+std::map<std::string, int> RankMap(const std::vector<Layer>& layers) {
+  std::map<std::string, int> ranks;
+  for (const Layer& layer : layers) ranks[layer.module] = layer.rank;
+  return ranks;
+}
+
+void SortFindings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+/// The thread-safety annotation macros whose arguments name locks
+/// (common/thread_annotations.h).
+constexpr const char* kLockAnnotations[] = {
+    "GUARDED_BY",     "PT_GUARDED_BY",  "REQUIRES",      "REQUIRES_SHARED",
+    "ACQUIRE",        "RELEASE",        "EXCLUDES",      "TRY_ACQUIRE",
+    "ACQUIRED_AFTER", "ACQUIRED_BEFORE"};
+
+/// Every identifier appearing inside a lock-annotation argument list in
+/// `stripped`.
+std::set<std::string> AnnotationRefs(const std::string& stripped) {
+  std::set<std::string> refs;
+  for (const char* macro : kLockAnnotations) {
+    std::string token = macro;
+    for (size_t pos = stripped.find(token); pos != std::string::npos;
+         pos = stripped.find(token, pos + 1)) {
+      if (!TokenAt(stripped, pos, token)) continue;
+      size_t open = SkipSpaces(stripped, pos + token.size());
+      if (open >= stripped.size() || stripped[open] != '(') continue;
+      int depth = 1;
+      size_t close = open + 1;
+      while (close < stripped.size() && depth > 0) {
+        if (stripped[close] == '(') ++depth;
+        if (stripped[close] == ')') --depth;
+        ++close;
+      }
+      for (const std::string& run : WordRuns(
+               stripped.substr(open + 1, close - open - 2))) {
+        refs.insert(run);
+      }
+    }
+  }
+  return refs;
+}
+
+/// Finds `std::mutex NAME;` / `DebugMutex NAME{...};` member/variable
+/// declarations in `stripped` (type token followed by an identifier, then
+/// `;`, `{`, or `=` — never matches parameters, template arguments, or
+/// constructor names).
+void FindLockDeclarations(const SourceFile& file, const std::string& stripped,
+                          std::vector<LockSite>& out) {
+  for (const char* type : {"std::mutex", "DebugMutex"}) {
+    std::string token = type;
+    for (size_t pos = stripped.find(token); pos != std::string::npos;
+         pos = stripped.find(token, pos + 1)) {
+      if (!TokenAt(stripped, pos, token)) continue;
+      size_t p = SkipSpaces(stripped, pos + token.size());
+      size_t q = p;
+      while (q < stripped.size() && IsWordChar(stripped[q])) ++q;
+      if (q == p) continue;  // not followed by an identifier
+      if (stripped[p] >= '0' && stripped[p] <= '9') continue;
+      size_t r = SkipSpaces(stripped, q);
+      if (r >= stripped.size() ||
+          (stripped[r] != ';' && stripped[r] != '{' && stripped[r] != '=')) {
+        continue;
+      }
+      LockSite site;
+      site.path = file.path;
+      site.line = scan::LineOfOffset(file.contents, pos);
+      site.name = stripped.substr(p, q - p);
+      site.type = type;
+      out.push_back(site);
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Module-level dependency edges with include counts (cross-module project
+/// includes only).
+std::map<std::pair<std::string, std::string>, int> ModuleEdges(
+    const TreeGraph& graph) {
+  std::map<std::pair<std::string, std::string>, int> edges;
+  for (const IncludeEdge& edge : graph.edges) {
+    if (edge.system) continue;
+    std::string from = ModuleOf(edge.from);
+    std::string to = ModuleOf(edge.to);
+    if (from == to) continue;
+    ++edges[{from, to}];
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<Layer> DefaultLayers() {
+  // src/'s declared DAG, bottom-up. Same-rank modules are peers and may not
+  // include each other; a new module must be added here (and to DESIGN.md
+  // "Architecture & lock-order analysis") before anything can include it.
+  return {
+      {"common", 0},  {"runtime", 1}, {"tensor", 2},  {"nn", 3},
+      {"data", 3},    {"losses", 3},  {"tsne", 3},    {"ml", 4},
+      {"metrics", 4}, {"testing", 4}, {"sampling", 5}, {"core", 6},
+      {"gan", 6},     {"serve", 7},
+  };
+}
+
+std::string ModuleOf(const std::string& path) {
+  size_t slash = path.find('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+Result<TreeGraph> ScanTree(const std::string& root) {
+  Result<std::vector<SourceFile>> tree =
+      scan::LoadTree(root, {"lint_fixtures", "analyze_fixtures"});
+  if (!tree.ok()) return tree.status();
+  TreeGraph graph;
+  graph.files = *std::move(tree);
+  for (const SourceFile& file : graph.files) {
+    // Comments are blanked but string literals kept: the include target
+    // lives in one.
+    std::string text = scan::StripComments(file.contents);
+    size_t line_start = 0;
+    int line = 1;
+    while (line_start < text.size()) {
+      size_t line_end = text.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = text.size();
+      std::string target;
+      bool system = false;
+      if (ParseIncludeLine(text.substr(line_start, line_end - line_start),
+                           &target, &system)) {
+        graph.edges.push_back(IncludeEdge{file.path, line, target, system});
+      }
+      line_start = line_end + 1;
+      ++line;
+    }
+  }
+  return graph;
+}
+
+std::vector<Finding> CheckLayering(const TreeGraph& graph,
+                                   const std::vector<Layer>& layers) {
+  std::map<std::string, int> ranks = RankMap(layers);
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : graph.files) by_path[file.path] = &file;
+  std::vector<Finding> findings;
+  auto emit = [&](const IncludeEdge& edge, std::string message) {
+    auto it = by_path.find(edge.from);
+    if (it != by_path.end() &&
+        scan::Suppressed(it->second->contents, edge.line, "layering")) {
+      return;
+    }
+    findings.push_back(
+        Finding{edge.from, edge.line, "layering", std::move(message)});
+  };
+  for (const IncludeEdge& edge : graph.edges) {
+    if (edge.system) continue;
+    std::string from = ModuleOf(edge.from);
+    std::string to = ModuleOf(edge.to);
+    if (from == to) continue;  // intra-module includes are always legal
+    auto from_rank = ranks.find(from);
+    auto to_rank = ranks.find(to);
+    if (from_rank == ranks.end()) {
+      emit(edge, StrFormat("module '%s' is not declared in the layer DAG; "
+                           "declare its rank before it can include '%s'",
+                           from.c_str(), edge.to.c_str()));
+      continue;
+    }
+    if (to_rank == ranks.end()) {
+      emit(edge, StrFormat("include of '%s': module '%s' is not declared "
+                           "in the layer DAG",
+                           edge.to.c_str(), to.c_str()));
+      continue;
+    }
+    if (to_rank->second >= from_rank->second) {
+      emit(edge,
+           StrFormat("include of '%s' inverts the layer DAG: '%s' (rank %d) "
+                     "may only depend on modules ranked strictly below %d, "
+                     "but '%s' has rank %d",
+                     edge.to.c_str(), from.c_str(), from_rank->second,
+                     from_rank->second, to.c_str(), to_rank->second));
+    }
+  }
+  SortFindings(findings);
+  return findings;
+}
+
+std::vector<Finding> CheckIncludeCycles(const TreeGraph& graph) {
+  // Header-to-header include graph; .cc files cannot be included, so they
+  // can never be part of a cycle.
+  std::map<std::string, std::vector<const IncludeEdge*>> out_edges;
+  std::set<std::string> headers;
+  for (const SourceFile& file : graph.files) {
+    if (file.path.size() >= 2 &&
+        file.path.compare(file.path.size() - 2, 2, ".h") == 0) {
+      headers.insert(file.path);
+    }
+  }
+  for (const IncludeEdge& edge : graph.edges) {
+    if (edge.system) continue;
+    if (headers.count(edge.from) == 0 || headers.count(edge.to) == 0) {
+      continue;
+    }
+    out_edges[edge.from].push_back(&edge);
+  }
+  enum class Color { kWhite, kGrey, kBlack };
+  std::map<std::string, Color> color;
+  for (const std::string& header : headers) color[header] = Color::kWhite;
+  std::vector<Finding> findings;
+  std::set<std::set<std::string>> reported;  // dedupe by member set
+  std::vector<std::string> path;
+
+  // Iterative DFS with an explicit stack of (node, next edge index) so deep
+  // include chains cannot overflow the call stack.
+  struct Frame {
+    std::string node;
+    size_t next = 0;
+  };
+  for (const std::string& start : headers) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> stack{{start, 0}};
+    color[start] = Color::kGrey;
+    path.push_back(start);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& edges = out_edges[frame.node];
+      if (frame.next >= edges.size()) {
+        color[frame.node] = Color::kBlack;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const IncludeEdge* edge = edges[frame.next++];
+      Color target_color = color[edge->to];
+      if (target_color == Color::kGrey) {
+        // Back edge: the cycle is the path suffix starting at edge->to.
+        auto cycle_start = std::find(path.begin(), path.end(), edge->to);
+        std::vector<std::string> cycle(cycle_start, path.end());
+        std::set<std::string> key(cycle.begin(), cycle.end());
+        if (reported.insert(key).second) {
+          std::string pretty;
+          for (const std::string& node : cycle) {
+            pretty += node;
+            pretty += " -> ";
+          }
+          pretty += edge->to;
+          findings.push_back(Finding{
+              edge->from, edge->line, "include-cycle",
+              StrFormat("#include \"%s\" closes an include cycle: %s",
+                        edge->to.c_str(), pretty.c_str())});
+        }
+      } else if (target_color == Color::kWhite) {
+        color[edge->to] = Color::kGrey;
+        path.push_back(edge->to);
+        stack.push_back({edge->to, 0});
+      }
+    }
+  }
+  SortFindings(findings);
+  return findings;
+}
+
+std::vector<Finding> CheckUnusedIncludes(const TreeGraph& graph) {
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : graph.files) by_path[file.path] = &file;
+  // Export sets are computed lazily and memoized: most headers are included
+  // many times.
+  std::map<std::string, std::set<std::string>> export_cache;
+  auto exports_of = [&](const std::string& header) -> const
+      std::set<std::string>& {
+        auto it = export_cache.find(header);
+        if (it == export_cache.end()) {
+          it = export_cache
+                   .emplace(header,
+                            ExportedNames(by_path.at(header)->contents))
+                   .first;
+        }
+        return it->second;
+      };
+  const auto& system_exports = SystemExports();
+
+  std::vector<Finding> findings;
+  std::string current_file;
+  std::set<std::string> usage;  // identifier runs of the current includer
+  for (const IncludeEdge& edge : graph.edges) {
+    const SourceFile& file = *by_path.at(edge.from);
+    if (edge.from != current_file) {
+      current_file = edge.from;
+      usage = WordRuns(BlankIncludeLines(
+          scan::StripCommentsAndStrings(file.contents)));
+    }
+    bool used = false;
+    if (edge.system) {
+      auto it = system_exports.find(edge.to);
+      if (it == system_exports.end()) continue;  // unmodeled: never flag
+      for (const std::string& name : it->second) {
+        if (usage.count(name) != 0) {
+          used = true;
+          break;
+        }
+      }
+    } else {
+      if (by_path.count(edge.to) == 0) continue;  // outside the tree
+      if (edge.to == PrimaryHeaderOf(edge.from)) continue;
+      // The determinism linter's mutex-annotations rule *mandates* this
+      // include in any file mentioning std::mutex, whether or not a macro
+      // is used there; the two tools must not disagree.
+      if (edge.to == "common/thread_annotations.h" &&
+          usage.count("mutex") != 0) {
+        continue;
+      }
+      const std::set<std::string>& exported = exports_of(edge.to);
+      // A header exporting nothing recognizable cannot be judged.
+      if (exported.empty()) continue;
+      for (const std::string& name : exported) {
+        if (usage.count(name) != 0) {
+          used = true;
+          break;
+        }
+      }
+    }
+    if (used) continue;
+    if (scan::Suppressed(file.contents, edge.line, "unused-include")) {
+      continue;
+    }
+    findings.push_back(Finding{
+        edge.from, edge.line, "unused-include",
+        StrFormat("nothing exported by %s%s%s is referenced here; drop the "
+                  "include or annotate it lint:allow(unused-include)",
+                  edge.system ? "<" : "\"", edge.to.c_str(),
+                  edge.system ? ">" : "\"")});
+  }
+  SortFindings(findings);
+  return findings;
+}
+
+std::vector<LockSite> BuildLockRegistry(const TreeGraph& graph) {
+  std::vector<LockSite> registry;
+  for (const SourceFile& file : graph.files) {
+    std::string stripped = scan::StripCommentsAndStrings(file.contents);
+    size_t before = registry.size();
+    FindLockDeclarations(file, stripped, registry);
+    if (registry.size() == before) continue;
+    std::set<std::string> refs = AnnotationRefs(stripped);
+    for (size_t i = before; i < registry.size(); ++i) {
+      registry[i].annotation_refs =
+          refs.count(registry[i].name) != 0 ? 1 : 0;
+    }
+  }
+  std::sort(registry.begin(), registry.end(),
+            [](const LockSite& a, const LockSite& b) {
+              if (a.path != b.path) return a.path < b.path;
+              return a.line < b.line;
+            });
+  return registry;
+}
+
+std::vector<Finding> CheckLockAnnotations(const TreeGraph& graph) {
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : graph.files) by_path[file.path] = &file;
+  std::vector<Finding> findings;
+  for (const LockSite& site : BuildLockRegistry(graph)) {
+    if (site.annotation_refs > 0) continue;
+    if (scan::Suppressed(by_path.at(site.path)->contents, site.line,
+                         "unannotated-mutex")) {
+      continue;
+    }
+    findings.push_back(Finding{
+        site.path, site.line, "unannotated-mutex",
+        StrFormat("%s '%s' is not referenced by any thread-safety "
+                  "annotation in this file; add GUARDED_BY/REQUIRES on the "
+                  "state it protects (see DESIGN.md \"Static analysis\")",
+                  site.type.c_str(), site.name.c_str())});
+  }
+  SortFindings(findings);
+  return findings;
+}
+
+std::vector<Finding> AnalyzeTree(const TreeGraph& graph,
+                                 const std::vector<Layer>& layers) {
+  std::vector<Finding> findings = CheckLayering(graph, layers);
+  for (auto& list : {CheckIncludeCycles(graph), CheckUnusedIncludes(graph),
+                     CheckLockAnnotations(graph)}) {
+    findings.insert(findings.end(), list.begin(), list.end());
+  }
+  SortFindings(findings);
+  return findings;
+}
+
+std::string LayeringDot(const TreeGraph& graph,
+                        const std::vector<Layer>& layers) {
+  std::map<std::string, int> ranks = RankMap(layers);
+  std::string out = "digraph eos_layers {\n  rankdir=BT;\n";
+  // Group declared modules by rank so the DAG renders bottom-up.
+  std::map<int, std::vector<std::string>> by_rank;
+  for (const Layer& layer : layers) {
+    by_rank[layer.rank].push_back(layer.module);
+  }
+  for (const auto& [rank, modules] : by_rank) {
+    out += StrFormat("  { rank=same;");
+    for (const std::string& module : modules) {
+      out += StrFormat(" \"%s\" [label=\"%s\\nrank %d\"];", module.c_str(),
+                       module.c_str(), rank);
+    }
+    out += " }\n";
+  }
+  for (const auto& [edge, count] : ModuleEdges(graph)) {
+    out += StrFormat("  \"%s\" -> \"%s\" [label=\"%d\"];\n",
+                     edge.first.c_str(), edge.second.c_str(), count);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string AnalysisJson(const TreeGraph& graph,
+                         const std::vector<Layer>& layers) {
+  std::string out = "{\n  \"layers\": [\n";
+  for (size_t i = 0; i < layers.size(); ++i) {
+    out += StrFormat("    {\"module\": \"%s\", \"rank\": %d}%s\n",
+                     JsonEscape(layers[i].module).c_str(), layers[i].rank,
+                     i + 1 < layers.size() ? "," : "");
+  }
+  out += "  ],\n  \"module_edges\": [\n";
+  auto edges = ModuleEdges(graph);
+  size_t i = 0;
+  for (const auto& [edge, count] : edges) {
+    out += StrFormat(
+        "    {\"from\": \"%s\", \"to\": \"%s\", \"includes\": %d}%s\n",
+        JsonEscape(edge.first).c_str(), JsonEscape(edge.second).c_str(),
+        count, ++i < edges.size() ? "," : "");
+  }
+  out += "  ],\n  \"locks\": [\n";
+  std::vector<LockSite> registry = BuildLockRegistry(graph);
+  for (size_t j = 0; j < registry.size(); ++j) {
+    const LockSite& site = registry[j];
+    out += StrFormat(
+        "    {\"file\": \"%s\", \"line\": %d, \"name\": \"%s\", "
+        "\"type\": \"%s\", \"annotated\": %s}%s\n",
+        JsonEscape(site.path).c_str(), site.line,
+        JsonEscape(site.name).c_str(), JsonEscape(site.type).c_str(),
+        site.annotation_refs > 0 ? "true" : "false",
+        j + 1 < registry.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace eos::analyze

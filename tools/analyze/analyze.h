@@ -1,0 +1,130 @@
+#ifndef EOS_TOOLS_ANALYZE_ANALYZE_H_
+#define EOS_TOOLS_ANALYZE_ANALYZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "scan.h"
+
+/// \file
+/// The architecture analyzer: whole-tree structural checks that the
+/// compiler cannot express and the linter's single-file rules cannot see.
+/// Built on the shared token-level scanning core (tools/scan), it parses
+/// every #include under a root and enforces:
+///
+///   layering        the module DAG. A module (first path segment under the
+///                   root: common/, tensor/, serve/, ...) may only include
+///                   headers from strictly lower-ranked modules or itself.
+///                   DefaultLayers() declares the repo's DAG; ranks make the
+///                   allowed direction total and cycle-free by construction.
+///   include-cycle   no cyclic #include chains among the tree's headers
+///                   (caught even within one module, where layering is
+///                   silent).
+///   unused-include  IWYU-lite. An include is flagged when nothing the
+///                   included header exports is referenced by the includer.
+///                   "Exports" is approximated as every CamelCase or
+///                   kConstant identifier in the header (EOS house style
+///                   makes public names CamelCase, so over-collection only
+///                   ever errs toward keeping an include). System headers
+///                   are judged by a curated header -> token table and
+///                   skipped when unknown. A .cc's primary header is always
+///                   kept; `lint:allow(unused-include)` suppresses.
+///   unannotated-mutex  every declared std::mutex / eos::DebugMutex member
+///                   must be referenced by at least one thread-safety
+///                   annotation (GUARDED_BY / REQUIRES / ...) in the same
+///                   file — the static half of the lock discipline; the
+///                   runtime half is the lock-order detector
+///                   (src/common/lock_order.h).
+///
+/// The same scan also inventories every annotated lock into a registry
+/// (locks + their annotation reference counts) and can emit the module
+/// graph as DOT / the whole analysis as JSON for docs and dashboards.
+/// Findings share the linter's `path:line: [rule] message` format and its
+/// suppression grammar. See DESIGN.md "Architecture & lock-order analysis".
+
+namespace eos::analyze {
+
+using scan::Finding;
+
+/// One declared layer: a module name and its rank (0 = bottom). An include
+/// from module A into module B is legal iff A == B or rank(B) < rank(A).
+struct Layer {
+  std::string module;
+  int rank = 0;
+};
+
+/// The repo's declared layer DAG for src/ (see DESIGN.md for the diagram).
+std::vector<Layer> DefaultLayers();
+
+/// One parsed #include directive.
+struct IncludeEdge {
+  std::string from;  // includer, relative to the scanned root
+  int line = 0;      // 1-based line of the directive
+  std::string to;    // include target as written ("common/rng.h", "vector")
+  bool system = false;  // <...> include
+};
+
+/// A loaded tree plus its parsed include edges.
+struct TreeGraph {
+  std::vector<scan::SourceFile> files;
+  std::vector<IncludeEdge> edges;
+};
+
+/// Loads every *.h/*.cc/*.cpp under `root` (skipping fixture directories,
+/// like the linter) and parses all #include directives.
+Result<TreeGraph> ScanTree(const std::string& root);
+
+/// Module of a tree-relative path: its first directory segment, or "" for a
+/// top-level file.
+std::string ModuleOf(const std::string& path);
+
+/// Layering pass: every cross-module project include must point strictly
+/// down the declared DAG; modules missing from `layers` are reported once
+/// per offending edge.
+std::vector<Finding> CheckLayering(const TreeGraph& graph,
+                                   const std::vector<Layer>& layers);
+
+/// Cycle pass: DFS over the tree's header-to-header include graph; each
+/// distinct cycle is reported once, anchored at the directive that closes
+/// it.
+std::vector<Finding> CheckIncludeCycles(const TreeGraph& graph);
+
+/// IWYU-lite pass (see file comment for the heuristic and its exemptions).
+std::vector<Finding> CheckUnusedIncludes(const TreeGraph& graph);
+
+/// One declared lock in the scanned tree.
+struct LockSite {
+  std::string path;
+  int line = 0;
+  std::string name;     // declared identifier, e.g. "mu_", "g_mu"
+  std::string type;     // "std::mutex" or "DebugMutex"
+  int annotation_refs = 0;  // same-file annotation arguments naming it
+};
+
+/// Inventories every std::mutex / DebugMutex declaration with the number of
+/// thread-safety-annotation references to it in its file.
+std::vector<LockSite> BuildLockRegistry(const TreeGraph& graph);
+
+/// Lock pass: a declared mutex with zero same-file annotation references is
+/// a finding (rule "unannotated-mutex").
+std::vector<Finding> CheckLockAnnotations(const TreeGraph& graph);
+
+/// Runs every pass over the tree in the order listed above and returns the
+/// merged findings sorted by (path, line, rule).
+std::vector<Finding> AnalyzeTree(const TreeGraph& graph,
+                                 const std::vector<Layer>& layers);
+
+/// The module-level include graph as Graphviz DOT (modules as nodes grouped
+/// by rank, deduplicated cross-module edges).
+std::string LayeringDot(const TreeGraph& graph,
+                        const std::vector<Layer>& layers);
+
+/// The whole analysis as JSON: declared layers, module edges with include
+/// counts, and the lock registry.
+std::string AnalysisJson(const TreeGraph& graph,
+                         const std::vector<Layer>& layers);
+
+}  // namespace eos::analyze
+
+#endif  // EOS_TOOLS_ANALYZE_ANALYZE_H_

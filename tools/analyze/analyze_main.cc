@@ -1,0 +1,95 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+/// \file
+/// CLI driver for the architecture analyzer.
+///
+///   eos_analyze [--dot FILE] [--json FILE] <root>...
+///
+/// Runs every pass (layering, include cycles, unused includes, lock
+/// annotations — see analyze.h) over each root and prints findings in the
+/// shared `path:line: [rule] message` format. --dot / --json additionally
+/// emit the first root's module graph / full analysis for docs and
+/// dashboards. Exit codes match eos_lint: 0 clean, 1 findings, 2 usage or
+/// I/O error.
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: eos_analyze [--dot FILE] [--json FILE] <root>...\n");
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "eos_analyze: failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dot_path;
+  std::string json_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--dot" || arg == "--json") {
+      if (i + 1 >= argc) return Usage();
+      (arg == "--dot" ? dot_path : json_path) = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return Usage();
+
+  const std::vector<eos::analyze::Layer> layers =
+      eos::analyze::DefaultLayers();
+  int total_findings = 0;
+  bool first_root = true;
+  for (const std::string& root : roots) {
+    eos::Result<eos::analyze::TreeGraph> graph =
+        eos::analyze::ScanTree(root);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "eos_analyze: %s\n",
+                   graph.status().ToString().c_str());
+      return 2;
+    }
+    std::vector<eos::analyze::Finding> findings =
+        eos::analyze::AnalyzeTree(*graph, layers);
+    for (const eos::analyze::Finding& finding : findings) {
+      std::printf("%s\n", eos::scan::FormatFinding(finding).c_str());
+    }
+    total_findings += static_cast<int>(findings.size());
+    if (first_root) {
+      first_root = false;
+      if (!dot_path.empty() &&
+          !WriteFile(dot_path,
+                     eos::analyze::LayeringDot(*graph, layers))) {
+        return 2;
+      }
+      if (!json_path.empty() &&
+          !WriteFile(json_path,
+                     eos::analyze::AnalysisJson(*graph, layers))) {
+        return 2;
+      }
+    }
+  }
+  if (total_findings > 0) {
+    std::fprintf(stderr, "eos_analyze: %d finding(s)\n", total_findings);
+    return 1;
+  }
+  return 0;
+}

@@ -1,66 +1,18 @@
 #include "lint.h"
 
 #include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "common/string_util.h"
+#include "scan.h"
 
 namespace eos::lint {
 
 namespace {
 
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when source[pos, pos + token.size()) is `token` with non-word
-/// characters (or file boundaries) on both sides. ':' does not count as a
-/// word character, so "std::mutex" still matches inside "::std::mutex".
-bool TokenAt(const std::string& source, size_t pos, const std::string& token) {
-  if (source.compare(pos, token.size(), token) != 0) return false;
-  if (pos > 0 && IsWordChar(source[pos - 1])) return false;
-  size_t end = pos + token.size();
-  if (end < source.size() && IsWordChar(source[end])) return false;
-  return true;
-}
-
-size_t SkipSpaces(const std::string& source, size_t pos) {
-  while (pos < source.size() &&
-         (source[pos] == ' ' || source[pos] == '\t' || source[pos] == '\n')) {
-    ++pos;
-  }
-  return pos;
-}
-
-/// Last non-space character strictly before `pos`, or '\0' at file start.
-char PrevNonSpace(const std::string& source, size_t pos) {
-  while (pos > 0) {
-    --pos;
-    char c = source[pos];
-    if (c != ' ' && c != '\t' && c != '\n') return c;
-  }
-  return '\0';
-}
-
-int LineOfOffset(const std::string& source, size_t pos) {
-  return 1 + static_cast<int>(
-                 std::count(source.begin(), source.begin() + pos, '\n'));
-}
-
-/// The 1-based line `line` of `source` (without the trailing newline).
-std::string LineText(const std::string& source, int line) {
-  size_t start = 0;
-  for (int i = 1; i < line; ++i) {
-    start = source.find('\n', start);
-    if (start == std::string::npos) return "";
-    ++start;
-  }
-  size_t end = source.find('\n', start);
-  return source.substr(start, end == std::string::npos ? end : end - start);
-}
+using scan::IsWordChar;
+using scan::PrevNonSpace;
+using scan::SkipSpaces;
+using scan::TokenAt;
 
 bool PathStartsWith(const std::string& path, const std::string& prefix) {
   return path.compare(0, prefix.size(), prefix) == 0;
@@ -114,120 +66,11 @@ bool UnorderedScoped(const std::string& path) {
          PathStartsWith(path, "metrics/");
 }
 
-}  // namespace
-
-std::string FormatFinding(const Finding& finding) {
-  return StrFormat("%s:%d: [%s] %s", finding.path.c_str(), finding.line,
-                   finding.rule.c_str(), finding.message.c_str());
-}
-
-std::string StripCommentsAndStrings(const std::string& source) {
-  std::string out = source;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  size_t i = 0;
-  auto blank = [&](size_t pos) {
-    if (out[pos] != '\n') out[pos] = ' ';
-  };
-  while (i < source.size()) {
-    char c = source[i];
-    char next = i + 1 < source.size() ? source[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          blank(i);
-          blank(i + 1);
-          i += 2;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          blank(i);
-          blank(i + 1);
-          i += 2;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !IsWordChar(source[i - 1]))) {
-          // Raw string R"delim( ... )delim": find the delimiter, then the
-          // matching close sequence; blank the whole literal.
-          size_t open = source.find('(', i + 2);
-          if (open == std::string::npos) {
-            ++i;
-            break;
-          }
-          std::string close;
-          close.push_back(')');
-          close.append(source, i + 2, open - (i + 2));
-          close.push_back('"');
-          size_t end = source.find(close, open + 1);
-          size_t stop = end == std::string::npos ? source.size()
-                                                 : end + close.size();
-          for (size_t j = i; j < stop; ++j) blank(j);
-          i = stop;
-        } else if (c == '"') {
-          state = State::kString;
-          blank(i);
-          ++i;
-        } else if (c == '\'') {
-          state = State::kChar;
-          blank(i);
-          ++i;
-        } else {
-          ++i;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          blank(i);
-        }
-        ++i;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          blank(i);
-          blank(i + 1);
-          state = State::kCode;
-          i += 2;
-        } else {
-          blank(i);
-          ++i;
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\') {
-          blank(i);
-          if (i + 1 < source.size()) blank(i + 1);
-          i += 2;
-        } else {
-          if (c == quote) state = State::kCode;
-          blank(i);
-          ++i;
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-namespace {
-
-/// True when the finding's line (or the one above) carries a
-/// `lint:allow(<rule>)` marker in the original source.
-bool Suppressed(const std::string& original, int line, const char* rule) {
-  std::string marker = StrFormat("lint:allow(%s)", rule);
-  if (LineText(original, line).find(marker) != std::string::npos) return true;
-  return line > 1 &&
-         LineText(original, line - 1).find(marker) != std::string::npos;
-}
-
 void Emit(std::vector<Finding>& findings, const std::string& original,
           const std::string& path, size_t offset, const char* rule,
           std::string message) {
-  int line = LineOfOffset(original, offset);
-  if (Suppressed(original, line, rule)) return;
+  int line = scan::LineOfOffset(original, offset);
+  if (scan::Suppressed(original, line, rule)) return;
   findings.push_back(Finding{path, line, rule, std::move(message)});
 }
 
@@ -328,8 +171,10 @@ void CheckVoidCasts(const std::string& path, const std::string& original,
       }
     }
     if (!saw_call) continue;
-    int line = LineOfOffset(original, pos);
-    if (LineText(original, line).find("//") != std::string::npos) continue;
+    int line = scan::LineOfOffset(original, pos);
+    if (scan::LineText(original, line).find("//") != std::string::npos) {
+      continue;
+    }
     Emit(findings, original, path, pos, "void-cast-needs-comment",
          "discarded call cast to (void) without a same-line // comment "
          "justifying the dropped Status/Result");
@@ -338,9 +183,13 @@ void CheckVoidCasts(const std::string& path, const std::string& original,
 
 }  // namespace
 
+std::string StripCommentsAndStrings(const std::string& source) {
+  return scan::StripCommentsAndStrings(source);
+}
+
 std::vector<Finding> LintFile(const std::string& path,
                               const std::string& source, Profile profile) {
-  std::string stripped = StripCommentsAndStrings(source);
+  std::string stripped = scan::StripCommentsAndStrings(source);
   std::vector<Finding> findings;
   CheckBannedTokens(path, source, stripped, findings,
                     /*unordered=*/profile == Profile::kStrict);
@@ -359,46 +208,17 @@ std::vector<Finding> LintFile(const std::string& path,
 
 Result<std::vector<Finding>> LintTree(const std::string& root,
                                       Profile profile) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  if (!fs::is_directory(root, ec)) {
-    return Status::NotFound(
-        StrFormat("lint root is not a directory: %s", root.c_str()));
-  }
-  std::vector<fs::path> files;
-  for (fs::recursive_directory_iterator it(root, ec), end;
-       it != end && !ec; it.increment(ec)) {
-    // Fixture trees are deliberately rule-breaking linter *test data*
-    // (tests/tools/lint_fixtures/); they are linted by lint_test.cc with
-    // their own root, never as part of a real source tree.
-    if (it->is_directory() && it->path().filename() == "lint_fixtures") {
-      it.disable_recursion_pending();
-      continue;
-    }
-    if (!it->is_regular_file()) continue;
-    std::string ext = it->path().extension().string();
-    if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
-      files.push_back(it->path());
-    }
-  }
-  if (ec) {
-    return Status::IoError(StrFormat("failed to walk %s: %s", root.c_str(),
-                                     ec.message().c_str()));
-  }
-  std::sort(files.begin(), files.end());
+  // Fixture trees are deliberately rule-breaking *test data*
+  // (tests/tools/lint_fixtures/ for the linter, analyze_fixtures/ for the
+  // architecture analyzer); they are walked by their own tests with their
+  // own root, never as part of a real source tree.
+  Result<std::vector<scan::SourceFile>> tree =
+      scan::LoadTree(root, {"lint_fixtures", "analyze_fixtures"});
+  if (!tree.ok()) return tree.status();
   std::vector<Finding> findings;
-  for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      return Status::IoError(
-          StrFormat("failed to read %s", file.string().c_str()));
-    }
-    std::ostringstream contents;
-    contents << in.rdbuf();
-    std::string rel =
-        fs::path(file).lexically_relative(root).generic_string();
+  for (const scan::SourceFile& file : *tree) {
     std::vector<Finding> file_findings =
-        LintFile(rel, contents.str(), profile);
+        LintFile(file.path, file.contents, profile);
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "scan.h"
 
 /// \file
 /// The in-repo determinism linter: a token-level checker for project
@@ -48,7 +49,9 @@
 /// Matching happens on a comment- and string-stripped copy of each file, so
 /// tokens inside comments, string literals, and raw strings never trip a
 /// rule; suppressions and justification comments are read from the
-/// original text. See DESIGN.md "Static analysis" for how to add a rule.
+/// original text. The stripping/token/suppression substrate lives in the
+/// shared scanning core (tools/scan) also used by the architecture analyzer
+/// (tools/analyze). See DESIGN.md "Static analysis" for how to add a rule.
 
 namespace eos::lint {
 
@@ -59,20 +62,18 @@ enum class Profile {
   kRelaxed,
 };
 
-/// One rule violation at a source location.
-struct Finding {
-  std::string path;  // as passed in / relative to the linted root
-  int line = 0;      // 1-based
-  std::string rule;  // stable rule id, e.g. "banned-rng"
-  std::string message;
-};
+/// One rule violation at a source location (the shared scan-core type, so
+/// lint and analyze findings carry the same shape and print identically).
+using Finding = scan::Finding;
 
 /// "path:line: [rule] message" — the one true output format (tested).
-std::string FormatFinding(const Finding& finding);
+/// The shared scan-core formatter, re-exported under the lint namespace.
+using scan::FormatFinding;
 
 /// Replaces the bodies of //, /* */ comments, "..." / '...' literals, and
 /// R"delim(...)delim" raw strings with spaces, preserving every newline so
-/// byte offsets map to unchanged line numbers. Exposed for tests.
+/// byte offsets map to unchanged line numbers. Exposed for tests; delegates
+/// to the shared scan core.
 std::string StripCommentsAndStrings(const std::string& source);
 
 /// Runs the profile's rules over one file's contents. `path` should be

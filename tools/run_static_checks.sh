@@ -2,28 +2,85 @@
 # Static-analysis driver: runs everything that can be checked without
 # executing the code. Intended both for CI and as the pre-commit gate:
 #
-#   tools/run_static_checks.sh [build-dir]
+#   tools/run_static_checks.sh [--summary out.json] [build-dir]
 #
-# 1. the in-repo determinism linter (tools/lint) over src/   [always]
-# 2. clang-tidy over src/ using the build's compile_commands  [if installed]
-# 3. a clang -Wthread-safety -Werror compile of the tree      [if installed]
-# 4. the SIMD scalar/AVX2 equivalence tier (ctest -L simd)    [if built]
-# 5. the indexed-KNN equivalence tier (ctest -L knn)          [if built]
-# 6. the fleet serving acceptance tier (ctest -L fleet)       [if built]
-# 7. the fleet chaos drill tier (ctest -L chaos), in the      [if built]
+# 1. the in-repo determinism linter (tools/lint) over src/    [always]
+# 2. the architecture analyzer (tools/analyze) over src/:     [always]
+#    layering DAG, include cycles, IWYU-lite, lock registry
+# 3. the analyzer + lock-order detector tier (ctest -L        [if built]
+#    analyze): fixture exactness, DebugMutex inversion death
+#    tests, and the fleet suites re-run with the runtime
+#    deadlock detector armed (EOS_DEADLOCK_DETECT=1)
+# 4. clang-tidy over src/ using the build's compile_commands  [if installed]
+# 5. a clang -Wthread-safety -Werror compile of the tree      [if installed]
+# 6. the SIMD scalar/AVX2 equivalence tier (ctest -L simd)    [if built]
+# 7. the indexed-KNN equivalence tier (ctest -L knn)          [if built]
+# 8. the fleet serving acceptance tier (ctest -L fleet)       [if built]
+# 9. the fleet chaos drill tier (ctest -L chaos), in the      [if built]
 #    default build plus build-tsan / build-asan when present
 #
 # Steps whose toolchain is missing are SKIPPED with a notice, not failed:
-# the GCC-only container still gets the lint gate, while a developer
-# machine with LLVM gets all three. Exit is nonzero iff an executed step
-# finds a problem.
+# the GCC-only container still gets the lint/analyze gates, while a
+# developer machine with LLVM gets the clang steps too — and once a clang
+# toolchain IS found, any problem in its steps (including a failed
+# configure) is a FAILURE, never a silent skip. Exit is nonzero iff an
+# executed step finds a problem.
+#
+# --summary out.json writes a machine-readable run record: one entry per
+# step with name, status (pass|fail|skip), and wall-clock duration in
+# seconds — for CI dashboards and for diffing which steps a container
+# actually executed.
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+summary_file=""
+if [[ "${1:-}" == "--summary" ]]; then
+  [[ $# -ge 2 ]] || { echo "--summary needs a file argument" >&2; exit 2; }
+  summary_file="$2"
+  shift 2
+fi
 build_dir="${1:-$repo_root/build}"
 failures=0
 
-step() { printf '\n=== %s ===\n' "$*"; }
+step_names=()
+step_statuses=()
+step_durations=()
+current_step=""
+step_start=0
+
+step() {
+  current_step="$1"
+  step_start="$(date +%s)"
+  printf '\n=== %s ===\n' "$*"
+}
+
+# Closes the current step with pass|fail|skip; `fail` also counts toward the
+# exit status.
+finish() {
+  local status="$1"
+  step_names+=("$current_step")
+  step_statuses+=("$status")
+  step_durations+=("$(($(date +%s) - step_start))")
+  [[ "$status" == fail ]] && failures=$((failures + 1))
+}
+
+write_summary() {
+  [[ -n "$summary_file" ]] || return 0
+  {
+    echo '{'
+    echo '  "steps": ['
+    local i last=$((${#step_names[@]} - 1))
+    for i in "${!step_names[@]}"; do
+      printf '    {"name": "%s", "status": "%s", "duration_s": %s}%s\n' \
+        "${step_names[$i]}" "${step_statuses[$i]}" "${step_durations[$i]}" \
+        "$([[ "$i" -lt "$last" ]] && echo ',')"
+    done
+    echo '  ],'
+    printf '  "failures": %d\n' "$failures"
+    echo '}'
+  } > "$summary_file"
+  echo "summary written to $summary_file"
+}
 
 # Echoes the first available spelling of an LLVM tool: bare name first, then
 # distro-versioned fallbacks (clang-tidy-20 ... clang-tidy-14), newest first.
@@ -45,23 +102,77 @@ find_llvm_tool() {
   return 1
 }
 
-# --- 1. determinism linter -------------------------------------------------
-step "tools/lint over src/"
-if [[ ! -x "$build_dir/tools/lint/eos_lint" ]]; then
-  echo "eos_lint not built; building it in $build_dir"
+# Builds one tool target on demand (lint and analyze share this path so a
+# fresh checkout can run the script before ever invoking cmake by hand).
+ensure_tool() {
+  local target="$1" binary="$2"
+  [[ -x "$binary" ]] && return 0
+  echo "$target not built; building it in $build_dir"
   cmake -B "$build_dir" -S "$repo_root" > /dev/null &&
-    cmake --build "$build_dir" --target eos_lint -j > /dev/null ||
-    { echo "FAIL: could not build eos_lint"; exit 1; }
+    cmake --build "$build_dir" --target "$target" -j > /dev/null
+}
+
+# Runs one ctest label tier as a recorded step.
+ctest_tier() {
+  local label="$1" pretty="$2"
+  step "$pretty (ctest -L $label)"
+  current_step="ctest-$label"  # short machine name in the --summary record
+  if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
+    if (cd "$build_dir" && ctest -L "$label" --output-on-failure); then
+      echo "$label tier: clean"
+      finish pass
+    else
+      echo "FAIL: $label tier failures above"
+      finish fail
+    fi
+  else
+    echo "SKIPPED: $build_dir has no ctest config (build the tree first)"
+    finish skip
+  fi
+}
+
+# --- 1. determinism linter -------------------------------------------------
+step "lint"
+if ! ensure_tool eos_lint "$build_dir/tools/lint/eos_lint"; then
+  echo "FAIL: could not build eos_lint"
+  finish fail
+  write_summary
+  exit 1
 fi
 if "$build_dir/tools/lint/eos_lint" "$repo_root/src"; then
   echo "lint: clean"
+  finish pass
 else
   echo "FAIL: lint findings above"
-  failures=$((failures + 1))
+  finish fail
 fi
 
-# --- 2. clang-tidy ---------------------------------------------------------
-step "clang-tidy (bugprone, performance, concurrency)"
+# --- 2. architecture analyzer ----------------------------------------------
+# Layering-DAG enforcement, include-cycle detection, the IWYU-lite
+# unused-include pass, and the lock-annotation registry (tools/analyze).
+step "analyze"
+if ! ensure_tool eos_analyze "$build_dir/tools/analyze/eos_analyze"; then
+  echo "FAIL: could not build eos_analyze"
+  finish fail
+  write_summary
+  exit 1
+fi
+if "$build_dir/tools/analyze/eos_analyze" "$repo_root/src"; then
+  echo "analyze: clean"
+  finish pass
+else
+  echo "FAIL: analyzer findings above"
+  finish fail
+fi
+
+# --- 3. analyzer + lock-order detector tier ---------------------------------
+# Fixture exactness for every analyzer pass, the DebugMutex ABBA death
+# tests, and the lock-heavy serving suites re-run with the runtime
+# lock-order detector armed via EOS_DEADLOCK_DETECT=1 (common/lock_order.h).
+ctest_tier analyze "analyzer & deadlock detector"
+
+# --- 4. clang-tidy ---------------------------------------------------------
+step "clang-tidy"
 if clang_tidy="$(find_llvm_tool clang-tidy)"; then
   echo "using $clang_tidy ($("$clang_tidy" --version | head -n 1))"
   if [[ ! -f "$build_dir/compile_commands.json" ]]; then
@@ -72,16 +183,18 @@ if clang_tidy="$(find_llvm_tool clang-tidy)"; then
   if "$clang_tidy" -p "$build_dir" --quiet \
       $(find "$repo_root/src" -name '*.cc' | sort); then
     echo "clang-tidy: clean"
+    finish pass
   else
     echo "FAIL: clang-tidy findings above"
-    failures=$((failures + 1))
+    finish fail
   fi
 else
   echo "SKIPPED: clang-tidy not installed (bare or versioned)"
+  finish skip
 fi
 
-# --- 3. clang thread-safety analysis --------------------------------------
-step "clang -Wthread-safety -Werror build"
+# --- 5. clang thread-safety analysis --------------------------------------
+step "thread-safety"
 if clangxx="$(find_llvm_tool clang++)"; then
   clangcc="${clangxx/clang++/clang}"
   command -v "$clangcc" > /dev/null 2>&1 || clangcc="$clangxx"
@@ -98,82 +211,58 @@ if clangxx="$(find_llvm_tool clang++)"; then
     echo "stale cache in $tsa_dir (different compiler); reconfiguring fresh"
     rm -rf "$tsa_dir"
   fi
+  # With a clang toolchain present this step may only pass or FAIL — a
+  # broken configure is a failure too, never a skip: annotations that stop
+  # compiling must not rot silently on LLVM machines.
   if cmake -B "$tsa_dir" -S "$repo_root" \
         -DCMAKE_C_COMPILER="$(command -v "$clangcc")" \
         -DCMAKE_CXX_COMPILER="$(command -v "$clangxx")" \
         -DEOS_ENABLE_THREAD_SAFETY_ANALYSIS=ON -DEOS_WERROR=ON > /dev/null &&
       cmake --build "$tsa_dir" -j > /dev/null; then
     echo "thread-safety analysis: clean"
+    finish pass
   else
-    echo "FAIL: -Wthread-safety diagnostics above"
-    failures=$((failures + 1))
+    echo "FAIL: -Wthread-safety diagnostics (or TSA configure/build) above"
+    finish fail
   fi
 else
   echo "SKIPPED: clang++ not installed, bare or versioned (annotations are" \
        "no-ops under GCC)"
+  finish skip
 fi
 
-# --- 4. SIMD dispatch equivalence tier -------------------------------------
+# --- 6. SIMD dispatch equivalence tier -------------------------------------
 # Not strictly static, but it is the gate on the dispatch layer's central
 # claim (per-ISA-path determinism and scalar/AVX2 agreement), and each suite
 # runs again under both EOS_SIMD overrides — cheap enough to sit with the
 # other pre-commit checks.
-step "SIMD kernel equivalence (ctest -L simd)"
-if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
-  if (cd "$build_dir" && ctest -L simd --output-on-failure); then
-    echo "simd tier: clean"
-  else
-    echo "FAIL: simd equivalence failures above"
-    failures=$((failures + 1))
-  fi
-else
-  echo "SKIPPED: $build_dir has no ctest config (build the tree first)"
-fi
+ctest_tier simd "SIMD kernel equivalence"
 
-# --- 5. indexed-KNN equivalence tier ---------------------------------------
+# --- 7. indexed-KNN equivalence tier ---------------------------------------
 # Same rationale as the simd tier: the KD-tree backend's central claim is
 # bitwise equality with brute force across every KNN-consuming sampler, and
 # the `knn` label re-runs the property suites under EOS_KNN overrides.
-step "indexed-KNN equivalence (ctest -L knn)"
-if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
-  if (cd "$build_dir" && ctest -L knn --output-on-failure); then
-    echo "knn tier: clean"
-  else
-    echo "FAIL: knn equivalence failures above"
-    failures=$((failures + 1))
-  fi
-else
-  echo "SKIPPED: $build_dir has no ctest config (build the tree first)"
-fi
+ctest_tier knn "indexed-KNN equivalence"
 
-# --- 6. fleet serving acceptance tier ---------------------------------------
+# --- 8. fleet serving acceptance tier ---------------------------------------
 # The sharded-serving gate: hash-ring routing properties, bitwise swap
 # equivalence across a live cutover, the fault drills (replica down during
 # the roll, load failure -> automatic rollback), and the telemetry goldens.
 # The same label should also be run under both sanitizer builds:
 #   ctest --test-dir build-tsan -L fleet
 #   ctest --test-dir build-asan -L fleet
-step "fleet serving acceptance (ctest -L fleet)"
-if [[ -f "$build_dir/CTestTestfile.cmake" ]]; then
-  if (cd "$build_dir" && ctest -L fleet --output-on-failure); then
-    echo "fleet tier: clean"
-  else
-    echo "FAIL: fleet tier failures above"
-    failures=$((failures + 1))
-  fi
-else
-  echo "SKIPPED: $build_dir has no ctest config (build the tree first)"
-fi
+ctest_tier fleet "fleet serving acceptance"
 
-# --- 7. fleet chaos drill tier ----------------------------------------------
+# --- 9. fleet chaos drill tier ----------------------------------------------
 # The scripted kill/stall/bad-deploy drill (bench/fleet_chaos) under
 # closed-loop load: supervisor recovery witnessed, bad canaries auto-abort,
 # a healthy one promotes, zero failed client requests, bitwise per-version
 # serving. Runs in the default build and again in each sanitizer build that
 # exists next to it — the drill is exactly the concurrency soup TSan and
 # ASan are for.
-step "fleet chaos drills (ctest -L chaos)"
+step "chaos"
 chaos_ran=0
+chaos_failed=0
 for chaos_dir in "$build_dir" "$build_dir-tsan" "$build_dir-asan" \
     "${build_dir%/build}/build-tsan" "${build_dir%/build}/build-asan"; do
   [[ -f "$chaos_dir/CTestTestfile.cmake" ]] || continue
@@ -186,11 +275,16 @@ for chaos_dir in "$build_dir" "$build_dir-tsan" "$build_dir-asan" \
     echo "chaos tier ($chaos_dir): clean"
   else
     echo "FAIL: chaos drill failures above ($chaos_dir)"
-    failures=$((failures + 1))
+    chaos_failed=1
   fi
 done
 if [[ "$chaos_ran" -eq 0 ]]; then
   echo "SKIPPED: no built tree with a ctest config found"
+  finish skip
+elif [[ "$chaos_failed" -eq 0 ]]; then
+  finish pass
+else
+  finish fail
 fi
 
 step "summary"
@@ -199,4 +293,6 @@ if [[ "$failures" -eq 0 ]]; then
 else
   echo "$failures static check(s) failed"
 fi
+current_step=""  # the summary itself is not a recorded step
+write_summary
 exit "$((failures > 0 ? 1 : 0))"

@@ -1,0 +1,235 @@
+#include "scan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace eos::scan {
+
+std::string FormatFinding(const Finding& finding) {
+  return StrFormat("%s:%d: [%s] %s", finding.path.c_str(), finding.line,
+                   finding.rule.c_str(), finding.message.c_str());
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool TokenAt(const std::string& source, size_t pos, const std::string& token) {
+  if (source.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsWordChar(source[pos - 1])) return false;
+  size_t end = pos + token.size();
+  if (end < source.size() && IsWordChar(source[end])) return false;
+  return true;
+}
+
+size_t SkipSpaces(const std::string& source, size_t pos) {
+  while (pos < source.size() &&
+         (source[pos] == ' ' || source[pos] == '\t' || source[pos] == '\n')) {
+    ++pos;
+  }
+  return pos;
+}
+
+char PrevNonSpace(const std::string& source, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    char c = source[pos];
+    if (c != ' ' && c != '\t' && c != '\n') return c;
+  }
+  return '\0';
+}
+
+int LineOfOffset(const std::string& source, size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(source.begin(), source.begin() + pos, '\n'));
+}
+
+std::string LineText(const std::string& source, int line) {
+  size_t start = 0;
+  for (int i = 1; i < line; ++i) {
+    start = source.find('\n', start);
+    if (start == std::string::npos) return "";
+    ++start;
+  }
+  size_t end = source.find('\n', start);
+  return source.substr(start, end == std::string::npos ? end : end - start);
+}
+
+bool ContainsToken(const std::string& source, const std::string& token) {
+  for (size_t pos = source.find(token); pos != std::string::npos;
+       pos = source.find(token, pos + 1)) {
+    if (TokenAt(source, pos, token)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// One state machine serves both strip variants: `blank_strings` decides
+/// whether string/char-literal bodies are blanked or preserved. Literals are
+/// tracked either way so a quote can never hide or fabricate a comment.
+std::string StripImpl(const std::string& source, bool blank_strings) {
+  std::string out = source;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  size_t i = 0;
+  auto blank = [&](size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  auto blank_literal = [&](size_t pos) {
+    if (blank_strings) blank(pos);
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsWordChar(source[i - 1]))) {
+          // Raw string R"delim( ... )delim": find the delimiter, then the
+          // matching close sequence; blank the whole literal.
+          size_t open = source.find('(', i + 2);
+          if (open == std::string::npos) {
+            ++i;
+            break;
+          }
+          std::string close;
+          close.push_back(')');
+          close.append(source, i + 2, open - (i + 2));
+          close.push_back('"');
+          size_t end = source.find(close, open + 1);
+          size_t stop = end == std::string::npos ? source.size()
+                                                 : end + close.size();
+          for (size_t j = i; j < stop; ++j) blank_literal(j);
+          i = stop;
+        } else if (c == '"') {
+          state = State::kString;
+          blank_literal(i);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kChar;
+          blank_literal(i);
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kCode;
+          i += 2;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          blank_literal(i);
+          if (i + 1 < source.size()) blank_literal(i + 1);
+          i += 2;
+        } else {
+          if (c == quote) state = State::kCode;
+          blank_literal(i);
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  return StripImpl(source, /*blank_strings=*/true);
+}
+
+std::string StripComments(const std::string& source) {
+  return StripImpl(source, /*blank_strings=*/false);
+}
+
+bool Suppressed(const std::string& original, int line,
+                const std::string& rule) {
+  std::string marker = StrFormat("lint:allow(%s)", rule.c_str());
+  if (LineText(original, line).find(marker) != std::string::npos) return true;
+  return line > 1 &&
+         LineText(original, line - 1).find(marker) != std::string::npos;
+}
+
+Result<std::vector<SourceFile>> LoadTree(
+    const std::string& root, const std::vector<std::string>& skip_dirs) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::NotFound(
+        StrFormat("scan root is not a directory: %s", root.c_str()));
+  }
+  std::vector<fs::path> files;
+  for (fs::recursive_directory_iterator it(root, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (it->is_directory()) {
+      std::string dir_name = it->path().filename().string();
+      if (std::find(skip_dirs.begin(), skip_dirs.end(), dir_name) !=
+          skip_dirs.end()) {
+        it.disable_recursion_pending();
+        continue;
+      }
+    }
+    if (!it->is_regular_file()) continue;
+    std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+      files.push_back(it->path());
+    }
+  }
+  if (ec) {
+    return Status::IoError(StrFormat("failed to walk %s: %s", root.c_str(),
+                                     ec.message().c_str()));
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<SourceFile> out;
+  out.reserve(files.size());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      return Status::IoError(
+          StrFormat("failed to read %s", file.string().c_str()));
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    out.push_back(SourceFile{
+        fs::path(file).lexically_relative(root).generic_string(),
+        contents.str()});
+  }
+  return out;
+}
+
+}  // namespace eos::scan

@@ -1,0 +1,101 @@
+#ifndef EOS_TOOLS_SCAN_SCAN_H_
+#define EOS_TOOLS_SCAN_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// The token-level source-scanning core shared by the in-repo static
+/// analysis tools: the determinism linter (tools/lint) and the architecture
+/// analyzer (tools/analyze). Both operate on the same substrate — a
+/// comment/string-stripped copy of each file where byte offsets still map to
+/// unchanged line numbers — so a rule written against this layer can never
+/// be fooled by a token inside a comment, string literal, or raw string.
+///
+/// What lives here and why:
+///   - StripCommentsAndStrings / StripComments: the normalization passes.
+///     The first blanks string bodies too (for identifier matching); the
+///     second keeps them (include directives carry their target in a string
+///     literal, which the analyzer must still read).
+///   - TokenAt / IsWordChar / SkipSpaces / PrevNonSpace: word-boundary
+///     token matching on the stripped text.
+///   - LineOfOffset / LineText: offset -> 1-based line mapping for reports.
+///   - Finding / FormatFinding: the one true `path:line: [rule] message`
+///     output format, shared so lint and analyze findings interleave
+///     uniformly in CI logs.
+///   - Suppressed: the `lint:allow(<rule>)` same/previous-line suppression
+///     convention, honored by every rule in every tool.
+///   - LoadTree: the deterministic (sorted) tree walk over *.h/*.cc/*.cpp,
+///     with fixture-directory skipping.
+
+namespace eos::scan {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string path;  // as passed in / relative to the scanned root
+  int line = 0;      // 1-based
+  std::string rule;  // stable rule id, e.g. "banned-rng", "layering"
+  std::string message;
+};
+
+/// "path:line: [rule] message" — the one true output format (tested).
+std::string FormatFinding(const Finding& finding);
+
+/// True for [A-Za-z0-9_] — the characters that extend an identifier.
+bool IsWordChar(char c);
+
+/// True when source[pos, pos + token.size()) is `token` with non-word
+/// characters (or file boundaries) on both sides. ':' does not count as a
+/// word character, so "std::mutex" still matches inside "::std::mutex".
+bool TokenAt(const std::string& source, size_t pos, const std::string& token);
+
+/// First position >= pos that is not a space, tab, or newline.
+size_t SkipSpaces(const std::string& source, size_t pos);
+
+/// Last non-space character strictly before `pos`, or '\0' at file start.
+char PrevNonSpace(const std::string& source, size_t pos);
+
+/// 1-based line number of byte offset `pos`.
+int LineOfOffset(const std::string& source, size_t pos);
+
+/// The 1-based line `line` of `source` (without the trailing newline).
+std::string LineText(const std::string& source, int line);
+
+/// True when `source` contains `token` as a word-bounded match anywhere.
+bool ContainsToken(const std::string& source, const std::string& token);
+
+/// Replaces the bodies of //, /* */ comments, "..." / '...' literals, and
+/// R"delim(...)delim" raw strings with spaces, preserving every newline so
+/// byte offsets map to unchanged line numbers.
+std::string StripCommentsAndStrings(const std::string& source);
+
+/// Like StripCommentsAndStrings but KEEPS string and character literals
+/// (only comments are blanked). Used where the directive of interest carries
+/// its payload in a string — e.g. `#include "common/status.h"`.
+std::string StripComments(const std::string& source);
+
+/// True when the finding's line (or the one above) carries a
+/// `lint:allow(<rule>)` marker in the original source. One suppression
+/// grammar serves every tool built on this core.
+bool Suppressed(const std::string& original, int line, const std::string& rule);
+
+/// One file of a loaded source tree.
+struct SourceFile {
+  std::string path;  // relative to the loaded root, '/'-separated
+  std::string contents;
+};
+
+/// Walks `root` recursively and loads every *.h / *.cc / *.cpp file in
+/// deterministic (sorted-by-path) order. Directories whose name appears in
+/// `skip_dirs` are skipped unless they are the root itself — this is how
+/// deliberately-rule-breaking fixture trees (tests/tools/*_fixtures/) stay
+/// loadable by their own tests without failing tree-wide sweeps. Fails with
+/// NotFound / IoError when the tree cannot be read.
+Result<std::vector<SourceFile>> LoadTree(
+    const std::string& root, const std::vector<std::string>& skip_dirs);
+
+}  // namespace eos::scan
+
+#endif  // EOS_TOOLS_SCAN_SCAN_H_
